@@ -1,0 +1,31 @@
+//! # cg-attacks — transient-execution vulnerabilities and leakage analysis
+//!
+//! The security half of the reproduction:
+//!
+//! * [`catalog`] — the dataset behind the paper's fig. 3: the disclosed
+//!   transient-execution vulnerabilities and CPU bugs that broke security
+//!   isolation on mainstream CPUs from 2018 onward, classified by the
+//!   microarchitectural structure they exploit and — decisively — by
+//!   whether they work across physical cores. The paper's core
+//!   observation: of 35+ such vulnerabilities, only CrossTalk and
+//!   (marginally) NetSpectre demonstrated cross-core leaks in cloud-VM
+//!   settings, so isolating distrusting code on distinct cores mitigates
+//!   essentially all of them, including future ones of the same shape.
+//!
+//! * [`leakage`] — a taint-based leak detector over the simulated
+//!   machine's microarchitectural state: victims leave (possibly
+//!   secret-dependent) footprints; attackers probe; every observation
+//!   that crosses a trust boundary is a leak. `cg-core`'s attack
+//!   scenarios drive whole systems through schedules and use this
+//!   detector to *check* (not assume) the paper's security claim: under
+//!   core gapping, no same-core structure ever carries another domain's
+//!   footprint when a distrusting domain runs.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod catalog;
+pub mod leakage;
+
+pub use catalog::{Catalog, Scope, Vulnerability, VulnerabilityClass};
+pub use leakage::{Leak, LeakChannel, LeakReport};

@@ -1,0 +1,80 @@
+//! Criterion microbenchmarks of the substrate crates: event queue,
+//! microarchitectural model, RPC channel, and RMI handling throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use cg_cca::RmiCall;
+use cg_machine::{CoreId, Domain, GranuleAddr, HwParams, Machine, RealmId};
+use cg_rmm::{Rmm, RmmConfig};
+use cg_rpc::SyncChannel;
+use cg_sim::{EventQueue, SimDuration, SimTime};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1000u64 {
+                q.schedule_at(SimTime::from_nanos((i * 7919) % 100_000 + 100_000), i);
+            }
+            while let Some(e) = q.pop() {
+                black_box(e);
+            }
+        })
+    });
+}
+
+fn bench_microarch(c: &mut Criterion) {
+    c.bench_function("machine_run_compute", |b| {
+        let mut m = Machine::new(HwParams::small());
+        let d = Domain::Realm(RealmId(0));
+        b.iter(|| black_box(m.run_compute(CoreId(0), d, SimDuration::micros(100))))
+    });
+    c.bench_function("machine_world_switch_pair", |b| {
+        let mut m = Machine::new(HwParams::small());
+        b.iter(|| black_box(m.same_core_rmm_call_cost(CoreId(0))))
+    });
+}
+
+fn bench_rpc_channel(c: &mut Criterion) {
+    c.bench_function("sync_channel_round_trip", |b| {
+        let params = HwParams::small();
+        b.iter_batched(
+            SyncChannel::<u64, u64>::new,
+            |mut ch| {
+                ch.post_request(1, SimTime::ZERO).unwrap();
+                let vis = ch.request_visible_at(&params).unwrap();
+                let req = ch.take_request(vis, &params).unwrap();
+                ch.post_response(req + 1, vis).unwrap();
+                let rvis = ch.response_visible_at(&params).unwrap();
+                black_box(ch.take_response(rvis, &params).unwrap());
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_rmi(c: &mut Criterion) {
+    c.bench_function("rmi_granule_delegate_undelegate", |b| {
+        let mut rmm = Rmm::new(RmmConfig::core_gapped());
+        let mut machine = Machine::new(HwParams::small());
+        let g = GranuleAddr::new(0x10_0000).unwrap();
+        b.iter(|| {
+            black_box(rmm.handle_rmi(CoreId(0), RmiCall::GranuleDelegate { addr: g }, &mut machine));
+            black_box(rmm.handle_rmi(
+                CoreId(0),
+                RmiCall::GranuleUndelegate { addr: g },
+                &mut machine,
+            ));
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_microarch,
+    bench_rpc_channel,
+    bench_rmi
+);
+criterion_main!(benches);

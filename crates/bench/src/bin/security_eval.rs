@@ -1,0 +1,43 @@
+//! The security evaluation: attacker/victim scenarios under each
+//! isolation configuration, checked by the taint machinery.
+
+use cg_bench::header;
+use cg_core::experiments::security::{run_attack, run_malicious_interruption, AttackScenario};
+use cg_sim::SimDuration;
+
+fn main() {
+    header("Security evaluation: what a co-resident attacker observes");
+    println!(
+        "{:<42} {:>7} {:>12} {:>14} {:>10} {:>18}",
+        "scenario", "probes", "same-core", "secret leaks", "LLC", "property holds"
+    );
+    for s in AttackScenario::ALL {
+        let o = run_attack(s, SimDuration::millis(200), 42);
+        println!(
+            "{:<42} {:>7} {:>12} {:>14} {:>10} {:>18}",
+            s.label(),
+            o.probes,
+            o.same_core_leaks,
+            o.same_core_secret_leaks,
+            o.llc_leaks,
+            if o.core_gapping_holds() { "YES" } else { "no" }
+        );
+    }
+    println!();
+    let o = run_malicious_interruption(
+        SimDuration::micros(100),
+        SimDuration::millis(200),
+        42,
+    );
+    println!("Malicious-host interruption storm (kick every 100 us, core-gapped victim):");
+    println!("  forced exits:                    {}", o.forced_exits);
+    println!("  victim made progress:            {}", o.victim_progressed);
+    println!("  host can reach victim's core:    {}", o.host_can_reach_victim_core);
+    println!("  victim leaks on host's cores:    {}", o.host_core_victim_leaks);
+    println!();
+    println!("Expected: both shared-core configurations leak the victim's secret through");
+    println!("per-core structures (the mitigation flush clears only BP/fill buffers);");
+    println!("core-gapped CVMs show zero same-core leakage. The shared-LLC observations");
+    println!("persist in every configuration — the explicit threat-model boundary (§2.4),");
+    println!("to be closed by hardware cache partitioning.");
+}

@@ -1,0 +1,12 @@
+//! Table 3: virtual inter-processor interrupt latency.
+
+use cg_bench::{header, row};
+use cg_core::experiments::latency::{run_vipi, IpiConfig};
+
+fn main() {
+    header("Table 3: virtual IPI latency (2-vCPU guest, SGI ping)");
+    for c in IpiConfig::ALL {
+        let s = run_vipi(c, 200, 42);
+        row(c.label(), s.mean(), c.paper_us(), "us");
+    }
+}

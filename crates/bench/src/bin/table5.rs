@@ -1,0 +1,28 @@
+//! Table 5: Redis benchmark — 50 clients, 512-byte objects, SR-IOV,
+//! 16 physical cores (15 vCPUs under core gapping).
+
+use cg_bench::{header, row};
+use cg_core::experiments::apps::{paper_redis, run_redis};
+use cg_workloads::redis::RedisCommand;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let requests = if quick { 20_000 } else { 100_000 };
+    header("Table 5: Redis benchmark (50 clients, 512-byte objects)");
+    for (cmd, name) in [
+        (RedisCommand::Set, "SET"),
+        (RedisCommand::Get, "GET"),
+        (RedisCommand::Lrange100, "LRANGE 100"),
+    ] {
+        for core_gapped in [false, true] {
+            let mode = if core_gapped { "core gapped" } else { "shared core" };
+            let m = run_redis(cmd, core_gapped, requests, 42);
+            let p = paper_redis(cmd, core_gapped);
+            row(&format!("{name} {mode} throughput"), m.krps, p.krps, "krps");
+            row(&format!("{name} {mode} mean latency"), m.mean_ms, p.mean_ms, "ms");
+            row(&format!("{name} {mode} p95 latency"), m.p95_ms, p.p95_ms, "ms");
+            row(&format!("{name} {mode} p99 latency"), m.p99_ms, p.p99_ms, "ms");
+        }
+        println!();
+    }
+}

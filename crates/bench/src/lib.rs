@@ -1,0 +1,50 @@
+//! # cg-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper's evaluation (§5), each
+//! printing paper-reported values next to measured values:
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `fig3` | the vulnerability timeline (§2.2) |
+//! | `table2` | null RMM call latencies (§4.3) |
+//! | `table3` | virtual IPI latencies (§4.4) |
+//! | `table4` | interrupt delegation effect on CoreMark-PRO exits |
+//! | `fig6` | CoreMark-PRO scaling with guest core count |
+//! | `fig7` | aggregate throughput of many 4-core VMs |
+//! | `fig8` | NetPIPE latency/throughput, virtio vs SR-IOV |
+//! | `fig9` | IOzone sync read/write throughput |
+//! | `fig10` | parallel kernel build time |
+//! | `table5` | Redis throughput and latency percentiles |
+//! | `security_eval` | the leakage analysis backing the security claim |
+//!
+//! Shared output helpers live here.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+
+/// Prints a section header.
+pub fn header(title: &str) {
+    println!();
+    println!("==== {title} ====");
+}
+
+/// Prints a `measured vs paper` row with relative deviation.
+pub fn row(name: &str, measured: f64, paper: f64, unit: &str) {
+    let dev = if paper != 0.0 {
+        format!("{:+6.1}%", (measured - paper) / paper * 100.0)
+    } else {
+        "   n/a".to_owned()
+    };
+    println!("{name:<52} measured {measured:>12.2} {unit:<5} paper {paper:>12.2} {unit:<5} {dev}");
+}
+
+/// Prints a plain measured row (no paper analogue).
+pub fn row_measured(name: &str, measured: impl Display, unit: &str) {
+    println!("{name:<52} measured {measured:>12} {unit:<5}");
+}
+
+/// Prints a table column header line.
+pub fn columns(cols: &[&str]) {
+    println!("{}", cols.join("\t"));
+}

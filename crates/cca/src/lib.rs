@@ -1,0 +1,38 @@
+//! # cg-cca — the confidential-computing architecture interface
+//!
+//! Models the architectural interface layer of Arm CCA that the paper's
+//! system is built on (paper §2.1, §4.1, table 1):
+//!
+//! * The **SMC calling convention** used by the host to reach trusted
+//!   firmware ([`smc`]).
+//! * The **Realm Management Interface (RMI)** — the host-facing command
+//!   set for creating realms, delegating memory, managing realm page
+//!   tables, and running vCPUs ([`rmi`]). Core gapping deliberately keeps
+//!   this API unchanged and only changes its *transport* (same-core SMC →
+//!   cross-core RPC).
+//! * The **Realm Services Interface (RSI)** — the guest-facing command set
+//!   ([`rsi`]).
+//! * The **REC entry/exit structures** exchanged on each vCPU run call,
+//!   including the virtual-interrupt list the host manages (fig. 5's
+//!   subject) ([`rec`]).
+//! * **Attestation measurements** binding the RMM image and realm contents
+//!   into the chain of trust — the property that lets a guest trust a
+//!   *modified* (core-gapping) RMM ([`measure`]).
+//!
+//! The unified terminology follows the paper's table 1: what Arm calls a
+//! realm VM / RMM is TDX's TD VM / TDX module and CoVE's TVM / TSM.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod measure;
+pub mod rec;
+pub mod rmi;
+pub mod rsi;
+pub mod smc;
+
+pub use measure::{AttestationToken, Measurement, PlatformCert};
+pub use rec::{RecEntry, RecExit, RecExitReason, RecRunArea};
+pub use rmi::{RecId, RmiCall, RmiStatus, RttLevel};
+pub use rsi::{RsiCall, RsiResult};
+pub use smc::{SmcCall, SmcFunction, SmcResult};

@@ -1,0 +1,232 @@
+//! Attestation measurements and tokens.
+//!
+//! The chain of trust that makes a *modified* RMM acceptable to guests
+//! (paper §6.1): the monitor measures the RMM image at boot, the RMM
+//! measures realm contents as they are loaded (the realm initial
+//! measurement, RIM), and an attestation token signed by a
+//! platform-vendor-rooted key binds both together with a caller challenge.
+//! A guest owner verifies the token against the *expected* core-gapping
+//! RMM measurement — exactly how they would verify a stock RMM.
+//!
+//! The digest here is a non-cryptographic 128-bit mix (FNV-1a style with
+//! finalisation). The workspace evaluates systems behaviour, not
+//! cryptography, so collision resistance against an adversary is out of
+//! scope — what matters is that different images/contents yield different
+//! measurements and verification is deterministic. This substitution is
+//! recorded in DESIGN.md.
+
+use std::fmt;
+
+/// A 128-bit measurement digest.
+///
+/// # Example
+///
+/// ```
+/// use cg_cca::Measurement;
+///
+/// let a = Measurement::of(b"rmm-image-v1");
+/// let b = Measurement::of(b"rmm-image-v2");
+/// assert_ne!(a, b);
+/// assert_eq!(a, Measurement::of(b"rmm-image-v1"));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Measurement(pub [u64; 2]);
+
+impl Measurement {
+    /// The all-zero measurement (unsealed / empty).
+    pub const ZERO: Measurement = Measurement([0; 2]);
+
+    /// Measures a byte string.
+    pub fn of(data: &[u8]) -> Measurement {
+        let mut m = Measurement::ZERO;
+        m.extend_bytes(data);
+        m
+    }
+
+    /// Extends this measurement with more data (hash-chaining, like a TPM
+    /// PCR extend).
+    pub fn extend(&mut self, other: Measurement) {
+        self.extend_words(other.0[0]);
+        self.extend_words(other.0[1]);
+    }
+
+    fn extend_bytes(&mut self, data: &[u8]) {
+        const PRIME: u64 = 0x0000_0100_0000_01B3;
+        let mut h0 = self.0[0] ^ 0xCBF2_9CE4_8422_2325;
+        let mut h1 = self.0[1] ^ 0x9E37_79B9_7F4A_7C15;
+        for &b in data {
+            h0 = (h0 ^ b as u64).wrapping_mul(PRIME);
+            h1 = (h1 ^ h0.rotate_left(29)).wrapping_mul(PRIME);
+        }
+        // Finalisation mix so short inputs diffuse across both words.
+        h0 ^= h0 >> 33;
+        h0 = h0.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        h1 ^= h1 >> 29;
+        h1 = h1.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+        self.0 = [h0 ^ h1.rotate_left(17), h1 ^ h0.rotate_left(43)];
+    }
+
+    fn extend_words(&mut self, w: u64) {
+        self.extend_bytes(&w.to_le_bytes());
+    }
+}
+
+impl fmt::Display for Measurement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}{:016x}", self.0[0], self.0[1])
+    }
+}
+
+/// A platform vendor certificate rooting the attestation chain.
+///
+/// Modelled as an identity plus a signing key-id; real deployments carry
+/// an X.509 chain to the CPU vendor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlatformCert {
+    /// Identifies the platform vendor / model.
+    pub vendor_id: u64,
+    /// Identifies the platform signing key.
+    pub key_id: u64,
+}
+
+impl PlatformCert {
+    /// A test vendor certificate.
+    pub fn example() -> PlatformCert {
+        PlatformCert {
+            vendor_id: 0x4152_4D00, // "ARM\0"
+            key_id: 1,
+        }
+    }
+
+    fn sign(&self, payload: Measurement) -> Measurement {
+        let mut sig = payload;
+        sig.extend(Measurement::of(&self.vendor_id.to_le_bytes()));
+        sig.extend(Measurement::of(&self.key_id.to_le_bytes()));
+        sig
+    }
+}
+
+/// A signed attestation token: the artifact a guest owner verifies before
+/// trusting a CVM (paper §2.1, §2.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttestationToken {
+    /// Measurement of the trusted firmware (monitor + RMM image). This is
+    /// where a core-gapping RMM differs from a stock RMM — visibly and
+    /// verifiably.
+    pub platform_measurement: Measurement,
+    /// The realm initial measurement (contents loaded pre-activation).
+    pub realm_measurement: Measurement,
+    /// The caller-provided challenge (freshness).
+    pub challenge: u64,
+    /// Signature over the above by the platform key.
+    pub signature: Measurement,
+}
+
+impl AttestationToken {
+    /// Issues a token (performed by the monitor/RMM on `RSI_ATTESTATION_TOKEN`).
+    pub fn issue(
+        cert: &PlatformCert,
+        platform_measurement: Measurement,
+        realm_measurement: Measurement,
+        challenge: u64,
+    ) -> AttestationToken {
+        let payload = Self::payload(platform_measurement, realm_measurement, challenge);
+        AttestationToken {
+            platform_measurement,
+            realm_measurement,
+            challenge,
+            signature: cert.sign(payload),
+        }
+    }
+
+    fn payload(platform: Measurement, realm: Measurement, challenge: u64) -> Measurement {
+        let mut p = Measurement::ZERO;
+        p.extend(platform);
+        p.extend(realm);
+        p.extend(Measurement::of(&challenge.to_le_bytes()));
+        p
+    }
+
+    /// Verifies the token against the issuing certificate, the expected
+    /// firmware measurement, and the challenge the verifier chose.
+    pub fn verify(
+        &self,
+        cert: &PlatformCert,
+        expected_platform: Measurement,
+        challenge: u64,
+    ) -> bool {
+        if self.platform_measurement != expected_platform || self.challenge != challenge {
+            return false;
+        }
+        let payload = Self::payload(self.platform_measurement, self.realm_measurement, challenge);
+        cert.sign(payload) == self.signature
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurement_is_deterministic_and_discriminating() {
+        assert_eq!(Measurement::of(b"abc"), Measurement::of(b"abc"));
+        assert_ne!(Measurement::of(b"abc"), Measurement::of(b"abd"));
+        assert_ne!(Measurement::of(b""), Measurement::of(b"\0"));
+    }
+
+    #[test]
+    fn extend_order_matters() {
+        let mut a = Measurement::ZERO;
+        a.extend(Measurement::of(b"x"));
+        a.extend(Measurement::of(b"y"));
+        let mut b = Measurement::ZERO;
+        b.extend(Measurement::of(b"y"));
+        b.extend(Measurement::of(b"x"));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn token_verifies_round_trip() {
+        let cert = PlatformCert::example();
+        let platform = Measurement::of(b"core-gapped-rmm-v0.3.0");
+        let realm = Measurement::of(b"guest-kernel+initrd");
+        let token = AttestationToken::issue(&cert, platform, realm, 0x1234);
+        assert!(token.verify(&cert, platform, 0x1234));
+    }
+
+    #[test]
+    fn token_rejects_wrong_platform_measurement() {
+        let cert = PlatformCert::example();
+        let platform = Measurement::of(b"core-gapped-rmm");
+        let token = AttestationToken::issue(&cert, platform, Measurement::of(b"g"), 1);
+        // The guest owner expected the *stock* RMM: verification fails, as
+        // it must — trust in the modified RMM is explicit.
+        assert!(!token.verify(&cert, Measurement::of(b"stock-rmm"), 1));
+    }
+
+    #[test]
+    fn token_rejects_wrong_challenge_and_forgery() {
+        let cert = PlatformCert::example();
+        let platform = Measurement::of(b"rmm");
+        let mut token = AttestationToken::issue(&cert, platform, Measurement::of(b"g"), 7);
+        assert!(!token.verify(&cert, platform, 8));
+        token.realm_measurement = Measurement::of(b"tampered");
+        assert!(!token.verify(&cert, platform, 7));
+    }
+
+    #[test]
+    fn different_keys_produce_different_signatures() {
+        let platform = Measurement::of(b"rmm");
+        let realm = Measurement::of(b"g");
+        let t1 = AttestationToken::issue(&PlatformCert { vendor_id: 1, key_id: 1 }, platform, realm, 1);
+        let t2 = AttestationToken::issue(&PlatformCert { vendor_id: 1, key_id: 2 }, platform, realm, 1);
+        assert_ne!(t1.signature, t2.signature);
+    }
+
+    #[test]
+    fn display_is_hex() {
+        let s = Measurement::of(b"abc").to_string();
+        assert_eq!(s.len(), 32);
+        assert!(s.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+}

@@ -1,0 +1,187 @@
+//! REC run-area structures: what host and RMM exchange on each vCPU run
+//! call.
+//!
+//! On a `RMI_REC_ENTER`, the host provides a [`RecEntry`] (including the
+//! list of virtual interrupts to install — fig. 5's `virtual list`), and
+//! receives a [`RecExit`] describing why the vCPU stopped. Under core
+//! gapping the same structures travel through the shared-memory RPC
+//! channel instead of registers + a shared granule, unchanged.
+
+use std::fmt;
+
+use cg_machine::IntId;
+
+/// Virtual interrupts the host asks the RMM to present to the guest, and
+/// the exit-time view the RMM returns. Each entry mirrors one `ich_lr`
+/// slot the *host believes* it manages; with interrupt delegation the RMM
+/// maintains the true physical list and exposes only this filtered view
+/// (paper §4.4, fig. 5).
+pub type VirtualInterruptList = Vec<IntId>;
+
+/// Host-provided state for entering a REC.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecEntry {
+    /// GPRs the host is allowed to set (only meaningful after exits that
+    /// expose registers, e.g. MMIO reads completing).
+    pub gprs: [u64; 8],
+    /// Virtual interrupts to inject (the host-visible list).
+    pub pending_interrupts: VirtualInterruptList,
+    /// Completion value for an MMIO read that caused the previous exit.
+    pub mmio_read_value: Option<u64>,
+}
+
+/// Why a REC stopped executing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RecExitReason {
+    /// The guest executed WFI with no pending virtual interrupt.
+    Wfi,
+    /// A physical interrupt targeting the host preempted the vCPU.
+    HostInterrupt,
+    /// The guest accessed emulated MMIO (device emulation required).
+    MmioRead {
+        /// Guest physical address of the access.
+        ipa: u64,
+        /// Access size in bytes.
+        size: u8,
+    },
+    /// The guest wrote emulated MMIO.
+    MmioWrite {
+        /// Guest physical address of the access.
+        ipa: u64,
+        /// Access size in bytes.
+        size: u8,
+        /// The value written.
+        value: u64,
+    },
+    /// The guest made a hypercall to the host (e.g. a virtio kick encoded
+    /// as a hostcall).
+    HostCall {
+        /// Hypercall immediate / function.
+        imm: u32,
+    },
+    /// A guest system-register access that the RMM does not emulate
+    /// locally (with delegation disabled this includes timer and ICC
+    /// registers).
+    SysregTrap {
+        /// Encoded system-register identifier.
+        sysreg: u32,
+    },
+    /// Stage-2 fault: the guest touched an unmapped IPA (the host must
+    /// resolve it, e.g. by mapping memory).
+    Stage2Fault {
+        /// Faulting IPA.
+        ipa: u64,
+    },
+    /// The guest requested power-off of this vCPU (PSCI CPU_OFF) or the
+    /// whole VM (SYSTEM_OFF): the vCPU is finished.
+    Shutdown,
+}
+
+impl RecExitReason {
+    /// Returns `true` if the exit was caused by interrupt handling
+    /// (physical interrupts or interrupt-controller virtualization) —
+    /// the category that table 4 counts as "interrupt-related exits".
+    pub fn is_interrupt_related(self) -> bool {
+        matches!(
+            self,
+            RecExitReason::HostInterrupt | RecExitReason::Wfi | RecExitReason::SysregTrap { .. }
+        )
+    }
+}
+
+impl fmt::Display for RecExitReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecExitReason::Wfi => write!(f, "wfi"),
+            RecExitReason::HostInterrupt => write!(f, "host-interrupt"),
+            RecExitReason::MmioRead { ipa, size } => write!(f, "mmio-read({ipa:#x},{size})"),
+            RecExitReason::MmioWrite { ipa, size, .. } => {
+                write!(f, "mmio-write({ipa:#x},{size})")
+            }
+            RecExitReason::HostCall { imm } => write!(f, "host-call({imm})"),
+            RecExitReason::SysregTrap { sysreg } => write!(f, "sysreg-trap({sysreg:#x})"),
+            RecExitReason::Stage2Fault { ipa } => write!(f, "stage2-fault({ipa:#x})"),
+            RecExitReason::Shutdown => write!(f, "shutdown"),
+        }
+    }
+}
+
+/// RMM-provided state on REC exit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecExit {
+    /// Why the vCPU stopped.
+    pub reason: RecExitReason,
+    /// Selected GPRs exposed to the host (only what exit handling needs —
+    /// the security monitor filters the rest).
+    pub gprs: [u64; 8],
+    /// The updated host-visible virtual interrupt list.
+    pub interrupts: VirtualInterruptList,
+}
+
+impl RecExit {
+    /// Creates an exit with empty register and interrupt state.
+    pub fn new(reason: RecExitReason) -> RecExit {
+        RecExit {
+            reason,
+            gprs: [0; 8],
+            interrupts: Vec::new(),
+        }
+    }
+}
+
+/// The shared run area: one granule of non-secure memory holding entry
+/// state before the call and exit state after it.
+#[derive(Debug, Clone, Default)]
+pub struct RecRunArea {
+    /// Host → RMM.
+    pub entry: RecEntry,
+    /// RMM → host (None until the first exit).
+    pub exit: Option<RecExit>,
+}
+
+impl RecRunArea {
+    /// Creates an empty run area.
+    pub fn new() -> RecRunArea {
+        RecRunArea::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interrupt_related_classification() {
+        assert!(RecExitReason::Wfi.is_interrupt_related());
+        assert!(RecExitReason::HostInterrupt.is_interrupt_related());
+        assert!(RecExitReason::SysregTrap { sysreg: 0x1 }.is_interrupt_related());
+        assert!(!RecExitReason::MmioRead { ipa: 0, size: 4 }.is_interrupt_related());
+        assert!(!RecExitReason::HostCall { imm: 0 }.is_interrupt_related());
+        assert!(!RecExitReason::Shutdown.is_interrupt_related());
+    }
+
+    #[test]
+    fn exit_constructor_defaults() {
+        let e = RecExit::new(RecExitReason::Wfi);
+        assert_eq!(e.reason, RecExitReason::Wfi);
+        assert!(e.interrupts.is_empty());
+        assert_eq!(e.gprs, [0; 8]);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(RecExitReason::Wfi.to_string(), "wfi");
+        assert_eq!(
+            RecExitReason::MmioWrite { ipa: 0x100, size: 4, value: 7 }.to_string(),
+            "mmio-write(0x100,4)"
+        );
+    }
+
+    #[test]
+    fn run_area_round_trip() {
+        let mut run = RecRunArea::new();
+        run.entry.pending_interrupts.push(IntId::spi(1));
+        run.exit = Some(RecExit::new(RecExitReason::Shutdown));
+        assert_eq!(run.exit.as_ref().unwrap().reason, RecExitReason::Shutdown);
+    }
+}

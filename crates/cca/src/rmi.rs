@@ -1,0 +1,536 @@
+//! The Realm Management Interface: the host-facing command set of the RMM.
+//!
+//! Follows the structure of Arm's RMM specification (DEN0137) that the
+//! paper's prototype (TF-RMM v0.3.0) implements: realm and REC lifecycle,
+//! granule delegation, realm translation table (RTT) manipulation, and the
+//! vCPU run call. The paper's key design constraint is that **this API is
+//! unchanged** by core gapping (§4.1): only the transport differs.
+
+use std::fmt;
+
+use cg_machine::{CoreId, GranuleAddr, RealmId};
+
+/// Identifies a REC (realm execution context, i.e. a vCPU) within a realm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RecId {
+    /// The owning realm.
+    pub realm: RealmId,
+    /// The vCPU index within the realm.
+    pub index: u32,
+}
+
+impl RecId {
+    /// Creates a REC id.
+    pub fn new(realm: RealmId, index: u32) -> RecId {
+        RecId { realm, index }
+    }
+}
+
+impl fmt::Display for RecId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.rec{}", self.realm, self.index)
+    }
+}
+
+/// RTT (stage-2 translation table) level. Level 0 is the root; level 3
+/// maps 4 KiB pages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RttLevel(pub u8);
+
+impl RttLevel {
+    /// The deepest level (4 KiB leaf mappings).
+    pub const LEAF: RttLevel = RttLevel(3);
+
+    /// The root level.
+    pub const ROOT: RttLevel = RttLevel(0);
+}
+
+/// An RMI command with its arguments.
+///
+/// Granule addresses refer to host physical memory; intermediate physical
+/// addresses (IPAs) are guest physical addresses inside a realm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RmiCall {
+    /// Queries the RMI ABI version.
+    Version,
+    /// Transfers a non-secure granule to realm world.
+    GranuleDelegate {
+        /// The granule to delegate.
+        addr: GranuleAddr,
+    },
+    /// Returns a delegated granule to non-secure state.
+    GranuleUndelegate {
+        /// The granule to reclaim.
+        addr: GranuleAddr,
+    },
+    /// Creates a realm, using `rd` as the realm descriptor granule.
+    RealmCreate {
+        /// Delegated granule to hold the realm descriptor.
+        rd: GranuleAddr,
+        /// Number of vCPUs the realm will have.
+        num_recs: u32,
+    },
+    /// Activates a realm (measurement is sealed; it may now run).
+    RealmActivate {
+        /// The realm to activate.
+        realm: RealmId,
+    },
+    /// Destroys a realm (all RECs and memory must be released first).
+    RealmDestroy {
+        /// The realm to destroy.
+        realm: RealmId,
+    },
+    /// Creates a REC (vCPU context) for a realm.
+    RecCreate {
+        /// The owning realm.
+        realm: RealmId,
+        /// The vCPU index.
+        index: u32,
+        /// Delegated granule to hold the REC.
+        rec: GranuleAddr,
+    },
+    /// Destroys a REC.
+    RecDestroy {
+        /// The REC to destroy.
+        rec: RecId,
+    },
+    /// Adds a page of protected data to a pre-activation realm, measured
+    /// into the realm's initial measurement.
+    DataCreate {
+        /// The owning realm.
+        realm: RealmId,
+        /// Delegated granule that becomes the realm data page.
+        data: GranuleAddr,
+        /// The IPA at which to map it.
+        ipa: u64,
+    },
+    /// Removes a protected data page from a realm.
+    DataDestroy {
+        /// The owning realm.
+        realm: RealmId,
+        /// The IPA to unmap and destroy.
+        ipa: u64,
+    },
+    /// Creates an RTT table granule at the given level for an IPA range.
+    RttCreate {
+        /// The owning realm.
+        realm: RealmId,
+        /// Delegated granule that becomes the RTT node.
+        rtt: GranuleAddr,
+        /// Base IPA covered by the new table.
+        ipa: u64,
+        /// Level of the new table.
+        level: RttLevel,
+    },
+    /// Maps an unprotected (shared, non-secure) page into a realm.
+    RttMapUnprotected {
+        /// The owning realm.
+        realm: RealmId,
+        /// The IPA at which to map (in the unprotected half of the IPA
+        /// space).
+        ipa: u64,
+        /// The non-secure physical granule to map.
+        addr: GranuleAddr,
+    },
+    /// Unmaps an unprotected page.
+    RttUnmapUnprotected {
+        /// The owning realm.
+        realm: RealmId,
+        /// The IPA to unmap.
+        ipa: u64,
+    },
+    /// Runs a REC (the vCPU run call). The run area carries entry state in
+    /// and exit state out (see [`crate::rec`]).
+    RecEnter {
+        /// The REC to run.
+        rec: RecId,
+        /// Granule holding the shared run area.
+        run: GranuleAddr,
+    },
+}
+
+impl RmiCall {
+    /// The RMI opcode used in the SMC encoding.
+    pub fn opcode(&self) -> u16 {
+        match self {
+            RmiCall::Version => 0x00,
+            RmiCall::GranuleDelegate { .. } => 0x01,
+            RmiCall::GranuleUndelegate { .. } => 0x02,
+            RmiCall::RealmCreate { .. } => 0x08,
+            RmiCall::RealmActivate { .. } => 0x07,
+            RmiCall::RealmDestroy { .. } => 0x09,
+            RmiCall::RecCreate { .. } => 0x0A,
+            RmiCall::RecDestroy { .. } => 0x0B,
+            RmiCall::DataCreate { .. } => 0x03,
+            RmiCall::DataDestroy { .. } => 0x04,
+            RmiCall::RttCreate { .. } => 0x0D,
+            RmiCall::RttMapUnprotected { .. } => 0x0F,
+            RmiCall::RttUnmapUnprotected { .. } => 0x11,
+            RmiCall::RecEnter { .. } => 0x0C,
+        }
+    }
+
+    /// Returns `true` for the vCPU run call — the one *unbounded* RMI
+    /// operation, which core gapping carries over the asynchronous RPC
+    /// transport while all others stay synchronous (paper §4.3).
+    pub fn is_run_call(&self) -> bool {
+        matches!(self, RmiCall::RecEnter { .. })
+    }
+}
+
+impl RmiCall {
+    /// Marshals the call into its SMC form: the RMI opcode selects the
+    /// function identifier and the operands travel in x1–x6 following
+    /// the register layout of the RMM specification.
+    pub fn to_smc(&self) -> crate::smc::SmcCall {
+        use crate::smc::{SmcCall, SmcFunction};
+        let mut args = [0u64; 6];
+        match *self {
+            RmiCall::Version => {}
+            RmiCall::GranuleDelegate { addr } | RmiCall::GranuleUndelegate { addr } => {
+                args[0] = addr.as_u64();
+            }
+            RmiCall::RealmCreate { rd, num_recs } => {
+                args[0] = rd.as_u64();
+                args[1] = num_recs as u64;
+            }
+            RmiCall::RealmActivate { realm } | RmiCall::RealmDestroy { realm } => {
+                args[0] = realm.0 as u64;
+            }
+            RmiCall::RecCreate { realm, index, rec } => {
+                args[0] = realm.0 as u64;
+                args[1] = index as u64;
+                args[2] = rec.as_u64();
+            }
+            RmiCall::RecDestroy { rec } => {
+                args[0] = rec.realm.0 as u64;
+                args[1] = rec.index as u64;
+            }
+            RmiCall::DataCreate { realm, data, ipa } => {
+                args[0] = realm.0 as u64;
+                args[1] = data.as_u64();
+                args[2] = ipa;
+            }
+            RmiCall::DataDestroy { realm, ipa } => {
+                args[0] = realm.0 as u64;
+                args[1] = ipa;
+            }
+            RmiCall::RttCreate { realm, rtt, ipa, level } => {
+                args[0] = realm.0 as u64;
+                args[1] = rtt.as_u64();
+                args[2] = ipa;
+                args[3] = level.0 as u64;
+            }
+            RmiCall::RttMapUnprotected { realm, ipa, addr } => {
+                args[0] = realm.0 as u64;
+                args[1] = ipa;
+                args[2] = addr.as_u64();
+            }
+            RmiCall::RttUnmapUnprotected { realm, ipa } => {
+                args[0] = realm.0 as u64;
+                args[1] = ipa;
+            }
+            RmiCall::RecEnter { rec, run } => {
+                args[0] = rec.realm.0 as u64;
+                args[1] = rec.index as u64;
+                args[2] = run.as_u64();
+            }
+        }
+        SmcCall {
+            function: SmcFunction::Rmi(self.opcode()),
+            args,
+        }
+    }
+
+    /// Unmarshals an SMC back into an RMI call. Returns `None` for
+    /// non-RMI functions, unknown opcodes, or malformed operands
+    /// (unaligned granule addresses).
+    pub fn from_smc(call: &crate::smc::SmcCall) -> Option<RmiCall> {
+        use crate::smc::SmcFunction;
+        let SmcFunction::Rmi(op) = call.function else {
+            return None;
+        };
+        let a = &call.args;
+        let g = |v: u64| GranuleAddr::new(v);
+        Some(match op {
+            0x00 => RmiCall::Version,
+            0x01 => RmiCall::GranuleDelegate { addr: g(a[0])? },
+            0x02 => RmiCall::GranuleUndelegate { addr: g(a[0])? },
+            0x08 => RmiCall::RealmCreate {
+                rd: g(a[0])?,
+                num_recs: a[1] as u32,
+            },
+            0x07 => RmiCall::RealmActivate { realm: RealmId(a[0] as u32) },
+            0x09 => RmiCall::RealmDestroy { realm: RealmId(a[0] as u32) },
+            0x0A => RmiCall::RecCreate {
+                realm: RealmId(a[0] as u32),
+                index: a[1] as u32,
+                rec: g(a[2])?,
+            },
+            0x0B => RmiCall::RecDestroy {
+                rec: RecId::new(RealmId(a[0] as u32), a[1] as u32),
+            },
+            0x03 => RmiCall::DataCreate {
+                realm: RealmId(a[0] as u32),
+                data: g(a[1])?,
+                ipa: a[2],
+            },
+            0x04 => RmiCall::DataDestroy {
+                realm: RealmId(a[0] as u32),
+                ipa: a[1],
+            },
+            0x0D => RmiCall::RttCreate {
+                realm: RealmId(a[0] as u32),
+                rtt: g(a[1])?,
+                ipa: a[2],
+                level: RttLevel(a[3] as u8),
+            },
+            0x0F => RmiCall::RttMapUnprotected {
+                realm: RealmId(a[0] as u32),
+                ipa: a[1],
+                addr: g(a[2])?,
+            },
+            0x11 => RmiCall::RttUnmapUnprotected {
+                realm: RealmId(a[0] as u32),
+                ipa: a[1],
+            },
+            0x0C => RmiCall::RecEnter {
+                rec: RecId::new(RealmId(a[0] as u32), a[1] as u32),
+                run: g(a[2])?,
+            },
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for RmiCall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RmiCall::Version => write!(f, "RMI_VERSION"),
+            RmiCall::GranuleDelegate { addr } => write!(f, "RMI_GRANULE_DELEGATE({addr})"),
+            RmiCall::GranuleUndelegate { addr } => write!(f, "RMI_GRANULE_UNDELEGATE({addr})"),
+            RmiCall::RealmCreate { rd, num_recs } => {
+                write!(f, "RMI_REALM_CREATE(rd={rd}, recs={num_recs})")
+            }
+            RmiCall::RealmActivate { realm } => write!(f, "RMI_REALM_ACTIVATE({realm})"),
+            RmiCall::RealmDestroy { realm } => write!(f, "RMI_REALM_DESTROY({realm})"),
+            RmiCall::RecCreate { realm, index, .. } => {
+                write!(f, "RMI_REC_CREATE({realm}.rec{index})")
+            }
+            RmiCall::RecDestroy { rec } => write!(f, "RMI_REC_DESTROY({rec})"),
+            RmiCall::DataCreate { realm, ipa, .. } => {
+                write!(f, "RMI_DATA_CREATE({realm}, ipa={ipa:#x})")
+            }
+            RmiCall::DataDestroy { realm, ipa } => {
+                write!(f, "RMI_DATA_DESTROY({realm}, ipa={ipa:#x})")
+            }
+            RmiCall::RttCreate { realm, ipa, level, .. } => {
+                write!(f, "RMI_RTT_CREATE({realm}, ipa={ipa:#x}, level={})", level.0)
+            }
+            RmiCall::RttMapUnprotected { realm, ipa, .. } => {
+                write!(f, "RMI_RTT_MAP_UNPROTECTED({realm}, ipa={ipa:#x})")
+            }
+            RmiCall::RttUnmapUnprotected { realm, ipa } => {
+                write!(f, "RMI_RTT_UNMAP_UNPROTECTED({realm}, ipa={ipa:#x})")
+            }
+            RmiCall::RecEnter { rec, .. } => write!(f, "RMI_REC_ENTER({rec})"),
+        }
+    }
+}
+
+/// Status codes returned by RMI commands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RmiStatus {
+    /// The command succeeded.
+    Success,
+    /// An argument was malformed (unaligned address, bad index, …).
+    ErrorInput,
+    /// The referenced realm does not exist or is in the wrong state.
+    ErrorRealm,
+    /// The referenced REC does not exist or is in the wrong state.
+    ErrorRec,
+    /// The RTT walk failed (missing table, existing mapping, …).
+    ErrorRtt,
+    /// A granule was in the wrong state for the operation.
+    ErrorGranule,
+    /// The resource is in use (e.g. destroying a realm with live RECs).
+    ErrorInUse,
+    /// Core-gapping enforcement: the vCPU is bound to a different
+    /// physical core, or the target core is bound to a different realm
+    /// (paper §4.2: "any attempts by the hypervisor to dispatch a vCPU on
+    /// the wrong core fail").
+    ErrorCoreBinding,
+}
+
+impl RmiStatus {
+    /// Returns `true` on success.
+    pub fn is_success(self) -> bool {
+        self == RmiStatus::Success
+    }
+
+    /// Encodes as the x0 status register value.
+    pub fn to_code(self) -> u64 {
+        match self {
+            RmiStatus::Success => 0,
+            RmiStatus::ErrorInput => 1,
+            RmiStatus::ErrorRealm => 2,
+            RmiStatus::ErrorRec => 3,
+            RmiStatus::ErrorRtt => 4,
+            RmiStatus::ErrorGranule => 5,
+            RmiStatus::ErrorInUse => 6,
+            RmiStatus::ErrorCoreBinding => 7,
+        }
+    }
+
+    /// Decodes from the x0 status register value.
+    pub fn from_code(code: u64) -> Option<RmiStatus> {
+        Some(match code {
+            0 => RmiStatus::Success,
+            1 => RmiStatus::ErrorInput,
+            2 => RmiStatus::ErrorRealm,
+            3 => RmiStatus::ErrorRec,
+            4 => RmiStatus::ErrorRtt,
+            5 => RmiStatus::ErrorGranule,
+            6 => RmiStatus::ErrorInUse,
+            7 => RmiStatus::ErrorCoreBinding,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for RmiStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// The binding of a vCPU to a physical core, as enforced by the
+/// core-gapped RMM and chosen by the host's core planner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CoreBinding {
+    /// The bound vCPU.
+    pub rec: RecId,
+    /// The physical core it must run on.
+    pub core: CoreId,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_codes_round_trip() {
+        for s in [
+            RmiStatus::Success,
+            RmiStatus::ErrorInput,
+            RmiStatus::ErrorRealm,
+            RmiStatus::ErrorRec,
+            RmiStatus::ErrorRtt,
+            RmiStatus::ErrorGranule,
+            RmiStatus::ErrorInUse,
+            RmiStatus::ErrorCoreBinding,
+        ] {
+            assert_eq!(RmiStatus::from_code(s.to_code()), Some(s));
+        }
+        assert_eq!(RmiStatus::from_code(99), None);
+    }
+
+    #[test]
+    fn only_rec_enter_is_a_run_call() {
+        let run = RmiCall::RecEnter {
+            rec: RecId::new(RealmId(0), 0),
+            run: GranuleAddr::new(0x1000).unwrap(),
+        };
+        assert!(run.is_run_call());
+        assert!(!RmiCall::Version.is_run_call());
+        assert!(!RmiCall::RealmActivate { realm: RealmId(0) }.is_run_call());
+    }
+
+    #[test]
+    fn opcodes_are_distinct() {
+        use std::collections::HashSet;
+        let g = GranuleAddr::new(0x1000).unwrap();
+        let r = RealmId(0);
+        let calls = [
+            RmiCall::Version,
+            RmiCall::GranuleDelegate { addr: g },
+            RmiCall::GranuleUndelegate { addr: g },
+            RmiCall::RealmCreate { rd: g, num_recs: 1 },
+            RmiCall::RealmActivate { realm: r },
+            RmiCall::RealmDestroy { realm: r },
+            RmiCall::RecCreate { realm: r, index: 0, rec: g },
+            RmiCall::RecDestroy { rec: RecId::new(r, 0) },
+            RmiCall::DataCreate { realm: r, data: g, ipa: 0 },
+            RmiCall::DataDestroy { realm: r, ipa: 0 },
+            RmiCall::RttCreate { realm: r, rtt: g, ipa: 0, level: RttLevel(1) },
+            RmiCall::RttMapUnprotected { realm: r, ipa: 0, addr: g },
+            RmiCall::RttUnmapUnprotected { realm: r, ipa: 0 },
+            RmiCall::RecEnter { rec: RecId::new(r, 0), run: g },
+        ];
+        let opcodes: HashSet<u16> = calls.iter().map(|c| c.opcode()).collect();
+        assert_eq!(opcodes.len(), calls.len());
+    }
+
+    #[test]
+    fn display_names_follow_spec_style() {
+        let s = RmiCall::GranuleDelegate {
+            addr: GranuleAddr::new(0x2000).unwrap(),
+        }
+        .to_string();
+        assert!(s.starts_with("RMI_GRANULE_DELEGATE"));
+        assert_eq!(RecId::new(RealmId(3), 1).to_string(), "realm3.rec1");
+    }
+
+    #[test]
+    fn smc_marshalling_round_trips() {
+        let g = GranuleAddr::new(0x3000).unwrap();
+        let r = RealmId(5);
+        let calls = [
+            RmiCall::Version,
+            RmiCall::GranuleDelegate { addr: g },
+            RmiCall::GranuleUndelegate { addr: g },
+            RmiCall::RealmCreate { rd: g, num_recs: 9 },
+            RmiCall::RealmActivate { realm: r },
+            RmiCall::RealmDestroy { realm: r },
+            RmiCall::RecCreate { realm: r, index: 2, rec: g },
+            RmiCall::RecDestroy { rec: RecId::new(r, 2) },
+            RmiCall::DataCreate { realm: r, data: g, ipa: 0x7000 },
+            RmiCall::DataDestroy { realm: r, ipa: 0x7000 },
+            RmiCall::RttCreate { realm: r, rtt: g, ipa: 0, level: RttLevel(2) },
+            RmiCall::RttMapUnprotected { realm: r, ipa: 0x9000, addr: g },
+            RmiCall::RttUnmapUnprotected { realm: r, ipa: 0x9000 },
+            RmiCall::RecEnter { rec: RecId::new(r, 1), run: g },
+        ];
+        for call in calls {
+            let smc = call.to_smc();
+            assert_eq!(RmiCall::from_smc(&smc), Some(call), "{call}");
+        }
+    }
+
+    #[test]
+    fn malformed_smc_rejected() {
+        use crate::smc::{SmcCall, SmcFunction};
+        // Non-RMI function.
+        assert_eq!(
+            RmiCall::from_smc(&SmcCall::nullary(SmcFunction::ArchVersion)),
+            None
+        );
+        // Unknown opcode.
+        assert_eq!(
+            RmiCall::from_smc(&SmcCall::nullary(SmcFunction::Rmi(0x7F))),
+            None
+        );
+        // Unaligned granule address.
+        let smc = SmcCall {
+            function: SmcFunction::Rmi(0x01),
+            args: [0x1001, 0, 0, 0, 0, 0],
+        };
+        assert_eq!(RmiCall::from_smc(&smc), None);
+    }
+
+    #[test]
+    fn rtt_levels() {
+        assert!(RttLevel::ROOT < RttLevel::LEAF);
+        assert_eq!(RttLevel::LEAF, RttLevel(3));
+    }
+}

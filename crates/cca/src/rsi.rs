@@ -1,0 +1,90 @@
+//! The Realm Services Interface: the guest-facing command set of the RMM.
+//!
+//! Realm guests invoke the RMM through hypercalls in the RSI range. The
+//! workspace uses RSI for attestation-token retrieval (how a guest gains
+//! confidence in the — possibly core-gapping — RMM it runs on) and for the
+//! host-call mechanism guests use to talk to untrusted devices.
+
+use std::fmt;
+
+use crate::measure::AttestationToken;
+
+/// An RSI command issued by a realm guest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RsiCall {
+    /// Queries the RSI ABI version.
+    Version,
+    /// Requests an attestation token over the given user challenge.
+    AttestationToken {
+        /// Caller-chosen nonce bound into the token.
+        challenge: u64,
+    },
+    /// Queries the configuration of the running realm (IPA width, etc.).
+    RealmConfig,
+    /// Passes a message to the untrusted host (used by paravirtualised
+    /// I/O front-ends).
+    HostCall {
+        /// Hypercall immediate / function.
+        imm: u32,
+    },
+}
+
+impl fmt::Display for RsiCall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RsiCall::Version => write!(f, "RSI_VERSION"),
+            RsiCall::AttestationToken { challenge } => {
+                write!(f, "RSI_ATTESTATION_TOKEN({challenge:#x})")
+            }
+            RsiCall::RealmConfig => write!(f, "RSI_REALM_CONFIG"),
+            RsiCall::HostCall { imm } => write!(f, "RSI_HOST_CALL({imm})"),
+        }
+    }
+}
+
+/// The result of an RSI command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RsiResult {
+    /// Version reply: `(major, minor)`.
+    Version(u16, u16),
+    /// A signed attestation token.
+    Token(AttestationToken),
+    /// Realm configuration reply: IPA width in bits.
+    RealmConfig {
+        /// Width of the realm's IPA space in bits.
+        ipa_width: u8,
+    },
+    /// The host call completed (the host's reply travels through shared
+    /// memory, not this result).
+    HostCallDone,
+    /// The call failed.
+    Error,
+}
+
+impl RsiResult {
+    /// Returns `true` unless the result is [`RsiResult::Error`].
+    pub fn is_success(&self) -> bool {
+        !matches!(self, RsiResult::Error)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(RsiCall::Version.to_string(), "RSI_VERSION");
+        assert_eq!(
+            RsiCall::AttestationToken { challenge: 0xAB }.to_string(),
+            "RSI_ATTESTATION_TOKEN(0xab)"
+        );
+    }
+
+    #[test]
+    fn success_classification() {
+        assert!(RsiResult::Version(1, 0).is_success());
+        assert!(RsiResult::HostCallDone.is_success());
+        assert!(!RsiResult::Error.is_success());
+    }
+}

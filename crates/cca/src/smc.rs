@@ -1,0 +1,171 @@
+//! The SMC calling convention (Arm DEN0028).
+//!
+//! Hosts reach trusted firmware through `SMC` instructions carrying a
+//! function identifier and up to six arguments in registers. The function
+//! identifier encodes the owning service: RMI calls live in the standard
+//! secure-service range. We model only what the workspace needs: function
+//! identity, arguments, and results.
+
+use std::fmt;
+
+/// The service that owns an SMC function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SmcFunction {
+    /// Arm architecture service (e.g. version queries).
+    ArchVersion,
+    /// Power State Coordination Interface (CPU on/off — used by the
+    /// hotplug path).
+    PsciCpuOff,
+    /// PSCI CPU_ON.
+    PsciCpuOn,
+    /// A Realm Management Interface call, identified by its RMI opcode.
+    Rmi(u16),
+    /// The core-gapping extension: hand the calling (offline) core to the
+    /// RMM instead of powering it down (paper §4.2).
+    CoreDedicate,
+    /// The core-gapping extension: reclaim a dedicated core once its
+    /// realm has been destroyed.
+    CoreReclaim,
+}
+
+impl SmcFunction {
+    /// Encodes the function into a 32-bit SMC function identifier
+    /// (fast-call, SMC64, standard-secure-service owner).
+    pub fn to_fid(self) -> u32 {
+        const FAST_SMC64_STD: u32 = 0xC400_0000;
+        match self {
+            SmcFunction::ArchVersion => 0x8000_0000,
+            SmcFunction::PsciCpuOff => FAST_SMC64_STD | 0x0002,
+            SmcFunction::PsciCpuOn => FAST_SMC64_STD | 0x0003,
+            // The RMI occupies 0xC4000150..0xC40001CF in the published ABI.
+            SmcFunction::Rmi(op) => FAST_SMC64_STD | (0x0150 + op as u32),
+            // Vendor-specific extension space for the prototype's calls.
+            SmcFunction::CoreDedicate => FAST_SMC64_STD | 0x8000,
+            SmcFunction::CoreReclaim => FAST_SMC64_STD | 0x8001,
+        }
+    }
+
+    /// Decodes a function identifier back into a known function.
+    pub fn from_fid(fid: u32) -> Option<SmcFunction> {
+        const FAST_SMC64_STD: u32 = 0xC400_0000;
+        match fid {
+            0x8000_0000 => Some(SmcFunction::ArchVersion),
+            f if f == FAST_SMC64_STD | 0x0002 => Some(SmcFunction::PsciCpuOff),
+            f if f == FAST_SMC64_STD | 0x0003 => Some(SmcFunction::PsciCpuOn),
+            f if f == FAST_SMC64_STD | 0x8000 => Some(SmcFunction::CoreDedicate),
+            f if f == FAST_SMC64_STD | 0x8001 => Some(SmcFunction::CoreReclaim),
+            f if (FAST_SMC64_STD | 0x0150..=FAST_SMC64_STD | 0x01CF).contains(&f) => {
+                Some(SmcFunction::Rmi((f - (FAST_SMC64_STD | 0x0150)) as u16))
+            }
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for SmcFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SmcFunction::ArchVersion => write!(f, "ARCH_VERSION"),
+            SmcFunction::PsciCpuOff => write!(f, "PSCI_CPU_OFF"),
+            SmcFunction::PsciCpuOn => write!(f, "PSCI_CPU_ON"),
+            SmcFunction::Rmi(op) => write!(f, "RMI[{op:#x}]"),
+            SmcFunction::CoreDedicate => write!(f, "CORE_DEDICATE"),
+            SmcFunction::CoreReclaim => write!(f, "CORE_RECLAIM"),
+        }
+    }
+}
+
+/// An SMC invocation: function plus register arguments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SmcCall {
+    /// The invoked function.
+    pub function: SmcFunction,
+    /// Arguments in x1–x6.
+    pub args: [u64; 6],
+}
+
+impl SmcCall {
+    /// Creates a call with no arguments.
+    pub fn nullary(function: SmcFunction) -> SmcCall {
+        SmcCall {
+            function,
+            args: [0; 6],
+        }
+    }
+
+    /// Creates a call with one argument.
+    pub fn unary(function: SmcFunction, a0: u64) -> SmcCall {
+        SmcCall {
+            function,
+            args: [a0, 0, 0, 0, 0, 0],
+        }
+    }
+}
+
+/// An SMC result: up to four return registers (x0–x3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SmcResult {
+    /// Return values in x0–x3; x0 conventionally carries the status.
+    pub regs: [u64; 4],
+}
+
+impl SmcResult {
+    /// A success result with status 0.
+    pub const SUCCESS: SmcResult = SmcResult { regs: [0; 4] };
+
+    /// Creates a result with only a status in x0.
+    pub fn status(code: u64) -> SmcResult {
+        SmcResult {
+            regs: [code, 0, 0, 0],
+        }
+    }
+
+    /// The status register (x0).
+    pub fn status_code(&self) -> u64 {
+        self.regs[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fid_round_trips() {
+        for f in [
+            SmcFunction::ArchVersion,
+            SmcFunction::PsciCpuOff,
+            SmcFunction::PsciCpuOn,
+            SmcFunction::Rmi(0),
+            SmcFunction::Rmi(0x42),
+            SmcFunction::CoreDedicate,
+            SmcFunction::CoreReclaim,
+        ] {
+            assert_eq!(SmcFunction::from_fid(f.to_fid()), Some(f), "{f}");
+        }
+    }
+
+    #[test]
+    fn unknown_fid_is_none() {
+        assert_eq!(SmcFunction::from_fid(0xDEAD_BEEF), None);
+    }
+
+    #[test]
+    fn rmi_fids_are_fast_smc64() {
+        let fid = SmcFunction::Rmi(1).to_fid();
+        assert_eq!(fid & 0xFF00_0000, 0xC400_0000);
+    }
+
+    #[test]
+    fn call_constructors() {
+        let c = SmcCall::unary(SmcFunction::PsciCpuOff, 3);
+        assert_eq!(c.args[0], 3);
+        assert_eq!(SmcCall::nullary(SmcFunction::ArchVersion).args, [0; 6]);
+    }
+
+    #[test]
+    fn result_status() {
+        assert_eq!(SmcResult::SUCCESS.status_code(), 0);
+        assert_eq!(SmcResult::status(7).status_code(), 7);
+    }
+}

@@ -1,0 +1,467 @@
+//! VM construction: admission, core dedication, realm build, threads.
+
+use std::collections::VecDeque;
+
+use cg_cca::{RmiCall, RttLevel};
+use cg_host::{DeviceKind, KvmVm, SchedClass, ThreadKind, VmExecMode, WakeupThread};
+use cg_machine::{CoreId, GranuleAddr, RealmId};
+use cg_rpc::SyncChannel;
+
+use cg_workloads::{GuestProgram, NetPeer};
+
+use crate::config::{RunTransport, VmSpec};
+use crate::event::SystemEvent;
+use crate::system::{DeviceInstance, System, ThreadCont, ThreadCtx, VcpuRt, Vm, VmId};
+
+impl System {
+    /// Adds a VM to the system: admits it, dedicates cores (core-gapped
+    /// mode), builds the realm through the RMI (confidential modes),
+    /// attaches devices, and spawns its host threads. The VM starts
+    /// executing immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when admission fails (not enough cores) or
+    /// the spec is inconsistent with the system configuration.
+    pub fn add_vm(
+        &mut self,
+        spec: VmSpec,
+        guest: Box<dyn GuestProgram>,
+        peer: Option<Box<dyn NetPeer>>,
+    ) -> Result<VmId, String> {
+        if spec.vcpus == 0 {
+            return Err("a VM needs at least one vCPU".into());
+        }
+        match spec.mode {
+            VmExecMode::CoreGapped => {
+                if !self.config.rmm.core_gapping {
+                    return Err("core-gapped VM on a non-core-gapping RMM".into());
+                }
+            }
+            VmExecMode::SharedCoreConfidential => {
+                if self.config.rmm.core_gapping {
+                    return Err("shared-core CVM requires RmmConfig::shared_core()".into());
+                }
+            }
+            VmExecMode::SharedCore => {}
+        }
+        let vm_id = VmId(self.vms.len());
+        let now = self.now();
+
+        // ----- placement -----
+        let (realm, cores) = match spec.mode {
+            VmExecMode::CoreGapped => {
+                let realm = RealmId(self.rmm.realm_count());
+                let cores = match &spec.vcpu_cores {
+                    Some(c) => {
+                        if c.len() != spec.vcpus as usize {
+                            return Err("vcpu_cores length must equal vcpus".into());
+                        }
+                        c.clone()
+                    }
+                    None => self
+                        .planner
+                        .admit(realm, spec.vcpus as u16)
+                        .map_err(|e| e.to_string())?,
+                };
+                // Hotplug each core offline and hand it to the RMM.
+                for &core in &cores {
+                    cg_host::hotplug::offline_for_dedication(
+                        core,
+                        &mut self.sched,
+                        &mut self.machine,
+                        cg_sim::SimDuration::millis(2),
+                    );
+                    self.rmm
+                        .dedicate_core(core, &mut self.machine)
+                        .map_err(|e| e.to_string())?;
+                    self.cores[core.index()].run = crate::system::CoreRun::RmmPolling;
+                }
+                (realm, cores)
+            }
+            VmExecMode::SharedCoreConfidential => {
+                let realm = RealmId(self.rmm.realm_count());
+                (realm, self.shared_placement(&spec)?)
+            }
+            VmExecMode::SharedCore => {
+                let realm = RealmId(self.next_fake_realm);
+                self.next_fake_realm += 1;
+                (realm, self.shared_placement(&spec)?)
+            }
+        };
+
+        // ----- realm construction (confidential modes) -----
+        if spec.mode.is_confidential() {
+            self.build_realm(realm, spec.vcpus, vm_id)?;
+        }
+
+        // ----- KVM VM + devices -----
+        let mut kvm = KvmVm::new(realm, spec.mode, spec.vcpus);
+        let mut vmm = cg_host::Vmm::new();
+        let mut devices = Vec::new();
+        // VMM threads are restricted to the host cores in every mode: in
+        // shared-core experiments the host cores *are* the workload's N
+        // cores (§5.1); under core gapping they are the single extra core.
+        let host_cores = self.host_cores();
+        let vmm_affinity: Vec<CoreId> = host_cores.clone();
+        for (idx, &kind) in spec.devices.iter().enumerate() {
+            let dev_id = vmm.add_device(kind);
+            let spi = self.alloc_spi();
+            // Device SPIs normally route to the host core; with the
+            // direct-delivery extension they route to the CVM's first
+            // dedicated core, where the RMM injects them locally (§5.3).
+            let route = if self.config.rmm.direct_device_delivery
+                && spec.mode == VmExecMode::CoreGapped
+            {
+                cores[0]
+            } else {
+                host_cores[0]
+            };
+            self.machine.gic_mut().route_spi(spi, route);
+            kvm.devices_mut().route(idx as u32, dev_id);
+            let io_thread = if kind == DeviceKind::SriovNic {
+                None
+            } else {
+                let tid = self.sched.spawn(
+                    ThreadKind::VmmIo(dev_id),
+                    SchedClass::Fair,
+                    vmm_affinity.iter().copied(),
+                );
+                self.threads.insert(
+                    tid,
+                    ThreadCtx {
+                        cont: ThreadCont::VmmDrain {
+                            vm: vm_id,
+                            device: idx as u32,
+                            staged: None,
+                        },
+                        pending: cg_sim::SimDuration::ZERO,
+                    },
+                );
+                Some(tid)
+            };
+            devices.push(DeviceInstance {
+                id: dev_id,
+                kind,
+                spi,
+                io_thread,
+                rx_inbox: VecDeque::new(),
+                rx_pending: VecDeque::new(),
+                done_queue: VecDeque::new(),
+                rx_count: 0,
+                pending_notify: 0,
+                tag_owner: std::collections::HashMap::new(),
+            });
+        }
+
+        // ----- vCPU threads -----
+        let mut vcpus = Vec::new();
+        let mut run_channels = Vec::new();
+        for i in 0..spec.vcpus {
+            let (class, affinity) = match spec.mode {
+                VmExecMode::CoreGapped => (SchedClass::Fifo(2), host_cores.clone()),
+                _ => (SchedClass::Fair, vec![cores[i as usize]]),
+            };
+            let tid = self.sched.spawn(
+                ThreadKind::Vcpu(kvm.rec(i)),
+                class,
+                affinity.iter().copied(),
+            );
+            kvm.set_thread(i, tid);
+            self.threads.insert(
+                tid,
+                ThreadCtx {
+                    cont: ThreadCont::VcpuIssue { vm: vm_id, vcpu: i },
+                    pending: cg_sim::SimDuration::ZERO,
+                },
+            );
+            let core = cores[i as usize];
+            self.core_vcpu[core.index()] = Some((vm_id, i));
+            vcpus.push(VcpuRt {
+                core,
+                thread: tid,
+                exit_posted_at: None,
+                vipi_sent_at: None,
+                pending_entry: None,
+                pending_exit: None,
+            });
+            run_channels.push(SyncChannel::new());
+        }
+
+        // ----- wake-up thread (one per system, created lazily) -----
+        if spec.mode == VmExecMode::CoreGapped
+            && spec.transport == RunTransport::AsyncIpi
+            && self.wakeup.is_none()
+        {
+            let tid = self.sched.spawn(
+                ThreadKind::Wakeup,
+                SchedClass::Fifo(3),
+                host_cores.iter().copied(),
+            );
+            self.threads.insert(
+                tid,
+                ThreadCtx {
+                    cont: ThreadCont::WakeupIdle,
+                    pending: cg_sim::SimDuration::ZERO,
+                },
+            );
+            self.wakeup = Some(WakeupThread::new(tid));
+            self.doorbell.set_target(host_cores[0]);
+        }
+        if let Some(w) = &mut self.wakeup {
+            for i in 0..spec.vcpus {
+                w.watch(kvm.rec(i));
+            }
+        }
+
+        // ----- peer bootstrap -----
+        let mut peer = peer;
+        if let Some(p) = &mut peer {
+            let initial = p.initial_packets();
+            if let Some(net_dev) = spec
+                .devices
+                .iter()
+                .position(|k| matches!(k, DeviceKind::VirtioNet | DeviceKind::SriovNic))
+            {
+                for (t, pkt) in initial {
+                    let at = t.max(now) + self.config.host.nic_wire_latency;
+                    self.queue.schedule_at(
+                        at,
+                        SystemEvent::WireToGuest {
+                            vm: vm_id,
+                            device: net_dev as u32,
+                            bytes: pkt.bytes,
+                            flow: pkt.flow,
+                        },
+                    );
+                }
+            }
+        }
+
+        self.vms.push(Vm {
+            kvm,
+            guest,
+            vmm,
+            devices,
+            peer,
+            run_channels,
+            vcpus,
+            transport: spec.transport,
+            paused: false,
+            started: now,
+            finished: None,
+            cur_op: (0..spec.vcpus).map(|_| None).collect(),
+            console_writes: 0,
+        });
+
+        // Start executing: host cores pick up the new runnable threads.
+        for core in self.host_cores() {
+            self.dispatch(core);
+        }
+        Ok(vm_id)
+    }
+
+    fn shared_placement(&self, spec: &VmSpec) -> Result<Vec<CoreId>, String> {
+        if let Some(c) = &spec.vcpu_cores {
+            if c.len() != spec.vcpus as usize {
+                return Err("vcpu_cores length must equal vcpus".into());
+            }
+            return Ok(c.clone());
+        }
+        let hosts = self.host_cores();
+        if (spec.vcpus as usize) > hosts.len() {
+            return Err(format!(
+                "shared-core VM with {} vCPUs needs that many host cores (have {}); \
+                 set SystemConfig::num_host_cores accordingly",
+                spec.vcpus,
+                hosts.len()
+            ));
+        }
+        Ok(hosts[..spec.vcpus as usize].to_vec())
+    }
+
+    /// Builds a realm through the standard RMI sequence: granule
+    /// delegation, realm/REC creation, RTT chain, initial data pages,
+    /// activation. Setup is not on any measured path, so the calls apply
+    /// instantly (their costs are recorded as counters).
+    fn build_realm(&mut self, realm: RealmId, vcpus: u32, vm: VmId) -> Result<(), String> {
+        let base = 0x1_0000_0000u64 + (vm.0 as u64) * 0x1000_0000;
+        let mut next = base;
+        let mut alloc = || {
+            let g = GranuleAddr::new(next).expect("4 KiB aligned by construction");
+            next += 4096;
+            g
+        };
+        let host_core = CoreId(0);
+        let rmi = |sys: &mut System, call: RmiCall| -> Result<(), String> {
+            let out = sys.rmm.handle_rmi(host_core, call, &mut sys.machine);
+            sys.metrics.counters.incr("setup.rmi_calls");
+            if out.status.is_success() {
+                Ok(())
+            } else {
+                Err(format!("{call} failed: {:?}", out.status))
+            }
+        };
+
+        // Delegate a pool of granules: rd, rtt root, RTT tables (3),
+        // data pages (4), one per REC.
+        let rd = alloc();
+        let _rtt_root = alloc();
+        let rtt_tables: Vec<GranuleAddr> = (0..3).map(|_| alloc()).collect();
+        let data_pages: Vec<GranuleAddr> = (0..4).map(|_| alloc()).collect();
+        let rec_granules: Vec<GranuleAddr> = (0..vcpus).map(|_| alloc()).collect();
+        let total = 2 + 3 + 4 + vcpus as u64;
+        for i in 0..total {
+            rmi(self, RmiCall::GranuleDelegate { addr: rd.offset(i) })?;
+        }
+
+        rmi(self, RmiCall::RealmCreate { rd, num_recs: vcpus })?;
+        for (lvl, &g) in rtt_tables.iter().enumerate() {
+            rmi(
+                self,
+                RmiCall::RttCreate {
+                    realm,
+                    rtt: g,
+                    ipa: 0,
+                    level: RttLevel(lvl as u8 + 1),
+                },
+            )?;
+        }
+        for (i, &g) in data_pages.iter().enumerate() {
+            rmi(
+                self,
+                RmiCall::DataCreate {
+                    realm,
+                    data: g,
+                    ipa: (i as u64 + 1) * 4096,
+                },
+            )?;
+        }
+        for (i, &g) in rec_granules.iter().enumerate() {
+            rmi(
+                self,
+                RmiCall::RecCreate {
+                    realm,
+                    index: i as u32,
+                    rec: g,
+                },
+            )?;
+        }
+        rmi(self, RmiCall::RealmActivate { realm })?;
+        Ok(())
+    }
+
+    /// Host-initiated suspend (paper §7: core-gapped VMs retain
+    /// "host-initiated suspend/resume"): stops issuing run calls; vCPUs
+    /// currently in guest are kicked out and park once their exits are
+    /// handled. The realm state (and its dedicated cores) stay intact.
+    pub fn pause_vm(&mut self, vm: VmId) {
+        self.vms[vm.0].paused = true;
+        for vcpu in 0..self.vms[vm.0].kvm.num_vcpus() {
+            if self.vms[vm.0].kvm.in_guest(vcpu) {
+                self.apply_host_action(vm, cg_host::HostAction::KickVcpu { vcpu });
+            }
+        }
+        self.metrics.counters.incr("system.pauses");
+    }
+
+    /// Resumes a paused VM: parked vCPU threads are woken and issue
+    /// their next run calls.
+    pub fn resume_vm(&mut self, vm: VmId) {
+        if !std::mem::replace(&mut self.vms[vm.0].paused, false) {
+            return;
+        }
+        for vcpu in 0..self.vms[vm.0].kvm.num_vcpus() {
+            let tid = self.vms[vm.0].vcpus[vcpu as usize].thread;
+            let parked = matches!(
+                self.threads.get(&tid).map(|c| &c.cont),
+                Some(ThreadCont::VcpuPaused { .. })
+            );
+            if parked && self.sched.is_blocked(tid) {
+                self.set_cont(tid, ThreadCont::VcpuIssue { vm, vcpu });
+                let (core, preempts) = self.sched.wake(tid);
+                self.after_wake(core, preempts);
+            }
+        }
+        self.metrics.counters.incr("system.resumes");
+    }
+
+    /// Requests an attestation token for `vm` with the given challenge —
+    /// what the guest owner verifies before trusting the CVM (§2.4). The
+    /// token binds the (core-gapping) RMM measurement and the realm
+    /// initial measurement.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-confidential VMs (nothing to attest).
+    pub fn attest(&self, vm: VmId, challenge: u64) -> Result<cg_cca::AttestationToken, String> {
+        let v = &self.vms[vm.0];
+        if !v.kvm.mode().is_confidential() {
+            return Err("non-confidential VMs have no attestation".into());
+        }
+        let realm = self
+            .rmm
+            .realm(v.kvm.realm())
+            .ok_or_else(|| "realm not found".to_owned())?;
+        Ok(cg_cca::AttestationToken::issue(
+            &cg_cca::PlatformCert::example(),
+            self.rmm.platform_measurement(),
+            realm.measurement(),
+            challenge,
+        ))
+    }
+
+    /// Tears down a finished VM: destroys its RECs and realm, reclaims
+    /// dedicated cores (hotplugging them back online), and returns them
+    /// to the planner pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any vCPU is still live.
+    pub fn destroy_vm(&mut self, vm: VmId) -> Result<(), String> {
+        if !self.vms[vm.0].kvm.all_finished() {
+            return Err("cannot destroy a VM with live vCPUs".into());
+        }
+        let realm = self.vms[vm.0].kvm.realm();
+        let mode = self.vms[vm.0].kvm.mode();
+        if mode.is_confidential() {
+            for i in 0..self.vms[vm.0].kvm.num_vcpus() {
+                let rec = self.vms[vm.0].kvm.rec(i);
+                let out = self.rmm.handle_rmi(
+                    CoreId(0),
+                    RmiCall::RecDestroy { rec },
+                    &mut self.machine,
+                );
+                if !out.status.is_success() {
+                    return Err(format!("REC_DESTROY failed: {:?}", out.status));
+                }
+            }
+            let out = self
+                .rmm
+                .handle_rmi(CoreId(0), RmiCall::RealmDestroy { realm }, &mut self.machine);
+            if !out.status.is_success() {
+                return Err(format!("REALM_DESTROY failed: {:?}", out.status));
+            }
+        }
+        if mode == VmExecMode::CoreGapped {
+            let cores: Vec<CoreId> = self.vms[vm.0].vcpus.iter().map(|v| v.core).collect();
+            for core in cores {
+                self.rmm
+                    .reclaim_core(core, &mut self.machine)
+                    .map_err(|e| e.to_string())?;
+                self.cores[core.index()].run = crate::system::CoreRun::HostIdle;
+                self.core_vcpu[core.index()] = None;
+            }
+            // Explicitly placed VMs were never admitted by the planner.
+            let _ = self.planner.release(realm);
+        }
+        self.metrics.counters.incr("system.vms_destroyed");
+        Ok(())
+    }
+
+    fn alloc_spi(&mut self) -> u32 {
+        let spi = self.metrics.counters.get("setup.spis") as u32;
+        self.metrics.counters.incr("setup.spis");
+        spi
+    }
+}

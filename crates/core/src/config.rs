@@ -1,0 +1,177 @@
+//! System and VM configuration.
+
+use cg_host::{DeviceKind, HostParams, VmExecMode};
+use cg_machine::{CoreId, HwParams};
+use cg_rmm::RmmConfig;
+
+/// How vCPU run calls travel between host and RMM under core gapping
+/// (paper §4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RunTransport {
+    /// Asynchronous RPC: the vCPU thread blocks after posting the run
+    /// call; exits ring the single doorbell IPI and the wake-up thread
+    /// unblocks it (fig. 4). The paper's design.
+    AsyncIpi,
+    /// Quarantine-style yield-polling: the vCPU thread stays runnable and
+    /// polls the channel. The ablation whose contention fig. 6 shows.
+    BusyWait,
+}
+
+/// Whole-system configuration.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Hardware parameters.
+    pub machine: HwParams,
+    /// Host software parameters.
+    pub host: HostParams,
+    /// RMM configuration (core gapping, delegation).
+    pub rmm: RmmConfig,
+    /// Cores reserved for the host (the first `num_host_cores` ids);
+    /// the rest are dedicable by the planner.
+    pub num_host_cores: u16,
+    /// Simulation seed.
+    pub seed: u64,
+    /// Model NAPI-style interrupt suppression: packets arriving while the
+    /// target vCPU is actively processing are delivered without an
+    /// interrupt.
+    pub napi: bool,
+}
+
+impl SystemConfig {
+    /// The paper's evaluation setup: a 64-core AmpereOne-class machine,
+    /// one host core, core-gapping RMM with full delegation.
+    pub fn paper_default() -> SystemConfig {
+        SystemConfig {
+            machine: HwParams::ampere_one_like(),
+            host: HostParams::calibrated(),
+            rmm: RmmConfig::core_gapped(),
+            num_host_cores: 1,
+            seed: 0xC0DE,
+            napi: true,
+        }
+    }
+
+    /// A small 8-core machine for tests.
+    pub fn small() -> SystemConfig {
+        SystemConfig {
+            machine: HwParams::small(),
+            ..SystemConfig::paper_default()
+        }
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> SystemConfig {
+        SystemConfig::paper_default()
+    }
+}
+
+/// Per-VM configuration.
+///
+/// # Example
+///
+/// ```
+/// use cg_core::{RunTransport, VmSpec};
+/// use cg_host::DeviceKind;
+///
+/// let spec = VmSpec::core_gapped(8)
+///     .with_device(DeviceKind::SriovNic)
+///     .with_device(DeviceKind::VirtioBlk);
+/// assert_eq!(spec.vcpus, 8);
+/// assert_eq!(spec.transport, RunTransport::AsyncIpi);
+/// ```
+#[derive(Debug, Clone)]
+pub struct VmSpec {
+    /// Number of vCPUs.
+    pub vcpus: u32,
+    /// Execution mode.
+    pub mode: VmExecMode,
+    /// Run-call transport (core-gapped mode only).
+    pub transport: RunTransport,
+    /// Devices to attach, in guest device-index order.
+    pub devices: Vec<DeviceKind>,
+    /// Explicit vCPU→core placement; `None` lets the planner (core
+    /// gapped) or the 1:1 pinning policy (shared) decide.
+    pub vcpu_cores: Option<Vec<CoreId>>,
+}
+
+impl VmSpec {
+    /// A core-gapped CVM with `vcpus` dedicated cores.
+    pub fn core_gapped(vcpus: u32) -> VmSpec {
+        VmSpec {
+            vcpus,
+            mode: VmExecMode::CoreGapped,
+            transport: RunTransport::AsyncIpi,
+            devices: Vec::new(),
+            vcpu_cores: None,
+        }
+    }
+
+    /// The paper's baseline: a non-confidential shared-core VM.
+    pub fn shared_core(vcpus: u32) -> VmSpec {
+        VmSpec {
+            vcpus,
+            mode: VmExecMode::SharedCore,
+            transport: RunTransport::AsyncIpi,
+            devices: Vec::new(),
+            vcpu_cores: None,
+        }
+    }
+
+    /// The shared-core *confidential* VM ablation.
+    pub fn shared_core_confidential(vcpus: u32) -> VmSpec {
+        VmSpec {
+            vcpus,
+            mode: VmExecMode::SharedCoreConfidential,
+            transport: RunTransport::AsyncIpi,
+            devices: Vec::new(),
+            vcpu_cores: None,
+        }
+    }
+
+    /// Uses the busy-wait run transport (fig. 6 ablation).
+    pub fn with_busy_wait(mut self) -> VmSpec {
+        self.transport = RunTransport::BusyWait;
+        self
+    }
+
+    /// Attaches a device; returns the spec for chaining.
+    pub fn with_device(mut self, kind: DeviceKind) -> VmSpec {
+        self.devices.push(kind);
+        self
+    }
+
+    /// Pins vCPUs to explicit cores.
+    pub fn with_cores(mut self, cores: Vec<CoreId>) -> VmSpec {
+        self.vcpu_cores = Some(cores);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_consistent() {
+        let c = SystemConfig::paper_default();
+        assert_eq!(c.num_host_cores, 1);
+        assert!(c.rmm.core_gapping);
+        c.machine.validate().unwrap();
+    }
+
+    #[test]
+    fn spec_builders() {
+        let s = VmSpec::core_gapped(4)
+            .with_device(DeviceKind::VirtioNet)
+            .with_busy_wait();
+        assert_eq!(s.vcpus, 4);
+        assert_eq!(s.transport, RunTransport::BusyWait);
+        assert_eq!(s.devices.len(), 1);
+        assert_eq!(VmSpec::shared_core(2).mode, VmExecMode::SharedCore);
+        assert_eq!(
+            VmSpec::shared_core_confidential(2).mode,
+            VmExecMode::SharedCoreConfidential
+        );
+    }
+}

@@ -1,0 +1,95 @@
+//! The system event type driving the simulation.
+
+use cg_machine::{CoreId, IntId};
+use cg_workloads::PeerPacket;
+
+use crate::system::VmId;
+
+/// All events the system event loop processes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SystemEvent {
+    /// The segment executing on `core` ends (stale if `epoch` mismatches).
+    SegmentEnd {
+        /// The core whose segment ends.
+        core: CoreId,
+        /// Epoch at scheduling time; a truncated segment bumps the
+        /// core's epoch, invalidating the old event.
+        epoch: u64,
+    },
+    /// A physical generic timer fires on `core`.
+    PhysTimerFire {
+        /// The core whose timer fires.
+        core: CoreId,
+        /// Generation token from [`cg_machine::GenericTimer::program`].
+        generation: u64,
+    },
+    /// A software-generated interrupt (IPI) arrives at `core`.
+    IpiArrive {
+        /// Destination core.
+        core: CoreId,
+        /// The SGI INTID.
+        intid: IntId,
+    },
+    /// A device SPI arrives at `core`.
+    DeviceIrqArrive {
+        /// Destination core (per SPI routing).
+        core: CoreId,
+        /// The owning VM.
+        vm: VmId,
+        /// Guest device index.
+        device: u32,
+    },
+    /// A posted run call becomes visible to the polling dedicated core.
+    RunRequestVisible {
+        /// The VM.
+        vm: VmId,
+        /// The vCPU whose run call was posted.
+        vcpu: u32,
+    },
+    /// A host-armed emulated vtimer fires (delegation off).
+    EmulTimerFire {
+        /// The VM.
+        vm: VmId,
+        /// The vCPU.
+        vcpu: u32,
+        /// The armed deadline (stale-check against KVM state).
+        deadline_ns: u64,
+    },
+    /// A packet from the guest reaches the peer.
+    WireToPeer {
+        /// The VM whose NIC sent it.
+        vm: VmId,
+        /// The packet.
+        pkt: PeerPacket,
+    },
+    /// A packet from the peer reaches the guest-facing NIC.
+    WireToGuest {
+        /// The destination VM.
+        vm: VmId,
+        /// Guest device index.
+        device: u32,
+        /// Payload bytes.
+        bytes: u64,
+        /// Flow tag.
+        flow: u64,
+    },
+    /// A malicious-host harassment tick: kick the target vCPU and
+    /// reschedule (security scenarios).
+    HarassTick {
+        /// The victim VM.
+        vm: VmId,
+        /// The victim vCPU.
+        vcpu: u32,
+        /// Kick period in nanoseconds.
+        period_ns: u64,
+    },
+    /// A disk request completes in the backing store.
+    DiskDone {
+        /// The VM.
+        vm: VmId,
+        /// Guest device index.
+        device: u32,
+        /// Completion tag.
+        tag: u64,
+    },
+}

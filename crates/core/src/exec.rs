@@ -1,0 +1,1570 @@
+//! The execution engine: core dispatch, thread steps, guest driving,
+//! transports.
+
+
+
+use cg_cca::{RecExit, RecExitReason};
+use cg_host::{DeviceKind, HostAction, ThreadId, VmExecMode, WakeupThread};
+use cg_machine::{CoreId, Domain, IntId, World};
+use cg_rmm::{Disposition, GuestEvent, REALM_DOORBELL_SGI};
+use cg_sim::{SimDuration, SimTime};
+use cg_workloads::{GuestIrq, GuestOp, PeerPacket};
+
+use crate::config::RunTransport;
+use crate::event::SystemEvent;
+use crate::system::{
+    CoreRun, RunMsg, System, ThreadCont, VmId, VmmEffect, CVM_EXIT_SGI, HOST_KICK_SGI,
+};
+
+/// What happens when the current guest segment completes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum GuestCont {
+    /// A compute segment finished; clear the op and continue.
+    ComputeDone,
+    /// A timeslice-capped compute segment finished (shared-core mode):
+    /// the guest exits so the host scheduler can run other threads.
+    ComputeTimeslice,
+    /// A locally handled operation finished; continue the guest loop.
+    OpDone,
+    /// As `OpDone`, but apply host actions first (shared-core inline
+    /// emulation).
+    OpDoneActions(Vec<HostAction>),
+    /// An SR-IOV transmit completes: put the packet on the wire.
+    NetTxDirect {
+        bytes: u64,
+        flow: u64,
+    },
+    /// A delegated cross-core IPI completes: ring the target core.
+    IpiSendDone {
+        target_core: CoreId,
+    },
+    /// The exit record is ready: hand it to the host.
+    ExitPost {
+        exit: RecExit,
+    },
+}
+
+impl System {
+    // ================= segments =================
+
+    pub(crate) fn start_segment(&mut self, core: CoreId, wall: SimDuration, work: SimDuration) {
+        let wall = wall.max(SimDuration::nanos(1));
+        let cs = &mut self.cores[core.index()];
+        debug_assert!(cs.seg_token.is_none(), "segment already in flight on {core}");
+        cs.seg_started = self.queue.now();
+        cs.seg_wall = wall;
+        cs.seg_work = work;
+        let epoch = cs.epoch;
+        let token = self
+            .queue
+            .schedule_after(wall, SystemEvent::SegmentEnd { core, epoch });
+        self.cores[core.index()].seg_token = Some(token);
+    }
+
+    /// Truncates the in-flight segment. Returns `(elapsed_wall,
+    /// remaining_wall, completed_work)`.
+    pub(crate) fn truncate_segment(
+        &mut self,
+        core: CoreId,
+    ) -> (SimDuration, SimDuration, SimDuration) {
+        let now = self.queue.now();
+        let cs = &mut self.cores[core.index()];
+        let token = cs.seg_token.take().expect("no segment to truncate");
+        self.queue.cancel(token);
+        cs.epoch += 1;
+        let elapsed = now.saturating_duration_since(cs.seg_started);
+        let remaining = cs.seg_wall.saturating_sub(elapsed);
+        let completed_work = if cs.seg_wall.is_zero() {
+            SimDuration::ZERO
+        } else {
+            cs.seg_work
+                .scaled(elapsed.as_nanos() as f64 / cs.seg_wall.as_nanos() as f64)
+        };
+        (elapsed, remaining, completed_work)
+    }
+
+    fn account_host_busy(&mut self, core: CoreId, wall: SimDuration) {
+        if core.index() < self.config.num_host_cores as usize {
+            self.metrics.add_host_busy(core.index(), wall);
+        }
+    }
+
+    /// Charges interrupt-context work on a core: extends the in-flight
+    /// segment (stolen time), or is absorbed if the core is idle.
+    pub(crate) fn host_irq_steal(&mut self, core: CoreId, cost: SimDuration) {
+        if cost.is_zero() {
+            return;
+        }
+        let now = self.queue.now();
+        let cs = &mut self.cores[core.index()];
+        if let Some(token) = cs.seg_token.take() {
+            self.queue.cancel(token);
+            cs.seg_wall += cost;
+            let end = cs.seg_started + cs.seg_wall;
+            let epoch = cs.epoch;
+            let end = end.max(now);
+            let token = self
+                .queue
+                .schedule_at(end, SystemEvent::SegmentEnd { core, epoch });
+            self.cores[core.index()].seg_token = Some(token);
+        }
+        self.account_host_busy(core, cost);
+    }
+
+    // ================= host thread scheduling =================
+
+    /// Makes `core` pick and run its next thread, if idle.
+    pub(crate) fn dispatch(&mut self, core: CoreId) {
+        if self.cores[core.index()].run != CoreRun::HostIdle {
+            return;
+        }
+        if !self.machine.cpu(core).is_host_schedulable() {
+            return;
+        }
+        match self.sched.pick_next(core) {
+            Some(tid) => {
+                self.cores[core.index()].run = CoreRun::HostThread { tid };
+                self.begin_thread(core, tid);
+            }
+            None => {
+                self.cores[core.index()].run = CoreRun::HostIdle;
+            }
+        }
+    }
+
+    /// Preempts the thread running on `core` (requeueing it) so a
+    /// higher-priority wakeup can run.
+    pub(crate) fn maybe_preempt(&mut self, core: CoreId) {
+        match self.cores[core.index()].run {
+            CoreRun::HostThread { tid } => {
+                if self.cores[core.index()].seg_token.is_some() {
+                    let (elapsed, remaining, _) = self.truncate_segment(core);
+                    self.account_host_busy(core, elapsed);
+                    let ctx = self.threads.get_mut(&tid).expect("running thread has ctx");
+                    ctx.pending = remaining;
+                }
+                self.sched.yield_current(core);
+                self.cores[core.index()].run = CoreRun::HostIdle;
+                self.dispatch(core);
+            }
+            CoreRun::Guest { vm, vcpu }
+                // Shared-core guest preempted by a host thread: force an
+                // exit (scheduler IPI in real KVM).
+                if self.vms[vm.0].kvm.mode() != VmExecMode::CoreGapped => {
+                    self.preempt_shared_guest(core, vm, vcpu, RecExitReason::HostInterrupt);
+                }
+            _ => {}
+        }
+    }
+
+    /// Begins (or resumes) the current step of `tid` on `core`.
+    /// Loops over instant transitions until a segment is started, the
+    /// thread blocks, or the core is redispatched.
+    pub(crate) fn begin_thread(&mut self, core: CoreId, tid: ThreadId) {
+        loop {
+            let pending = self.threads.get(&tid).expect("thread ctx").pending;
+            if !pending.is_zero() {
+                self.account_host_busy(core, pending);
+                self.machine.run_fixed(core, Domain::Host, pending);
+                self.start_segment(core, pending, SimDuration::ZERO);
+                return;
+            }
+            // Begin a fresh step: set `pending` (and stage effects) based
+            // on the continuation.
+            let cont = &self.threads.get(&tid).expect("thread ctx").cont;
+            match cont {
+                ThreadCont::VcpuIssue { vm, vcpu } => {
+                    let (vm, vcpu) = (*vm, *vcpu);
+                    if self.vms[vm.0].paused {
+                        self.set_cont(tid, ThreadCont::VcpuPaused { vm, vcpu });
+                        self.sched.block_current(core);
+                        self.cores[core.index()].run = CoreRun::HostIdle;
+                        self.dispatch(core);
+                        return;
+                    }
+                    let cost = self.config.host.run_call_issue;
+                    self.threads.get_mut(&tid).expect("ctx").pending = cost;
+                }
+                ThreadCont::VcpuPoll { .. } => {
+                    let cost = self.config.host.busywait_poll_slice;
+                    self.threads.get_mut(&tid).expect("ctx").pending = cost;
+                }
+                ThreadCont::VcpuHandleExit { .. } => {
+                    let cost = self.config.machine.cache_line_transfer;
+                    self.threads.get_mut(&tid).expect("ctx").pending = cost;
+                }
+                ThreadCont::VcpuActions { .. } => {
+                    if self.begin_vcpu_actions(core, tid) {
+                        return; // blocked / exited / redispatched
+                    }
+                    continue;
+                }
+                ThreadCont::WakeupScan => {
+                    let n = self.wakeup.as_ref().map(|w| w.watched().len()).unwrap_or(1);
+                    let p = &self.config.machine;
+                    let cost = p.cache_line_transfer * 2
+                        + WakeupThread::scan_cost(n.saturating_sub(1), p.poll_iteration);
+                    self.threads.get_mut(&tid).expect("ctx").pending = cost;
+                }
+                ThreadCont::VmmDrain { .. } => {
+                    if self.begin_vmm_drain(core, tid) {
+                        return; // blocked
+                    }
+                    continue;
+                }
+                ThreadCont::VcpuInGuest { .. } => {
+                    unreachable!("VcpuInGuest begins only via run-call issue")
+                }
+                ThreadCont::VcpuAwait { .. }
+                | ThreadCont::VcpuBlocked { .. }
+                | ThreadCont::VcpuPaused { .. }
+                | ThreadCont::WakeupIdle
+                | ThreadCont::VmmIdle { .. } => {
+                    // Nothing to do: block until an event wakes us.
+                    self.sched.block_current(core);
+                    self.cores[core.index()].run = CoreRun::HostIdle;
+                    self.dispatch(core);
+                    return;
+                }
+                ThreadCont::VcpuDone => {
+                    self.sched.exit_current(core);
+                    self.cores[core.index()].run = CoreRun::HostIdle;
+                    self.dispatch(core);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Handles completion of a host-thread segment.
+    pub(crate) fn thread_segment_done(&mut self, core: CoreId, tid: ThreadId) {
+        // The step's work is complete; decide what happens next.
+        self.threads.get_mut(&tid).expect("ctx").pending = SimDuration::ZERO;
+        let cont = std::mem::replace(
+            &mut self.threads.get_mut(&tid).expect("ctx").cont,
+            ThreadCont::VcpuDone, // placeholder, always overwritten below
+        );
+        match cont {
+            ThreadCont::VcpuIssue { vm, vcpu } => self.complete_run_call_issue(core, tid, vm, vcpu),
+            ThreadCont::VcpuPoll { vm, vcpu } => {
+                let visible = {
+                    let ch = &self.vms[vm.0].run_channels[vcpu as usize];
+                    ch.has_response()
+                        && ch
+                            .response_visible_at(&self.config.machine)
+                            .map(|t| t <= self.queue.now())
+                            .unwrap_or(false)
+                };
+                if visible {
+                    self.set_cont(tid, ThreadCont::VcpuHandleExit { vm, vcpu });
+                    self.begin_thread(core, tid);
+                } else {
+                    // Yield-polling: requeue and let others run.
+                    self.set_cont(tid, ThreadCont::VcpuPoll { vm, vcpu });
+                    self.sched.yield_current(core);
+                    self.cores[core.index()].run = CoreRun::HostIdle;
+                    self.dispatch(core);
+                }
+            }
+            ThreadCont::VcpuHandleExit { vm, vcpu } => {
+                let exit = self.take_posted_exit(vm, vcpu);
+                let actions = {
+                    let host = self.config.host.clone();
+                    self.vms[vm.0].kvm.handle_exit(vcpu, &exit, &host)
+                };
+                // Stamp VM completion the moment the last vCPU's
+                // shutdown is recognised (before its final actions run).
+                if self.vms[vm.0].kvm.all_finished() && self.vms[vm.0].finished.is_none() {
+                    self.vms[vm.0].finished = Some(self.queue.now());
+                }
+                self.set_cont(
+                    tid,
+                    ThreadCont::VcpuActions {
+                        vm,
+                        vcpu,
+                        queue: actions.into(),
+                    },
+                );
+                self.begin_thread(core, tid);
+            }
+            ThreadCont::VcpuActions { vm, vcpu, queue } => {
+                // A Work action's segment finished; continue the queue.
+                self.set_cont(tid, ThreadCont::VcpuActions { vm, vcpu, queue });
+                self.begin_thread(core, tid);
+            }
+            ThreadCont::WakeupScan => self.complete_wakeup_scan(core, tid),
+            ThreadCont::VmmDrain { vm, device, staged } => {
+                if let Some(effect) = staged {
+                    self.apply_vmm_effect(vm, device, effect);
+                }
+                self.set_cont(
+                    tid,
+                    ThreadCont::VmmDrain {
+                        vm,
+                        device,
+                        staged: None,
+                    },
+                );
+                self.begin_thread(core, tid);
+            }
+            ThreadCont::VcpuInGuest { vm, vcpu } => {
+                // Shared-mode entry cost elapsed: architecturally enter.
+                self.set_cont(tid, ThreadCont::VcpuInGuest { vm, vcpu });
+                self.enter_shared_guest(core, vm, vcpu);
+            }
+            other => unreachable!("segment completed for non-running cont {other:?}"),
+        }
+    }
+
+    pub(crate) fn set_cont(&mut self, tid: ThreadId, cont: ThreadCont) {
+        self.threads.get_mut(&tid).expect("ctx").cont = cont;
+    }
+
+    /// Executes instant actions from a vCPU action queue until a Work
+    /// action starts a segment or a terminal action ends the step.
+    /// Returns `true` if the thread blocked/exited (core redispatched).
+    fn begin_vcpu_actions(&mut self, core: CoreId, tid: ThreadId) -> bool {
+        loop {
+            let (vm, vcpu, action) = {
+                let ctx = self.threads.get_mut(&tid).expect("ctx");
+                let ThreadCont::VcpuActions { vm, vcpu, queue } = &mut ctx.cont else {
+                    unreachable!("begin_vcpu_actions on wrong cont");
+                };
+                match queue.pop_front() {
+                    Some(a) => (*vm, *vcpu, a),
+                    None => {
+                        // Handled exit with no resume decision: the vCPU
+                        // stays parked until an interrupt wakes it (e.g.
+                        // WFI block was queued as an action).
+                        unreachable!("action queue drained without terminal action")
+                    }
+                }
+            };
+            match action {
+                HostAction::Work { cost, .. } => {
+                    self.threads.get_mut(&tid).expect("ctx").pending = cost;
+                    return false;
+                }
+                HostAction::Resume { vcpu: v } => {
+                    debug_assert_eq!(v, vcpu);
+                    if self.vms[vm.0].paused {
+                        self.set_cont(tid, ThreadCont::VcpuPaused { vm, vcpu });
+                        self.sched.block_current(core);
+                        self.cores[core.index()].run = CoreRun::HostIdle;
+                        self.dispatch(core);
+                        return true;
+                    }
+                    self.set_cont(tid, ThreadCont::VcpuIssue { vm, vcpu });
+                    // Fair-class vCPU threads (shared-core modes) yield
+                    // to other runnable threads before re-entering the
+                    // guest, as CFS would.
+                    if self.vms[vm.0].kvm.mode() != VmExecMode::CoreGapped
+                        && self.sched.runnable_on(core) > 0
+                    {
+                        self.sched.yield_current(core);
+                        self.cores[core.index()].run = CoreRun::HostIdle;
+                        self.dispatch(core);
+                        return true;
+                    }
+                    return false;
+                }
+                HostAction::BlockVcpu { vcpu: v } => {
+                    debug_assert_eq!(v, vcpu);
+                    // Last-moment re-check: an interrupt queued while we
+                    // were tearing down cancels the block (the kernel's
+                    // lost-wakeup guard).
+                    if !self.vms[vm.0].kvm.wfi_should_block(vcpu) {
+                        self.set_cont(tid, ThreadCont::VcpuIssue { vm, vcpu });
+                        return false; // begin_thread proceeds with the issue
+                    }
+                    self.set_cont(tid, ThreadCont::VcpuBlocked { vm, vcpu });
+                    self.sched.block_current(core);
+                    self.cores[core.index()].run = CoreRun::HostIdle;
+                    self.dispatch(core);
+                    return true;
+                }
+                HostAction::VcpuFinished { vcpu: v } => {
+                    debug_assert_eq!(v, vcpu);
+                    if self.vms[vm.0].kvm.all_finished() && self.vms[vm.0].finished.is_none() {
+                        self.vms[vm.0].finished = Some(self.queue.now());
+                    }
+                    self.set_cont(tid, ThreadCont::VcpuDone);
+                    self.sched.exit_current(core);
+                    self.cores[core.index()].run = CoreRun::HostIdle;
+                    self.dispatch(core);
+                    return true;
+                }
+                other => {
+                    self.apply_host_action(vm, other);
+                }
+            }
+        }
+    }
+
+    /// Applies a non-terminal, non-work host action.
+    pub(crate) fn apply_host_action(&mut self, vm: VmId, action: HostAction) {
+        match action {
+            HostAction::VmmKick { device } => {
+                // Find the device instance and wake its I/O thread.
+                let io_thread = self.vms[vm.0]
+                    .devices
+                    .iter()
+                    .find(|d| d.id == device)
+                    .and_then(|d| d.io_thread);
+                if let Some(t) = io_thread {
+                    self.wake_thread_if_blocked(t);
+                }
+            }
+            HostAction::ArmEmulTimer { vcpu, deadline } => {
+                self.queue.schedule_at(
+                    deadline.max(self.queue.now()),
+                    SystemEvent::EmulTimerFire {
+                        vm,
+                        vcpu,
+                        deadline_ns: deadline.as_nanos(),
+                    },
+                );
+            }
+            HostAction::KickVcpu { vcpu } => {
+                let target_core = self.vms[vm.0].vcpus[vcpu as usize].core;
+                self.metrics.counters.incr("host.kicks");
+                self.queue.schedule_after(
+                    self.config.machine.ipi_deliver,
+                    SystemEvent::IpiArrive {
+                        core: target_core,
+                        intid: HOST_KICK_SGI,
+                    },
+                );
+            }
+            HostAction::UnblockVcpu { vcpu } => {
+                let tid = self.vms[vm.0].vcpus[vcpu as usize].thread;
+                if self.sched.is_blocked(tid) {
+                    self.set_cont(tid, ThreadCont::VcpuIssue { vm, vcpu });
+                    let (core, preempts) = self.sched.wake(tid);
+                    self.after_wake(core, preempts);
+                }
+            }
+            HostAction::MapShared { ipa } => {
+                // Resolve the fault by mapping a shared page, creating
+                // any missing RTT tables first (the loop KVM performs).
+                // Transport costs are charged by the surrounding Work
+                // actions; the state changes apply here.
+                let realm = self.vms[vm.0].kvm.realm();
+                if self.vms[vm.0].kvm.mode().is_confidential() {
+                    let missing = self
+                        .rmm
+                        .realm(realm)
+                        .map(|r| r.rtt().missing_levels(ipa))
+                        .unwrap_or_default();
+                    for level in missing {
+                        let g = self.alloc_fixup_granule();
+                        let out = self.rmm.handle_rmi(
+                            CoreId(0),
+                            cg_cca::RmiCall::GranuleDelegate { addr: g },
+                            &mut self.machine,
+                        );
+                        debug_assert!(out.status.is_success());
+                        let out = self.rmm.handle_rmi(
+                            CoreId(0),
+                            cg_cca::RmiCall::RttCreate { realm, rtt: g, ipa, level },
+                            &mut self.machine,
+                        );
+                        debug_assert!(out.status.is_success(), "RTT_CREATE: {:?}", out.status);
+                    }
+                    let backing = self.alloc_fixup_granule();
+                    let out = self.rmm.handle_rmi(
+                        CoreId(0),
+                        cg_cca::RmiCall::RttMapUnprotected { realm, ipa, addr: backing },
+                        &mut self.machine,
+                    );
+                    debug_assert!(out.status.is_success(), "MAP_UNPROTECTED: {:?}", out.status);
+                    self.metrics.counters.incr("host.map_shared");
+                }
+            }
+            HostAction::Work { .. }
+            | HostAction::Resume { .. }
+            | HostAction::BlockVcpu { .. }
+            | HostAction::VcpuFinished { .. } => {
+                unreachable!("terminal/work actions handled by the action loop")
+            }
+        }
+    }
+
+    /// Post-wake policy: FIFO preemption as the scheduler reports, plus
+    /// CFS-style wakeup preemption of a fair-class guest running on the
+    /// placement core (a freshly woken thread's vruntime is far behind,
+    /// so CFS preempts the long-running vCPU thread).
+    pub(crate) fn after_wake(&mut self, core: CoreId, preempts: bool) {
+        if preempts {
+            self.maybe_preempt(core);
+        } else if let CoreRun::Guest { vm, .. } = self.cores[core.index()].run {
+            if self.vms[vm.0].kvm.mode() != VmExecMode::CoreGapped {
+                self.maybe_preempt(core);
+            }
+        }
+        self.dispatch(core);
+    }
+
+    /// Allocates a fresh host granule for stage-2 fault fixups.
+    fn alloc_fixup_granule(&mut self) -> cg_machine::GranuleAddr {
+        let n = self.metrics.counters.get("host.fixup_granules");
+        self.metrics.counters.incr("host.fixup_granules");
+        cg_machine::GranuleAddr::new(0x20_0000_0000 + n * 4096).expect("aligned")
+    }
+
+    pub(crate) fn wake_thread_if_blocked(&mut self, tid: ThreadId) {
+        if self.sched.is_blocked(tid) {
+            // Restore the thread's active continuation.
+            let cont = &mut self.threads.get_mut(&tid).expect("ctx").cont;
+            match cont {
+                ThreadCont::VmmIdle { vm, device } => {
+                    let (vm, device) = (*vm, *device);
+                    *cont = ThreadCont::VmmDrain {
+                        vm,
+                        device,
+                        staged: None,
+                    };
+                }
+                ThreadCont::WakeupIdle => *cont = ThreadCont::WakeupScan,
+                _ => {}
+            }
+            let (core, preempts) = self.sched.wake(tid);
+            self.after_wake(core, preempts);
+        }
+    }
+
+    // ================= run-call transports =================
+
+    fn complete_run_call_issue(&mut self, core: CoreId, tid: ThreadId, vm: VmId, vcpu: u32) {
+        let now = self.queue.now();
+        // Run-to-run latency: exit posted → next run call issued.
+        if let Some(t) = self.vms[vm.0].vcpus[vcpu as usize].exit_posted_at.take() {
+            self.metrics
+                .run_to_run_us
+                .record(now.duration_since(t).as_micros_f64());
+        }
+        let entry = self.vms[vm.0].kvm.take_entry(vcpu);
+        self.vms[vm.0].kvm.mark_entered(vcpu);
+        match self.vms[vm.0].kvm.mode() {
+            VmExecMode::CoreGapped => {
+                self.vms[vm.0].run_channels[vcpu as usize]
+                    .post_request(RunMsg { entry }, now)
+                    .expect("run channel busy on issue");
+                let visible = self.vms[vm.0].run_channels[vcpu as usize]
+                    .request_visible_at(&self.config.machine)
+                    .expect("just posted");
+                let notice = visible + self.config.machine.poll_iteration / 2;
+                self.queue
+                    .schedule_at(notice, SystemEvent::RunRequestVisible { vm, vcpu });
+                self.metrics.counters.incr("rpc.run_calls");
+                match self.vms[vm.0].transport {
+                    RunTransport::AsyncIpi => {
+                        self.set_cont(tid, ThreadCont::VcpuAwait { vm, vcpu });
+                        self.sched.block_current(core);
+                        self.cores[core.index()].run = CoreRun::HostIdle;
+                        self.dispatch(core);
+                    }
+                    RunTransport::BusyWait => {
+                        self.set_cont(tid, ThreadCont::VcpuPoll { vm, vcpu });
+                        self.begin_thread(core, tid);
+                    }
+                }
+            }
+            VmExecMode::SharedCore | VmExecMode::SharedCoreConfidential => {
+                // Same-core entry: charge the entry cost, then enter.
+                let mode = self.vms[vm.0].kvm.mode();
+                let entry_cost = if mode == VmExecMode::SharedCoreConfidential {
+                    // World switches into realm mode plus RMM restore.
+                    let mut c = self.machine.world_switch(core, World::Root);
+                    c += self.machine.world_switch(core, World::Realm);
+                    c + self.config.machine.context_restore + self.config.machine.realm_enter
+                } else {
+                    self.config.machine.realm_enter
+                };
+                self.vms[vm.0].vcpus[vcpu as usize].pending_entry = Some(entry);
+                self.set_cont(tid, ThreadCont::VcpuInGuest { vm, vcpu });
+                self.threads.get_mut(&tid).expect("ctx").pending = entry_cost;
+                self.begin_thread(core, tid);
+            }
+        }
+    }
+
+    /// Architecturally enters a shared-mode guest on `core` (the vCPU
+    /// thread remains current).
+    fn enter_shared_guest(&mut self, core: CoreId, vm: VmId, vcpu: u32) {
+        let entry = self.vms[vm.0].vcpus[vcpu as usize]
+            .pending_entry
+            .take()
+            .unwrap_or_default();
+        match self.vms[vm.0].kvm.mode() {
+            VmExecMode::SharedCoreConfidential => {
+                let rec = self.vms[vm.0].kvm.rec(vcpu);
+                let out = self.rmm.rec_enter_with_list(
+                    core,
+                    rec,
+                    &entry.pending_interrupts,
+                    &mut self.machine,
+                );
+                assert!(
+                    out.status.is_success(),
+                    "shared-core CVM entry failed: {:?}",
+                    out.status
+                );
+            }
+            VmExecMode::SharedCore => {
+                for intid in entry.pending_interrupts {
+                    self.machine.gic_mut().inject_virtual(core, intid);
+                }
+                let domain = Domain::Realm(self.vms[vm.0].kvm.realm());
+                self.machine.cpu_mut(core).set_current_domain(Some(domain));
+            }
+            VmExecMode::CoreGapped => unreachable!("gapped guests enter via RPC"),
+        }
+        self.cores[core.index()].guest_slice_used = SimDuration::ZERO;
+        self.cores[core.index()].run = CoreRun::Guest { vm, vcpu };
+        self.advance_guest(core);
+    }
+
+    fn take_posted_exit(&mut self, vm: VmId, vcpu: u32) -> RecExit {
+        match self.vms[vm.0].kvm.mode() {
+            VmExecMode::CoreGapped => {
+                let now = self.queue.now();
+                let machine = self.config.machine.clone();
+                self.vms[vm.0].run_channels[vcpu as usize]
+                    .take_response(now, &machine)
+                    .expect("exit response must be visible when handled")
+            }
+            _ => self.vms[vm.0].vcpus[vcpu as usize]
+                .pending_exit
+                .take()
+                .expect("shared-mode exit stored before handling"),
+        }
+    }
+
+    fn complete_wakeup_scan(&mut self, core: CoreId, tid: ThreadId) {
+        let now = self.queue.now();
+        let machine = self.config.machine.clone();
+        // Find all posted-and-visible exits whose threads still await.
+        let mut woken = 0u64;
+        for vm_idx in 0..self.vms.len() {
+            for vcpu in 0..self.vms[vm_idx].kvm.num_vcpus() {
+                let visible = {
+                    let ch = &self.vms[vm_idx].run_channels[vcpu as usize];
+                    ch.has_response()
+                        && ch
+                            .response_visible_at(&machine)
+                            .map(|t| t <= now)
+                            .unwrap_or(false)
+                };
+                if !visible {
+                    continue;
+                }
+                let vtid = self.vms[vm_idx].vcpus[vcpu as usize].thread;
+                let awaiting = matches!(
+                    self.threads.get(&vtid).map(|c| &c.cont),
+                    Some(ThreadCont::VcpuAwait { .. })
+                );
+                if awaiting && self.sched.is_blocked(vtid) {
+                    self.set_cont(
+                        vtid,
+                        ThreadCont::VcpuHandleExit {
+                            vm: VmId(vm_idx),
+                            vcpu,
+                        },
+                    );
+                    let (wcore, preempts) = self.sched.wake(vtid);
+                    woken += 1;
+                    if preempts {
+                        self.maybe_preempt(wcore);
+                    }
+                    // (No dispatch here: the wake-up thread holds this
+                    // core; woken vCPU threads run when it suspends.)
+                }
+            }
+        }
+        let w = self.wakeup.as_mut().expect("wakeup thread exists");
+        w.record_woken(woken);
+        if w.try_suspend() {
+            self.set_cont(tid, ThreadCont::WakeupIdle);
+            self.sched.block_current(core);
+            self.cores[core.index()].run = CoreRun::HostIdle;
+            self.dispatch(core);
+        } else {
+            self.set_cont(tid, ThreadCont::WakeupScan);
+            self.begin_thread(core, tid);
+        }
+    }
+
+    // ================= VMM I/O =================
+
+    /// Picks the next emulation item for the VMM thread. Returns `true`
+    /// if the thread blocked (no work).
+    fn begin_vmm_drain(&mut self, core: CoreId, tid: ThreadId) -> bool {
+        let (vm, device) = {
+            let ctx = self.threads.get(&tid).expect("ctx");
+            let ThreadCont::VmmDrain { vm, device, staged } = &ctx.cont else {
+                unreachable!("begin_vmm_drain on wrong cont")
+            };
+            debug_assert!(staged.is_none());
+            (*vm, *device)
+        };
+        let host = self.config.host.clone();
+        let dev_id = self.vms[vm.0].devices[device as usize].id;
+
+        // Priority: rx emulation, then tx, then disk.
+        if let Some((bytes, flow)) = self.vms[vm.0].devices[device as usize].rx_pending.pop_front()
+        {
+            let cost = {
+                let vmm = &mut self.vms[vm.0].vmm;
+                vmm.emulate_rx(dev_id, cg_host::NetPacket { bytes, flow }, &host)
+            };
+            let ctx = self.threads.get_mut(&tid).expect("ctx");
+            ctx.cont = ThreadCont::VmmDrain {
+                vm,
+                device,
+                staged: Some(VmmEffect::RxToGuest { bytes, flow }),
+            };
+            ctx.pending = cost;
+            return false;
+        }
+        if let Some((pkt, cost)) = self.vms[vm.0].vmm.emulate_tx(dev_id, &host) {
+            let ctx = self.threads.get_mut(&tid).expect("ctx");
+            ctx.cont = ThreadCont::VmmDrain {
+                vm,
+                device,
+                staged: Some(VmmEffect::TxToWire {
+                    bytes: pkt.bytes,
+                    flow: pkt.flow,
+                }),
+            };
+            ctx.pending = cost;
+            return false;
+        }
+        if let Some((req, cpu, service)) = self.vms[vm.0].vmm.emulate_disk(dev_id, &host) {
+            let ctx = self.threads.get_mut(&tid).expect("ctx");
+            ctx.cont = ThreadCont::VmmDrain {
+                vm,
+                device,
+                staged: Some(VmmEffect::DiskSubmit {
+                    tag: req.tag,
+                    service_ns: service.as_nanos(),
+                }),
+            };
+            ctx.pending = cpu;
+            return false;
+        }
+        // Nothing to do: idle.
+        self.set_cont(tid, ThreadCont::VmmIdle { vm, device });
+        self.sched.block_current(core);
+        self.cores[core.index()].run = CoreRun::HostIdle;
+        self.dispatch(core);
+        true
+    }
+
+    fn apply_vmm_effect(&mut self, vm: VmId, device: u32, effect: VmmEffect) {
+        let host = self.config.host.clone();
+        match effect {
+            VmmEffect::TxToWire { bytes, flow } => {
+                let delay = host.nic_serialize(bytes) + host.nic_wire_latency;
+                self.queue.schedule_after(
+                    delay,
+                    SystemEvent::WireToPeer {
+                        vm,
+                        pkt: PeerPacket { bytes, flow },
+                    },
+                );
+            }
+            VmmEffect::DiskSubmit { tag, service_ns } => {
+                self.queue.schedule_after(
+                    SimDuration::nanos(service_ns),
+                    SystemEvent::DiskDone { vm, device, tag },
+                );
+            }
+            VmmEffect::RxToGuest { bytes, flow } => {
+                self.deliver_rx_to_guest(vm, device, bytes, flow);
+            }
+        }
+    }
+
+    /// Delivers an inbound packet to the guest: NAPI-style direct
+    /// delivery if the target vCPU is actively running, the interrupt
+    /// path otherwise.
+    pub(crate) fn deliver_rx_to_guest(&mut self, vm: VmId, device: u32, bytes: u64, flow: u64) {
+        let now = self.queue.now();
+        let vcpu = 0u32; // network queues target vCPU 0 in all workloads
+        let core = self.vms[vm.0].vcpus[vcpu as usize].core;
+        let running = self.cores[core.index()].run == CoreRun::Guest { vm, vcpu };
+        if self.config.napi && running {
+            // NAPI: the payload is already in guest memory (DMA); the
+            // busy guest picks it up by polling, no injection needed.
+            self.metrics.counters.incr("net.napi_rx");
+            self.vms[vm.0]
+                .guest
+                .on_irq(vcpu, GuestIrq::NetRx { device, bytes, flow }, now);
+        } else {
+            // Interrupt path: the payload waits in the inbox until the
+            // completion SPI gets the guest's attention.
+            self.vms[vm.0].devices[device as usize]
+                .rx_inbox
+                .push_back((bytes, flow));
+        }
+        // Either way the VF raises its *physical* interrupt at the routed
+        // core (with 2:1 adaptive moderation under NAPI-suppressed load).
+        // Under core gapping that is the (separate) host core; in shared
+        // mode it is a guest core — the stealing and forced exits this
+        // causes are the host interference core gapping removes.
+        let d = &mut self.vms[vm.0].devices[device as usize];
+        d.rx_count += 1;
+        let must_inject = !d.rx_inbox.is_empty();
+        let moderated = d.rx_count.is_multiple_of(2);
+        if must_inject || moderated {
+            let spi = self.vms[vm.0].devices[device as usize].spi;
+            let route = self.machine.gic().spi_route(spi);
+            self.queue.schedule_after(
+                self.config.machine.device_irq_deliver,
+                SystemEvent::DeviceIrqArrive {
+                    core: route,
+                    vm,
+                    device,
+                },
+            );
+        }
+    }
+
+    // ================= guest driving =================
+
+    /// Drives the guest running on `core`: delivers staged virtual
+    /// interrupts, gets the next op, and starts exactly one segment (or
+    /// transitions to WFI idle / exit).
+    pub(crate) fn advance_guest(&mut self, core: CoreId) {
+        let CoreRun::Guest { vm, vcpu } = self.cores[core.index()].run else {
+            unreachable!("advance_guest on non-guest core")
+        };
+        let now = self.queue.now();
+
+        // Pending *physical* interrupt (raised while another segment was
+        // in flight)?
+        if let Some(intid) = self.machine.gic().next_pending(core) {
+            self.machine.gic_mut().rescind(core, intid);
+            self.handle_guest_phys_irq(core, vm, vcpu, intid);
+            return;
+        }
+
+        // Deliver staged virtual interrupts to the guest.
+        while let Some(vintid) = self.machine.gic().next_virtual_pending(core) {
+            self.machine.gic_mut().virtual_ack(core, vintid);
+            self.machine.gic_mut().virtual_eoi(core, vintid);
+            self.deliver_virq(vm, vcpu, vintid, now);
+        }
+
+        // Continue an interrupted compute op, or fetch the next op.
+        let (op, remaining) = match self.vms[vm.0].cur_op[vcpu as usize].take() {
+            Some((op, remaining)) => (op, remaining),
+            None => {
+                let op = self.vms[vm.0].guest.next_op(vcpu, now);
+                let work = match op {
+                    GuestOp::Compute { work } | GuestOp::SecretCompute { work, .. } => work,
+                    _ => SimDuration::ZERO,
+                };
+                (op, work)
+            }
+        };
+        self.execute_guest_op(core, vm, vcpu, op, remaining);
+    }
+
+    fn deliver_virq(&mut self, vm: VmId, vcpu: u32, vintid: IntId, now: SimTime) {
+        if vintid == IntId::VTIMER {
+            self.vms[vm.0].guest.on_irq(vcpu, GuestIrq::Tick, now);
+        } else if vintid.is_sgi() {
+            // Virtual IPI acknowledged: table 3 sample.
+            if let Some(t) = self.vms[vm.0].vcpus[vcpu as usize].vipi_sent_at.take() {
+                self.metrics
+                    .vipi_latency_us
+                    .record(now.duration_since(t).as_micros_f64());
+            }
+            self.vms[vm.0]
+                .guest
+                .on_irq(vcpu, GuestIrq::Ipi { sgi: vintid.0 }, now);
+        } else if vintid.is_spi() {
+            // Find the device and drain its queues.
+            let dev_idx = self.vms[vm.0]
+                .devices
+                .iter()
+                .position(|d| IntId::spi(d.spi) == vintid);
+            if let Some(di) = dev_idx {
+                self.vms[vm.0].devices[di].pending_notify = 0;
+                loop {
+                    let item = self.vms[vm.0].devices[di].rx_inbox.pop_front();
+                    match item {
+                        Some((bytes, flow)) => self.vms[vm.0].guest.on_irq(
+                            vcpu,
+                            GuestIrq::NetRx {
+                                device: di as u32,
+                                bytes,
+                                flow,
+                            },
+                            now,
+                        ),
+                        None => break,
+                    }
+                }
+                // Disk completions are delivered only to the vCPU taking
+                // the interrupt: other vCPUs' completions stay queued for
+                // *their* interrupts (each owner was kicked separately).
+                let owned: Vec<u64> = {
+                    let d = &self.vms[vm.0].devices[di];
+                    d.done_queue
+                        .iter()
+                        .copied()
+                        .filter(|t| d.tag_owner.get(t) == Some(&vcpu))
+                        .collect()
+                };
+                for tag in owned {
+                    let d = &mut self.vms[vm.0].devices[di];
+                    d.done_queue.retain(|t| *t != tag);
+                    d.tag_owner.remove(&tag);
+                    self.vms[vm.0].guest.on_irq(
+                        vcpu,
+                        GuestIrq::DiskDone {
+                            device: di as u32,
+                            tag,
+                        },
+                        now,
+                    );
+                }
+            }
+        }
+    }
+
+    fn execute_guest_op(
+        &mut self,
+        core: CoreId,
+        vm: VmId,
+        vcpu: u32,
+        op: GuestOp,
+        remaining: SimDuration,
+    ) {
+        let mode = self.vms[vm.0].kvm.mode();
+        let hw = self.config.machine.clone();
+        let domain = Domain::Realm(self.vms[vm.0].kvm.realm());
+        match op {
+            GuestOp::Compute { .. } => {
+                let wall = self.machine.run_compute(core, domain, remaining);
+                self.start_compute_segment(core, vm, vcpu, op, remaining, wall, mode);
+            }
+            GuestOp::SecretCompute { secret, .. } => {
+                let wall = self.machine.run_secret_compute(core, domain, secret, remaining);
+                self.start_compute_segment(core, vm, vcpu, op, remaining, wall, mode);
+            }
+            GuestOp::ProgramTick { deadline } => {
+                let deadline = deadline.max(self.queue.now() + SimDuration::nanos(1));
+                if mode.is_confidential() {
+                    let disp = self.guest_event_disposition(
+                        core,
+                        vm,
+                        vcpu,
+                        GuestEvent::TimerProgram { deadline },
+                    );
+                    match disp {
+                        Disposition::Resume { cost } => {
+                            self.arm_phys_timer(core, deadline);
+                            self.start_guest_segment(
+                                core,
+                                cost,
+                                SimDuration::ZERO,
+                                GuestCont::OpDone,
+                            );
+                        }
+                        Disposition::ExitToHost { mut exit, cost } => {
+                            exit.gprs[0] = deadline.as_nanos();
+                            self.start_guest_exit(core, vm, vcpu, exit, cost);
+                        }
+                        other => unreachable!("timer program disposition {other:?}"),
+                    }
+                } else {
+                    // Hardware vtimer: no exit.
+                    self.arm_phys_timer(core, deadline);
+                    self.start_guest_segment(
+                        core,
+                        hw.timer_program + SimDuration::nanos(100),
+                        SimDuration::ZERO,
+                        GuestCont::OpDone,
+                    );
+                }
+            }
+            GuestOp::SendIpi { target, sgi } => {
+                // Start the table-3 latency clock on the target.
+                if (target as usize) < self.vms[vm.0].vcpus.len() {
+                    self.vms[vm.0].vcpus[target as usize].vipi_sent_at = Some(self.queue.now());
+                }
+                if mode.is_confidential() {
+                    let disp = self.guest_event_disposition(
+                        core,
+                        vm,
+                        vcpu,
+                        GuestEvent::SendIpi {
+                            target_index: target,
+                            sgi,
+                        },
+                    );
+                    match disp {
+                        Disposition::Resume { cost } => self.start_guest_segment(
+                            core,
+                            cost,
+                            SimDuration::ZERO,
+                            GuestCont::OpDone,
+                        ),
+                        Disposition::ResumeWithIpi { target_core, cost } => self
+                            .start_guest_segment(
+                                core,
+                                cost,
+                                SimDuration::ZERO,
+                                GuestCont::IpiSendDone { target_core },
+                            ),
+                        Disposition::ExitToHost { mut exit, cost } => {
+                            exit.gprs[0] = target as u64;
+                            exit.gprs[1] = sgi as u64;
+                            self.start_guest_exit(core, vm, vcpu, exit, cost);
+                        }
+                        other => unreachable!("ipi disposition {other:?}"),
+                    }
+                } else {
+                    // Non-confidential: ICC_SGI1R traps to KVM on the
+                    // same core (table 3's shared-core row).
+                    let host = self.config.host.clone();
+                    let cost = hw.realm_exit_trap
+                        + host.ipi_emulate
+                        + hw.realm_enter;
+                    let actions = self.vms[vm.0]
+                        .kvm
+                        .queue_irq(target, IntId::sgi(sgi.min(15)))
+                        .into_iter()
+                        .collect::<Vec<_>>();
+                    self.start_guest_segment(
+                        core,
+                        cost,
+                        SimDuration::ZERO,
+                        GuestCont::OpDoneActions(actions),
+                    );
+                }
+            }
+            GuestOp::Wfi => {
+                if mode.is_confidential() {
+                    let disp = self.guest_event_disposition(core, vm, vcpu, GuestEvent::Wfi);
+                    match disp {
+                        Disposition::Resume { cost } => self.start_guest_segment(
+                            core,
+                            cost,
+                            SimDuration::ZERO,
+                            GuestCont::OpDone,
+                        ),
+                        Disposition::Idle { .. } => {
+                            self.cores[core.index()].run = CoreRun::GuestWfi { vm, vcpu };
+                        }
+                        Disposition::ExitToHost { exit, cost } => {
+                            self.start_guest_exit(core, vm, vcpu, exit, cost)
+                        }
+                        other => unreachable!("wfi disposition {other:?}"),
+                    }
+                } else {
+                    // Non-confidential: WFI with pending interrupts
+                    // falls through, otherwise traps.
+                    if self.machine.gic().next_virtual_pending(core).is_some() {
+                        self.start_guest_segment(
+                            core,
+                            SimDuration::nanos(50),
+                            SimDuration::ZERO,
+                            GuestCont::OpDone,
+                        );
+                    } else {
+                        let exit = RecExit::new(RecExitReason::Wfi);
+                        self.start_guest_exit(core, vm, vcpu, exit, hw.realm_exit_trap);
+                    }
+                }
+            }
+            GuestOp::NetSend { device, bytes, flow } => {
+                let kind = self.vms[vm.0].devices[device as usize].kind;
+                match kind {
+                    DeviceKind::SriovNic => {
+                        // Direct descriptor write: no exit.
+                        self.metrics.counters.incr("net.sriov_tx");
+                        self.start_guest_segment(
+                            core,
+                            SimDuration::nanos(400),
+                            SimDuration::ZERO,
+                            GuestCont::NetTxDirect { bytes, flow },
+                        );
+                    }
+                    _ => {
+                        // Virtio: queue + kick (exit).
+                        let dev_id = self.vms[vm.0].devices[device as usize].id;
+                        self.vms[vm.0]
+                            .vmm
+                            .queue_tx(dev_id, cg_host::NetPacket { bytes, flow });
+                        self.guest_hostcall_exit(core, vm, vcpu, device);
+                    }
+                }
+            }
+            GuestOp::DiskRead { device, bytes, tag } | GuestOp::DiskWrite { device, bytes, tag } => {
+                let is_write = matches!(op, GuestOp::DiskWrite { .. });
+                let dev_id = self.vms[vm.0].devices[device as usize].id;
+                self.vms[vm.0].devices[device as usize].tag_owner.insert(tag, vcpu);
+                self.vms[vm.0].vmm.queue_disk(
+                    dev_id,
+                    cg_host::DiskRequest {
+                        bytes,
+                        is_write,
+                        tag,
+                    },
+                );
+                self.guest_hostcall_exit(core, vm, vcpu, device);
+            }
+            GuestOp::ConsoleWrite => {
+                // Interrupt-driven console: a fraction of writes raise a
+                // completion SPI later (table 4's residual
+                // interrupt-related exits under delegation).
+                self.vms[vm.0].console_writes += 1;
+                if self.vms[vm.0].console_writes % 5 < 2 && !self.vms[vm.0].devices.is_empty() {
+                    self.vms[vm.0].devices[0].pending_notify += 1;
+                    let spi = self.vms[vm.0].devices[0].spi;
+                    let route = self.machine.gic().spi_route(spi);
+                    self.queue.schedule_after(
+                        SimDuration::micros(150),
+                        SystemEvent::DeviceIrqArrive {
+                            core: route,
+                            vm,
+                            device: 0,
+                        },
+                    );
+                }
+                let event = GuestEvent::MmioWrite {
+                    ipa: 0x0900_0000,
+                    size: 4,
+                    value: 0,
+                };
+                if mode.is_confidential() {
+                    match self.guest_event_disposition(core, vm, vcpu, event) {
+                        Disposition::ExitToHost { exit, cost } => {
+                            self.start_guest_exit(core, vm, vcpu, exit, cost)
+                        }
+                        other => unreachable!("mmio disposition {other:?}"),
+                    }
+                } else {
+                    let exit = RecExit::new(RecExitReason::MmioWrite {
+                        ipa: 0x0900_0000,
+                        size: 4,
+                        value: 0,
+                    });
+                    self.start_guest_exit(core, vm, vcpu, exit, hw.realm_exit_trap);
+                }
+            }
+            GuestOp::TouchShared { ipa } => {
+                // Only unmapped IPAs fault; touches of mapped pages are
+                // plain (fast) accesses.
+                let mapped = if self.vms[vm.0]
+                    .kvm
+                    .mode()
+                    .is_confidential() { {
+                        self.rmm
+                            .realm(self.vms[vm.0].kvm.realm())
+                            .map(|r| r.rtt().translate(ipa).is_ok())
+                            .unwrap_or(false)
+                    } } else { false };
+                if mapped {
+                    self.start_guest_segment(
+                        core,
+                        SimDuration::nanos(100),
+                        SimDuration::ZERO,
+                        GuestCont::OpDone,
+                    );
+                } else if mode.is_confidential() {
+                    match self.guest_event_disposition(core, vm, vcpu, GuestEvent::Stage2Fault { ipa }) {
+                        Disposition::ExitToHost { exit, cost } => {
+                            self.start_guest_exit(core, vm, vcpu, exit, cost)
+                        }
+                        other => unreachable!("stage2 disposition {other:?}"),
+                    }
+                } else {
+                    let exit = RecExit::new(RecExitReason::Stage2Fault { ipa });
+                    self.start_guest_exit(core, vm, vcpu, exit, hw.realm_exit_trap);
+                }
+            }
+            GuestOp::Probe => {
+                // Observe first (the measurement reads pre-existing
+                // state), then charge the probe's own compute.
+                let report = cg_attacks::leakage::probe_core(&self.machine, core, domain);
+                self.metrics.counters.incr("attack.probes");
+                self.attack_report.merge(report);
+                let wall = self.machine.run_compute(core, domain, SimDuration::micros(5));
+                self.start_guest_segment(core, wall, SimDuration::ZERO, GuestCont::OpDone);
+            }
+            GuestOp::Shutdown => {
+                if mode.is_confidential() {
+                    match self.guest_event_disposition(core, vm, vcpu, GuestEvent::Shutdown) {
+                        Disposition::ExitToHost { exit, cost } => {
+                            self.start_guest_exit(core, vm, vcpu, exit, cost)
+                        }
+                        other => unreachable!("shutdown disposition {other:?}"),
+                    }
+                } else {
+                    let exit = RecExit::new(RecExitReason::Shutdown);
+                    self.start_guest_exit(core, vm, vcpu, exit, hw.realm_exit_trap);
+                }
+            }
+        }
+    }
+
+    /// Starts a guest compute segment, applying CFS-like timeslice
+    /// capping on shared cores when other host threads are runnable —
+    /// without this, a long guest compute would starve colocated VMM
+    /// threads, which real CFS never allows.
+    #[allow(clippy::too_many_arguments)]
+    fn start_compute_segment(
+        &mut self,
+        core: CoreId,
+        vm: VmId,
+        vcpu: u32,
+        op: GuestOp,
+        remaining: SimDuration,
+        wall: SimDuration,
+        mode: VmExecMode,
+    ) {
+        let slice = cg_host::sched::FAIR_TIMESLICE;
+        let sharing = mode != VmExecMode::CoreGapped && self.sched.runnable_on(core) > 0;
+        if sharing {
+            let used = self.cores[core.index()].guest_slice_used;
+            let cap = slice.saturating_sub(used);
+            if cap.is_zero() {
+                // Timeslice exhausted at an op boundary: exit now.
+                self.cores[core.index()].guest_slice_used = SimDuration::ZERO;
+                self.vms[vm.0].cur_op[vcpu as usize] = Some((op, remaining));
+                self.preempt_shared_guest(core, vm, vcpu, RecExitReason::HostInterrupt);
+                return;
+            }
+            if wall > cap {
+                let work_done = remaining.scaled(cap.as_nanos() as f64 / wall.as_nanos() as f64);
+                self.cores[core.index()].guest_slice_used = SimDuration::ZERO;
+                self.vms[vm.0].cur_op[vcpu as usize] = Some((op, remaining - work_done));
+                self.start_guest_segment(core, cap, work_done, GuestCont::ComputeTimeslice);
+                return;
+            }
+            self.cores[core.index()].guest_slice_used = used + wall;
+        }
+        self.vms[vm.0].cur_op[vcpu as usize] = Some((op, remaining));
+        self.start_guest_segment(core, wall, remaining, GuestCont::ComputeDone);
+    }
+
+    fn guest_hostcall_exit(&mut self, core: CoreId, vm: VmId, vcpu: u32, device: u32) {
+        let mode = self.vms[vm.0].kvm.mode();
+        if mode.is_confidential() {
+            match self.guest_event_disposition(core, vm, vcpu, GuestEvent::HostCall { imm: device })
+            {
+                Disposition::ExitToHost { exit, cost } => {
+                    self.start_guest_exit(core, vm, vcpu, exit, cost)
+                }
+                other => unreachable!("hostcall disposition {other:?}"),
+            }
+        } else {
+            let exit = RecExit::new(RecExitReason::HostCall { imm: device });
+            self.start_guest_exit(core, vm, vcpu, exit, self.config.machine.realm_exit_trap);
+        }
+    }
+
+    fn guest_event_disposition(
+        &mut self,
+        core: CoreId,
+        vm: VmId,
+        vcpu: u32,
+        event: GuestEvent,
+    ) -> Disposition {
+        let rec = self.vms[vm.0].kvm.rec(vcpu);
+        self.rmm.on_guest_event(core, rec, event, &mut self.machine)
+    }
+
+    fn arm_phys_timer(&mut self, core: CoreId, deadline: SimTime) {
+        let gen = self.machine.timer_mut(core).program(deadline);
+        self.queue.schedule_at(
+            deadline,
+            SystemEvent::PhysTimerFire {
+                core,
+                generation: gen,
+            },
+        );
+    }
+
+    pub(crate) fn start_guest_segment(
+        &mut self,
+        core: CoreId,
+        wall: SimDuration,
+        work: SimDuration,
+        cont: GuestCont,
+    ) {
+        self.cores[core.index()].guest_cont = Some(cont);
+        self.start_segment(core, wall, work);
+    }
+
+    /// Starts the exit path: a segment covering the RMM/trap cost whose
+    /// completion posts the exit to the host.
+    fn start_guest_exit(
+        &mut self,
+        core: CoreId,
+        vm: VmId,
+        _vcpu: u32,
+        exit: RecExit,
+        mut cost: SimDuration,
+    ) {
+        if self.vms[vm.0].kvm.mode() == VmExecMode::SharedCoreConfidential {
+            // World switches back to normal world (with mitigation
+            // flush), on top of the RMM-side cost.
+            cost += self.machine.world_switch(core, World::Root);
+            cost += self.machine.world_switch(core, World::Normal);
+        }
+        self.start_guest_segment(core, cost, SimDuration::ZERO, GuestCont::ExitPost { exit });
+    }
+
+    /// Handles guest-segment completion.
+    pub(crate) fn guest_segment_done(&mut self, core: CoreId) {
+        let CoreRun::Guest { vm, vcpu } = self.cores[core.index()].run else {
+            unreachable!("guest segment on non-guest core")
+        };
+        let cont = self.cores[core.index()]
+            .guest_cont
+            .take()
+            .expect("guest segment without continuation");
+        match cont {
+            GuestCont::ComputeDone => {
+                self.vms[vm.0].cur_op[vcpu as usize] = None;
+                self.advance_guest(core);
+            }
+            GuestCont::ComputeTimeslice => {
+                // Scheduler-tick preemption: the shared-mode guest exits
+                // so other host threads get the core (cur_op already
+                // holds the remaining work).
+                let mode = self.vms[vm.0].kvm.mode();
+                if mode == VmExecMode::SharedCoreConfidential {
+                    let rec = self.vms[vm.0].kvm.rec(vcpu);
+                    let disp = self.rmm.on_guest_event(
+                        core,
+                        rec,
+                        GuestEvent::PhysIrq { intid: HOST_KICK_SGI },
+                        &mut self.machine,
+                    );
+                    match disp {
+                        Disposition::ExitToHost { exit, cost } => {
+                            self.start_guest_exit(core, vm, vcpu, exit, cost)
+                        }
+                        other => unreachable!("timeslice disposition {other:?}"),
+                    }
+                } else {
+                    let exit = RecExit::new(RecExitReason::HostInterrupt);
+                    self.start_guest_exit(
+                        core,
+                        vm,
+                        vcpu,
+                        exit,
+                        self.config.machine.realm_exit_trap,
+                    );
+                }
+            }
+            GuestCont::OpDone => self.advance_guest(core),
+            GuestCont::OpDoneActions(actions) => {
+                for a in actions {
+                    self.apply_host_action(vm, a);
+                }
+                self.advance_guest(core);
+            }
+            GuestCont::NetTxDirect { bytes, flow } => {
+                let host = self.config.host.clone();
+                let delay = host.nic_serialize(bytes) + host.nic_wire_latency;
+                self.queue.schedule_after(
+                    delay,
+                    SystemEvent::WireToPeer {
+                        vm,
+                        pkt: PeerPacket { bytes, flow },
+                    },
+                );
+                self.advance_guest(core);
+            }
+            GuestCont::IpiSendDone { target_core } => {
+                self.queue.schedule_after(
+                    self.config.machine.ipi_deliver,
+                    SystemEvent::IpiArrive {
+                        core: target_core,
+                        intid: REALM_DOORBELL_SGI,
+                    },
+                );
+                self.metrics.counters.incr("rmm.delegated_ipi_sent");
+                self.advance_guest(core);
+            }
+            GuestCont::ExitPost { exit } => self.finish_guest_exit(core, vm, vcpu, exit),
+        }
+    }
+
+    /// The exit record reaches the host.
+    fn finish_guest_exit(&mut self, core: CoreId, vm: VmId, vcpu: u32, exit: RecExit) {
+        let now = self.queue.now();
+        self.trace.emit(
+            now,
+            cg_sim::TraceLevel::Info,
+            "system.exit",
+            format!("{vm}.vcpu{vcpu} exits on {core}: {}", exit.reason),
+        );
+        self.vms[vm.0].vcpus[vcpu as usize].exit_posted_at = Some(now);
+        match self.vms[vm.0].kvm.mode() {
+            VmExecMode::CoreGapped => {
+                self.vms[vm.0].run_channels[vcpu as usize]
+                    .post_response(exit, now)
+                    .expect("run channel must be serving");
+                self.cores[core.index()].run = CoreRun::RmmPolling;
+                self.machine
+                    .cpu_mut(core)
+                    .set_current_domain(Some(Domain::Monitor));
+                if self.vms[vm.0].transport == RunTransport::AsyncIpi {
+                    self.metrics.counters.incr("rpc.doorbell_rings");
+                    if self.doorbell.ring() {
+                        self.metrics.counters.incr("rpc.doorbell_ipis");
+                        let target = self.doorbell.target();
+                        self.queue.schedule_after(
+                            self.config.machine.mailbox_write + self.config.machine.ipi_deliver,
+                            SystemEvent::IpiArrive {
+                                core: target,
+                                intid: CVM_EXIT_SGI,
+                            },
+                        );
+                    }
+                }
+            }
+            _ => {
+                // Same-core: the vCPU thread (still current here) handles
+                // the exit directly.
+                let tid = self.vms[vm.0].vcpus[vcpu as usize].thread;
+                self.vms[vm.0].vcpus[vcpu as usize].pending_exit = Some(exit);
+                self.cores[core.index()].run = CoreRun::HostThread { tid };
+                self.machine
+                    .cpu_mut(core)
+                    .set_current_domain(Some(Domain::Host));
+                self.set_cont(tid, ThreadCont::VcpuHandleExit { vm, vcpu });
+                self.begin_thread(core, tid);
+            }
+        }
+    }
+
+    /// A physical interrupt reached a core hosting a *running* guest.
+    pub(crate) fn handle_guest_phys_irq(
+        &mut self,
+        core: CoreId,
+        vm: VmId,
+        vcpu: u32,
+        intid: IntId,
+    ) {
+        let mode = self.vms[vm.0].kvm.mode();
+        if mode == VmExecMode::CoreGapped || mode == VmExecMode::SharedCoreConfidential {
+            self.machine.gic_mut().raise(core, intid);
+            let rec = self.vms[vm.0].kvm.rec(vcpu);
+            let disp = self
+                .rmm
+                .on_guest_event(core, rec, GuestEvent::PhysIrq { intid }, &mut self.machine);
+            match disp {
+                Disposition::Resume { cost } => {
+                    self.start_guest_segment(core, cost, SimDuration::ZERO, GuestCont::OpDone)
+                }
+                Disposition::ExitToHost { exit, cost } => {
+                    self.start_guest_exit(core, vm, vcpu, exit, cost)
+                }
+                other => unreachable!("phys irq disposition {other:?}"),
+            }
+        } else {
+            // Non-confidential shared guest.
+            if intid == IntId::VTIMER {
+                // Hardware vtimer: injected directly by the vGIC.
+                self.machine.gic_mut().inject_virtual(core, IntId::VTIMER);
+                self.start_guest_segment(
+                    core,
+                    SimDuration::nanos(200),
+                    SimDuration::ZERO,
+                    GuestCont::OpDone,
+                );
+            } else {
+                // Host-directed interrupt: the guest exits.
+                self.preempt_shared_guest(core, vm, vcpu, RecExitReason::HostInterrupt);
+            }
+        }
+    }
+
+    /// Truncates a running shared-mode guest and exits it to the host.
+    ///
+    /// Only interruptible guest execution (compute) is preempted; if the
+    /// guest is mid-transition (trap handling, exit path), it is left to
+    /// reach the host on its own — the interrupt's payload is delivered
+    /// through KVM regardless.
+    pub(crate) fn preempt_shared_guest(
+        &mut self,
+        core: CoreId,
+        vm: VmId,
+        vcpu: u32,
+        reason: RecExitReason,
+    ) {
+        let interruptible = matches!(
+            self.cores[core.index()].guest_cont,
+            Some(GuestCont::ComputeDone) | Some(GuestCont::ComputeTimeslice) | None
+        );
+        if !interruptible {
+            return;
+        }
+        if self.cores[core.index()].seg_token.is_some() {
+            let (_, _, completed) = self.truncate_segment(core);
+            if let Some((op, remaining)) = self.vms[vm.0].cur_op[vcpu as usize].take() {
+                let left = remaining.saturating_sub(completed);
+                if !left.is_zero() {
+                    self.vms[vm.0].cur_op[vcpu as usize] = Some((op, left));
+                }
+            }
+            self.cores[core.index()].guest_cont = None;
+        }
+        let mode = self.vms[vm.0].kvm.mode();
+        if mode == VmExecMode::SharedCoreConfidential {
+            let rec = self.vms[vm.0].kvm.rec(vcpu);
+            let disp = self.rmm.on_guest_event(
+                core,
+                rec,
+                GuestEvent::PhysIrq {
+                    intid: HOST_KICK_SGI,
+                },
+                &mut self.machine,
+            );
+            match disp {
+                Disposition::ExitToHost { exit, cost } => {
+                    self.start_guest_exit(core, vm, vcpu, exit, cost)
+                }
+                other => unreachable!("kick disposition {other:?}"),
+            }
+        } else {
+            let exit = RecExit::new(reason);
+            self.start_guest_exit(core, vm, vcpu, exit, self.config.machine.realm_exit_trap);
+        }
+    }
+
+    /// Truncates a running (gapped) guest compute segment so the RMM can
+    /// handle a physical interrupt, preserving remaining work.
+    pub(crate) fn interrupt_gapped_guest(&mut self, core: CoreId, vm: VmId, vcpu: u32, intid: IntId) {
+        let is_compute = matches!(
+            self.cores[core.index()].guest_cont,
+            Some(GuestCont::ComputeDone)
+        );
+        if is_compute {
+            let (_, _, completed) = self.truncate_segment(core);
+            if let Some((op, remaining)) = self.vms[vm.0].cur_op[vcpu as usize].take() {
+                let left = remaining.saturating_sub(completed);
+                if !left.is_zero() {
+                    self.vms[vm.0].cur_op[vcpu as usize] = Some((op, left));
+                }
+            }
+            self.cores[core.index()].guest_cont = None;
+            self.handle_guest_phys_irq(core, vm, vcpu, intid);
+        } else {
+            // Mid-transition: note the interrupt; the guest loop picks it
+            // up at the next op boundary.
+            self.machine.gic_mut().raise(core, intid);
+        }
+    }
+}

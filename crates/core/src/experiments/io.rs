@@ -1,0 +1,268 @@
+//! The I/O experiments: NetPIPE (fig. 8) and IOzone (fig. 9).
+
+use std::collections::BTreeMap;
+
+use cg_host::DeviceKind;
+use cg_sim::SimDuration;
+use cg_workloads::iozone::Iozone;
+use cg_workloads::kernel::GuestKernel;
+use cg_workloads::netpipe::Netpipe;
+use cg_workloads::EchoPeer;
+
+use crate::config::{SystemConfig, VmSpec};
+use crate::system::System;
+
+/// A fig. 8 configuration: device backend × execution mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetpipeConfig {
+    /// `true` for SR-IOV VF passthrough, `false` for emulated virtio.
+    pub sriov: bool,
+    /// `true` for a core-gapped CVM, `false` for the shared-core
+    /// baseline.
+    pub core_gapped: bool,
+    /// Enable the direct device-interrupt delivery extension (§5.3) —
+    /// core-gapped + SR-IOV only.
+    pub direct_delivery: bool,
+}
+
+impl NetpipeConfig {
+    /// All four fig. 8 series.
+    pub const ALL: [NetpipeConfig; 4] = [
+        NetpipeConfig { sriov: false, core_gapped: false, direct_delivery: false },
+        NetpipeConfig { sriov: false, core_gapped: true, direct_delivery: false },
+        NetpipeConfig { sriov: true, core_gapped: false, direct_delivery: false },
+        NetpipeConfig { sriov: true, core_gapped: true, direct_delivery: false },
+    ];
+
+    /// The §5.3 extension configuration: SR-IOV, core-gapped, with
+    /// direct interrupt delivery.
+    pub const DIRECT: NetpipeConfig = NetpipeConfig {
+        sriov: true,
+        core_gapped: true,
+        direct_delivery: true,
+    };
+
+    /// Legend label.
+    pub fn label(self) -> String {
+        format!(
+            "{} / {}{}",
+            if self.sriov { "SR-IOV" } else { "virtio" },
+            if self.core_gapped { "core-gapped" } else { "shared-core" },
+            if self.direct_delivery { " + direct irq" } else { "" }
+        )
+    }
+}
+
+/// One NetPIPE data point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetpipePoint {
+    /// Median round-trip time in microseconds.
+    pub rtt_us: f64,
+    /// Throughput in megabits per second (`2 · size · 8 / rtt`).
+    pub mbps: f64,
+}
+
+fn base_config(core_gapped: bool, seed: u64) -> SystemConfig {
+    let mut c = SystemConfig::paper_default();
+    c.seed = seed;
+    if core_gapped {
+        c.rmm = cg_rmm::RmmConfig::core_gapped();
+        c.num_host_cores = 1;
+    } else {
+        c.rmm = cg_rmm::RmmConfig::shared_core();
+        c.num_host_cores = 2;
+    }
+    c.machine.num_cores = 4;
+    c
+}
+
+/// Runs NetPIPE over `sizes`, returning one point per message size.
+pub fn run_netpipe(
+    config: NetpipeConfig,
+    sizes: &[u64],
+    reps: u32,
+    seed: u64,
+) -> BTreeMap<u64, NetpipePoint> {
+    let mut sys_config = base_config(config.core_gapped, seed);
+    if config.direct_delivery {
+        assert!(config.core_gapped && config.sriov, "direct delivery is a core-gapped SR-IOV extension");
+        sys_config.rmm = cg_rmm::RmmConfig::core_gapped_direct_delivery();
+    }
+    let mut system = System::new(sys_config.clone());
+    let app = Netpipe::new(sizes.to_vec(), reps, 0);
+    let guest = GuestKernel::new(1, sys_config.host.guest_hz, Box::new(app));
+    let device = if config.sriov {
+        DeviceKind::SriovNic
+    } else {
+        DeviceKind::VirtioNet
+    };
+    let spec = if config.core_gapped {
+        VmSpec::core_gapped(1)
+    } else {
+        VmSpec::shared_core(1)
+    }
+    .with_device(device);
+    // The peer echoes after a small fixed service time.
+    let peer = EchoPeer::new(SimDuration::micros(3));
+    let vm = system
+        .add_vm(spec, Box::new(guest), Some(Box::new(peer)))
+        .expect("netpipe VM");
+    system.run_until_done(SimDuration::secs(120));
+    let report = system.vm_report(vm);
+    let mut out = BTreeMap::new();
+    for &size in sizes {
+        if let Some(samples) = report.stats.sample(&format!("rtt_us_{size}")) {
+            let mut s = samples.clone();
+            let rtt = s.percentile(50.0);
+            out.insert(
+                size,
+                NetpipePoint {
+                    rtt_us: rtt,
+                    mbps: 2.0 * size as f64 * 8.0 / rtt,
+                },
+            );
+        }
+    }
+    out
+}
+
+/// One IOzone data point: throughput in MiB/s.
+pub type IozonePoint = f64;
+
+/// Runs IOzone sync reads and writes over `records`, returning
+/// `(record, is_write) → MiB/s`.
+pub fn run_iozone(
+    core_gapped: bool,
+    records: &[u64],
+    reps: u32,
+    seed: u64,
+) -> BTreeMap<(u64, bool), IozonePoint> {
+    let sys_config = base_config(core_gapped, seed);
+    let mut system = System::new(sys_config.clone());
+    let mut phases = Vec::new();
+    for &r in records {
+        phases.push((r, false, reps));
+        phases.push((r, true, reps));
+    }
+    let app = Iozone::new(phases, 0);
+    let guest = GuestKernel::new(1, sys_config.host.guest_hz, Box::new(app));
+    let spec = if core_gapped {
+        VmSpec::core_gapped(1)
+    } else {
+        VmSpec::shared_core(1)
+    }
+    .with_device(DeviceKind::VirtioBlk);
+    let vm = system
+        .add_vm(spec, Box::new(guest), None)
+        .expect("iozone VM");
+    system.run_until_done(SimDuration::secs(600));
+    let report = system.vm_report(vm);
+    let mut out = BTreeMap::new();
+    for &r in records {
+        for is_write in [false, true] {
+            let dir = if is_write { "write" } else { "read" };
+            if let Some(samples) = report.stats.sample(&format!("io_us_{dir}_{r}")) {
+                let mean_us = samples.mean();
+                if mean_us > 0.0 {
+                    out.insert(
+                        (r, is_write),
+                        r as f64 / (1 << 20) as f64 / (mean_us / 1e6),
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn netpipe_completes_on_all_configs() {
+        for config in NetpipeConfig::ALL {
+            let points = run_netpipe(config, &[1024, 65536], 3, 5);
+            assert_eq!(points.len(), 2, "{}", config.label());
+            assert!(points[&1024].rtt_us > 0.0);
+            assert!(points[&65536].mbps > points[&1024].mbps * 0.5);
+        }
+    }
+
+    #[test]
+    fn virtio_gapped_latency_is_much_higher_than_shared() {
+        let shared = run_netpipe(
+            NetpipeConfig { sriov: false, core_gapped: false, direct_delivery: false },
+            &[1500],
+            5,
+            5,
+        );
+        let gapped = run_netpipe(
+            NetpipeConfig { sriov: false, core_gapped: true, direct_delivery: false },
+            &[1500],
+            5,
+            5,
+        );
+        // Paper fig. 8: up to 2× latency for virtio under core gapping.
+        assert!(
+            gapped[&1500].rtt_us > 1.4 * shared[&1500].rtt_us,
+            "gapped {} vs shared {}",
+            gapped[&1500].rtt_us,
+            shared[&1500].rtt_us
+        );
+    }
+
+    #[test]
+    fn sriov_closes_most_of_the_gap() {
+        let shared = run_netpipe(
+            NetpipeConfig { sriov: true, core_gapped: false, direct_delivery: false },
+            &[1500],
+            5,
+            5,
+        );
+        let gapped = run_netpipe(
+            NetpipeConfig { sriov: true, core_gapped: true, direct_delivery: false },
+            &[1500],
+            5,
+            5,
+        );
+        // Paper fig. 8: SR-IOV latency within 10–20 µs of the baseline.
+        let delta = gapped[&1500].rtt_us - shared[&1500].rtt_us;
+        assert!(
+            (0.0..=25.0).contains(&delta),
+            "delta {delta} µs (gapped {}, shared {})",
+            gapped[&1500].rtt_us,
+            shared[&1500].rtt_us
+        );
+    }
+
+    #[test]
+    fn direct_delivery_closes_the_interrupt_gap() {
+        let shared = run_netpipe(
+            NetpipeConfig { sriov: true, core_gapped: false, direct_delivery: false },
+            &[1500],
+            5,
+            5,
+        );
+        let direct = run_netpipe(NetpipeConfig::DIRECT, &[1500], 5, 5);
+        // With local injection the gapped CVM matches (or beats) the
+        // shared-core baseline on SR-IOV latency.
+        assert!(
+            direct[&1500].rtt_us <= shared[&1500].rtt_us + 3.0,
+            "direct {} vs shared {}",
+            direct[&1500].rtt_us,
+            shared[&1500].rtt_us
+        );
+    }
+
+    #[test]
+    fn iozone_parity_at_large_records_only() {
+        let shared = run_iozone(false, &[4096, 16 << 20], 3, 5);
+        let gapped = run_iozone(true, &[4096, 16 << 20], 3, 5);
+        let small_ratio = gapped[&(4096, false)] / shared[&(4096, false)];
+        let large_ratio = gapped[&(16 << 20, false)] / shared[&(16 << 20, false)];
+        // Paper fig. 9: gapped loses at small records, parity ≥ 10 MiB.
+        assert!(small_ratio < 0.75, "small-record ratio {small_ratio}");
+        assert!(large_ratio > 0.9, "large-record ratio {large_ratio}");
+    }
+}

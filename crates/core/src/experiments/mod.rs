@@ -1,0 +1,9 @@
+//! Prebuilt experiment configurations for every table and figure of the
+//! paper's evaluation (populated as the harness grows).
+
+pub mod apps;
+pub mod io;
+pub mod latency;
+pub mod scaling;
+pub mod security;
+pub mod tdx;

@@ -1,0 +1,371 @@
+//! Event dispatch: what each [`SystemEvent`] does.
+
+use cg_host::VmExecMode;
+use cg_machine::{CoreId, IntId};
+use cg_rmm::Disposition;
+use cg_sim::{SimDuration, SimTime};
+
+use crate::event::SystemEvent;
+use crate::exec::GuestCont;
+use crate::system::{CoreRun, System, ThreadCont, VmId, CVM_EXIT_SGI};
+
+impl System {
+    /// Dispatches one event.
+    pub(crate) fn handle(&mut self, ev: SystemEvent) {
+        match ev {
+            SystemEvent::SegmentEnd { core, epoch } => self.on_segment_end(core, epoch),
+            SystemEvent::PhysTimerFire { core, generation } => {
+                self.on_phys_timer(core, generation)
+            }
+            SystemEvent::IpiArrive { core, intid } => self.on_ipi(core, intid),
+            SystemEvent::DeviceIrqArrive { core, vm, device } => {
+                self.on_device_irq(core, vm, device)
+            }
+            SystemEvent::RunRequestVisible { vm, vcpu } => self.on_run_request(vm, vcpu),
+            SystemEvent::EmulTimerFire {
+                vm,
+                vcpu,
+                deadline_ns,
+            } => self.on_emul_timer(vm, vcpu, deadline_ns),
+            SystemEvent::WireToPeer { vm, pkt } => self.on_wire_to_peer(vm, pkt),
+            SystemEvent::WireToGuest {
+                vm,
+                device,
+                bytes,
+                flow,
+            } => self.on_wire_to_guest(vm, device, bytes, flow),
+            SystemEvent::DiskDone { vm, device, tag } => self.on_disk_done(vm, device, tag),
+            SystemEvent::HarassTick { vm, vcpu, period_ns } => {
+                self.on_harass_tick(vm, vcpu, period_ns)
+            }
+        }
+    }
+
+    fn on_segment_end(&mut self, core: CoreId, epoch: u64) {
+        let cs = &mut self.cores[core.index()];
+        if cs.epoch != epoch {
+            return; // stale (truncated) segment
+        }
+        cs.seg_token = None;
+        let wall = cs.seg_wall;
+        match cs.run {
+            CoreRun::HostThread { tid } => {
+                self.account_host_busy_pub(core, wall);
+                self.thread_segment_done(core, tid);
+            }
+            CoreRun::Guest { .. } => self.guest_segment_done(core),
+            other => unreachable!("segment completed on {core} in state {other:?}"),
+        }
+    }
+
+    pub(crate) fn account_host_busy_pub(&mut self, core: CoreId, wall: SimDuration) {
+        if core.index() < self.config.num_host_cores as usize {
+            self.metrics.add_host_busy(core.index(), wall);
+        }
+    }
+
+    fn on_phys_timer(&mut self, core: CoreId, generation: u64) {
+        if !self.machine.timer_mut(core).fire(generation) {
+            return; // reprogrammed or cancelled
+        }
+        match self.cores[core.index()].run {
+            CoreRun::Guest { vm, vcpu } => {
+                self.interrupt_gapped_guest_or_shared(core, vm, vcpu, IntId::VTIMER);
+            }
+            CoreRun::GuestWfi { vm, vcpu } => {
+                self.wake_idle_guest(core, vm, vcpu, IntId::VTIMER);
+            }
+            _ => {
+                // The vCPU that armed this timer is not on the core
+                // (shared mode, thread blocked or handling an exit): the
+                // host's timer interrupt queues the virtual interrupt.
+                if let Some((vm, vcpu)) = self.core_vcpu[core.index()] {
+                    if self.vms[vm.0].kvm.mode() == VmExecMode::SharedCore {
+                        self.host_irq_steal(core, self.config.machine.irq_entry);
+                        let actions = self.vms[vm.0]
+                            .kvm
+                            .queue_irq(vcpu, IntId::VTIMER)
+                            .into_iter()
+                            .collect::<Vec<_>>();
+                        for a in actions {
+                            self.apply_host_action(vm, a);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Routes a physical interrupt into a core currently running or
+    /// idling a guest.
+    fn interrupt_gapped_guest_or_shared(&mut self, core: CoreId, vm: VmId, vcpu: u32, intid: IntId) {
+        self.interrupt_gapped_guest(core, vm, vcpu, intid);
+    }
+
+    fn wake_idle_guest(&mut self, core: CoreId, vm: VmId, vcpu: u32, intid: IntId) {
+        let rec = self.vms[vm.0].kvm.rec(vcpu);
+        self.machine.gic_mut().raise(core, intid);
+        let disp = self.rmm.on_idle_irq(core, rec, intid, &mut self.machine);
+        self.cores[core.index()].run = CoreRun::Guest { vm, vcpu };
+        match disp {
+            Disposition::Resume { cost } => {
+                self.start_guest_segment(core, cost, SimDuration::ZERO, GuestCont::OpDone);
+            }
+            Disposition::ExitToHost { exit, cost } => {
+                // Leaving WFI for the host: the REC exits.
+                self.start_guest_segment(core, cost, SimDuration::ZERO, GuestCont::ExitPost { exit });
+            }
+            other => unreachable!("idle irq disposition {other:?}"),
+        }
+    }
+
+    fn on_ipi(&mut self, core: CoreId, intid: IntId) {
+        self.metrics.counters.incr("ipi.delivered");
+        if intid == CVM_EXIT_SGI {
+            // The CVM-exit doorbell at the host core.
+            self.host_irq_steal(core, self.config.machine.irq_entry);
+            self.doorbell.acknowledge();
+            let Some(w) = &mut self.wakeup else { return };
+            if w.on_doorbell() {
+                let tid = w.thread();
+                self.set_cont(tid, ThreadCont::WakeupScan);
+                let (wcore, preempts) = self.sched.wake(tid);
+                self.after_wake(wcore, preempts);
+            }
+            return;
+        }
+        match self.cores[core.index()].run {
+            CoreRun::Guest { vm, vcpu } => {
+                self.interrupt_gapped_guest(core, vm, vcpu, intid);
+            }
+            CoreRun::GuestWfi { vm, vcpu } => {
+                self.wake_idle_guest(core, vm, vcpu, intid);
+            }
+            CoreRun::RmmPolling => {
+                // Kick for a vCPU that already exited: nothing to do.
+            }
+            _ => {
+                // Host-core IPI with no special meaning here.
+                self.host_irq_steal(core, self.config.machine.irq_entry);
+            }
+        }
+    }
+
+    fn on_device_irq(&mut self, core: CoreId, vm: VmId, device: u32) {
+        // Direct delivery: the SPI was routed to the CVM's dedicated
+        // core and the RMM injects it without host involvement.
+        if self.config.rmm.direct_device_delivery {
+            let spi = self.vms[vm.0].devices[device as usize].spi;
+            match self.cores[core.index()].run {
+                CoreRun::Guest { vm: gvm, vcpu } if gvm == vm => {
+                    self.interrupt_gapped_guest(core, gvm, vcpu, IntId::spi(spi));
+                    return;
+                }
+                CoreRun::GuestWfi { vm: gvm, vcpu } if gvm == vm => {
+                    self.wake_idle_guest(core, gvm, vcpu, IntId::spi(spi));
+                    return;
+                }
+                CoreRun::RmmPolling => {
+                    // The vCPU is between runs: ride the next entry list.
+                    self.deliver_device_irq_actions(vm, device);
+                    return;
+                }
+                _ => {}
+            }
+        }
+        // The SPI reached its routed (host) core: in-kernel handling
+        // queues the guest interrupt and kicks/unblocks the vCPU.
+        let cost = self.config.machine.irq_entry + self.config.host.irq_inject;
+        match self.cores[core.index()].run {
+            CoreRun::Guest { vm: gvm, vcpu } if !matches!(self.vms[gvm.0].kvm.mode(), VmExecMode::CoreGapped) => {
+                // Shared-mode guest occupying the host core: the IRQ
+                // forces an exit; interrupt handling happens in the exit
+                // path.
+                let _ = (vm, device);
+                self.preempt_shared_guest(core, gvm, vcpu, cg_cca::RecExitReason::HostInterrupt);
+                self.deliver_device_irq_actions(vm, device);
+            }
+            _ => {
+                self.host_irq_steal(core, cost);
+                self.deliver_device_irq_actions(vm, device);
+            }
+        }
+    }
+
+    fn deliver_device_irq_actions(&mut self, vm: VmId, device: u32) {
+        // Inject only when the guest actually has something to pick up
+        // (an irq whose work NAPI already consumed needs no forwarding).
+        // Every vCPU with an outstanding completion gets its own
+        // injection — delivering to only one would strand the others in
+        // WFI.
+        let targets = self.device_irq_targets(vm, device);
+        if targets.is_empty() {
+            return;
+        }
+        let spi = self.vms[vm.0].devices[device as usize].spi;
+        for vcpu in targets {
+            let actions = self.vms[vm.0]
+                .kvm
+                .queue_irq(vcpu, IntId::spi(spi))
+                .into_iter()
+                .collect::<Vec<_>>();
+            for a in actions {
+                self.apply_host_action(vm, a);
+            }
+        }
+    }
+
+    /// The vCPUs a device's completion interrupt targets: every owner of
+    /// an outstanding disk tag, plus vCPU 0 for network payloads and
+    /// payload-free notifications.
+    fn device_irq_targets(&mut self, vm: VmId, device: u32) -> Vec<u32> {
+        let d = &self.vms[vm.0].devices[device as usize];
+        let mut targets: Vec<u32> = d
+            .done_queue
+            .iter()
+            .filter_map(|tag| d.tag_owner.get(tag).copied())
+            .collect();
+        if !d.rx_inbox.is_empty() || d.pending_notify > 0 {
+            targets.push(0);
+        }
+        targets.sort_unstable();
+        targets.dedup();
+        targets
+    }
+
+    fn on_run_request(&mut self, vm: VmId, vcpu: u32) {
+        let core = self.vms[vm.0].vcpus[vcpu as usize].core;
+        assert_eq!(
+            self.cores[core.index()].run,
+            CoreRun::RmmPolling,
+            "run request arrived while {core} busy"
+        );
+        let now = self.queue.now();
+        let machine_params = self.config.machine.clone();
+        let msg = self.vms[vm.0].run_channels[vcpu as usize]
+            .take_request(now, &machine_params)
+            .expect("run request visible when scheduled");
+        let rec = self.vms[vm.0].kvm.rec(vcpu);
+        let out = self.rmm.rec_enter_with_list(
+            core,
+            rec,
+            &msg.entry.pending_interrupts,
+            &mut self.machine,
+        );
+        assert!(
+            out.status.is_success(),
+            "REC_ENTER failed for {rec}: {:?}",
+            out.status
+        );
+        self.metrics.counters.incr("rmm.rec_enter");
+        self.trace.emit(
+            now,
+            cg_sim::TraceLevel::Info,
+            "system.enter",
+            format!("{vm}.vcpu{vcpu} enters on {core}"),
+        );
+        self.cores[core.index()].run = CoreRun::Guest { vm, vcpu };
+        self.start_guest_segment(core, out.cost, SimDuration::ZERO, GuestCont::OpDone);
+    }
+
+    fn on_emul_timer(&mut self, vm: VmId, vcpu: u32, deadline_ns: u64) {
+        let now = SimTime::from_nanos(deadline_ns).max(self.queue.now());
+        let actions = self.vms[vm.0].kvm.emul_timer_fire(vcpu, now);
+        if actions.is_empty() {
+            return; // stale
+        }
+        // The hrtimer fires in host interrupt context on the host core.
+        let host_core = self.host_cores()[0];
+        let mut steal = self.config.machine.irq_entry;
+        for a in actions {
+            match a {
+                cg_host::HostAction::Work { cost, .. } => steal += cost,
+                other => self.apply_host_action(vm, other),
+            }
+        }
+        self.host_irq_steal(host_core, steal);
+    }
+
+    fn on_wire_to_peer(&mut self, vm: VmId, pkt: cg_workloads::PeerPacket) {
+        let now = self.queue.now();
+        let replies = match &mut self.vms[vm.0].peer {
+            Some(p) => p.on_packet(pkt, now),
+            None => Vec::new(),
+        };
+        let wire = self.config.host.nic_wire_latency;
+        // Replies land on the VM's first network device.
+        if let Some(device) = self.vms[vm.0]
+            .devices
+            .iter()
+            .position(|d| matches!(d.kind, cg_host::DeviceKind::VirtioNet | cg_host::DeviceKind::SriovNic))
+        {
+            for (delay, reply) in replies {
+                self.queue.schedule_after(
+                    delay + wire,
+                    SystemEvent::WireToGuest {
+                        vm,
+                        device: device as u32,
+                        bytes: reply.bytes,
+                        flow: reply.flow,
+                    },
+                );
+            }
+        }
+    }
+
+    fn on_wire_to_guest(&mut self, vm: VmId, device: u32, bytes: u64, flow: u64) {
+        let kind = self.vms[vm.0].devices[device as usize].kind;
+        match kind {
+            cg_host::DeviceKind::SriovNic => {
+                // DMA directly into guest memory; delivery policy (NAPI
+                // vs interrupt) decided in deliver_rx_to_guest.
+                self.deliver_rx_to_guest(vm, device, bytes, flow);
+            }
+            _ => {
+                // Emulated NIC: the VMM must process the packet first.
+                self.vms[vm.0].devices[device as usize]
+                    .rx_pending
+                    .push_back((bytes, flow));
+                if let Some(tid) = self.vms[vm.0].devices[device as usize].io_thread {
+                    self.wake_thread_if_blocked(tid);
+                }
+            }
+        }
+    }
+
+    /// The malicious host forces the victim vCPU to exit, over and over
+    /// (the paper's §1 threat: "interrupt guest execution at inopportune
+    /// moments to attempt to leak microarchitectural state").
+    fn on_harass_tick(&mut self, vm: VmId, vcpu: u32, period_ns: u64) {
+        if self.vms[vm.0].kvm.is_finished(vcpu) {
+            return;
+        }
+        self.metrics.counters.incr("host.harass_kicks");
+        if self.vms[vm.0].kvm.in_guest(vcpu) {
+            self.apply_host_action(vm, cg_host::HostAction::KickVcpu { vcpu });
+        }
+        self.queue.schedule_after(
+            SimDuration::nanos(period_ns),
+            SystemEvent::HarassTick { vm, vcpu, period_ns },
+        );
+    }
+
+    fn on_disk_done(&mut self, vm: VmId, device: u32, tag: u64) {
+        self.vms[vm.0].devices[device as usize]
+            .done_queue
+            .push_back(tag);
+        let spi_core = {
+            let spi = self.vms[vm.0].devices[device as usize].spi;
+            self.machine.gic().spi_route(spi)
+        };
+        // The completion SPI travels to its routed core.
+        self.queue.schedule_after(
+            self.config.machine.device_irq_deliver,
+            SystemEvent::DeviceIrqArrive {
+                core: spi_core,
+                vm,
+                device,
+            },
+        );
+    }
+}

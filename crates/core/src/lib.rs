@@ -1,0 +1,50 @@
+//! # cg-core — the core-gapped confidential VM system
+//!
+//! The paper's contribution as a library: this crate wires the hardware
+//! model (`cg-machine`), the RMM (`cg-rmm`), the host stack (`cg-host`),
+//! the RPC transports (`cg-rpc`), and guest workloads (`cg-workloads`)
+//! into one deterministic simulation, and exposes the experiment
+//! configurations of the paper's evaluation (§5).
+//!
+//! # Quick start
+//!
+//! ```
+//! use cg_core::{System, SystemConfig, VmSpec};
+//! use cg_host::VmExecMode;
+//! use cg_sim::SimDuration;
+//! use cg_workloads::coremark::CoremarkPro;
+//! use cg_workloads::kernel::GuestKernel;
+//!
+//! let mut system = System::new(SystemConfig::small());
+//! let guest = GuestKernel::new(2, 250, Box::new(CoremarkPro::new(2, SimDuration::micros(100))));
+//! let vm = system
+//!     .add_vm(VmSpec::core_gapped(2), Box::new(guest), None)
+//!     .unwrap();
+//! system.run_for(SimDuration::millis(100));
+//! let report = system.vm_report(vm);
+//! assert!(report.stats.counters.get("coremark.total_iterations") > 0);
+//! ```
+//!
+//! The three execution modes ([`cg_host::VmExecMode`]) correspond to the
+//! paper's configurations: the non-confidential shared-core baseline, the
+//! shared-core *confidential* VM (which the paper could not measure
+//! without RME hardware — the simulator can), and core-gapped CVMs.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod build;
+mod exec;
+mod handlers;
+
+pub mod config;
+pub mod event;
+pub mod experiments;
+pub mod metrics;
+pub mod microbench;
+pub mod system;
+
+pub use config::{RunTransport, SystemConfig, VmSpec};
+pub use event::SystemEvent;
+pub use metrics::{Metrics, VmReport};
+pub use system::{System, VmId};

@@ -1,0 +1,98 @@
+//! Measurement collection: the quantities the paper reports.
+
+use cg_sim::{Counters, Samples, SimDuration, SimTime};
+use cg_workloads::WorkloadStats;
+
+/// System-wide measurements.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Named counters (IPIs sent, doorbell rings, RPCs, …).
+    pub counters: Counters,
+    /// Run-to-run latency samples in microseconds (§5.2): from a vCPU
+    /// exit being posted to the next run call resuming it.
+    pub run_to_run_us: Samples,
+    /// Virtual IPI delivery latency samples in microseconds (table 3):
+    /// from the sender's `ICC_SGI1R` write to the target guest
+    /// acknowledging the SGI.
+    pub vipi_latency_us: Samples,
+    /// Per-host-core busy time (ns), indexed by core id.
+    pub host_busy_ns: Vec<u64>,
+}
+
+impl Metrics {
+    /// Creates empty metrics for `num_cores` cores.
+    pub fn new(num_cores: u16) -> Metrics {
+        Metrics {
+            host_busy_ns: vec![0; num_cores as usize],
+            ..Metrics::default()
+        }
+    }
+
+    /// Records host CPU busy time on `core`.
+    pub fn add_host_busy(&mut self, core: usize, d: SimDuration) {
+        self.host_busy_ns[core] += d.as_nanos();
+    }
+
+    /// Host core utilisation over `elapsed` for `core`.
+    pub fn host_utilization(&self, core: usize, elapsed: SimDuration) -> f64 {
+        if elapsed.is_zero() {
+            return 0.0;
+        }
+        self.host_busy_ns[core] as f64 / elapsed.as_nanos() as f64
+    }
+}
+
+/// The end-of-run report for one VM.
+#[derive(Debug)]
+pub struct VmReport {
+    /// Workload statistics from the guest program.
+    pub stats: WorkloadStats,
+    /// Total exits to the host (table 4's "total exits").
+    pub exits_total: u64,
+    /// Interrupt-related exits (table 4's first row).
+    pub exits_interrupt: u64,
+    /// When the VM started.
+    pub started: SimTime,
+    /// When all vCPUs finished, if they did.
+    pub finished: Option<SimTime>,
+    /// Elapsed time: finish (or `now` at report time) minus start.
+    pub elapsed: SimDuration,
+}
+
+impl VmReport {
+    /// The exit rate per second of elapsed runtime.
+    pub fn exit_rate(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            0.0
+        } else {
+            self.exits_total as f64 / self.elapsed.as_secs_f64()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_math() {
+        let mut m = Metrics::new(2);
+        m.add_host_busy(0, SimDuration::millis(250));
+        assert!((m.host_utilization(0, SimDuration::secs(1)) - 0.25).abs() < 1e-12);
+        assert_eq!(m.host_utilization(1, SimDuration::secs(1)), 0.0);
+        assert_eq!(m.host_utilization(0, SimDuration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn exit_rate() {
+        let r = VmReport {
+            stats: WorkloadStats::new(),
+            exits_total: 500,
+            exits_interrupt: 450,
+            started: SimTime::ZERO,
+            finished: None,
+            elapsed: SimDuration::secs(2),
+        };
+        assert!((r.exit_rate() - 250.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,614 @@
+//! The system: all components wired together plus the event loop.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use cg_cca::{RecEntry, RecExit};
+use cg_host::{
+    CorePlanner, DeviceId, HostAction, KvmVm, Scheduler, ThreadId, Vmm, WakeupThread,
+};
+use cg_machine::{CoreId, IntId, Machine, RealmId};
+use cg_rmm::Rmm;
+use cg_rpc::{Doorbell, SyncChannel};
+use cg_sim::{EventQueue, EventToken, SimDuration, SimRng, SimTime, Trace};
+use cg_workloads::{GuestOp, GuestProgram, NetPeer};
+
+use crate::config::{RunTransport, SystemConfig};
+use crate::event::SystemEvent;
+use crate::metrics::{Metrics, VmReport};
+
+/// The SGI number the RMM rings to notify the host of CVM exits
+/// (the one extra IPI the prototype allocates, §4.3).
+pub const CVM_EXIT_SGI: IntId = IntId::sgi(8);
+
+/// The SGI number the host sends to a dedicated core to request a vCPU
+/// exit (the "kick").
+pub const HOST_KICK_SGI: IntId = IntId::sgi(9);
+
+/// Identifies a VM within the system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VmId(pub usize);
+
+impl fmt::Display for VmId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vm{}", self.0)
+    }
+}
+
+/// The run-call request travelling over the RPC channel.
+#[derive(Debug, Clone)]
+pub(crate) struct RunMsg {
+    pub entry: RecEntry,
+}
+
+/// What a core is doing right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CoreRun {
+    /// Host core with nothing to run.
+    HostIdle,
+    /// Host core executing a thread segment.
+    HostThread { tid: ThreadId },
+    /// Dedicated core polling for run calls.
+    RmmPolling,
+    /// Dedicated (or shared) core executing guest code.
+    Guest { vm: VmId, vcpu: u32 },
+    /// Dedicated core idle inside the RMM (guest in WFI).
+    GuestWfi { vm: VmId, vcpu: u32 },
+}
+
+/// Per-core execution state.
+#[derive(Debug)]
+pub(crate) struct CoreState {
+    pub run: CoreRun,
+    /// Epoch for segment cancellation.
+    pub epoch: u64,
+    /// Token of the in-flight SegmentEnd event.
+    pub seg_token: Option<EventToken>,
+    /// When the in-flight segment started.
+    pub seg_started: SimTime,
+    /// Wall length of the in-flight segment.
+    pub seg_wall: SimDuration,
+    /// For guest compute segments: the ideal work the segment covers
+    /// (for proportional truncation).
+    pub seg_work: SimDuration,
+    /// What to do when the current guest segment completes.
+    pub guest_cont: Option<crate::exec::GuestCont>,
+    /// Guest runtime consumed in the current fair timeslice
+    /// (shared-core modes).
+    pub guest_slice_used: SimDuration,
+}
+
+impl CoreState {
+    fn new() -> CoreState {
+        CoreState {
+            run: CoreRun::HostIdle,
+            epoch: 0,
+            seg_token: None,
+            seg_started: SimTime::ZERO,
+            seg_wall: SimDuration::ZERO,
+            seg_work: SimDuration::ZERO,
+            guest_cont: None,
+            guest_slice_used: SimDuration::ZERO,
+        }
+    }
+}
+
+/// A host thread's continuation: what it does when next scheduled /
+/// when its current segment completes.
+#[derive(Debug)]
+pub(crate) enum ThreadCont {
+    /// vCPU thread: issue the next run call.
+    VcpuIssue { vm: VmId, vcpu: u32 },
+    /// vCPU thread: blocked waiting for the async exit notification.
+    /// (Fields are carried for trace/debug output.)
+    VcpuAwait {
+        #[allow(dead_code)]
+        vm: VmId,
+        #[allow(dead_code)]
+        vcpu: u32,
+    },
+    /// vCPU thread: busy-wait poll slice (then check the channel).
+    VcpuPoll { vm: VmId, vcpu: u32 },
+    /// vCPU thread: read and handle the posted exit.
+    VcpuHandleExit { vm: VmId, vcpu: u32 },
+    /// vCPU thread: executing KVM follow-up actions.
+    VcpuActions {
+        vm: VmId,
+        vcpu: u32,
+        queue: VecDeque<HostAction>,
+    },
+    /// vCPU thread: parked by host-initiated suspend.
+    VcpuPaused { vm: VmId, vcpu: u32 },
+    /// vCPU thread: blocked on guest WFI (shared-core mode).
+    /// (Fields are carried for trace/debug output.)
+    VcpuBlocked {
+        #[allow(dead_code)]
+        vm: VmId,
+        #[allow(dead_code)]
+        vcpu: u32,
+    },
+    /// vCPU thread: guest executing on this thread's core (shared-core
+    /// modes); segment ends return to guest driving.
+    VcpuInGuest { vm: VmId, vcpu: u32 },
+    /// vCPU thread: finished.
+    VcpuDone,
+    /// Wake-up thread: scanning run channels.
+    WakeupScan,
+    /// Wake-up thread: suspended.
+    WakeupIdle,
+    /// VMM I/O thread: draining device queues; the staged effect fires
+    /// when the current emulation segment completes.
+    VmmDrain {
+        vm: VmId,
+        device: u32,
+        staged: Option<VmmEffect>,
+    },
+    /// VMM I/O thread: idle.
+    VmmIdle { vm: VmId, device: u32 },
+}
+
+/// The effect a VMM emulation segment produces on completion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum VmmEffect {
+    /// Packet leaves for the peer after NIC serialisation + wire latency.
+    TxToWire { bytes: u64, flow: u64 },
+    /// Disk request enters the backing store for `service`.
+    DiskSubmit { tag: u64, service_ns: u64 },
+    /// An inbound packet finished rx emulation: raise the guest IRQ.
+    RxToGuest { bytes: u64, flow: u64 },
+}
+
+/// Per-thread bookkeeping.
+#[derive(Debug)]
+pub(crate) struct ThreadCtx {
+    pub cont: ThreadCont,
+    /// Remaining work of the current step (non-zero after preemption).
+    pub pending: SimDuration,
+}
+
+/// A device instance attached to a VM.
+#[derive(Debug)]
+pub(crate) struct DeviceInstance {
+    pub id: DeviceId,
+    pub kind: cg_host::DeviceKind,
+    /// SPI number (INTID = 32 + spi) signalling this device.
+    pub spi: u32,
+    /// VMM I/O thread driving it (emulated devices only).
+    pub io_thread: Option<ThreadId>,
+    /// Inbound packets awaiting guest consumption `(bytes, flow)`.
+    pub rx_inbox: VecDeque<(u64, u64)>,
+    /// Inbound packets awaiting VMM rx emulation (virtio only).
+    pub rx_pending: VecDeque<(u64, u64)>,
+    /// Disk completions awaiting guest consumption.
+    pub done_queue: VecDeque<u64>,
+    /// Received-packet counter for interrupt moderation.
+    pub rx_count: u64,
+    /// Outstanding completion notifications with no payload (console
+    /// write completions): they must still be injected.
+    pub pending_notify: u64,
+    /// tag → submitting vCPU, for completion routing.
+    pub tag_owner: std::collections::HashMap<u64, u32>,
+}
+
+/// Per-vCPU runtime state.
+#[derive(Debug)]
+pub(crate) struct VcpuRt {
+    pub core: CoreId,
+    pub thread: ThreadId,
+    /// When the current exit was posted (for run-to-run latency).
+    pub exit_posted_at: Option<SimTime>,
+    /// Pending virtual-IPI latency measurement: when the sender wrote
+    /// `ICC_SGI1R` targeting this vCPU.
+    pub vipi_sent_at: Option<SimTime>,
+    /// Entry state stashed between issue and architectural entry
+    /// (shared-core modes).
+    pub pending_entry: Option<RecEntry>,
+    /// Exit record stashed between guest exit and handling (shared-core
+    /// modes).
+    pub pending_exit: Option<RecExit>,
+}
+
+/// One VM in the system.
+pub(crate) struct Vm {
+    pub kvm: KvmVm,
+    pub guest: Box<dyn GuestProgram>,
+    pub vmm: Vmm,
+    pub devices: Vec<DeviceInstance>,
+    pub peer: Option<Box<dyn NetPeer>>,
+    pub run_channels: Vec<SyncChannel<RunMsg, RecExit>>,
+    pub vcpus: Vec<VcpuRt>,
+    pub transport: RunTransport,
+    /// Host-initiated suspend: no further run calls are issued.
+    pub paused: bool,
+    pub started: SimTime,
+    pub finished: Option<SimTime>,
+    /// In-flight guest op per vCPU (for interrupted compute).
+    pub cur_op: Vec<Option<(GuestOp, SimDuration)>>,
+    /// Console writes so far (drives completion-interrupt modelling).
+    pub console_writes: u64,
+}
+
+impl fmt::Debug for Vm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Vm")
+            .field("mode", &self.kvm.mode())
+            .field("vcpus", &self.vcpus.len())
+            .finish()
+    }
+}
+
+/// The complete simulated system.
+#[derive(Debug)]
+pub struct System {
+    pub(crate) config: SystemConfig,
+    pub(crate) machine: Machine,
+    pub(crate) rmm: Rmm,
+    pub(crate) sched: Scheduler,
+    pub(crate) planner: CorePlanner,
+    pub(crate) queue: EventQueue<SystemEvent>,
+    pub(crate) cores: Vec<CoreState>,
+    pub(crate) vms: Vec<Vm>,
+    pub(crate) threads: std::collections::HashMap<ThreadId, ThreadCtx>,
+    pub(crate) wakeup: Option<WakeupThread>,
+    pub(crate) doorbell: Doorbell,
+    pub(crate) metrics: Metrics,
+    /// Accumulated leak observations from attacker probes.
+    pub(crate) attack_report: cg_attacks::LeakReport,
+    /// Reserved for stochastic extensions (jittered service times);
+    /// everything currently in the tree is deterministic by design.
+    #[allow(dead_code)]
+    pub(crate) rng: SimRng,
+    pub(crate) trace: Trace,
+    /// Fake realm-id counter for non-confidential VMs (used only as a
+    /// unique domain tag).
+    pub(crate) next_fake_realm: u32,
+    /// core index → (vm, vcpu) for cores hosting guest vCPUs.
+    pub(crate) core_vcpu: Vec<Option<(VmId, u32)>>,
+}
+
+impl System {
+    /// Builds a system from the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid hardware parameters or if fewer than one host
+    /// core is reserved.
+    pub fn new(config: SystemConfig) -> System {
+        assert!(config.num_host_cores >= 1, "need at least one host core");
+        assert!(
+            config.num_host_cores < config.machine.num_cores,
+            "need at least one dedicable core"
+        );
+        let machine = Machine::new(config.machine.clone());
+        let num_cores = machine.num_cores();
+        let planner = CorePlanner::new(
+            (config.num_host_cores..num_cores).map(CoreId),
+        );
+        let rng = SimRng::seed(config.seed);
+        System {
+            rmm: Rmm::new(config.rmm.clone()),
+            sched: Scheduler::new(),
+            planner,
+            queue: EventQueue::new(),
+            cores: (0..num_cores).map(|_| CoreState::new()).collect(),
+            vms: Vec::new(),
+            threads: std::collections::HashMap::new(),
+            wakeup: None,
+            doorbell: Doorbell::new(CoreId(0)),
+            metrics: Metrics::new(num_cores),
+            attack_report: cg_attacks::LeakReport::new(),
+            rng,
+            trace: Trace::disabled(),
+            next_fake_realm: 10_000,
+            core_vcpu: vec![None; num_cores as usize],
+            machine,
+            config,
+        }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Immutable access to system metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The accumulated leak observations from attacker probes
+    /// ([`cg_workloads::GuestOp::Probe`]).
+    pub fn attack_report(&self) -> &cg_attacks::LeakReport {
+        &self.attack_report
+    }
+
+    /// Immutable access to the machine model.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Immutable access to the RMM.
+    pub fn rmm(&self) -> &Rmm {
+        &self.rmm
+    }
+
+    /// The host cores (reserved, never dedicated).
+    pub fn host_cores(&self) -> Vec<CoreId> {
+        (0..self.config.num_host_cores).map(CoreId).collect()
+    }
+
+    /// Enables tracing with the given capacity.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Trace::with_capacity(capacity);
+    }
+
+    /// Dumps the retained trace tail.
+    pub fn dump_trace(&self) -> String {
+        self.trace.dump()
+    }
+
+    /// Runs the simulation until `deadline` (events at exactly
+    /// `deadline` still fire).
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            let (_, ev) = self.queue.pop().expect("peeked event vanished");
+            self.handle(ev);
+        }
+        if self.queue.now() < deadline && self.queue.peek_time().is_none_or(|t| t > deadline) {
+            self.queue.advance_to(deadline);
+        }
+    }
+
+    /// Runs for `d` from the current time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let deadline = self.now() + d;
+        self.run_until(deadline);
+    }
+
+    /// Runs until every VM's vCPUs have shut down, or `limit` passes.
+    /// Returns `true` if all VMs finished.
+    pub fn run_until_done(&mut self, limit: SimDuration) -> bool {
+        let deadline = self.now() + limit;
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            if self.vms.iter().all(|vm| vm.kvm.all_finished()) {
+                break;
+            }
+            let (_, ev) = self.queue.pop().expect("peeked event vanished");
+            self.handle(ev);
+        }
+        self.vms.iter().all(|vm| vm.kvm.all_finished())
+    }
+
+    /// Produces the report for `vm`.
+    pub fn vm_report(&self, vm: VmId) -> VmReport {
+        let v = &self.vms[vm.0];
+        let now = self.now();
+        let end = v.finished.unwrap_or(now);
+        // Exit statistics: RMM-side for confidential VMs (matches the
+        // paper's methodology), KVM-side otherwise.
+        let (mut total, mut irq) = (0, 0);
+        if v.kvm.mode().is_confidential() {
+            for i in 0..v.kvm.num_vcpus() {
+                if let Some(rec) = self.rmm.rec(v.kvm.rec(i)) {
+                    total += rec.exits_total();
+                    irq += rec.exits_interrupt();
+                }
+            }
+        } else {
+            total = v.kvm.counters().get("kvm.exit.total");
+            irq = v.kvm.counters().get("kvm.exit.interrupt_related");
+        }
+        VmReport {
+            stats: v.guest.stats(),
+            exits_total: total,
+            exits_interrupt: irq,
+            started: v.started,
+            finished: v.finished,
+            elapsed: end.saturating_duration_since(v.started),
+        }
+    }
+
+    /// The realm id backing `vm` (fake for non-confidential VMs).
+    pub fn vm_realm(&self, vm: VmId) -> RealmId {
+        self.vms[vm.0].kvm.realm()
+    }
+
+    /// Number of VMs ever added.
+    pub fn vm_count(&self) -> usize {
+        self.vms.len()
+    }
+
+    /// Number of VMs (ever added) running in `mode`.
+    pub fn vms_mode_count(&self, mode: cg_host::VmExecMode) -> usize {
+        self.vms.iter().filter(|v| v.kvm.mode() == mode).count()
+    }
+
+    /// Starts malicious-host harassment of `vm`'s vCPU `vcpu`: a kick
+    /// every `period`, forcing exits at attacker-chosen moments (used by
+    /// the security scenarios; denial of service is out of scope, but
+    /// confidentiality must survive it).
+    pub fn harass(&mut self, vm: VmId, vcpu: u32, period: SimDuration) {
+        self.queue.schedule_after(
+            period,
+            SystemEvent::HarassTick {
+                vm,
+                vcpu,
+                period_ns: period.as_nanos(),
+            },
+        );
+    }
+
+    /// Latency samples collected by `vm`'s network peer, if any.
+    pub fn peer_samples(
+        &self,
+        vm: VmId,
+    ) -> Option<std::collections::BTreeMap<String, cg_sim::Samples>> {
+        self.vms[vm.0].peer.as_ref().map(|p| p.latency_samples())
+    }
+
+    /// Requests completed by `vm`'s peer (0 without a counting peer).
+    pub fn peer_completed(&self, vm: VmId) -> u64 {
+        self.vms[vm.0].peer.as_ref().map(|p| p.completed()).unwrap_or(0)
+    }
+
+    /// Runs until `vm`'s peer reports completion, or `limit` passes.
+    /// Returns `true` if the peer finished.
+    pub fn run_until_peer_done(&mut self, vm: VmId, limit: SimDuration) -> bool {
+        let deadline = self.now() + limit;
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            if self.vms[vm.0].peer.as_ref().is_some_and(|p| p.is_done()) {
+                return true;
+            }
+            let (_, ev) = self.queue.pop().expect("peeked event vanished");
+            self.handle(ev);
+        }
+        self.vms[vm.0].peer.as_ref().is_some_and(|p| p.is_done())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::VmSpec;
+    use cg_sim::SimDuration;
+    use cg_workloads::coremark::CoremarkPro;
+    use cg_workloads::kernel::GuestKernel;
+
+    fn cpu_guest(vcpus: u32) -> Box<GuestKernel> {
+        Box::new(GuestKernel::new(
+            vcpus,
+            250,
+            Box::new(CoremarkPro::new(vcpus, SimDuration::micros(100))),
+        ))
+    }
+
+    #[test]
+    fn construction_reserves_host_cores() {
+        let system = System::new(SystemConfig::small());
+        assert_eq!(system.host_cores(), vec![CoreId(0)]);
+        assert_eq!(system.vm_count(), 0);
+        assert_eq!(system.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one host core")]
+    fn zero_host_cores_rejected() {
+        let mut config = SystemConfig::small();
+        config.num_host_cores = 0;
+        System::new(config);
+    }
+
+    #[test]
+    #[should_panic(expected = "dedicable core")]
+    fn all_cores_host_rejected() {
+        let mut config = SystemConfig::small();
+        config.num_host_cores = config.machine.num_cores;
+        System::new(config);
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_when_idle() {
+        let mut system = System::new(SystemConfig::small());
+        system.run_until(SimTime::from_nanos(5_000));
+        assert_eq!(system.now(), SimTime::from_nanos(5_000));
+    }
+
+    #[test]
+    fn run_for_is_cumulative() {
+        let mut system = System::new(SystemConfig::small());
+        system
+            .add_vm(VmSpec::core_gapped(1), cpu_guest(1), None)
+            .unwrap();
+        system.run_for(SimDuration::millis(5));
+        system.run_for(SimDuration::millis(5));
+        assert_eq!(system.now(), SimTime::ZERO + SimDuration::millis(10));
+    }
+
+    #[test]
+    fn trace_records_exits_and_entries() {
+        let mut system = System::new(SystemConfig::small());
+        system.enable_trace(256);
+        let guest = Box::new(GuestKernel::new(
+            1,
+            250,
+            Box::new(CoremarkPro::new(1, SimDuration::micros(100))),
+        )
+        .with_console_writes(SimDuration::millis(5)));
+        let spec = VmSpec::core_gapped(1).with_device(cg_host::DeviceKind::VirtioNet);
+        system.add_vm(spec, guest, None).unwrap();
+        system.run_for(SimDuration::millis(30));
+        let dump = system.dump_trace();
+        assert!(dump.contains("system.exit"), "trace:\n{dump}");
+        assert!(dump.contains("system.enter"), "trace:\n{dump}");
+    }
+
+    #[test]
+    fn zero_vcpu_vm_rejected() {
+        let mut system = System::new(SystemConfig::small());
+        let err = system
+            .add_vm(VmSpec::core_gapped(0), cpu_guest(1), None)
+            .unwrap_err();
+        assert!(err.contains("at least one vCPU"));
+    }
+
+    #[test]
+    fn mode_mismatch_rejected() {
+        // A core-gapped VM needs a core-gapping RMM...
+        let mut config = SystemConfig::small();
+        config.rmm = cg_rmm::RmmConfig::shared_core();
+        let mut system = System::new(config);
+        assert!(system
+            .add_vm(VmSpec::core_gapped(1), cpu_guest(1), None)
+            .is_err());
+        // ...and a shared-core CVM needs a shared-core RMM.
+        let mut system = System::new(SystemConfig::small());
+        assert!(system
+            .add_vm(VmSpec::shared_core_confidential(1), cpu_guest(1), None)
+            .is_err());
+    }
+
+    #[test]
+    fn busywait_and_async_transports_make_equal_progress_uncontended() {
+        let run = |busywait: bool| {
+            let mut system = System::new(SystemConfig::small());
+            let spec = if busywait {
+                VmSpec::core_gapped(2).with_busy_wait()
+            } else {
+                VmSpec::core_gapped(2)
+            };
+            let vm = system.add_vm(spec, cpu_guest(2), None).unwrap();
+            system.run_for(SimDuration::millis(100));
+            system
+                .vm_report(vm)
+                .stats
+                .counters
+                .get("coremark.total_iterations")
+        };
+        let a = run(false);
+        let b = run(true);
+        let rel = (a as f64 - b as f64).abs() / a as f64;
+        assert!(rel < 0.02, "async {a} vs busywait {b}");
+    }
+
+    #[test]
+    fn host_utilization_is_low_for_delegated_cpu_work() {
+        let mut system = System::new(SystemConfig::small());
+        system
+            .add_vm(VmSpec::core_gapped(4), cpu_guest(4), None)
+            .unwrap();
+        system.run_for(SimDuration::millis(200));
+        let util = system
+            .metrics()
+            .host_utilization(0, SimDuration::millis(200));
+        assert!(util < 0.05, "host util {util}");
+    }
+}

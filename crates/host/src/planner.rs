@@ -1,0 +1,295 @@
+//! The user-mode core planner (paper §3).
+//!
+//! Performs admission control on CVMs, assigns dedicated cores, and
+//! orchestrates dedication/reclamation. It complements cluster-level VM
+//! schedulers by making explicit, long-lived placement decisions inside a
+//! node. The planner prefers contiguous core ranges to limit long-term
+//! fragmentation, and (as the paper's future-work extension) supports
+//! coarse-grained replanning.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use cg_machine::{CoreId, RealmId};
+
+/// Errors from admission control.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlannerError {
+    /// Not enough free cores to admit the CVM.
+    InsufficientCores {
+        /// Cores requested.
+        requested: u16,
+        /// Cores available.
+        available: u16,
+    },
+    /// The realm already has an allocation.
+    AlreadyAdmitted,
+    /// The realm has no allocation.
+    NotAdmitted,
+}
+
+impl fmt::Display for PlannerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlannerError::InsufficientCores {
+                requested,
+                available,
+            } => write!(
+                f,
+                "insufficient cores: requested {requested}, available {available}"
+            ),
+            PlannerError::AlreadyAdmitted => write!(f, "realm already admitted"),
+            PlannerError::NotAdmitted => write!(f, "realm not admitted"),
+        }
+    }
+}
+
+impl std::error::Error for PlannerError {}
+
+/// The core planner.
+///
+/// # Example
+///
+/// ```
+/// use cg_host::CorePlanner;
+/// use cg_machine::{CoreId, RealmId};
+///
+/// let mut planner = CorePlanner::new((1..8).map(CoreId));
+/// let cores = planner.admit(RealmId(0), 3).unwrap();
+/// assert_eq!(cores.len(), 3);
+/// assert_eq!(planner.free_cores(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CorePlanner {
+    /// Pool of cores the planner may dedicate (excludes host cores).
+    pool: Vec<CoreId>,
+    /// Allocations: realm → cores.
+    allocations: BTreeMap<RealmId, Vec<CoreId>>,
+    /// Cores currently free, kept sorted.
+    free: Vec<CoreId>,
+}
+
+impl CorePlanner {
+    /// Creates a planner over the given dedicable core pool.
+    pub fn new(pool: impl IntoIterator<Item = CoreId>) -> CorePlanner {
+        let mut pool: Vec<CoreId> = pool.into_iter().collect();
+        pool.sort();
+        pool.dedup();
+        CorePlanner {
+            free: pool.clone(),
+            pool,
+            allocations: BTreeMap::new(),
+        }
+    }
+
+    /// Number of free (dedicable, unallocated) cores.
+    pub fn free_cores(&self) -> u16 {
+        self.free.len() as u16
+    }
+
+    /// Total pool size.
+    pub fn pool_size(&self) -> u16 {
+        self.pool.len() as u16
+    }
+
+    /// The allocation of `realm`, if admitted.
+    pub fn allocation(&self, realm: RealmId) -> Option<&[CoreId]> {
+        self.allocations.get(&realm).map(|v| v.as_slice())
+    }
+
+    /// Admits a CVM needing `num_cores` dedicated cores.
+    ///
+    /// Prefers the longest run of contiguous free cores (first-fit on
+    /// contiguous runs, falling back to scattered cores) to keep future
+    /// allocations compact.
+    ///
+    /// # Errors
+    ///
+    /// [`PlannerError::InsufficientCores`] or
+    /// [`PlannerError::AlreadyAdmitted`].
+    pub fn admit(&mut self, realm: RealmId, num_cores: u16) -> Result<Vec<CoreId>, PlannerError> {
+        if self.allocations.contains_key(&realm) {
+            return Err(PlannerError::AlreadyAdmitted);
+        }
+        if num_cores > self.free.len() as u16 {
+            return Err(PlannerError::InsufficientCores {
+                requested: num_cores,
+                available: self.free.len() as u16,
+            });
+        }
+        let chosen = self.choose(num_cores as usize);
+        self.free.retain(|c| !chosen.contains(c));
+        self.allocations.insert(realm, chosen.clone());
+        Ok(chosen)
+    }
+
+    /// Picks `n` cores: the first contiguous run of length ≥ n, else the
+    /// first `n` free cores.
+    fn choose(&self, n: usize) -> Vec<CoreId> {
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut run_start = 0;
+        for i in 1..=self.free.len() {
+            let contiguous = i < self.free.len() && self.free[i].0 == self.free[i - 1].0 + 1;
+            if !contiguous {
+                if i - run_start >= n {
+                    return self.free[run_start..run_start + n].to_vec();
+                }
+                run_start = i;
+            }
+        }
+        self.free[..n].to_vec()
+    }
+
+    /// Releases `realm`'s cores back to the pool.
+    ///
+    /// # Errors
+    ///
+    /// [`PlannerError::NotAdmitted`].
+    pub fn release(&mut self, realm: RealmId) -> Result<Vec<CoreId>, PlannerError> {
+        let cores = self
+            .allocations
+            .remove(&realm)
+            .ok_or(PlannerError::NotAdmitted)?;
+        self.free.extend(cores.iter().copied());
+        self.free.sort();
+        Ok(cores)
+    }
+
+    /// Fragmentation metric: 1 − (longest contiguous free run / free
+    /// cores). 0 means perfectly compact; approaching 1 means heavily
+    /// fragmented.
+    pub fn fragmentation(&self) -> f64 {
+        if self.free.is_empty() {
+            return 0.0;
+        }
+        let mut longest = 1usize;
+        let mut current = 1usize;
+        for i in 1..self.free.len() {
+            if self.free[i].0 == self.free[i - 1].0 + 1 {
+                current += 1;
+                longest = longest.max(current);
+            } else {
+                current = 1;
+            }
+        }
+        1.0 - longest as f64 / self.free.len() as f64
+    }
+
+    /// The future-work extension (paper §3): recompute a compact
+    /// placement for every admitted realm, returning the moves
+    /// `(realm, from, to)` needed. Intended to run at coarse (tens of
+    /// seconds) intervals; the caller performs the actual (expensive)
+    /// rebind via RMM teardown/re-entry.
+    pub fn replan_compact(&mut self) -> Vec<(RealmId, CoreId, CoreId)> {
+        let mut moves = Vec::new();
+        let mut next = 0usize;
+        let realms: Vec<RealmId> = self.allocations.keys().copied().collect();
+        let mut new_free: Vec<CoreId> = self.pool.clone();
+        for realm in realms {
+            let cores = self.allocations.get_mut(&realm).expect("key just listed");
+            for c in cores.iter_mut() {
+                let target = self.pool[next];
+                next += 1;
+                if *c != target {
+                    moves.push((realm, *c, target));
+                    *c = target;
+                }
+            }
+        }
+        let used: Vec<CoreId> = self.pool[..next].to_vec();
+        new_free.retain(|c| !used.contains(c));
+        self.free = new_free;
+        moves
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn planner() -> CorePlanner {
+        CorePlanner::new((1..9).map(CoreId)) // cores 1..=8
+    }
+
+    #[test]
+    fn admit_prefers_contiguous() {
+        let mut p = planner();
+        let a = p.admit(RealmId(0), 4).unwrap();
+        assert_eq!(a, (1..5).map(CoreId).collect::<Vec<_>>());
+        let b = p.admit(RealmId(1), 4).unwrap();
+        assert_eq!(b, (5..9).map(CoreId).collect::<Vec<_>>());
+        assert_eq!(p.free_cores(), 0);
+    }
+
+    #[test]
+    fn admission_control_rejects_oversubscription() {
+        let mut p = planner();
+        p.admit(RealmId(0), 6).unwrap();
+        assert_eq!(
+            p.admit(RealmId(1), 3),
+            Err(PlannerError::InsufficientCores {
+                requested: 3,
+                available: 2
+            })
+        );
+        // CPU is never overcommitted: admitted total ≤ pool.
+        assert!(p.admit(RealmId(1), 2).is_ok());
+    }
+
+    #[test]
+    fn double_admission_rejected() {
+        let mut p = planner();
+        p.admit(RealmId(0), 1).unwrap();
+        assert_eq!(p.admit(RealmId(0), 1), Err(PlannerError::AlreadyAdmitted));
+    }
+
+    #[test]
+    fn release_returns_cores() {
+        let mut p = planner();
+        p.admit(RealmId(0), 5).unwrap();
+        let released = p.release(RealmId(0)).unwrap();
+        assert_eq!(released.len(), 5);
+        assert_eq!(p.free_cores(), 8);
+        assert_eq!(p.release(RealmId(0)), Err(PlannerError::NotAdmitted));
+    }
+
+    #[test]
+    fn fragmentation_detected_and_fixed_by_replan() {
+        let mut p = planner();
+        p.admit(RealmId(0), 2).unwrap(); // 1,2
+        p.admit(RealmId(1), 2).unwrap(); // 3,4
+        p.admit(RealmId(2), 2).unwrap(); // 5,6
+        p.release(RealmId(1)).unwrap(); // free: 3,4,7,8 (fragmented)
+        assert!(p.fragmentation() > 0.0);
+        let moves = p.replan_compact();
+        // Realm 2 moves from 5,6 to 3,4; free becomes 5..8 contiguous.
+        assert_eq!(moves.len(), 2);
+        assert_eq!(p.fragmentation(), 0.0);
+        assert_eq!(p.allocation(RealmId(2)).unwrap(), &[CoreId(3), CoreId(4)]);
+    }
+
+    #[test]
+    fn scattered_allocation_when_no_contiguous_run() {
+        let mut p = planner();
+        p.admit(RealmId(0), 2).unwrap(); // 1,2
+        p.admit(RealmId(1), 2).unwrap(); // 3,4
+        p.admit(RealmId(2), 2).unwrap(); // 5,6
+        p.release(RealmId(0)).unwrap();
+        p.release(RealmId(2)).unwrap(); // free: 1,2,5,6,7,8
+        // Request 4: longest contiguous run is 5..8 (length 4).
+        let a = p.admit(RealmId(3), 4).unwrap();
+        assert_eq!(a, vec![CoreId(5), CoreId(6), CoreId(7), CoreId(8)]);
+        // Request 3 more: only 1,2 free → insufficient.
+        assert!(p.admit(RealmId(4), 3).is_err());
+        let b = p.admit(RealmId(5), 2).unwrap();
+        assert_eq!(b, vec![CoreId(1), CoreId(2)]);
+    }
+
+    #[test]
+    fn zero_core_admission_is_trivial() {
+        let mut p = planner();
+        assert_eq!(p.admit(RealmId(0), 0).unwrap(), Vec::<CoreId>::new());
+    }
+}

@@ -1,0 +1,195 @@
+//! The wake-up thread (paper fig. 4).
+//!
+//! One IPI number is all the prototype gets, so the doorbell conveys no
+//! payload. The handler activates this FIFO-priority thread, which scans
+//! the run channels of all vCPUs for posted exits, unblocks the matching
+//! vCPU threads, re-scans until it finds nothing new (exits arriving
+//! during the scan coalesce), and suspends until the next IPI.
+
+use cg_cca::RecId;
+use cg_sim::SimDuration;
+
+use crate::thread::ThreadId;
+
+/// Wake-up thread state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    /// Suspended, waiting for the doorbell IPI.
+    Suspended,
+    /// Activated (IPI taken), waiting for CPU or scanning.
+    Active,
+}
+
+/// The wake-up thread's bookkeeping.
+///
+/// The thread itself is a scheduler entity; this struct tracks its
+/// activation state and which vCPU channels it watches.
+#[derive(Debug)]
+pub struct WakeupThread {
+    thread: ThreadId,
+    state: State,
+    /// The vCPUs whose run channels this thread scans.
+    watched: Vec<RecId>,
+    /// A doorbell rang while a scan was in progress: re-scan before
+    /// suspending (closes the lost-wakeup race of fig. 4).
+    rescan_requested: bool,
+    activations: u64,
+    vcpus_woken: u64,
+}
+
+impl WakeupThread {
+    /// Creates the bookkeeping for wake-up thread `thread`.
+    pub fn new(thread: ThreadId) -> WakeupThread {
+        WakeupThread {
+            thread,
+            state: State::Suspended,
+            watched: Vec::new(),
+            rescan_requested: false,
+            activations: 0,
+            vcpus_woken: 0,
+        }
+    }
+
+    /// The scheduler thread id.
+    pub fn thread(&self) -> ThreadId {
+        self.thread
+    }
+
+    /// Registers a vCPU run channel to scan.
+    pub fn watch(&mut self, rec: RecId) {
+        if !self.watched.contains(&rec) {
+            self.watched.push(rec);
+        }
+    }
+
+    /// Unregisters a vCPU (destroyed).
+    pub fn unwatch(&mut self, rec: RecId) {
+        self.watched.retain(|r| *r != rec);
+    }
+
+    /// The watched vCPUs, in registration order (scan order).
+    pub fn watched(&self) -> &[RecId] {
+        &self.watched
+    }
+
+    /// The doorbell IPI arrived. Returns `true` if the thread was
+    /// suspended and must now be woken (scheduled); `false` if it is
+    /// already active (the notification coalesces).
+    pub fn on_doorbell(&mut self) -> bool {
+        match self.state {
+            State::Suspended => {
+                self.state = State::Active;
+                self.activations += 1;
+                true
+            }
+            State::Active => {
+                self.rescan_requested = true;
+                false
+            }
+        }
+    }
+
+    /// Returns `true` while activated.
+    pub fn is_active(&self) -> bool {
+        self.state == State::Active
+    }
+
+    /// The scan found and woke `count` vCPU threads.
+    pub fn record_woken(&mut self, count: u64) {
+        self.vcpus_woken += count;
+    }
+
+    /// Attempts to suspend after a scan. Returns `false` (staying
+    /// active) if a doorbell rang during the scan — the caller must scan
+    /// again; `true` if the thread is now suspended.
+    pub fn try_suspend(&mut self) -> bool {
+        if std::mem::replace(&mut self.rescan_requested, false) {
+            false
+        } else {
+            self.state = State::Suspended;
+            true
+        }
+    }
+
+    /// The scan found nothing new: the thread suspends until the next
+    /// doorbell, discarding any rescan request.
+    pub fn suspend(&mut self) {
+        self.rescan_requested = false;
+        self.state = State::Suspended;
+    }
+
+    /// Cost of scanning `n` channels (cache-line reads of shared state).
+    pub fn scan_cost(n: usize, per_channel: SimDuration) -> SimDuration {
+        per_channel * (n.max(1) as u64)
+    }
+
+    /// Total doorbell activations.
+    pub fn activations(&self) -> u64 {
+        self.activations
+    }
+
+    /// Total vCPU threads woken.
+    pub fn vcpus_woken(&self) -> u64 {
+        self.vcpus_woken
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cg_machine::RealmId;
+
+    fn rec(i: u32) -> RecId {
+        RecId::new(RealmId(0), i)
+    }
+
+    #[test]
+    fn doorbell_coalesces_while_active() {
+        let mut w = WakeupThread::new(ThreadId(1));
+        assert!(w.on_doorbell());
+        assert!(!w.on_doorbell());
+        assert!(w.is_active());
+        w.suspend();
+        assert!(w.on_doorbell());
+        assert_eq!(w.activations(), 2);
+    }
+
+    #[test]
+    fn coalesced_doorbell_forces_rescan() {
+        let mut w = WakeupThread::new(ThreadId(1));
+        assert!(w.on_doorbell());
+        // A ring during the scan...
+        assert!(!w.on_doorbell());
+        // ...prevents suspension once, forcing another scan.
+        assert!(!w.try_suspend());
+        assert!(w.is_active());
+        assert!(w.try_suspend());
+        assert!(!w.is_active());
+    }
+
+    #[test]
+    fn watch_list_is_deduplicated_and_ordered() {
+        let mut w = WakeupThread::new(ThreadId(1));
+        w.watch(rec(0));
+        w.watch(rec(1));
+        w.watch(rec(0));
+        assert_eq!(w.watched(), &[rec(0), rec(1)]);
+        w.unwatch(rec(0));
+        assert_eq!(w.watched(), &[rec(1)]);
+    }
+
+    #[test]
+    fn scan_cost_scales_with_channels() {
+        let per = SimDuration::nanos(80);
+        assert_eq!(WakeupThread::scan_cost(0, per), per); // floor of one line
+        assert_eq!(WakeupThread::scan_cost(4, per), per * 4);
+    }
+
+    #[test]
+    fn woken_accounting() {
+        let mut w = WakeupThread::new(ThreadId(1));
+        w.record_woken(3);
+        w.record_woken(1);
+        assert_eq!(w.vcpus_woken(), 4);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests for the host scheduler's invariants.
+
+use cg_host::{SchedClass, Scheduler, ThreadKind};
+use cg_machine::CoreId;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Spawn(bool, u8), // fifo?, priority
+    RunAndBlock,
+    RunAndYield,
+    WakeOldest,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (prop::bool::ANY, 0u8..4).prop_map(|(f, p)| Op::Spawn(f, p)),
+        Just(Op::RunAndBlock),
+        Just(Op::RunAndYield),
+        Just(Op::WakeOldest),
+    ]
+}
+
+proptest! {
+    /// Under arbitrary spawn/block/yield/wake sequences on one core:
+    /// a FIFO thread is never passed over in favour of a fair thread,
+    /// and every thread is in exactly one state.
+    #[test]
+    fn fifo_always_beats_fair(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        let core = CoreId(0);
+        let mut sched = Scheduler::new();
+        let mut blocked: Vec<cg_host::ThreadId> = Vec::new();
+        let mut fifo_runnable = 0i64;
+        for op in ops {
+            match op {
+                Op::Spawn(fifo, prio) => {
+                    let class = if fifo { SchedClass::Fifo(prio) } else { SchedClass::Fair };
+                    sched.spawn(ThreadKind::Housekeeping, class, [core]);
+                    if fifo {
+                        fifo_runnable += 1;
+                    }
+                }
+                Op::RunAndBlock | Op::RunAndYield => {
+                    if let Some(tid) = sched.pick_next(core) {
+                        let is_fifo = matches!(sched.thread(tid).class(), SchedClass::Fifo(_));
+                        if fifo_runnable > 0 {
+                            prop_assert!(is_fifo, "picked fair while FIFO runnable");
+                        }
+                        if matches!(op, Op::RunAndBlock) {
+                            sched.block_current(core);
+                            if is_fifo {
+                                fifo_runnable -= 1;
+                            }
+                            blocked.push(tid);
+                        } else {
+                            sched.yield_current(core);
+                        }
+                    }
+                }
+                Op::WakeOldest => {
+                    if !blocked.is_empty() {
+                        let tid = blocked.remove(0);
+                        sched.wake(tid);
+                        if matches!(sched.thread(tid).class(), SchedClass::Fifo(_)) {
+                            fifo_runnable += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Evacuating a core re-homes every thread exactly once and leaves
+    /// nothing affine to the evacuated core.
+    #[test]
+    fn evacuation_is_total(n_threads in 1usize..20) {
+        let mut sched = Scheduler::new();
+        let cores = [CoreId(0), CoreId(1)];
+        let mut spawned = Vec::new();
+        for i in 0..n_threads {
+            let class = if i % 2 == 0 { SchedClass::Fair } else { SchedClass::Fifo(1) };
+            spawned.push(sched.spawn(ThreadKind::Housekeeping, class, cores));
+        }
+        let migrated = sched.evacuate(CoreId(0));
+        for tid in &spawned {
+            prop_assert!(!sched.thread(*tid).can_run_on(CoreId(0)));
+        }
+        // Everything that sat on core 0 migrated; nothing migrated twice.
+        let mut seen = std::collections::BTreeSet::new();
+        for tid in migrated {
+            prop_assert!(seen.insert(tid));
+        }
+        // All threads remain schedulable on core 1.
+        let mut picked = 0;
+        while sched.pick_next(CoreId(1)).is_some() {
+            sched.block_current(CoreId(1));
+            picked += 1;
+        }
+        prop_assert_eq!(picked, n_threads);
+    }
+}

@@ -1,0 +1,264 @@
+//! Per-core execution state: world, ownership, and online status.
+
+use std::fmt;
+
+use crate::ids::{CoreId, Domain, RealmId};
+
+/// The security world a core is currently executing in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum World {
+    /// Normal (non-secure) world: host kernel, VMM, ordinary VMs.
+    #[default]
+    Normal,
+    /// Realm world: the RMM and confidential VMs.
+    Realm,
+    /// Root world: the EL3 monitor.
+    Root,
+}
+
+impl fmt::Display for World {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            World::Normal => "normal",
+            World::Realm => "realm",
+            World::Root => "root",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Who controls a core's execution.
+///
+/// Core-gapping's central state transition (paper §4.2): cores move from
+/// host ownership, through the hotplug-offline path, to RMM dedication —
+/// and never run host code again until the CVM using them terminates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CpuOwner {
+    /// Online under the host OS scheduler.
+    #[default]
+    Host,
+    /// Taken offline by CPU hotplug; not yet handed to anyone (a vanilla
+    /// hotplugged core would be powered down here).
+    Offline,
+    /// Dedicated to the RMM. Initially unbound; once a vCPU first enters,
+    /// it is bound to that vCPU's realm until the realm is destroyed.
+    Rmm(Option<RealmId>),
+}
+
+/// One physical core.
+///
+/// # Example
+///
+/// ```
+/// use cg_machine::{Cpu, CpuOwner, CoreId, World};
+///
+/// let cpu = Cpu::new(CoreId(0));
+/// assert_eq!(cpu.owner(), CpuOwner::Host);
+/// assert_eq!(cpu.world(), World::Normal);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cpu {
+    id: CoreId,
+    world: World,
+    owner: CpuOwner,
+    /// The domain whose code is currently executing (None when idle in
+    /// the architectural sense, e.g. WFI in the host idle loop).
+    current_domain: Option<Domain>,
+}
+
+impl Cpu {
+    /// Creates a host-owned core in normal world.
+    pub fn new(id: CoreId) -> Cpu {
+        Cpu {
+            id,
+            world: World::Normal,
+            owner: CpuOwner::Host,
+            current_domain: None,
+        }
+    }
+
+    /// This core's identifier.
+    pub fn id(&self) -> CoreId {
+        self.id
+    }
+
+    /// The current world.
+    pub fn world(&self) -> World {
+        self.world
+    }
+
+    /// Switches world (the time cost is charged by the caller).
+    pub fn set_world(&mut self, world: World) {
+        self.world = world;
+    }
+
+    /// Current ownership.
+    pub fn owner(&self) -> CpuOwner {
+        self.owner
+    }
+
+    /// Takes the core offline from the host (hotplug).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the core is host-owned: offlining a dedicated core
+    /// would be a host attempt to reclaim a CVM's core, which the monitor
+    /// refuses — callers must model that refusal before reaching here.
+    pub fn offline(&mut self) {
+        assert_eq!(
+            self.owner,
+            CpuOwner::Host,
+            "{} must be host-owned to go offline",
+            self.id
+        );
+        self.owner = CpuOwner::Offline;
+    }
+
+    /// Hands an offline core to the RMM (the paper's modified final
+    /// hotplug step).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the core is offline.
+    pub fn dedicate_to_rmm(&mut self) {
+        assert_eq!(
+            self.owner,
+            CpuOwner::Offline,
+            "{} must be offline to dedicate",
+            self.id
+        );
+        self.owner = CpuOwner::Rmm(None);
+        self.world = World::Realm;
+    }
+
+    /// Binds a dedicated core to a realm (on first vCPU entry).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the core is RMM-dedicated and unbound or already
+    /// bound to the same realm.
+    pub fn bind_realm(&mut self, realm: RealmId) {
+        match self.owner {
+            CpuOwner::Rmm(None) => self.owner = CpuOwner::Rmm(Some(realm)),
+            CpuOwner::Rmm(Some(r)) if r == realm => {}
+            other => panic!("{} cannot bind {realm}: owner is {other:?}", self.id),
+        }
+    }
+
+    /// Unbinds a dedicated core from its realm (realm destroyed), leaving
+    /// it RMM-owned and unbound.
+    pub fn unbind_realm(&mut self) {
+        if let CpuOwner::Rmm(_) = self.owner {
+            self.owner = CpuOwner::Rmm(None);
+        }
+    }
+
+    /// Returns the core to host ownership (hotplug online).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core is still bound to a realm.
+    pub fn online(&mut self) {
+        match self.owner {
+            CpuOwner::Offline | CpuOwner::Rmm(None) => {
+                self.owner = CpuOwner::Host;
+                self.world = World::Normal;
+            }
+            CpuOwner::Rmm(Some(r)) => {
+                panic!("{} cannot come online while bound to {r}", self.id)
+            }
+            CpuOwner::Host => {}
+        }
+    }
+
+    /// The realm this core is bound to, if any.
+    pub fn bound_realm(&self) -> Option<RealmId> {
+        match self.owner {
+            CpuOwner::Rmm(r) => r,
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if the host scheduler may run threads here.
+    pub fn is_host_schedulable(&self) -> bool {
+        self.owner == CpuOwner::Host
+    }
+
+    /// Records which domain's code is executing.
+    pub fn set_current_domain(&mut self, domain: Option<Domain>) {
+        self.current_domain = domain;
+    }
+
+    /// The domain currently executing, if any.
+    pub fn current_domain(&self) -> Option<Domain> {
+        self.current_domain
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedication_lifecycle() {
+        let mut cpu = Cpu::new(CoreId(1));
+        assert!(cpu.is_host_schedulable());
+        cpu.offline();
+        assert!(!cpu.is_host_schedulable());
+        cpu.dedicate_to_rmm();
+        assert_eq!(cpu.owner(), CpuOwner::Rmm(None));
+        assert_eq!(cpu.world(), World::Realm);
+        cpu.bind_realm(RealmId(4));
+        assert_eq!(cpu.bound_realm(), Some(RealmId(4)));
+        cpu.unbind_realm();
+        cpu.online();
+        assert!(cpu.is_host_schedulable());
+        assert_eq!(cpu.world(), World::Normal);
+    }
+
+    #[test]
+    fn rebinding_same_realm_is_idempotent() {
+        let mut cpu = Cpu::new(CoreId(0));
+        cpu.offline();
+        cpu.dedicate_to_rmm();
+        cpu.bind_realm(RealmId(1));
+        cpu.bind_realm(RealmId(1));
+        assert_eq!(cpu.bound_realm(), Some(RealmId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot bind")]
+    fn binding_two_realms_panics() {
+        let mut cpu = Cpu::new(CoreId(0));
+        cpu.offline();
+        cpu.dedicate_to_rmm();
+        cpu.bind_realm(RealmId(1));
+        cpu.bind_realm(RealmId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot come online")]
+    fn online_while_bound_panics() {
+        let mut cpu = Cpu::new(CoreId(0));
+        cpu.offline();
+        cpu.dedicate_to_rmm();
+        cpu.bind_realm(RealmId(1));
+        cpu.online();
+    }
+
+    #[test]
+    #[should_panic(expected = "must be host-owned")]
+    fn offline_twice_panics() {
+        let mut cpu = Cpu::new(CoreId(0));
+        cpu.offline();
+        cpu.offline();
+    }
+
+    #[test]
+    fn current_domain_tracking() {
+        let mut cpu = Cpu::new(CoreId(0));
+        assert_eq!(cpu.current_domain(), None);
+        cpu.set_current_domain(Some(Domain::Host));
+        assert_eq!(cpu.current_domain(), Some(Domain::Host));
+    }
+}

@@ -1,0 +1,393 @@
+//! Physical memory and the granule protection table (GPT).
+//!
+//! CCA partitions physical memory into 4 KiB *granules*, each in a state
+//! that determines which world may access it. The host *delegates*
+//! granules to the realm world through the monitor; the RMM then assigns
+//! them to a realm as data, page-table (RTT), or vCPU-context (REC)
+//! storage. The hardware granule protection check faults any access that
+//! violates the table — this is what makes realm memory inaccessible to
+//! the hypervisor.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::ids::{Domain, RealmId};
+
+/// Size of one granule in bytes.
+pub const GRANULE_SIZE: u64 = 4096;
+
+/// A granule-aligned physical address.
+///
+/// # Example
+///
+/// ```
+/// use cg_machine::GranuleAddr;
+///
+/// let g = GranuleAddr::new(0x8000_0000).unwrap();
+/// assert_eq!(g.as_u64(), 0x8000_0000);
+/// assert!(GranuleAddr::new(0x8000_0001).is_none());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GranuleAddr(u64);
+
+impl GranuleAddr {
+    /// Creates a granule address; returns `None` if `addr` is not
+    /// 4 KiB-aligned.
+    pub fn new(addr: u64) -> Option<GranuleAddr> {
+        if addr.is_multiple_of(GRANULE_SIZE) {
+            Some(GranuleAddr(addr))
+        } else {
+            None
+        }
+    }
+
+    /// The granule containing an arbitrary byte address.
+    pub fn containing(addr: u64) -> GranuleAddr {
+        GranuleAddr(addr & !(GRANULE_SIZE - 1))
+    }
+
+    /// Returns the raw physical address.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// The `n`-th granule after this one.
+    pub fn offset(self, n: u64) -> GranuleAddr {
+        GranuleAddr(self.0 + n * GRANULE_SIZE)
+    }
+}
+
+impl fmt::Display for GranuleAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+/// Ownership/usage state of a physical granule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum GranuleState {
+    /// Non-secure: accessible to the host (and sharable with guests as
+    /// unprotected memory, e.g. for virtio rings and RPC channels).
+    #[default]
+    NonSecure,
+    /// Delegated to realm world but not yet assigned; accessible only to
+    /// the monitor/RMM.
+    Delegated,
+    /// Realm data page, mapped into a realm's protected address space.
+    RealmData(RealmId),
+    /// Realm translation table (stage-2 page table) storage.
+    RealmRtt(RealmId),
+    /// Realm execution context (vCPU register file) storage.
+    RealmRec(RealmId),
+    /// Realm descriptor storage.
+    RealmRd(RealmId),
+    /// Monitor-private (EL3 / root world) memory.
+    Root,
+}
+
+impl GranuleState {
+    /// The realm that owns this granule, if any.
+    pub fn owner(self) -> Option<RealmId> {
+        match self {
+            GranuleState::RealmData(r)
+            | GranuleState::RealmRtt(r)
+            | GranuleState::RealmRec(r)
+            | GranuleState::RealmRd(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// Errors from granule-map operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemoryError {
+    /// The granule is not in the state required by the requested
+    /// transition (e.g. delegating a granule that is already delegated).
+    BadState {
+        /// The state the granule was actually in.
+        actual: GranuleState,
+    },
+    /// An access violated the granule protection table.
+    GranuleProtectionFault {
+        /// The domain that attempted the access.
+        domain: Domain,
+        /// The state of the granule it touched.
+        state: GranuleState,
+    },
+    /// The address lies outside physical memory.
+    OutOfRange,
+}
+
+impl fmt::Display for MemoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemoryError::BadState { actual } => {
+                write!(f, "granule in unexpected state {actual:?}")
+            }
+            MemoryError::GranuleProtectionFault { domain, state } => {
+                write!(f, "granule protection fault: {domain} accessed {state:?} granule")
+            }
+            MemoryError::OutOfRange => write!(f, "address outside physical memory"),
+        }
+    }
+}
+
+impl std::error::Error for MemoryError {}
+
+/// The machine's granule protection table.
+///
+/// Tracks the state of every granule (sparsely: untouched granules are
+/// [`GranuleState::NonSecure`]) and enforces the CCA access rules.
+///
+/// # Example
+///
+/// ```
+/// use cg_machine::{Domain, GranuleAddr, GranuleMap, GranuleState};
+///
+/// let mut map = GranuleMap::new(1 << 30); // 1 GiB
+/// let g = GranuleAddr::new(0x10_0000).unwrap();
+/// map.delegate(g).unwrap();
+/// // The host can no longer access the delegated granule.
+/// assert!(map.check_access(Domain::Host, g).is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct GranuleMap {
+    size_bytes: u64,
+    states: HashMap<GranuleAddr, GranuleState>,
+    delegated_count: u64,
+}
+
+impl GranuleMap {
+    /// Creates a map covering `size_bytes` of physical memory, all
+    /// initially non-secure.
+    pub fn new(size_bytes: u64) -> GranuleMap {
+        GranuleMap {
+            size_bytes,
+            states: HashMap::new(),
+            delegated_count: 0,
+        }
+    }
+
+    /// Total physical memory covered, in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.size_bytes
+    }
+
+    /// Number of granules currently delegated to realm world (in any
+    /// realm-side state).
+    pub fn delegated_count(&self) -> u64 {
+        self.delegated_count
+    }
+
+    /// Returns the state of a granule.
+    ///
+    /// # Errors
+    ///
+    /// [`MemoryError::OutOfRange`] if the granule lies outside memory.
+    pub fn state(&self, g: GranuleAddr) -> Result<GranuleState, MemoryError> {
+        if g.as_u64() >= self.size_bytes {
+            return Err(MemoryError::OutOfRange);
+        }
+        Ok(self.states.get(&g).copied().unwrap_or_default())
+    }
+
+    fn set_state(&mut self, g: GranuleAddr, state: GranuleState) {
+        if state == GranuleState::NonSecure {
+            self.states.remove(&g);
+        } else {
+            self.states.insert(g, state);
+        }
+    }
+
+    /// Transitions a non-secure granule to delegated (RMI_GRANULE_DELEGATE).
+    ///
+    /// # Errors
+    ///
+    /// [`MemoryError::BadState`] unless the granule is non-secure;
+    /// [`MemoryError::OutOfRange`] outside memory.
+    pub fn delegate(&mut self, g: GranuleAddr) -> Result<(), MemoryError> {
+        match self.state(g)? {
+            GranuleState::NonSecure => {
+                self.set_state(g, GranuleState::Delegated);
+                self.delegated_count += 1;
+                Ok(())
+            }
+            actual => Err(MemoryError::BadState { actual }),
+        }
+    }
+
+    /// Transitions a delegated granule back to non-secure
+    /// (RMI_GRANULE_UNDELEGATE).
+    ///
+    /// # Errors
+    ///
+    /// [`MemoryError::BadState`] unless the granule is in the bare
+    /// delegated state (assigned granules must be unassigned first).
+    pub fn undelegate(&mut self, g: GranuleAddr) -> Result<(), MemoryError> {
+        match self.state(g)? {
+            GranuleState::Delegated => {
+                self.set_state(g, GranuleState::NonSecure);
+                self.delegated_count -= 1;
+                Ok(())
+            }
+            actual => Err(MemoryError::BadState { actual }),
+        }
+    }
+
+    /// Assigns a delegated granule to a realm-side use (data/RTT/REC/RD).
+    ///
+    /// # Errors
+    ///
+    /// [`MemoryError::BadState`] unless the granule is delegated, or the
+    /// requested state is not a realm-side state.
+    pub fn assign(&mut self, g: GranuleAddr, state: GranuleState) -> Result<(), MemoryError> {
+        if state.owner().is_none() {
+            return Err(MemoryError::BadState { actual: state });
+        }
+        match self.state(g)? {
+            GranuleState::Delegated => {
+                self.set_state(g, state);
+                Ok(())
+            }
+            actual => Err(MemoryError::BadState { actual }),
+        }
+    }
+
+    /// Returns an assigned granule to the bare delegated state (when a
+    /// realm object is destroyed).
+    ///
+    /// # Errors
+    ///
+    /// [`MemoryError::BadState`] unless the granule is in a realm-side
+    /// state.
+    pub fn unassign(&mut self, g: GranuleAddr) -> Result<(), MemoryError> {
+        let st = self.state(g)?;
+        if st.owner().is_some() {
+            self.set_state(g, GranuleState::Delegated);
+            Ok(())
+        } else {
+            Err(MemoryError::BadState { actual: st })
+        }
+    }
+
+    /// Checks whether `domain` may access granule `g` under the GPT.
+    ///
+    /// Rules (paper §2.1): the monitor accesses everything; the host only
+    /// non-secure granules; a realm accesses non-secure (shared/unprotected)
+    /// granules and its own realm-side granules.
+    ///
+    /// # Errors
+    ///
+    /// [`MemoryError::GranuleProtectionFault`] on a violating access;
+    /// [`MemoryError::OutOfRange`] outside memory.
+    pub fn check_access(&self, domain: Domain, g: GranuleAddr) -> Result<(), MemoryError> {
+        let state = self.state(g)?;
+        let allowed = match domain {
+            Domain::Monitor => true,
+            Domain::Host => matches!(state, GranuleState::NonSecure),
+            Domain::Realm(r) => match state {
+                GranuleState::NonSecure => true,
+                other => other.owner() == Some(r),
+            },
+        };
+        if allowed {
+            Ok(())
+        } else {
+            Err(MemoryError::GranuleProtectionFault { domain, state })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MEM: u64 = 1 << 30;
+
+    fn g(n: u64) -> GranuleAddr {
+        GranuleAddr::new(n * GRANULE_SIZE).unwrap()
+    }
+
+    #[test]
+    fn alignment_enforced() {
+        assert!(GranuleAddr::new(4096).is_some());
+        assert!(GranuleAddr::new(4097).is_none());
+        assert_eq!(GranuleAddr::containing(4097), GranuleAddr::new(4096).unwrap());
+    }
+
+    #[test]
+    fn delegate_lifecycle() {
+        let mut m = GranuleMap::new(MEM);
+        m.delegate(g(1)).unwrap();
+        assert_eq!(m.state(g(1)).unwrap(), GranuleState::Delegated);
+        assert_eq!(m.delegated_count(), 1);
+        m.undelegate(g(1)).unwrap();
+        assert_eq!(m.state(g(1)).unwrap(), GranuleState::NonSecure);
+        assert_eq!(m.delegated_count(), 0);
+    }
+
+    #[test]
+    fn double_delegate_rejected() {
+        let mut m = GranuleMap::new(MEM);
+        m.delegate(g(1)).unwrap();
+        assert!(matches!(m.delegate(g(1)), Err(MemoryError::BadState { .. })));
+    }
+
+    #[test]
+    fn undelegate_requires_bare_delegated() {
+        let mut m = GranuleMap::new(MEM);
+        m.delegate(g(1)).unwrap();
+        m.assign(g(1), GranuleState::RealmData(RealmId(0))).unwrap();
+        assert!(m.undelegate(g(1)).is_err());
+        m.unassign(g(1)).unwrap();
+        m.undelegate(g(1)).unwrap();
+    }
+
+    #[test]
+    fn assign_requires_realm_state() {
+        let mut m = GranuleMap::new(MEM);
+        m.delegate(g(1)).unwrap();
+        assert!(m.assign(g(1), GranuleState::NonSecure).is_err());
+        assert!(m.assign(g(1), GranuleState::Root).is_err());
+        m.assign(g(1), GranuleState::RealmRtt(RealmId(3))).unwrap();
+        assert_eq!(m.state(g(1)).unwrap().owner(), Some(RealmId(3)));
+    }
+
+    #[test]
+    fn host_cannot_access_realm_memory() {
+        let mut m = GranuleMap::new(MEM);
+        m.delegate(g(2)).unwrap();
+        m.assign(g(2), GranuleState::RealmData(RealmId(1))).unwrap();
+        assert!(m.check_access(Domain::Host, g(2)).is_err());
+        assert!(m.check_access(Domain::Monitor, g(2)).is_ok());
+        assert!(m.check_access(Domain::Realm(RealmId(1)), g(2)).is_ok());
+        assert!(m.check_access(Domain::Realm(RealmId(2)), g(2)).is_err());
+    }
+
+    #[test]
+    fn everyone_accesses_non_secure() {
+        let m = GranuleMap::new(MEM);
+        for d in [Domain::Host, Domain::Monitor, Domain::Realm(RealmId(0))] {
+            assert!(m.check_access(d, g(5)).is_ok());
+        }
+    }
+
+    #[test]
+    fn out_of_range_detected() {
+        let m = GranuleMap::new(GRANULE_SIZE * 4);
+        assert!(matches!(m.state(g(4)), Err(MemoryError::OutOfRange)));
+        assert!(matches!(
+            m.check_access(Domain::Host, g(100)),
+            Err(MemoryError::OutOfRange)
+        ));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = MemoryError::GranuleProtectionFault {
+            domain: Domain::Host,
+            state: GranuleState::Delegated,
+        };
+        assert!(e.to_string().contains("granule protection fault"));
+    }
+}

@@ -1,0 +1,246 @@
+//! Hardware timing and sizing parameters.
+//!
+//! Every latency the simulator charges is a named field here, so each
+//! experiment's outcome can be traced to explicit assumptions. Defaults are
+//! calibrated so the microbenchmarks reproduce the paper's table 2/3
+//! measurements on the AmpereOne evaluation platform (§5.1); see
+//! `EXPERIMENTS.md` for the calibration results.
+
+use cg_sim::SimDuration;
+
+/// Timing and sizing parameters of the simulated machine.
+///
+/// Construct with [`HwParams::ampere_one_like`] (the calibrated default)
+/// and adjust fields for sensitivity studies.
+///
+/// # Example
+///
+/// ```
+/// use cg_machine::HwParams;
+///
+/// let mut p = HwParams::ampere_one_like();
+/// p.num_cores = 64;
+/// assert!(p.mitigation_flush > p.smc_round_trip);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct HwParams {
+    /// Number of physical cores. AmpereOne SKUs ship up to 192; the paper
+    /// uses up to 64 cores in fig. 6.
+    pub num_cores: u16,
+    /// Core clock in GHz (paper: 3 GHz).
+    pub freq_ghz: f64,
+    /// Number of virtual-interrupt list registers (`ich_lr<n>_el2`) per
+    /// core. GIC implementations provide up to 16.
+    pub num_list_regs: usize,
+
+    // ----- cache coherence / cross-core communication -----
+    /// Latency for a cache line dirtied on one core to be read on another
+    /// (the unit cost of shared-memory RPC).
+    pub cache_line_transfer: SimDuration,
+    /// One iteration of a busy-wait polling loop (load + compare + branch
+    /// on a monitored line).
+    pub poll_iteration: SimDuration,
+    /// Writing a small RPC descriptor to shared memory (a few stores plus
+    /// a release barrier).
+    pub mailbox_write: SimDuration,
+
+    // ----- interrupts -----
+    /// Hardware SGI (IPI) delivery latency: write to `ICC_SGI1R_EL1` until
+    /// the target core takes the interrupt.
+    pub ipi_deliver: SimDuration,
+    /// Interrupt entry on the receiving core: vector, acknowledge (IAR
+    /// read), minimal handler prologue.
+    pub irq_entry: SimDuration,
+    /// Latency from a device raising an SPI to the target core taking it.
+    pub device_irq_deliver: SimDuration,
+
+    // ----- world switches and traps -----
+    /// Base cost of a null SMC to EL3 and back, *excluding* vulnerability
+    /// mitigations (context bank switch, ERET paths).
+    pub smc_round_trip: SimDuration,
+    /// Cost of the transient-execution mitigations applied on each
+    /// trust-boundary crossing (branch-predictor invalidation, speculation
+    /// barriers, buffer clears). Table 2's same-core null EL3 call
+    /// (> 12.8 µs) is dominated by two of these.
+    pub mitigation_flush: SimDuration,
+    /// Trap from a running realm vCPU into the RMM (exception entry at
+    /// R-EL2, cause decode).
+    pub realm_exit_trap: SimDuration,
+    /// Re-entering a realm vCPU from the RMM (ERET path).
+    pub realm_enter: SimDuration,
+    /// Saving a full vCPU register context (GPRs, SIMD, system registers).
+    pub context_save: SimDuration,
+    /// Restoring a full vCPU register context.
+    pub context_restore: SimDuration,
+    /// A trapped guest system-register access handled entirely inside the
+    /// RMM (e.g. a delegated timer or ICC register write): trap, decode,
+    /// emulate, return. Excludes any onward signalling.
+    pub sysreg_trap_emulate: SimDuration,
+
+    // ----- host kernel primitives -----
+    /// Waking a blocked thread and making it runnable (scheduler fast
+    /// path, as exercised by the wake-up thread in fig. 4).
+    pub sched_wakeup: SimDuration,
+    /// Switching the running thread on a host core.
+    pub context_switch: SimDuration,
+
+    // ----- timers -----
+    /// Reprogramming a generic timer compare value.
+    pub timer_program: SimDuration,
+
+    // ----- microarchitectural warmth model -----
+    /// Compute time for a domain's L1/TLB residency to recover ~63 % of
+    /// the way to fully warm (exponential time constant).
+    pub warmup_tau: SimDuration,
+    /// Compute time by *another* domain on the same core for a resident
+    /// domain's residency to decay by ~63 % (capacity eviction constant).
+    pub evict_tau: SimDuration,
+    /// Maximum slowdown contribution of a cold L1 (e.g. 0.35 = up to 35 %
+    /// extra cycles per unit of work when the L1 holds none of the
+    /// working set).
+    pub l1_penalty: f64,
+    /// Maximum slowdown contribution of a cold TLB.
+    pub tlb_penalty: f64,
+    /// Maximum slowdown contribution of a cold branch predictor.
+    pub bp_penalty: f64,
+    /// Extra per-access cost factor for CCA granule-protection checks on
+    /// TLB misses (kept at zero to match the paper's non-RME evaluation
+    /// hardware; exposed for sensitivity studies).
+    pub gpc_check_factor: f64,
+}
+
+impl HwParams {
+    /// Parameters calibrated against the paper's evaluation platform: an
+    /// AmpereOne-class Armv8.6 server at 3 GHz with 64 usable cores.
+    pub fn ampere_one_like() -> HwParams {
+        HwParams {
+            num_cores: 64,
+            freq_ghz: 3.0,
+            num_list_regs: 16,
+
+            cache_line_transfer: SimDuration::nanos(85),
+            poll_iteration: SimDuration::nanos(36),
+            mailbox_write: SimDuration::nanos(25),
+
+            ipi_deliver: SimDuration::nanos(900),
+            irq_entry: SimDuration::nanos(320),
+            device_irq_deliver: SimDuration::micros(2),
+
+            smc_round_trip: SimDuration::nanos(1_400),
+            mitigation_flush: SimDuration::nanos(5_700),
+            realm_exit_trap: SimDuration::nanos(420),
+            realm_enter: SimDuration::nanos(420),
+            context_save: SimDuration::nanos(480),
+            context_restore: SimDuration::nanos(480),
+            sysreg_trap_emulate: SimDuration::nanos(260),
+
+            sched_wakeup: SimDuration::nanos(500),
+            context_switch: SimDuration::nanos(600),
+
+            timer_program: SimDuration::nanos(60),
+
+            warmup_tau: SimDuration::micros(40),
+            evict_tau: SimDuration::micros(60),
+            l1_penalty: 0.32,
+            tlb_penalty: 0.14,
+            bp_penalty: 0.18,
+            gpc_check_factor: 0.0,
+        }
+    }
+
+    /// A small, fast configuration for unit tests: 8 cores and the same
+    /// calibrated latencies.
+    pub fn small() -> HwParams {
+        HwParams {
+            num_cores: 8,
+            ..HwParams::ampere_one_like()
+        }
+    }
+
+    /// The cost of a same-core null EL3 call including mitigations applied
+    /// in both directions (table 2, "same-core synchronous" row).
+    pub fn el3_null_call(&self) -> SimDuration {
+        self.smc_round_trip + self.mitigation_flush * 2
+    }
+
+    /// Maximum combined cold-structure slowdown factor.
+    pub fn max_slowdown(&self) -> f64 {
+        1.0 + self.l1_penalty + self.tlb_penalty + self.bp_penalty
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated
+    /// constraint (non-positive core count, zero frequency, no list
+    /// registers, or negative penalty factors).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_cores == 0 {
+            return Err("num_cores must be at least 1".into());
+        }
+        if self.freq_ghz <= 0.0 {
+            return Err("freq_ghz must be positive".into());
+        }
+        if self.num_list_regs == 0 {
+            return Err("num_list_regs must be at least 1".into());
+        }
+        if self.l1_penalty < 0.0 || self.tlb_penalty < 0.0 || self.bp_penalty < 0.0 {
+            return Err("microarch penalty factors must be non-negative".into());
+        }
+        if self.gpc_check_factor < 0.0 {
+            return Err("gpc_check_factor must be non-negative".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for HwParams {
+    fn default() -> HwParams {
+        HwParams::ampere_one_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        HwParams::default().validate().unwrap();
+        HwParams::small().validate().unwrap();
+    }
+
+    #[test]
+    fn el3_null_call_exceeds_12_8_us() {
+        // Table 2 reports > 12.8 µs for the same-core null EL3 call.
+        let p = HwParams::ampere_one_like();
+        assert!(p.el3_null_call() >= SimDuration::nanos(12_800));
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let mut p = HwParams::small();
+        p.num_cores = 0;
+        assert!(p.validate().is_err());
+
+        let mut p = HwParams::small();
+        p.freq_ghz = 0.0;
+        assert!(p.validate().is_err());
+
+        let mut p = HwParams::small();
+        p.num_list_regs = 0;
+        assert!(p.validate().is_err());
+
+        let mut p = HwParams::small();
+        p.l1_penalty = -0.1;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn max_slowdown_sums_penalties() {
+        let p = HwParams::ampere_one_like();
+        let expected = 1.0 + p.l1_penalty + p.tlb_penalty + p.bp_penalty;
+        assert!((p.max_slowdown() - expected).abs() < 1e-12);
+    }
+}

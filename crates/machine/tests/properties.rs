@@ -1,0 +1,101 @@
+//! Property tests for the machine model's invariants.
+
+use cg_machine::{CoreId, Domain, HwParams, Machine, RealmId, SecretId, Structure};
+use cg_sim::SimDuration;
+use proptest::prelude::*;
+
+fn domain(i: u8) -> Domain {
+    match i % 3 {
+        0 => Domain::Host,
+        1 => Domain::Realm(RealmId(1)),
+        _ => Domain::Realm(RealmId(2)),
+    }
+}
+
+proptest! {
+    /// Wall time never undercuts ideal work, and slowdown is bounded by
+    /// the parameterised maximum.
+    #[test]
+    fn compute_wall_time_is_bounded(
+        ops in prop::collection::vec((0u8..3, 1u64..2_000), 1..80)
+    ) {
+        let params = HwParams::small();
+        let mut m = Machine::new(params.clone());
+        for (who, work_us) in ops {
+            let work = SimDuration::micros(work_us);
+            let wall = m.run_compute(CoreId(0), domain(who), work);
+            prop_assert!(wall >= work);
+            prop_assert!(wall <= work.scaled(params.max_slowdown()) + SimDuration::nanos(1));
+        }
+    }
+
+    /// Residency warms monotonically under own compute and never leaves
+    /// [0, 1].
+    #[test]
+    fn residency_stays_in_unit_interval(
+        ops in prop::collection::vec((0u8..3, 1u64..500), 1..100)
+    ) {
+        let mut m = Machine::new(HwParams::small());
+        for (who, work_us) in ops {
+            let d = domain(who);
+            let before = m.microarch(CoreId(0)).l1_residency(d);
+            m.run_compute(CoreId(0), d, SimDuration::micros(work_us));
+            let after = m.microarch(CoreId(0)).l1_residency(d);
+            prop_assert!((0.0..=1.0).contains(&after));
+            prop_assert!(after >= before, "own compute never cools own state");
+        }
+    }
+
+    /// Taint only accumulates with execution (never appears on untouched
+    /// cores), and the mitigation flush clears exactly the structures it
+    /// claims to.
+    #[test]
+    fn taint_is_causal(cores in prop::collection::vec(0u16..4, 1..40)) {
+        let mut m = Machine::new(HwParams::small());
+        let victim = Domain::Realm(RealmId(7));
+        let mut touched = std::collections::BTreeSet::new();
+        for c in cores {
+            m.run_secret_compute(CoreId(c), victim, SecretId(1), SimDuration::micros(10));
+            touched.insert(c);
+        }
+        for c in 0..4u16 {
+            let leaked = !m
+                .microarch(CoreId(c))
+                .probe(Structure::L1d, Domain::Host)
+                .is_empty();
+            prop_assert_eq!(leaked, touched.contains(&c), "core {}", c);
+        }
+        // Flush one touched core: BP/FillBuffer clean, caches not.
+        if let Some(&c) = touched.iter().next() {
+            m.microarch_mut(CoreId(c)).mitigation_flush();
+            prop_assert!(m.microarch(CoreId(c)).probe(Structure::BranchPredictor, Domain::Host).is_empty());
+            prop_assert!(m.microarch(CoreId(c)).probe(Structure::FillBuffer, Domain::Host).is_empty());
+            prop_assert!(!m.microarch(CoreId(c)).probe(Structure::L1d, Domain::Host).is_empty());
+        }
+    }
+
+    /// Granule delegate/undelegate sequences preserve the accounting
+    /// invariant: delegated_count equals the live delegated set.
+    #[test]
+    fn granule_accounting_is_exact(
+        ops in prop::collection::vec((0u64..32, prop::bool::ANY), 1..200)
+    ) {
+        let mut m = Machine::new(HwParams::small());
+        let mut live = std::collections::BTreeSet::new();
+        for (idx, delegate) in ops {
+            let g = cg_machine::GranuleAddr::new(0x10_0000 + idx * 4096).unwrap();
+            if delegate {
+                if m.memory_mut().delegate(g).is_ok() {
+                    prop_assert!(live.insert(idx));
+                } else {
+                    prop_assert!(live.contains(&idx));
+                }
+            } else if m.memory_mut().undelegate(g).is_ok() {
+                prop_assert!(live.remove(&idx));
+            } else {
+                prop_assert!(!live.contains(&idx));
+            }
+            prop_assert_eq!(m.memory().delegated_count(), live.len() as u64);
+        }
+    }
+}

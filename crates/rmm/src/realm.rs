@@ -1,0 +1,239 @@
+//! Realm descriptors: per-CVM state tracked by the RMM.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use cg_cca::Measurement;
+use cg_machine::{GranuleAddr, RealmId};
+
+use crate::rec::Rec;
+use crate::rtt::Rtt;
+
+/// Realm lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RealmState {
+    /// Created; memory may be loaded and measured; RECs may be created.
+    New,
+    /// Activated: the initial measurement is sealed and vCPUs may run.
+    Active,
+    /// Destruction in progress or complete.
+    Destroyed,
+}
+
+impl fmt::Display for RealmState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RealmState::New => "new",
+            RealmState::Active => "active",
+            RealmState::Destroyed => "destroyed",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One realm (confidential VM) as the RMM sees it.
+#[derive(Debug)]
+pub struct Realm {
+    id: RealmId,
+    state: RealmState,
+    rd: GranuleAddr,
+    rtt: Rtt,
+    recs: BTreeMap<u32, Rec>,
+    num_recs: u32,
+    rim: Measurement,
+    data_pages: u64,
+}
+
+impl Realm {
+    /// Creates a realm in the [`RealmState::New`] state.
+    pub fn new(id: RealmId, rd: GranuleAddr, rtt_root: GranuleAddr, num_recs: u32) -> Realm {
+        Realm {
+            id,
+            state: RealmState::New,
+            rd,
+            rtt: Rtt::new(rtt_root),
+            recs: BTreeMap::new(),
+            num_recs,
+            rim: Measurement::ZERO,
+            data_pages: 0,
+        }
+    }
+
+    /// The realm's identifier.
+    pub fn id(&self) -> RealmId {
+        self.id
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> RealmState {
+        self.state
+    }
+
+    /// The realm descriptor granule.
+    pub fn rd(&self) -> GranuleAddr {
+        self.rd
+    }
+
+    /// The declared number of vCPUs.
+    pub fn num_recs(&self) -> u32 {
+        self.num_recs
+    }
+
+    /// The realm initial measurement (sealed at activation).
+    pub fn measurement(&self) -> Measurement {
+        self.rim
+    }
+
+    /// Number of protected data pages currently mapped.
+    pub fn data_pages(&self) -> u64 {
+        self.data_pages
+    }
+
+    /// Immutable access to the stage-2 tables.
+    pub fn rtt(&self) -> &Rtt {
+        &self.rtt
+    }
+
+    /// Mutable access to the stage-2 tables.
+    pub fn rtt_mut(&mut self) -> &mut Rtt {
+        &mut self.rtt
+    }
+
+    /// Extends the initial measurement with loaded content (only legal
+    /// pre-activation; the caller enforces state).
+    pub fn extend_measurement(&mut self, content: Measurement) {
+        self.rim.extend(content);
+    }
+
+    /// Records a protected data page added/removed.
+    pub fn add_data_page(&mut self) {
+        self.data_pages += 1;
+    }
+
+    /// Records removal of a protected data page.
+    pub fn remove_data_page(&mut self) {
+        self.data_pages = self.data_pages.saturating_sub(1);
+    }
+
+    /// Activates the realm.
+    ///
+    /// Returns `false` if it was not in the [`RealmState::New`] state.
+    pub fn activate(&mut self) -> bool {
+        if self.state == RealmState::New {
+            self.state = RealmState::Active;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Marks the realm destroyed.
+    ///
+    /// Returns `false` if RECs still exist.
+    pub fn destroy(&mut self) -> bool {
+        if self.recs.is_empty() {
+            self.state = RealmState::Destroyed;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Adds a REC.
+    ///
+    /// Returns `false` if the index is out of range or already used, or
+    /// the realm is not `New` (RECs are created before activation).
+    pub fn add_rec(&mut self, index: u32, rec: Rec) -> bool {
+        if self.state != RealmState::New
+            || index >= self.num_recs
+            || self.recs.contains_key(&index)
+        {
+            return false;
+        }
+        self.recs.insert(index, rec);
+        true
+    }
+
+    /// Removes a REC, returning it.
+    pub fn remove_rec(&mut self, index: u32) -> Option<Rec> {
+        self.recs.remove(&index)
+    }
+
+    /// Immutable access to a REC.
+    pub fn rec(&self, index: u32) -> Option<&Rec> {
+        self.recs.get(&index)
+    }
+
+    /// Mutable access to a REC.
+    pub fn rec_mut(&mut self, index: u32) -> Option<&mut Rec> {
+        self.recs.get_mut(&index)
+    }
+
+    /// Number of live RECs.
+    pub fn rec_count(&self) -> usize {
+        self.recs.len()
+    }
+
+    /// Iterates over `(index, rec)`.
+    pub fn recs(&self) -> impl Iterator<Item = (u32, &Rec)> {
+        self.recs.iter().map(|(&i, r)| (i, r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(n: u64) -> GranuleAddr {
+        GranuleAddr::new(n * 4096).unwrap()
+    }
+
+    fn realm() -> Realm {
+        Realm::new(RealmId(1), g(1), g(2), 4)
+    }
+
+    #[test]
+    fn lifecycle() {
+        let mut r = realm();
+        assert_eq!(r.state(), RealmState::New);
+        assert!(r.add_rec(0, Rec::new()));
+        assert!(r.activate());
+        assert_eq!(r.state(), RealmState::Active);
+        assert!(!r.activate());
+        assert!(!r.destroy(), "cannot destroy with live RECs");
+        r.remove_rec(0).unwrap();
+        assert!(r.destroy());
+        assert_eq!(r.state(), RealmState::Destroyed);
+    }
+
+    #[test]
+    fn rec_creation_rules() {
+        let mut r = realm();
+        assert!(r.add_rec(0, Rec::new()));
+        assert!(!r.add_rec(0, Rec::new()), "duplicate index");
+        assert!(!r.add_rec(4, Rec::new()), "index out of range");
+        r.activate();
+        assert!(!r.add_rec(1, Rec::new()), "no RECs after activation");
+        assert_eq!(r.rec_count(), 1);
+    }
+
+    #[test]
+    fn measurement_extends() {
+        let mut r = realm();
+        let before = r.measurement();
+        r.extend_measurement(Measurement::of(b"kernel page"));
+        assert_ne!(r.measurement(), before);
+    }
+
+    #[test]
+    fn data_page_accounting() {
+        let mut r = realm();
+        r.add_data_page();
+        r.add_data_page();
+        r.remove_data_page();
+        assert_eq!(r.data_pages(), 1);
+        r.remove_data_page();
+        r.remove_data_page(); // saturates
+        assert_eq!(r.data_pages(), 0);
+    }
+}

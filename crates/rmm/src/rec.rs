@@ -1,0 +1,189 @@
+//! REC (realm execution context) state: one confidential vCPU.
+
+use std::fmt;
+
+use cg_sim::SimTime;
+
+use crate::interrupts::VirtualGic;
+
+/// REC lifecycle / scheduling state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RecState {
+    /// Created, not currently executing.
+    Ready,
+    /// Currently entered on a physical core.
+    Running,
+    /// The vCPU halted itself (PSCI CPU_OFF / SYSTEM_OFF).
+    Halted,
+}
+
+impl fmt::Display for RecState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RecState::Ready => "ready",
+            RecState::Running => "running",
+            RecState::Halted => "halted",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One vCPU's monitor-side context.
+///
+/// The architectural register file is abstract (the simulation never
+/// interprets guest instructions); what matters is the state the RMM
+/// protects and the interrupt/timer bookkeeping the core-gapping
+/// extensions add.
+#[derive(Debug, Clone, Default)]
+pub struct Rec {
+    state: Option<RecState>,
+    vgic: VirtualGic,
+    /// Delegated virtual-timer deadline, if armed.
+    vtimer_deadline: Option<SimTime>,
+    /// The host asked this vCPU to exit (KVM "kick", e.g. to inject a
+    /// device interrupt from the VMM).
+    kick_requested: bool,
+    /// Exit statistics for table 4.
+    exits_total: u64,
+    exits_interrupt: u64,
+}
+
+impl Rec {
+    /// Creates a ready REC.
+    pub fn new() -> Rec {
+        Rec {
+            state: Some(RecState::Ready),
+            ..Rec::default()
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> RecState {
+        self.state.unwrap_or(RecState::Ready)
+    }
+
+    /// Marks the REC entered on a core.
+    ///
+    /// Returns `false` unless it was ready.
+    pub fn enter(&mut self) -> bool {
+        if self.state() == RecState::Ready {
+            self.state = Some(RecState::Running);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Marks the REC exited back to ready.
+    pub fn exit(&mut self) {
+        if self.state() == RecState::Running {
+            self.state = Some(RecState::Ready);
+        }
+    }
+
+    /// Marks the vCPU halted (graceful shutdown).
+    pub fn halt(&mut self) {
+        self.state = Some(RecState::Halted);
+    }
+
+    /// Immutable access to the virtual interrupt state.
+    pub fn vgic(&self) -> &VirtualGic {
+        &self.vgic
+    }
+
+    /// Mutable access to the virtual interrupt state.
+    pub fn vgic_mut(&mut self) -> &mut VirtualGic {
+        &mut self.vgic
+    }
+
+    /// Arms the delegated virtual timer.
+    pub fn set_vtimer(&mut self, deadline: Option<SimTime>) {
+        self.vtimer_deadline = deadline;
+    }
+
+    /// The delegated virtual-timer deadline, if armed.
+    pub fn vtimer(&self) -> Option<SimTime> {
+        self.vtimer_deadline
+    }
+
+    /// Requests that the vCPU exit to the host at the next opportunity.
+    pub fn request_kick(&mut self) {
+        self.kick_requested = true;
+    }
+
+    /// Consumes a pending kick request, returning whether one was set.
+    pub fn take_kick(&mut self) -> bool {
+        std::mem::replace(&mut self.kick_requested, false)
+    }
+
+    /// Returns `true` if a kick is pending.
+    pub fn kick_pending(&self) -> bool {
+        self.kick_requested
+    }
+
+    /// Records an exit to the host for statistics (table 4).
+    pub fn count_exit(&mut self, interrupt_related: bool) {
+        self.exits_total += 1;
+        if interrupt_related {
+            self.exits_interrupt += 1;
+        }
+    }
+
+    /// Total exits to the host.
+    pub fn exits_total(&self) -> u64 {
+        self.exits_total
+    }
+
+    /// Interrupt-related exits to the host.
+    pub fn exits_interrupt(&self) -> u64 {
+        self.exits_interrupt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enter_exit_lifecycle() {
+        let mut rec = Rec::new();
+        assert_eq!(rec.state(), RecState::Ready);
+        assert!(rec.enter());
+        assert_eq!(rec.state(), RecState::Running);
+        assert!(!rec.enter(), "double entry rejected");
+        rec.exit();
+        assert_eq!(rec.state(), RecState::Ready);
+        rec.halt();
+        assert!(!rec.enter(), "halted vCPU cannot run");
+    }
+
+    #[test]
+    fn kick_request_consumed_once() {
+        let mut rec = Rec::new();
+        assert!(!rec.take_kick());
+        rec.request_kick();
+        assert!(rec.kick_pending());
+        assert!(rec.take_kick());
+        assert!(!rec.take_kick());
+    }
+
+    #[test]
+    fn vtimer_bookkeeping() {
+        let mut rec = Rec::new();
+        assert_eq!(rec.vtimer(), None);
+        rec.set_vtimer(Some(SimTime::from_nanos(100)));
+        assert_eq!(rec.vtimer(), Some(SimTime::from_nanos(100)));
+        rec.set_vtimer(None);
+        assert_eq!(rec.vtimer(), None);
+    }
+
+    #[test]
+    fn exit_statistics() {
+        let mut rec = Rec::new();
+        rec.count_exit(true);
+        rec.count_exit(false);
+        rec.count_exit(true);
+        assert_eq!(rec.exits_total(), 3);
+        assert_eq!(rec.exits_interrupt(), 2);
+    }
+}

@@ -1,0 +1,1387 @@
+//! The RMM proper: RMI command handling and guest-event dispositions.
+
+use cg_cca::{Measurement, RecExit, RecExitReason, RecId, RmiCall, RmiStatus};
+use cg_machine::{CoreId, Domain, GranuleAddr, GranuleState, IntId, Machine, RealmId};
+use cg_sim::{Counters, SimDuration, SimTime};
+
+use crate::coregap::{CoreGap, CoreGapError};
+use crate::interrupts::DelegationConfig;
+use crate::realm::{Realm, RealmState};
+use crate::rec::{Rec, RecState};
+use crate::rtt::{ipa_is_unprotected, RttError};
+
+/// The SGI number the RMM uses as its realm-to-realm doorbell on
+/// dedicated cores (delegated IPI transport). Distinct from the host's
+/// CVM-exit doorbell, which lives in the host's SGI allocation.
+pub const REALM_DOORBELL_SGI: IntId = IntId::sgi(14);
+
+/// Per-operation monitor work costs (time spent in RMM code, excluding
+/// architectural transition costs which come from
+/// [`cg_machine::HwParams`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RmmCosts {
+    /// Trivial queries (RMI_VERSION).
+    pub query: SimDuration,
+    /// Granule delegation: GPT update plus cache/TLB maintenance.
+    pub granule: SimDuration,
+    /// Realm/REC object creation or destruction.
+    pub object: SimDuration,
+    /// RTT manipulation (table create, map, unmap).
+    pub rtt_op: SimDuration,
+    /// Bookkeeping on the REC-enter path beyond context restore.
+    pub enter_extra: SimDuration,
+    /// Bookkeeping on the exit path beyond context save (exit-record
+    /// construction, list-register sync).
+    pub exit_extra: SimDuration,
+}
+
+impl Default for RmmCosts {
+    fn default() -> RmmCosts {
+        RmmCosts {
+            query: SimDuration::nanos(40),
+            granule: SimDuration::nanos(450),
+            object: SimDuration::nanos(700),
+            rtt_op: SimDuration::nanos(400),
+            enter_extra: SimDuration::nanos(250),
+            exit_extra: SimDuration::nanos(250),
+        }
+    }
+}
+
+/// RMM configuration: which of the paper's mechanisms are active.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RmmConfig {
+    /// Enforce core gapping (dedicated cores, bindings, remote exits).
+    /// When `false` the RMM behaves like the baseline shared-core RMM.
+    pub core_gapping: bool,
+    /// Interrupt delegation configuration (§4.4).
+    pub delegation: DelegationConfig,
+    /// Direct device-interrupt delivery (the §5.3 extension the
+    /// prototype lacks): SPIs routed to a dedicated core are injected
+    /// locally by the RMM instead of exiting to the host.
+    pub direct_device_delivery: bool,
+    /// Monitor work costs.
+    pub costs: RmmCosts,
+}
+
+impl RmmConfig {
+    /// The paper's full core-gapped configuration.
+    pub fn core_gapped() -> RmmConfig {
+        RmmConfig {
+            core_gapping: true,
+            delegation: DelegationConfig::FULL,
+            direct_device_delivery: false,
+            costs: RmmCosts::default(),
+        }
+    }
+
+    /// Core gapping with the direct device-interrupt delivery extension
+    /// (§5.3: "Direct interrupt delivery could be supported through
+    /// further changes to KVM and RMM").
+    pub fn core_gapped_direct_delivery() -> RmmConfig {
+        RmmConfig {
+            direct_device_delivery: true,
+            ..RmmConfig::core_gapped()
+        }
+    }
+
+    /// Core gapping without interrupt delegation (the ablation in
+    /// table 4 / fig. 6).
+    pub fn core_gapped_no_delegation() -> RmmConfig {
+        RmmConfig {
+            core_gapping: true,
+            delegation: DelegationConfig::NONE,
+            direct_device_delivery: false,
+            costs: RmmCosts::default(),
+        }
+    }
+
+    /// Baseline shared-core RMM (confidential VM without core gapping).
+    pub fn shared_core() -> RmmConfig {
+        RmmConfig {
+            core_gapping: false,
+            delegation: DelegationConfig::NONE,
+            direct_device_delivery: false,
+            costs: RmmCosts::default(),
+        }
+    }
+}
+
+impl Default for RmmConfig {
+    fn default() -> RmmConfig {
+        RmmConfig::core_gapped()
+    }
+}
+
+/// Result of an RMI command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RmiOutcome {
+    /// Status code returned to the host.
+    pub status: RmiStatus,
+    /// Monitor time consumed handling the call.
+    pub cost: SimDuration,
+    /// For `REC_ENTER` with `Success`: the guest is now running on the
+    /// handling core and the caller must drive its execution.
+    pub entered: Option<RecId>,
+}
+
+impl RmiOutcome {
+    fn fail(status: RmiStatus, cost: SimDuration) -> RmiOutcome {
+        RmiOutcome {
+            status,
+            cost,
+            entered: None,
+        }
+    }
+
+    fn ok(cost: SimDuration) -> RmiOutcome {
+        RmiOutcome {
+            status: RmiStatus::Success,
+            cost,
+            entered: None,
+        }
+    }
+}
+
+/// An architectural event raised while a guest vCPU executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GuestEvent {
+    /// The guest programmed its virtual timer (CNTV_CVAL/CTL write).
+    TimerProgram {
+        /// Requested expiry time.
+        deadline: SimTime,
+    },
+    /// The guest disarmed its virtual timer.
+    TimerCancel,
+    /// The guest sent a virtual IPI (ICC_SGI1R write).
+    SendIpi {
+        /// Target vCPU index within the same realm.
+        target_index: u32,
+        /// SGI number (0–15).
+        sgi: u32,
+    },
+    /// The guest executed WFI.
+    Wfi,
+    /// Emulated MMIO read.
+    MmioRead {
+        /// Guest physical address.
+        ipa: u64,
+        /// Access size in bytes.
+        size: u8,
+    },
+    /// Emulated MMIO write.
+    MmioWrite {
+        /// Guest physical address.
+        ipa: u64,
+        /// Access size in bytes.
+        size: u8,
+        /// Value written.
+        value: u64,
+    },
+    /// Explicit hypercall to the host.
+    HostCall {
+        /// Hypercall immediate.
+        imm: u32,
+    },
+    /// Stage-2 fault (unmapped IPA).
+    Stage2Fault {
+        /// Faulting address.
+        ipa: u64,
+    },
+    /// The vCPU powered itself off.
+    Shutdown,
+    /// A physical interrupt arrived at the core while the guest ran.
+    PhysIrq {
+        /// The physical INTID taken by the RMM.
+        intid: IntId,
+    },
+}
+
+/// What happens after the RMM handles a guest event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Disposition {
+    /// Handled locally; the guest resumes on the same core after `cost`.
+    Resume {
+        /// Time consumed by trap handling.
+        cost: SimDuration,
+    },
+    /// Handled locally; additionally a physical IPI must be sent to
+    /// `target_core` (delegated cross-vCPU IPI).
+    ResumeWithIpi {
+        /// The dedicated core of the target vCPU.
+        target_core: CoreId,
+        /// Time consumed on the sending core.
+        cost: SimDuration,
+    },
+    /// The guest is idle in WFI with nothing pending; the core waits in
+    /// the RMM until an interrupt arrives (core-gapped mode only — the
+    /// core is dedicated, so there is nothing else to run).
+    Idle {
+        /// Time consumed before idling.
+        cost: SimDuration,
+    },
+    /// The host must service this exit; the REC has been saved and the
+    /// exit record is ready for transport (RPC under core gapping, world
+    /// switch otherwise).
+    ExitToHost {
+        /// The exit record for the host.
+        exit: RecExit,
+        /// Time consumed saving context and building the record.
+        cost: SimDuration,
+    },
+}
+
+/// The realm management monitor.
+///
+/// # Example
+///
+/// ```
+/// use cg_cca::{RmiCall, RmiStatus};
+/// use cg_machine::{CoreId, GranuleAddr, HwParams, Machine};
+/// use cg_rmm::{Rmm, RmmConfig};
+///
+/// let mut rmm = Rmm::new(RmmConfig::core_gapped());
+/// let mut machine = Machine::new(HwParams::small());
+/// let out = rmm.handle_rmi(CoreId(0), RmiCall::Version, &mut machine);
+/// assert_eq!(out.status, RmiStatus::Success);
+/// // Delegating a granule makes it inaccessible to the host.
+/// let g = GranuleAddr::new(0x10_0000).unwrap();
+/// let out = rmm.handle_rmi(CoreId(0), RmiCall::GranuleDelegate { addr: g }, &mut machine);
+/// assert!(out.status.is_success());
+/// assert!(machine.memory().check_access(cg_machine::Domain::Host, g).is_err());
+/// ```
+#[derive(Debug)]
+pub struct Rmm {
+    config: RmmConfig,
+    realms: Vec<Option<Realm>>,
+    coregap: CoreGap,
+    platform_measurement: Measurement,
+    counters: Counters,
+}
+
+impl Rmm {
+    /// Creates an RMM with the given configuration.
+    pub fn new(config: RmmConfig) -> Rmm {
+        let image = if config.core_gapping {
+            Measurement::of(b"cg-rmm core-gapped v0.3.0+cg")
+        } else {
+            Measurement::of(b"cg-rmm baseline v0.3.0")
+        };
+        Rmm {
+            config,
+            realms: Vec::new(),
+            coregap: CoreGap::new(),
+            platform_measurement: image,
+            counters: Counters::new(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &RmmConfig {
+        &self.config
+    }
+
+    /// The measured RMM image (goes into attestation tokens).
+    pub fn platform_measurement(&self) -> Measurement {
+        self.platform_measurement
+    }
+
+    /// Core-gapping state (dedications and bindings).
+    pub fn coregap(&self) -> &CoreGap {
+        &self.coregap
+    }
+
+    /// Event counters (exits by cause, delegated operations, …).
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Number of realm slots ever created — the id the next
+    /// `RMI_REALM_CREATE` will assign.
+    pub fn realm_count(&self) -> u32 {
+        self.realms.len() as u32
+    }
+
+    /// Immutable access to a realm.
+    pub fn realm(&self, id: RealmId) -> Option<&Realm> {
+        self.realms.get(id.index()).and_then(|r| r.as_ref())
+    }
+
+    fn realm_mut(&mut self, id: RealmId) -> Option<&mut Realm> {
+        self.realms.get_mut(id.index()).and_then(|r| r.as_mut())
+    }
+
+    /// Immutable access to a REC.
+    pub fn rec(&self, id: RecId) -> Option<&Rec> {
+        self.realm(id.realm).and_then(|r| r.rec(id.index))
+    }
+
+    fn rec_mut(&mut self, id: RecId) -> Option<&mut Rec> {
+        self.realm_mut(id.realm).and_then(|r| r.rec_mut(id.index))
+    }
+
+    // ----- core dedication (host hotplug handover) -----
+
+    /// Accepts a core the host's hotplug path handed over
+    /// (`CORE_DEDICATE`).
+    ///
+    /// # Errors
+    ///
+    /// Forwards [`CoreGapError`] on double dedication.
+    pub fn dedicate_core(&mut self, core: CoreId, machine: &mut Machine) -> Result<(), CoreGapError> {
+        self.coregap.dedicate(core)?;
+        machine.cpu_mut(core).dedicate_to_rmm();
+        self.counters.incr("rmm.core_dedicated");
+        Ok(())
+    }
+
+    /// Releases an unbound dedicated core back to the host
+    /// (`CORE_RECLAIM`).
+    ///
+    /// # Errors
+    ///
+    /// Forwards [`CoreGapError`] if the core is bound or not dedicated.
+    pub fn reclaim_core(&mut self, core: CoreId, machine: &mut Machine) -> Result<(), CoreGapError> {
+        self.coregap.release(core)?;
+        machine.cpu_mut(core).unbind_realm();
+        machine.cpu_mut(core).online();
+        self.counters.incr("rmm.core_reclaimed");
+        Ok(())
+    }
+
+    // ----- RMI handling -----
+
+    /// Handles an RMI call arriving on `core` (via SMC in shared-core
+    /// mode, via RPC in core-gapped mode — the transport cost is charged
+    /// by the caller; `cost` here is monitor work only).
+    pub fn handle_rmi(&mut self, core: CoreId, call: RmiCall, machine: &mut Machine) -> RmiOutcome {
+        let costs = self.config.costs.clone();
+        self.counters.incr(&format!("rmi.{:#04x}", call.opcode()));
+        match call {
+            RmiCall::Version => RmiOutcome::ok(costs.query),
+            RmiCall::GranuleDelegate { addr } => match machine.memory_mut().delegate(addr) {
+                Ok(()) => RmiOutcome::ok(costs.granule),
+                Err(_) => RmiOutcome::fail(RmiStatus::ErrorGranule, costs.granule),
+            },
+            RmiCall::GranuleUndelegate { addr } => match machine.memory_mut().undelegate(addr) {
+                Ok(()) => RmiOutcome::ok(costs.granule),
+                Err(_) => RmiOutcome::fail(RmiStatus::ErrorGranule, costs.granule),
+            },
+            RmiCall::RealmCreate { rd, num_recs } => {
+                self.realm_create(rd, num_recs, machine, costs)
+            }
+            RmiCall::RealmActivate { realm } => {
+                if self.realm_mut(realm).is_some_and(|r| r.activate()) {
+                    RmiOutcome::ok(costs.object)
+                } else {
+                    RmiOutcome::fail(RmiStatus::ErrorRealm, costs.object)
+                }
+            }
+            RmiCall::RealmDestroy { realm } => self.realm_destroy(realm, machine, costs),
+            RmiCall::RecCreate { realm, index, rec } => {
+                self.rec_create(realm, index, rec, machine, costs)
+            }
+            RmiCall::RecDestroy { rec } => self.rec_destroy(rec, machine, costs),
+            RmiCall::DataCreate { realm, data, ipa } => {
+                self.data_create(realm, data, ipa, machine, costs)
+            }
+            RmiCall::DataDestroy { realm, ipa } => self.data_destroy(realm, ipa, machine, costs),
+            RmiCall::RttCreate {
+                realm,
+                rtt,
+                ipa,
+                level,
+            } => self.rtt_create(realm, rtt, ipa, level, machine, costs),
+            RmiCall::RttMapUnprotected { realm, ipa, addr } => {
+                self.rtt_map_unprotected(realm, ipa, addr, machine, costs)
+            }
+            RmiCall::RttUnmapUnprotected { realm, ipa } => {
+                match self.realm_mut(realm) {
+                    Some(r) => match r.rtt_mut().unmap(ipa) {
+                        Ok(_) => RmiOutcome::ok(costs.rtt_op),
+                        Err(_) => RmiOutcome::fail(RmiStatus::ErrorRtt, costs.rtt_op),
+                    },
+                    None => RmiOutcome::fail(RmiStatus::ErrorRealm, costs.rtt_op),
+                }
+            }
+            RmiCall::RecEnter { rec, .. } => self.rec_enter(core, rec, machine, costs),
+        }
+    }
+
+    fn realm_create(
+        &mut self,
+        rd: GranuleAddr,
+        num_recs: u32,
+        machine: &mut Machine,
+        costs: RmmCosts,
+    ) -> RmiOutcome {
+        if num_recs == 0 {
+            return RmiOutcome::fail(RmiStatus::ErrorInput, costs.object);
+        }
+        // The RD granule and the adjacent RTT root granule must both be
+        // delegated; the RMM claims rd and rd+1 (matching how the host
+        // driver allocates them).
+        let rtt_root = rd.offset(1);
+        let id = RealmId(self.realms.len() as u32);
+        if machine
+            .memory_mut()
+            .assign(rd, GranuleState::RealmRd(id))
+            .is_err()
+        {
+            return RmiOutcome::fail(RmiStatus::ErrorGranule, costs.object);
+        }
+        if machine
+            .memory_mut()
+            .assign(rtt_root, GranuleState::RealmRtt(id))
+            .is_err()
+        {
+            machine.memory_mut().unassign(rd).expect("just assigned");
+            return RmiOutcome::fail(RmiStatus::ErrorGranule, costs.object);
+        }
+        self.realms.push(Some(Realm::new(id, rd, rtt_root, num_recs)));
+        RmiOutcome {
+            status: RmiStatus::Success,
+            cost: costs.object,
+            entered: None,
+        }
+    }
+
+    fn realm_destroy(
+        &mut self,
+        id: RealmId,
+        machine: &mut Machine,
+        costs: RmmCosts,
+    ) -> RmiOutcome {
+        let Some(realm) = self.realm_mut(id) else {
+            return RmiOutcome::fail(RmiStatus::ErrorRealm, costs.object);
+        };
+        if realm.rec_count() > 0 {
+            return RmiOutcome::fail(RmiStatus::ErrorInUse, costs.object);
+        }
+        // Release all realm-side granules back to the delegated state.
+        let leaves: Vec<(u64, crate::rtt::Mapping)> = realm.rtt().iter().collect();
+        for (_, m) in &leaves {
+            if m.protected {
+                machine
+                    .memory_mut()
+                    .unassign(m.pa)
+                    .expect("protected leaf granule must be realm-owned");
+            }
+        }
+        let rd = realm.rd();
+        if !realm.destroy() {
+            return RmiOutcome::fail(RmiStatus::ErrorInUse, costs.object);
+        }
+        machine.memory_mut().unassign(rd).expect("rd assigned");
+        machine
+            .memory_mut()
+            .unassign(rd.offset(1))
+            .expect("rtt root assigned");
+        self.realms[id.index()] = None;
+        RmiOutcome::ok(costs.object)
+    }
+
+    fn rec_create(
+        &mut self,
+        realm: RealmId,
+        index: u32,
+        rec_granule: GranuleAddr,
+        machine: &mut Machine,
+        costs: RmmCosts,
+    ) -> RmiOutcome {
+        let Some(r) = self.realm_mut(realm) else {
+            return RmiOutcome::fail(RmiStatus::ErrorRealm, costs.object);
+        };
+        if r.state() != RealmState::New {
+            return RmiOutcome::fail(RmiStatus::ErrorRealm, costs.object);
+        }
+        if machine
+            .memory_mut()
+            .assign(rec_granule, GranuleState::RealmRec(realm))
+            .is_err()
+        {
+            return RmiOutcome::fail(RmiStatus::ErrorGranule, costs.object);
+        }
+        let r = self.realm_mut(realm).expect("checked above");
+        if !r.add_rec(index, Rec::new()) {
+            machine
+                .memory_mut()
+                .unassign(rec_granule)
+                .expect("just assigned");
+            return RmiOutcome::fail(RmiStatus::ErrorInput, costs.object);
+        }
+        RmiOutcome::ok(costs.object)
+    }
+
+    fn rec_destroy(&mut self, rec: RecId, machine: &mut Machine, costs: RmmCosts) -> RmiOutcome {
+        let Some(r) = self.realm_mut(rec.realm) else {
+            return RmiOutcome::fail(RmiStatus::ErrorRealm, costs.object);
+        };
+        let Some(state) = r.rec(rec.index).map(|x| x.state()) else {
+            return RmiOutcome::fail(RmiStatus::ErrorRec, costs.object);
+        };
+        if state == RecState::Running {
+            return RmiOutcome::fail(RmiStatus::ErrorInUse, costs.object);
+        }
+        r.remove_rec(rec.index);
+        let bound_core = self.coregap.binding(rec);
+        self.coregap.unbind(rec);
+        if let Some(core) = bound_core {
+            if self.coregap.core_owner(core).is_none() {
+                machine.cpu_mut(core).unbind_realm();
+            }
+        }
+        RmiOutcome::ok(costs.object)
+    }
+
+    fn data_create(
+        &mut self,
+        realm: RealmId,
+        data: GranuleAddr,
+        ipa: u64,
+        machine: &mut Machine,
+        costs: RmmCosts,
+    ) -> RmiOutcome {
+        let Some(r) = self.realm(realm) else {
+            return RmiOutcome::fail(RmiStatus::ErrorRealm, costs.rtt_op);
+        };
+        if r.state() != RealmState::New {
+            return RmiOutcome::fail(RmiStatus::ErrorRealm, costs.rtt_op);
+        }
+        if ipa_is_unprotected(ipa) {
+            return RmiOutcome::fail(RmiStatus::ErrorInput, costs.rtt_op);
+        }
+        if machine
+            .memory_mut()
+            .assign(data, GranuleState::RealmData(realm))
+            .is_err()
+        {
+            return RmiOutcome::fail(RmiStatus::ErrorGranule, costs.rtt_op);
+        }
+        let r = self.realm_mut(realm).expect("checked above");
+        match r.rtt_mut().map(ipa, data, true) {
+            Ok(()) => {
+                r.add_data_page();
+                r.extend_measurement(Measurement::of(&ipa.to_le_bytes()));
+                RmiOutcome::ok(costs.rtt_op)
+            }
+            Err(_) => {
+                machine.memory_mut().unassign(data).expect("just assigned");
+                RmiOutcome::fail(RmiStatus::ErrorRtt, costs.rtt_op)
+            }
+        }
+    }
+
+    fn data_destroy(
+        &mut self,
+        realm: RealmId,
+        ipa: u64,
+        machine: &mut Machine,
+        costs: RmmCosts,
+    ) -> RmiOutcome {
+        let Some(r) = self.realm_mut(realm) else {
+            return RmiOutcome::fail(RmiStatus::ErrorRealm, costs.rtt_op);
+        };
+        match r.rtt_mut().unmap(ipa) {
+            Ok(m) if m.protected => {
+                r.remove_data_page();
+                machine
+                    .memory_mut()
+                    .unassign(m.pa)
+                    .expect("protected page granule must be realm-owned");
+                RmiOutcome::ok(costs.rtt_op)
+            }
+            Ok(m) => {
+                // Shouldn't unmap unprotected memory through DATA_DESTROY;
+                // put it back.
+                r.rtt_mut()
+                    .map(ipa, m.pa, false)
+                    .expect("restoring just-unmapped entry");
+                RmiOutcome::fail(RmiStatus::ErrorInput, costs.rtt_op)
+            }
+            Err(_) => RmiOutcome::fail(RmiStatus::ErrorRtt, costs.rtt_op),
+        }
+    }
+
+    fn rtt_create(
+        &mut self,
+        realm: RealmId,
+        rtt: GranuleAddr,
+        ipa: u64,
+        level: cg_cca::RttLevel,
+        machine: &mut Machine,
+        costs: RmmCosts,
+    ) -> RmiOutcome {
+        if self.realm(realm).is_none() {
+            return RmiOutcome::fail(RmiStatus::ErrorRealm, costs.rtt_op);
+        };
+        if machine
+            .memory_mut()
+            .assign(rtt, GranuleState::RealmRtt(realm))
+            .is_err()
+        {
+            return RmiOutcome::fail(RmiStatus::ErrorGranule, costs.rtt_op);
+        }
+        let r = self.realm_mut(realm).expect("checked above");
+        match r.rtt_mut().create_table(level, ipa, rtt) {
+            Ok(()) => RmiOutcome::ok(costs.rtt_op),
+            Err(_) => {
+                machine.memory_mut().unassign(rtt).expect("just assigned");
+                RmiOutcome::fail(RmiStatus::ErrorRtt, costs.rtt_op)
+            }
+        }
+    }
+
+    fn rtt_map_unprotected(
+        &mut self,
+        realm: RealmId,
+        ipa: u64,
+        addr: GranuleAddr,
+        machine: &mut Machine,
+        costs: RmmCosts,
+    ) -> RmiOutcome {
+        let Some(r) = self.realm_mut(realm) else {
+            return RmiOutcome::fail(RmiStatus::ErrorRealm, costs.rtt_op);
+        };
+        // The granule must be host memory (non-secure): shared pages are
+        // never delegated.
+        match machine.memory().state(addr) {
+            Ok(GranuleState::NonSecure) => {}
+            _ => return RmiOutcome::fail(RmiStatus::ErrorGranule, costs.rtt_op),
+        }
+        match r.rtt_mut().map(ipa, addr, false) {
+            Ok(()) => RmiOutcome::ok(costs.rtt_op),
+            Err(RttError::AlreadyMapped) => RmiOutcome::fail(RmiStatus::ErrorRtt, costs.rtt_op),
+            Err(_) => RmiOutcome::fail(RmiStatus::ErrorRtt, costs.rtt_op),
+        }
+    }
+
+    fn rec_enter(
+        &mut self,
+        core: CoreId,
+        rec_id: RecId,
+        machine: &mut Machine,
+        costs: RmmCosts,
+    ) -> RmiOutcome {
+        let params = machine.params().clone();
+        let enter_cost = costs.enter_extra + params.context_restore + params.realm_enter;
+        let Some(realm_state) = self.realm(rec_id.realm).map(|r| r.state()) else {
+            return RmiOutcome::fail(RmiStatus::ErrorRealm, costs.query);
+        };
+        if realm_state != RealmState::Active {
+            return RmiOutcome::fail(RmiStatus::ErrorRealm, costs.query);
+        }
+        if self.config.core_gapping {
+            match self.coregap.check_and_bind(rec_id, core) {
+                Ok(()) => {}
+                Err(CoreGapError::WrongCore { .. }) | Err(CoreGapError::CoreBusy { .. }) => {
+                    return RmiOutcome::fail(RmiStatus::ErrorCoreBinding, costs.query);
+                }
+                Err(_) => return RmiOutcome::fail(RmiStatus::ErrorInput, costs.query),
+            }
+            machine.cpu_mut(core).bind_realm(rec_id.realm);
+        }
+        let delegation = self.config.delegation;
+        let Some(rec) = self.rec_mut(rec_id) else {
+            return RmiOutcome::fail(RmiStatus::ErrorRec, costs.query);
+        };
+        if !rec.enter() {
+            return RmiOutcome::fail(RmiStatus::ErrorRec, costs.query);
+        }
+        // Stage pending virtual interrupts into the core's list registers.
+        let vgic = rec.vgic_mut();
+        vgic.sync_to_lrs(core, machine.gic_mut());
+        let _ = delegation; // entry list merging happens in enter_with_list
+        machine
+            .cpu_mut(core)
+            .set_current_domain(Some(Domain::Realm(rec_id.realm)));
+        RmiOutcome {
+            status: RmiStatus::Success,
+            cost: enter_cost,
+            entered: Some(rec_id),
+        }
+    }
+
+    /// Variant of the `REC_ENTER` path that first merges the
+    /// host-provided virtual-interrupt list (fig. 5 step ①). This is what
+    /// the system layer calls with the [`cg_cca::RecEntry`] contents.
+    pub fn rec_enter_with_list(
+        &mut self,
+        core: CoreId,
+        rec_id: RecId,
+        host_interrupts: &[IntId],
+        machine: &mut Machine,
+    ) -> RmiOutcome {
+        let delegation = self.config.delegation;
+        if let Some(rec) = self.rec_mut(rec_id) {
+            rec.vgic_mut().host_provides(host_interrupts, delegation);
+        }
+        let costs = self.config.costs.clone();
+        self.rec_enter(core, rec_id, machine, costs)
+    }
+
+    // ----- guest event handling -----
+
+    /// Handles an architectural event from the guest running `rec_id` on
+    /// `core`, returning the disposition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rec_id` does not exist or is not running — the caller
+    /// (the system layer) only reports events for entered vCPUs.
+    pub fn on_guest_event(
+        &mut self,
+        core: CoreId,
+        rec_id: RecId,
+        event: GuestEvent,
+        machine: &mut Machine,
+    ) -> Disposition {
+        assert_eq!(
+            self.rec(rec_id).map(|r| r.state()),
+            Some(RecState::Running),
+            "guest event for non-running {rec_id}"
+        );
+        let params = machine.params().clone();
+        let delegation = self.config.delegation;
+        let costs = self.config.costs.clone();
+        match event {
+            GuestEvent::TimerProgram { deadline } => {
+                if delegation.timer {
+                    self.counters.incr("rmm.delegated.timer_program");
+                    let rec = self.rec_mut(rec_id).expect("checked running");
+                    rec.set_vtimer(Some(deadline));
+                    machine.timer_mut(core).program(deadline);
+                    Disposition::Resume {
+                        cost: params.sysreg_trap_emulate + params.timer_program,
+                    }
+                } else {
+                    // Expose the written deadline so the host can emulate
+                    // the timer (KVM's vtimer emulation path).
+                    let mut disp = self.exit_to_host(
+                        core,
+                        rec_id,
+                        RecExitReason::SysregTrap { sysreg: 0x0E03 }, // CNTV_CVAL
+                        machine,
+                    );
+                    if let Disposition::ExitToHost { exit, .. } = &mut disp {
+                        exit.gprs[0] = deadline.as_nanos();
+                    }
+                    disp
+                }
+            }
+            GuestEvent::TimerCancel => {
+                if delegation.timer {
+                    let rec = self.rec_mut(rec_id).expect("checked running");
+                    rec.set_vtimer(None);
+                    machine.timer_mut(core).cancel();
+                    Disposition::Resume {
+                        cost: params.sysreg_trap_emulate,
+                    }
+                } else {
+                    self.exit_to_host(
+                        core,
+                        rec_id,
+                        RecExitReason::SysregTrap { sysreg: 0x0E03 },
+                        machine,
+                    )
+                }
+            }
+            GuestEvent::SendIpi { target_index, sgi } => {
+                if delegation.ipi {
+                    self.counters.incr("rmm.delegated.ipi");
+                    let target = RecId::new(rec_id.realm, target_index);
+                    if self.rec(target).is_none() {
+                        // Bad target: ignore, as hardware would for an
+                        // unimplemented CPU target.
+                        return Disposition::Resume {
+                            cost: params.sysreg_trap_emulate,
+                        };
+                    }
+                    self.rec_mut(target)
+                        .expect("checked above")
+                        .vgic_mut()
+                        .inject_local(IntId::sgi(sgi.min(15)));
+                    let target_core = self.coregap.core_of(target);
+                    match target_core {
+                        Some(tc) if tc != core => Disposition::ResumeWithIpi {
+                            target_core: tc,
+                            cost: params.sysreg_trap_emulate + params.mailbox_write,
+                        },
+                        _ => Disposition::Resume {
+                            cost: params.sysreg_trap_emulate,
+                        },
+                    }
+                } else {
+                    // Expose target vCPU and SGI number for host emulation.
+                    let mut disp = self.exit_to_host(
+                        core,
+                        rec_id,
+                        RecExitReason::SysregTrap { sysreg: 0x0C0B }, // ICC_SGI1R
+                        machine,
+                    );
+                    if let Disposition::ExitToHost { exit, .. } = &mut disp {
+                        exit.gprs[0] = target_index as u64;
+                        exit.gprs[1] = sgi as u64;
+                    }
+                    disp
+                }
+            }
+            GuestEvent::Wfi => {
+                // If anything is already pending, WFI falls through.
+                let has_virq = machine.gic().next_virtual_pending(core).is_some()
+                    || !self
+                        .rec(rec_id)
+                        .expect("checked running")
+                        .vgic()
+                        .is_idle();
+                if has_virq {
+                    let rec = self.rec_mut(rec_id).expect("checked running");
+                    rec.vgic_mut().sync_to_lrs(core, machine.gic_mut());
+                    Disposition::Resume {
+                        cost: params.sysreg_trap_emulate,
+                    }
+                } else if self.config.core_gapping
+                    && (delegation.timer || delegation.ipi)
+                {
+                    // Dedicated core with delegated interrupt sources:
+                    // idle inside the RMM so local interrupts can wake
+                    // the guest without the host. Without delegation the
+                    // baseline RMM semantics apply: WFI exits to the
+                    // host (RMI_EXIT_WFI), and the vCPU thread blocks.
+                    Disposition::Idle {
+                        cost: params.realm_exit_trap,
+                    }
+                } else {
+                    self.exit_to_host(core, rec_id, RecExitReason::Wfi, machine)
+                }
+            }
+            GuestEvent::MmioRead { ipa, size } => {
+                self.exit_to_host(core, rec_id, RecExitReason::MmioRead { ipa, size }, machine)
+            }
+            GuestEvent::MmioWrite { ipa, size, value } => self.exit_to_host(
+                core,
+                rec_id,
+                RecExitReason::MmioWrite { ipa, size, value },
+                machine,
+            ),
+            GuestEvent::HostCall { imm } => {
+                self.exit_to_host(core, rec_id, RecExitReason::HostCall { imm }, machine)
+            }
+            GuestEvent::Stage2Fault { ipa } => {
+                self.exit_to_host(core, rec_id, RecExitReason::Stage2Fault { ipa }, machine)
+            }
+            GuestEvent::Shutdown => {
+                self.rec_mut(rec_id).expect("checked running").halt();
+                let mut disp =
+                    self.exit_to_host_inner(core, rec_id, RecExitReason::Shutdown, machine, false);
+                if let Disposition::ExitToHost { cost, .. } = &mut disp {
+                    *cost += costs.object;
+                }
+                disp
+            }
+            GuestEvent::PhysIrq { intid } => self.on_phys_irq(core, rec_id, intid, machine),
+        }
+    }
+
+    fn on_phys_irq(
+        &mut self,
+        core: CoreId,
+        rec_id: RecId,
+        intid: IntId,
+        machine: &mut Machine,
+    ) -> Disposition {
+        let params = machine.params().clone();
+        let delegation = self.config.delegation;
+        machine.gic_mut().rescind(core, intid);
+        if intid == IntId::VTIMER && delegation.timer {
+            // Delegated timer tick: inject the virtual timer interrupt
+            // locally and resume — no host involvement (§4.4).
+            self.counters.incr("rmm.delegated.timer_fire");
+            let rec = self.rec_mut(rec_id).expect("checked running");
+            rec.set_vtimer(None);
+            rec.vgic_mut().inject_local(IntId::VTIMER);
+            rec.vgic_mut().sync_to_lrs(core, machine.gic_mut());
+            return Disposition::Resume {
+                cost: params.realm_exit_trap + params.sysreg_trap_emulate + params.realm_enter,
+            };
+        }
+        if intid == REALM_DOORBELL_SGI && delegation.ipi {
+            // Delegated IPI arrival: pending SGIs were placed in our vgic
+            // by the sender's core; stage and resume.
+            self.counters.incr("rmm.delegated.ipi_deliver");
+            let rec = self.rec_mut(rec_id).expect("checked running");
+            rec.vgic_mut().sync_to_lrs(core, machine.gic_mut());
+            return Disposition::Resume {
+                cost: params.realm_exit_trap + params.sysreg_trap_emulate + params.realm_enter,
+            };
+        }
+        if intid.is_spi() && self.config.direct_device_delivery {
+            // Direct device-interrupt delivery: inject the SPI locally.
+            self.counters.incr("rmm.direct.device_irq");
+            let rec = self.rec_mut(rec_id).expect("checked running");
+            rec.vgic_mut().inject_local(intid);
+            rec.vgic_mut().sync_to_lrs(core, machine.gic_mut());
+            return Disposition::Resume {
+                cost: params.realm_exit_trap + params.sysreg_trap_emulate + params.realm_enter,
+            };
+        }
+        // Anything else concerns the host (its own devices, its kick
+        // doorbell): exit.
+        self.exit_to_host(core, rec_id, RecExitReason::HostInterrupt, machine)
+    }
+
+    fn exit_to_host(
+        &mut self,
+        core: CoreId,
+        rec_id: RecId,
+        reason: RecExitReason,
+        machine: &mut Machine,
+    ) -> Disposition {
+        self.exit_to_host_inner(core, rec_id, reason, machine, true)
+    }
+
+    fn exit_to_host_inner(
+        &mut self,
+        core: CoreId,
+        rec_id: RecId,
+        reason: RecExitReason,
+        machine: &mut Machine,
+        mark_exited: bool,
+    ) -> Disposition {
+        let params = machine.params().clone();
+        let delegation = self.config.delegation;
+        self.counters.incr(&format!("rmm.exit.{reason}"));
+        let rec = self.rec_mut(rec_id).expect("guest event for live rec");
+        rec.count_exit(reason.is_interrupt_related());
+        if mark_exited {
+            rec.exit();
+        }
+        let interrupts = rec
+            .vgic()
+            .filtered_view(core, machine.gic(), delegation);
+        machine
+            .cpu_mut(core)
+            .set_current_domain(Some(Domain::Monitor));
+        let mut exit = RecExit::new(reason);
+        exit.interrupts = interrupts;
+        Disposition::ExitToHost {
+            exit,
+            cost: params.realm_exit_trap
+                + params.context_save
+                + self.config.costs.exit_extra,
+        }
+    }
+
+    /// Handles a physical interrupt arriving at a dedicated core while
+    /// the guest is **idle in WFI** inside the RMM. Returns the
+    /// disposition for resuming (or exiting) and stages any delegated
+    /// interrupt.
+    pub fn on_idle_irq(
+        &mut self,
+        core: CoreId,
+        rec_id: RecId,
+        intid: IntId,
+        machine: &mut Machine,
+    ) -> Disposition {
+        let params = machine.params().clone();
+        let delegation = self.config.delegation;
+        machine.gic_mut().rescind(core, intid);
+        if intid == IntId::VTIMER && delegation.timer {
+            self.counters.incr("rmm.delegated.timer_fire");
+            let rec = self.rec_mut(rec_id).expect("idle rec exists");
+            rec.set_vtimer(None);
+            rec.vgic_mut().inject_local(IntId::VTIMER);
+            rec.vgic_mut().sync_to_lrs(core, machine.gic_mut());
+            return Disposition::Resume {
+                cost: params.sysreg_trap_emulate + params.realm_enter,
+            };
+        }
+        if intid == REALM_DOORBELL_SGI && delegation.ipi {
+            self.counters.incr("rmm.delegated.ipi_deliver");
+            let rec = self.rec_mut(rec_id).expect("idle rec exists");
+            rec.vgic_mut().sync_to_lrs(core, machine.gic_mut());
+            return Disposition::Resume {
+                cost: params.sysreg_trap_emulate + params.realm_enter,
+            };
+        }
+        if intid.is_spi() && self.config.direct_device_delivery {
+            self.counters.incr("rmm.direct.device_irq");
+            let rec = self.rec_mut(rec_id).expect("idle rec exists");
+            rec.vgic_mut().inject_local(intid);
+            rec.vgic_mut().sync_to_lrs(core, machine.gic_mut());
+            return Disposition::Resume {
+                cost: params.sysreg_trap_emulate + params.realm_enter,
+            };
+        }
+        // Host-directed interrupt while idle: the vCPU must report to the
+        // host. The REC is currently Running (idle-in-WFI is a sub-state
+        // of entered execution).
+        self.exit_to_host(core, rec_id, RecExitReason::HostInterrupt, machine)
+    }
+
+    /// Handles a guest RSI call (the guest-facing interface): version
+    /// queries, attestation-token requests, realm configuration, and
+    /// host calls (which the caller forwards to the host as an exit).
+    pub fn handle_rsi(&mut self, realm_id: RealmId, call: cg_cca::RsiCall) -> cg_cca::RsiResult {
+        use cg_cca::{AttestationToken, PlatformCert, RsiCall, RsiResult};
+        self.counters.incr("rsi.calls");
+        match call {
+            RsiCall::Version => RsiResult::Version(1, 0),
+            RsiCall::RealmConfig => RsiResult::RealmConfig {
+                ipa_width: crate::rtt::IPA_WIDTH as u8,
+            },
+            RsiCall::AttestationToken { challenge } => match self.realm(realm_id) {
+                Some(realm) => RsiResult::Token(AttestationToken::issue(
+                    &PlatformCert::example(),
+                    self.platform_measurement,
+                    realm.measurement(),
+                    challenge,
+                )),
+                None => RsiResult::Error,
+            },
+            RsiCall::HostCall { .. } => RsiResult::HostCallDone,
+        }
+    }
+
+    /// The host (KVM) requests that a running vCPU exit (the "kick" used
+    /// to inject device interrupts or deliver signals). Marks the request;
+    /// the system layer also raises the physical doorbell.
+    pub fn host_kick(&mut self, rec_id: RecId) {
+        if let Some(rec) = self.rec_mut(rec_id) {
+            rec.request_kick();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cg_machine::HwParams;
+
+    fn setup() -> (Rmm, Machine) {
+        (Rmm::new(RmmConfig::core_gapped()), Machine::new(HwParams::small()))
+    }
+
+    fn g(n: u64) -> GranuleAddr {
+        GranuleAddr::new(n * 4096).unwrap()
+    }
+
+    /// Builds an active 2-vCPU realm with granules 10.. delegated, and
+    /// dedicates cores 4 and 5.
+    fn build_realm(rmm: &mut Rmm, machine: &mut Machine) -> RealmId {
+        for n in 10..30 {
+            machine.memory_mut().delegate(g(n)).unwrap();
+        }
+        let c = CoreId(0);
+        let out = rmm.handle_rmi(c, RmiCall::RealmCreate { rd: g(10), num_recs: 2 }, machine);
+        assert!(out.status.is_success(), "{out:?}");
+        let realm = RealmId(0);
+        for (i, n) in [(0u32, 12u64), (1, 13)] {
+            let out = rmm.handle_rmi(
+                c,
+                RmiCall::RecCreate { realm, index: i, rec: g(n) },
+                machine,
+            );
+            assert!(out.status.is_success(), "{out:?}");
+        }
+        assert!(rmm
+            .handle_rmi(c, RmiCall::RealmActivate { realm }, machine)
+            .status
+            .is_success());
+        // The host hotplugs the cores offline, then hands them over.
+        for c in [CoreId(4), CoreId(5)] {
+            machine.cpu_mut(c).offline();
+            rmm.dedicate_core(c, machine).unwrap();
+        }
+        realm
+    }
+
+    #[test]
+    fn realm_lifecycle_via_rmi() {
+        let (mut rmm, mut machine) = setup();
+        let realm = build_realm(&mut rmm, &mut machine);
+        assert_eq!(rmm.realm(realm).unwrap().state(), RealmState::Active);
+        // Destroy requires RECs gone.
+        let out = rmm.handle_rmi(CoreId(0), RmiCall::RealmDestroy { realm }, &mut machine);
+        assert_eq!(out.status, RmiStatus::ErrorInUse);
+        for i in 0..2 {
+            let out = rmm.handle_rmi(
+                CoreId(0),
+                RmiCall::RecDestroy { rec: RecId::new(realm, i) },
+                &mut machine,
+            );
+            assert!(out.status.is_success());
+        }
+        let out = rmm.handle_rmi(CoreId(0), RmiCall::RealmDestroy { realm }, &mut machine);
+        assert!(out.status.is_success());
+        // The RD granule is delegated again and can be undelegated.
+        let out = rmm.handle_rmi(
+            CoreId(0),
+            RmiCall::GranuleUndelegate { addr: g(10) },
+            &mut machine,
+        );
+        assert!(out.status.is_success());
+    }
+
+    #[test]
+    fn rec_enter_binds_core_and_rejects_migration() {
+        let (mut rmm, mut machine) = setup();
+        let realm = build_realm(&mut rmm, &mut machine);
+        let rec = RecId::new(realm, 0);
+        let out = rmm.rec_enter_with_list(CoreId(4), rec, &[], &mut machine);
+        assert_eq!(out.status, RmiStatus::Success);
+        assert_eq!(out.entered, Some(rec));
+        assert_eq!(rmm.coregap().binding(rec), Some(CoreId(4)));
+        // Exit the guest so it could in principle re-enter.
+        let disp = rmm.on_guest_event(
+            CoreId(4),
+            rec,
+            GuestEvent::HostCall { imm: 1 },
+            &mut machine,
+        );
+        assert!(matches!(disp, Disposition::ExitToHost { .. }));
+        // Re-entry on another dedicated core fails with the binding error.
+        let out = rmm.rec_enter_with_list(CoreId(5), rec, &[], &mut machine);
+        assert_eq!(out.status, RmiStatus::ErrorCoreBinding);
+        // Another realm's vCPU cannot use core 4 either — but here the
+        // same realm's other vCPU *may* (architecturally).
+        let out = rmm.rec_enter_with_list(CoreId(4), rec, &[], &mut machine);
+        assert_eq!(out.status, RmiStatus::Success);
+    }
+
+    #[test]
+    fn rec_enter_on_non_dedicated_core_fails() {
+        let (mut rmm, mut machine) = setup();
+        let realm = build_realm(&mut rmm, &mut machine);
+        let out = rmm.rec_enter_with_list(CoreId(0), RecId::new(realm, 0), &[], &mut machine);
+        assert_eq!(out.status, RmiStatus::ErrorInput);
+    }
+
+    #[test]
+    fn delegated_timer_is_handled_locally() {
+        let (mut rmm, mut machine) = setup();
+        let realm = build_realm(&mut rmm, &mut machine);
+        let rec = RecId::new(realm, 0);
+        rmm.rec_enter_with_list(CoreId(4), rec, &[], &mut machine);
+        let deadline = SimTime::from_nanos(4_000_000);
+        let disp = rmm.on_guest_event(
+            CoreId(4),
+            rec,
+            GuestEvent::TimerProgram { deadline },
+            &mut machine,
+        );
+        assert!(matches!(disp, Disposition::Resume { .. }), "{disp:?}");
+        assert!(machine.timer(CoreId(4)).is_armed());
+        // Tick fires as a physical IRQ: still no host exit.
+        let disp = rmm.on_guest_event(
+            CoreId(4),
+            rec,
+            GuestEvent::PhysIrq { intid: IntId::VTIMER },
+            &mut machine,
+        );
+        assert!(matches!(disp, Disposition::Resume { .. }), "{disp:?}");
+        // The vtimer interrupt is staged for the guest.
+        assert_eq!(
+            machine.gic().next_virtual_pending(CoreId(4)),
+            Some(IntId::VTIMER)
+        );
+        assert_eq!(rmm.rec(rec).unwrap().exits_total(), 0);
+    }
+
+    #[test]
+    fn timer_without_delegation_exits_to_host() {
+        let mut rmm = Rmm::new(RmmConfig::core_gapped_no_delegation());
+        let mut machine = Machine::new(HwParams::small());
+        let realm = build_realm(&mut rmm, &mut machine);
+        let rec = RecId::new(realm, 0);
+        rmm.rec_enter_with_list(CoreId(4), rec, &[], &mut machine);
+        let disp = rmm.on_guest_event(
+            CoreId(4),
+            rec,
+            GuestEvent::TimerProgram { deadline: SimTime::from_nanos(100) },
+            &mut machine,
+        );
+        match disp {
+            Disposition::ExitToHost { exit, .. } => {
+                assert!(matches!(exit.reason, RecExitReason::SysregTrap { .. }));
+            }
+            other => panic!("expected exit, got {other:?}"),
+        }
+        assert_eq!(rmm.rec(rec).unwrap().exits_interrupt(), 1);
+    }
+
+    #[test]
+    fn delegated_ipi_crosses_cores_without_host() {
+        let (mut rmm, mut machine) = setup();
+        let realm = build_realm(&mut rmm, &mut machine);
+        let sender = RecId::new(realm, 0);
+        let receiver = RecId::new(realm, 1);
+        rmm.rec_enter_with_list(CoreId(4), sender, &[], &mut machine);
+        rmm.rec_enter_with_list(CoreId(5), receiver, &[], &mut machine);
+        let disp = rmm.on_guest_event(
+            CoreId(4),
+            sender,
+            GuestEvent::SendIpi { target_index: 1, sgi: 3 },
+            &mut machine,
+        );
+        match disp {
+            Disposition::ResumeWithIpi { target_core, .. } => {
+                assert_eq!(target_core, CoreId(5));
+            }
+            other => panic!("expected ResumeWithIpi, got {other:?}"),
+        }
+        // Receiver core takes the doorbell: SGI 3 staged locally.
+        let disp = rmm.on_guest_event(
+            CoreId(5),
+            receiver,
+            GuestEvent::PhysIrq { intid: REALM_DOORBELL_SGI },
+            &mut machine,
+        );
+        assert!(matches!(disp, Disposition::Resume { .. }));
+        assert_eq!(
+            machine.gic().next_virtual_pending(CoreId(5)),
+            Some(IntId::sgi(3))
+        );
+        assert_eq!(rmm.rec(sender).unwrap().exits_total(), 0);
+        assert_eq!(rmm.rec(receiver).unwrap().exits_total(), 0);
+    }
+
+    #[test]
+    fn wfi_idles_on_dedicated_core() {
+        let (mut rmm, mut machine) = setup();
+        let realm = build_realm(&mut rmm, &mut machine);
+        let rec = RecId::new(realm, 0);
+        rmm.rec_enter_with_list(CoreId(4), rec, &[], &mut machine);
+        let disp = rmm.on_guest_event(CoreId(4), rec, GuestEvent::Wfi, &mut machine);
+        assert!(matches!(disp, Disposition::Idle { .. }), "{disp:?}");
+        // A delegated timer interrupt wakes it locally.
+        let disp = rmm.on_idle_irq(CoreId(4), rec, IntId::VTIMER, &mut machine);
+        assert!(matches!(disp, Disposition::Resume { .. }));
+    }
+
+    #[test]
+    fn wfi_with_pending_interrupt_resumes() {
+        let (mut rmm, mut machine) = setup();
+        let realm = build_realm(&mut rmm, &mut machine);
+        let rec = RecId::new(realm, 0);
+        rmm.rec_enter_with_list(CoreId(4), rec, &[], &mut machine);
+        rmm.rec_mut(rec).unwrap().vgic_mut().inject_local(IntId::VTIMER);
+        let disp = rmm.on_guest_event(CoreId(4), rec, GuestEvent::Wfi, &mut machine);
+        assert!(matches!(disp, Disposition::Resume { .. }));
+    }
+
+    #[test]
+    fn mmio_always_exits_and_filters_interrupts() {
+        let (mut rmm, mut machine) = setup();
+        let realm = build_realm(&mut rmm, &mut machine);
+        let rec = RecId::new(realm, 0);
+        rmm.rec_enter_with_list(CoreId(4), rec, &[IntId::spi(2)], &mut machine);
+        // Delegated timer pending too — must not appear in the host view.
+        rmm.rec_mut(rec).unwrap().vgic_mut().inject_local(IntId::VTIMER);
+        let disp = rmm.on_guest_event(
+            CoreId(4),
+            rec,
+            GuestEvent::MmioWrite { ipa: 0x9000_0000, size: 4, value: 1 },
+            &mut machine,
+        );
+        match disp {
+            Disposition::ExitToHost { exit, .. } => {
+                assert!(matches!(exit.reason, RecExitReason::MmioWrite { .. }));
+                assert!(exit.interrupts.contains(&IntId::spi(2)));
+                assert!(!exit.interrupts.contains(&IntId::VTIMER));
+            }
+            other => panic!("expected exit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shutdown_halts_rec() {
+        let (mut rmm, mut machine) = setup();
+        let realm = build_realm(&mut rmm, &mut machine);
+        let rec = RecId::new(realm, 0);
+        rmm.rec_enter_with_list(CoreId(4), rec, &[], &mut machine);
+        let disp = rmm.on_guest_event(CoreId(4), rec, GuestEvent::Shutdown, &mut machine);
+        assert!(matches!(
+            disp,
+            Disposition::ExitToHost {
+                exit: RecExit { reason: RecExitReason::Shutdown, .. },
+                ..
+            }
+        ));
+        assert_eq!(rmm.rec(rec).unwrap().state(), RecState::Halted);
+        // A halted vCPU cannot be re-entered.
+        let out = rmm.rec_enter_with_list(CoreId(4), rec, &[], &mut machine);
+        assert_eq!(out.status, RmiStatus::ErrorRec);
+    }
+
+    #[test]
+    fn reclaim_core_after_realm_teardown() {
+        let (mut rmm, mut machine) = setup();
+        let realm = build_realm(&mut rmm, &mut machine);
+        let rec = RecId::new(realm, 0);
+        rmm.rec_enter_with_list(CoreId(4), rec, &[], &mut machine);
+        rmm.on_guest_event(CoreId(4), rec, GuestEvent::Shutdown, &mut machine);
+        // While bound, reclaim fails.
+        assert!(rmm.reclaim_core(CoreId(4), &mut machine).is_err());
+        rmm.handle_rmi(CoreId(0), RmiCall::RecDestroy { rec }, &mut machine);
+        rmm.reclaim_core(CoreId(4), &mut machine).unwrap();
+        assert!(machine.cpu(CoreId(4)).is_host_schedulable());
+    }
+
+    #[test]
+    fn rsi_calls_serve_the_guest() {
+        use cg_cca::{PlatformCert, RsiCall, RsiResult};
+        let (mut rmm, mut machine) = setup();
+        let realm = build_realm(&mut rmm, &mut machine);
+        assert_eq!(rmm.handle_rsi(realm, RsiCall::Version), RsiResult::Version(1, 0));
+        match rmm.handle_rsi(realm, RsiCall::RealmConfig) {
+            RsiResult::RealmConfig { ipa_width } => assert_eq!(ipa_width, 48),
+            other => panic!("unexpected {other:?}"),
+        }
+        match rmm.handle_rsi(realm, RsiCall::AttestationToken { challenge: 7 }) {
+            RsiResult::Token(token) => {
+                assert!(token.verify(
+                    &PlatformCert::example(),
+                    rmm.platform_measurement(),
+                    7
+                ));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Unknown realm → error.
+        assert_eq!(
+            rmm.handle_rsi(RealmId(99), RsiCall::AttestationToken { challenge: 1 }),
+            RsiResult::Error
+        );
+    }
+
+    #[test]
+    fn data_create_measures_and_maps() {
+        let (mut rmm, mut machine) = setup();
+        let realm = build_realm(&mut rmm, &mut machine);
+        let rim_before = rmm.realm(realm).unwrap().measurement();
+        // Need RTT chain before data can be mapped: create tables 1..3.
+        for (lvl, n) in [(1u8, 20u64), (2, 21), (3, 22)] {
+            let out = rmm.handle_rmi(
+                CoreId(0),
+                RmiCall::RttCreate {
+                    realm,
+                    rtt: g(n),
+                    ipa: 0,
+                    level: cg_cca::RttLevel(lvl),
+                },
+                &mut machine,
+            );
+            assert!(out.status.is_success(), "level {lvl}: {out:?}");
+        }
+        // Realm is already Active: DATA_CREATE must fail (post-activation
+        // pages go through a different path not modelled here).
+        let out = rmm.handle_rmi(
+            CoreId(0),
+            RmiCall::DataCreate { realm, data: g(23), ipa: 0x1000 },
+            &mut machine,
+        );
+        assert_eq!(out.status, RmiStatus::ErrorRealm);
+        let _ = rim_before;
+    }
+}

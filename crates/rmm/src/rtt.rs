@@ -1,0 +1,426 @@
+//! Realm translation tables: the stage-2 page tables the RMM manages on
+//! behalf of (and protected from) the host.
+//!
+//! The model follows the RMM specification's RTT structure: a 4-level
+//! table over a 48-bit IPA space with 4 KiB granules. The host drives
+//! table construction through RMI calls (`RTT_CREATE` per level, then
+//! `DATA_CREATE` / `RTT_MAP_UNPROTECTED` for leaves); the RMM validates
+//! every step. The top bit of the IPA space splits it into a *protected*
+//! half (realm-private, encrypted memory) and an *unprotected* half
+//! (shared with the host — virtio rings, RPC areas).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use cg_cca::RttLevel;
+use cg_machine::GranuleAddr;
+
+/// Width of the modelled IPA space in bits.
+pub const IPA_WIDTH: u32 = 48;
+
+/// Mask selecting the unprotected half of the IPA space.
+pub const UNPROTECTED_BIT: u64 = 1 << (IPA_WIDTH - 1);
+
+/// Returns `true` if `ipa` lies in the unprotected (host-shared) half.
+pub fn ipa_is_unprotected(ipa: u64) -> bool {
+    ipa & UNPROTECTED_BIT != 0
+}
+
+/// Errors from RTT operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RttError {
+    /// The parent table for this level does not exist yet.
+    MissingParent,
+    /// A table already exists at this level for this IPA range.
+    TableExists,
+    /// The walk reached no leaf table for this IPA.
+    Unmapped,
+    /// A mapping already exists at this IPA.
+    AlreadyMapped,
+    /// The IPA is outside the modelled space.
+    BadIpa,
+    /// Protection mismatch: e.g. mapping unprotected memory at a
+    /// protected IPA.
+    ProtectionMismatch,
+    /// The table still holds live entries (cannot be destroyed).
+    TableInUse,
+}
+
+impl fmt::Display for RttError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RttError::MissingParent => "parent table missing",
+            RttError::TableExists => "table already exists",
+            RttError::Unmapped => "no mapping for IPA",
+            RttError::AlreadyMapped => "IPA already mapped",
+            RttError::BadIpa => "IPA outside address space",
+            RttError::ProtectionMismatch => "protected/unprotected mismatch",
+            RttError::TableInUse => "table still holds entries",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for RttError {}
+
+/// A leaf mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mapping {
+    /// The physical granule backing the page.
+    pub pa: GranuleAddr,
+    /// Whether this is realm-protected memory.
+    pub protected: bool,
+}
+
+/// IPA span covered by one *entry* at `level` (so a table at `level`
+/// covers 512 of these).
+fn entry_span(level: RttLevel) -> u64 {
+    4096u64 << (9 * (3 - level.0 as u32))
+}
+
+/// IPA span covered by a whole table at `level`.
+fn table_span(level: RttLevel) -> u64 {
+    // A level-0 table covers the whole space (512 entries of 512 GiB
+    // would exceed 48 bits; clamp to the space size).
+    (entry_span(level).saturating_mul(512)).min(1 << IPA_WIDTH)
+}
+
+/// Base IPA of the table at `level` covering `ipa`.
+fn table_base(level: RttLevel, ipa: u64) -> u64 {
+    ipa & !(table_span(level) - 1)
+}
+
+/// One realm's stage-2 translation tables.
+///
+/// # Example
+///
+/// ```
+/// use cg_cca::RttLevel;
+/// use cg_machine::GranuleAddr;
+/// use cg_rmm::Rtt;
+///
+/// let g = |n: u64| GranuleAddr::new(n * 4096).unwrap();
+/// let mut rtt = Rtt::new(g(0));
+/// // Build the table chain for IPA 0, then map a page.
+/// rtt.create_table(RttLevel(1), 0, g(1)).unwrap();
+/// rtt.create_table(RttLevel(2), 0, g(2)).unwrap();
+/// rtt.create_table(RttLevel(3), 0, g(3)).unwrap();
+/// rtt.map(0x3000, g(10), true).unwrap();
+/// assert_eq!(rtt.translate(0x3123).unwrap().pa, g(10));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Rtt {
+    /// Table granules: (level, table base IPA) → granule.
+    tables: HashMap<(u8, u64), GranuleAddr>,
+    /// Leaf mappings: page-aligned IPA → mapping.
+    leaves: HashMap<u64, Mapping>,
+    root: GranuleAddr,
+}
+
+impl Rtt {
+    /// Creates the RTT with its root (level-0) table in `root`.
+    pub fn new(root: GranuleAddr) -> Rtt {
+        let mut tables = HashMap::new();
+        tables.insert((0, 0), root);
+        Rtt {
+            tables,
+            leaves: HashMap::new(),
+            root,
+        }
+    }
+
+    /// The root table granule.
+    pub fn root(&self) -> GranuleAddr {
+        self.root
+    }
+
+    /// Number of table granules (including the root).
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Number of leaf mappings.
+    pub fn mapping_count(&self) -> usize {
+        self.leaves.len()
+    }
+
+    fn check_ipa(ipa: u64) -> Result<(), RttError> {
+        if ipa >> IPA_WIDTH != 0 {
+            Err(RttError::BadIpa)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Creates a table at `level` covering `ipa`, stored in `granule`
+    /// (RMI_RTT_CREATE).
+    ///
+    /// # Errors
+    ///
+    /// [`RttError::BadIpa`], [`RttError::TableExists`], or
+    /// [`RttError::MissingParent`] if the covering table at `level - 1`
+    /// has not been created.
+    pub fn create_table(
+        &mut self,
+        level: RttLevel,
+        ipa: u64,
+        granule: GranuleAddr,
+    ) -> Result<(), RttError> {
+        Self::check_ipa(ipa)?;
+        if level.0 == 0 || level.0 > 3 {
+            return Err(RttError::BadIpa);
+        }
+        let base = table_base(level, ipa);
+        if self.tables.contains_key(&(level.0, base)) {
+            return Err(RttError::TableExists);
+        }
+        let parent = RttLevel(level.0 - 1);
+        if !self.tables.contains_key(&(parent.0, table_base(parent, ipa))) {
+            return Err(RttError::MissingParent);
+        }
+        self.tables.insert((level.0, base), granule);
+        Ok(())
+    }
+
+    /// Destroys an empty table at `level` covering `ipa`, returning its
+    /// granule (RMI_RTT_DESTROY).
+    ///
+    /// # Errors
+    ///
+    /// [`RttError::Unmapped`] if no such table;
+    /// [`RttError::TableInUse`] if mappings or child tables still live
+    /// under it.
+    pub fn destroy_table(&mut self, level: RttLevel, ipa: u64) -> Result<GranuleAddr, RttError> {
+        Self::check_ipa(ipa)?;
+        if level.0 == 0 {
+            return Err(RttError::TableInUse); // the root is never destroyed
+        }
+        let base = table_base(level, ipa);
+        if !self.tables.contains_key(&(level.0, base)) {
+            return Err(RttError::Unmapped);
+        }
+        let span = table_span(level);
+        let in_range = |a: u64| a >= base && a < base + span;
+        if self.leaves.keys().any(|&l| in_range(l)) {
+            return Err(RttError::TableInUse);
+        }
+        if self
+            .tables
+            .keys()
+            .any(|&(lv, b)| lv > level.0 && in_range(b))
+        {
+            return Err(RttError::TableInUse);
+        }
+        Ok(self
+            .tables
+            .remove(&(level.0, base))
+            .expect("checked present"))
+    }
+
+    /// Maps a 4 KiB page at `ipa` (leaf level).
+    ///
+    /// # Errors
+    ///
+    /// [`RttError::MissingParent`] if the level-3 table is absent;
+    /// [`RttError::AlreadyMapped`]; [`RttError::ProtectionMismatch`] if
+    /// `protected` disagrees with the IPA half;
+    /// [`RttError::BadIpa`] for unaligned or out-of-range addresses.
+    pub fn map(&mut self, ipa: u64, pa: GranuleAddr, protected: bool) -> Result<(), RttError> {
+        Self::check_ipa(ipa)?;
+        if !ipa.is_multiple_of(4096) {
+            return Err(RttError::BadIpa);
+        }
+        if protected == ipa_is_unprotected(ipa) {
+            return Err(RttError::ProtectionMismatch);
+        }
+        let leaf_table = table_base(RttLevel::LEAF, ipa);
+        if !self.tables.contains_key(&(3, leaf_table)) {
+            return Err(RttError::MissingParent);
+        }
+        if self.leaves.contains_key(&ipa) {
+            return Err(RttError::AlreadyMapped);
+        }
+        self.leaves.insert(ipa, Mapping { pa, protected });
+        Ok(())
+    }
+
+    /// Unmaps the page at `ipa`, returning the mapping.
+    ///
+    /// # Errors
+    ///
+    /// [`RttError::Unmapped`] if nothing is mapped there.
+    pub fn unmap(&mut self, ipa: u64) -> Result<Mapping, RttError> {
+        Self::check_ipa(ipa)?;
+        self.leaves.remove(&ipa).ok_or(RttError::Unmapped)
+    }
+
+    /// Translates an arbitrary IPA to its mapping.
+    ///
+    /// # Errors
+    ///
+    /// [`RttError::Unmapped`] on a stage-2 fault.
+    pub fn translate(&self, ipa: u64) -> Result<Mapping, RttError> {
+        Self::check_ipa(ipa)?;
+        self.leaves
+            .get(&(ipa & !4095))
+            .copied()
+            .ok_or(RttError::Unmapped)
+    }
+
+    /// The number of table levels that must still be created before `ipa`
+    /// can be mapped (0 when ready). Hosts use this to drive the
+    /// create-missing-tables loop KVM performs on stage-2 faults.
+    pub fn missing_levels(&self, ipa: u64) -> Vec<RttLevel> {
+        (1..=3u8)
+            .map(RttLevel)
+            .filter(|&lv| !self.tables.contains_key(&(lv.0, table_base(lv, ipa))))
+            .collect()
+    }
+
+    /// Iterates over all leaf mappings as `(ipa, mapping)`.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, Mapping)> + '_ {
+        self.leaves.iter().map(|(&ipa, &m)| (ipa, m))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(n: u64) -> GranuleAddr {
+        GranuleAddr::new(n * 4096).unwrap()
+    }
+
+    fn rtt_with_chain(ipa: u64) -> Rtt {
+        let mut rtt = Rtt::new(g(0));
+        rtt.create_table(RttLevel(1), ipa, g(1)).unwrap();
+        rtt.create_table(RttLevel(2), ipa, g(2)).unwrap();
+        rtt.create_table(RttLevel(3), ipa, g(3)).unwrap();
+        rtt
+    }
+
+    #[test]
+    fn spans_are_correct() {
+        assert_eq!(entry_span(RttLevel(3)), 4096);
+        assert_eq!(entry_span(RttLevel(2)), 2 << 20);
+        assert_eq!(entry_span(RttLevel(1)), 1 << 30);
+        assert_eq!(table_span(RttLevel(3)), 2 << 20);
+        assert_eq!(table_span(RttLevel(0)), 1 << 48);
+    }
+
+    #[test]
+    fn table_chain_required_in_order() {
+        let mut rtt = Rtt::new(g(0));
+        assert_eq!(
+            rtt.create_table(RttLevel(2), 0, g(9)),
+            Err(RttError::MissingParent)
+        );
+        rtt.create_table(RttLevel(1), 0, g(1)).unwrap();
+        rtt.create_table(RttLevel(2), 0, g(2)).unwrap();
+        assert_eq!(
+            rtt.create_table(RttLevel(2), 0, g(5)),
+            Err(RttError::TableExists)
+        );
+    }
+
+    #[test]
+    fn map_requires_leaf_table() {
+        let mut rtt = Rtt::new(g(0));
+        assert_eq!(rtt.map(0, g(7), true), Err(RttError::MissingParent));
+        let mut rtt = rtt_with_chain(0);
+        rtt.map(0, g(7), true).unwrap();
+        assert_eq!(rtt.map(0, g(8), true), Err(RttError::AlreadyMapped));
+    }
+
+    #[test]
+    fn translate_and_unmap() {
+        let mut rtt = rtt_with_chain(0);
+        rtt.map(0x5000, g(7), true).unwrap();
+        assert_eq!(rtt.translate(0x5FFF).unwrap().pa, g(7));
+        assert_eq!(rtt.translate(0x6000), Err(RttError::Unmapped));
+        let m = rtt.unmap(0x5000).unwrap();
+        assert_eq!(m.pa, g(7));
+        assert_eq!(rtt.translate(0x5000), Err(RttError::Unmapped));
+    }
+
+    #[test]
+    fn protection_matches_ipa_half() {
+        let mut rtt = rtt_with_chain(0);
+        // Protected mapping in the unprotected half: rejected.
+        let unprot_ipa = UNPROTECTED_BIT;
+        assert_eq!(
+            rtt.map(0x1000, g(7), false),
+            Err(RttError::ProtectionMismatch)
+        );
+        // Build a chain for the unprotected half and map shared memory.
+        rtt.create_table(RttLevel(1), unprot_ipa, g(11)).unwrap();
+        rtt.create_table(RttLevel(2), unprot_ipa, g(12)).unwrap();
+        rtt.create_table(RttLevel(3), unprot_ipa, g(13)).unwrap();
+        assert_eq!(
+            rtt.map(unprot_ipa, g(7), true),
+            Err(RttError::ProtectionMismatch)
+        );
+        rtt.map(unprot_ipa, g(7), false).unwrap();
+        assert!(!rtt.translate(unprot_ipa).unwrap().protected);
+    }
+
+    #[test]
+    fn unaligned_and_out_of_range_rejected() {
+        let mut rtt = rtt_with_chain(0);
+        assert_eq!(rtt.map(0x1001, g(7), true), Err(RttError::BadIpa));
+        assert_eq!(rtt.translate(1 << 60), Err(RttError::BadIpa));
+    }
+
+    #[test]
+    fn destroy_requires_empty_table() {
+        let mut rtt = rtt_with_chain(0);
+        rtt.map(0x1000, g(7), true).unwrap();
+        assert_eq!(
+            rtt.destroy_table(RttLevel(3), 0),
+            Err(RttError::TableInUse)
+        );
+        rtt.unmap(0x1000).unwrap();
+        assert_eq!(rtt.destroy_table(RttLevel(3), 0).unwrap(), g(3));
+        // Level 2 now empty of children? Level-3 table removed, so yes.
+        assert_eq!(rtt.destroy_table(RttLevel(2), 0).unwrap(), g(2));
+        // Destroying level 1 with no children is fine; root never.
+        assert_eq!(rtt.destroy_table(RttLevel(1), 0).unwrap(), g(1));
+        assert_eq!(rtt.destroy_table(RttLevel(0), 0), Err(RttError::TableInUse));
+    }
+
+    #[test]
+    fn destroy_with_child_table_rejected() {
+        let mut rtt = rtt_with_chain(0);
+        assert_eq!(
+            rtt.destroy_table(RttLevel(1), 0),
+            Err(RttError::TableInUse)
+        );
+    }
+
+    #[test]
+    fn missing_levels_reports_chain() {
+        let mut rtt = Rtt::new(g(0));
+        assert_eq!(
+            rtt.missing_levels(0),
+            vec![RttLevel(1), RttLevel(2), RttLevel(3)]
+        );
+        rtt.create_table(RttLevel(1), 0, g(1)).unwrap();
+        assert_eq!(rtt.missing_levels(0), vec![RttLevel(2), RttLevel(3)]);
+        rtt.create_table(RttLevel(2), 0, g(2)).unwrap();
+        rtt.create_table(RttLevel(3), 0, g(3)).unwrap();
+        assert!(rtt.missing_levels(0).is_empty());
+        // A distant IPA shares only the upper tables.
+        assert_eq!(rtt.missing_levels(3 << 20), vec![RttLevel(3)]);
+    }
+
+    #[test]
+    fn iter_and_counts() {
+        let mut rtt = rtt_with_chain(0);
+        rtt.map(0x1000, g(7), true).unwrap();
+        rtt.map(0x2000, g(8), true).unwrap();
+        assert_eq!(rtt.mapping_count(), 2);
+        assert_eq!(rtt.table_count(), 4); // root + 3 levels
+        let ipas: Vec<u64> = rtt.iter().map(|(ipa, _)| ipa).collect();
+        assert!(ipas.contains(&0x1000) && ipas.contains(&0x2000));
+    }
+}

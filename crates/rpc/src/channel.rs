@@ -1,0 +1,298 @@
+//! The timing-aware shared-memory call channel.
+
+use std::fmt;
+
+use cg_machine::HwParams;
+use cg_sim::SimTime;
+
+/// Errors from channel misuse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelError {
+    /// A request was posted while one was already outstanding.
+    Busy,
+    /// A response was posted with no request being served.
+    NoRequest,
+    /// An operation was attempted before the value became visible (the
+    /// cache line has not yet transferred) — indicates the caller polled
+    /// without honouring the visibility timestamp.
+    NotVisible,
+}
+
+impl fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ChannelError::Busy => "a request is already outstanding",
+            ChannelError::NoRequest => "no request is being served",
+            ChannelError::NotVisible => "value not yet visible to this core",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for ChannelError {}
+
+/// Phase of the request/response protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelState {
+    /// No call in flight.
+    Idle,
+    /// A request is posted (possibly not yet visible to the server).
+    Requested,
+    /// The server has taken the request and is working on it.
+    Serving,
+    /// A response is posted (possibly not yet visible to the client).
+    Responded,
+}
+
+/// A single-slot RPC channel between one client core and one server core.
+///
+/// The channel records *when* each value was posted; a reader on another
+/// core observes it only once the cache-line transfer has elapsed. This is
+/// how the simulation charges realistic costs to busy-wait RPC without
+/// simulating individual poll iterations.
+///
+/// # Example
+///
+/// ```
+/// use cg_machine::HwParams;
+/// use cg_rpc::SyncChannel;
+/// use cg_sim::SimTime;
+///
+/// let params = HwParams::small();
+/// let mut ch: SyncChannel<u32, u32> = SyncChannel::new();
+/// let t0 = SimTime::ZERO;
+/// ch.post_request(7, t0).unwrap();
+/// // The server can't see it immediately...
+/// let visible = ch.request_visible_at(&params).unwrap();
+/// assert!(visible > t0);
+/// // ...but once the line has transferred, it takes the request.
+/// let req = ch.take_request(visible, &params).unwrap();
+/// assert_eq!(req, 7);
+/// ```
+#[derive(Debug)]
+pub struct SyncChannel<Req, Resp> {
+    state: ChannelState,
+    request: Option<(Req, SimTime)>,
+    response: Option<(Resp, SimTime)>,
+    calls_completed: u64,
+}
+
+impl<Req, Resp> Default for SyncChannel<Req, Resp> {
+    fn default() -> Self {
+        SyncChannel::new()
+    }
+}
+
+impl<Req, Resp> SyncChannel<Req, Resp> {
+    /// Creates an idle channel.
+    pub fn new() -> SyncChannel<Req, Resp> {
+        SyncChannel {
+            state: ChannelState::Idle,
+            request: None,
+            response: None,
+            calls_completed: 0,
+        }
+    }
+
+    /// Current protocol phase.
+    pub fn state(&self) -> ChannelState {
+        self.state
+    }
+
+    /// Number of completed request/response round trips.
+    pub fn calls_completed(&self) -> u64 {
+        self.calls_completed
+    }
+
+    /// Client: posts a request at time `now`.
+    ///
+    /// # Errors
+    ///
+    /// [`ChannelError::Busy`] if a call is already in flight.
+    pub fn post_request(&mut self, req: Req, now: SimTime) -> Result<(), ChannelError> {
+        if self.state != ChannelState::Idle {
+            return Err(ChannelError::Busy);
+        }
+        self.request = Some((req, now));
+        self.state = ChannelState::Requested;
+        Ok(())
+    }
+
+    /// When the posted request becomes visible to the server core.
+    pub fn request_visible_at(&self, params: &HwParams) -> Option<SimTime> {
+        self.request
+            .as_ref()
+            .map(|(_, posted)| *posted + params.cache_line_transfer)
+    }
+
+    /// Server: takes the request at time `now`.
+    ///
+    /// # Errors
+    ///
+    /// [`ChannelError::NoRequest`] if nothing is posted;
+    /// [`ChannelError::NotVisible`] if the request has not yet transferred
+    /// to this core.
+    pub fn take_request(&mut self, now: SimTime, params: &HwParams) -> Result<Req, ChannelError> {
+        if self.state != ChannelState::Requested {
+            return Err(ChannelError::NoRequest);
+        }
+        let visible = self.request_visible_at(params).expect("state Requested");
+        if now < visible {
+            return Err(ChannelError::NotVisible);
+        }
+        let (req, _) = self.request.take().expect("state Requested");
+        self.state = ChannelState::Serving;
+        Ok(req)
+    }
+
+    /// Server: posts the response at time `now`.
+    ///
+    /// # Errors
+    ///
+    /// [`ChannelError::NoRequest`] unless a request is being served.
+    pub fn post_response(&mut self, resp: Resp, now: SimTime) -> Result<(), ChannelError> {
+        if self.state != ChannelState::Serving {
+            return Err(ChannelError::NoRequest);
+        }
+        self.response = Some((resp, now));
+        self.state = ChannelState::Responded;
+        Ok(())
+    }
+
+    /// When the posted response becomes visible to the client core.
+    pub fn response_visible_at(&self, params: &HwParams) -> Option<SimTime> {
+        self.response
+            .as_ref()
+            .map(|(_, posted)| *posted + params.cache_line_transfer)
+    }
+
+    /// Client: takes the response at time `now`, completing the call.
+    ///
+    /// # Errors
+    ///
+    /// [`ChannelError::NoRequest`] if no response is posted;
+    /// [`ChannelError::NotVisible`] before the transfer completes.
+    pub fn take_response(&mut self, now: SimTime, params: &HwParams) -> Result<Resp, ChannelError> {
+        if self.state != ChannelState::Responded {
+            return Err(ChannelError::NoRequest);
+        }
+        let visible = self.response_visible_at(params).expect("state Responded");
+        if now < visible {
+            return Err(ChannelError::NotVisible);
+        }
+        let (resp, _) = self.response.take().expect("state Responded");
+        self.state = ChannelState::Idle;
+        self.calls_completed += 1;
+        Ok(resp)
+    }
+
+    /// Returns `true` if a response is posted (visible or not) — used by
+    /// the wake-up thread scanning channels after a doorbell IPI.
+    pub fn has_response(&self) -> bool {
+        self.state == ChannelState::Responded
+    }
+
+    /// Returns `true` if a request is posted (visible or not).
+    pub fn has_request(&self) -> bool {
+        self.state == ChannelState::Requested
+    }
+
+    /// Abandons any in-flight call (e.g. vCPU destroyed mid-exit).
+    pub fn reset(&mut self) {
+        self.state = ChannelState::Idle;
+        self.request = None;
+        self.response = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cg_sim::SimDuration;
+
+    fn params() -> HwParams {
+        HwParams::small()
+    }
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn full_round_trip() {
+        let p = params();
+        let mut ch: SyncChannel<&str, &str> = SyncChannel::new();
+        assert_eq!(ch.state(), ChannelState::Idle);
+
+        ch.post_request("ping", t(0)).unwrap();
+        assert_eq!(ch.state(), ChannelState::Requested);
+        assert!(ch.has_request());
+
+        let vis = ch.request_visible_at(&p).unwrap();
+        assert_eq!(vis, t(0) + p.cache_line_transfer);
+        assert_eq!(ch.take_request(t(1), &p), Err(ChannelError::NotVisible));
+        assert_eq!(ch.take_request(vis, &p).unwrap(), "ping");
+        assert_eq!(ch.state(), ChannelState::Serving);
+
+        ch.post_response("pong", vis).unwrap();
+        assert!(ch.has_response());
+        let rvis = ch.response_visible_at(&p).unwrap();
+        assert_eq!(ch.take_response(vis, &p), Err(ChannelError::NotVisible));
+        assert_eq!(ch.take_response(rvis, &p).unwrap(), "pong");
+        assert_eq!(ch.state(), ChannelState::Idle);
+        assert_eq!(ch.calls_completed(), 1);
+    }
+
+    #[test]
+    fn double_request_rejected() {
+        let mut ch: SyncChannel<u8, u8> = SyncChannel::new();
+        ch.post_request(1, t(0)).unwrap();
+        assert_eq!(ch.post_request(2, t(5)), Err(ChannelError::Busy));
+    }
+
+    #[test]
+    fn response_without_request_rejected() {
+        let mut ch: SyncChannel<u8, u8> = SyncChannel::new();
+        assert_eq!(ch.post_response(1, t(0)), Err(ChannelError::NoRequest));
+        ch.post_request(1, t(0)).unwrap();
+        // Still Requested, not Serving.
+        assert_eq!(ch.post_response(1, t(0)), Err(ChannelError::NoRequest));
+    }
+
+    #[test]
+    fn take_response_in_wrong_state_rejected() {
+        let p = params();
+        let mut ch: SyncChannel<u8, u8> = SyncChannel::new();
+        assert_eq!(ch.take_response(t(100), &p), Err(ChannelError::NoRequest));
+        assert_eq!(ch.take_request(t(100), &p), Err(ChannelError::NoRequest));
+    }
+
+    #[test]
+    fn reset_abandons_in_flight_call() {
+        let p = params();
+        let mut ch: SyncChannel<u8, u8> = SyncChannel::new();
+        ch.post_request(1, t(0)).unwrap();
+        ch.reset();
+        assert_eq!(ch.state(), ChannelState::Idle);
+        ch.post_request(2, t(10)).unwrap();
+        let vis = ch.request_visible_at(&p).unwrap();
+        assert_eq!(ch.take_request(vis, &p).unwrap(), 2);
+    }
+
+    #[test]
+    fn multiple_round_trips_count() {
+        let p = params();
+        let mut ch: SyncChannel<u64, u64> = SyncChannel::new();
+        let mut now = t(0);
+        for i in 0..10 {
+            ch.post_request(i, now).unwrap();
+            now = ch.request_visible_at(&p).unwrap();
+            let r = ch.take_request(now, &p).unwrap();
+            ch.post_response(r * 2, now).unwrap();
+            now = ch.response_visible_at(&p).unwrap();
+            assert_eq!(ch.take_response(now, &p).unwrap(), i * 2);
+            now += SimDuration::nanos(50);
+        }
+        assert_eq!(ch.calls_completed(), 10);
+    }
+}

@@ -1,0 +1,93 @@
+//! Closed-form latency decompositions of the RPC transports.
+//!
+//! These functions document exactly which [`HwParams`] components make up
+//! each measured path, and serve as the calibration reference for the
+//! event-driven implementation in `cg-core` (whose microbenchmarks must
+//! agree with these sums). The targets come from the paper's table 2.
+
+use cg_machine::HwParams;
+use cg_sim::SimDuration;
+
+/// Expected delay between a value becoming visible on a polled cache line
+/// and the poller noticing it: on average half a poll-loop iteration.
+pub fn poll_notice_delay(params: &HwParams) -> SimDuration {
+    params.poll_iteration / 2
+}
+
+/// One-way cost of posting a value and having a busy-waiting peer pick it
+/// up: descriptor write, cache-line transfer, poll phase.
+pub fn post_to_notice(params: &HwParams) -> SimDuration {
+    params.mailbox_write + params.cache_line_transfer + poll_notice_delay(params)
+}
+
+/// Round-trip latency of a null synchronous remote RMM call
+/// (table 2: 257.7 ns): client posts and busy-waits; the dedicated RMM
+/// core polls, handles (null), posts the response; client notices.
+pub fn sync_call_round_trip(params: &HwParams) -> SimDuration {
+    post_to_notice(params) + post_to_notice(params)
+}
+
+/// The asynchronous return path from a vCPU exit to the vCPU thread
+/// resuming on the host (fig. 4, steps ①–⑤): exit record write, doorbell
+/// IPI, interrupt entry, wake-up thread activation, channel scan, vCPU
+/// thread context switch, exit-record read.
+pub fn async_return_path(params: &HwParams) -> SimDuration {
+    params.mailbox_write
+        + params.ipi_deliver
+        + params.irq_entry
+        + params.sched_wakeup
+        + params.cache_line_transfer * 2 // wake-up thread scans the run channels
+        + params.context_switch
+        + params.cache_line_transfer // vCPU thread reads the exit record
+}
+
+/// Round-trip latency of a null asynchronous run call
+/// (table 2: 2757.6 ns): request leg as a posted call picked up by the
+/// polling RMM core, null handling, then the asynchronous return path.
+pub fn async_null_call_round_trip(params: &HwParams) -> SimDuration {
+    post_to_notice(params) + async_return_path(params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Asserts `actual` is within `pct`% of `target_ns`.
+    fn assert_close(actual: SimDuration, target_ns: f64, pct: f64) {
+        let a = actual.as_nanos() as f64;
+        let rel = (a - target_ns).abs() / target_ns * 100.0;
+        assert!(
+            rel <= pct,
+            "latency {a} ns deviates {rel:.1}% from target {target_ns} ns"
+        );
+    }
+
+    #[test]
+    fn sync_call_matches_table2() {
+        let p = HwParams::ampere_one_like();
+        assert_close(sync_call_round_trip(&p), 257.7, 10.0);
+    }
+
+    #[test]
+    fn async_call_matches_table2() {
+        let p = HwParams::ampere_one_like();
+        assert_close(async_null_call_round_trip(&p), 2757.6, 10.0);
+    }
+
+    #[test]
+    fn same_core_call_is_much_slower_than_remote() {
+        // Table 2's headline: the remote sync call beats even a bare
+        // same-core EL3 call by > 4×.
+        let p = HwParams::ampere_one_like();
+        let remote = sync_call_round_trip(&p);
+        let same_core = p.el3_null_call();
+        assert!(same_core.as_nanos() > 4 * remote.as_nanos());
+    }
+
+    #[test]
+    fn async_is_slower_than_sync_but_sub_5us() {
+        let p = HwParams::ampere_one_like();
+        assert!(async_null_call_round_trip(&p) > sync_call_round_trip(&p));
+        assert!(async_null_call_round_trip(&p) < SimDuration::micros(5));
+    }
+}

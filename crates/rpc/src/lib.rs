@@ -1,0 +1,33 @@
+//! # cg-rpc — cross-core shared-memory RPC
+//!
+//! Core gapping replaces same-core privilege transitions with remote
+//! procedure calls over shared (non-secure) memory (paper §4.3). This
+//! crate models the two transports the prototype uses:
+//!
+//! * **Synchronous calls** ([`SyncChannel`]) for short-lived RMM
+//!   invocations (page-table updates, granule delegation): the client
+//!   writes arguments into shared memory and busy-waits; RMM-dedicated
+//!   cores poll for incoming calls. Table 2 measures this at 257.7 ns —
+//!   4× faster than even a bare same-core EL3 call.
+//!
+//! * **Asynchronous calls** ([`SyncChannel`] plus a [`Doorbell`]) for the
+//!   unbounded vCPU *run* call: the client blocks after posting; when the
+//!   vCPU exits, the RMM posts the exit record and rings an IPI doorbell
+//!   that activates the host's wake-up thread (fig. 4). Table 2 measures
+//!   the null round trip at 2757.6 ns.
+//!
+//! Channels are timing-aware state machines: values posted on one core
+//! become *visible* to another core only after the cache-line transfer
+//! latency, and pollers notice them only at their next poll boundary. The
+//! closed-form latency models in [`latency`] document (and test) the
+//! decomposition used for calibration.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod channel;
+pub mod doorbell;
+pub mod latency;
+
+pub use channel::{ChannelError, ChannelState, SyncChannel};
+pub use doorbell::Doorbell;

@@ -1,0 +1,39 @@
+//! # cg-sim — deterministic discrete-event simulation engine
+//!
+//! This crate provides the simulation substrate on which the whole
+//! `coregap` system model runs: simulated time, a cancellable event queue
+//! with deterministic ordering, a seeded random-number generator, online
+//! statistics, and a lightweight trace facility.
+//!
+//! Everything in the workspace is driven from a single event loop (owned by
+//! `cg-core`), so simulations are **bit-reproducible** for a given seed:
+//! events scheduled for the same instant fire in schedule order, and all
+//! randomness flows through [`SimRng`].
+//!
+//! # Example
+//!
+//! ```
+//! use cg_sim::{EventQueue, SimDuration, SimTime};
+//!
+//! let mut queue: EventQueue<&str> = EventQueue::new();
+//! queue.schedule_after(SimDuration::micros(5), "second");
+//! queue.schedule_after(SimDuration::micros(1), "first");
+//! let (t, e) = queue.pop().unwrap();
+//! assert_eq!(e, "first");
+//! assert_eq!(t, SimTime::ZERO + SimDuration::micros(1));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod queue;
+mod rng;
+mod stats;
+mod time;
+mod trace;
+
+pub use queue::{EventQueue, EventToken};
+pub use rng::SimRng;
+pub use stats::{Counters, OnlineStats, Samples};
+pub use time::{SimDuration, SimTime};
+pub use trace::{Trace, TraceEvent, TraceLevel};

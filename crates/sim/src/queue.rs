@@ -1,0 +1,321 @@
+//! The cancellable, deterministically ordered event queue.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::{SimDuration, SimTime};
+
+/// A handle to a scheduled event, used to cancel it before it fires.
+///
+/// Tokens are unique for the lifetime of an [`EventQueue`]; cancelling a
+/// token whose event has already fired (or was already cancelled) is a
+/// harmless no-op that returns `false`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventToken(u64);
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first. Ties on time break by schedule order, which is what makes
+        // simulations deterministic.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A future-event queue over an arbitrary event type `E`.
+///
+/// Events fire in `(time, schedule-order)` order. The queue tracks the
+/// current simulation clock: [`EventQueue::pop`] advances it to the fired
+/// event's timestamp, and scheduling in the past is a logic error.
+///
+/// # Example
+///
+/// ```
+/// use cg_sim::{EventQueue, SimDuration};
+///
+/// let mut q = EventQueue::new();
+/// let tok = q.schedule_after(SimDuration::nanos(10), "cancel me");
+/// q.schedule_after(SimDuration::nanos(20), "keep me");
+/// assert!(q.cancel(tok));
+/// let (_, e) = q.pop().unwrap();
+/// assert_eq!(e, "keep me");
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    /// Seqs of events still in the heap and not cancelled.
+    pending: HashSet<u64>,
+    /// Seqs cancelled while still in the heap; lazily skipped on pop/peek.
+    cancelled: HashSet<u64>,
+    now: SimTime,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`SimTime::ZERO`].
+    pub fn new() -> EventQueue<E> {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            pending: HashSet::new(),
+            cancelled: HashSet::new(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+        }
+    }
+
+    /// Returns the current simulation clock.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current clock: an event in the past
+    /// indicates a causality bug in the caller.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventToken {
+        assert!(
+            at >= self.now,
+            "scheduled event at {at} is before current time {}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry {
+            time: at,
+            seq,
+            event,
+        });
+        self.pending.insert(seq);
+        EventToken(seq)
+    }
+
+    /// Schedules `event` to fire `after` from the current clock.
+    pub fn schedule_after(&mut self, after: SimDuration, event: E) -> EventToken {
+        self.schedule_at(self.now + after, event)
+    }
+
+    /// Schedules `event` to fire at the current instant (after all events
+    /// already scheduled for this instant).
+    pub fn schedule_now(&mut self, event: E) -> EventToken {
+        self.schedule_at(self.now, event)
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Returns `true` if the event was still pending, `false` if it already
+    /// fired or was already cancelled.
+    pub fn cancel(&mut self, token: EventToken) -> bool {
+        if self.pending.remove(&token.0) {
+            self.cancelled.insert(token.0);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes and returns the next event, advancing the clock to its
+    /// timestamp. Returns `None` when no live events remain.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            self.pending.remove(&entry.seq);
+            self.now = entry.time;
+            return Some((entry.time, entry.event));
+        }
+        None
+    }
+
+    /// Returns the timestamp of the next live event without firing it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let seq = self.heap.pop().expect("peeked entry vanished").seq;
+                self.cancelled.remove(&seq);
+                continue;
+            }
+            return Some(entry.time);
+        }
+        None
+    }
+
+    /// Returns the number of live (non-cancelled) pending events.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Returns `true` if no live events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Advances the clock directly to `at` without firing an event.
+    ///
+    /// Useful when an external driver wants to account for idle time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past, or if a pending event is scheduled
+    /// before `at` (skipping events would break causality).
+    pub fn advance_to(&mut self, at: SimTime) {
+        assert!(at >= self.now, "cannot rewind the clock");
+        if let Some(next) = self.peek_time() {
+            assert!(
+                next >= at,
+                "advance_to({at}) would skip an event pending at {next}"
+            );
+        }
+        self.now = at;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_nanos(30), 3);
+        q.schedule_at(SimTime::from_nanos(10), 1);
+        q.schedule_at(SimTime::from_nanos(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_schedule_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(5);
+        for i in 0..100 {
+            q.schedule_at(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pop() {
+        let mut q = EventQueue::new();
+        q.schedule_after(SimDuration::nanos(7), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_nanos(7));
+    }
+
+    #[test]
+    fn cancel_prevents_fire() {
+        let mut q = EventQueue::new();
+        let tok = q.schedule_after(SimDuration::nanos(1), "a");
+        q.schedule_after(SimDuration::nanos(2), "b");
+        assert!(q.cancel(tok));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut q = EventQueue::new();
+        let tok = q.schedule_after(SimDuration::nanos(1), "a");
+        q.pop();
+        assert!(!q.cancel(tok));
+        assert_eq!(q.len(), 0);
+        // The queue stays usable and consistent afterwards.
+        q.schedule_after(SimDuration::nanos(1), "b");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().1, "b");
+    }
+
+    #[test]
+    fn cancel_after_fire_with_other_pending_events() {
+        let mut q = EventQueue::new();
+        let tok = q.schedule_after(SimDuration::nanos(1), "a");
+        q.pop();
+        q.schedule_after(SimDuration::nanos(5), "b");
+        assert!(!q.cancel(tok));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().1, "b");
+    }
+
+    #[test]
+    fn cancel_twice_reports_false() {
+        let mut q = EventQueue::new();
+        let tok = q.schedule_after(SimDuration::nanos(1), ());
+        assert!(q.cancel(tok));
+        assert!(!q.cancel(tok));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn peek_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let tok = q.schedule_after(SimDuration::nanos(1), "x");
+        q.schedule_after(SimDuration::nanos(9), "y");
+        q.cancel(tok);
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "before current time")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule_after(SimDuration::nanos(10), ());
+        q.pop();
+        q.schedule_at(SimTime::from_nanos(5), ());
+    }
+
+    #[test]
+    fn advance_to_moves_idle_clock() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.advance_to(SimTime::from_nanos(100));
+        assert_eq!(q.now(), SimTime::from_nanos(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "would skip an event")]
+    fn advance_past_pending_event_panics() {
+        let mut q = EventQueue::new();
+        q.schedule_after(SimDuration::nanos(5), ());
+        q.advance_to(SimTime::from_nanos(50));
+    }
+
+    #[test]
+    fn schedule_now_fires_after_existing_same_instant_events() {
+        let mut q = EventQueue::new();
+        q.schedule_now("first");
+        q.schedule_now("second");
+        assert_eq!(q.pop().unwrap().1, "first");
+        assert_eq!(q.pop().unwrap().1, "second");
+    }
+}

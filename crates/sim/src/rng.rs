@@ -1,0 +1,171 @@
+//! Seeded randomness for reproducible simulations.
+
+use rand::distributions::uniform::{SampleRange, SampleUniform};
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+use crate::time::SimDuration;
+
+/// The simulation's random-number generator.
+///
+/// All stochastic behaviour in the workspace (jittered service times,
+/// workload inter-arrival times, secret data in attack scenarios) draws
+/// from a single `SimRng` owned by the event loop, so a `(seed, config)`
+/// pair fully determines a run.
+///
+/// # Example
+///
+/// ```
+/// use cg_sim::SimRng;
+///
+/// let mut a = SimRng::seed(42);
+/// let mut b = SimRng::seed(42);
+/// assert_eq!(a.range(0_u64..100), b.range(0_u64..100));
+/// ```
+#[derive(Debug)]
+pub struct SimRng {
+    inner: SmallRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed(seed: u64) -> SimRng {
+        SimRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Forks an independent generator, advancing this one.
+    ///
+    /// Useful for giving a subsystem its own stream so that adding draws in
+    /// one subsystem does not perturb another.
+    pub fn fork(&mut self) -> SimRng {
+        SimRng::seed(self.inner.next_u64())
+    }
+
+    /// Samples uniformly from `range`.
+    pub fn range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        self.inner.gen_range(range)
+    }
+
+    /// Samples a uniform float in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p.clamp(0.0, 1.0)
+    }
+
+    /// Samples an exponentially distributed duration with the given mean.
+    ///
+    /// Used for Poisson arrival processes (e.g. open-loop client request
+    /// streams in the Redis benchmark).
+    pub fn exp_duration(&mut self, mean: SimDuration) -> SimDuration {
+        let u: f64 = self.unit();
+        // Inverse CDF; (1 - u) avoids ln(0).
+        let factor = -(1.0 - u).ln();
+        mean.scaled(factor)
+    }
+
+    /// Samples a duration uniformly jittered by `±fraction` around `base`.
+    ///
+    /// `fraction` is clamped to `[0, 1]`; a fraction of `0.05` yields a
+    /// duration in `[0.95 * base, 1.05 * base]`.
+    pub fn jitter(&mut self, base: SimDuration, fraction: f64) -> SimDuration {
+        let fraction = fraction.clamp(0.0, 1.0);
+        let factor = 1.0 + fraction * (2.0 * self.unit() - 1.0);
+        base.scaled(factor)
+    }
+
+    /// Samples an index in `[0, len)`; returns `None` for an empty range.
+    pub fn index(&mut self, len: usize) -> Option<usize> {
+        if len == 0 {
+            None
+        } else {
+            Some(self.inner.gen_range(0..len))
+        }
+    }
+
+    /// Returns the next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed(7);
+        let mut b = SimRng::seed(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::seed(1);
+        let mut b = SimRng::seed(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4, "streams should be essentially independent");
+    }
+
+    #[test]
+    fn fork_is_deterministic_and_independent() {
+        let mut a = SimRng::seed(9);
+        let mut b = SimRng::seed(9);
+        let mut fa = a.fork();
+        let mut fb = b.fork();
+        assert_eq!(fa.next_u64(), fb.next_u64());
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn exp_duration_has_roughly_correct_mean() {
+        let mut rng = SimRng::seed(3);
+        let mean = SimDuration::micros(100);
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| rng.exp_duration(mean).as_nanos()).sum();
+        let observed = total as f64 / n as f64;
+        let expected = mean.as_nanos() as f64;
+        assert!(
+            (observed - expected).abs() / expected < 0.05,
+            "observed mean {observed} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn jitter_stays_in_band() {
+        let mut rng = SimRng::seed(4);
+        let base = SimDuration::nanos(1_000);
+        for _ in 0..1_000 {
+            let d = rng.jitter(base, 0.1).as_nanos();
+            assert!((900..=1_100).contains(&d), "jittered value {d} out of band");
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed(5);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        assert!(!rng.chance(-3.0));
+        assert!(rng.chance(7.0));
+    }
+
+    #[test]
+    fn index_handles_empty() {
+        let mut rng = SimRng::seed(6);
+        assert_eq!(rng.index(0), None);
+        assert!(rng.index(3).unwrap() < 3);
+    }
+}

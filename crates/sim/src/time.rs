@@ -1,0 +1,343 @@
+//! Simulated time: instants ([`SimTime`]) and spans ([`SimDuration`]).
+//!
+//! Both are nanosecond-granular 64-bit quantities. A simulation at full
+//! nanosecond resolution can run for ~584 years of simulated time before
+//! overflow, which is far beyond anything the experiments need.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An instant in simulated time, measured in nanoseconds since the start of
+/// the simulation.
+///
+/// # Example
+///
+/// ```
+/// use cg_sim::{SimDuration, SimTime};
+///
+/// let t = SimTime::ZERO + SimDuration::millis(3);
+/// assert_eq!(t.as_nanos(), 3_000_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The origin of simulated time.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// The largest representable instant; useful as an "infinitely far"
+    /// sentinel deadline.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant from a raw nanosecond count.
+    pub const fn from_nanos(nanos: u64) -> SimTime {
+        SimTime(nanos)
+    }
+
+    /// Returns the raw nanosecond count since simulation start.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Returns this instant expressed in (fractional) microseconds.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Returns this instant expressed in (fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Returns the span from `earlier` to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self` (a violated causality
+    /// assumption is a simulation bug worth failing loudly on).
+    pub fn duration_since(self, earlier: SimTime) -> SimDuration {
+        assert!(
+            earlier.0 <= self.0,
+            "duration_since: earlier ({earlier}) is after self ({self})"
+        );
+        SimDuration(self.0 - earlier.0)
+    }
+
+    /// Returns the span from `earlier` to `self`, or [`SimDuration::ZERO`]
+    /// if `earlier` is after `self`.
+    pub fn saturating_duration_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", SimDuration(self.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(
+            self.0
+                .checked_add(rhs.0)
+                .expect("simulated time overflowed"),
+        )
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("simulated time underflowed"),
+        )
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.duration_since(rhs)
+    }
+}
+
+/// A span of simulated time, measured in nanoseconds.
+///
+/// # Example
+///
+/// ```
+/// use cg_sim::SimDuration;
+///
+/// let d = SimDuration::micros(2) + SimDuration::nanos(500);
+/// assert_eq!(d.as_nanos(), 2_500);
+/// assert_eq!(d.as_micros_f64(), 2.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// A zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// The largest representable span.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Creates a span of `n` nanoseconds.
+    pub const fn nanos(n: u64) -> SimDuration {
+        SimDuration(n)
+    }
+
+    /// Creates a span of `n` microseconds.
+    pub const fn micros(n: u64) -> SimDuration {
+        SimDuration(n * 1_000)
+    }
+
+    /// Creates a span of `n` milliseconds.
+    pub const fn millis(n: u64) -> SimDuration {
+        SimDuration(n * 1_000_000)
+    }
+
+    /// Creates a span of `n` seconds.
+    pub const fn secs(n: u64) -> SimDuration {
+        SimDuration(n * 1_000_000_000)
+    }
+
+    /// Creates a span from a fractional microsecond count, rounding to the
+    /// nearest nanosecond. Negative inputs clamp to zero.
+    pub fn from_micros_f64(us: f64) -> SimDuration {
+        SimDuration((us.max(0.0) * 1_000.0).round() as u64)
+    }
+
+    /// Creates a span from a fractional nanosecond count, rounding to the
+    /// nearest nanosecond. Negative inputs clamp to zero.
+    pub fn from_nanos_f64(ns: f64) -> SimDuration {
+        SimDuration(ns.max(0.0).round() as u64)
+    }
+
+    /// Returns the span as a raw nanosecond count.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the span in (fractional) microseconds.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Returns the span in (fractional) milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Returns the span in (fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Returns `true` if the span is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Multiplies the span by a non-negative float, rounding to the nearest
+    /// nanosecond. Used to apply CPI-style scale factors to compute time.
+    pub fn scaled(self, factor: f64) -> SimDuration {
+        SimDuration::from_nanos_f64(self.0 as f64 * factor)
+    }
+
+    /// Saturating subtraction of spans.
+    pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Returns the smaller of two spans.
+    pub fn min(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.min(other.0))
+    }
+
+    /// Returns the larger of two spans.
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.max(other.0))
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns >= 1_000_000_000 {
+            write!(f, "{:.3}s", ns as f64 / 1e9)
+        } else if ns >= 1_000_000 {
+            write!(f, "{:.3}ms", ns as f64 / 1e6)
+        } else if ns >= 1_000 {
+            write!(f, "{:.3}us", ns as f64 / 1e3)
+        } else {
+            write!(f, "{ns}ns")
+        }
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.checked_add(rhs.0).expect("duration overflowed"))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.checked_sub(rhs.0).expect("duration underflowed"))
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.checked_mul(rhs).expect("duration overflowed"))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic_round_trips() {
+        let t = SimTime::from_nanos(1_000);
+        let d = SimDuration::micros(2);
+        assert_eq!((t + d) - t, d);
+        assert_eq!((t + d) - d, t);
+    }
+
+    #[test]
+    fn duration_constructors_agree() {
+        assert_eq!(SimDuration::secs(1), SimDuration::millis(1_000));
+        assert_eq!(SimDuration::millis(1), SimDuration::micros(1_000));
+        assert_eq!(SimDuration::micros(1), SimDuration::nanos(1_000));
+    }
+
+    #[test]
+    fn duration_since_is_ordered() {
+        let a = SimTime::from_nanos(10);
+        let b = SimTime::from_nanos(25);
+        assert_eq!(b.duration_since(a), SimDuration::nanos(15));
+        assert_eq!(a.saturating_duration_since(b), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "duration_since")]
+    fn duration_since_panics_on_inversion() {
+        let a = SimTime::from_nanos(10);
+        let b = SimTime::from_nanos(25);
+        let _ = a.duration_since(b);
+    }
+
+    #[test]
+    fn scaled_rounds_to_nearest() {
+        assert_eq!(SimDuration::nanos(100).scaled(1.5), SimDuration::nanos(150));
+        assert_eq!(SimDuration::nanos(3).scaled(0.5), SimDuration::nanos(2)); // 1.5 rounds to 2
+        assert_eq!(SimDuration::nanos(100).scaled(0.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(SimDuration::nanos(15).to_string(), "15ns");
+        assert_eq!(SimDuration::micros(2).to_string(), "2.000us");
+        assert_eq!(SimDuration::millis(3).to_string(), "3.000ms");
+        assert_eq!(SimDuration::secs(4).to_string(), "4.000s");
+    }
+
+    #[test]
+    fn fractional_conversions() {
+        let d = SimDuration::from_micros_f64(2.5);
+        assert_eq!(d.as_nanos(), 2_500);
+        assert_eq!(d.as_micros_f64(), 2.5);
+        assert_eq!(SimDuration::from_micros_f64(-1.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn min_max_and_saturating_sub() {
+        let a = SimDuration::nanos(5);
+        let b = SimDuration::nanos(9);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.saturating_sub(b), SimDuration::ZERO);
+        assert_eq!(b.saturating_sub(a), SimDuration::nanos(4));
+    }
+}

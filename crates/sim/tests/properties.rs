@@ -1,0 +1,58 @@
+//! Property tests for the simulation primitives.
+
+use cg_sim::{OnlineStats, Samples, SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Percentiles are monotone in p and bounded by the extremes.
+    #[test]
+    fn percentiles_are_monotone_and_bounded(
+        values in prop::collection::vec(0.0f64..1e9, 1..300),
+        p1 in 0.0f64..100.0,
+        p2 in 0.0f64..100.0,
+    ) {
+        let mut s: Samples = values.iter().copied().collect();
+        let (lo, hi) = (p1.min(p2), p1.max(p2));
+        let vlo = s.percentile(lo);
+        let vhi = s.percentile(hi);
+        prop_assert!(vlo <= vhi);
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(vlo >= min && vhi <= max);
+    }
+
+    /// Welford merging equals sequential accumulation at any split point.
+    #[test]
+    fn online_stats_merge_is_split_invariant(
+        values in prop::collection::vec(-1e6f64..1e6, 2..200),
+        split in 1usize..199,
+    ) {
+        let split = split.min(values.len() - 1);
+        let mut whole = OnlineStats::new();
+        for &v in &values {
+            whole.record(v);
+        }
+        let mut left = OnlineStats::new();
+        let mut right = OnlineStats::new();
+        for &v in &values[..split] {
+            left.record(v);
+        }
+        for &v in &values[split..] {
+            right.record(v);
+        }
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean() - whole.mean()).abs() < 1e-6);
+        prop_assert!((left.stddev() - whole.stddev()).abs() < 1e-6);
+    }
+
+    /// Duration arithmetic round-trips and scaling is monotone.
+    #[test]
+    fn duration_scaling_is_monotone(ns in 1u64..1_000_000_000, f1 in 0.0f64..10.0, f2 in 0.0f64..10.0) {
+        let d = SimDuration::nanos(ns);
+        let (lo, hi) = (f1.min(f2), f1.max(f2));
+        prop_assert!(d.scaled(lo) <= d.scaled(hi));
+        let t = SimTime::from_nanos(ns);
+        prop_assert_eq!((t + d) - d, t);
+    }
+}

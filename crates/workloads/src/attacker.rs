@@ -1,0 +1,122 @@
+//! Attacker and victim programs for the security scenarios.
+//!
+//! The victim computes on a secret; the attacker alternates its own
+//! compute with microarchitectural probes. Leak detection happens in the
+//! system layer (`cg-attacks`); these programs only generate behaviour.
+
+use cg_machine::SecretId;
+use cg_sim::{SimDuration, SimTime};
+
+use crate::guest::{GuestIrq, GuestOp, WorkloadStats};
+use crate::kernel::AppLogic;
+
+/// A victim that continuously computes on a secret.
+#[derive(Debug)]
+pub struct VictimLoop {
+    secret: SecretId,
+    unit: SimDuration,
+    iterations: u64,
+}
+
+impl VictimLoop {
+    /// Creates a victim computing on `secret` in units of `unit`.
+    pub fn new(secret: SecretId, unit: SimDuration) -> VictimLoop {
+        VictimLoop {
+            secret,
+            unit,
+            iterations: 0,
+        }
+    }
+
+    /// The planted secret.
+    pub fn secret(&self) -> SecretId {
+        self.secret
+    }
+}
+
+impl AppLogic for VictimLoop {
+    fn next_op(&mut self, _vcpu: u32, _now: SimTime) -> GuestOp {
+        self.iterations += 1;
+        GuestOp::SecretCompute {
+            work: self.unit,
+            secret: self.secret,
+        }
+    }
+
+    fn on_irq(&mut self, _vcpu: u32, _irq: GuestIrq, _now: SimTime) {}
+
+    fn stats(&self) -> WorkloadStats {
+        let mut s = WorkloadStats::new();
+        s.counters.add("victim.iterations", self.iterations);
+        s
+    }
+}
+
+/// An attacker that alternates compute with probes of its core.
+#[derive(Debug)]
+pub struct AttackerLoop {
+    unit: SimDuration,
+    probes: u64,
+    next_is_probe: bool,
+}
+
+impl AttackerLoop {
+    /// Creates an attacker probing once per `unit` of its own compute.
+    pub fn new(unit: SimDuration) -> AttackerLoop {
+        AttackerLoop {
+            unit,
+            probes: 0,
+            next_is_probe: true,
+        }
+    }
+
+    /// Probes issued.
+    pub fn probes(&self) -> u64 {
+        self.probes
+    }
+}
+
+impl AppLogic for AttackerLoop {
+    fn next_op(&mut self, _vcpu: u32, _now: SimTime) -> GuestOp {
+        if self.next_is_probe {
+            self.next_is_probe = false;
+            self.probes += 1;
+            GuestOp::Probe
+        } else {
+            self.next_is_probe = true;
+            GuestOp::Compute { work: self.unit }
+        }
+    }
+
+    fn on_irq(&mut self, _vcpu: u32, _irq: GuestIrq, _now: SimTime) {}
+
+    fn stats(&self) -> WorkloadStats {
+        let mut s = WorkloadStats::new();
+        s.counters.add("attacker.probes", self.probes);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn victim_emits_secret_compute() {
+        let mut v = VictimLoop::new(SecretId(9), SimDuration::micros(50));
+        match v.next_op(0, SimTime::ZERO) {
+            GuestOp::SecretCompute { secret, .. } => assert_eq!(secret, SecretId(9)),
+            other => panic!("expected SecretCompute, got {other:?}"),
+        }
+        assert_eq!(v.stats().counters.get("victim.iterations"), 1);
+    }
+
+    #[test]
+    fn attacker_alternates_probe_and_compute() {
+        let mut a = AttackerLoop::new(SimDuration::micros(50));
+        assert!(matches!(a.next_op(0, SimTime::ZERO), GuestOp::Probe));
+        assert!(matches!(a.next_op(0, SimTime::ZERO), GuestOp::Compute { .. }));
+        assert!(matches!(a.next_op(0, SimTime::ZERO), GuestOp::Probe));
+        assert_eq!(a.probes(), 2);
+    }
+}

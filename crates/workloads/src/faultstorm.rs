@@ -1,0 +1,89 @@
+//! A stage-2 fault microbenchmark: the guest keeps touching fresh
+//! unprotected pages, each touch faulting to the host for resolution.
+//! Used by the TDX-ablation experiment (§6.1): the CCA-style interface
+//! invokes the monitor for every page-table change, TDX-style insecure
+//! tables do not.
+
+use cg_sim::{SimDuration, SimTime};
+
+use crate::guest::{GuestIrq, GuestOp, WorkloadStats};
+use crate::kernel::AppLogic;
+
+/// Base of the unprotected half of the 48-bit IPA space.
+const UNPROTECTED_BASE: u64 = 1 << 47;
+
+/// The fault-storm application (vCPU 0 only).
+#[derive(Debug)]
+pub struct FaultStorm {
+    remaining: u64,
+    issued: u64,
+    touch_next: bool,
+}
+
+impl FaultStorm {
+    /// Creates a storm of `faults` page touches.
+    pub fn new(faults: u64) -> FaultStorm {
+        FaultStorm {
+            remaining: faults,
+            issued: 0,
+            touch_next: true,
+        }
+    }
+
+    /// Faults issued so far.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+}
+
+impl AppLogic for FaultStorm {
+    fn next_op(&mut self, vcpu: u32, _now: SimTime) -> GuestOp {
+        if vcpu != 0 {
+            return GuestOp::Wfi;
+        }
+        if self.remaining == 0 {
+            return GuestOp::Shutdown;
+        }
+        if self.touch_next {
+            self.touch_next = false;
+            self.issued += 1;
+            self.remaining -= 1;
+            GuestOp::TouchShared {
+                ipa: UNPROTECTED_BASE + self.issued * 4096,
+            }
+        } else {
+            self.touch_next = true;
+            GuestOp::Compute {
+                work: SimDuration::micros(20),
+            }
+        }
+    }
+
+    fn on_irq(&mut self, _vcpu: u32, _irq: GuestIrq, _now: SimTime) {}
+
+    fn stats(&self) -> WorkloadStats {
+        let mut s = WorkloadStats::new();
+        s.counters.add("faultstorm.faults", self.issued);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alternates_touch_and_compute_then_stops() {
+        let mut f = FaultStorm::new(2);
+        assert!(matches!(f.next_op(0, SimTime::ZERO), GuestOp::TouchShared { .. }));
+        assert!(matches!(f.next_op(0, SimTime::ZERO), GuestOp::Compute { .. }));
+        let second = f.next_op(0, SimTime::ZERO);
+        match second {
+            GuestOp::TouchShared { ipa } => assert_eq!(ipa, (1 << 47) + 2 * 4096),
+            other => panic!("expected TouchShared, got {other:?}"),
+        }
+        f.next_op(0, SimTime::ZERO);
+        assert!(matches!(f.next_op(0, SimTime::ZERO), GuestOp::Shutdown));
+        assert_eq!(f.issued(), 2);
+    }
+}

@@ -1,0 +1,214 @@
+//! IOzone: synchronous block I/O of fig. 9.
+//!
+//! A single-vCPU guest issues O_DIRECT-style synchronous reads and
+//! writes of a given record size to a virtio block device: each request
+//! is submitted, the vCPU waits for completion, and the next request
+//! follows immediately. Throughput is `record size / mean completion
+//! time`.
+
+use std::collections::BTreeMap;
+
+use cg_sim::{Samples, SimTime};
+
+use crate::guest::{GuestIrq, GuestOp, WorkloadStats};
+use crate::kernel::AppLogic;
+
+/// One sweep entry: `(record_bytes, is_write, count)`.
+pub type IozonePhase = (u64, bool, u32);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Submit,
+    Wait,
+    Done,
+}
+
+/// The IOzone application model (vCPU 0 only).
+#[derive(Debug)]
+pub struct Iozone {
+    phases: Vec<IozonePhase>,
+    device: u32,
+    phase_idx: usize,
+    issued_in_phase: u32,
+    state: Phase,
+    submitted_at: SimTime,
+    next_tag: u64,
+    /// Per-request completion time samples (µs), keyed by
+    /// `(record, is_write)`.
+    completions: BTreeMap<(u64, bool), Samples>,
+}
+
+impl Iozone {
+    /// Creates the benchmark over the given phases on guest device
+    /// `device`.
+    pub fn new(phases: Vec<IozonePhase>, device: u32) -> Iozone {
+        assert!(!phases.is_empty(), "empty IOzone sweep");
+        Iozone {
+            phases,
+            device,
+            phase_idx: 0,
+            issued_in_phase: 0,
+            state: Phase::Submit,
+            submitted_at: SimTime::ZERO,
+            next_tag: 0,
+            completions: BTreeMap::new(),
+        }
+    }
+
+    /// A standard sweep: reads then writes for each record size.
+    pub fn standard(device: u32, reps: u32) -> Iozone {
+        let sizes = [4096u64, 16384, 65536, 262144, 1 << 20, 4 << 20, 16 << 20, 64 << 20];
+        let mut phases = Vec::new();
+        for &s in &sizes {
+            phases.push((s, false, reps));
+            phases.push((s, true, reps));
+        }
+        Iozone::new(phases, device)
+    }
+
+    /// Returns `true` once every phase completed.
+    pub fn is_done(&self) -> bool {
+        self.state == Phase::Done
+    }
+
+    /// Completion-time samples per `(record, is_write)`.
+    pub fn completions(&self) -> &BTreeMap<(u64, bool), Samples> {
+        &self.completions
+    }
+
+    /// Mean throughput in MiB/s for `(record, is_write)`.
+    pub fn throughput_mibs(&self, record: u64, is_write: bool) -> Option<f64> {
+        let s = self.completions.get(&(record, is_write))?;
+        if s.is_empty() {
+            return None;
+        }
+        let mean_us = s.mean();
+        Some(record as f64 / (1 << 20) as f64 / (mean_us / 1e6))
+    }
+}
+
+impl AppLogic for Iozone {
+    fn next_op(&mut self, vcpu: u32, now: SimTime) -> GuestOp {
+        if vcpu != 0 {
+            return GuestOp::Wfi;
+        }
+        match self.state {
+            Phase::Submit => {
+                let (bytes, is_write, _) = self.phases[self.phase_idx];
+                self.state = Phase::Wait;
+                self.submitted_at = now;
+                self.next_tag += 1;
+                if is_write {
+                    GuestOp::DiskWrite {
+                        device: self.device,
+                        bytes,
+                        tag: self.next_tag,
+                    }
+                } else {
+                    GuestOp::DiskRead {
+                        device: self.device,
+                        bytes,
+                        tag: self.next_tag,
+                    }
+                }
+            }
+            Phase::Wait => GuestOp::Wfi,
+            Phase::Done => GuestOp::Shutdown,
+        }
+    }
+
+    fn on_irq(&mut self, vcpu: u32, irq: GuestIrq, now: SimTime) {
+        if vcpu != 0 {
+            return;
+        }
+        if let GuestIrq::DiskDone { tag, .. } = irq {
+            if self.state == Phase::Wait && tag == self.next_tag {
+                let (bytes, is_write, count) = self.phases[self.phase_idx];
+                self.completions
+                    .entry((bytes, is_write))
+                    .or_default()
+                    .record(now.duration_since(self.submitted_at).as_micros_f64());
+                self.issued_in_phase += 1;
+                if self.issued_in_phase >= count {
+                    self.issued_in_phase = 0;
+                    self.phase_idx += 1;
+                }
+                self.state = if self.phase_idx >= self.phases.len() {
+                    Phase::Done
+                } else {
+                    Phase::Submit
+                };
+            }
+        }
+    }
+
+    fn stats(&self) -> WorkloadStats {
+        let mut stats = WorkloadStats::new();
+        for ((bytes, is_write), samples) in &self.completions {
+            let dir = if *is_write { "write" } else { "read" };
+            stats
+                .samples
+                .insert(format!("io_us_{dir}_{bytes}"), samples.clone());
+        }
+        stats.counters.add("iozone.requests", self.next_tag);
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cg_sim::SimDuration;
+
+    fn done(tag: u64) -> GuestIrq {
+        GuestIrq::DiskDone { device: 0, tag }
+    }
+
+    #[test]
+    fn sync_io_sequence() {
+        let mut io = Iozone::new(vec![(4096, false, 2), (4096, true, 1)], 0);
+        let t0 = SimTime::ZERO;
+        assert!(matches!(
+            io.next_op(0, t0),
+            GuestOp::DiskRead { bytes: 4096, tag: 1, .. }
+        ));
+        assert!(matches!(io.next_op(0, t0), GuestOp::Wfi));
+        io.on_irq(0, done(1), t0 + SimDuration::micros(80));
+        assert!(matches!(io.next_op(0, t0), GuestOp::DiskRead { tag: 2, .. }));
+        io.on_irq(0, done(2), t0 + SimDuration::micros(160));
+        // Write phase.
+        assert!(matches!(io.next_op(0, t0), GuestOp::DiskWrite { tag: 3, .. }));
+        io.on_irq(0, done(3), t0 + SimDuration::micros(240));
+        assert!(io.is_done());
+        assert!(matches!(io.next_op(0, t0), GuestOp::Shutdown));
+    }
+
+    #[test]
+    fn throughput_from_completions() {
+        let mut io = Iozone::new(vec![(1 << 20, false, 1)], 0);
+        io.next_op(0, SimTime::ZERO);
+        // 1 MiB in 1000 µs = 1000 MiB/s.
+        io.on_irq(0, done(1), SimTime::ZERO + SimDuration::micros(1000));
+        let tput = io.throughput_mibs(1 << 20, false).unwrap();
+        assert!((tput - 1000.0).abs() < 1e-6);
+        assert_eq!(io.throughput_mibs(1 << 20, true), None);
+    }
+
+    #[test]
+    fn stale_completion_ignored() {
+        let mut io = Iozone::new(vec![(4096, false, 1)], 0);
+        io.next_op(0, SimTime::ZERO);
+        io.on_irq(0, done(42), SimTime::ZERO);
+        assert!(!io.is_done());
+    }
+
+    #[test]
+    fn stats_name_directions() {
+        let mut io = Iozone::new(vec![(4096, true, 1)], 0);
+        io.next_op(0, SimTime::ZERO);
+        io.on_irq(0, done(1), SimTime::ZERO + SimDuration::micros(10));
+        let stats = io.stats();
+        assert!(stats.sample("io_us_write_4096").is_some());
+        assert_eq!(stats.counters.get("iozone.requests"), 1);
+    }
+}

@@ -1,0 +1,254 @@
+//! The parallel kernel-build workload of fig. 10.
+//!
+//! A fixed pool of compile jobs; each vCPU is a `make` worker that pulls
+//! the next job, reads the source from the virtio disk, compiles
+//! (compute), and writes the object back. Build time is when the last
+//! job finishes. The disk traffic puts core gapping at a disadvantage
+//! (virtio contention on the host core), which is exactly the trade-off
+//! fig. 10 measures.
+
+use cg_sim::{SimDuration, SimRng, SimTime};
+
+use crate::guest::{GuestIrq, GuestOp, WorkloadStats};
+use crate::kernel::AppLogic;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WorkerState {
+    /// Ready to pull a job.
+    Pull,
+    /// Ready to issue the source read.
+    Read,
+    /// Waiting for the read completion.
+    ReadWait,
+    /// Ready to run the compile compute.
+    Compile,
+    /// Compile done; ready to issue the object write.
+    Write,
+    /// Waiting for the write completion.
+    WriteWait,
+    /// No jobs left.
+    Finished,
+}
+
+#[derive(Debug)]
+struct Worker {
+    state: WorkerState,
+    tag: u64,
+    /// Jittered compile time of the current job.
+    compile: SimDuration,
+}
+
+/// The parallel build.
+#[derive(Debug)]
+pub struct KernelBuild {
+    workers: Vec<Worker>,
+    jobs_remaining: u64,
+    jobs_done: u64,
+    device: u32,
+    source_bytes: u64,
+    object_bytes: u64,
+    mean_compile: SimDuration,
+    rng: SimRng,
+    next_tag: u64,
+    finished_at: Option<SimTime>,
+}
+
+impl KernelBuild {
+    /// Creates a build of `jobs` compile units across `num_vcpus`
+    /// workers, on guest disk `device`.
+    pub fn new(num_vcpus: u32, jobs: u64, device: u32, seed: u64) -> KernelBuild {
+        KernelBuild {
+            workers: (0..num_vcpus)
+                .map(|_| Worker {
+                    state: WorkerState::Pull,
+                    tag: 0,
+                    compile: SimDuration::ZERO,
+                })
+                .collect(),
+            jobs_remaining: jobs,
+            jobs_done: 0,
+            device,
+            source_bytes: 192 << 10,  // ~192 KiB of headers + source
+            object_bytes: 96 << 10,   // ~96 KiB object
+            mean_compile: SimDuration::millis(60),
+            rng: SimRng::seed(seed),
+            next_tag: 0,
+            finished_at: None,
+        }
+    }
+
+    /// Jobs completed.
+    pub fn jobs_done(&self) -> u64 {
+        self.jobs_done
+    }
+
+    /// When the last job finished, if the build is complete.
+    pub fn finished_at(&self) -> Option<SimTime> {
+        self.finished_at
+    }
+
+    /// Returns `true` when all jobs are done and all workers halted.
+    pub fn is_done(&self) -> bool {
+        self.jobs_remaining == 0 && self.workers.iter().all(|w| w.state == WorkerState::Finished)
+    }
+}
+
+impl AppLogic for KernelBuild {
+    fn next_op(&mut self, vcpu: u32, now: SimTime) -> GuestOp {
+        let device = self.device;
+        let source = self.source_bytes;
+        let object = self.object_bytes;
+        loop {
+            let w = &mut self.workers[vcpu as usize];
+            match w.state {
+                WorkerState::Pull => {
+                    if self.jobs_remaining == 0 {
+                        w.state = WorkerState::Finished;
+                        continue;
+                    }
+                    self.jobs_remaining -= 1;
+                    w.compile = self.rng.jitter(self.mean_compile, 0.4);
+                    w.state = WorkerState::Read;
+                    continue;
+                }
+                WorkerState::Read => {
+                    self.next_tag += 1;
+                    w.tag = self.next_tag;
+                    w.state = WorkerState::ReadWait;
+                    return GuestOp::DiskRead {
+                        device,
+                        bytes: source,
+                        tag: w.tag,
+                    };
+                }
+                WorkerState::ReadWait | WorkerState::WriteWait => return GuestOp::Wfi,
+                WorkerState::Compile => {
+                    // Run the compile; the object write is issued on the
+                    // next call, after the compute completes.
+                    w.state = WorkerState::Write;
+                    return GuestOp::Compute { work: w.compile };
+                }
+                WorkerState::Write => {
+                    self.next_tag += 1;
+                    w.tag = self.next_tag;
+                    w.state = WorkerState::WriteWait;
+                    return GuestOp::DiskWrite {
+                        device,
+                        bytes: object,
+                        tag: w.tag,
+                    };
+                }
+                WorkerState::Finished => {
+                    let _ = now;
+                    return GuestOp::Shutdown;
+                }
+            }
+        }
+    }
+
+    fn on_irq(&mut self, vcpu: u32, irq: GuestIrq, now: SimTime) {
+        if let GuestIrq::DiskDone { tag, .. } = irq {
+            let w = &mut self.workers[vcpu as usize];
+            match w.state {
+                WorkerState::ReadWait if tag == w.tag => {
+                    w.state = WorkerState::Compile;
+                }
+                WorkerState::WriteWait if tag == w.tag => {
+                    w.state = WorkerState::Pull;
+                    self.jobs_done += 1;
+                    if self.jobs_remaining == 0
+                        && self
+                            .workers
+                            .iter()
+                            .all(|w| matches!(w.state, WorkerState::Pull | WorkerState::Finished))
+                    {
+                        self.finished_at = Some(now);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn stats(&self) -> WorkloadStats {
+        let mut stats = WorkloadStats::new();
+        stats.counters.add("kbuild.jobs_done", self.jobs_done);
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive_one_job(kb: &mut KernelBuild, vcpu: u32, mut t: SimTime) -> SimTime {
+        // Read.
+        let op = kb.next_op(vcpu, t);
+        let tag = match op {
+            GuestOp::DiskRead { tag, .. } => tag,
+            other => panic!("expected DiskRead, got {other:?}"),
+        };
+        assert!(matches!(kb.next_op(vcpu, t), GuestOp::Wfi));
+        t += SimDuration::micros(200);
+        kb.on_irq(vcpu, GuestIrq::DiskDone { device: 0, tag }, t);
+        // Compile.
+        let work = match kb.next_op(vcpu, t) {
+            GuestOp::Compute { work } => work,
+            other => panic!("expected Compute, got {other:?}"),
+        };
+        assert!(work > SimDuration::ZERO);
+        t += work;
+        // Write.
+        let tag = match kb.next_op(vcpu, t) {
+            GuestOp::DiskWrite { tag, .. } => tag,
+            other => panic!("expected DiskWrite, got {other:?}"),
+        };
+        t += SimDuration::micros(150);
+        kb.on_irq(vcpu, GuestIrq::DiskDone { device: 0, tag }, t);
+        t
+    }
+
+    #[test]
+    fn single_worker_completes_jobs() {
+        let mut kb = KernelBuild::new(1, 3, 0, 42);
+        let mut t = SimTime::ZERO;
+        for _ in 0..3 {
+            t = drive_one_job(&mut kb, 0, t);
+        }
+        assert_eq!(kb.jobs_done(), 3);
+        assert_eq!(kb.finished_at(), Some(t));
+        assert!(matches!(kb.next_op(0, t), GuestOp::Shutdown));
+        assert!(kb.is_done());
+    }
+
+    #[test]
+    fn workers_share_the_job_pool() {
+        let mut kb = KernelBuild::new(2, 3, 0, 1);
+        let t = SimTime::ZERO;
+        // Both workers start a job; only one job remains unpulled after
+        // worker 0 and 1 each pull one.
+        let t0 = drive_one_job(&mut kb, 0, t);
+        let _t1 = drive_one_job(&mut kb, 1, t);
+        let _ = drive_one_job(&mut kb, 0, t0);
+        assert_eq!(kb.jobs_done(), 3);
+        // Worker 1 now finds the pool empty.
+        assert!(matches!(kb.next_op(1, t0), GuestOp::Shutdown));
+    }
+
+    #[test]
+    fn compile_times_are_jittered_but_deterministic() {
+        let mut a = KernelBuild::new(1, 2, 0, 7);
+        let mut b = KernelBuild::new(1, 2, 0, 7);
+        let ta = drive_one_job(&mut a, 0, SimTime::ZERO);
+        let tb = drive_one_job(&mut b, 0, SimTime::ZERO);
+        assert_eq!(ta, tb, "same seed, same schedule");
+    }
+
+    #[test]
+    fn stale_disk_completion_ignored() {
+        let mut kb = KernelBuild::new(1, 1, 0, 3);
+        kb.next_op(0, SimTime::ZERO); // issues read tag 1
+        kb.on_irq(0, GuestIrq::DiskDone { device: 0, tag: 99 }, SimTime::ZERO);
+        assert!(matches!(kb.next_op(0, SimTime::ZERO), GuestOp::Wfi));
+    }
+}

@@ -1,0 +1,43 @@
+//! # cg-workloads — guest programs and benchmark workloads
+//!
+//! The guest side of the simulation: what runs *inside* a (confidential)
+//! VM. A guest is modelled as a [`GuestProgram`] — a state machine that
+//! yields architectural operations ([`GuestOp`]) and receives virtual
+//! interrupts ([`GuestIrq`]). The system layer in `cg-core` drives it on
+//! the simulated cores, charging compute through the microarchitectural
+//! warmth model and routing I/O through the host stack.
+//!
+//! [`kernel::GuestKernel`] provides the guest-kernel behaviour every
+//! workload shares — the periodic timer tick (the dominant exit source in
+//! the paper's table 4), interrupt handling work, and an op queue — and
+//! delegates application behaviour to an [`AppLogic`] implementation:
+//!
+//! * [`coremark::CoremarkPro`] — the CPU-intensive benchmark of figs. 6/7
+//!   and table 4.
+//! * [`netpipe::Netpipe`] — the ping-pong network benchmark of fig. 8.
+//! * [`iozone::Iozone`] — sync virtio-blk read/write of fig. 9.
+//! * [`redis::RedisServer`] — the request/response server of table 5
+//!   (with [`peer::RedisClientPool`] as the 50-client load generator).
+//! * [`kbuild::KernelBuild`] — the parallel compile of fig. 10.
+//!
+//! Network benchmarks talk to a [`peer::NetPeer`] — a model of the remote
+//! host on the other end of the wire.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod attacker;
+pub mod coremark;
+pub mod faultstorm;
+pub mod guest;
+pub mod iozone;
+pub mod ipibench;
+pub mod kbuild;
+pub mod kernel;
+pub mod netpipe;
+pub mod peer;
+pub mod redis;
+
+pub use guest::{GuestIrq, GuestOp, GuestProgram, WorkloadStats};
+pub use kernel::{AppLogic, GuestKernel};
+pub use peer::{EchoPeer, NetPeer, PeerPacket, RedisClientPool};

@@ -1,0 +1,262 @@
+//! NetPIPE: the ping-pong network benchmark of fig. 8.
+//!
+//! A single-vCPU guest exchanges messages of increasing size with a
+//! remote [`crate::peer::EchoPeer`], measuring the round-trip time per
+//! size. Throughput at size `s` is `2s / rtt` (one message each way per
+//! round trip).
+
+use std::collections::BTreeMap;
+
+use cg_sim::{Samples, SimTime};
+
+use crate::guest::{GuestIrq, GuestOp, WorkloadStats};
+use crate::kernel::AppLogic;
+
+/// State of the current ping-pong.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Touch the outgoing buffer (copy/checksum work).
+    Prep,
+    /// Ready to send the next message.
+    Send,
+    /// Waiting for the echo.
+    Wait,
+    /// Touch the received buffer.
+    Consume,
+    /// All sizes done.
+    Done,
+}
+
+/// The NetPIPE application model (vCPU 0 only).
+#[derive(Debug)]
+pub struct Netpipe {
+    /// Message sizes to sweep.
+    sizes: Vec<u64>,
+    /// Repetitions per size.
+    reps: u32,
+    device: u32,
+    size_idx: usize,
+    rep: u32,
+    phase: Phase,
+    sent_at: SimTime,
+    seq: u64,
+    /// Guest-side per-byte buffer work in nanoseconds (memcpy +
+    /// checksum; the compute that makes large messages CPU-intensive,
+    /// §5.3).
+    touch_ns_per_byte: f64,
+    /// RTT samples (µs) per size.
+    rtts: BTreeMap<u64, Samples>,
+}
+
+impl Netpipe {
+    /// Creates the benchmark sweeping `sizes` with `reps` round trips
+    /// each, on guest device `device`.
+    pub fn new(sizes: Vec<u64>, reps: u32, device: u32) -> Netpipe {
+        assert!(!sizes.is_empty() && reps > 0, "empty NetPIPE sweep");
+        Netpipe {
+            sizes,
+            reps,
+            device,
+            size_idx: 0,
+            rep: 0,
+            phase: Phase::Prep,
+            sent_at: SimTime::ZERO,
+            seq: 0,
+            touch_ns_per_byte: 0.15,
+            rtts: BTreeMap::new(),
+        }
+    }
+
+    /// Sets the guest-side per-byte buffer cost (ns/byte).
+    pub fn with_touch_cost(mut self, ns_per_byte: f64) -> Netpipe {
+        self.touch_ns_per_byte = ns_per_byte;
+        self
+    }
+
+    /// The default sweep: 64 B to 1 MiB, powers of four.
+    pub fn standard(device: u32, reps: u32) -> Netpipe {
+        Netpipe::new(
+            vec![64, 256, 1024, 4096, 16384, 65536, 262144, 1 << 20],
+            reps,
+            device,
+        )
+    }
+
+    /// Returns `true` once all sizes completed.
+    pub fn is_done(&self) -> bool {
+        self.phase == Phase::Done
+    }
+
+    /// RTT samples per message size (µs).
+    pub fn rtts(&self) -> &BTreeMap<u64, Samples> {
+        &self.rtts
+    }
+
+    /// Mean throughput at `size` in megabits per second, from the
+    /// recorded RTTs.
+    pub fn throughput_mbps(&mut self, size: u64) -> Option<f64> {
+        let samples = self.rtts.get_mut(&size)?;
+        if samples.is_empty() {
+            return None;
+        }
+        // Median RTT; 2 transfers of `size` per round trip. Bits per
+        // microsecond happens to equal megabits per second.
+        let rtt_us = samples.percentile(50.0);
+        Some((2.0 * size as f64 * 8.0) / rtt_us)
+    }
+
+    fn current_size(&self) -> u64 {
+        self.sizes[self.size_idx]
+    }
+}
+
+impl AppLogic for Netpipe {
+    fn next_op(&mut self, vcpu: u32, now: SimTime) -> GuestOp {
+        if vcpu != 0 {
+            return GuestOp::Wfi; // helper vCPUs idle
+        }
+        match self.phase {
+            Phase::Prep => {
+                self.phase = Phase::Send;
+                // RTT measurement starts before buffer preparation, as
+                // in NetPIPE itself.
+                self.sent_at = now;
+                GuestOp::Compute {
+                    work: cg_sim::SimDuration::from_nanos_f64(
+                        self.current_size() as f64 * self.touch_ns_per_byte,
+                    ),
+                }
+            }
+            Phase::Send => {
+                self.phase = Phase::Wait;
+                self.seq += 1;
+                GuestOp::NetSend {
+                    device: self.device,
+                    bytes: self.current_size(),
+                    flow: self.seq,
+                }
+            }
+            Phase::Wait => GuestOp::Wfi,
+            Phase::Consume => {
+                self.phase = Phase::Prep;
+                GuestOp::Compute {
+                    work: cg_sim::SimDuration::from_nanos_f64(
+                        self.current_size() as f64 * self.touch_ns_per_byte,
+                    ),
+                }
+            }
+            Phase::Done => GuestOp::Shutdown,
+        }
+    }
+
+    fn on_irq(&mut self, vcpu: u32, irq: GuestIrq, now: SimTime) {
+        if vcpu != 0 {
+            return;
+        }
+        if let GuestIrq::NetRx { flow, .. } = irq {
+            if self.phase == Phase::Wait && flow == self.seq {
+                let rtt = now.duration_since(self.sent_at).as_micros_f64();
+                let size = self.current_size();
+                self.rtts.entry(size).or_default().record(rtt);
+                self.rep += 1;
+                if self.rep >= self.reps {
+                    self.rep = 0;
+                    self.size_idx += 1;
+                }
+                self.phase = if self.size_idx >= self.sizes.len() {
+                    Phase::Done
+                } else {
+                    Phase::Consume
+                };
+            }
+        }
+    }
+
+    fn stats(&self) -> WorkloadStats {
+        let mut stats = WorkloadStats::new();
+        for (size, samples) in &self.rtts {
+            stats.samples.insert(format!("rtt_us_{size}"), samples.clone());
+        }
+        stats.counters.add("netpipe.round_trips", self.seq);
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cg_sim::SimDuration;
+
+    fn rx(flow: u64) -> GuestIrq {
+        GuestIrq::NetRx {
+            device: 0,
+            bytes: 64,
+            flow,
+        }
+    }
+
+    /// Advances through the Prep compute and returns the send op.
+    fn prep_then_send(np: &mut Netpipe, t: SimTime) -> GuestOp {
+        assert!(matches!(np.next_op(0, t), GuestOp::Compute { .. }));
+        np.next_op(0, t)
+    }
+
+    #[test]
+    fn ping_pong_sequence() {
+        let mut np = Netpipe::new(vec![64, 256], 2, 0);
+        let t0 = SimTime::ZERO;
+        // First: prep compute, then the send.
+        match prep_then_send(&mut np, t0) {
+            GuestOp::NetSend { bytes, flow, .. } => {
+                assert_eq!(bytes, 64);
+                assert_eq!(flow, 1);
+            }
+            other => panic!("expected NetSend, got {other:?}"),
+        }
+        // While waiting: WFI.
+        assert!(matches!(np.next_op(0, t0), GuestOp::Wfi));
+        // Echo arrives 100 µs later; the consume compute follows.
+        np.on_irq(0, rx(1), t0 + SimDuration::micros(100));
+        assert!(!np.is_done());
+        assert!(matches!(np.next_op(0, t0), GuestOp::Compute { .. })); // consume
+        // rep 2 of size 64.
+        assert!(matches!(prep_then_send(&mut np, t0), GuestOp::NetSend { bytes: 64, .. }));
+        np.on_irq(0, rx(2), t0 + SimDuration::micros(250));
+        np.next_op(0, t0); // consume
+        // Now size 256.
+        assert!(matches!(prep_then_send(&mut np, t0), GuestOp::NetSend { bytes: 256, .. }));
+        np.on_irq(0, rx(3), t0 + SimDuration::micros(400));
+        np.next_op(0, t0); // consume
+        assert!(matches!(prep_then_send(&mut np, t0), GuestOp::NetSend { bytes: 256, .. }));
+        np.on_irq(0, rx(4), t0 + SimDuration::micros(600));
+        assert!(np.is_done());
+        assert!(matches!(np.next_op(0, t0), GuestOp::Shutdown));
+    }
+
+    #[test]
+    fn rtt_recorded_per_size() {
+        let mut np = Netpipe::new(vec![64], 1, 0);
+        let t0 = SimTime::ZERO;
+        prep_then_send(&mut np, t0);
+        np.on_irq(0, rx(1), t0 + SimDuration::micros(42));
+        let rtts = np.rtts();
+        assert_eq!(rtts[&64].len(), 1);
+        let stats = np.stats();
+        assert!((stats.sample("rtt_us_64").unwrap().mean() - 42.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stale_or_wrong_flow_ignored() {
+        let mut np = Netpipe::new(vec![64], 1, 0);
+        np.next_op(0, SimTime::ZERO);
+        np.on_irq(0, rx(99), SimTime::ZERO + SimDuration::micros(5));
+        assert!(!np.is_done());
+        assert!(np.rtts().is_empty());
+    }
+
+    #[test]
+    fn helper_vcpus_idle() {
+        let mut np = Netpipe::new(vec![64], 1, 0);
+        assert!(matches!(np.next_op(1, SimTime::ZERO), GuestOp::Wfi));
+    }
+}

@@ -1,0 +1,267 @@
+//! Network peers: the machine on the other end of the wire.
+//!
+//! The paper's network benchmarks involve a second, unmodified server
+//! (§5.1). Peers are event-driven models living outside the simulated
+//! machine: they receive packets after the wire latency and reply after a
+//! think/service time.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use cg_sim::{Samples, SimDuration, SimTime};
+
+/// A packet as the peer sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeerPacket {
+    /// On-wire size in bytes.
+    pub bytes: u64,
+    /// Flow tag (matches [`crate::guest::GuestOp::NetSend`]).
+    pub flow: u64,
+}
+
+/// A network peer: receives guest packets, emits reply packets.
+pub trait NetPeer: fmt::Debug {
+    /// A packet from the guest arrived at `now`. Returns packets to send
+    /// back, each with a delay relative to `now` (service time).
+    fn on_packet(&mut self, pkt: PeerPacket, now: SimTime) -> Vec<(SimDuration, PeerPacket)>;
+
+    /// Packets the peer spontaneously sends at simulation start (e.g. a
+    /// client pool's first requests). Returns `(time, packet)` pairs.
+    fn initial_packets(&mut self) -> Vec<(SimTime, PeerPacket)>;
+
+    /// Latency samples collected by the peer (microseconds), keyed by
+    /// series name.
+    fn latency_samples(&self) -> BTreeMap<String, Samples>;
+
+    /// Returns `true` once the peer has finished its load (closed-loop
+    /// client pools); open-ended peers return `false` forever.
+    fn is_done(&self) -> bool {
+        false
+    }
+
+    /// Requests completed by the peer, if it counts them.
+    fn completed(&self) -> u64 {
+        0
+    }
+}
+
+/// The NetPIPE peer: echoes every packet back after a fixed processing
+/// time (the remote NetPIPE process).
+#[derive(Debug)]
+pub struct EchoPeer {
+    service: SimDuration,
+    echoed: u64,
+}
+
+impl EchoPeer {
+    /// Creates an echo peer with the given per-packet service time.
+    pub fn new(service: SimDuration) -> EchoPeer {
+        EchoPeer { service, echoed: 0 }
+    }
+
+    /// Packets echoed so far.
+    pub fn echoed(&self) -> u64 {
+        self.echoed
+    }
+}
+
+impl NetPeer for EchoPeer {
+    fn on_packet(&mut self, pkt: PeerPacket, _now: SimTime) -> Vec<(SimDuration, PeerPacket)> {
+        self.echoed += 1;
+        vec![(self.service, pkt)]
+    }
+
+    fn initial_packets(&mut self) -> Vec<(SimTime, PeerPacket)> {
+        Vec::new()
+    }
+
+    fn latency_samples(&self) -> BTreeMap<String, Samples> {
+        BTreeMap::new()
+    }
+}
+
+/// One closed-loop Redis client.
+#[derive(Debug, Clone, Copy)]
+struct Client {
+    /// When the outstanding request was sent (None = idle).
+    sent_at: Option<SimTime>,
+}
+
+/// The redis-benchmark client pool: `n` closed-loop clients issuing one
+/// command type, measuring per-request latency (table 5: 50 clients,
+/// 512-byte objects).
+#[derive(Debug)]
+pub struct RedisClientPool {
+    clients: Vec<Client>,
+    request_bytes: u64,
+    /// Completed requests.
+    completed: u64,
+    /// Latency samples in microseconds.
+    latencies: Samples,
+    /// Stop issuing new requests after this many completions.
+    target: u64,
+}
+
+impl RedisClientPool {
+    /// Creates `n` clients sending requests of `request_bytes`, stopping
+    /// after `target` total completions.
+    pub fn new(n: u32, request_bytes: u64, target: u64) -> RedisClientPool {
+        RedisClientPool {
+            clients: vec![Client { sent_at: None }; n as usize],
+            request_bytes,
+            completed: 0,
+            latencies: Samples::new(),
+            target,
+        }
+    }
+
+    /// Completed requests.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Returns `true` once the target completions are reached.
+    pub fn is_done(&self) -> bool {
+        self.completed >= self.target
+    }
+
+    /// Throughput in requests/second over `elapsed`.
+    pub fn throughput(&self, elapsed: SimDuration) -> f64 {
+        if elapsed.is_zero() {
+            0.0
+        } else {
+            self.completed as f64 / elapsed.as_secs_f64()
+        }
+    }
+
+    fn request(&self, client: usize) -> PeerPacket {
+        PeerPacket {
+            bytes: self.request_bytes,
+            flow: client as u64,
+        }
+    }
+}
+
+impl NetPeer for RedisClientPool {
+    fn on_packet(&mut self, pkt: PeerPacket, now: SimTime) -> Vec<(SimDuration, PeerPacket)> {
+        // A response for client `flow`.
+        let idx = pkt.flow as usize;
+        if idx >= self.clients.len() {
+            return Vec::new();
+        }
+        if let Some(sent) = self.clients[idx].sent_at.take() {
+            self.completed += 1;
+            self.latencies
+                .record(now.duration_since(sent).as_micros_f64());
+        }
+        if self.completed + self.outstanding() < self.target {
+            self.clients[idx].sent_at = Some(now);
+            vec![(SimDuration::ZERO, self.request(idx))]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn initial_packets(&mut self) -> Vec<(SimTime, PeerPacket)> {
+        let mut out = Vec::new();
+        for i in 0..self.clients.len() {
+            self.clients[i].sent_at = Some(SimTime::ZERO);
+            out.push((SimTime::ZERO, self.request(i)));
+        }
+        out
+    }
+
+    fn latency_samples(&self) -> BTreeMap<String, Samples> {
+        let mut m = BTreeMap::new();
+        m.insert("request_us".to_owned(), self.latencies.clone());
+        m
+    }
+
+    fn is_done(&self) -> bool {
+        self.completed >= self.target
+    }
+
+    fn completed(&self) -> u64 {
+        self.completed
+    }
+}
+
+impl RedisClientPool {
+    fn outstanding(&self) -> u64 {
+        self.clients.iter().filter(|c| c.sent_at.is_some()).count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn echo_peer_bounces_packets() {
+        let mut p = EchoPeer::new(SimDuration::micros(2));
+        let replies = p.on_packet(PeerPacket { bytes: 100, flow: 1 }, SimTime::ZERO);
+        assert_eq!(replies.len(), 1);
+        assert_eq!(replies[0].0, SimDuration::micros(2));
+        assert_eq!(replies[0].1.bytes, 100);
+        assert_eq!(p.echoed(), 1);
+        assert!(p.initial_packets().is_empty());
+    }
+
+    #[test]
+    fn client_pool_issues_initial_burst() {
+        let mut pool = RedisClientPool::new(50, 512, 1000);
+        let initial = pool.initial_packets();
+        assert_eq!(initial.len(), 50);
+        assert!(initial.iter().all(|(t, _)| *t == SimTime::ZERO));
+    }
+
+    #[test]
+    fn closed_loop_reissues_after_response() {
+        let mut pool = RedisClientPool::new(2, 512, 10);
+        pool.initial_packets();
+        let t1 = SimTime::from_nanos(500_000);
+        let next = pool.on_packet(PeerPacket { bytes: 512, flow: 0 }, t1);
+        assert_eq!(next.len(), 1);
+        assert_eq!(pool.completed(), 1);
+        let samples = pool.latency_samples();
+        assert_eq!(samples["request_us"].len(), 1);
+        assert!((samples["request_us"].mean() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pool_stops_at_target() {
+        let mut pool = RedisClientPool::new(1, 512, 2);
+        pool.initial_packets();
+        let mut t = SimTime::ZERO;
+        for _ in 0..2 {
+            t += SimDuration::micros(100);
+            pool.on_packet(PeerPacket { bytes: 512, flow: 0 }, t);
+        }
+        assert!(pool.is_done());
+        let next = pool.on_packet(PeerPacket { bytes: 512, flow: 0 }, t);
+        assert!(next.is_empty());
+    }
+
+    #[test]
+    fn unknown_flow_is_ignored() {
+        let mut pool = RedisClientPool::new(1, 512, 10);
+        pool.initial_packets();
+        assert!(pool
+            .on_packet(PeerPacket { bytes: 512, flow: 99 }, SimTime::ZERO)
+            .is_empty());
+        assert_eq!(pool.completed(), 0);
+    }
+
+    #[test]
+    fn throughput_computation() {
+        let mut pool = RedisClientPool::new(1, 512, 100);
+        pool.initial_packets();
+        let mut t = SimTime::ZERO;
+        for _ in 0..50 {
+            t += SimDuration::millis(1);
+            pool.on_packet(PeerPacket { bytes: 512, flow: 0 }, t);
+        }
+        let tput = pool.throughput(SimDuration::secs(1));
+        assert!((tput - 50.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,219 @@
+//! The Redis server model of table 5.
+//!
+//! Redis is single-threaded: vCPU 0 runs the event loop, processing
+//! requests in arrival order; other vCPUs handle kernel work and idle.
+//! Each command costs a service time (CPU) plus per-request network-stack
+//! work, and produces a response of a command-dependent size. Requests
+//! arrive from the [`crate::peer::RedisClientPool`] over the (SR-IOV)
+//! NIC.
+
+use std::collections::VecDeque;
+
+use cg_sim::{SimDuration, SimTime};
+
+use crate::guest::{GuestIrq, GuestOp, WorkloadStats};
+use crate::kernel::AppLogic;
+
+/// The benchmarked Redis commands (table 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RedisCommand {
+    /// `SET key <512-byte value>`.
+    Set,
+    /// `GET key` returning a 512-byte value.
+    Get,
+    /// `LRANGE key 0 99` returning 100 elements.
+    Lrange100,
+}
+
+impl RedisCommand {
+    /// Server-side CPU cost of executing the command (dictionary /
+    /// list traversal work, excluding the network stack).
+    pub fn service_time(self) -> SimDuration {
+        match self {
+            RedisCommand::Set => SimDuration::nanos(10_300),
+            RedisCommand::Get => SimDuration::nanos(10_500),
+            // LRANGE 100 walks and serialises 100 list nodes.
+            RedisCommand::Lrange100 => SimDuration::nanos(75_500),
+        }
+    }
+
+    /// Response payload size in bytes.
+    pub fn response_bytes(self) -> u64 {
+        match self {
+            RedisCommand::Set => 64,        // +OK
+            RedisCommand::Get => 576,       // 512-byte value + framing
+            RedisCommand::Lrange100 => 6_400, // 100 × 64-byte elements
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingRequest {
+    flow: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    /// Waiting for requests.
+    Idle,
+    /// Executing the command for the front request.
+    Executing,
+    /// Response send queued next.
+    Respond,
+}
+
+/// The Redis server application.
+#[derive(Debug)]
+pub struct RedisServer {
+    command: RedisCommand,
+    device: u32,
+    /// Per-request guest network-stack work (driver + TCP/IP in + out).
+    stack_work: SimDuration,
+    queue: VecDeque<PendingRequest>,
+    state: State,
+    served: u64,
+}
+
+impl RedisServer {
+    /// Creates a server executing `command` for every request, on guest
+    /// device `device`.
+    pub fn new(command: RedisCommand, device: u32) -> RedisServer {
+        RedisServer {
+            command,
+            device,
+            stack_work: SimDuration::nanos(6_200),
+            queue: VecDeque::new(),
+            state: State::Idle,
+            served: 0,
+        }
+    }
+
+    /// Requests fully served.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// The benchmarked command.
+    pub fn command(&self) -> RedisCommand {
+        self.command
+    }
+
+    /// Queued (not yet executed) requests.
+    pub fn backlog(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+impl AppLogic for RedisServer {
+    fn next_op(&mut self, vcpu: u32, _now: SimTime) -> GuestOp {
+        if vcpu != 0 {
+            // Redis is single-threaded; helper vCPUs idle.
+            return GuestOp::Wfi;
+        }
+        match self.state {
+            State::Idle => {
+                if self.queue.is_empty() {
+                    GuestOp::Wfi
+                } else {
+                    self.state = State::Executing;
+                    GuestOp::Compute {
+                        work: self.stack_work + self.command.service_time(),
+                    }
+                }
+            }
+            State::Executing => {
+                // The compute completed: send the response.
+                self.state = State::Respond;
+                let req = self.queue.pop_front().expect("executing implies queued");
+                self.served += 1;
+                GuestOp::NetSend {
+                    device: self.device,
+                    bytes: self.command.response_bytes(),
+                    flow: req.flow,
+                }
+            }
+            State::Respond => {
+                // Response sent: back to the loop.
+                self.state = State::Idle;
+                self.next_op(vcpu, _now)
+            }
+        }
+    }
+
+    fn on_irq(&mut self, vcpu: u32, irq: GuestIrq, _now: SimTime) {
+        if vcpu != 0 {
+            return;
+        }
+        if let GuestIrq::NetRx { flow, .. } = irq {
+            self.queue.push_back(PendingRequest { flow });
+        }
+    }
+
+    fn stats(&self) -> WorkloadStats {
+        let mut stats = WorkloadStats::new();
+        stats.counters.add("redis.served", self.served);
+        stats.counters.add("redis.backlog", self.queue.len() as u64);
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rx(flow: u64) -> GuestIrq {
+        GuestIrq::NetRx {
+            device: 0,
+            bytes: 512,
+            flow,
+        }
+    }
+
+    #[test]
+    fn serves_requests_in_order() {
+        let mut srv = RedisServer::new(RedisCommand::Get, 0);
+        assert!(matches!(srv.next_op(0, SimTime::ZERO), GuestOp::Wfi));
+        srv.on_irq(0, rx(3), SimTime::ZERO);
+        srv.on_irq(0, rx(7), SimTime::ZERO);
+        // Execute, respond to flow 3.
+        assert!(matches!(srv.next_op(0, SimTime::ZERO), GuestOp::Compute { .. }));
+        match srv.next_op(0, SimTime::ZERO) {
+            GuestOp::NetSend { flow, bytes, .. } => {
+                assert_eq!(flow, 3);
+                assert_eq!(bytes, RedisCommand::Get.response_bytes());
+            }
+            other => panic!("expected NetSend, got {other:?}"),
+        }
+        // Next request follows without WFI (backlog non-empty).
+        assert!(matches!(srv.next_op(0, SimTime::ZERO), GuestOp::Compute { .. }));
+        match srv.next_op(0, SimTime::ZERO) {
+            GuestOp::NetSend { flow, .. } => assert_eq!(flow, 7),
+            other => panic!("expected NetSend, got {other:?}"),
+        }
+        assert!(matches!(srv.next_op(0, SimTime::ZERO), GuestOp::Wfi));
+        assert_eq!(srv.served(), 2);
+    }
+
+    #[test]
+    fn command_costs_are_ordered() {
+        assert!(RedisCommand::Lrange100.service_time() > RedisCommand::Set.service_time());
+        assert!(RedisCommand::Lrange100.response_bytes() > RedisCommand::Get.response_bytes());
+    }
+
+    #[test]
+    fn helper_vcpus_idle() {
+        let mut srv = RedisServer::new(RedisCommand::Set, 0);
+        srv.on_irq(1, rx(1), SimTime::ZERO);
+        assert_eq!(srv.backlog(), 0);
+        assert!(matches!(srv.next_op(1, SimTime::ZERO), GuestOp::Wfi));
+    }
+
+    #[test]
+    fn stats_report_served_and_backlog() {
+        let mut srv = RedisServer::new(RedisCommand::Set, 0);
+        srv.on_irq(0, rx(1), SimTime::ZERO);
+        let s = srv.stats();
+        assert_eq!(s.counters.get("redis.backlog"), 1);
+        assert_eq!(s.counters.get("redis.served"), 0);
+    }
+}

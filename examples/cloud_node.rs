@@ -1,0 +1,92 @@
+//! A cloud-node scenario: several tenants' CVMs of different sizes come
+//! and go on one host; the planner performs admission control, cores are
+//! dedicated and reclaimed, and a fragmentation replan compacts the pool.
+//!
+//! Run with: `cargo run --example cloud_node`
+
+use coregap::host::VmExecMode;
+use coregap::system::{System, SystemConfig, VmSpec};
+use coregap::sim::SimDuration;
+use coregap::workloads::kernel::GuestKernel;
+use coregap::workloads::{AppLogic, GuestIrq, GuestOp, WorkloadStats};
+
+/// A tenant workload that finishes after a bounded amount of work.
+#[derive(Debug)]
+struct Tenant {
+    units: u64,
+}
+
+impl AppLogic for Tenant {
+    fn next_op(&mut self, _vcpu: u32, _now: coregap::sim::SimTime) -> GuestOp {
+        if self.units == 0 {
+            return GuestOp::Shutdown;
+        }
+        self.units -= 1;
+        GuestOp::Compute {
+            work: SimDuration::micros(500),
+        }
+    }
+    fn on_irq(&mut self, _vcpu: u32, _irq: GuestIrq, _now: coregap::sim::SimTime) {}
+    fn stats(&self) -> WorkloadStats {
+        WorkloadStats::new()
+    }
+}
+
+fn main() {
+    let mut config = SystemConfig::paper_default();
+    config.machine.num_cores = 16;
+    let mut system = System::new(config);
+
+    println!("16-core node, 1 host core, 15 dedicable.\n");
+
+    // Three tenants arrive.
+    let mut vms = Vec::new();
+    for (name, vcpus, units) in [("alpha", 4u32, 40u64), ("beta", 6, 400), ("gamma", 4, 400)] {
+        let guest = GuestKernel::new(vcpus, 250, Box::new(Tenant { units }));
+        let vm = system
+            .add_vm(VmSpec::core_gapped(vcpus), Box::new(guest), None)
+            .expect("admission");
+        println!("admitted tenant {name}: {vcpus} dedicated cores (vm={vm})");
+        vms.push(vm);
+    }
+
+    // A fourth tenant is refused: no overcommitment, ever.
+    let guest = GuestKernel::new(4, 250, Box::new(Tenant { units: 10 }));
+    match system.add_vm(VmSpec::core_gapped(4), Box::new(guest), None) {
+        Err(e) => println!("tenant delta refused: {e}"),
+        Ok(_) => unreachable!("admission control must refuse"),
+    }
+
+    // Tenant alpha finishes quickly and its cores are reclaimed.
+    system.run_for(SimDuration::millis(50));
+    let alpha = vms[0];
+    assert!(system.vm_report(alpha).finished.is_some());
+    system.destroy_vm(alpha).expect("teardown");
+    println!("\ntenant alpha finished; its 4 cores were hotplugged back to the host");
+    println!(
+        "dedicated cores now: {:?}",
+        system.rmm().coregap().dedicated_cores()
+    );
+
+    // Now tenant delta fits.
+    let guest = GuestKernel::new(4, 250, Box::new(Tenant { units: 200 }));
+    let delta = system
+        .add_vm(VmSpec::core_gapped(4), Box::new(guest), None)
+        .expect("delta admission after reclamation");
+    println!("tenant delta admitted on the reclaimed cores (vm={delta})");
+
+    system.run_for(SimDuration::millis(200));
+    for vm in [vms[1], vms[2], delta] {
+        let r = system.vm_report(vm);
+        println!(
+            "{vm}: finished={} exits={}",
+            r.finished.is_some(),
+            r.exits_total
+        );
+    }
+    assert_eq!(
+        system.vms_mode_count(VmExecMode::CoreGapped),
+        4,
+        "four CVMs were hosted in total"
+    );
+}

@@ -1,0 +1,28 @@
+//! # coregap — core-gapped confidential VMs
+//!
+//! Umbrella crate for the `coregap` workspace: a Rust reproduction of
+//! *“Sharing is leaking: blocking transient-execution attacks with
+//! core-gapped confidential VMs”* (Castes & Baumann, ASPLOS 2024).
+//!
+//! This crate re-exports every workspace crate under a stable module path.
+//! Most users want [`system`] (the top-level builder / experiment API);
+//! see the `examples/` directory for runnable entry points.
+//!
+//! # Example
+//!
+//! ```
+//! use coregap::system::SystemConfig;
+//!
+//! let config = SystemConfig::default();
+//! assert!(config.machine.num_cores >= 2);
+//! ```
+
+pub use cg_attacks as attacks;
+pub use cg_cca as cca;
+pub use cg_core as system;
+pub use cg_host as host;
+pub use cg_machine as machine;
+pub use cg_rmm as rmm;
+pub use cg_rpc as rpc;
+pub use cg_sim as sim;
+pub use cg_workloads as workloads;

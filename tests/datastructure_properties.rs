@@ -1,0 +1,130 @@
+//! Property tests on core data-structure invariants: the event queue,
+//! realm translation tables, the core planner, and the vCPU bindings.
+
+use cg_cca::{RecId, RttLevel};
+use cg_host::CorePlanner;
+use cg_machine::{CoreId, GranuleAddr, RealmId};
+use cg_rmm::{CoreGap, Rtt};
+use cg_sim::{EventQueue, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Events always pop in non-decreasing time order, with ties in
+    /// schedule order, regardless of the schedule/cancel interleaving.
+    #[test]
+    fn event_queue_total_order(
+        ops in prop::collection::vec((0u64..10_000, prop::bool::ANY), 1..200)
+    ) {
+        let mut q = EventQueue::new();
+        let mut tokens = Vec::new();
+        for (i, &(t, cancel)) in ops.iter().enumerate() {
+            let tok = q.schedule_at(SimTime::from_nanos(10_000 + t), i);
+            if cancel {
+                q.cancel(tok);
+            } else {
+                tokens.push(i);
+            }
+        }
+        let mut last_time = SimTime::ZERO;
+        let mut last_seq: Option<usize> = None;
+        let mut popped = Vec::new();
+        while let Some((t, i)) = q.pop() {
+            prop_assert!(t >= last_time);
+            if t == last_time {
+                if let Some(ls) = last_seq {
+                    prop_assert!(i > ls, "ties must pop in schedule order");
+                }
+            }
+            last_time = t;
+            last_seq = Some(i);
+            popped.push(i);
+        }
+        // Exactly the non-cancelled events fire.
+        prop_assert_eq!(popped.len(), tokens.len());
+    }
+
+    /// RTT map/unmap round trips preserve translation consistency.
+    #[test]
+    fn rtt_map_unmap_consistency(
+        pages in prop::collection::btree_set(0u64..512, 1..64)
+    ) {
+        let g = |n: u64| GranuleAddr::new(n * 4096).unwrap();
+        let mut rtt = Rtt::new(g(0));
+        rtt.create_table(RttLevel(1), 0, g(1)).unwrap();
+        rtt.create_table(RttLevel(2), 0, g(2)).unwrap();
+        rtt.create_table(RttLevel(3), 0, g(3)).unwrap();
+        for &p in &pages {
+            rtt.map(p * 4096, g(100 + p), true).unwrap();
+        }
+        prop_assert_eq!(rtt.mapping_count(), pages.len());
+        for &p in &pages {
+            prop_assert_eq!(rtt.translate(p * 4096).unwrap().pa, g(100 + p));
+        }
+        for &p in &pages {
+            rtt.unmap(p * 4096).unwrap();
+            prop_assert!(rtt.translate(p * 4096).is_err());
+        }
+        prop_assert_eq!(rtt.mapping_count(), 0);
+    }
+
+    /// The planner never double-allocates a core and conserves the pool.
+    #[test]
+    fn planner_conserves_cores(
+        requests in prop::collection::vec(1u16..6, 1..20)
+    ) {
+        let pool_size = 16u16;
+        let mut planner = CorePlanner::new((0..pool_size).map(CoreId));
+        let mut allocated: Vec<(RealmId, Vec<CoreId>)> = Vec::new();
+        for (i, &n) in requests.iter().enumerate() {
+            let realm = RealmId(i as u32);
+            match planner.admit(realm, n) {
+                Ok(cores) => {
+                    prop_assert_eq!(cores.len(), n as usize);
+                    for c in &cores {
+                        for (_, other) in &allocated {
+                            prop_assert!(!other.contains(c), "double allocation of {c}");
+                        }
+                    }
+                    allocated.push((realm, cores));
+                }
+                Err(_) => {
+                    let used: usize = allocated.iter().map(|(_, c)| c.len()).sum();
+                    prop_assert!(used + n as usize > pool_size as usize);
+                }
+            }
+        }
+        let used: usize = allocated.iter().map(|(_, c)| c.len()).sum();
+        prop_assert_eq!(planner.free_cores() as usize, pool_size as usize - used);
+        // Releasing everything restores the full pool.
+        for (realm, _) in allocated {
+            planner.release(realm).unwrap();
+        }
+        prop_assert_eq!(planner.free_cores(), pool_size);
+    }
+
+    /// The binding state machine never lets two realms own one core and
+    /// never lets one vCPU bind two cores.
+    #[test]
+    fn coregap_binding_invariants(
+        attempts in prop::collection::vec((0u32..4, 0u32..3, 0u16..6), 1..80)
+    ) {
+        let mut cg = CoreGap::new();
+        for c in 0..6u16 {
+            cg.dedicate(CoreId(c)).unwrap();
+        }
+        for (realm, vcpu, core) in attempts {
+            let rec = RecId::new(RealmId(realm), vcpu);
+            let _ = cg.check_and_bind(rec, CoreId(core));
+            // Invariant 1: every bound vCPU has exactly one core.
+            let bindings = cg.bindings_snapshot();
+            let mut seen = std::collections::BTreeSet::new();
+            for (r, _) in &bindings {
+                prop_assert!(seen.insert(*r), "duplicate binding for {r}");
+            }
+            // Invariant 2: a core's owner matches every vCPU bound to it.
+            for (r, c) in &bindings {
+                prop_assert_eq!(cg.core_owner(*c), Some(r.realm));
+            }
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Integration: the full CVM lifecycle — admission, dedication,
+//! execution, attestation, shutdown, teardown, core reclamation, reuse.
+
+use cg_cca::Measurement;
+use cg_core::{System, SystemConfig, VmSpec};
+use cg_sim::SimDuration;
+use cg_workloads::coremark::CoremarkPro;
+use cg_workloads::kernel::GuestKernel;
+
+fn cpu_guest(vcpus: u32) -> Box<GuestKernel> {
+    Box::new(GuestKernel::new(
+        vcpus,
+        250,
+        Box::new(CoremarkPro::new(vcpus, SimDuration::micros(100))),
+    ))
+}
+
+/// A guest that shuts down after a fixed number of work units.
+#[derive(Debug)]
+struct FiniteApp {
+    remaining: u64,
+}
+
+impl cg_workloads::AppLogic for FiniteApp {
+    fn next_op(&mut self, _vcpu: u32, _now: cg_sim::SimTime) -> cg_workloads::GuestOp {
+        if self.remaining == 0 {
+            return cg_workloads::GuestOp::Shutdown;
+        }
+        self.remaining -= 1;
+        cg_workloads::GuestOp::Compute {
+            work: SimDuration::micros(200),
+        }
+    }
+    fn on_irq(&mut self, _vcpu: u32, _irq: cg_workloads::GuestIrq, _now: cg_sim::SimTime) {}
+    fn stats(&self) -> cg_workloads::WorkloadStats {
+        cg_workloads::WorkloadStats::new()
+    }
+}
+
+#[test]
+fn cvm_lifecycle_end_to_end() {
+    let mut config = SystemConfig::small();
+    config.num_host_cores = 1;
+    let mut system = System::new(config);
+
+    // Admission dedicates cores through the hotplug path.
+    let guest = Box::new(GuestKernel::new(2, 250, Box::new(FiniteApp { remaining: 100 })));
+    let vm = system.add_vm(VmSpec::core_gapped(2), guest, None).unwrap();
+    assert_eq!(system.rmm().coregap().dedicated_cores().len(), 2);
+
+    // The token verifies against the *core-gapping* RMM measurement.
+    let token = system.attest(vm, 0x5EED).unwrap();
+    let expected = system.rmm().platform_measurement();
+    assert!(token.verify(&cg_cca::PlatformCert::example(), expected, 0x5EED));
+    // A guest owner expecting the stock RMM would reject it — trust in
+    // the modified firmware is explicit (paper §6.1).
+    assert!(!token.verify(
+        &cg_cca::PlatformCert::example(),
+        Measurement::of(b"stock-rmm"),
+        0x5EED
+    ));
+
+    // The guest runs to completion.
+    assert!(system.run_until_done(SimDuration::secs(10)));
+    let report = system.vm_report(vm);
+    assert!(report.finished.is_some());
+
+    // Teardown returns the cores to the host and the planner.
+    system.destroy_vm(vm).unwrap();
+    assert_eq!(system.rmm().coregap().dedicated_cores().len(), 0);
+
+    // The reclaimed cores are immediately reusable by a new CVM.
+    let vm2 = system
+        .add_vm(VmSpec::core_gapped(2), cpu_guest(2), None)
+        .unwrap();
+    system.run_for(SimDuration::millis(50));
+    let report2 = system.vm_report(vm2);
+    assert!(
+        report2.stats.counters.get("coremark.total_iterations") > 0,
+        "relaunched CVM makes progress"
+    );
+}
+
+#[test]
+fn admission_control_rejects_oversubscription() {
+    let mut config = SystemConfig::small(); // 8 cores
+    config.num_host_cores = 1;
+    let mut system = System::new(config);
+    // 7 dedicable cores: a 7-vCPU CVM fits, the next does not.
+    system
+        .add_vm(VmSpec::core_gapped(7), cpu_guest(7), None)
+        .unwrap();
+    let err = system
+        .add_vm(VmSpec::core_gapped(1), cpu_guest(1), None)
+        .unwrap_err();
+    assert!(err.contains("insufficient"), "{err}");
+}
+
+#[test]
+fn destroy_refused_while_running() {
+    let mut config = SystemConfig::small();
+    config.num_host_cores = 1;
+    let mut system = System::new(config);
+    let vm = system
+        .add_vm(VmSpec::core_gapped(1), cpu_guest(1), None)
+        .unwrap();
+    system.run_for(SimDuration::millis(10));
+    assert!(system.destroy_vm(vm).is_err());
+}
+
+#[test]
+fn non_confidential_vms_have_no_attestation() {
+    let mut config = SystemConfig::small();
+    config.rmm = cg_rmm::RmmConfig::shared_core();
+    config.num_host_cores = 2;
+    let mut system = System::new(config);
+    let vm = system
+        .add_vm(VmSpec::shared_core(1), cpu_guest(1), None)
+        .unwrap();
+    assert!(system.attest(vm, 1).is_err());
+}
+
+#[test]
+fn pause_and_resume_preserve_the_cvm() {
+    let mut config = SystemConfig::small();
+    config.num_host_cores = 1;
+    let mut system = System::new(config);
+    let vm = system
+        .add_vm(VmSpec::core_gapped(2), cpu_guest(2), None)
+        .unwrap();
+    system.run_for(SimDuration::millis(20));
+    let before = system.vm_report(vm).stats.counters.get("coremark.total_iterations");
+    assert!(before > 0);
+
+    // Pause: progress stops within a few exits' worth of time...
+    system.pause_vm(vm);
+    system.run_for(SimDuration::millis(5));
+    let at_pause = system.vm_report(vm).stats.counters.get("coremark.total_iterations");
+    system.run_for(SimDuration::millis(50));
+    let still_paused = system.vm_report(vm).stats.counters.get("coremark.total_iterations");
+    assert_eq!(at_pause, still_paused, "no progress while paused");
+    // ...but the cores stay dedicated to the realm.
+    assert_eq!(system.rmm().coregap().dedicated_cores().len(), 2);
+
+    // Resume: progress continues at the usual rate.
+    system.resume_vm(vm);
+    system.run_for(SimDuration::millis(50));
+    let after = system.vm_report(vm).stats.counters.get("coremark.total_iterations");
+    assert!(
+        after > still_paused + 200,
+        "resumed progress: {after} vs {still_paused}"
+    );
+    // Pausing twice / resuming an unpaused VM are harmless.
+    system.resume_vm(vm);
+    system.pause_vm(vm);
+    system.pause_vm(vm);
+    system.resume_vm(vm);
+    system.run_for(SimDuration::millis(10));
+}
+
+#[test]
+fn shared_core_vm_lifecycle_and_teardown() {
+    let mut config = SystemConfig::small();
+    config.rmm = cg_rmm::RmmConfig::shared_core();
+    config.num_host_cores = 2;
+    let mut system = System::new(config);
+    let guest = Box::new(GuestKernel::new(2, 250, Box::new(FiniteApp { remaining: 60 })));
+    let vm = system.add_vm(VmSpec::shared_core(2), guest, None).unwrap();
+    assert!(system.run_until_done(SimDuration::secs(5)));
+    // Non-confidential teardown involves no RMM/planner state.
+    system.destroy_vm(vm).unwrap();
+    assert_eq!(system.rmm().coregap().dedicated_cores().len(), 0);
+}

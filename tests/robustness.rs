@@ -1,0 +1,121 @@
+//! Robustness: arbitrary guest behaviour must never panic, deadlock, or
+//! stall the simulation, in any execution mode.
+
+use cg_core::{System, SystemConfig, VmSpec};
+use cg_host::DeviceKind;
+use cg_sim::{SimDuration, SimRng, SimTime};
+use cg_workloads::{AppLogic, GuestIrq, GuestOp, WorkloadStats};
+use proptest::prelude::*;
+
+/// A guest that emits a random-but-valid op stream.
+#[derive(Debug)]
+struct ChaosApp {
+    rng: SimRng,
+    ops_left: u32,
+    vcpus: u32,
+}
+
+impl ChaosApp {
+    fn new(seed: u64, ops: u32, vcpus: u32) -> ChaosApp {
+        ChaosApp {
+            rng: SimRng::seed(seed),
+            ops_left: ops,
+            vcpus,
+        }
+    }
+}
+
+impl AppLogic for ChaosApp {
+    fn next_op(&mut self, _vcpu: u32, _now: SimTime) -> GuestOp {
+        if self.ops_left == 0 {
+            return GuestOp::Shutdown;
+        }
+        self.ops_left -= 1;
+        match self.rng.range(0u32..100) {
+            0..=39 => GuestOp::Compute {
+                work: SimDuration::micros(self.rng.range(1u64..500)),
+            },
+            40..=54 => GuestOp::SendIpi {
+                target: self.rng.range(0..self.vcpus.max(1)),
+                sgi: self.rng.range(0u32..16),
+            },
+            55..=69 => GuestOp::Wfi,
+            70..=79 => GuestOp::ConsoleWrite,
+            80..=89 => GuestOp::NetSend {
+                device: 0,
+                bytes: self.rng.range(1u64..9000),
+                flow: self.rng.next_u64(),
+            },
+            _ => GuestOp::TouchShared {
+                ipa: (1 << 47) + self.rng.range(0u64..1000) * 4096,
+            },
+        }
+    }
+
+    fn on_irq(&mut self, _vcpu: u32, _irq: GuestIrq, _now: SimTime) {}
+
+    fn stats(&self) -> WorkloadStats {
+        WorkloadStats::new()
+    }
+}
+
+fn run_chaos(mode: u8, seed: u64, vcpus: u32) {
+    let mut config = SystemConfig::small();
+    let spec = match mode {
+        0 => {
+            config.num_host_cores = vcpus as u16;
+            config.rmm = cg_rmm::RmmConfig::shared_core();
+            VmSpec::shared_core(vcpus)
+        }
+        1 => {
+            config.num_host_cores = vcpus as u16;
+            config.rmm = cg_rmm::RmmConfig::shared_core();
+            VmSpec::shared_core_confidential(vcpus)
+        }
+        _ => {
+            config.num_host_cores = 1;
+            VmSpec::core_gapped(vcpus)
+        }
+    };
+    config.seed = seed;
+    let mut system = System::new(config);
+    let kernel = cg_workloads::kernel::GuestKernel::new(
+        vcpus,
+        250,
+        Box::new(ChaosApp::new(seed, 300, vcpus)),
+    );
+    let vm = system
+        .add_vm(
+            spec.with_device(DeviceKind::VirtioNet),
+            Box::new(kernel),
+            Some(Box::new(cg_workloads::EchoPeer::new(SimDuration::micros(2)))),
+        )
+        .unwrap();
+    // WFI ops can park vCPUs with nothing pending until the next tick, so
+    // give the run a generous horizon; the assertion is about liveness of
+    // the simulation, not the workload.
+    system.run_for(SimDuration::secs(2));
+    let report = system.vm_report(vm);
+    // The clock advanced and the guest made progress.
+    assert!(system.now() >= SimTime::ZERO + SimDuration::secs(2));
+    assert!(report.stats.counters.get("kernel.ticks") > 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn chaos_guest_never_wedges_core_gapped(seed in 0u64..1_000_000, vcpus in 1u32..4) {
+        run_chaos(2, seed, vcpus);
+    }
+
+    #[test]
+    fn chaos_guest_never_wedges_shared(seed in 0u64..1_000_000, vcpus in 1u32..4) {
+        run_chaos(0, seed, vcpus);
+    }
+
+    #[test]
+    fn chaos_guest_never_wedges_shared_confidential(seed in 0u64..1_000_000, vcpus in 1u32..4) {
+        run_chaos(1, seed, vcpus);
+    }
+}
