@@ -251,10 +251,7 @@ impl Catalog {
             .into_iter()
             .map(|year| {
                 let all = self.by_year(year);
-                let mitigated = all
-                    .iter()
-                    .filter(|v| v.mitigated_by_core_gapping())
-                    .count();
+                let mitigated = all.iter().filter(|v| v.mitigated_by_core_gapping()).count();
                 (year, all.len(), mitigated)
             })
             .collect()

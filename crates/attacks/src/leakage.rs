@@ -193,10 +193,7 @@ mod tests {
         let report = probe_core(&m, c, ATTACKER);
         assert!(!report.core_gapping_holds());
         assert!(!report.same_core_secret_leaks().is_empty());
-        assert!(report
-            .same_core_leaks()
-            .iter()
-            .any(|l| l.victim == VICTIM));
+        assert!(report.same_core_leaks().iter().any(|l| l.victim == VICTIM));
     }
 
     #[test]

@@ -9,11 +9,11 @@ use cg_core::experiments::apps::run_redis;
 use cg_core::experiments::io::{run_iozone, run_netpipe, NetpipeConfig};
 use cg_core::experiments::latency::{run_vipi, IpiConfig};
 use cg_core::experiments::scaling::{run_coremark, ScalingConfig};
-use cg_workloads::redis::RedisCommand;
 use cg_core::{System, SystemConfig, VmSpec};
 use cg_sim::SimDuration;
 use cg_workloads::coremark::CoremarkPro;
 use cg_workloads::kernel::GuestKernel;
+use cg_workloads::redis::RedisCommand;
 
 fn bench_coremark_simulation(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulate");
@@ -44,7 +44,11 @@ fn bench_coremark_simulation(c: &mut Criterion) {
     group.bench_function("netpipe_sriov_gapped_5reps", |b| {
         b.iter(|| {
             black_box(run_netpipe(
-                NetpipeConfig { sriov: true, core_gapped: true, direct_delivery: false },
+                NetpipeConfig {
+                    sriov: true,
+                    core_gapped: true,
+                    direct_delivery: false,
+                },
                 &[1500, 65536],
                 5,
                 42,
@@ -81,5 +85,9 @@ fn bench_system_construction(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_coremark_simulation, bench_system_construction);
+criterion_group!(
+    benches,
+    bench_coremark_simulation,
+    bench_system_construction
+);
 criterion_main!(benches);

@@ -60,7 +60,11 @@ fn bench_rmi(c: &mut Criterion) {
         let mut machine = Machine::new(HwParams::small());
         let g = GranuleAddr::new(0x10_0000).unwrap();
         b.iter(|| {
-            black_box(rmm.handle_rmi(CoreId(0), RmiCall::GranuleDelegate { addr: g }, &mut machine));
+            black_box(rmm.handle_rmi(
+                CoreId(0),
+                RmiCall::GranuleDelegate { addr: g },
+                &mut machine,
+            ));
             black_box(rmm.handle_rmi(
                 CoreId(0),
                 RmiCall::GranuleUndelegate { addr: g },

@@ -12,12 +12,16 @@ use cg_sim::SimDuration;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let dur = if quick { SimDuration::millis(500) } else { SimDuration::millis(2000) };
+    let dur = if quick {
+        SimDuration::millis(500)
+    } else {
+        SimDuration::millis(2000)
+    };
     let cores: &[u16] = if quick { &[4, 8] } else { &[4, 8, 16, 32] };
     header("CoreMark-PRO: shared-core CVM vs core-gapped CVM vs non-confidential baseline");
     println!(
-        "{:>6}\t{}\t{}\t{}\t{}",
-        "cores", "shared VM", "shared CVM", "core-gapped CVM", "gapped/sharedCVM"
+        "{:>6}\tshared VM\tshared CVM\tcore-gapped CVM\tgapped/sharedCVM",
+        "cores"
     );
     for &n in cores {
         let plain = run_coremark(ScalingConfig::SharedCore, n, dur, 42);

@@ -5,7 +5,11 @@ use cg_core::experiments::apps::run_kbuild;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let cores: &[u16] = if quick { &[4, 8] } else { &[2, 4, 8, 16, 24, 32] };
+    let cores: &[u16] = if quick {
+        &[4, 8]
+    } else {
+        &[2, 4, 8, 16, 24, 32]
+    };
     let jobs = if quick { 120 } else { 400 };
     header("Fig. 10: kernel build time (s) vs core count");
     println!("{:>6}\tshared-core\tcore-gapped\tratio", "cores");

@@ -8,10 +8,16 @@ use cg_bench::header;
 fn main() {
     let catalog = Catalog::new();
     header("Fig. 3: isolation-breaking CPU vulnerabilities by disclosure year");
-    println!("{:>6}  {:>5}  {:>22}  entries", "year", "count", "core-gapping mitigates");
+    println!(
+        "{:>6}  {:>5}  {:>22}  entries",
+        "year", "count", "core-gapping mitigates"
+    );
     for (year, total, mitigated) in catalog.timeline() {
         let names: Vec<&str> = catalog.by_year(year).iter().map(|v| v.name).collect();
-        println!("{year:>6}  {total:>5}  {mitigated:>18}/{total:<3}  {}", names.join(", "));
+        println!(
+            "{year:>6}  {total:>5}  {mitigated:>18}/{total:<3}  {}",
+            names.join(", ")
+        );
     }
     println!();
     println!(

@@ -11,7 +11,11 @@ use cg_sim::SimDuration;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let dur = if quick { SimDuration::millis(500) } else { SimDuration::millis(1500) };
+    let dur = if quick {
+        SimDuration::millis(500)
+    } else {
+        SimDuration::millis(1500)
+    };
     let cores: &[u16] = if quick {
         &[2, 4, 8, 16]
     } else {
@@ -39,7 +43,10 @@ fn main() {
     println!("Core-gapped run-to-run latency and host-core utilisation vs guest core count");
     println!("(paper §5.2: \"remains stable at 26.18 ± 0.96 us\"):");
     for (n, us, util) in run_to_run {
-        println!("{n:>6} cores: {us:>7.2} us   host util {:.1}%", util * 100.0);
+        println!(
+            "{n:>6} cores: {us:>7.2} us   host util {:.1}%",
+            util * 100.0
+        );
     }
     println!();
     println!("Expected shape: the three optimised/baseline series scale ~linearly;");

@@ -7,8 +7,16 @@ use cg_sim::SimDuration;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let dur = if quick { SimDuration::millis(500) } else { SimDuration::millis(1500) };
-    let counts: &[u16] = if quick { &[1, 2, 4] } else { &[1, 2, 4, 8, 12, 16] };
+    let dur = if quick {
+        SimDuration::millis(500)
+    } else {
+        SimDuration::millis(1500)
+    };
+    let counts: &[u16] = if quick {
+        &[1, 2, 4]
+    } else {
+        &[1, 2, 4, 8, 12, 16]
+    };
     header("Fig. 7: aggregate score of K 4-vCPU VMs (1 host core for all core-gapped VMMs)");
     println!("{:>5}\tshared-core\tcore-gapped", "VMs");
     for &k in counts {

@@ -9,7 +9,18 @@ fn main() {
     let sizes: &[u64] = if quick {
         &[64, 1500, 65536]
     } else {
-        &[64, 256, 1024, 1500, 4096, 16384, 65536, 262144, 1 << 20, 4 << 20]
+        &[
+            64,
+            256,
+            1024,
+            1500,
+            4096,
+            16384,
+            65536,
+            262144,
+            1 << 20,
+            4 << 20,
+        ]
     };
     let reps = if quick { 5 } else { 20 };
     header("Fig. 8: NetPIPE round-trip latency (us) per message size");

@@ -9,17 +9,32 @@ fn main() {
     let records: &[u64] = if quick {
         &[4096, 1 << 20, 16 << 20]
     } else {
-        &[4096, 16384, 65536, 262144, 1 << 20, 4 << 20, 16 << 20, 64 << 20]
+        &[
+            4096,
+            16384,
+            65536,
+            262144,
+            1 << 20,
+            4 << 20,
+            16 << 20,
+            64 << 20,
+        ]
     };
     let reps = if quick { 3 } else { 8 };
     let shared = run_iozone(false, records, reps, 42);
     let gapped = run_iozone(true, records, reps, 42);
     header("Fig. 9: IOzone sync throughput (MiB/s) vs record size");
-    println!("{:>10}\tread shared\tread gapped\twrite shared\twrite gapped", "record");
+    println!(
+        "{:>10}\tread shared\tread gapped\twrite shared\twrite gapped",
+        "record"
+    );
     for &r in records {
         println!(
             "{r:>10}\t{:.1}\t{:.1}\t{:.1}\t{:.1}",
-            shared[&(r, false)], gapped[&(r, false)], shared[&(r, true)], gapped[&(r, true)]
+            shared[&(r, false)],
+            gapped[&(r, false)],
+            shared[&(r, true)],
+            gapped[&(r, true)]
         );
     }
     println!();

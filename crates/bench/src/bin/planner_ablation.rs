@@ -60,10 +60,16 @@ fn main() {
     header("Planner ablation: core-pool fragmentation under CVM churn (63 cores, 400 rounds)");
     let (scatter_none, frag_none) = churn(None, 400, 42);
     let (scatter_replan, frag_replan) = churn(Some(10), 400, 42);
-    println!("without replanning: {:.1}% scattered allocations, mean fragmentation {:.3}",
-        scatter_none * 100.0, frag_none);
-    println!("replan every 10 rounds: {:.1}% scattered allocations, mean fragmentation {:.3}",
-        scatter_replan * 100.0, frag_replan);
+    println!(
+        "without replanning: {:.1}% scattered allocations, mean fragmentation {:.3}",
+        scatter_none * 100.0,
+        frag_none
+    );
+    println!(
+        "replan every 10 rounds: {:.1}% scattered allocations, mean fragmentation {:.3}",
+        scatter_replan * 100.0,
+        frag_replan
+    );
     println!();
     println!("Paper §3: \"to avoid long-term fragmentation of available cores (and thus");
     println!("poor locality), we envisage permitting limited changes of the vCPU-to-core");

@@ -24,16 +24,18 @@ fn main() {
         );
     }
     println!();
-    let o = run_malicious_interruption(
-        SimDuration::micros(100),
-        SimDuration::millis(200),
-        42,
-    );
+    let o = run_malicious_interruption(SimDuration::micros(100), SimDuration::millis(200), 42);
     println!("Malicious-host interruption storm (kick every 100 us, core-gapped victim):");
     println!("  forced exits:                    {}", o.forced_exits);
     println!("  victim made progress:            {}", o.victim_progressed);
-    println!("  host can reach victim's core:    {}", o.host_can_reach_victim_core);
-    println!("  victim leaks on host's cores:    {}", o.host_core_victim_leaks);
+    println!(
+        "  host can reach victim's core:    {}",
+        o.host_can_reach_victim_core
+    );
+    println!(
+        "  victim leaks on host's cores:    {}",
+        o.host_core_victim_leaks
+    );
     println!();
     println!("Expected: both shared-core configurations leak the victim's secret through");
     println!("per-core structures (the mitigation flush clears only BP/fill buffers);");

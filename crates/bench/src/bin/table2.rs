@@ -9,9 +9,24 @@ use cg_machine::HwParams;
 fn main() {
     header("Table 2: null RMM call latencies");
     let l = null_call_latencies(&HwParams::ampere_one_like());
-    row("Core-gapped asynchronous (vCPU run calls)", l.async_ns, PAPER_TABLE2_ASYNC_NS, "ns");
-    row("Core-gapped synchronous (e.g., page table update)", l.sync_ns, PAPER_TABLE2_SYNC_NS, "ns");
-    row("Same-core synchronous (paper reports > 12.8 us)", l.same_core_ns, PAPER_TABLE2_SAME_CORE_NS, "ns");
+    row(
+        "Core-gapped asynchronous (vCPU run calls)",
+        l.async_ns,
+        PAPER_TABLE2_ASYNC_NS,
+        "ns",
+    );
+    row(
+        "Core-gapped synchronous (e.g., page table update)",
+        l.sync_ns,
+        PAPER_TABLE2_SYNC_NS,
+        "ns",
+    );
+    row(
+        "Same-core synchronous (paper reports > 12.8 us)",
+        l.same_core_ns,
+        PAPER_TABLE2_SAME_CORE_NS,
+        "ns",
+    );
     println!();
     row_measured(
         "Remote sync speedup over bare same-core EL3 call",

@@ -12,12 +12,35 @@ fn main() {
     let dur = SimDuration::millis(4_500);
     let without = run_coremark(ScalingConfig::CoreGappedNoDelegation, 16, dur, 42);
     let with = run_coremark(ScalingConfig::CoreGapped, 16, dur, 42);
-    row("Interrupt-related exits, without delegation", without.exits_interrupt as f64, 33_954.0, "");
-    row("Interrupt-related exits, with delegation", with.exits_interrupt as f64, 390.0, "");
-    row("Total exits, without delegation", without.exits_total as f64, 37_712.0, "");
-    row("Total exits, with delegation", with.exits_total as f64, 1_324.0, "");
+    row(
+        "Interrupt-related exits, without delegation",
+        without.exits_interrupt as f64,
+        33_954.0,
+        "",
+    );
+    row(
+        "Interrupt-related exits, with delegation",
+        with.exits_interrupt as f64,
+        390.0,
+        "",
+    );
+    row(
+        "Total exits, without delegation",
+        without.exits_total as f64,
+        37_712.0,
+        "",
+    );
+    row(
+        "Total exits, with delegation",
+        with.exits_total as f64,
+        1_324.0,
+        "",
+    );
     let reduction = without.exits_total as f64 / with.exits_total.max(1) as f64;
     row("Exit-count reduction factor", reduction, 28.0, "x");
     println!();
-    println!("run-to-run latency (paper §5.2: 26.18 ± 0.96 us): {:.2} us", with.run_to_run_us_mean);
+    println!(
+        "run-to-run latency (paper §5.2: 26.18 ± 0.96 us): {:.2} us",
+        with.run_to_run_us_mean
+    );
 }

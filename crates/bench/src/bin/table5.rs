@@ -15,13 +15,32 @@ fn main() {
         (RedisCommand::Lrange100, "LRANGE 100"),
     ] {
         for core_gapped in [false, true] {
-            let mode = if core_gapped { "core gapped" } else { "shared core" };
+            let mode = if core_gapped {
+                "core gapped"
+            } else {
+                "shared core"
+            };
             let m = run_redis(cmd, core_gapped, requests, 42);
             let p = paper_redis(cmd, core_gapped);
             row(&format!("{name} {mode} throughput"), m.krps, p.krps, "krps");
-            row(&format!("{name} {mode} mean latency"), m.mean_ms, p.mean_ms, "ms");
-            row(&format!("{name} {mode} p95 latency"), m.p95_ms, p.p95_ms, "ms");
-            row(&format!("{name} {mode} p99 latency"), m.p99_ms, p.p99_ms, "ms");
+            row(
+                &format!("{name} {mode} mean latency"),
+                m.mean_ms,
+                p.mean_ms,
+                "ms",
+            );
+            row(
+                &format!("{name} {mode} p95 latency"),
+                m.p95_ms,
+                p.p95_ms,
+                "ms",
+            );
+            row(
+                &format!("{name} {mode} p99 latency"),
+                m.p99_ms,
+                p.p99_ms,
+                "ms",
+            );
         }
         println!();
     }

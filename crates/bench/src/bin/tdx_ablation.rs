@@ -8,8 +8,16 @@ fn main() {
     header("TDX-flavour ablation: stage-2 fault service latency (core-gapped CVM)");
     let cca = run_fault_storm(false, 400, 42);
     let tdx = run_fault_storm(true, 400, 42);
-    row_measured("CCA-style (RMM call per table change), mean", format!("{:.2}", cca.service_us.mean()), "us");
-    row_measured("TDX-style (insecure tables, no RPCs), mean", format!("{:.2}", tdx.service_us.mean()), "us");
+    row_measured(
+        "CCA-style (RMM call per table change), mean",
+        format!("{:.2}", cca.service_us.mean()),
+        "us",
+    );
+    row_measured(
+        "TDX-style (insecure tables, no RPCs), mean",
+        format!("{:.2}", tdx.service_us.mean()),
+        "us",
+    );
     row_measured(
         "saving per fault",
         format!("{:.2}", cca.service_us.mean() - tdx.service_us.mean()),

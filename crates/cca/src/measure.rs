@@ -218,8 +218,24 @@ mod tests {
     fn different_keys_produce_different_signatures() {
         let platform = Measurement::of(b"rmm");
         let realm = Measurement::of(b"g");
-        let t1 = AttestationToken::issue(&PlatformCert { vendor_id: 1, key_id: 1 }, platform, realm, 1);
-        let t2 = AttestationToken::issue(&PlatformCert { vendor_id: 1, key_id: 2 }, platform, realm, 1);
+        let t1 = AttestationToken::issue(
+            &PlatformCert {
+                vendor_id: 1,
+                key_id: 1,
+            },
+            platform,
+            realm,
+            1,
+        );
+        let t2 = AttestationToken::issue(
+            &PlatformCert {
+                vendor_id: 1,
+                key_id: 2,
+            },
+            platform,
+            realm,
+            1,
+        );
         assert_ne!(t1.signature, t2.signature);
     }
 

@@ -172,7 +172,12 @@ mod tests {
     fn display_forms() {
         assert_eq!(RecExitReason::Wfi.to_string(), "wfi");
         assert_eq!(
-            RecExitReason::MmioWrite { ipa: 0x100, size: 4, value: 7 }.to_string(),
+            RecExitReason::MmioWrite {
+                ipa: 0x100,
+                size: 4,
+                value: 7
+            }
+            .to_string(),
             "mmio-write(0x100,4)"
         );
     }

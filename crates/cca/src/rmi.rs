@@ -215,7 +215,12 @@ impl RmiCall {
                 args[0] = realm.0 as u64;
                 args[1] = ipa;
             }
-            RmiCall::RttCreate { realm, rtt, ipa, level } => {
+            RmiCall::RttCreate {
+                realm,
+                rtt,
+                ipa,
+                level,
+            } => {
                 args[0] = realm.0 as u64;
                 args[1] = rtt.as_u64();
                 args[2] = ipa;
@@ -260,8 +265,12 @@ impl RmiCall {
                 rd: g(a[0])?,
                 num_recs: a[1] as u32,
             },
-            0x07 => RmiCall::RealmActivate { realm: RealmId(a[0] as u32) },
-            0x09 => RmiCall::RealmDestroy { realm: RealmId(a[0] as u32) },
+            0x07 => RmiCall::RealmActivate {
+                realm: RealmId(a[0] as u32),
+            },
+            0x09 => RmiCall::RealmDestroy {
+                realm: RealmId(a[0] as u32),
+            },
             0x0A => RmiCall::RecCreate {
                 realm: RealmId(a[0] as u32),
                 index: a[1] as u32,
@@ -324,8 +333,14 @@ impl fmt::Display for RmiCall {
             RmiCall::DataDestroy { realm, ipa } => {
                 write!(f, "RMI_DATA_DESTROY({realm}, ipa={ipa:#x})")
             }
-            RmiCall::RttCreate { realm, ipa, level, .. } => {
-                write!(f, "RMI_RTT_CREATE({realm}, ipa={ipa:#x}, level={})", level.0)
+            RmiCall::RttCreate {
+                realm, ipa, level, ..
+            } => {
+                write!(
+                    f,
+                    "RMI_RTT_CREATE({realm}, ipa={ipa:#x}, level={})",
+                    level.0
+                )
             }
             RmiCall::RttMapUnprotected { realm, ipa, .. } => {
                 write!(f, "RMI_RTT_MAP_UNPROTECTED({realm}, ipa={ipa:#x})")
@@ -458,14 +473,36 @@ mod tests {
             RmiCall::RealmCreate { rd: g, num_recs: 1 },
             RmiCall::RealmActivate { realm: r },
             RmiCall::RealmDestroy { realm: r },
-            RmiCall::RecCreate { realm: r, index: 0, rec: g },
-            RmiCall::RecDestroy { rec: RecId::new(r, 0) },
-            RmiCall::DataCreate { realm: r, data: g, ipa: 0 },
+            RmiCall::RecCreate {
+                realm: r,
+                index: 0,
+                rec: g,
+            },
+            RmiCall::RecDestroy {
+                rec: RecId::new(r, 0),
+            },
+            RmiCall::DataCreate {
+                realm: r,
+                data: g,
+                ipa: 0,
+            },
             RmiCall::DataDestroy { realm: r, ipa: 0 },
-            RmiCall::RttCreate { realm: r, rtt: g, ipa: 0, level: RttLevel(1) },
-            RmiCall::RttMapUnprotected { realm: r, ipa: 0, addr: g },
+            RmiCall::RttCreate {
+                realm: r,
+                rtt: g,
+                ipa: 0,
+                level: RttLevel(1),
+            },
+            RmiCall::RttMapUnprotected {
+                realm: r,
+                ipa: 0,
+                addr: g,
+            },
             RmiCall::RttUnmapUnprotected { realm: r, ipa: 0 },
-            RmiCall::RecEnter { rec: RecId::new(r, 0), run: g },
+            RmiCall::RecEnter {
+                rec: RecId::new(r, 0),
+                run: g,
+            },
         ];
         let opcodes: HashSet<u16> = calls.iter().map(|c| c.opcode()).collect();
         assert_eq!(opcodes.len(), calls.len());
@@ -492,14 +529,42 @@ mod tests {
             RmiCall::RealmCreate { rd: g, num_recs: 9 },
             RmiCall::RealmActivate { realm: r },
             RmiCall::RealmDestroy { realm: r },
-            RmiCall::RecCreate { realm: r, index: 2, rec: g },
-            RmiCall::RecDestroy { rec: RecId::new(r, 2) },
-            RmiCall::DataCreate { realm: r, data: g, ipa: 0x7000 },
-            RmiCall::DataDestroy { realm: r, ipa: 0x7000 },
-            RmiCall::RttCreate { realm: r, rtt: g, ipa: 0, level: RttLevel(2) },
-            RmiCall::RttMapUnprotected { realm: r, ipa: 0x9000, addr: g },
-            RmiCall::RttUnmapUnprotected { realm: r, ipa: 0x9000 },
-            RmiCall::RecEnter { rec: RecId::new(r, 1), run: g },
+            RmiCall::RecCreate {
+                realm: r,
+                index: 2,
+                rec: g,
+            },
+            RmiCall::RecDestroy {
+                rec: RecId::new(r, 2),
+            },
+            RmiCall::DataCreate {
+                realm: r,
+                data: g,
+                ipa: 0x7000,
+            },
+            RmiCall::DataDestroy {
+                realm: r,
+                ipa: 0x7000,
+            },
+            RmiCall::RttCreate {
+                realm: r,
+                rtt: g,
+                ipa: 0,
+                level: RttLevel(2),
+            },
+            RmiCall::RttMapUnprotected {
+                realm: r,
+                ipa: 0x9000,
+                addr: g,
+            },
+            RmiCall::RttUnmapUnprotected {
+                realm: r,
+                ipa: 0x9000,
+            },
+            RmiCall::RecEnter {
+                rec: RecId::new(r, 1),
+                run: g,
+            },
         ];
         for call in calls {
             let smc = call.to_smc();

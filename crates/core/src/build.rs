@@ -110,13 +110,12 @@ impl System {
             // Device SPIs normally route to the host core; with the
             // direct-delivery extension they route to the CVM's first
             // dedicated core, where the RMM injects them locally (§5.3).
-            let route = if self.config.rmm.direct_device_delivery
-                && spec.mode == VmExecMode::CoreGapped
-            {
-                cores[0]
-            } else {
-                host_cores[0]
-            };
+            let route =
+                if self.config.rmm.direct_device_delivery && spec.mode == VmExecMode::CoreGapped {
+                    cores[0]
+                } else {
+                    host_cores[0]
+                };
             self.machine.gic_mut().route_spi(spi, route);
             kvm.devices_mut().route(idx as u32, dev_id);
             let io_thread = if kind == DeviceKind::SriovNic {
@@ -315,7 +314,13 @@ impl System {
             rmi(self, RmiCall::GranuleDelegate { addr: rd.offset(i) })?;
         }
 
-        rmi(self, RmiCall::RealmCreate { rd, num_recs: vcpus })?;
+        rmi(
+            self,
+            RmiCall::RealmCreate {
+                rd,
+                num_recs: vcpus,
+            },
+        )?;
         for (lvl, &g) in rtt_tables.iter().enumerate() {
             rmi(
                 self,
@@ -427,18 +432,18 @@ impl System {
         if mode.is_confidential() {
             for i in 0..self.vms[vm.0].kvm.num_vcpus() {
                 let rec = self.vms[vm.0].kvm.rec(i);
-                let out = self.rmm.handle_rmi(
-                    CoreId(0),
-                    RmiCall::RecDestroy { rec },
-                    &mut self.machine,
-                );
+                let out =
+                    self.rmm
+                        .handle_rmi(CoreId(0), RmiCall::RecDestroy { rec }, &mut self.machine);
                 if !out.status.is_success() {
                     return Err(format!("REC_DESTROY failed: {:?}", out.status));
                 }
             }
-            let out = self
-                .rmm
-                .handle_rmi(CoreId(0), RmiCall::RealmDestroy { realm }, &mut self.machine);
+            let out = self.rmm.handle_rmi(
+                CoreId(0),
+                RmiCall::RealmDestroy { realm },
+                &mut self.machine,
+            );
             if !out.status.is_success() {
                 return Err(format!("REALM_DESTROY failed: {:?}", out.status));
             }

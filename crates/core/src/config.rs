@@ -35,6 +35,12 @@ pub struct SystemConfig {
     /// target vCPU is actively processing are delivered without an
     /// interrupt.
     pub napi: bool,
+    /// **Test-only**: deliberately break determinism by iterating the
+    /// wake-up thread's scan candidates in `HashMap` order (which varies
+    /// per `RandomState` instance) instead of index order. Exists to
+    /// demonstrate that the structured trace plus [`cg_sim::TraceDiff`]
+    /// pinpoints the first divergent event; never enable in experiments.
+    pub inject_wakeup_nondeterminism: bool,
 }
 
 impl SystemConfig {
@@ -48,6 +54,7 @@ impl SystemConfig {
             num_host_cores: 1,
             seed: 0xC0DE,
             napi: true,
+            inject_wakeup_nondeterminism: false,
         }
     }
 

@@ -1,8 +1,6 @@
 //! The execution engine: core dispatch, thread steps, guest driving,
 //! transports.
 
-
-
 use cg_cca::{RecExit, RecExitReason};
 use cg_host::{DeviceKind, HostAction, ThreadId, VmExecMode, WakeupThread};
 use cg_machine::{CoreId, Domain, IntId, World};
@@ -30,18 +28,11 @@ pub(crate) enum GuestCont {
     /// emulation).
     OpDoneActions(Vec<HostAction>),
     /// An SR-IOV transmit completes: put the packet on the wire.
-    NetTxDirect {
-        bytes: u64,
-        flow: u64,
-    },
+    NetTxDirect { bytes: u64, flow: u64 },
     /// A delegated cross-core IPI completes: ring the target core.
-    IpiSendDone {
-        target_core: CoreId,
-    },
+    IpiSendDone { target_core: CoreId },
     /// The exit record is ready: hand it to the host.
-    ExitPost {
-        exit: RecExit,
-    },
+    ExitPost { exit: RecExit },
 }
 
 impl System {
@@ -50,7 +41,10 @@ impl System {
     pub(crate) fn start_segment(&mut self, core: CoreId, wall: SimDuration, work: SimDuration) {
         let wall = wall.max(SimDuration::nanos(1));
         let cs = &mut self.cores[core.index()];
-        debug_assert!(cs.seg_token.is_none(), "segment already in flight on {core}");
+        debug_assert!(
+            cs.seg_token.is_none(),
+            "segment already in flight on {core}"
+        );
         cs.seg_started = self.queue.now();
         cs.seg_wall = wall;
         cs.seg_work = work;
@@ -466,7 +460,12 @@ impl System {
                         debug_assert!(out.status.is_success());
                         let out = self.rmm.handle_rmi(
                             CoreId(0),
-                            cg_cca::RmiCall::RttCreate { realm, rtt: g, ipa, level },
+                            cg_cca::RmiCall::RttCreate {
+                                realm,
+                                rtt: g,
+                                ipa,
+                                level,
+                            },
                             &mut self.machine,
                         );
                         debug_assert!(out.status.is_success(), "RTT_CREATE: {:?}", out.status);
@@ -474,7 +473,11 @@ impl System {
                     let backing = self.alloc_fixup_granule();
                     let out = self.rmm.handle_rmi(
                         CoreId(0),
-                        cg_cca::RmiCall::RttMapUnprotected { realm, ipa, addr: backing },
+                        cg_cca::RmiCall::RttMapUnprotected {
+                            realm,
+                            ipa,
+                            addr: backing,
+                        },
                         &mut self.machine,
                     );
                     debug_assert!(out.status.is_success(), "MAP_UNPROTECTED: {:?}", out.status);
@@ -641,21 +644,19 @@ impl System {
         }
     }
 
-    fn complete_wakeup_scan(&mut self, core: CoreId, tid: ThreadId) {
-        let now = self.queue.now();
-        let machine = self.config.machine.clone();
-        // Find all posted-and-visible exits whose threads still await.
-        let mut woken = 0u64;
+    /// The vCPUs whose exit is posted, visible, and whose thread still
+    /// awaits it — the set the wake-up thread's scan will wake.
+    fn wakeup_scan_candidates(&self, now: cg_sim::SimTime) -> Vec<(usize, u32)> {
+        let machine = &self.config.machine;
+        let mut candidates = Vec::new();
         for vm_idx in 0..self.vms.len() {
             for vcpu in 0..self.vms[vm_idx].kvm.num_vcpus() {
-                let visible = {
-                    let ch = &self.vms[vm_idx].run_channels[vcpu as usize];
-                    ch.has_response()
-                        && ch
-                            .response_visible_at(&machine)
-                            .map(|t| t <= now)
-                            .unwrap_or(false)
-                };
+                let ch = &self.vms[vm_idx].run_channels[vcpu as usize];
+                let visible = ch.has_response()
+                    && ch
+                        .response_visible_at(machine)
+                        .map(|t| t <= now)
+                        .unwrap_or(false);
                 if !visible {
                     continue;
                 }
@@ -665,22 +666,52 @@ impl System {
                     Some(ThreadCont::VcpuAwait { .. })
                 );
                 if awaiting && self.sched.is_blocked(vtid) {
-                    self.set_cont(
-                        vtid,
-                        ThreadCont::VcpuHandleExit {
-                            vm: VmId(vm_idx),
-                            vcpu,
-                        },
-                    );
-                    let (wcore, preempts) = self.sched.wake(vtid);
-                    woken += 1;
-                    if preempts {
-                        self.maybe_preempt(wcore);
-                    }
-                    // (No dispatch here: the wake-up thread holds this
-                    // core; woken vCPU threads run when it suspends.)
+                    candidates.push((vm_idx, vcpu));
                 }
             }
+        }
+        candidates
+    }
+
+    fn complete_wakeup_scan(&mut self, core: CoreId, tid: ThreadId) {
+        let now = self.queue.now();
+        // Find all posted-and-visible exits whose threads still await.
+        let mut candidates = self.wakeup_scan_candidates(now);
+        if self.config.inject_wakeup_nondeterminism {
+            // Test-only fault injection: launder the candidate list
+            // through a HashMap, whose iteration order depends on the
+            // per-instance RandomState — two same-seed runs in the same
+            // process will wake vCPUs in different orders whenever more
+            // than one exit is visible. The trace records below make the
+            // resulting divergence diagnosable.
+            let map: std::collections::HashMap<(usize, u32), ()> =
+                candidates.iter().map(|&c| (c, ())).collect();
+            candidates = map.into_keys().collect();
+        }
+        // Record the scan order itself: if it ever differs between two
+        // same-seed runs, TraceDiff flags this record as the first
+        // divergence rather than some distant downstream effect.
+        self.strace
+            .record(cg_sim::TraceKind::Sched, Some(core.0), || {
+                format!("wakeup.scan candidates={candidates:?}")
+            });
+        let mut woken = 0u64;
+        for (vm_idx, vcpu) in candidates {
+            let vtid = self.vms[vm_idx].vcpus[vcpu as usize].thread;
+            self.set_cont(
+                vtid,
+                ThreadCont::VcpuHandleExit {
+                    vm: VmId(vm_idx),
+                    vcpu,
+                },
+            );
+            let (wcore, preempts) = self.sched.wake(vtid);
+            woken += 1;
+            if preempts {
+                self.maybe_preempt(wcore);
+            }
+            // (No dispatch here: the wake-up thread holds this
+            // core; woken vCPU threads run when it suspends.)
         }
         let w = self.wakeup.as_mut().expect("wakeup thread exists");
         w.record_woken(woken);
@@ -712,7 +743,9 @@ impl System {
         let dev_id = self.vms[vm.0].devices[device as usize].id;
 
         // Priority: rx emulation, then tx, then disk.
-        if let Some((bytes, flow)) = self.vms[vm.0].devices[device as usize].rx_pending.pop_front()
+        if let Some((bytes, flow)) = self.vms[vm.0].devices[device as usize]
+            .rx_pending
+            .pop_front()
         {
             let cost = {
                 let vmm = &mut self.vms[vm.0].vmm;
@@ -798,9 +831,15 @@ impl System {
             // NAPI: the payload is already in guest memory (DMA); the
             // busy guest picks it up by polling, no injection needed.
             self.metrics.counters.incr("net.napi_rx");
-            self.vms[vm.0]
-                .guest
-                .on_irq(vcpu, GuestIrq::NetRx { device, bytes, flow }, now);
+            self.vms[vm.0].guest.on_irq(
+                vcpu,
+                GuestIrq::NetRx {
+                    device,
+                    bytes,
+                    flow,
+                },
+                now,
+            );
         } else {
             // Interrupt path: the payload waits in the inbox until the
             // completion SPI gets the guest's attention.
@@ -953,7 +992,9 @@ impl System {
                 self.start_compute_segment(core, vm, vcpu, op, remaining, wall, mode);
             }
             GuestOp::SecretCompute { secret, .. } => {
-                let wall = self.machine.run_secret_compute(core, domain, secret, remaining);
+                let wall = self
+                    .machine
+                    .run_secret_compute(core, domain, secret, remaining);
                 self.start_compute_segment(core, vm, vcpu, op, remaining, wall, mode);
             }
             GuestOp::ProgramTick { deadline } => {
@@ -1032,9 +1073,7 @@ impl System {
                     // Non-confidential: ICC_SGI1R traps to KVM on the
                     // same core (table 3's shared-core row).
                     let host = self.config.host.clone();
-                    let cost = hw.realm_exit_trap
-                        + host.ipi_emulate
-                        + hw.realm_enter;
+                    let cost = hw.realm_exit_trap + host.ipi_emulate + hw.realm_enter;
                     let actions = self.vms[vm.0]
                         .kvm
                         .queue_irq(target, IntId::sgi(sgi.min(15)))
@@ -1082,7 +1121,11 @@ impl System {
                     }
                 }
             }
-            GuestOp::NetSend { device, bytes, flow } => {
+            GuestOp::NetSend {
+                device,
+                bytes,
+                flow,
+            } => {
                 let kind = self.vms[vm.0].devices[device as usize].kind;
                 match kind {
                     DeviceKind::SriovNic => {
@@ -1105,10 +1148,13 @@ impl System {
                     }
                 }
             }
-            GuestOp::DiskRead { device, bytes, tag } | GuestOp::DiskWrite { device, bytes, tag } => {
+            GuestOp::DiskRead { device, bytes, tag }
+            | GuestOp::DiskWrite { device, bytes, tag } => {
                 let is_write = matches!(op, GuestOp::DiskWrite { .. });
                 let dev_id = self.vms[vm.0].devices[device as usize].id;
-                self.vms[vm.0].devices[device as usize].tag_owner.insert(tag, vcpu);
+                self.vms[vm.0].devices[device as usize]
+                    .tag_owner
+                    .insert(tag, vcpu);
                 self.vms[vm.0].vmm.queue_disk(
                     dev_id,
                     cg_host::DiskRequest {
@@ -1161,15 +1207,16 @@ impl System {
             GuestOp::TouchShared { ipa } => {
                 // Only unmapped IPAs fault; touches of mapped pages are
                 // plain (fast) accesses.
-                let mapped = if self.vms[vm.0]
-                    .kvm
-                    .mode()
-                    .is_confidential() { {
+                let mapped = if self.vms[vm.0].kvm.mode().is_confidential() {
+                    {
                         self.rmm
                             .realm(self.vms[vm.0].kvm.realm())
                             .map(|r| r.rtt().translate(ipa).is_ok())
                             .unwrap_or(false)
-                    } } else { false };
+                    }
+                } else {
+                    false
+                };
                 if mapped {
                     self.start_guest_segment(
                         core,
@@ -1178,7 +1225,12 @@ impl System {
                         GuestCont::OpDone,
                     );
                 } else if mode.is_confidential() {
-                    match self.guest_event_disposition(core, vm, vcpu, GuestEvent::Stage2Fault { ipa }) {
+                    match self.guest_event_disposition(
+                        core,
+                        vm,
+                        vcpu,
+                        GuestEvent::Stage2Fault { ipa },
+                    ) {
                         Disposition::ExitToHost { exit, cost } => {
                             self.start_guest_exit(core, vm, vcpu, exit, cost)
                         }
@@ -1195,7 +1247,9 @@ impl System {
                 let report = cg_attacks::leakage::probe_core(&self.machine, core, domain);
                 self.metrics.counters.incr("attack.probes");
                 self.attack_report.merge(report);
-                let wall = self.machine.run_compute(core, domain, SimDuration::micros(5));
+                let wall = self
+                    .machine
+                    .run_compute(core, domain, SimDuration::micros(5));
                 self.start_guest_segment(core, wall, SimDuration::ZERO, GuestCont::OpDone);
             }
             GuestOp::Shutdown => {
@@ -1346,7 +1400,9 @@ impl System {
                     let disp = self.rmm.on_guest_event(
                         core,
                         rec,
-                        GuestEvent::PhysIrq { intid: HOST_KICK_SGI },
+                        GuestEvent::PhysIrq {
+                            intid: HOST_KICK_SGI,
+                        },
                         &mut self.machine,
                     );
                     match disp {
@@ -1409,6 +1465,10 @@ impl System {
             "system.exit",
             format!("{vm}.vcpu{vcpu} exits on {core}: {}", exit.reason),
         );
+        self.strace
+            .record(cg_sim::TraceKind::Rpc, Some(core.0), || {
+                format!("run.exit {vm}.vcpu{vcpu} {}", exit.reason)
+            });
         self.vms[vm.0].vcpus[vcpu as usize].exit_posted_at = Some(now);
         match self.vms[vm.0].kvm.mode() {
             VmExecMode::CoreGapped => {
@@ -1461,9 +1521,12 @@ impl System {
         if mode == VmExecMode::CoreGapped || mode == VmExecMode::SharedCoreConfidential {
             self.machine.gic_mut().raise(core, intid);
             let rec = self.vms[vm.0].kvm.rec(vcpu);
-            let disp = self
-                .rmm
-                .on_guest_event(core, rec, GuestEvent::PhysIrq { intid }, &mut self.machine);
+            let disp = self.rmm.on_guest_event(
+                core,
+                rec,
+                GuestEvent::PhysIrq { intid },
+                &mut self.machine,
+            );
             match disp {
                 Disposition::Resume { cost } => {
                     self.start_guest_segment(core, cost, SimDuration::ZERO, GuestCont::OpDone)
@@ -1546,7 +1609,13 @@ impl System {
 
     /// Truncates a running (gapped) guest compute segment so the RMM can
     /// handle a physical interrupt, preserving remaining work.
-    pub(crate) fn interrupt_gapped_guest(&mut self, core: CoreId, vm: VmId, vcpu: u32, intid: IntId) {
+    pub(crate) fn interrupt_gapped_guest(
+        &mut self,
+        core: CoreId,
+        vm: VmId,
+        vcpu: u32,
+        intid: IntId,
+    ) {
         let is_compute = matches!(
             self.cores[core.index()].guest_cont,
             Some(GuestCont::ComputeDone)

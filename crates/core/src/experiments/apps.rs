@@ -27,12 +27,42 @@ pub struct RedisResult {
 /// Paper table 5 values for `(command, core_gapped)`.
 pub fn paper_redis(command: RedisCommand, core_gapped: bool) -> RedisResult {
     match (command, core_gapped) {
-        (RedisCommand::Set, false) => RedisResult { krps: 51.7, mean_ms: 0.52, p95_ms: 0.60, p99_ms: 1.20 },
-        (RedisCommand::Set, true) => RedisResult { krps: 56.2, mean_ms: 0.63, p95_ms: 0.97, p99_ms: 1.44 },
-        (RedisCommand::Get, false) => RedisResult { krps: 48.8, mean_ms: 0.54, p95_ms: 0.64, p99_ms: 1.20 },
-        (RedisCommand::Get, true) => RedisResult { krps: 55.3, mean_ms: 0.57, p95_ms: 0.78, p99_ms: 1.24 },
-        (RedisCommand::Lrange100, false) => RedisResult { krps: 11.6, mean_ms: 1.51, p95_ms: 2.03, p99_ms: 2.38 },
-        (RedisCommand::Lrange100, true) => RedisResult { krps: 14.5, mean_ms: 1.24, p95_ms: 1.56, p99_ms: 1.82 },
+        (RedisCommand::Set, false) => RedisResult {
+            krps: 51.7,
+            mean_ms: 0.52,
+            p95_ms: 0.60,
+            p99_ms: 1.20,
+        },
+        (RedisCommand::Set, true) => RedisResult {
+            krps: 56.2,
+            mean_ms: 0.63,
+            p95_ms: 0.97,
+            p99_ms: 1.44,
+        },
+        (RedisCommand::Get, false) => RedisResult {
+            krps: 48.8,
+            mean_ms: 0.54,
+            p95_ms: 0.64,
+            p99_ms: 1.20,
+        },
+        (RedisCommand::Get, true) => RedisResult {
+            krps: 55.3,
+            mean_ms: 0.57,
+            p95_ms: 0.78,
+            p99_ms: 1.24,
+        },
+        (RedisCommand::Lrange100, false) => RedisResult {
+            krps: 11.6,
+            mean_ms: 1.51,
+            p95_ms: 2.03,
+            p99_ms: 2.38,
+        },
+        (RedisCommand::Lrange100, true) => RedisResult {
+            krps: 14.5,
+            mean_ms: 1.24,
+            p95_ms: 1.56,
+            p99_ms: 1.82,
+        },
     }
 }
 

@@ -28,10 +28,26 @@ pub struct NetpipeConfig {
 impl NetpipeConfig {
     /// All four fig. 8 series.
     pub const ALL: [NetpipeConfig; 4] = [
-        NetpipeConfig { sriov: false, core_gapped: false, direct_delivery: false },
-        NetpipeConfig { sriov: false, core_gapped: true, direct_delivery: false },
-        NetpipeConfig { sriov: true, core_gapped: false, direct_delivery: false },
-        NetpipeConfig { sriov: true, core_gapped: true, direct_delivery: false },
+        NetpipeConfig {
+            sriov: false,
+            core_gapped: false,
+            direct_delivery: false,
+        },
+        NetpipeConfig {
+            sriov: false,
+            core_gapped: true,
+            direct_delivery: false,
+        },
+        NetpipeConfig {
+            sriov: true,
+            core_gapped: false,
+            direct_delivery: false,
+        },
+        NetpipeConfig {
+            sriov: true,
+            core_gapped: true,
+            direct_delivery: false,
+        },
     ];
 
     /// The §5.3 extension configuration: SR-IOV, core-gapped, with
@@ -47,8 +63,16 @@ impl NetpipeConfig {
         format!(
             "{} / {}{}",
             if self.sriov { "SR-IOV" } else { "virtio" },
-            if self.core_gapped { "core-gapped" } else { "shared-core" },
-            if self.direct_delivery { " + direct irq" } else { "" }
+            if self.core_gapped {
+                "core-gapped"
+            } else {
+                "shared-core"
+            },
+            if self.direct_delivery {
+                " + direct irq"
+            } else {
+                ""
+            }
         )
     }
 }
@@ -85,7 +109,10 @@ pub fn run_netpipe(
 ) -> BTreeMap<u64, NetpipePoint> {
     let mut sys_config = base_config(config.core_gapped, seed);
     if config.direct_delivery {
-        assert!(config.core_gapped && config.sriov, "direct delivery is a core-gapped SR-IOV extension");
+        assert!(
+            config.core_gapped && config.sriov,
+            "direct delivery is a core-gapped SR-IOV extension"
+        );
         sys_config.rmm = cg_rmm::RmmConfig::core_gapped_direct_delivery();
     }
     let mut system = System::new(sys_config.clone());
@@ -164,10 +191,7 @@ pub fn run_iozone(
             if let Some(samples) = report.stats.sample(&format!("io_us_{dir}_{r}")) {
                 let mean_us = samples.mean();
                 if mean_us > 0.0 {
-                    out.insert(
-                        (r, is_write),
-                        r as f64 / (1 << 20) as f64 / (mean_us / 1e6),
-                    );
+                    out.insert((r, is_write), r as f64 / (1 << 20) as f64 / (mean_us / 1e6));
                 }
             }
         }
@@ -192,13 +216,21 @@ mod tests {
     #[test]
     fn virtio_gapped_latency_is_much_higher_than_shared() {
         let shared = run_netpipe(
-            NetpipeConfig { sriov: false, core_gapped: false, direct_delivery: false },
+            NetpipeConfig {
+                sriov: false,
+                core_gapped: false,
+                direct_delivery: false,
+            },
             &[1500],
             5,
             5,
         );
         let gapped = run_netpipe(
-            NetpipeConfig { sriov: false, core_gapped: true, direct_delivery: false },
+            NetpipeConfig {
+                sriov: false,
+                core_gapped: true,
+                direct_delivery: false,
+            },
             &[1500],
             5,
             5,
@@ -215,13 +247,21 @@ mod tests {
     #[test]
     fn sriov_closes_most_of_the_gap() {
         let shared = run_netpipe(
-            NetpipeConfig { sriov: true, core_gapped: false, direct_delivery: false },
+            NetpipeConfig {
+                sriov: true,
+                core_gapped: false,
+                direct_delivery: false,
+            },
             &[1500],
             5,
             5,
         );
         let gapped = run_netpipe(
-            NetpipeConfig { sriov: true, core_gapped: true, direct_delivery: false },
+            NetpipeConfig {
+                sriov: true,
+                core_gapped: true,
+                direct_delivery: false,
+            },
             &[1500],
             5,
             5,
@@ -239,7 +279,11 @@ mod tests {
     #[test]
     fn direct_delivery_closes_the_interrupt_gap() {
         let shared = run_netpipe(
-            NetpipeConfig { sriov: true, core_gapped: false, direct_delivery: false },
+            NetpipeConfig {
+                sriov: true,
+                core_gapped: false,
+                direct_delivery: false,
+            },
             &[1500],
             5,
             5,

@@ -111,7 +111,12 @@ mod tests {
         let fast = run_vipi(IpiConfig::CoreGappedDelegated, 30, 7);
         let slow = run_vipi(IpiConfig::CoreGappedNoDelegation, 30, 7);
         assert!(shared.count() >= 25);
-        assert!(fast.mean() < shared.mean() && shared.mean() < slow.mean(),
-            "fast {} shared {} slow {}", fast.mean(), shared.mean(), slow.mean());
+        assert!(
+            fast.mean() < shared.mean() && shared.mean() < slow.mean(),
+            "fast {} shared {} slow {}",
+            fast.mean(),
+            shared.mean(),
+            slow.mean()
+        );
     }
 }

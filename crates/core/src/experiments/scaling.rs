@@ -61,7 +61,10 @@ impl ScalingConfig {
     }
 
     fn delegation(self) -> bool {
-        matches!(self, ScalingConfig::CoreGapped | ScalingConfig::CoreGappedBusyWait)
+        matches!(
+            self,
+            ScalingConfig::CoreGapped | ScalingConfig::CoreGappedBusyWait
+        )
     }
 
     fn busy_wait(self) -> bool {
@@ -150,9 +153,7 @@ pub fn run_coremark(
             let s = &system.metrics().run_to_run_us;
             s.to_online().mean()
         },
-        host_utilization: system
-            .metrics()
-            .host_utilization(0, duration),
+        host_utilization: system.metrics().host_utilization(0, duration),
     }
 }
 
@@ -161,12 +162,7 @@ pub fn run_coremark(
 /// Core-gapped CVMs share a *single* host core for all their VMM
 /// threads — the paper's key scalability point ("running up to 16 VMMs
 /// pinned on a single host core does not harm throughput").
-pub fn run_multivm(
-    config: ScalingConfig,
-    count: u16,
-    duration: SimDuration,
-    seed: u64,
-) -> f64 {
+pub fn run_multivm(config: ScalingConfig, count: u16, duration: SimDuration, seed: u64) -> f64 {
     let vcpus_per_vm: u32 = 4;
     let mut sys_config = SystemConfig::paper_default();
     sys_config.seed = seed;
@@ -194,7 +190,9 @@ pub fn run_multivm(
         } else {
             let base = (i as u32 * 4) as u16;
             VmSpec::shared_core(vcpus_per_vm).with_cores(
-                (base..base + vcpus_per_vm as u16).map(cg_machine::CoreId).collect(),
+                (base..base + vcpus_per_vm as u16)
+                    .map(cg_machine::CoreId)
+                    .collect(),
             )
         };
         if config.busy_wait() {
@@ -210,8 +208,8 @@ pub fn run_multivm(
     let mut total = 0.0;
     for vm in vms {
         let report = system.vm_report(vm);
-        total += report.stats.counters.get("coremark.total_iterations") as f64
-            / duration.as_secs_f64();
+        total +=
+            report.stats.counters.get("coremark.total_iterations") as f64 / duration.as_secs_f64();
     }
     total
 }

@@ -106,7 +106,11 @@ pub fn run_attack(scenario: AttackScenario, duration: SimDuration, seed: u64) ->
 
     let mut system = System::new(config.clone());
     let secret = SecretId(0xDEAD);
-    let victim = GuestKernel::new(1, 250, Box::new(VictimLoop::new(secret, SimDuration::micros(80))));
+    let victim = GuestKernel::new(
+        1,
+        250,
+        Box::new(VictimLoop::new(secret, SimDuration::micros(80))),
+    );
     let attacker = GuestKernel::new(1, 250, Box::new(AttackerLoop::new(SimDuration::micros(60))));
     let victim_vm = system
         .add_vm(victim_spec, Box::new(victim), None)
@@ -137,7 +141,11 @@ pub fn run_attack(scenario: AttackScenario, duration: SimDuration, seed: u64) ->
     // Did untrusted host code ever execute on the victim's core after the
     // victim? Under core gapping the dedicated core only ever runs the
     // victim and the monitor.
-    let victim_core = CoreId(if scenario == AttackScenario::CoreGapped { 1 } else { 0 });
+    let victim_core = CoreId(if scenario == AttackScenario::CoreGapped {
+        1
+    } else {
+        0
+    });
     let host_view = cg_attacks::leakage::probe_core(system.machine(), victim_core, Domain::Host);
     let host_could_run_there = match scenario {
         AttackScenario::CoreGapped => false, // RMM owns the core; host is locked out
@@ -251,11 +259,7 @@ mod tests {
 
     #[test]
     fn interruption_storm_cannot_extract_the_secret() {
-        let o = run_malicious_interruption(
-            SimDuration::micros(200),
-            SimDuration::millis(50),
-            9,
-        );
+        let o = run_malicious_interruption(SimDuration::micros(200), SimDuration::millis(50), 9);
         // The harassment worked as an attack primitive...
         assert!(o.forced_exits > 100, "only {} forced exits", o.forced_exits);
         assert!(o.victim_progressed);

@@ -14,9 +14,7 @@ impl System {
     pub(crate) fn handle(&mut self, ev: SystemEvent) {
         match ev {
             SystemEvent::SegmentEnd { core, epoch } => self.on_segment_end(core, epoch),
-            SystemEvent::PhysTimerFire { core, generation } => {
-                self.on_phys_timer(core, generation)
-            }
+            SystemEvent::PhysTimerFire { core, generation } => self.on_phys_timer(core, generation),
             SystemEvent::IpiArrive { core, intid } => self.on_ipi(core, intid),
             SystemEvent::DeviceIrqArrive { core, vm, device } => {
                 self.on_device_irq(core, vm, device)
@@ -35,9 +33,11 @@ impl System {
                 flow,
             } => self.on_wire_to_guest(vm, device, bytes, flow),
             SystemEvent::DiskDone { vm, device, tag } => self.on_disk_done(vm, device, tag),
-            SystemEvent::HarassTick { vm, vcpu, period_ns } => {
-                self.on_harass_tick(vm, vcpu, period_ns)
-            }
+            SystemEvent::HarassTick {
+                vm,
+                vcpu,
+                period_ns,
+            } => self.on_harass_tick(vm, vcpu, period_ns),
         }
     }
 
@@ -98,7 +98,13 @@ impl System {
 
     /// Routes a physical interrupt into a core currently running or
     /// idling a guest.
-    fn interrupt_gapped_guest_or_shared(&mut self, core: CoreId, vm: VmId, vcpu: u32, intid: IntId) {
+    fn interrupt_gapped_guest_or_shared(
+        &mut self,
+        core: CoreId,
+        vm: VmId,
+        vcpu: u32,
+        intid: IntId,
+    ) {
         self.interrupt_gapped_guest(core, vm, vcpu, intid);
     }
 
@@ -113,7 +119,12 @@ impl System {
             }
             Disposition::ExitToHost { exit, cost } => {
                 // Leaving WFI for the host: the REC exits.
-                self.start_guest_segment(core, cost, SimDuration::ZERO, GuestCont::ExitPost { exit });
+                self.start_guest_segment(
+                    core,
+                    cost,
+                    SimDuration::ZERO,
+                    GuestCont::ExitPost { exit },
+                );
             }
             other => unreachable!("idle irq disposition {other:?}"),
         }
@@ -121,6 +132,10 @@ impl System {
 
     fn on_ipi(&mut self, core: CoreId, intid: IntId) {
         self.metrics.counters.incr("ipi.delivered");
+        self.strace
+            .record(cg_sim::TraceKind::Irq, Some(core.0), || {
+                format!("ipi.arrive {intid}")
+            });
         if intid == CVM_EXIT_SGI {
             // The CVM-exit doorbell at the host core.
             self.host_irq_steal(core, self.config.machine.irq_entry);
@@ -177,7 +192,9 @@ impl System {
         // queues the guest interrupt and kicks/unblocks the vCPU.
         let cost = self.config.machine.irq_entry + self.config.host.irq_inject;
         match self.cores[core.index()].run {
-            CoreRun::Guest { vm: gvm, vcpu } if !matches!(self.vms[gvm.0].kvm.mode(), VmExecMode::CoreGapped) => {
+            CoreRun::Guest { vm: gvm, vcpu }
+                if !matches!(self.vms[gvm.0].kvm.mode(), VmExecMode::CoreGapped) =>
+            {
                 // Shared-mode guest occupying the host core: the IRQ
                 // forces an exit; interrupt handling happens in the exit
                 // path.
@@ -264,6 +281,10 @@ impl System {
             "system.enter",
             format!("{vm}.vcpu{vcpu} enters on {core}"),
         );
+        self.strace
+            .record(cg_sim::TraceKind::Rpc, Some(core.0), || {
+                format!("run.enter {vm}.vcpu{vcpu}")
+            });
         self.cores[core.index()].run = CoreRun::Guest { vm, vcpu };
         self.start_guest_segment(core, out.cost, SimDuration::ZERO, GuestCont::OpDone);
     }
@@ -294,11 +315,12 @@ impl System {
         };
         let wire = self.config.host.nic_wire_latency;
         // Replies land on the VM's first network device.
-        if let Some(device) = self.vms[vm.0]
-            .devices
-            .iter()
-            .position(|d| matches!(d.kind, cg_host::DeviceKind::VirtioNet | cg_host::DeviceKind::SriovNic))
-        {
+        if let Some(device) = self.vms[vm.0].devices.iter().position(|d| {
+            matches!(
+                d.kind,
+                cg_host::DeviceKind::VirtioNet | cg_host::DeviceKind::SriovNic
+            )
+        }) {
             for (delay, reply) in replies {
                 self.queue.schedule_after(
                     delay + wire,
@@ -346,7 +368,11 @@ impl System {
         }
         self.queue.schedule_after(
             SimDuration::nanos(period_ns),
-            SystemEvent::HarassTick { vm, vcpu, period_ns },
+            SystemEvent::HarassTick {
+                vm,
+                vcpu,
+                period_ns,
+            },
         );
     }
 

@@ -38,6 +38,7 @@ mod exec;
 mod handlers;
 
 pub mod config;
+pub mod diag;
 pub mod event;
 pub mod experiments;
 pub mod metrics;
@@ -45,6 +46,7 @@ pub mod microbench;
 pub mod system;
 
 pub use config::{RunTransport, SystemConfig, VmSpec};
+pub use diag::{diff_same_seed_runs, DiffReport};
 pub use event::SystemEvent;
 pub use metrics::{Metrics, VmReport};
 pub use system::{System, VmId};

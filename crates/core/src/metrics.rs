@@ -40,6 +40,37 @@ impl Metrics {
         }
         self.host_busy_ns[core] as f64 / elapsed.as_nanos() as f64
     }
+
+    /// A deterministic digest of everything measured.
+    ///
+    /// Two same-seed runs of the same configuration must produce equal
+    /// fingerprints; a mismatch is a cheap tripwire that the runs
+    /// diverged (the structured trace then pinpoints *where* — see
+    /// [`cg_sim::TraceDiff`]).
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a, folded over a stable serialisation of the metrics.
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        for (key, value) in self.counters.iter() {
+            eat(key.as_bytes());
+            eat(&value.to_le_bytes());
+        }
+        for samples in [&self.run_to_run_us, &self.vipi_latency_us] {
+            eat(&(samples.len() as u64).to_le_bytes());
+            eat(&samples.mean().to_bits().to_le_bytes());
+        }
+        for &busy in &self.host_busy_ns {
+            eat(&busy.to_le_bytes());
+        }
+        h
+    }
 }
 
 /// The end-of-run report for one VM.

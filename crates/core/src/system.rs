@@ -4,13 +4,14 @@ use std::collections::VecDeque;
 use std::fmt;
 
 use cg_cca::{RecEntry, RecExit};
-use cg_host::{
-    CorePlanner, DeviceId, HostAction, KvmVm, Scheduler, ThreadId, Vmm, WakeupThread,
-};
+use cg_host::{CorePlanner, DeviceId, HostAction, KvmVm, Scheduler, ThreadId, Vmm, WakeupThread};
 use cg_machine::{CoreId, IntId, Machine, RealmId};
 use cg_rmm::Rmm;
 use cg_rpc::{Doorbell, SyncChannel};
-use cg_sim::{EventQueue, EventToken, SimDuration, SimRng, SimTime, Trace};
+use cg_sim::{
+    EventQueue, EventToken, SimDuration, SimRng, SimTime, Trace, TraceDumpGuard, TraceHandle,
+    TraceKind, TraceRecord,
+};
 use cg_workloads::{GuestOp, GuestProgram, NetPeer};
 
 use crate::config::{RunTransport, SystemConfig};
@@ -118,7 +119,13 @@ pub(crate) enum ThreadCont {
         queue: VecDeque<HostAction>,
     },
     /// vCPU thread: parked by host-initiated suspend.
-    VcpuPaused { vm: VmId, vcpu: u32 },
+    /// (Fields are carried for trace/debug output.)
+    VcpuPaused {
+        #[allow(dead_code)]
+        vm: VmId,
+        #[allow(dead_code)]
+        vcpu: u32,
+    },
     /// vCPU thread: blocked on guest WFI (shared-core mode).
     /// (Fields are carried for trace/debug output.)
     VcpuBlocked {
@@ -259,6 +266,12 @@ pub struct System {
     #[allow(dead_code)]
     pub(crate) rng: SimRng,
     pub(crate) trace: Trace,
+    /// Structured trace shared with every instrumented subsystem
+    /// (disabled by default; see [`System::enable_structured_trace`]).
+    pub(crate) strace: TraceHandle,
+    /// Redirects the panic-time trace dump into a buffer instead of
+    /// stderr (tests of the dump-on-failure path).
+    pub(crate) strace_sink: Option<std::rc::Rc<std::cell::RefCell<String>>>,
     /// Fake realm-id counter for non-confidential VMs (used only as a
     /// unique domain tag).
     pub(crate) next_fake_realm: u32,
@@ -281,9 +294,7 @@ impl System {
         );
         let machine = Machine::new(config.machine.clone());
         let num_cores = machine.num_cores();
-        let planner = CorePlanner::new(
-            (config.num_host_cores..num_cores).map(CoreId),
-        );
+        let planner = CorePlanner::new((config.num_host_cores..num_cores).map(CoreId));
         let rng = SimRng::seed(config.seed);
         System {
             rmm: Rmm::new(config.rmm.clone()),
@@ -299,6 +310,8 @@ impl System {
             attack_report: cg_attacks::LeakReport::new(),
             rng,
             trace: Trace::disabled(),
+            strace: TraceHandle::disabled(),
+            strace_sink: None,
             next_fake_realm: 10_000,
             core_vcpu: vec![None; num_cores as usize],
             machine,
@@ -347,14 +360,100 @@ impl System {
         self.trace.dump()
     }
 
+    /// Enables the structured trace as a bounded ring of `capacity`
+    /// records and propagates the handle to every instrumented
+    /// subsystem. Use for panic-dump context on long runs.
+    pub fn enable_structured_trace(&mut self, capacity: usize) {
+        self.strace = TraceHandle::ring(capacity);
+        self.propagate_strace();
+    }
+
+    /// Enables the structured trace retaining *every* record, for
+    /// divergence diagnosis with [`cg_sim::TraceDiff`].
+    pub fn enable_structured_capture(&mut self) {
+        self.strace = TraceHandle::capture();
+        self.propagate_strace();
+    }
+
+    /// The structured trace handle (cheap clone; disabled unless one of
+    /// the `enable_structured_*` methods ran).
+    pub fn structured_trace(&self) -> TraceHandle {
+        self.strace.clone()
+    }
+
+    /// Redirects the panic-time trace dump (normally written to stderr
+    /// when a run method unwinds) into `sink`, so tests can assert on the
+    /// dump-on-failure path.
+    pub fn set_structured_dump_sink(&mut self, sink: std::rc::Rc<std::cell::RefCell<String>>) {
+        self.strace_sink = Some(sink);
+    }
+
+    /// Builds the panic-dump guard active for the duration of a run
+    /// method.
+    fn dump_guard(&self) -> TraceDumpGuard {
+        let guard = TraceDumpGuard::new(self.strace.clone());
+        match &self.strace_sink {
+            Some(sink) => guard.with_sink(sink.clone()),
+            None => guard,
+        }
+    }
+
+    /// Wake-up thread statistics `(doorbell activations, vCPUs woken)`,
+    /// if a wake-up thread exists (i.e. a core-gapped VM with the
+    /// async-IPI transport was added).
+    pub fn wakeup_stats(&self) -> Option<(u64, u64)> {
+        self.wakeup
+            .as_ref()
+            .map(|w| (w.activations(), w.vcpus_woken()))
+    }
+
+    /// Clones out the retained structured records, oldest first.
+    pub fn structured_records(&self) -> Vec<TraceRecord> {
+        self.strace.snapshot()
+    }
+
+    /// Hands the structured trace to every subsystem that records through
+    /// it. Idempotent; re-run at the top of each run loop so components
+    /// created after `enable_structured_*` (e.g. by a later `add_vm`) are
+    /// picked up too.
+    fn propagate_strace(&mut self) {
+        if !self.strace.is_enabled() {
+            return;
+        }
+        self.machine.set_trace(&self.strace);
+        self.sched.set_trace(self.strace.clone());
+        self.rmm.set_trace(self.strace.clone());
+        if let Some(w) = &mut self.wakeup {
+            w.set_trace(self.strace.clone());
+        }
+        for vm in &mut self.vms {
+            let realm = vm.kvm.realm().0;
+            for (vcpu, ch) in vm.run_channels.iter_mut().enumerate() {
+                ch.set_trace(self.strace.clone(), realm, vcpu as u32);
+            }
+        }
+    }
+
+    /// Pops the next event, stamping the structured trace's clock and
+    /// recording the pop. All run loops drain the queue through this.
+    fn pop_event(&mut self) -> Option<(SimTime, SystemEvent)> {
+        let (t, ev) = self.queue.pop()?;
+        self.strace.set_now(t);
+        self.strace
+            .record(TraceKind::EventPop, None, || format!("{ev:?}"));
+        Some((t, ev))
+    }
+
     /// Runs the simulation until `deadline` (events at exactly
     /// `deadline` still fire).
     pub fn run_until(&mut self, deadline: SimTime) {
+        self.propagate_strace();
+        let _dump = self.dump_guard();
         while let Some(t) = self.queue.peek_time() {
             if t > deadline {
                 break;
             }
-            let (_, ev) = self.queue.pop().expect("peeked event vanished");
+            let (_, ev) = self.pop_event().expect("peeked event vanished");
             self.handle(ev);
         }
         if self.queue.now() < deadline && self.queue.peek_time().is_none_or(|t| t > deadline) {
@@ -371,6 +470,8 @@ impl System {
     /// Runs until every VM's vCPUs have shut down, or `limit` passes.
     /// Returns `true` if all VMs finished.
     pub fn run_until_done(&mut self, limit: SimDuration) -> bool {
+        self.propagate_strace();
+        let _dump = self.dump_guard();
         let deadline = self.now() + limit;
         while let Some(t) = self.queue.peek_time() {
             if t > deadline {
@@ -379,7 +480,7 @@ impl System {
             if self.vms.iter().all(|vm| vm.kvm.all_finished()) {
                 break;
             }
-            let (_, ev) = self.queue.pop().expect("peeked event vanished");
+            let (_, ev) = self.pop_event().expect("peeked event vanished");
             self.handle(ev);
         }
         self.vms.iter().all(|vm| vm.kvm.all_finished())
@@ -454,12 +555,18 @@ impl System {
 
     /// Requests completed by `vm`'s peer (0 without a counting peer).
     pub fn peer_completed(&self, vm: VmId) -> u64 {
-        self.vms[vm.0].peer.as_ref().map(|p| p.completed()).unwrap_or(0)
+        self.vms[vm.0]
+            .peer
+            .as_ref()
+            .map(|p| p.completed())
+            .unwrap_or(0)
     }
 
     /// Runs until `vm`'s peer reports completion, or `limit` passes.
     /// Returns `true` if the peer finished.
     pub fn run_until_peer_done(&mut self, vm: VmId, limit: SimDuration) -> bool {
+        self.propagate_strace();
+        let _dump = self.dump_guard();
         let deadline = self.now() + limit;
         while let Some(t) = self.queue.peek_time() {
             if t > deadline {
@@ -468,7 +575,7 @@ impl System {
             if self.vms[vm.0].peer.as_ref().is_some_and(|p| p.is_done()) {
                 return true;
             }
-            let (_, ev) = self.queue.pop().expect("peeked event vanished");
+            let (_, ev) = self.pop_event().expect("peeked event vanished");
             self.handle(ev);
         }
         self.vms[vm.0].peer.as_ref().is_some_and(|p| p.is_done())
@@ -537,12 +644,14 @@ mod tests {
     fn trace_records_exits_and_entries() {
         let mut system = System::new(SystemConfig::small());
         system.enable_trace(256);
-        let guest = Box::new(GuestKernel::new(
-            1,
-            250,
-            Box::new(CoremarkPro::new(1, SimDuration::micros(100))),
-        )
-        .with_console_writes(SimDuration::millis(5)));
+        let guest = Box::new(
+            GuestKernel::new(
+                1,
+                250,
+                Box::new(CoremarkPro::new(1, SimDuration::micros(100))),
+            )
+            .with_console_writes(SimDuration::millis(5)),
+        );
         let spec = VmSpec::core_gapped(1).with_device(cg_host::DeviceKind::VirtioNet);
         system.add_vm(spec, guest, None).unwrap();
         system.run_for(SimDuration::millis(30));

@@ -95,12 +95,8 @@ mod tests {
         // Force it onto core 2's queue by picking core 3 busy first:
         // simplest: it was placed on the least-loaded = core 2 (lowest id).
         machine.gic_mut().route_spi(9, CoreId(2));
-        let report = offline_for_dedication(
-            CoreId(2),
-            &mut sched,
-            &mut machine,
-            SimDuration::millis(2),
-        );
+        let report =
+            offline_for_dedication(CoreId(2), &mut sched, &mut machine, SimDuration::millis(2));
         assert_eq!(report.migrated, vec![t]);
         assert!(report.retargeted_spis.contains(&9));
         assert_ne!(machine.gic().spi_route(9), CoreId(2));

@@ -356,7 +356,11 @@ impl KvmVm {
                 // Before blocking, KVM re-checks for pending interrupts
                 // (kvm_arch_vcpu_runnable): one may have been queued
                 // while the exit was in flight.
-                if self.vcpus[vcpu as usize].entry.pending_interrupts.is_empty() {
+                if self.vcpus[vcpu as usize]
+                    .entry
+                    .pending_interrupts
+                    .is_empty()
+                {
                     self.vcpus[vcpu as usize].wfi_blocked = true;
                     actions.push(HostAction::Work {
                         label: "wfi-block",
@@ -559,7 +563,9 @@ mod tests {
         vm.devices_mut().route(7, DeviceId(3));
         vm.mark_entered(0);
         let actions = vm.handle_exit(0, &exit(RecExitReason::HostCall { imm: 7 }), &p);
-        assert!(actions.contains(&HostAction::VmmKick { device: DeviceId(3) }));
+        assert!(actions.contains(&HostAction::VmmKick {
+            device: DeviceId(3)
+        }));
         assert!(actions.contains(&HostAction::Resume { vcpu: 0 }));
     }
 
@@ -568,7 +574,9 @@ mod tests {
         let (mut vm, p) = vm();
         vm.mark_entered(0);
         let actions = vm.handle_exit(0, &exit(RecExitReason::HostCall { imm: 99 }), &p);
-        assert!(!actions.iter().any(|a| matches!(a, HostAction::VmmKick { .. })));
+        assert!(!actions
+            .iter()
+            .any(|a| matches!(a, HostAction::VmmKick { .. })));
         assert!(actions.contains(&HostAction::Resume { vcpu: 0 }));
     }
 

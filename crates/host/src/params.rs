@@ -119,7 +119,9 @@ impl HostParams {
 
     /// Time for `bytes` to stream from/to the disk backing store.
     pub fn disk_transfer(&self, bytes: u64) -> SimDuration {
-        SimDuration::from_nanos_f64(bytes as f64 / (self.disk_bandwidth_mibs * 1024.0 * 1024.0) * 1e9)
+        SimDuration::from_nanos_f64(
+            bytes as f64 / (self.disk_bandwidth_mibs * 1024.0 * 1024.0) * 1e9,
+        )
     }
 
     /// VMM emulation cost for a virtio-net packet of `bytes`.

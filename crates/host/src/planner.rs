@@ -278,7 +278,7 @@ mod tests {
         p.admit(RealmId(2), 2).unwrap(); // 5,6
         p.release(RealmId(0)).unwrap();
         p.release(RealmId(2)).unwrap(); // free: 1,2,5,6,7,8
-        // Request 4: longest contiguous run is 5..8 (length 4).
+                                        // Request 4: longest contiguous run is 5..8 (length 4).
         let a = p.admit(RealmId(3), 4).unwrap();
         assert_eq!(a, vec![CoreId(5), CoreId(6), CoreId(7), CoreId(8)]);
         // Request 3 more: only 1,2 free → insufficient.

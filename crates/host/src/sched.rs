@@ -7,7 +7,7 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use cg_machine::CoreId;
-use cg_sim::SimDuration;
+use cg_sim::{SimDuration, TraceHandle, TraceKind};
 
 use crate::thread::{SchedClass, Thread, ThreadId, ThreadKind, ThreadState};
 
@@ -51,12 +51,20 @@ pub struct Scheduler {
     last_core: BTreeMap<ThreadId, CoreId>,
     next_tid: u32,
     enqueue_seq: u64,
+    /// Structured trace sink (disabled by default).
+    trace: TraceHandle,
 }
 
 impl Scheduler {
     /// Creates an empty scheduler.
     pub fn new() -> Scheduler {
         Scheduler::default()
+    }
+
+    /// Attaches a structured trace; scheduling decisions are recorded
+    /// through it from then on.
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
     }
 
     /// Spawns a new runnable thread and enqueues it.
@@ -124,6 +132,9 @@ impl Scheduler {
             SchedClass::Fair => q.fair.push_back(id),
         }
         self.thread_mut(id).set_state(ThreadState::Runnable);
+        self.trace.record(TraceKind::Sched, Some(core.0), || {
+            format!("sched.enqueue {id} seq={seq}")
+        });
     }
 
     /// Picks the next thread to run on `core` and marks it running.
@@ -139,6 +150,9 @@ impl Scheduler {
         q.current = Some(id);
         self.last_core.insert(id, core);
         self.thread_mut(id).set_state(ThreadState::Running(core));
+        self.trace.record(TraceKind::Sched, Some(core.0), || {
+            format!("sched.pick {id}")
+        });
         Some(id)
     }
 
@@ -171,6 +185,9 @@ impl Scheduler {
     pub fn block_current(&mut self, core: CoreId) -> ThreadId {
         let id = self.take_current(core).expect("no running thread to block");
         self.thread_mut(id).set_state(ThreadState::Blocked);
+        self.trace.record(TraceKind::Sched, Some(core.0), || {
+            format!("sched.block {id}")
+        });
         id
     }
 
@@ -210,6 +227,13 @@ impl Scheduler {
             .current(core)
             .map(|cur| class.preempts(self.thread(cur).class()))
             .unwrap_or(false);
+        self.trace.record(TraceKind::Sched, Some(core.0), || {
+            format!(
+                "sched.wake {id} -> core{}{}",
+                core.0,
+                if preempts { " preempts" } else { "" }
+            )
+        });
         (core, preempts)
     }
 

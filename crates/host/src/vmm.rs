@@ -144,10 +144,17 @@ impl Vmm {
 
     /// VMM I/O thread emulates one queued transmit, returning the packet
     /// to put on the wire and the emulation cost.
-    pub fn emulate_tx(&mut self, id: DeviceId, params: &HostParams) -> Option<(NetPacket, SimDuration)> {
+    pub fn emulate_tx(
+        &mut self,
+        id: DeviceId,
+        params: &HostParams,
+    ) -> Option<(NetPacket, SimDuration)> {
         let d = self.device_mut(id);
         let pkt = d.tx_queue.pop_front()?;
-        Some((pkt, params.virtio_net_kick + params.virtio_net_packet_cost(pkt.bytes)))
+        Some((
+            pkt,
+            params.virtio_net_kick + params.virtio_net_packet_cost(pkt.bytes),
+        ))
     }
 
     /// Pending transmit queue depth.
@@ -213,8 +220,20 @@ mod tests {
     fn tx_queue_fifo_order() {
         let (mut vmm, p) = setup();
         let nic = vmm.add_device(DeviceKind::VirtioNet);
-        vmm.queue_tx(nic, NetPacket { bytes: 100, flow: 1 });
-        vmm.queue_tx(nic, NetPacket { bytes: 200, flow: 2 });
+        vmm.queue_tx(
+            nic,
+            NetPacket {
+                bytes: 100,
+                flow: 1,
+            },
+        );
+        vmm.queue_tx(
+            nic,
+            NetPacket {
+                bytes: 200,
+                flow: 2,
+            },
+        );
         assert_eq!(vmm.tx_pending(nic), 2);
         let (p1, _) = vmm.emulate_tx(nic, &p).unwrap();
         let (p2, _) = vmm.emulate_tx(nic, &p).unwrap();
@@ -228,7 +247,13 @@ mod tests {
         let (mut vmm, p) = setup();
         let nic = vmm.add_device(DeviceKind::VirtioNet);
         vmm.queue_tx(nic, NetPacket { bytes: 64, flow: 0 });
-        vmm.queue_tx(nic, NetPacket { bytes: 65536, flow: 0 });
+        vmm.queue_tx(
+            nic,
+            NetPacket {
+                bytes: 65536,
+                flow: 0,
+            },
+        );
         let (_, c1) = vmm.emulate_tx(nic, &p).unwrap();
         let (_, c2) = vmm.emulate_tx(nic, &p).unwrap();
         assert!(c2 > c1);
@@ -238,7 +263,14 @@ mod tests {
     fn disk_emulation_returns_cpu_and_service_time() {
         let (mut vmm, p) = setup();
         let blk = vmm.add_device(DeviceKind::VirtioBlk);
-        vmm.queue_disk(blk, DiskRequest { bytes: 4096, is_write: false, tag: 7 });
+        vmm.queue_disk(
+            blk,
+            DiskRequest {
+                bytes: 4096,
+                is_write: false,
+                tag: 7,
+            },
+        );
         let (req, cpu, service) = vmm.emulate_disk(blk, &p).unwrap();
         assert_eq!(req.tag, 7);
         assert!(cpu >= p.virtio_blk_request);
@@ -249,7 +281,14 @@ mod tests {
     fn rx_counts_interrupts() {
         let (mut vmm, p) = setup();
         let nic = vmm.add_device(DeviceKind::VirtioNet);
-        vmm.emulate_rx(nic, NetPacket { bytes: 1500, flow: 0 }, &p);
+        vmm.emulate_rx(
+            nic,
+            NetPacket {
+                bytes: 1500,
+                flow: 0,
+            },
+            &p,
+        );
         vmm.count_interrupt(nic);
         assert_eq!(vmm.interrupts(nic), 2);
     }

@@ -7,7 +7,7 @@
 //! during the scan coalesce), and suspends until the next IPI.
 
 use cg_cca::RecId;
-use cg_sim::SimDuration;
+use cg_sim::{SimDuration, TraceHandle, TraceKind};
 
 use crate::thread::ThreadId;
 
@@ -35,6 +35,8 @@ pub struct WakeupThread {
     rescan_requested: bool,
     activations: u64,
     vcpus_woken: u64,
+    /// Structured trace sink (disabled by default).
+    trace: TraceHandle,
 }
 
 impl WakeupThread {
@@ -47,7 +49,14 @@ impl WakeupThread {
             rescan_requested: false,
             activations: 0,
             vcpus_woken: 0,
+            trace: TraceHandle::disabled(),
         }
+    }
+
+    /// Attaches a structured trace; activation/suspension decisions are
+    /// recorded through it from then on.
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
     }
 
     /// The scheduler thread id.
@@ -76,7 +85,7 @@ impl WakeupThread {
     /// suspended and must now be woken (scheduled); `false` if it is
     /// already active (the notification coalesces).
     pub fn on_doorbell(&mut self) -> bool {
-        match self.state {
+        let must_wake = match self.state {
             State::Suspended => {
                 self.state = State::Active;
                 self.activations += 1;
@@ -86,7 +95,18 @@ impl WakeupThread {
                 self.rescan_requested = true;
                 false
             }
-        }
+        };
+        self.trace.record(TraceKind::Sched, None, || {
+            format!(
+                "wakeup.doorbell {}",
+                if must_wake {
+                    "activates"
+                } else {
+                    "coalesced -> rescan"
+                }
+            )
+        });
+        must_wake
     }
 
     /// Returns `true` while activated.
@@ -103,12 +123,23 @@ impl WakeupThread {
     /// active) if a doorbell rang during the scan — the caller must scan
     /// again; `true` if the thread is now suspended.
     pub fn try_suspend(&mut self) -> bool {
-        if std::mem::replace(&mut self.rescan_requested, false) {
+        let suspended = if std::mem::replace(&mut self.rescan_requested, false) {
             false
         } else {
             self.state = State::Suspended;
             true
-        }
+        };
+        self.trace.record(TraceKind::Sched, None, || {
+            format!(
+                "wakeup.try_suspend {}",
+                if suspended {
+                    "suspended"
+                } else {
+                    "rescan pending"
+                }
+            )
+        });
+        suspended
     }
 
     /// The scan found nothing new: the thread suspends until the next
@@ -183,6 +214,28 @@ mod tests {
         let per = SimDuration::nanos(80);
         assert_eq!(WakeupThread::scan_cost(0, per), per); // floor of one line
         assert_eq!(WakeupThread::scan_cost(4, per), per * 4);
+    }
+
+    #[test]
+    fn multiple_coalesced_rings_cause_exactly_one_extra_scan() {
+        // The fig. 4 lost-wakeup fix must not over-scan either: any number
+        // of doorbells arriving during one scan collapse into a single
+        // rescan request, so the thread performs exactly one extra scan
+        // before suspending.
+        let mut w = WakeupThread::new(ThreadId(1));
+        assert!(w.on_doorbell(), "first ring activates");
+        // Three more rings land while the scan is in flight.
+        assert!(!w.on_doorbell());
+        assert!(!w.on_doorbell());
+        assert!(!w.on_doorbell());
+        let mut scans = 0;
+        while !w.try_suspend() {
+            scans += 1;
+            assert!(scans < 10, "rescan requests must not self-renew");
+        }
+        assert_eq!(scans, 1, "coalesced rings trigger exactly one rescan");
+        assert!(!w.is_active());
+        assert_eq!(w.activations(), 1);
     }
 
     #[test]

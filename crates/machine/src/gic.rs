@@ -20,6 +20,8 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
+use cg_sim::{TraceHandle, TraceKind};
+
 use crate::ids::CoreId;
 
 /// An interrupt identifier (INTID).
@@ -138,6 +140,8 @@ pub struct Gic {
     num_list_regs: usize,
     /// SPI routing: index = SPI number, value = target core.
     spi_routes: Vec<CoreId>,
+    /// Structured trace sink (disabled by default).
+    trace: TraceHandle,
 }
 
 impl Gic {
@@ -154,7 +158,14 @@ impl Gic {
                 .collect(),
             num_list_regs,
             spi_routes: Vec::new(),
+            trace: TraceHandle::disabled(),
         }
+    }
+
+    /// Attaches a structured trace; interrupt transitions are recorded
+    /// through it from then on.
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
     }
 
     fn core(&self, core: CoreId) -> &CoreIrqState {
@@ -175,7 +186,13 @@ impl Gic {
     /// Marks an INTID physically pending on `core`. (Delivery latency is
     /// the caller's responsibility.)
     pub fn raise(&mut self, core: CoreId, intid: IntId) {
-        self.core_mut(core).pending.insert(intid);
+        let newly = self.core_mut(core).pending.insert(intid);
+        self.trace.record(TraceKind::Irq, Some(core.0), || {
+            format!(
+                "gic.raise {intid}{}",
+                if newly { "" } else { " (already pending)" }
+            )
+        });
     }
 
     /// Clears a pending INTID without acknowledging it (e.g. timer
@@ -228,7 +245,10 @@ impl Gic {
 
     /// The core SPI number `n` routes to (default core 0).
     pub fn spi_route(&self, n: u32) -> CoreId {
-        self.spi_routes.get(n as usize).copied().unwrap_or(CoreId(0))
+        self.spi_routes
+            .get(n as usize)
+            .copied()
+            .unwrap_or(CoreId(0))
     }
 
     // ----- list registers (virtual interrupts) -----
@@ -269,12 +289,18 @@ impl Gic {
                     state: LrState::PendingActive,
                 });
             }
+            self.trace.record(TraceKind::Irq, Some(core.0), || {
+                format!("gic.inject {vintid} merged into lr{slot}")
+            });
             return Some(slot);
         }
         let slot = self.free_lr_slot(core)?;
         self.core_mut(core).lrs[slot] = Some(ListRegister {
             vintid,
             state: LrState::Pending,
+        });
+        self.trace.record(TraceKind::Irq, Some(core.0), || {
+            format!("gic.inject {vintid} -> lr{slot}")
         });
         Some(slot)
     }

@@ -67,6 +67,15 @@ impl Machine {
         }
     }
 
+    /// Attaches a structured trace to the machine's interrupt controller
+    /// and every per-core timer.
+    pub fn set_trace(&mut self, trace: &cg_sim::TraceHandle) {
+        self.gic.set_trace(trace.clone());
+        for (i, timer) in self.timers.iter_mut().enumerate() {
+            timer.set_trace(trace.clone(), i as u16);
+        }
+    }
+
     /// The hardware parameters this machine was built with.
     pub fn params(&self) -> &HwParams {
         &self.params
@@ -300,7 +309,10 @@ mod tests {
         let seen = m.microarch(c).probe(Structure::L1d, Domain::Host);
         assert!(seen.iter().any(|l| l.secret == Some(SecretId(5))));
         // Other cores are untouched.
-        assert!(m.microarch(CoreId(3)).probe(Structure::L1d, Domain::Host).is_empty());
+        assert!(m
+            .microarch(CoreId(3))
+            .probe(Structure::L1d, Domain::Host)
+            .is_empty());
     }
 
     #[test]

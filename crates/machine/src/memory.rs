@@ -125,7 +125,10 @@ impl fmt::Display for MemoryError {
                 write!(f, "granule in unexpected state {actual:?}")
             }
             MemoryError::GranuleProtectionFault { domain, state } => {
-                write!(f, "granule protection fault: {domain} accessed {state:?} granule")
+                write!(
+                    f,
+                    "granule protection fault: {domain} accessed {state:?} granule"
+                )
             }
             MemoryError::OutOfRange => write!(f, "address outside physical memory"),
         }
@@ -312,7 +315,10 @@ mod tests {
     fn alignment_enforced() {
         assert!(GranuleAddr::new(4096).is_some());
         assert!(GranuleAddr::new(4097).is_none());
-        assert_eq!(GranuleAddr::containing(4097), GranuleAddr::new(4096).unwrap());
+        assert_eq!(
+            GranuleAddr::containing(4097),
+            GranuleAddr::new(4096).unwrap()
+        );
     }
 
     #[test]
@@ -330,7 +336,10 @@ mod tests {
     fn double_delegate_rejected() {
         let mut m = GranuleMap::new(MEM);
         m.delegate(g(1)).unwrap();
-        assert!(matches!(m.delegate(g(1)), Err(MemoryError::BadState { .. })));
+        assert!(matches!(
+            m.delegate(g(1)),
+            Err(MemoryError::BadState { .. })
+        ));
     }
 
     #[test]

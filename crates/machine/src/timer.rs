@@ -12,7 +12,7 @@
 //! current (reprogramming invalidates older deadlines by generation
 //! counting).
 
-use cg_sim::SimTime;
+use cg_sim::{SimTime, TraceHandle, TraceKind};
 
 /// One core's generic timer.
 ///
@@ -32,6 +32,10 @@ use cg_sim::SimTime;
 pub struct GenericTimer {
     deadline: Option<SimTime>,
     generation: u64,
+    /// Structured trace sink (disabled by default).
+    trace: TraceHandle,
+    /// Owning core, for trace attribution.
+    core: u16,
 }
 
 impl GenericTimer {
@@ -40,19 +44,35 @@ impl GenericTimer {
         GenericTimer::default()
     }
 
+    /// Attaches a structured trace, attributing records to `core`.
+    pub fn set_trace(&mut self, trace: TraceHandle, core: u16) {
+        self.trace = trace;
+        self.core = core;
+    }
+
     /// Arms the timer for `deadline`, returning a generation token the
     /// caller must present when the deadline elapses. Any previously
     /// outstanding deadline is superseded.
     pub fn program(&mut self, deadline: SimTime) -> u64 {
         self.generation += 1;
         self.deadline = Some(deadline);
+        self.trace.record(TraceKind::Timer, Some(self.core), || {
+            format!("timer.program deadline={deadline} gen={}", self.generation)
+        });
         self.generation
     }
 
     /// Disarms the timer.
     pub fn cancel(&mut self) {
         self.generation += 1;
+        let was_armed = self.deadline.is_some();
         self.deadline = None;
+        self.trace.record(TraceKind::Timer, Some(self.core), || {
+            format!(
+                "timer.cancel{}",
+                if was_armed { "" } else { " (already disarmed)" }
+            )
+        });
     }
 
     /// Reports a firing event for generation `generation`.
@@ -61,12 +81,17 @@ impl GenericTimer {
     /// raise [`crate::IntId::VTIMER`] on the owning core); `false` if the
     /// timer was reprogrammed or cancelled in the meantime.
     pub fn fire(&mut self, generation: u64) -> bool {
-        if generation == self.generation && self.deadline.is_some() {
+        let current = generation == self.generation && self.deadline.is_some();
+        if current {
             self.deadline = None;
-            true
-        } else {
-            false
         }
+        self.trace.record(TraceKind::Timer, Some(self.core), || {
+            format!(
+                "timer.fire gen={generation} {}",
+                if current { "current" } else { "stale" }
+            )
+        });
+        current
     }
 
     /// The currently armed deadline, if any.

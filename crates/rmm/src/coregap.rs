@@ -169,9 +169,10 @@ impl CoreGap {
     /// dedicated pool (and may then be released to the host).
     pub fn unbind(&mut self, rec: RecId) {
         if let Some(core) = self.bindings.remove(&rec) {
-            let realm_still_bound = self.bindings.keys().any(|r| {
-                r.realm == rec.realm && self.bindings.get(r) == Some(&core)
-            });
+            let realm_still_bound = self
+                .bindings
+                .keys()
+                .any(|r| r.realm == rec.realm && self.bindings.get(r) == Some(&core));
             if !realm_still_bound {
                 if let Some(slot) = self.dedicated.get_mut(&core) {
                     *slot = None;

@@ -11,6 +11,7 @@
 use std::collections::BTreeSet;
 
 use cg_machine::{CoreId, Gic, IntId};
+use cg_sim::{TraceHandle, TraceKind};
 
 /// Which interrupt sources the RMM emulates locally.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,12 +76,29 @@ pub struct InterruptPlan {
 pub struct VirtualGic {
     /// Pending virtual interrupts not yet staged in list registers.
     pending: BTreeSet<IntId>,
+    /// Structured trace sink (disabled by default).
+    trace: TraceHandle,
+    /// Realm/REC owning this state, for trace attribution.
+    owner: (u32, u32),
 }
 
 impl VirtualGic {
     /// Creates empty virtual interrupt state.
     pub fn new() -> VirtualGic {
         VirtualGic::default()
+    }
+
+    /// Attaches a structured trace, attributing records to realm `realm`
+    /// / REC `rec`.
+    pub fn set_trace(&mut self, trace: TraceHandle, realm: u32, rec: u32) {
+        self.trace = trace;
+        self.owner = (realm, rec);
+    }
+
+    fn trace_irq(&self, core: Option<u16>, detail: impl FnOnce() -> String) {
+        let (realm, rec) = self.owner;
+        self.trace
+            .record_vm(TraceKind::Irq, core, Some(realm), Some(rec), detail);
     }
 
     /// Step ① of fig. 5: the host's run call provides its interrupt list.
@@ -100,6 +118,7 @@ impl VirtualGic {
     /// (timer tick, delegated IPI).
     pub fn inject_local(&mut self, intid: IntId) {
         self.pending.insert(intid);
+        self.trace_irq(None, || format!("vgic.inject_local {intid}"));
     }
 
     /// Steps ②/②′: move pending interrupts into free physical list
@@ -115,6 +134,11 @@ impl VirtualGic {
             } else {
                 overflowed.push(intid);
             }
+        }
+        if !injected.is_empty() || !overflowed.is_empty() {
+            self.trace_irq(Some(core.0), || {
+                format!("vgic.sync injected={injected:?} overflowed={overflowed:?}")
+            });
         }
         InterruptPlan {
             injected,
@@ -174,7 +198,10 @@ mod tests {
     #[test]
     fn host_cannot_inject_delegated_sources() {
         let mut vgic = VirtualGic::new();
-        vgic.host_provides(&[IntId::VTIMER, IntId::sgi(3), IntId::spi(0)], DelegationConfig::FULL);
+        vgic.host_provides(
+            &[IntId::VTIMER, IntId::sgi(3), IntId::spi(0)],
+            DelegationConfig::FULL,
+        );
         assert_eq!(vgic.pending(), vec![IntId::spi(0)]);
     }
 

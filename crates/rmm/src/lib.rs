@@ -41,5 +41,5 @@ pub use coregap::{CoreGap, CoreGapError};
 pub use interrupts::{InterruptPlan, VirtualGic};
 pub use realm::{Realm, RealmState};
 pub use rec::{Rec, RecState};
-pub use rmm::{Disposition, GuestEvent, Rmm, RmmConfig, RmiOutcome, REALM_DOORBELL_SGI};
+pub use rmm::{Disposition, GuestEvent, RmiOutcome, Rmm, RmmConfig, REALM_DOORBELL_SGI};
 pub use rtt::{Rtt, RttError};

@@ -144,9 +144,7 @@ impl Realm {
     /// Returns `false` if the index is out of range or already used, or
     /// the realm is not `New` (RECs are created before activation).
     pub fn add_rec(&mut self, index: u32, rec: Rec) -> bool {
-        if self.state != RealmState::New
-            || index >= self.num_recs
-            || self.recs.contains_key(&index)
+        if self.state != RealmState::New || index >= self.num_recs || self.recs.contains_key(&index)
         {
             return false;
         }

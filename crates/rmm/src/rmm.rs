@@ -257,6 +257,9 @@ pub struct Rmm {
     coregap: CoreGap,
     platform_measurement: Measurement,
     counters: Counters,
+    /// Structured trace sink, handed to each REC's virtual GIC
+    /// (disabled by default).
+    trace: cg_sim::TraceHandle,
 }
 
 impl Rmm {
@@ -273,6 +276,28 @@ impl Rmm {
             coregap: CoreGap::new(),
             platform_measurement: image,
             counters: Counters::new(),
+            trace: cg_sim::TraceHandle::disabled(),
+        }
+    }
+
+    /// Attaches a structured trace, propagating it to every existing
+    /// REC's virtual interrupt state; RECs created later inherit it.
+    pub fn set_trace(&mut self, trace: cg_sim::TraceHandle) {
+        self.trace = trace;
+        let ids: Vec<RecId> = self
+            .realms
+            .iter()
+            .flatten()
+            .flat_map(|r| {
+                let realm = r.id();
+                r.recs().map(move |(i, _)| RecId::new(realm, i))
+            })
+            .collect();
+        for id in ids {
+            let trace = self.trace.clone();
+            if let Some(rec) = self.rec_mut(id) {
+                rec.vgic_mut().set_trace(trace, id.realm.0, id.index);
+            }
         }
     }
 
@@ -328,7 +353,11 @@ impl Rmm {
     /// # Errors
     ///
     /// Forwards [`CoreGapError`] on double dedication.
-    pub fn dedicate_core(&mut self, core: CoreId, machine: &mut Machine) -> Result<(), CoreGapError> {
+    pub fn dedicate_core(
+        &mut self,
+        core: CoreId,
+        machine: &mut Machine,
+    ) -> Result<(), CoreGapError> {
         self.coregap.dedicate(core)?;
         machine.cpu_mut(core).dedicate_to_rmm();
         self.counters.incr("rmm.core_dedicated");
@@ -341,7 +370,11 @@ impl Rmm {
     /// # Errors
     ///
     /// Forwards [`CoreGapError`] if the core is bound or not dedicated.
-    pub fn reclaim_core(&mut self, core: CoreId, machine: &mut Machine) -> Result<(), CoreGapError> {
+    pub fn reclaim_core(
+        &mut self,
+        core: CoreId,
+        machine: &mut Machine,
+    ) -> Result<(), CoreGapError> {
         self.coregap.release(core)?;
         machine.cpu_mut(core).unbind_realm();
         machine.cpu_mut(core).online();
@@ -395,15 +428,13 @@ impl Rmm {
             RmiCall::RttMapUnprotected { realm, ipa, addr } => {
                 self.rtt_map_unprotected(realm, ipa, addr, machine, costs)
             }
-            RmiCall::RttUnmapUnprotected { realm, ipa } => {
-                match self.realm_mut(realm) {
-                    Some(r) => match r.rtt_mut().unmap(ipa) {
-                        Ok(_) => RmiOutcome::ok(costs.rtt_op),
-                        Err(_) => RmiOutcome::fail(RmiStatus::ErrorRtt, costs.rtt_op),
-                    },
-                    None => RmiOutcome::fail(RmiStatus::ErrorRealm, costs.rtt_op),
-                }
-            }
+            RmiCall::RttUnmapUnprotected { realm, ipa } => match self.realm_mut(realm) {
+                Some(r) => match r.rtt_mut().unmap(ipa) {
+                    Ok(_) => RmiOutcome::ok(costs.rtt_op),
+                    Err(_) => RmiOutcome::fail(RmiStatus::ErrorRtt, costs.rtt_op),
+                },
+                None => RmiOutcome::fail(RmiStatus::ErrorRealm, costs.rtt_op),
+            },
             RmiCall::RecEnter { rec, .. } => self.rec_enter(core, rec, machine, costs),
         }
     }
@@ -438,7 +469,8 @@ impl Rmm {
             machine.memory_mut().unassign(rd).expect("just assigned");
             return RmiOutcome::fail(RmiStatus::ErrorGranule, costs.object);
         }
-        self.realms.push(Some(Realm::new(id, rd, rtt_root, num_recs)));
+        self.realms
+            .push(Some(Realm::new(id, rd, rtt_root, num_recs)));
         RmiOutcome {
             status: RmiStatus::Success,
             cost: costs.object,
@@ -446,12 +478,7 @@ impl Rmm {
         }
     }
 
-    fn realm_destroy(
-        &mut self,
-        id: RealmId,
-        machine: &mut Machine,
-        costs: RmmCosts,
-    ) -> RmiOutcome {
+    fn realm_destroy(&mut self, id: RealmId, machine: &mut Machine, costs: RmmCosts) -> RmiOutcome {
         let Some(realm) = self.realm_mut(id) else {
             return RmiOutcome::fail(RmiStatus::ErrorRealm, costs.object);
         };
@@ -502,8 +529,11 @@ impl Rmm {
         {
             return RmiOutcome::fail(RmiStatus::ErrorGranule, costs.object);
         }
+        let trace = self.trace.clone();
         let r = self.realm_mut(realm).expect("checked above");
-        if !r.add_rec(index, Rec::new()) {
+        let mut rec = Rec::new();
+        rec.vgic_mut().set_trace(trace, realm.0, index);
+        if !r.add_rec(index, rec) {
             machine
                 .memory_mut()
                 .unassign(rec_granule)
@@ -829,20 +859,14 @@ impl Rmm {
             GuestEvent::Wfi => {
                 // If anything is already pending, WFI falls through.
                 let has_virq = machine.gic().next_virtual_pending(core).is_some()
-                    || !self
-                        .rec(rec_id)
-                        .expect("checked running")
-                        .vgic()
-                        .is_idle();
+                    || !self.rec(rec_id).expect("checked running").vgic().is_idle();
                 if has_virq {
                     let rec = self.rec_mut(rec_id).expect("checked running");
                     rec.vgic_mut().sync_to_lrs(core, machine.gic_mut());
                     Disposition::Resume {
                         cost: params.sysreg_trap_emulate,
                     }
-                } else if self.config.core_gapping
-                    && (delegation.timer || delegation.ipi)
-                {
+                } else if self.config.core_gapping && (delegation.timer || delegation.ipi) {
                     // Dedicated core with delegated interrupt sources:
                     // idle inside the RMM so local interrupts can wake
                     // the guest without the host. Without delegation the
@@ -956,9 +980,7 @@ impl Rmm {
         if mark_exited {
             rec.exit();
         }
-        let interrupts = rec
-            .vgic()
-            .filtered_view(core, machine.gic(), delegation);
+        let interrupts = rec.vgic().filtered_view(core, machine.gic(), delegation);
         machine
             .cpu_mut(core)
             .set_current_domain(Some(Domain::Monitor));
@@ -966,9 +988,7 @@ impl Rmm {
         exit.interrupts = interrupts;
         Disposition::ExitToHost {
             exit,
-            cost: params.realm_exit_trap
-                + params.context_save
-                + self.config.costs.exit_extra,
+            cost: params.realm_exit_trap + params.context_save + self.config.costs.exit_extra,
         }
     }
 
@@ -1059,7 +1079,10 @@ mod tests {
     use cg_machine::HwParams;
 
     fn setup() -> (Rmm, Machine) {
-        (Rmm::new(RmmConfig::core_gapped()), Machine::new(HwParams::small()))
+        (
+            Rmm::new(RmmConfig::core_gapped()),
+            Machine::new(HwParams::small()),
+        )
     }
 
     fn g(n: u64) -> GranuleAddr {
@@ -1073,13 +1096,24 @@ mod tests {
             machine.memory_mut().delegate(g(n)).unwrap();
         }
         let c = CoreId(0);
-        let out = rmm.handle_rmi(c, RmiCall::RealmCreate { rd: g(10), num_recs: 2 }, machine);
+        let out = rmm.handle_rmi(
+            c,
+            RmiCall::RealmCreate {
+                rd: g(10),
+                num_recs: 2,
+            },
+            machine,
+        );
         assert!(out.status.is_success(), "{out:?}");
         let realm = RealmId(0);
         for (i, n) in [(0u32, 12u64), (1, 13)] {
             let out = rmm.handle_rmi(
                 c,
-                RmiCall::RecCreate { realm, index: i, rec: g(n) },
+                RmiCall::RecCreate {
+                    realm,
+                    index: i,
+                    rec: g(n),
+                },
                 machine,
             );
             assert!(out.status.is_success(), "{out:?}");
@@ -1107,7 +1141,9 @@ mod tests {
         for i in 0..2 {
             let out = rmm.handle_rmi(
                 CoreId(0),
-                RmiCall::RecDestroy { rec: RecId::new(realm, i) },
+                RmiCall::RecDestroy {
+                    rec: RecId::new(realm, i),
+                },
                 &mut machine,
             );
             assert!(out.status.is_success());
@@ -1176,7 +1212,9 @@ mod tests {
         let disp = rmm.on_guest_event(
             CoreId(4),
             rec,
-            GuestEvent::PhysIrq { intid: IntId::VTIMER },
+            GuestEvent::PhysIrq {
+                intid: IntId::VTIMER,
+            },
             &mut machine,
         );
         assert!(matches!(disp, Disposition::Resume { .. }), "{disp:?}");
@@ -1198,7 +1236,9 @@ mod tests {
         let disp = rmm.on_guest_event(
             CoreId(4),
             rec,
-            GuestEvent::TimerProgram { deadline: SimTime::from_nanos(100) },
+            GuestEvent::TimerProgram {
+                deadline: SimTime::from_nanos(100),
+            },
             &mut machine,
         );
         match disp {
@@ -1221,7 +1261,10 @@ mod tests {
         let disp = rmm.on_guest_event(
             CoreId(4),
             sender,
-            GuestEvent::SendIpi { target_index: 1, sgi: 3 },
+            GuestEvent::SendIpi {
+                target_index: 1,
+                sgi: 3,
+            },
             &mut machine,
         );
         match disp {
@@ -1234,7 +1277,9 @@ mod tests {
         let disp = rmm.on_guest_event(
             CoreId(5),
             receiver,
-            GuestEvent::PhysIrq { intid: REALM_DOORBELL_SGI },
+            GuestEvent::PhysIrq {
+                intid: REALM_DOORBELL_SGI,
+            },
             &mut machine,
         );
         assert!(matches!(disp, Disposition::Resume { .. }));
@@ -1265,7 +1310,10 @@ mod tests {
         let realm = build_realm(&mut rmm, &mut machine);
         let rec = RecId::new(realm, 0);
         rmm.rec_enter_with_list(CoreId(4), rec, &[], &mut machine);
-        rmm.rec_mut(rec).unwrap().vgic_mut().inject_local(IntId::VTIMER);
+        rmm.rec_mut(rec)
+            .unwrap()
+            .vgic_mut()
+            .inject_local(IntId::VTIMER);
         let disp = rmm.on_guest_event(CoreId(4), rec, GuestEvent::Wfi, &mut machine);
         assert!(matches!(disp, Disposition::Resume { .. }));
     }
@@ -1277,11 +1325,18 @@ mod tests {
         let rec = RecId::new(realm, 0);
         rmm.rec_enter_with_list(CoreId(4), rec, &[IntId::spi(2)], &mut machine);
         // Delegated timer pending too — must not appear in the host view.
-        rmm.rec_mut(rec).unwrap().vgic_mut().inject_local(IntId::VTIMER);
+        rmm.rec_mut(rec)
+            .unwrap()
+            .vgic_mut()
+            .inject_local(IntId::VTIMER);
         let disp = rmm.on_guest_event(
             CoreId(4),
             rec,
-            GuestEvent::MmioWrite { ipa: 0x9000_0000, size: 4, value: 1 },
+            GuestEvent::MmioWrite {
+                ipa: 0x9000_0000,
+                size: 4,
+                value: 1,
+            },
             &mut machine,
         );
         match disp {
@@ -1304,7 +1359,10 @@ mod tests {
         assert!(matches!(
             disp,
             Disposition::ExitToHost {
-                exit: RecExit { reason: RecExitReason::Shutdown, .. },
+                exit: RecExit {
+                    reason: RecExitReason::Shutdown,
+                    ..
+                },
                 ..
             }
         ));
@@ -1333,18 +1391,17 @@ mod tests {
         use cg_cca::{PlatformCert, RsiCall, RsiResult};
         let (mut rmm, mut machine) = setup();
         let realm = build_realm(&mut rmm, &mut machine);
-        assert_eq!(rmm.handle_rsi(realm, RsiCall::Version), RsiResult::Version(1, 0));
+        assert_eq!(
+            rmm.handle_rsi(realm, RsiCall::Version),
+            RsiResult::Version(1, 0)
+        );
         match rmm.handle_rsi(realm, RsiCall::RealmConfig) {
             RsiResult::RealmConfig { ipa_width } => assert_eq!(ipa_width, 48),
             other => panic!("unexpected {other:?}"),
         }
         match rmm.handle_rsi(realm, RsiCall::AttestationToken { challenge: 7 }) {
             RsiResult::Token(token) => {
-                assert!(token.verify(
-                    &PlatformCert::example(),
-                    rmm.platform_measurement(),
-                    7
-                ));
+                assert!(token.verify(&PlatformCert::example(), rmm.platform_measurement(), 7));
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -1378,7 +1435,11 @@ mod tests {
         // pages go through a different path not modelled here).
         let out = rmm.handle_rmi(
             CoreId(0),
-            RmiCall::DataCreate { realm, data: g(23), ipa: 0x1000 },
+            RmiCall::DataCreate {
+                realm,
+                data: g(23),
+                ipa: 0x1000,
+            },
             &mut machine,
         );
         assert_eq!(out.status, RmiStatus::ErrorRealm);

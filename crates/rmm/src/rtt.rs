@@ -175,7 +175,10 @@ impl Rtt {
             return Err(RttError::TableExists);
         }
         let parent = RttLevel(level.0 - 1);
-        if !self.tables.contains_key(&(parent.0, table_base(parent, ipa))) {
+        if !self
+            .tables
+            .contains_key(&(parent.0, table_base(parent, ipa)))
+        {
             return Err(RttError::MissingParent);
         }
         self.tables.insert((level.0, base), granule);
@@ -375,10 +378,7 @@ mod tests {
     fn destroy_requires_empty_table() {
         let mut rtt = rtt_with_chain(0);
         rtt.map(0x1000, g(7), true).unwrap();
-        assert_eq!(
-            rtt.destroy_table(RttLevel(3), 0),
-            Err(RttError::TableInUse)
-        );
+        assert_eq!(rtt.destroy_table(RttLevel(3), 0), Err(RttError::TableInUse));
         rtt.unmap(0x1000).unwrap();
         assert_eq!(rtt.destroy_table(RttLevel(3), 0).unwrap(), g(3));
         // Level 2 now empty of children? Level-3 table removed, so yes.
@@ -391,10 +391,7 @@ mod tests {
     #[test]
     fn destroy_with_child_table_rejected() {
         let mut rtt = rtt_with_chain(0);
-        assert_eq!(
-            rtt.destroy_table(RttLevel(1), 0),
-            Err(RttError::TableInUse)
-        );
+        assert_eq!(rtt.destroy_table(RttLevel(1), 0), Err(RttError::TableInUse));
     }
 
     #[test]

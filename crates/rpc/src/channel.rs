@@ -3,7 +3,7 @@
 use std::fmt;
 
 use cg_machine::HwParams;
-use cg_sim::SimTime;
+use cg_sim::{SimTime, TraceHandle, TraceKind};
 
 /// Errors from channel misuse.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,6 +75,10 @@ pub struct SyncChannel<Req, Resp> {
     request: Option<(Req, SimTime)>,
     response: Option<(Resp, SimTime)>,
     calls_completed: u64,
+    /// Structured trace sink (disabled by default).
+    trace: TraceHandle,
+    /// Realm/vCPU owning this channel, for trace attribution.
+    owner: (u32, u32),
 }
 
 impl<Req, Resp> Default for SyncChannel<Req, Resp> {
@@ -91,7 +95,26 @@ impl<Req, Resp> SyncChannel<Req, Resp> {
             request: None,
             response: None,
             calls_completed: 0,
+            trace: TraceHandle::disabled(),
+            owner: (0, 0),
         }
+    }
+
+    /// Attaches a structured trace, attributing records to realm `realm`
+    /// / vCPU `vcpu`; protocol transitions are recorded through it from
+    /// then on.
+    pub fn set_trace(&mut self, trace: TraceHandle, realm: u32, vcpu: u32) {
+        self.trace = trace;
+        self.owner = (realm, vcpu);
+    }
+
+    fn trace_transition(&self, what: &'static str) {
+        let (realm, vcpu) = self.owner;
+        let state = self.state;
+        self.trace
+            .record_vm(TraceKind::Rpc, None, Some(realm), Some(vcpu), || {
+                format!("chan.{what} -> {state:?}")
+            });
     }
 
     /// Current protocol phase.
@@ -115,6 +138,7 @@ impl<Req, Resp> SyncChannel<Req, Resp> {
         }
         self.request = Some((req, now));
         self.state = ChannelState::Requested;
+        self.trace_transition("post_request");
         Ok(())
     }
 
@@ -142,6 +166,7 @@ impl<Req, Resp> SyncChannel<Req, Resp> {
         }
         let (req, _) = self.request.take().expect("state Requested");
         self.state = ChannelState::Serving;
+        self.trace_transition("take_request");
         Ok(req)
     }
 
@@ -156,6 +181,7 @@ impl<Req, Resp> SyncChannel<Req, Resp> {
         }
         self.response = Some((resp, now));
         self.state = ChannelState::Responded;
+        self.trace_transition("post_response");
         Ok(())
     }
 
@@ -183,6 +209,7 @@ impl<Req, Resp> SyncChannel<Req, Resp> {
         let (resp, _) = self.response.take().expect("state Responded");
         self.state = ChannelState::Idle;
         self.calls_completed += 1;
+        self.trace_transition("take_response");
         Ok(resp)
     }
 

@@ -36,4 +36,7 @@ pub use queue::{EventQueue, EventToken};
 pub use rng::SimRng;
 pub use stats::{Counters, OnlineStats, Samples};
 pub use time::{SimDuration, SimTime};
-pub use trace::{Trace, TraceEvent, TraceLevel};
+pub use trace::{
+    Divergence, StructuredTrace, Trace, TraceDiff, TraceDumpGuard, TraceEvent, TraceHandle,
+    TraceKind, TraceLevel, TraceRecord, DEFAULT_DUMP_RECORDS,
+};

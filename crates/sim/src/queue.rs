@@ -136,10 +136,42 @@ impl<E> EventQueue<E> {
     pub fn cancel(&mut self, token: EventToken) -> bool {
         if self.pending.remove(&token.0) {
             self.cancelled.insert(token.0);
+            self.maybe_compact();
             true
         } else {
             false
         }
+    }
+
+    /// Rebuilds the heap without cancelled entries once they dominate it.
+    ///
+    /// Cancellation is lazy (tombstones are skipped on pop/peek), so a
+    /// workload that cancels most of what it schedules — e.g. timers that
+    /// are re-armed every segment — would otherwise grow the heap without
+    /// bound even while `len()` stays small. When more than half the heap
+    /// is tombstones (and the heap is big enough for the rebuild to be
+    /// worth it), filter them out in one O(n) pass. The amortised cost per
+    /// cancel stays O(log n): each rebuild removes at least half the heap,
+    /// so an entry is touched by at most O(log n) rebuilds.
+    fn maybe_compact(&mut self) {
+        const MIN_HEAP_FOR_COMPACTION: usize = 64;
+        if self.heap.len() < MIN_HEAP_FOR_COMPACTION || self.cancelled.len() * 2 <= self.heap.len()
+        {
+            return;
+        }
+        let cancelled = std::mem::take(&mut self.cancelled);
+        let entries = std::mem::take(&mut self.heap).into_vec();
+        self.heap = entries
+            .into_iter()
+            .filter(|e| !cancelled.contains(&e.seq))
+            .collect();
+    }
+
+    /// Number of entries physically in the heap, including cancelled
+    /// tombstones not yet removed. Exposed for tests asserting that lazy
+    /// cancellation does not leak memory.
+    pub fn heap_len(&self) -> usize {
+        self.heap.len()
     }
 
     /// Removes and returns the next event, advancing the clock to its
@@ -317,5 +349,70 @@ mod tests {
         q.schedule_now("second");
         assert_eq!(q.pop().unwrap().1, "first");
         assert_eq!(q.pop().unwrap().1, "second");
+    }
+
+    #[test]
+    fn schedule_now_after_pop_orders_behind_same_instant_events() {
+        // An event handler that reacts to a pop by scheduling follow-up
+        // work "now" must run after everything else already scheduled for
+        // that same instant — this is what makes same-seed runs replayable.
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(10);
+        q.schedule_at(t, "a");
+        q.schedule_at(t, "b");
+        assert_eq!(q.pop().unwrap().1, "a");
+        // Handler for "a" schedules a reaction at the same instant.
+        q.schedule_now("a-followup");
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.pop().unwrap().1, "a-followup");
+    }
+
+    #[test]
+    fn massive_cancellation_does_not_grow_heap() {
+        // Regression test for tombstone leakage: schedule/cancel 100k
+        // timer-like events while keeping a few live ones, and assert the
+        // physical heap stays bounded by a small multiple of the live set.
+        let mut q = EventQueue::new();
+        let mut live = Vec::new();
+        for i in 0..10u64 {
+            live.push(q.schedule_at(SimTime::from_nanos(1_000_000 + i), i));
+        }
+        for i in 0..100_000u64 {
+            let tok = q.schedule_at(SimTime::from_nanos(500_000 + (i % 64)), i);
+            assert!(q.cancel(tok));
+            assert_eq!(q.len(), 10, "live count must be unaffected");
+            assert!(
+                q.heap_len() <= 256,
+                "heap grew to {} entries after {} cancels",
+                q.heap_len(),
+                i + 1
+            );
+        }
+        // All live events still fire, in order.
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn compaction_preserves_ordering_and_cancellation_semantics() {
+        let mut q = EventQueue::new();
+        let mut keep = Vec::new();
+        let mut drop_toks = Vec::new();
+        for i in 0..200u64 {
+            let tok = q.schedule_at(SimTime::from_nanos(i), i);
+            if i % 3 == 0 {
+                keep.push(i);
+            } else {
+                drop_toks.push(tok);
+            }
+        }
+        for tok in drop_toks {
+            assert!(q.cancel(tok));
+            // Cancelling after compaction already removed the tombstone
+            // must still report false on a second attempt.
+            assert!(!q.cancel(tok));
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, keep);
     }
 }

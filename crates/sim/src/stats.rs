@@ -117,7 +117,13 @@ impl OnlineStats {
 
 impl fmt::Display for OnlineStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:.2} ± {:.2} (n={})", self.mean(), self.stddev(), self.count)
+        write!(
+            f,
+            "{:.2} ± {:.2} (n={})",
+            self.mean(),
+            self.stddev(),
+            self.count
+        )
     }
 }
 

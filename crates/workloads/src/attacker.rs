@@ -115,7 +115,10 @@ mod tests {
     fn attacker_alternates_probe_and_compute() {
         let mut a = AttackerLoop::new(SimDuration::micros(50));
         assert!(matches!(a.next_op(0, SimTime::ZERO), GuestOp::Probe));
-        assert!(matches!(a.next_op(0, SimTime::ZERO), GuestOp::Compute { .. }));
+        assert!(matches!(
+            a.next_op(0, SimTime::ZERO),
+            GuestOp::Compute { .. }
+        ));
         assert!(matches!(a.next_op(0, SimTime::ZERO), GuestOp::Probe));
         assert_eq!(a.probes(), 2);
     }

@@ -70,9 +70,10 @@ impl AppLogic for CoremarkPro {
     fn stats(&self) -> WorkloadStats {
         let mut stats = WorkloadStats::new();
         for (i, &iters) in self.iterations.iter().enumerate() {
-            stats
-                .counters
-                .add(&format!("coremark.vcpu{i}.iterations"), iters.saturating_sub(1));
+            stats.counters.add(
+                &format!("coremark.vcpu{i}.iterations"),
+                iters.saturating_sub(1),
+            );
         }
         stats
             .counters
@@ -83,10 +84,7 @@ impl AppLogic for CoremarkPro {
 
 impl CoremarkPro {
     fn adjusted_total(&self) -> u64 {
-        self.iterations
-            .iter()
-            .map(|&i| i.saturating_sub(1))
-            .sum()
+        self.iterations.iter().map(|&i| i.saturating_sub(1)).sum()
     }
 }
 

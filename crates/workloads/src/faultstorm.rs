@@ -75,8 +75,14 @@ mod tests {
     #[test]
     fn alternates_touch_and_compute_then_stops() {
         let mut f = FaultStorm::new(2);
-        assert!(matches!(f.next_op(0, SimTime::ZERO), GuestOp::TouchShared { .. }));
-        assert!(matches!(f.next_op(0, SimTime::ZERO), GuestOp::Compute { .. }));
+        assert!(matches!(
+            f.next_op(0, SimTime::ZERO),
+            GuestOp::TouchShared { .. }
+        ));
+        assert!(matches!(
+            f.next_op(0, SimTime::ZERO),
+            GuestOp::Compute { .. }
+        ));
         let second = f.next_op(0, SimTime::ZERO);
         match second {
             GuestOp::TouchShared { ipa } => assert_eq!(ipa, (1 << 47) + 2 * 4096),

@@ -131,7 +131,10 @@ impl WorkloadStats {
 
     /// Records a sample under `name`.
     pub fn record_sample(&mut self, name: &str, value: f64) {
-        self.samples.entry(name.to_owned()).or_default().record(value);
+        self.samples
+            .entry(name.to_owned())
+            .or_default()
+            .record(value);
     }
 
     /// The sample set `name`, if recorded.

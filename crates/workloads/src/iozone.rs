@@ -57,7 +57,16 @@ impl Iozone {
 
     /// A standard sweep: reads then writes for each record size.
     pub fn standard(device: u32, reps: u32) -> Iozone {
-        let sizes = [4096u64, 16384, 65536, 262144, 1 << 20, 4 << 20, 16 << 20, 64 << 20];
+        let sizes = [
+            4096u64,
+            16384,
+            65536,
+            262144,
+            1 << 20,
+            4 << 20,
+            16 << 20,
+            64 << 20,
+        ];
         let mut phases = Vec::new();
         for &s in &sizes {
             phases.push((s, false, reps));
@@ -170,14 +179,24 @@ mod tests {
         let t0 = SimTime::ZERO;
         assert!(matches!(
             io.next_op(0, t0),
-            GuestOp::DiskRead { bytes: 4096, tag: 1, .. }
+            GuestOp::DiskRead {
+                bytes: 4096,
+                tag: 1,
+                ..
+            }
         ));
         assert!(matches!(io.next_op(0, t0), GuestOp::Wfi));
         io.on_irq(0, done(1), t0 + SimDuration::micros(80));
-        assert!(matches!(io.next_op(0, t0), GuestOp::DiskRead { tag: 2, .. }));
+        assert!(matches!(
+            io.next_op(0, t0),
+            GuestOp::DiskRead { tag: 2, .. }
+        ));
         io.on_irq(0, done(2), t0 + SimDuration::micros(160));
         // Write phase.
-        assert!(matches!(io.next_op(0, t0), GuestOp::DiskWrite { tag: 3, .. }));
+        assert!(matches!(
+            io.next_op(0, t0),
+            GuestOp::DiskWrite { tag: 3, .. }
+        ));
         io.on_irq(0, done(3), t0 + SimDuration::micros(240));
         assert!(io.is_done());
         assert!(matches!(io.next_op(0, t0), GuestOp::Shutdown));

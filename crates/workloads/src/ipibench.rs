@@ -59,7 +59,10 @@ impl AppLogic for IpiBench {
         } else {
             // Pace the sends with compute (WFI would stop the clock).
             GuestOp::Compute {
-                work: self.next_send.duration_since(now).min(SimDuration::micros(50)),
+                work: self
+                    .next_send
+                    .duration_since(now)
+                    .min(SimDuration::micros(50)),
             }
         }
     }
@@ -88,7 +91,10 @@ mod tests {
     fn sender_paces_and_stops() {
         let mut b = IpiBench::new(SimDuration::micros(100), 2);
         let t0 = SimTime::ZERO;
-        assert!(matches!(b.next_op(0, t0), GuestOp::SendIpi { target: 1, sgi: 3 }));
+        assert!(matches!(
+            b.next_op(0, t0),
+            GuestOp::SendIpi { target: 1, sgi: 3 }
+        ));
         // Immediately after: compute until the next period.
         assert!(matches!(b.next_op(0, t0), GuestOp::Compute { .. }));
         let t1 = t0 + SimDuration::micros(100);

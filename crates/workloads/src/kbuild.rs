@@ -68,8 +68,8 @@ impl KernelBuild {
             jobs_remaining: jobs,
             jobs_done: 0,
             device,
-            source_bytes: 192 << 10,  // ~192 KiB of headers + source
-            object_bytes: 96 << 10,   // ~96 KiB object
+            source_bytes: 192 << 10, // ~192 KiB of headers + source
+            object_bytes: 96 << 10,  // ~96 KiB object
             mean_compile: SimDuration::millis(60),
             rng: SimRng::seed(seed),
             next_tag: 0,
@@ -89,7 +89,11 @@ impl KernelBuild {
 
     /// Returns `true` when all jobs are done and all workers halted.
     pub fn is_done(&self) -> bool {
-        self.jobs_remaining == 0 && self.workers.iter().all(|w| w.state == WorkerState::Finished)
+        self.jobs_remaining == 0
+            && self
+                .workers
+                .iter()
+                .all(|w| w.state == WorkerState::Finished)
     }
 }
 

@@ -231,7 +231,9 @@ mod tests {
         let t = SimTime::from_nanos(4_000_000);
         g.on_irq(0, GuestIrq::Tick, t);
         // Tick handler work first.
-        assert!(matches!(g.next_op(0, t), GuestOp::Compute { work } if work == SimDuration::micros(3)));
+        assert!(
+            matches!(g.next_op(0, t), GuestOp::Compute { work } if work == SimDuration::micros(3))
+        );
         // Then the timer is re-armed for one period later.
         match g.next_op(0, t) {
             GuestOp::ProgramTick { deadline } => {
@@ -257,8 +259,11 @@ mod tests {
     fn console_writes_appear_periodically_after_stagger() {
         let mut g = guest(1).with_console_writes(SimDuration::millis(10));
         g.next_op(0, SimTime::ZERO); // arm timer
-        // The first call initialises the staggered schedule — no write yet.
-        assert!(matches!(g.next_op(0, SimTime::ZERO), GuestOp::Compute { .. }));
+                                     // The first call initialises the staggered schedule — no write yet.
+        assert!(matches!(
+            g.next_op(0, SimTime::ZERO),
+            GuestOp::Compute { .. }
+        ));
         let later = SimTime::ZERO + SimDuration::millis(11);
         assert!(matches!(g.next_op(0, later), GuestOp::ConsoleWrite));
         // Immediately after, no console write until the period elapses.

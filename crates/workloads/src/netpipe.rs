@@ -175,7 +175,9 @@ impl AppLogic for Netpipe {
     fn stats(&self) -> WorkloadStats {
         let mut stats = WorkloadStats::new();
         for (size, samples) in &self.rtts {
-            stats.samples.insert(format!("rtt_us_{size}"), samples.clone());
+            stats
+                .samples
+                .insert(format!("rtt_us_{size}"), samples.clone());
         }
         stats.counters.add("netpipe.round_trips", self.seq);
         stats
@@ -219,15 +221,24 @@ mod tests {
         np.on_irq(0, rx(1), t0 + SimDuration::micros(100));
         assert!(!np.is_done());
         assert!(matches!(np.next_op(0, t0), GuestOp::Compute { .. })); // consume
-        // rep 2 of size 64.
-        assert!(matches!(prep_then_send(&mut np, t0), GuestOp::NetSend { bytes: 64, .. }));
+                                                                       // rep 2 of size 64.
+        assert!(matches!(
+            prep_then_send(&mut np, t0),
+            GuestOp::NetSend { bytes: 64, .. }
+        ));
         np.on_irq(0, rx(2), t0 + SimDuration::micros(250));
         np.next_op(0, t0); // consume
-        // Now size 256.
-        assert!(matches!(prep_then_send(&mut np, t0), GuestOp::NetSend { bytes: 256, .. }));
+                           // Now size 256.
+        assert!(matches!(
+            prep_then_send(&mut np, t0),
+            GuestOp::NetSend { bytes: 256, .. }
+        ));
         np.on_irq(0, rx(3), t0 + SimDuration::micros(400));
         np.next_op(0, t0); // consume
-        assert!(matches!(prep_then_send(&mut np, t0), GuestOp::NetSend { bytes: 256, .. }));
+        assert!(matches!(
+            prep_then_send(&mut np, t0),
+            GuestOp::NetSend { bytes: 256, .. }
+        ));
         np.on_irq(0, rx(4), t0 + SimDuration::micros(600));
         assert!(np.is_done());
         assert!(matches!(np.next_op(0, t0), GuestOp::Shutdown));

@@ -199,7 +199,13 @@ mod tests {
     #[test]
     fn echo_peer_bounces_packets() {
         let mut p = EchoPeer::new(SimDuration::micros(2));
-        let replies = p.on_packet(PeerPacket { bytes: 100, flow: 1 }, SimTime::ZERO);
+        let replies = p.on_packet(
+            PeerPacket {
+                bytes: 100,
+                flow: 1,
+            },
+            SimTime::ZERO,
+        );
         assert_eq!(replies.len(), 1);
         assert_eq!(replies[0].0, SimDuration::micros(2));
         assert_eq!(replies[0].1.bytes, 100);
@@ -220,7 +226,13 @@ mod tests {
         let mut pool = RedisClientPool::new(2, 512, 10);
         pool.initial_packets();
         let t1 = SimTime::from_nanos(500_000);
-        let next = pool.on_packet(PeerPacket { bytes: 512, flow: 0 }, t1);
+        let next = pool.on_packet(
+            PeerPacket {
+                bytes: 512,
+                flow: 0,
+            },
+            t1,
+        );
         assert_eq!(next.len(), 1);
         assert_eq!(pool.completed(), 1);
         let samples = pool.latency_samples();
@@ -235,10 +247,22 @@ mod tests {
         let mut t = SimTime::ZERO;
         for _ in 0..2 {
             t += SimDuration::micros(100);
-            pool.on_packet(PeerPacket { bytes: 512, flow: 0 }, t);
+            pool.on_packet(
+                PeerPacket {
+                    bytes: 512,
+                    flow: 0,
+                },
+                t,
+            );
         }
         assert!(pool.is_done());
-        let next = pool.on_packet(PeerPacket { bytes: 512, flow: 0 }, t);
+        let next = pool.on_packet(
+            PeerPacket {
+                bytes: 512,
+                flow: 0,
+            },
+            t,
+        );
         assert!(next.is_empty());
     }
 
@@ -247,7 +271,13 @@ mod tests {
         let mut pool = RedisClientPool::new(1, 512, 10);
         pool.initial_packets();
         assert!(pool
-            .on_packet(PeerPacket { bytes: 512, flow: 99 }, SimTime::ZERO)
+            .on_packet(
+                PeerPacket {
+                    bytes: 512,
+                    flow: 99
+                },
+                SimTime::ZERO
+            )
             .is_empty());
         assert_eq!(pool.completed(), 0);
     }
@@ -259,7 +289,13 @@ mod tests {
         let mut t = SimTime::ZERO;
         for _ in 0..50 {
             t += SimDuration::millis(1);
-            pool.on_packet(PeerPacket { bytes: 512, flow: 0 }, t);
+            pool.on_packet(
+                PeerPacket {
+                    bytes: 512,
+                    flow: 0,
+                },
+                t,
+            );
         }
         let tput = pool.throughput(SimDuration::secs(1));
         assert!((tput - 50.0).abs() < 1e-9);

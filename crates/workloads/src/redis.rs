@@ -40,8 +40,8 @@ impl RedisCommand {
     /// Response payload size in bytes.
     pub fn response_bytes(self) -> u64 {
         match self {
-            RedisCommand::Set => 64,        // +OK
-            RedisCommand::Get => 576,       // 512-byte value + framing
+            RedisCommand::Set => 64,          // +OK
+            RedisCommand::Get => 576,         // 512-byte value + framing
             RedisCommand::Lrange100 => 6_400, // 100 × 64-byte elements
         }
     }
@@ -176,7 +176,10 @@ mod tests {
         srv.on_irq(0, rx(3), SimTime::ZERO);
         srv.on_irq(0, rx(7), SimTime::ZERO);
         // Execute, respond to flow 3.
-        assert!(matches!(srv.next_op(0, SimTime::ZERO), GuestOp::Compute { .. }));
+        assert!(matches!(
+            srv.next_op(0, SimTime::ZERO),
+            GuestOp::Compute { .. }
+        ));
         match srv.next_op(0, SimTime::ZERO) {
             GuestOp::NetSend { flow, bytes, .. } => {
                 assert_eq!(flow, 3);
@@ -185,7 +188,10 @@ mod tests {
             other => panic!("expected NetSend, got {other:?}"),
         }
         // Next request follows without WFI (backlog non-empty).
-        assert!(matches!(srv.next_op(0, SimTime::ZERO), GuestOp::Compute { .. }));
+        assert!(matches!(
+            srv.next_op(0, SimTime::ZERO),
+            GuestOp::Compute { .. }
+        ));
         match srv.next_op(0, SimTime::ZERO) {
             GuestOp::NetSend { flow, .. } => assert_eq!(flow, 7),
             other => panic!("expected NetSend, got {other:?}"),

@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run --example attack_demo`
 
-use coregap::system::experiments::security::{run_attack, AttackScenario};
 use coregap::sim::SimDuration;
+use coregap::system::experiments::security::{run_attack, AttackScenario};
 
 fn main() {
     println!("A victim CVM computes on a planted secret while an attacker VM");
@@ -15,8 +15,14 @@ fn main() {
         println!("== {}", scenario.label());
         println!("   attacker probes:            {}", outcome.probes);
         println!("   same-core observations:     {}", outcome.same_core_leaks);
-        println!("   secret-dependent leaks:     {}", outcome.same_core_secret_leaks);
-        println!("   shared-LLC observations:    {} (outside core gapping's scope)", outcome.llc_leaks);
+        println!(
+            "   secret-dependent leaks:     {}",
+            outcome.same_core_secret_leaks
+        );
+        println!(
+            "   shared-LLC observations:    {} (outside core gapping's scope)",
+            outcome.llc_leaks
+        );
         println!(
             "   core-gapping property holds: {}\n",
             outcome.core_gapping_holds()

@@ -5,8 +5,8 @@
 //! Run with: `cargo run --example cloud_node`
 
 use coregap::host::VmExecMode;
-use coregap::system::{System, SystemConfig, VmSpec};
 use coregap::sim::SimDuration;
+use coregap::system::{System, SystemConfig, VmSpec};
 use coregap::workloads::kernel::GuestKernel;
 use coregap::workloads::{AppLogic, GuestIrq, GuestOp, WorkloadStats};
 

@@ -11,11 +11,7 @@ fn main() {
     println!("NetPIPE ping-pong over both device types (median RTT in us):\n");
     println!(
         "{:>9} {:>18} {:>18} {:>18} {:>18}",
-        "bytes",
-        "virtio/shared",
-        "virtio/gapped",
-        "sriov/shared",
-        "sriov/gapped"
+        "bytes", "virtio/shared", "virtio/gapped", "sriov/shared", "sriov/gapped"
     );
     let mut results = Vec::new();
     for config in NetpipeConfig::ALL {

@@ -3,8 +3,8 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use coregap::system::{System, SystemConfig, VmSpec};
 use coregap::sim::SimDuration;
+use coregap::system::{System, SystemConfig, VmSpec};
 use coregap::workloads::coremark::CoremarkPro;
 use coregap::workloads::kernel::GuestKernel;
 

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# The tier-1 gate, run exactly as CI/the roadmap defines it. Fully
+# offline: every dependency is a path dependency (see vendor/), so no
+# network access is needed or attempted.
+#
+#   scripts/check.sh          # build + tests + clippy + fmt
+#   scripts/check.sh --fast   # skip the release build (debug tests only)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+if [[ $fast -eq 0 ]]; then
+  echo "== cargo build --release =="
+  cargo build --release --workspace
+fi
+
+echo "== cargo test -q =="
+cargo test -q --workspace
+
+if command -v cargo-clippy >/dev/null 2>&1 || cargo clippy --version >/dev/null 2>&1; then
+  echo "== cargo clippy (deny warnings) =="
+  cargo clippy --workspace --all-targets -- -D warnings
+else
+  echo "== clippy not installed; skipping =="
+fi
+
+if cargo fmt --version >/dev/null 2>&1; then
+  echo "== cargo fmt --check =="
+  cargo fmt --all --check
+else
+  echo "== rustfmt not installed; skipping =="
+fi
+
+echo "== all checks passed =="

@@ -40,7 +40,11 @@ fn multivm_aggregate_is_linear() {
 #[test]
 fn netpipe_direct_delivery_beats_host_mediated() {
     let gapped = run_netpipe(
-        NetpipeConfig { sriov: true, core_gapped: true, direct_delivery: false },
+        NetpipeConfig {
+            sriov: true,
+            core_gapped: true,
+            direct_delivery: false,
+        },
         &[1500],
         5,
         1,

@@ -44,7 +44,11 @@ fn cvm_lifecycle_end_to_end() {
     let mut system = System::new(config);
 
     // Admission dedicates cores through the hotplug path.
-    let guest = Box::new(GuestKernel::new(2, 250, Box::new(FiniteApp { remaining: 100 })));
+    let guest = Box::new(GuestKernel::new(
+        2,
+        250,
+        Box::new(FiniteApp { remaining: 100 }),
+    ));
     let vm = system.add_vm(VmSpec::core_gapped(2), guest, None).unwrap();
     assert_eq!(system.rmm().coregap().dedicated_cores().len(), 2);
 
@@ -129,15 +133,27 @@ fn pause_and_resume_preserve_the_cvm() {
         .add_vm(VmSpec::core_gapped(2), cpu_guest(2), None)
         .unwrap();
     system.run_for(SimDuration::millis(20));
-    let before = system.vm_report(vm).stats.counters.get("coremark.total_iterations");
+    let before = system
+        .vm_report(vm)
+        .stats
+        .counters
+        .get("coremark.total_iterations");
     assert!(before > 0);
 
     // Pause: progress stops within a few exits' worth of time...
     system.pause_vm(vm);
     system.run_for(SimDuration::millis(5));
-    let at_pause = system.vm_report(vm).stats.counters.get("coremark.total_iterations");
+    let at_pause = system
+        .vm_report(vm)
+        .stats
+        .counters
+        .get("coremark.total_iterations");
     system.run_for(SimDuration::millis(50));
-    let still_paused = system.vm_report(vm).stats.counters.get("coremark.total_iterations");
+    let still_paused = system
+        .vm_report(vm)
+        .stats
+        .counters
+        .get("coremark.total_iterations");
     assert_eq!(at_pause, still_paused, "no progress while paused");
     // ...but the cores stay dedicated to the realm.
     assert_eq!(system.rmm().coregap().dedicated_cores().len(), 2);
@@ -145,7 +161,11 @@ fn pause_and_resume_preserve_the_cvm() {
     // Resume: progress continues at the usual rate.
     system.resume_vm(vm);
     system.run_for(SimDuration::millis(50));
-    let after = system.vm_report(vm).stats.counters.get("coremark.total_iterations");
+    let after = system
+        .vm_report(vm)
+        .stats
+        .counters
+        .get("coremark.total_iterations");
     assert!(
         after > still_paused + 200,
         "resumed progress: {after} vs {still_paused}"
@@ -164,7 +184,11 @@ fn shared_core_vm_lifecycle_and_teardown() {
     config.rmm = cg_rmm::RmmConfig::shared_core();
     config.num_host_cores = 2;
     let mut system = System::new(config);
-    let guest = Box::new(GuestKernel::new(2, 250, Box::new(FiniteApp { remaining: 60 })));
+    let guest = Box::new(GuestKernel::new(
+        2,
+        250,
+        Box::new(FiniteApp { remaining: 60 }),
+    ));
     let vm = system.add_vm(VmSpec::shared_core(2), guest, None).unwrap();
     assert!(system.run_until_done(SimDuration::secs(5)));
     // Non-confidential teardown involves no RMM/planner state.

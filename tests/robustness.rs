@@ -88,7 +88,9 @@ fn run_chaos(mode: u8, seed: u64, vcpus: u32) {
         .add_vm(
             spec.with_device(DeviceKind::VirtioNet),
             Box::new(kernel),
-            Some(Box::new(cg_workloads::EchoPeer::new(SimDuration::micros(2)))),
+            Some(Box::new(cg_workloads::EchoPeer::new(SimDuration::micros(
+                2,
+            )))),
         )
         .unwrap();
     // WFI ops can park vCPUs with nothing pending until the next tick, so

@@ -1,0 +1,170 @@
+//! Property test: the [`cg_rpc::SyncChannel`] request/response protocol
+//! against a reference state machine.
+//!
+//! Arbitrary interleavings of client/server operations — including
+//! mis-sequenced calls and premature takes that have not honoured the
+//! cache-line visibility timestamp — must only ever produce the three
+//! documented errors ([`ChannelError::Busy`], [`ChannelError::NoRequest`],
+//! [`ChannelError::NotVisible`]), and the channel must agree with the
+//! model after every step: no lost values, no phantom responses, no
+//! inconsistent phase.
+
+use cg_machine::HwParams;
+use cg_rpc::{ChannelError, ChannelState, SyncChannel};
+use cg_sim::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+/// One step of the interleaving.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Client posts a request carrying `payload`.
+    PostRequest(u64),
+    /// Server attempts to take the request; if `wait` it first advances
+    /// time past the visibility horizon, otherwise it may poll too early.
+    TakeRequest { wait: bool },
+    /// Server posts a response carrying `payload`.
+    PostResponse(u64),
+    /// Client attempts to take the response (same `wait` semantics).
+    TakeResponse { wait: bool },
+    /// Let simulated time pass.
+    Advance(u64),
+    /// Abandon any in-flight call (vCPU teardown path).
+    Reset,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..1_000_000).prop_map(Op::PostRequest),
+        prop::bool::ANY.prop_map(|wait| Op::TakeRequest { wait }),
+        (0u64..1_000_000).prop_map(Op::PostResponse),
+        prop::bool::ANY.prop_map(|wait| Op::TakeResponse { wait }),
+        (0u64..2_000).prop_map(Op::Advance),
+        Just(Op::Reset),
+    ]
+}
+
+/// The reference model: the protocol phase plus the in-flight payloads
+/// and their post times.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Model {
+    Idle,
+    Requested { payload: u64, posted: SimTime },
+    Serving { request: u64 },
+    Responded { payload: u64, posted: SimTime },
+}
+
+impl Model {
+    fn state(&self) -> ChannelState {
+        match self {
+            Model::Idle => ChannelState::Idle,
+            Model::Requested { .. } => ChannelState::Requested,
+            Model::Serving { .. } => ChannelState::Serving,
+            Model::Responded { .. } => ChannelState::Responded,
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn channel_agrees_with_reference_model(
+        ops in prop::collection::vec(op_strategy(), 1..120),
+    ) {
+        let params = HwParams::small();
+        let transfer = params.cache_line_transfer;
+        let mut ch: SyncChannel<u64, u64> = SyncChannel::new();
+        let mut model = Model::Idle;
+        let mut now = SimTime::ZERO;
+        let mut completed = 0u64;
+
+        for op in ops {
+            match op {
+                Op::Advance(ns) => now += SimDuration::nanos(ns),
+                Op::PostRequest(payload) => {
+                    let got = ch.post_request(payload, now);
+                    match model {
+                        Model::Idle => {
+                            prop_assert_eq!(got, Ok(()));
+                            model = Model::Requested { payload, posted: now };
+                        }
+                        _ => prop_assert_eq!(got, Err(ChannelError::Busy)),
+                    }
+                }
+                Op::TakeRequest { wait } => {
+                    if wait {
+                        if let Some(v) = ch.request_visible_at(&params) {
+                            now = now.max(v);
+                        }
+                    }
+                    let got = ch.take_request(now, &params);
+                    match model {
+                        Model::Requested { payload, posted } => {
+                            if now < posted + transfer {
+                                prop_assert_eq!(got, Err(ChannelError::NotVisible));
+                            } else {
+                                prop_assert_eq!(got, Ok(payload));
+                                model = Model::Serving { request: payload };
+                            }
+                        }
+                        _ => prop_assert_eq!(got, Err(ChannelError::NoRequest)),
+                    }
+                }
+                Op::PostResponse(payload) => {
+                    let got = ch.post_response(payload, now);
+                    match model {
+                        Model::Serving { .. } => {
+                            prop_assert_eq!(got, Ok(()));
+                            model = Model::Responded { payload, posted: now };
+                        }
+                        _ => prop_assert_eq!(got, Err(ChannelError::NoRequest)),
+                    }
+                }
+                Op::TakeResponse { wait } => {
+                    if wait {
+                        if let Some(v) = ch.response_visible_at(&params) {
+                            now = now.max(v);
+                        }
+                    }
+                    let got = ch.take_response(now, &params);
+                    match model {
+                        Model::Responded { payload, posted } => {
+                            if now < posted + transfer {
+                                prop_assert_eq!(got, Err(ChannelError::NotVisible));
+                            } else {
+                                prop_assert_eq!(got, Ok(payload));
+                                model = Model::Idle;
+                                completed += 1;
+                            }
+                        }
+                        _ => prop_assert_eq!(got, Err(ChannelError::NoRequest)),
+                    }
+                }
+                Op::Reset => {
+                    ch.reset();
+                    model = Model::Idle;
+                }
+            }
+
+            // The channel must agree with the model after every step.
+            prop_assert_eq!(ch.state(), model.state());
+            prop_assert_eq!(ch.calls_completed(), completed);
+            prop_assert_eq!(ch.has_request(), model.state() == ChannelState::Requested);
+            prop_assert_eq!(ch.has_response(), model.state() == ChannelState::Responded);
+            // Visibility timestamps exist exactly while a value is posted,
+            // and always lag the post by the cache-line transfer.
+            match model {
+                Model::Requested { posted, .. } => {
+                    prop_assert_eq!(ch.request_visible_at(&params), Some(posted + transfer));
+                }
+                _ => prop_assert_eq!(ch.request_visible_at(&params), None),
+            }
+            match model {
+                Model::Responded { posted, .. } => {
+                    prop_assert_eq!(ch.response_visible_at(&params), Some(posted + transfer));
+                }
+                _ => prop_assert_eq!(ch.response_visible_at(&params), None),
+            }
+        }
+    }
+}

@@ -1,0 +1,354 @@
+//! Offline, vendored stand-in for the `rand` crate.
+//!
+//! The workspace builds in environments with no network access, so the
+//! handful of `rand` APIs the simulator uses are reimplemented here on a
+//! deterministic xoshiro256++ core seeded through splitmix64. Streams do
+//! not match upstream `rand` bit-for-bit, but that is irrelevant for the
+//! simulator: all that matters is that a seed fully determines the
+//! stream, which this guarantees (no `getrandom`, no platform entropy).
+
+/// Low-level source of random 32/64-bit values.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// The raw seed type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds a generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds a generator from a 64-bit seed (splitmix64-expanded).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64 { state };
+        let bytes = seed.as_mut();
+        let mut i = 0;
+        while i < bytes.len() {
+            let v = sm.next().to_le_bytes();
+            let n = (bytes.len() - i).min(8);
+            bytes[i..i + n].copy_from_slice(&v[..n]);
+            i += n;
+        }
+        Self::from_seed(seed)
+    }
+}
+
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Sampling distributions.
+pub mod distributions {
+    /// Uniform sampling over ranges.
+    pub mod uniform {
+        use crate::RngCore;
+
+        /// Types that can be sampled uniformly from a range.
+        pub trait SampleUniform: Sized + Copy + PartialOrd {
+            /// Samples uniformly from `[lo, hi)` (or `[lo, hi]` when
+            /// `inclusive`).
+            fn sample_uniform<R: RngCore + ?Sized>(
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> Self;
+        }
+
+        macro_rules! impl_sample_uniform_int {
+            ($($t:ty),*) => {$(
+                impl SampleUniform for $t {
+                    fn sample_uniform<R: RngCore + ?Sized>(
+                        lo: Self,
+                        hi: Self,
+                        inclusive: bool,
+                        rng: &mut R,
+                    ) -> Self {
+                        let lo_w = lo as i128;
+                        let hi_w = hi as i128;
+                        let span = if inclusive {
+                            (hi_w - lo_w + 1) as u128
+                        } else {
+                            (hi_w - lo_w) as u128
+                        };
+                        assert!(span > 0, "cannot sample from empty range");
+                        // Multiply-shift mapping of a 64-bit draw onto the
+                        // span; bias is < 2^-64 * span, irrelevant here.
+                        let x = rng.next_u64() as u128;
+                        let off = (x * span) >> 64;
+                        (lo_w + off as i128) as $t
+                    }
+                }
+            )*};
+        }
+
+        impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+        impl SampleUniform for f64 {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                lo: Self,
+                hi: Self,
+                _inclusive: bool,
+                rng: &mut R,
+            ) -> Self {
+                let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                lo + unit * (hi - lo)
+            }
+        }
+
+        impl SampleUniform for f32 {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                lo: Self,
+                hi: Self,
+                _inclusive: bool,
+                rng: &mut R,
+            ) -> Self {
+                let unit = (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32);
+                lo + unit * (hi - lo)
+            }
+        }
+
+        /// Range expressions that can drive uniform sampling.
+        pub trait SampleRange<T> {
+            /// Samples a value from the range.
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                T::sample_uniform(self.start, self.end, false, rng)
+            }
+        }
+
+        impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                T::sample_uniform(*self.start(), *self.end(), true, rng)
+            }
+        }
+    }
+
+    use crate::RngCore;
+
+    /// The "standard" distribution over a type's natural domain
+    /// (`[0, 1)` for floats, the full range for integers).
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    /// Values producible by [`Standard`].
+    pub trait StandardSample {
+        /// Draws one value.
+        fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+    }
+
+    impl StandardSample for f64 {
+        fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl StandardSample for f32 {
+        fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    impl StandardSample for u64 {
+        fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u64()
+        }
+    }
+
+    impl StandardSample for u32 {
+        fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u32()
+        }
+    }
+
+    impl StandardSample for bool {
+        fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// High-level convenience methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples uniformly from `range`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: distributions::uniform::SampleUniform,
+        R: distributions::uniform::SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Draws a value from the standard distribution.
+    fn gen<T: distributions::StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::standard_sample(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, deterministic generator (xoshiro256++).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SmallRng {
+        #[inline]
+        fn rotl(x: u64, k: u32) -> u64 {
+            x.rotate_left(k)
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let result = Self::rotl(self.s[0].wrapping_add(self.s[3]), 23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = Self::rotl(self.s[3], 45);
+            result
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().unwrap());
+            }
+            // An all-zero state would be a fixed point; perturb it.
+            if s == [0; 4] {
+                s = [
+                    0x9E37_79B9_7F4A_7C15,
+                    0x6A09_E667_F3BC_C909,
+                    0xBB67_AE85_84CA_A73B,
+                    0x3C6E_F372_FE94_F82B,
+                ];
+            }
+            SmallRng { s }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn gen_range_is_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: u64 = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let f: f64 = rng.gen_range(0.0f64..1.0);
+            assert!((0.0..1.0).contains(&f));
+            let i: i64 = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn unit_floats_cover_and_stay_in_range() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..10_000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+            lo_seen |= f < 0.1;
+            hi_seen |= f > 0.9;
+        }
+        assert!(lo_seen && hi_seen, "draws should cover the unit interval");
+    }
+
+    #[test]
+    fn single_element_ranges_work() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        assert_eq!(rng.gen_range(5u32..6), 5);
+        assert_eq!(rng.gen_range(5u32..=5), 5);
+    }
+}

@@ -1,0 +1,48 @@
+//! Offline, vendored stand-in for `serde`.
+//!
+//! The workspace only derives `Serialize` as forward-looking metadata on
+//! the vulnerability catalogue; nothing serializes yet. This stub keeps
+//! the trait and derive compiling without network access. If real
+//! serialization is needed later, implement it here or swap in upstream
+//! serde when a registry is reachable.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for serializable types (no-op in the vendored stub).
+pub trait Serialize {}
+
+/// Marker for deserializable types (no-op in the vendored stub).
+pub trait Deserialize<'de> {}
+
+macro_rules! impl_primitives {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {}
+        impl<'de> Deserialize<'de> for $t {}
+    )*};
+}
+
+impl_primitives!(
+    u8,
+    u16,
+    u32,
+    u64,
+    u128,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    i128,
+    isize,
+    f32,
+    f64,
+    bool,
+    char,
+    String,
+    &'static str
+);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<T: Serialize> Serialize for &T {}
+impl<T: Serialize> Serialize for [T] {}

@@ -1,0 +1,73 @@
+//! No-op derive macros backing the vendored `serde` stub.
+//!
+//! Emits `impl serde::Serialize for T {}` (the stub trait has no
+//! methods), parsing just enough of the item to find its name and
+//! generic parameters. Written against `proc_macro` alone so it builds
+//! offline.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name and raw generic parameter names following
+/// `struct`/`enum`/`union`.
+fn type_name_and_generics(input: TokenStream) -> (String, Vec<String>) {
+    let mut tokens = input.into_iter().peekable();
+    for tt in tokens.by_ref() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                let name = match tokens.next() {
+                    Some(TokenTree::Ident(n)) => n.to_string(),
+                    other => panic!("derive(Serialize): expected type name, got {other:?}"),
+                };
+                // Collect simple generic idents from `<...>` if present
+                // (lifetimes and bounds are ignored; the catalogue types
+                // are not generic today).
+                let mut generics = Vec::new();
+                if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                    if p.as_char() == '<' {
+                        tokens.next();
+                        let mut depth = 1;
+                        for tt in tokens.by_ref() {
+                            match tt {
+                                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                                TokenTree::Punct(p) if p.as_char() == '>' => {
+                                    depth -= 1;
+                                    if depth == 0 {
+                                        break;
+                                    }
+                                }
+                                TokenTree::Ident(id) if depth == 1 => generics.push(id.to_string()),
+                                _ => {}
+                            }
+                        }
+                    }
+                }
+                return (name, generics);
+            }
+        }
+    }
+    panic!("derive(Serialize): no struct/enum/union found");
+}
+
+fn empty_impl(trait_path: &str, input: TokenStream) -> TokenStream {
+    let (name, generics) = type_name_and_generics(input);
+    let code = if generics.is_empty() {
+        format!("impl {trait_path} for {name} {{}}")
+    } else {
+        let params = generics.join(", ");
+        format!("impl<{params}> {trait_path} for {name}<{params}> {{}}")
+    };
+    code.parse().expect("generated impl parses")
+}
+
+/// Derives the stub `Serialize` marker.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    empty_impl("::serde::Serialize", input)
+}
+
+/// Derives the stub `Deserialize` marker.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    empty_impl("::serde::Deserialize<'_>", input)
+}
