@@ -6,27 +6,37 @@
 //! and no RMM bookkeeping. The simulator can run the real comparison:
 //! a shared-core CVM whose every exit crosses the trust boundary twice.
 
-use cg_bench::header;
-use cg_core::experiments::scaling::{run_coremark, ScalingConfig};
+use cg_bench::{header, Report};
+use cg_core::experiments::scaling::{run_coremark_obs, ScalingConfig};
 use cg_sim::SimDuration;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let dur = if quick {
+    let mut report = Report::from_args("cvm_comparison");
+    let dur = if report.quick() {
         SimDuration::millis(500)
     } else {
         SimDuration::millis(2000)
     };
-    let cores: &[u16] = if quick { &[4, 8] } else { &[4, 8, 16, 32] };
+    let cores: &[u16] = if report.quick() {
+        &[4, 8]
+    } else {
+        &[4, 8, 16, 32]
+    };
     header("CoreMark-PRO: shared-core CVM vs core-gapped CVM vs non-confidential baseline");
     println!(
         "{:>6}\tshared VM\tshared CVM\tcore-gapped CVM\tgapped/sharedCVM",
         "cores"
     );
     for &n in cores {
-        let plain = run_coremark(ScalingConfig::SharedCore, n, dur, 42);
-        let scc = run_coremark(ScalingConfig::SharedCoreConfidential, n, dur, 42);
-        let gapped = run_coremark(ScalingConfig::CoreGapped, n, dur, 42);
+        let (plain, _) = run_coremark_obs(ScalingConfig::SharedCore, n, dur, 42, report.obs());
+        let (scc, _) = run_coremark_obs(
+            ScalingConfig::SharedCoreConfidential,
+            n,
+            dur,
+            42,
+            report.obs(),
+        );
+        let (gapped, _) = run_coremark_obs(ScalingConfig::CoreGapped, n, dur, 42, report.obs());
         println!(
             "{n:>6}\t{:.0}\t{:.0}\t{:.0}\t{:.3}",
             plain.score,
@@ -34,9 +44,22 @@ fn main() {
             gapped.score,
             gapped.score / scc.score
         );
+        report.record(&format!("shared VM {n} cores"), plain.score, "units/s");
+        report.record(&format!("shared CVM {n} cores"), scc.score, "units/s");
+        report.record(
+            &format!("core-gapped CVM {n} cores"),
+            gapped.score,
+            "units/s",
+        );
+        report.record(
+            &format!("{n} cores gapped/sharedCVM ratio"),
+            gapped.score / scc.score,
+            "x",
+        );
     }
     println!();
     println!("Paper §5.5: \"confidential VMs on shared cores will have higher VM exit");
     println!("latencies than the non-confidential baseline ... it is therefore plausible");
     println!("that core-gapped CVMs will outperform shared-core CVMs\" — quantified here.");
+    report.finish();
 }

@@ -3,9 +3,11 @@
 //! mitigates.
 
 use cg_attacks::Catalog;
-use cg_bench::header;
+use cg_bench::{header, Report};
+use cg_sim::Json;
 
 fn main() {
+    let mut report = Report::from_args("fig3");
     let catalog = Catalog::new();
     header("Fig. 3: isolation-breaking CPU vulnerabilities by disclosure year");
     println!(
@@ -18,6 +20,8 @@ fn main() {
             "{year:>6}  {total:>5}  {mitigated:>18}/{total:<3}  {}",
             names.join(", ")
         );
+        report.record(&format!("vulnerabilities {year}"), total as f64, "");
+        report.record(&format!("mitigated {year}"), mitigated as f64, "");
     }
     println!();
     println!(
@@ -25,8 +29,14 @@ fn main() {
         catalog.len(),
         catalog.mitigation_rate() * 100.0
     );
+    report.record("vulnerabilities catalogued", catalog.len() as f64, "");
+    report.record("mitigation rate", catalog.mitigation_rate() * 100.0, "%");
     println!("Not mitigated (the only demonstrated cross-core leaks — paper §2.2):");
+    let mut unmitigated = Vec::new();
     for v in catalog.not_mitigated() {
         println!("  - {} ({}, {}): {}", v.name, v.year, v.scope, v.note);
+        unmitigated.push(Json::from(v.name));
     }
+    report.note("not_mitigated", Json::arr(unmitigated));
+    report.finish();
 }

@@ -5,12 +5,13 @@
 //! (b) busy-wait polling and missing delegation re-create Quarantine's
 //! scalability collapse.
 
-use cg_bench::header;
-use cg_core::experiments::scaling::{run_coremark, ScalingConfig};
+use cg_bench::{header, Report};
+use cg_core::experiments::scaling::{run_coremark_obs, ScalingConfig};
 use cg_sim::SimDuration;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let mut report = Report::from_args("fig6");
+    let quick = report.quick();
     let dur = if quick {
         SimDuration::millis(500)
     } else {
@@ -31,10 +32,15 @@ fn main() {
     for &n in cores {
         print!("{n:>6}");
         for c in ScalingConfig::ALL {
-            let r = run_coremark(c, n, dur, 42);
+            let (r, _) = run_coremark_obs(c, n, dur, 42, report.obs());
             if c == ScalingConfig::CoreGapped {
                 run_to_run.push((n, r.run_to_run_us_mean, r.host_utilization));
             }
+            report.record(
+                &format!("{} {n} cores score", c.label()),
+                r.score,
+                "units/s",
+            );
             print!("\t{:.0}", r.score);
         }
         println!();
@@ -47,8 +53,15 @@ fn main() {
             "{n:>6} cores: {us:>7.2} us   host util {:.1}%",
             util * 100.0
         );
+        report.record(&format!("core-gapped {n} cores run-to-run"), us, "us");
+        report.record(
+            &format!("core-gapped {n} cores host util"),
+            util * 100.0,
+            "%",
+        );
     }
     println!();
     println!("Expected shape: the three optimised/baseline series scale ~linearly;");
     println!("busy-wait + no-delegation saturates the host core (Quarantine-like knee ~10 cores).");
+    report.finish();
 }

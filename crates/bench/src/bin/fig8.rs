@@ -1,11 +1,12 @@
 //! Fig. 8: NetPIPE TCP results (latency and throughput vs message size),
 //! emulated virtio vs SR-IOV passthrough, shared-core vs core-gapped.
 
-use cg_bench::header;
-use cg_core::experiments::io::{run_netpipe, NetpipeConfig};
+use cg_bench::{header, Report};
+use cg_core::experiments::io::{run_netpipe_obs, NetpipeConfig};
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let mut report = Report::from_args("fig8");
+    let quick = report.quick();
     let sizes: &[u64] = if quick {
         &[64, 1500, 65536]
     } else {
@@ -29,7 +30,7 @@ fn main() {
     configs.push(NetpipeConfig::DIRECT); // the §5.3 extension
     let results: Vec<_> = configs
         .iter()
-        .map(|&c| run_netpipe(c, sizes, reps, 42))
+        .map(|&c| run_netpipe_obs(c, sizes, reps, 42, report.obs()))
         .collect();
     for c in &configs {
         print!("\t{}", c.label());
@@ -37,7 +38,8 @@ fn main() {
     println!();
     for &s in sizes {
         print!("{s:>9}");
-        for r in &results {
+        for (c, r) in configs.iter().zip(&results) {
+            report.record(&format!("{} {s} B rtt", c.label()), r[&s].rtt_us, "us");
             print!("\t{:.1}", r[&s].rtt_us);
         }
         println!();
@@ -50,7 +52,12 @@ fn main() {
     println!();
     for &s in sizes {
         print!("{s:>9}");
-        for r in &results {
+        for (c, r) in configs.iter().zip(&results) {
+            report.record(
+                &format!("{} {s} B throughput", c.label()),
+                r[&s].mbps,
+                "Mbps",
+            );
             print!("\t{:.0}", r[&s].mbps);
         }
         println!();
@@ -58,4 +65,5 @@ fn main() {
     println!();
     println!("Paper shapes: virtio core-gapped has up to 2x latency and 30-70% lower");
     println!("throughput; SR-IOV core-gapped stays within 10-20 us of the baseline.");
+    report.finish();
 }

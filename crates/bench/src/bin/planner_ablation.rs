@@ -6,7 +6,7 @@
 //! scattered (poor-locality) core sets. Periodic compaction keeps
 //! allocations contiguous.
 
-use cg_bench::header;
+use cg_bench::{header, Report};
 use cg_host::CorePlanner;
 use cg_machine::{CoreId, RealmId};
 use cg_sim::SimRng;
@@ -57,6 +57,7 @@ fn churn(replan_every: Option<u32>, rounds: u32, seed: u64) -> (f64, f64) {
 }
 
 fn main() {
+    let mut report = Report::from_args("planner_ablation");
     header("Planner ablation: core-pool fragmentation under CVM churn (63 cores, 400 rounds)");
     let (scatter_none, frag_none) = churn(None, 400, 42);
     let (scatter_replan, frag_replan) = churn(Some(10), 400, 42);
@@ -70,8 +71,21 @@ fn main() {
         scatter_replan * 100.0,
         frag_replan
     );
+    report.record(
+        "scattered allocations, no replanning",
+        scatter_none * 100.0,
+        "%",
+    );
+    report.record("mean fragmentation, no replanning", frag_none, "");
+    report.record(
+        "scattered allocations, replan every 10",
+        scatter_replan * 100.0,
+        "%",
+    );
+    report.record("mean fragmentation, replan every 10", frag_replan, "");
     println!();
     println!("Paper §3: \"to avoid long-term fragmentation of available cores (and thus");
     println!("poor locality), we envisage permitting limited changes of the vCPU-to-core");
     println!("binding at coarse (e.g. 10s of seconds) time scales\".");
+    report.finish();
 }

@@ -1,18 +1,21 @@
 //! The security evaluation: attacker/victim scenarios under each
 //! isolation configuration, checked by the taint machinery.
 
-use cg_bench::header;
-use cg_core::experiments::security::{run_attack, run_malicious_interruption, AttackScenario};
-use cg_sim::SimDuration;
+use cg_bench::{header, Report};
+use cg_core::experiments::security::{
+    run_attack_obs, run_malicious_interruption_obs, AttackScenario,
+};
+use cg_sim::{Json, SimDuration};
 
 fn main() {
+    let mut report = Report::from_args("security_eval");
     header("Security evaluation: what a co-resident attacker observes");
     println!(
         "{:<42} {:>7} {:>12} {:>14} {:>10} {:>18}",
         "scenario", "probes", "same-core", "secret leaks", "LLC", "property holds"
     );
     for s in AttackScenario::ALL {
-        let o = run_attack(s, SimDuration::millis(200), 42);
+        let o = run_attack_obs(s, SimDuration::millis(200), 42, report.obs());
         println!(
             "{:<42} {:>7} {:>12} {:>14} {:>10} {:>18}",
             s.label(),
@@ -22,9 +25,29 @@ fn main() {
             o.llc_leaks,
             if o.core_gapping_holds() { "YES" } else { "no" }
         );
+        report.record(
+            &format!("{} same-core leaks", s.label()),
+            o.same_core_leaks as f64,
+            "",
+        );
+        report.record(
+            &format!("{} same-core secret leaks", s.label()),
+            o.same_core_secret_leaks as f64,
+            "",
+        );
+        report.record(&format!("{} LLC leaks", s.label()), o.llc_leaks as f64, "");
+        report.note(
+            &format!("{} property holds", s.label()),
+            Json::from(o.core_gapping_holds()),
+        );
     }
     println!();
-    let o = run_malicious_interruption(SimDuration::micros(100), SimDuration::millis(200), 42);
+    let o = run_malicious_interruption_obs(
+        SimDuration::micros(100),
+        SimDuration::millis(200),
+        42,
+        report.obs(),
+    );
     println!("Malicious-host interruption storm (kick every 100 us, core-gapped victim):");
     println!("  forced exits:                    {}", o.forced_exits);
     println!("  victim made progress:            {}", o.victim_progressed);
@@ -36,10 +59,22 @@ fn main() {
         "  victim leaks on host's cores:    {}",
         o.host_core_victim_leaks
     );
+    report.record("interruption storm forced exits", o.forced_exits as f64, "");
+    report.note("victim made progress", Json::from(o.victim_progressed));
+    report.note(
+        "host can reach victim core",
+        Json::from(o.host_can_reach_victim_core),
+    );
+    report.record(
+        "victim leaks on host cores",
+        o.host_core_victim_leaks as f64,
+        "",
+    );
     println!();
     println!("Expected: both shared-core configurations leak the victim's secret through");
     println!("per-core structures (the mitigation flush clears only BP/fill buffers);");
     println!("core-gapped CVMs show zero same-core leakage. The shared-LLC observations");
     println!("persist in every configuration — the explicit threat-model boundary (§2.4),");
     println!("to be closed by hardware cache partitioning.");
+    report.finish();
 }

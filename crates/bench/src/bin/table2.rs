@@ -1,27 +1,28 @@
 //! Table 2: null RMM call latencies.
 
-use cg_bench::{header, row, row_measured};
+use cg_bench::{header, row_measured, Report};
 use cg_core::microbench::{
     null_call_latencies, PAPER_TABLE2_ASYNC_NS, PAPER_TABLE2_SAME_CORE_NS, PAPER_TABLE2_SYNC_NS,
 };
 use cg_machine::HwParams;
 
 fn main() {
+    let mut report = Report::from_args("table2");
     header("Table 2: null RMM call latencies");
     let l = null_call_latencies(&HwParams::ampere_one_like());
-    row(
+    report.row(
         "Core-gapped asynchronous (vCPU run calls)",
         l.async_ns,
         PAPER_TABLE2_ASYNC_NS,
         "ns",
     );
-    row(
+    report.row(
         "Core-gapped synchronous (e.g., page table update)",
         l.sync_ns,
         PAPER_TABLE2_SYNC_NS,
         "ns",
     );
-    row(
+    report.row(
         "Same-core synchronous (paper reports > 12.8 us)",
         l.same_core_ns,
         PAPER_TABLE2_SAME_CORE_NS,
@@ -33,4 +34,10 @@ fn main() {
         format!("{:.1}x", l.same_core_ns / l.sync_ns),
         "",
     );
+    report.record(
+        "Remote sync speedup over bare same-core EL3 call",
+        l.same_core_ns / l.sync_ns,
+        "x",
+    );
+    report.finish();
 }

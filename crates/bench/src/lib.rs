@@ -17,11 +17,28 @@
 //! | `table5` | Redis throughput and latency percentiles |
 //! | `security_eval` | the leakage analysis backing the security claim |
 //!
-//! Shared output helpers live here.
+//! Shared output helpers live here, together with the [`Report`]
+//! accumulator every binary threads its results through. All binaries
+//! accept the same observability flags:
+//!
+//! | flag | effect |
+//! |---|---|
+//! | `--quick` | smaller run (where the binary supports it) |
+//! | `--json <path>` | machine-readable report of every printed row |
+//! | `--trace-out <path>` | Chrome-trace span profile (load in Perfetto) |
+//! | `--timeseries <path>` | periodic gauge samples as CSV |
+//!
+//! Everything is off by default; the simulation itself is byte-for-byte
+//! identical whether or not the sinks are enabled.
 
 #![warn(missing_docs)]
 
 use std::fmt::Display;
+use std::path::PathBuf;
+
+use cg_core::obs::DEFAULT_SAMPLE_PERIOD;
+use cg_core::Obs;
+use cg_sim::{Histogram, Json};
 
 /// Prints a section header.
 pub fn header(title: &str) {
@@ -47,4 +64,190 @@ pub fn row_measured(name: &str, measured: impl Display, unit: &str) {
 /// Prints a table column header line.
 pub fn columns(cols: &[&str]) {
     println!("{}", cols.join("\t"));
+}
+
+/// Relative deviation in percent, or `None` when the paper value is 0.
+fn deviation_pct(measured: f64, paper: f64) -> Option<f64> {
+    (paper != 0.0).then(|| (measured - paper) / paper * 100.0)
+}
+
+/// The per-binary experiment report.
+///
+/// Parses the shared observability CLI flags, owns the [`Obs`] bundle
+/// that experiment runs record through, and mirrors every printed table
+/// row into a machine-readable accumulator. [`Report::finish`] writes
+/// whatever sinks the flags requested; with no flags it writes nothing,
+/// so existing stdout-only usage is unchanged.
+#[derive(Debug)]
+pub struct Report {
+    bench: String,
+    quick: bool,
+    json_out: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
+    timeseries_out: Option<PathBuf>,
+    obs: Obs,
+    rows: Vec<Json>,
+    notes: Vec<(String, Json)>,
+}
+
+impl Report {
+    /// Builds a report named `bench` from the process arguments.
+    pub fn from_args(bench: &str) -> Report {
+        Report::from_iter(bench, std::env::args().skip(1))
+    }
+
+    /// Builds a report named `bench` from an explicit argument list
+    /// (exposed for tests).
+    pub fn from_iter(bench: &str, args: impl IntoIterator<Item = String>) -> Report {
+        let mut quick = false;
+        let mut json_out = None;
+        let mut trace_out = None;
+        let mut timeseries_out = None;
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--quick" => quick = true,
+                "--json" => json_out = it.next().map(PathBuf::from),
+                "--trace-out" => trace_out = it.next().map(PathBuf::from),
+                "--timeseries" => timeseries_out = it.next().map(PathBuf::from),
+                _ => {}
+            }
+        }
+        let obs = match (trace_out.is_some(), timeseries_out.is_some()) {
+            (true, true) => Obs::full(DEFAULT_SAMPLE_PERIOD),
+            (true, false) => Obs::spans(),
+            (false, true) => Obs::sampled(DEFAULT_SAMPLE_PERIOD),
+            (false, false) => Obs::disabled(),
+        };
+        Report {
+            bench: bench.to_owned(),
+            quick,
+            json_out,
+            trace_out,
+            timeseries_out,
+            obs,
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Whether `--quick` was passed.
+    pub fn quick(&self) -> bool {
+        self.quick
+    }
+
+    /// The observability bundle to pass to `run_*_obs` experiment
+    /// entry points. Disabled (and free) unless `--trace-out` or
+    /// `--timeseries` was given.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Prints a `measured vs paper` row and records it.
+    pub fn row(&mut self, name: &str, measured: f64, paper: f64, unit: &str) {
+        row(name, measured, paper, unit);
+        self.record_row(name, measured, paper, unit);
+    }
+
+    /// Records a `measured vs paper` row without printing (for binaries
+    /// with bespoke tabular output).
+    pub fn record_row(&mut self, name: &str, measured: f64, paper: f64, unit: &str) {
+        let dev = deviation_pct(measured, paper).map_or(Json::Null, Json::from);
+        self.rows.push(Json::obj([
+            ("name", Json::from(name)),
+            ("measured", Json::from(measured)),
+            ("paper", Json::from(paper)),
+            ("unit", Json::from(unit)),
+            ("deviation_pct", dev),
+        ]));
+    }
+
+    /// Prints a plain measured row and records it.
+    pub fn value(&mut self, name: &str, measured: f64, unit: &str) {
+        row_measured(name, format!("{measured:.2}"), unit);
+        self.record(name, measured, unit);
+    }
+
+    /// Records a measured value without printing.
+    pub fn record(&mut self, name: &str, measured: f64, unit: &str) {
+        self.rows.push(Json::obj([
+            ("name", Json::from(name)),
+            ("measured", Json::from(measured)),
+            ("unit", Json::from(unit)),
+        ]));
+    }
+
+    /// Prints a one-line percentile summary of a latency histogram and
+    /// records the full percentile set (p50/p95/p99/p99.9, min/max,
+    /// mean, count). `scale` divides every recorded sample (e.g. 1000.0
+    /// to report a µs histogram in ms).
+    pub fn histogram(&mut self, name: &str, hist: &Histogram, scale: f64, unit: &str) {
+        if hist.is_empty() {
+            return;
+        }
+        let p = |q: f64| hist.percentile(q) / scale;
+        println!(
+            "{name:<52} n {:>8}  p50 {:>8.3} p95 {:>8.3} p99 {:>8.3} p99.9 {:>8.3} {unit}",
+            hist.count(),
+            p(50.0),
+            p(95.0),
+            p(99.0),
+            p(99.9)
+        );
+        self.rows.push(Json::obj([
+            ("name", Json::from(name)),
+            ("kind", Json::from("histogram")),
+            ("unit", Json::from(unit)),
+            ("count", Json::from(hist.count())),
+            ("mean", Json::from(hist.mean() / scale)),
+            ("min", Json::from(hist.min() / scale)),
+            ("max", Json::from(hist.max() / scale)),
+            ("p50", Json::from(p(50.0))),
+            ("p95", Json::from(p(95.0))),
+            ("p99", Json::from(p(99.0))),
+            ("p999", Json::from(p(99.9))),
+        ]));
+    }
+
+    /// Attaches a free-form metadata entry to the JSON report.
+    pub fn note(&mut self, key: &str, value: Json) {
+        self.notes.push((key.to_owned(), value));
+    }
+
+    /// Writes every sink requested on the command line. Consumes the
+    /// report; call it last.
+    pub fn finish(self) {
+        if let Some(path) = &self.json_out {
+            let mut root = Json::obj([
+                ("bench", Json::from(self.bench.as_str())),
+                ("quick", Json::from(self.quick)),
+                ("rows", Json::arr(self.rows)),
+            ]);
+            if !self.notes.is_empty() {
+                root.push_field("notes", Json::obj(self.notes));
+            }
+            if self.obs.profiler.is_enabled() {
+                let spans = self.obs.profiler.label_stats().into_iter().map(|(k, s)| {
+                    (
+                        k,
+                        Json::obj([
+                            ("count", Json::from(s.count())),
+                            ("mean_us", Json::from(s.mean() / 1_000.0)),
+                            ("max_us", Json::from(s.max() / 1_000.0)),
+                        ]),
+                    )
+                });
+                root.push_field("spans", Json::obj(spans));
+            }
+            let mut text = root.render();
+            text.push('\n');
+            std::fs::write(path, text).expect("write --json report");
+        }
+        if let Some(path) = &self.trace_out {
+            std::fs::write(path, self.obs.profiler.chrome_trace()).expect("write --trace-out");
+        }
+        if let Some(path) = &self.timeseries_out {
+            std::fs::write(path, self.obs.timeseries.to_csv()).expect("write --timeseries");
+        }
+    }
 }

@@ -183,6 +183,8 @@ impl System {
                 vipi_sent_at: None,
                 pending_entry: None,
                 pending_exit: None,
+                roundtrip_span: cg_sim::SpanId::NULL,
+                handle_span: cg_sim::SpanId::NULL,
             });
             run_channels.push(SyncChannel::new());
         }

@@ -83,6 +83,12 @@ pub enum SystemEvent {
         /// Kick period in nanoseconds.
         period_ns: u64,
     },
+    /// A periodic observability sample is due: snapshot utilisation /
+    /// channel / cache-state gauges into the time series and reschedule.
+    ObsSample {
+        /// Sampling period in nanoseconds.
+        period_ns: u64,
+    },
     /// A disk request completes in the backing store.
     DiskDone {
         /// The VM.

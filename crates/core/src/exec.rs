@@ -261,6 +261,15 @@ impl System {
                 }
             }
             ThreadCont::VcpuHandleExit { vm, vcpu } => {
+                if self.profiler.is_enabled() {
+                    let realm = self.vms[vm.0].kvm.realm().0;
+                    self.vms[vm.0].vcpus[vcpu as usize].handle_span = self.profiler.begin(
+                        cg_sim::SpanKind::ExitHandle,
+                        Some(core.0),
+                        Some(realm),
+                        Some(vcpu),
+                    );
+                }
                 let exit = self.take_posted_exit(vm, vcpu);
                 let actions = {
                     let host = self.config.host.clone();
@@ -314,6 +323,13 @@ impl System {
         self.threads.get_mut(&tid).expect("ctx").cont = cont;
     }
 
+    /// Closes the vCPU's open exit-handling span, if any (the handling
+    /// step reached its terminal action).
+    fn end_handle_span(&mut self, vm: VmId, vcpu: u32) {
+        let span = std::mem::take(&mut self.vms[vm.0].vcpus[vcpu as usize].handle_span);
+        self.profiler.end(span);
+    }
+
     /// Executes instant actions from a vCPU action queue until a Work
     /// action starts a segment or a terminal action ends the step.
     /// Returns `true` if the thread blocked/exited (core redispatched).
@@ -341,6 +357,7 @@ impl System {
                 }
                 HostAction::Resume { vcpu: v } => {
                     debug_assert_eq!(v, vcpu);
+                    self.end_handle_span(vm, vcpu);
                     if self.vms[vm.0].paused {
                         self.set_cont(tid, ThreadCont::VcpuPaused { vm, vcpu });
                         self.sched.block_current(core);
@@ -364,6 +381,7 @@ impl System {
                 }
                 HostAction::BlockVcpu { vcpu: v } => {
                     debug_assert_eq!(v, vcpu);
+                    self.end_handle_span(vm, vcpu);
                     // Last-moment re-check: an interrupt queued while we
                     // were tearing down cancels the block (the kernel's
                     // lost-wakeup guard).
@@ -379,6 +397,7 @@ impl System {
                 }
                 HostAction::VcpuFinished { vcpu: v } => {
                     debug_assert_eq!(v, vcpu);
+                    self.end_handle_span(vm, vcpu);
                     if self.vms[vm.0].kvm.all_finished() && self.vms[vm.0].finished.is_none() {
                         self.vms[vm.0].finished = Some(self.queue.now());
                     }
@@ -543,9 +562,10 @@ impl System {
         // Run-to-run latency: exit posted → next run call issued.
         if let Some(t) = self.vms[vm.0].vcpus[vcpu as usize].exit_posted_at.take() {
             self.metrics
-                .run_to_run_us
-                .record(now.duration_since(t).as_micros_f64());
+                .record_run_to_run(now.duration_since(t).as_micros_f64());
         }
+        let span = std::mem::take(&mut self.vms[vm.0].vcpus[vcpu as usize].roundtrip_span);
+        self.profiler.end(span);
         let entry = self.vms[vm.0].kvm.take_entry(vcpu);
         self.vms[vm.0].kvm.mark_entered(vcpu);
         match self.vms[vm.0].kvm.mode() {
@@ -675,6 +695,14 @@ impl System {
 
     fn complete_wakeup_scan(&mut self, core: CoreId, tid: ThreadId) {
         let now = self.queue.now();
+        self.profiler.record_span(
+            cg_sim::SpanKind::WakeupScan,
+            Some(core.0),
+            None,
+            None,
+            self.cores[core.index()].seg_started,
+            now,
+        );
         // Find all posted-and-visible exits whose threads still await.
         let mut candidates = self.wakeup_scan_candidates(now);
         if self.config.inject_wakeup_nondeterminism {
@@ -918,8 +946,7 @@ impl System {
             // Virtual IPI acknowledged: table 3 sample.
             if let Some(t) = self.vms[vm.0].vcpus[vcpu as usize].vipi_sent_at.take() {
                 self.metrics
-                    .vipi_latency_us
-                    .record(now.duration_since(t).as_micros_f64());
+                    .record_vipi_latency(now.duration_since(t).as_micros_f64());
             }
             self.vms[vm.0]
                 .guest
@@ -1470,6 +1497,15 @@ impl System {
                 format!("run.exit {vm}.vcpu{vcpu} {}", exit.reason)
             });
         self.vms[vm.0].vcpus[vcpu as usize].exit_posted_at = Some(now);
+        if self.profiler.is_enabled() {
+            let realm = self.vms[vm.0].kvm.realm().0;
+            self.vms[vm.0].vcpus[vcpu as usize].roundtrip_span = self.profiler.begin(
+                cg_sim::SpanKind::ExitRoundTrip,
+                Some(core.0),
+                Some(realm),
+                Some(vcpu),
+            );
+        }
         match self.vms[vm.0].kvm.mode() {
             VmExecMode::CoreGapped => {
                 self.vms[vm.0].run_channels[vcpu as usize]

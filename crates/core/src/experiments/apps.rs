@@ -2,13 +2,14 @@
 //! (fig. 10).
 
 use cg_host::DeviceKind;
-use cg_sim::{SimDuration, SimTime};
+use cg_sim::{Histogram, SimDuration, SimTime};
 use cg_workloads::kbuild::KernelBuild;
 use cg_workloads::kernel::GuestKernel;
 use cg_workloads::redis::{RedisCommand, RedisServer};
 use cg_workloads::RedisClientPool;
 
 use crate::config::{SystemConfig, VmSpec};
+use crate::obs::Obs;
 use crate::system::System;
 
 /// One table-5 cell: throughput and latency percentiles.
@@ -75,6 +76,20 @@ pub fn run_redis(
     requests: u64,
     seed: u64,
 ) -> RedisResult {
+    run_redis_obs(command, core_gapped, requests, seed, &Obs::disabled()).0
+}
+
+/// As [`run_redis`], but records through the observability bundle and
+/// also returns the per-request latency histogram (µs), so table-5
+/// reports can quote measured p50/p95/p99/p99.9 rather than only the
+/// three paper percentiles.
+pub fn run_redis_obs(
+    command: RedisCommand,
+    core_gapped: bool,
+    requests: u64,
+    seed: u64,
+    obs: &Obs,
+) -> (RedisResult, Histogram) {
     let mut sys_config = SystemConfig::paper_default();
     sys_config.seed = seed;
     let vcpus: u32;
@@ -90,6 +105,7 @@ pub fn run_redis(
         vcpus = 16;
     }
     let mut system = System::new(sys_config.clone());
+    system.attach_obs(obs);
     let app = RedisServer::new(command, 0);
     let guest = GuestKernel::new(vcpus, sys_config.host.guest_hz, Box::new(app));
     let spec = if core_gapped {
@@ -109,17 +125,24 @@ pub fn run_redis(
     let completed = system.peer_completed(vm);
     let samples = system.peer_samples(vm).expect("pool collects samples");
     let mut lat = samples["request_us"].clone();
-    RedisResult {
+    let hist: Histogram = lat.values().iter().copied().collect();
+    let result = RedisResult {
         krps: completed as f64 / elapsed.as_secs_f64() / 1_000.0,
         mean_ms: lat.mean() / 1_000.0,
         p95_ms: lat.percentile(95.0) / 1_000.0,
         p99_ms: lat.percentile(99.0) / 1_000.0,
-    }
+    };
+    (result, hist)
 }
 
 /// Runs the parallel kernel build (fig. 10) on `total_cores` physical
 /// cores and returns the build time in seconds.
 pub fn run_kbuild(core_gapped: bool, total_cores: u16, jobs: u64, seed: u64) -> f64 {
+    run_kbuild_obs(core_gapped, total_cores, jobs, seed, &Obs::disabled())
+}
+
+/// As [`run_kbuild`], but records through the observability bundle.
+pub fn run_kbuild_obs(core_gapped: bool, total_cores: u16, jobs: u64, seed: u64, obs: &Obs) -> f64 {
     let mut sys_config = SystemConfig::paper_default();
     sys_config.seed = seed;
     let vcpus: u32;
@@ -135,6 +158,7 @@ pub fn run_kbuild(core_gapped: bool, total_cores: u16, jobs: u64, seed: u64) -> 
         vcpus = total_cores as u32;
     }
     let mut system = System::new(sys_config.clone());
+    system.attach_obs(obs);
     let app = KernelBuild::new(vcpus, jobs, 0, seed);
     let guest = GuestKernel::new(vcpus, sys_config.host.guest_hz, Box::new(app));
     let spec = if core_gapped {

@@ -107,6 +107,17 @@ pub fn run_netpipe(
     reps: u32,
     seed: u64,
 ) -> BTreeMap<u64, NetpipePoint> {
+    run_netpipe_obs(config, sizes, reps, seed, &crate::obs::Obs::disabled())
+}
+
+/// As [`run_netpipe`], but records through the observability bundle.
+pub fn run_netpipe_obs(
+    config: NetpipeConfig,
+    sizes: &[u64],
+    reps: u32,
+    seed: u64,
+    obs: &crate::obs::Obs,
+) -> BTreeMap<u64, NetpipePoint> {
     let mut sys_config = base_config(config.core_gapped, seed);
     if config.direct_delivery {
         assert!(
@@ -116,6 +127,7 @@ pub fn run_netpipe(
         sys_config.rmm = cg_rmm::RmmConfig::core_gapped_direct_delivery();
     }
     let mut system = System::new(sys_config.clone());
+    system.attach_obs(obs);
     let app = Netpipe::new(sizes.to_vec(), reps, 0);
     let guest = GuestKernel::new(1, sys_config.host.guest_hz, Box::new(app));
     let device = if config.sriov {
@@ -164,8 +176,26 @@ pub fn run_iozone(
     reps: u32,
     seed: u64,
 ) -> BTreeMap<(u64, bool), IozonePoint> {
+    run_iozone_obs(
+        core_gapped,
+        records,
+        reps,
+        seed,
+        &crate::obs::Obs::disabled(),
+    )
+}
+
+/// As [`run_iozone`], but records through the observability bundle.
+pub fn run_iozone_obs(
+    core_gapped: bool,
+    records: &[u64],
+    reps: u32,
+    seed: u64,
+    obs: &crate::obs::Obs,
+) -> BTreeMap<(u64, bool), IozonePoint> {
     let sys_config = base_config(core_gapped, seed);
     let mut system = System::new(sys_config.clone());
+    system.attach_obs(obs);
     let mut phases = Vec::new();
     for &r in records {
         phases.push((r, false, reps));

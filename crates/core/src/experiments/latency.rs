@@ -1,10 +1,11 @@
 //! The virtual-IPI latency experiment (table 3).
 
-use cg_sim::{OnlineStats, SimDuration};
+use cg_sim::{Histogram, OnlineStats, SimDuration};
 use cg_workloads::ipibench::IpiBench;
 use cg_workloads::kernel::GuestKernel;
 
 use crate::config::{SystemConfig, VmSpec};
+use crate::obs::Obs;
 use crate::system::System;
 
 /// The three table-3 configurations.
@@ -48,6 +49,18 @@ impl IpiConfig {
 /// Runs the virtual IPI ping benchmark and returns delivery-latency
 /// statistics in microseconds.
 pub fn run_vipi(config: IpiConfig, pings: u64, seed: u64) -> OnlineStats {
+    run_vipi_obs(config, pings, seed, &Obs::disabled()).0
+}
+
+/// As [`run_vipi`], but records through the observability bundle and
+/// also returns the log-bucketed latency histogram (µs) so reports can
+/// quote percentiles, not just the mean.
+pub fn run_vipi_obs(
+    config: IpiConfig,
+    pings: u64,
+    seed: u64,
+    obs: &Obs,
+) -> (OnlineStats, Histogram) {
     let mut sys_config = SystemConfig::paper_default();
     sys_config.seed = seed;
     match config {
@@ -67,6 +80,7 @@ pub fn run_vipi(config: IpiConfig, pings: u64, seed: u64) -> OnlineStats {
     sys_config.machine.num_cores = 4;
 
     let mut system = System::new(sys_config.clone());
+    system.attach_obs(obs);
     let app = IpiBench::new(SimDuration::micros(200), pings);
     let guest = GuestKernel::new(2, sys_config.host.guest_hz, Box::new(app));
     let spec = match config {
@@ -77,7 +91,8 @@ pub fn run_vipi(config: IpiConfig, pings: u64, seed: u64) -> OnlineStats {
         .add_vm(spec, Box::new(guest), None)
         .expect("ipi bench VM");
     system.run_until_done(SimDuration::secs(5));
-    system.metrics().vipi_latency_us.to_online()
+    let m = system.metrics();
+    (m.vipi_latency_us.to_online(), m.vipi_latency_hist.clone())
 }
 
 #[cfg(test)]

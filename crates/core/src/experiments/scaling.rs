@@ -1,11 +1,12 @@
 //! CoreMark-PRO scaling experiments (fig. 6, fig. 7, table 4).
 
 use cg_host::DeviceKind;
-use cg_sim::SimDuration;
+use cg_sim::{Histogram, SimDuration};
 use cg_workloads::coremark::CoremarkPro;
 use cg_workloads::kernel::GuestKernel;
 
 use crate::config::{SystemConfig, VmSpec};
+use crate::obs::Obs;
 use crate::system::System;
 
 /// One fig. 6 configuration.
@@ -100,6 +101,18 @@ pub fn run_coremark(
     duration: SimDuration,
     seed: u64,
 ) -> CoremarkResult {
+    run_coremark_obs(config, total_cores, duration, seed, &Obs::disabled()).0
+}
+
+/// As [`run_coremark`], but records through the observability bundle
+/// and also returns the run-to-run latency histogram (µs).
+pub fn run_coremark_obs(
+    config: ScalingConfig,
+    total_cores: u16,
+    duration: SimDuration,
+    seed: u64,
+    obs: &Obs,
+) -> (CoremarkResult, Histogram) {
     assert!(total_cores >= 2, "need at least two cores");
     let mut sys_config = SystemConfig::paper_default();
     sys_config.seed = seed;
@@ -124,6 +137,7 @@ pub fn run_coremark(
     };
 
     let mut system = System::new(sys_config.clone());
+    system.attach_obs(obs);
     let app = CoremarkPro::new(vcpus, SimDuration::micros(100));
     let guest = GuestKernel::new(vcpus, sys_config.host.guest_hz, Box::new(app))
         .with_console_writes(SimDuration::millis(70));
@@ -145,7 +159,7 @@ pub fn run_coremark(
     let iters = report.stats.counters.get("coremark.total_iterations");
     // One work unit = 100 µs of ideal compute.
     let score = iters as f64 / duration.as_secs_f64();
-    CoremarkResult {
+    let result = CoremarkResult {
         score,
         exits_interrupt: report.exits_interrupt,
         exits_total: report.exits_total,
@@ -154,7 +168,8 @@ pub fn run_coremark(
             s.to_online().mean()
         },
         host_utilization: system.metrics().host_utilization(0, duration),
-    }
+    };
+    (result, system.metrics().run_to_run_hist.clone())
 }
 
 /// Runs `count` 4-vCPU VMs (fig. 7) and returns the aggregate score.
@@ -163,6 +178,17 @@ pub fn run_coremark(
 /// threads — the paper's key scalability point ("running up to 16 VMMs
 /// pinned on a single host core does not harm throughput").
 pub fn run_multivm(config: ScalingConfig, count: u16, duration: SimDuration, seed: u64) -> f64 {
+    run_multivm_obs(config, count, duration, seed, &Obs::disabled())
+}
+
+/// As [`run_multivm`], but records through the observability bundle.
+pub fn run_multivm_obs(
+    config: ScalingConfig,
+    count: u16,
+    duration: SimDuration,
+    seed: u64,
+    obs: &Obs,
+) -> f64 {
     let vcpus_per_vm: u32 = 4;
     let mut sys_config = SystemConfig::paper_default();
     sys_config.seed = seed;
@@ -180,6 +206,7 @@ pub fn run_multivm(config: ScalingConfig, count: u16, duration: SimDuration, see
         sys_config.machine.num_cores = count * 4 + 1;
     }
     let mut system = System::new(sys_config.clone());
+    system.attach_obs(obs);
     let mut vms = Vec::new();
     for i in 0..count {
         let app = CoremarkPro::new(vcpus_per_vm, SimDuration::micros(100));

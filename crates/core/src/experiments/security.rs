@@ -73,6 +73,16 @@ impl ScenarioOutcome {
 
 /// Runs `scenario` for `duration` and reports what leaked.
 pub fn run_attack(scenario: AttackScenario, duration: SimDuration, seed: u64) -> ScenarioOutcome {
+    run_attack_obs(scenario, duration, seed, &crate::obs::Obs::disabled())
+}
+
+/// As [`run_attack`], but records through the observability bundle.
+pub fn run_attack_obs(
+    scenario: AttackScenario,
+    duration: SimDuration,
+    seed: u64,
+    obs: &crate::obs::Obs,
+) -> ScenarioOutcome {
     let mut config = SystemConfig::paper_default();
     config.seed = seed;
     config.machine.num_cores = 6;
@@ -105,6 +115,7 @@ pub fn run_attack(scenario: AttackScenario, duration: SimDuration, seed: u64) ->
     };
 
     let mut system = System::new(config.clone());
+    system.attach_obs(obs);
     let secret = SecretId(0xDEAD);
     let victim = GuestKernel::new(
         1,
@@ -194,11 +205,23 @@ pub fn run_malicious_interruption(
     duration: SimDuration,
     seed: u64,
 ) -> InterruptionOutcome {
+    run_malicious_interruption_obs(kick_period, duration, seed, &crate::obs::Obs::disabled())
+}
+
+/// As [`run_malicious_interruption`], but records through the
+/// observability bundle.
+pub fn run_malicious_interruption_obs(
+    kick_period: SimDuration,
+    duration: SimDuration,
+    seed: u64,
+    obs: &crate::obs::Obs,
+) -> InterruptionOutcome {
     let mut config = SystemConfig::paper_default();
     config.seed = seed;
     config.machine.num_cores = 4;
     config.num_host_cores = 1;
     let mut system = System::new(config);
+    system.attach_obs(obs);
     let secret = SecretId(0xBEEF);
     let victim = GuestKernel::new(
         1,

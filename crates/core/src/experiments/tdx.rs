@@ -28,12 +28,23 @@ pub struct FaultResult {
 /// CCA-style (monitor-mediated) or TDX-style (host-managed insecure
 /// tables) page-table interface.
 pub fn run_fault_storm(tdx_style: bool, faults: u64, seed: u64) -> FaultResult {
+    run_fault_storm_obs(tdx_style, faults, seed, &crate::obs::Obs::disabled())
+}
+
+/// As [`run_fault_storm`], but records through the observability bundle.
+pub fn run_fault_storm_obs(
+    tdx_style: bool,
+    faults: u64,
+    seed: u64,
+    obs: &crate::obs::Obs,
+) -> FaultResult {
     let mut config = SystemConfig::paper_default();
     config.seed = seed;
     config.machine.num_cores = 4;
     config.num_host_cores = 1;
     config.host.tdx_style_tables = tdx_style;
     let mut system = System::new(config.clone());
+    system.attach_obs(obs);
     let app = FaultStorm::new(faults);
     let guest = GuestKernel::new(1, config.host.guest_hz, Box::new(app));
     let vm = system

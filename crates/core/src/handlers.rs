@@ -32,6 +32,7 @@ impl System {
                 bytes,
                 flow,
             } => self.on_wire_to_guest(vm, device, bytes, flow),
+            SystemEvent::ObsSample { period_ns } => self.on_obs_sample(period_ns),
             SystemEvent::DiskDone { vm, device, tag } => self.on_disk_done(vm, device, tag),
             SystemEvent::HarassTick {
                 vm,

@@ -43,10 +43,12 @@ pub mod event;
 pub mod experiments;
 pub mod metrics;
 pub mod microbench;
+pub mod obs;
 pub mod system;
 
 pub use config::{RunTransport, SystemConfig, VmSpec};
 pub use diag::{diff_same_seed_runs, DiffReport};
 pub use event::SystemEvent;
 pub use metrics::{Metrics, VmReport};
+pub use obs::Obs;
 pub use system::{System, VmId};

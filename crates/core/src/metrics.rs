@@ -1,6 +1,6 @@
 //! Measurement collection: the quantities the paper reports.
 
-use cg_sim::{Counters, Samples, SimDuration, SimTime};
+use cg_sim::{Counters, Histogram, Samples, SimDuration, SimTime};
 use cg_workloads::WorkloadStats;
 
 /// System-wide measurements.
@@ -11,10 +11,15 @@ pub struct Metrics {
     /// Run-to-run latency samples in microseconds (§5.2): from a vCPU
     /// exit being posted to the next run call resuming it.
     pub run_to_run_us: Samples,
+    /// Log-bucketed view of [`Metrics::run_to_run_us`], kept in lockstep
+    /// for cheap percentile export and mergeable reports.
+    pub run_to_run_hist: Histogram,
     /// Virtual IPI delivery latency samples in microseconds (table 3):
     /// from the sender's `ICC_SGI1R` write to the target guest
     /// acknowledging the SGI.
     pub vipi_latency_us: Samples,
+    /// Log-bucketed view of [`Metrics::vipi_latency_us`].
+    pub vipi_latency_hist: Histogram,
     /// Per-host-core busy time (ns), indexed by core id.
     pub host_busy_ns: Vec<u64>,
 }
@@ -26,6 +31,20 @@ impl Metrics {
             host_busy_ns: vec![0; num_cores as usize],
             ..Metrics::default()
         }
+    }
+
+    /// Records one run-to-run latency sample (µs) into both the exact
+    /// sample set and its histogram.
+    pub fn record_run_to_run(&mut self, us: f64) {
+        self.run_to_run_us.record(us);
+        self.run_to_run_hist.record(us);
+    }
+
+    /// Records one virtual-IPI latency sample (µs) into both the exact
+    /// sample set and its histogram.
+    pub fn record_vipi_latency(&mut self, us: f64) {
+        self.vipi_latency_us.record(us);
+        self.vipi_latency_hist.record(us);
     }
 
     /// Records host CPU busy time on `core`.
@@ -62,9 +81,24 @@ impl Metrics {
             eat(key.as_bytes());
             eat(&value.to_le_bytes());
         }
-        for samples in [&self.run_to_run_us, &self.vipi_latency_us] {
+        // Fold the *full distribution* of each sample set, not just
+        // (len, mean): two diverged runs with equal count and mean must
+        // still fingerprint differently. The histogram buckets give a
+        // stable order-independent serialisation, and the exact
+        // sum/min/max bits catch within-bucket differences.
+        for (samples, hist) in [
+            (&self.run_to_run_us, &self.run_to_run_hist),
+            (&self.vipi_latency_us, &self.vipi_latency_hist),
+        ] {
             eat(&(samples.len() as u64).to_le_bytes());
             eat(&samples.mean().to_bits().to_le_bytes());
+            eat(&hist.sum().to_bits().to_le_bytes());
+            eat(&hist.min().to_bits().to_le_bytes());
+            eat(&hist.max().to_bits().to_le_bytes());
+            for (idx, count) in hist.nonzero_buckets() {
+                eat(&(idx as u64).to_le_bytes());
+                eat(&count.to_le_bytes());
+            }
         }
         for &busy in &self.host_busy_ns {
             eat(&busy.to_le_bytes());
@@ -112,6 +146,34 @@ mod tests {
         assert!((m.host_utilization(0, SimDuration::secs(1)) - 0.25).abs() < 1e-12);
         assert_eq!(m.host_utilization(1, SimDuration::secs(1)), 0.0);
         assert_eq!(m.host_utilization(0, SimDuration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn recorders_keep_samples_and_histogram_in_lockstep() {
+        let mut m = Metrics::new(1);
+        for x in [10.0, 20.0, 30.0] {
+            m.record_run_to_run(x);
+            m.record_vipi_latency(x * 2.0);
+        }
+        assert_eq!(m.run_to_run_us.len(), 3);
+        assert_eq!(m.run_to_run_hist.count(), 3);
+        assert_eq!(m.vipi_latency_hist.max(), 60.0);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_distributions_with_equal_mean() {
+        // Same count, same mean, different shape: the old (len, mean)
+        // fold collided on these.
+        let mut a = Metrics::new(1);
+        for x in [10.0, 20.0, 30.0] {
+            a.record_run_to_run(x);
+        }
+        let mut b = Metrics::new(1);
+        for x in [5.0, 20.0, 35.0] {
+            b.record_run_to_run(x);
+        }
+        assert_eq!(a.run_to_run_us.mean(), b.run_to_run_us.mean());
+        assert_ne!(a.fingerprint(), b.fingerprint());
     }
 
     #[test]

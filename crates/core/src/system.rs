@@ -9,8 +9,8 @@ use cg_machine::{CoreId, IntId, Machine, RealmId};
 use cg_rmm::Rmm;
 use cg_rpc::{Doorbell, SyncChannel};
 use cg_sim::{
-    EventQueue, EventToken, SimDuration, SimRng, SimTime, Trace, TraceDumpGuard, TraceHandle,
-    TraceKind, TraceRecord,
+    EventQueue, EventToken, Profiler, SimDuration, SimRng, SimTime, SpanId, TimeSeries, Trace,
+    TraceDumpGuard, TraceHandle, TraceKind, TraceRecord,
 };
 use cg_workloads::{GuestOp, GuestProgram, NetPeer};
 
@@ -213,6 +213,12 @@ pub(crate) struct VcpuRt {
     /// Exit record stashed between guest exit and handling (shared-core
     /// modes).
     pub pending_exit: Option<RecExit>,
+    /// Open profiler span covering the exit-posted → next-run-call
+    /// round trip ([`cg_sim::SpanKind::ExitRoundTrip`]).
+    pub roundtrip_span: SpanId,
+    /// Open profiler span covering KVM exit handling on the host
+    /// ([`cg_sim::SpanKind::ExitHandle`]).
+    pub handle_span: SpanId,
 }
 
 /// One VM in the system.
@@ -269,6 +275,16 @@ pub struct System {
     /// Structured trace shared with every instrumented subsystem
     /// (disabled by default; see [`System::enable_structured_trace`]).
     pub(crate) strace: TraceHandle,
+    /// Simulated-time span profiler shared with every instrumented
+    /// subsystem (disabled by default; see [`System::attach_obs`]).
+    pub(crate) profiler: Profiler,
+    /// Periodic time-series sampler sink (disabled by default).
+    pub(crate) timeseries: TimeSeries,
+    /// Sampling period for [`crate::event::SystemEvent::ObsSample`].
+    pub(crate) ts_period: SimDuration,
+    /// Total host-core busy ns at the previous sample (for interval
+    /// utilisation).
+    pub(crate) ts_prev_busy: u64,
     /// Redirects the panic-time trace dump into a buffer instead of
     /// stderr (tests of the dump-on-failure path).
     pub(crate) strace_sink: Option<std::rc::Rc<std::cell::RefCell<String>>>,
@@ -311,6 +327,10 @@ impl System {
             rng,
             trace: Trace::disabled(),
             strace: TraceHandle::disabled(),
+            profiler: Profiler::disabled(),
+            timeseries: TimeSeries::disabled(),
+            ts_period: SimDuration::ZERO,
+            ts_prev_busy: 0,
             strace_sink: None,
             next_fake_realm: 10_000,
             core_vcpu: vec![None; num_cores as usize],
@@ -434,11 +454,56 @@ impl System {
         }
     }
 
+    /// Attaches an observability bundle: the span profiler and the
+    /// time-series sampler record through the given handles from now on.
+    ///
+    /// Rebases both handles to the current simulated time so sequential
+    /// experiment runs (each of which restarts sim time at zero) lay out
+    /// one after another on a single exported timeline. If the
+    /// time-series handle is enabled, schedules the first periodic
+    /// sample.
+    pub fn attach_obs(&mut self, obs: &crate::obs::Obs) {
+        obs.profiler.rebase();
+        obs.timeseries.rebase();
+        self.profiler = obs.profiler.clone();
+        self.timeseries = obs.timeseries.clone();
+        self.ts_period = obs.sample_period;
+        self.propagate_profiler();
+        if self.timeseries.is_enabled() && !self.ts_period.is_zero() {
+            self.queue.schedule_after(
+                self.ts_period,
+                SystemEvent::ObsSample {
+                    period_ns: self.ts_period.as_nanos(),
+                },
+            );
+        }
+    }
+
+    /// Hands the span profiler to every subsystem that records through
+    /// it. Idempotent; re-run at the top of each run loop so components
+    /// created after [`System::attach_obs`] (e.g. by a later `add_vm`)
+    /// are picked up too.
+    fn propagate_profiler(&mut self) {
+        if !self.profiler.is_enabled() {
+            return;
+        }
+        self.machine.set_profiler(self.profiler.clone());
+        self.sched.set_profiler(self.profiler.clone());
+        self.rmm.set_profiler(self.profiler.clone());
+        for vm in &mut self.vms {
+            let realm = vm.kvm.realm().0;
+            for (vcpu, ch) in vm.run_channels.iter_mut().enumerate() {
+                ch.set_profiler(self.profiler.clone(), realm, vcpu as u32);
+            }
+        }
+    }
+
     /// Pops the next event, stamping the structured trace's clock and
     /// recording the pop. All run loops drain the queue through this.
     fn pop_event(&mut self) -> Option<(SimTime, SystemEvent)> {
         let (t, ev) = self.queue.pop()?;
         self.strace.set_now(t);
+        self.profiler.set_now(t);
         self.strace
             .record(TraceKind::EventPop, None, || format!("{ev:?}"));
         Some((t, ev))
@@ -448,6 +513,7 @@ impl System {
     /// `deadline` still fire).
     pub fn run_until(&mut self, deadline: SimTime) {
         self.propagate_strace();
+        self.propagate_profiler();
         let _dump = self.dump_guard();
         while let Some(t) = self.queue.peek_time() {
             if t > deadline {
@@ -471,6 +537,7 @@ impl System {
     /// Returns `true` if all VMs finished.
     pub fn run_until_done(&mut self, limit: SimDuration) -> bool {
         self.propagate_strace();
+        self.propagate_profiler();
         let _dump = self.dump_guard();
         let deadline = self.now() + limit;
         while let Some(t) = self.queue.peek_time() {
@@ -566,6 +633,7 @@ impl System {
     /// Returns `true` if the peer finished.
     pub fn run_until_peer_done(&mut self, vm: VmId, limit: SimDuration) -> bool {
         self.propagate_strace();
+        self.propagate_profiler();
         let _dump = self.dump_guard();
         let deadline = self.now() + limit;
         while let Some(t) = self.queue.peek_time() {

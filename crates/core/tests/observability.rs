@@ -1,0 +1,130 @@
+//! Integration tests for the observability layer: same-seed runs must
+//! export byte-identical artifacts, attaching the sinks must not
+//! perturb the simulation, and the span taxonomy must cover the paths
+//! the profiler instruments.
+
+use cg_core::experiments::latency::{run_vipi_obs, IpiConfig};
+use cg_core::Obs;
+use cg_sim::{Histogram, OnlineStats, SimDuration};
+
+/// One fully-instrumented vIPI run; returns the exported artifacts.
+fn instrumented_run() -> (Obs, OnlineStats, Histogram) {
+    let obs = Obs::full(SimDuration::micros(500));
+    let (stats, hist) = run_vipi_obs(IpiConfig::CoreGappedNoDelegation, 50, 7, &obs);
+    (obs, stats, hist)
+}
+
+#[test]
+fn same_seed_runs_export_byte_identical_artifacts() {
+    let (a, a_stats, a_hist) = instrumented_run();
+    let (b, b_stats, b_hist) = instrumented_run();
+    assert_eq!(a_stats.count(), b_stats.count());
+    assert_eq!(a_stats.mean(), b_stats.mean());
+    assert_eq!(a_hist, b_hist);
+    assert_eq!(a.profiler.chrome_trace(), b.profiler.chrome_trace());
+    assert_eq!(a.timeseries.to_csv(), b.timeseries.to_csv());
+    assert_eq!(
+        a.timeseries.to_json().render(),
+        b.timeseries.to_json().render()
+    );
+}
+
+#[test]
+fn observability_does_not_perturb_the_simulation() {
+    let (_, on_stats, on_hist) = instrumented_run();
+    let (off_stats, off_hist) =
+        run_vipi_obs(IpiConfig::CoreGappedNoDelegation, 50, 7, &Obs::disabled());
+    assert_eq!(on_stats.count(), off_stats.count());
+    assert_eq!(on_stats.mean(), off_stats.mean());
+    assert_eq!(on_hist, off_hist);
+}
+
+#[test]
+fn trace_covers_the_instrumented_paths() {
+    let (obs, _, _) = instrumented_run();
+    let stats = obs.profiler.label_stats();
+    for kind in [
+        "sched.slice",
+        "rpc.request",
+        "exit.roundtrip",
+        "exit.handle",
+    ] {
+        assert!(
+            stats.keys().any(|k| *k == kind),
+            "span kind {kind} missing; have {:?}",
+            stats.keys().collect::<Vec<_>>()
+        );
+    }
+    let trace = obs.profiler.chrome_trace();
+    assert!(trace.starts_with("{\"displayTimeUnit\":\"ns\""));
+    assert!(trace.contains("\"ph\":\"X\""));
+}
+
+#[test]
+fn world_switches_are_profiled_on_shared_core_cvms() {
+    // Core-gapped guests never leave Realm world on their dedicated
+    // cores; the trust-boundary crossings show up when a confidential
+    // VM shares cores with the host.
+    let obs = Obs::spans();
+    cg_core::experiments::scaling::run_coremark_obs(
+        cg_core::experiments::scaling::ScalingConfig::SharedCoreConfidential,
+        2,
+        SimDuration::millis(20),
+        7,
+        &obs,
+    );
+    let stats = obs.profiler.label_stats();
+    assert!(
+        stats.keys().any(|k| *k == "world.switch"),
+        "no world.switch spans; have {:?}",
+        stats.keys().collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn timeseries_samples_cover_the_run() {
+    let (obs, _, _) = instrumented_run();
+    assert!(!obs.timeseries.is_empty(), "no samples collected");
+    let columns = obs.timeseries.columns();
+    assert_eq!(
+        columns,
+        [
+            "host_util",
+            "chan_requests",
+            "chan_responses",
+            "exits_total",
+            "l1_warm",
+            "bp_warm",
+            "llc_taints"
+        ]
+    );
+    let rows = obs.timeseries.rows();
+    assert!(
+        rows.windows(2).all(|w| w[0].0 < w[1].0),
+        "non-monotone time"
+    );
+    assert!(rows.iter().all(|(_, v)| v.len() == columns.len()));
+    // Exit counts are cumulative gauges: they must never decrease.
+    let exits: Vec<f64> = rows.iter().map(|(_, v)| v[3]).collect();
+    assert!(exits.windows(2).all(|w| w[0] <= w[1]));
+}
+
+#[test]
+fn sequential_runs_rebase_onto_one_timeline() {
+    let obs = Obs::spans();
+    run_vipi_obs(IpiConfig::CoreGappedDelegated, 10, 7, &obs);
+    let after_first = obs.profiler.span_count();
+    run_vipi_obs(IpiConfig::CoreGappedDelegated, 10, 7, &obs);
+    assert!(obs.profiler.span_count() > after_first);
+    // Spans from the second run must sit after the first run's spans,
+    // not overlap them at t=0 again.
+    let spans = obs.profiler.snapshot();
+    let first_max_end = spans[..after_first]
+        .iter()
+        .map(|s| s.end.unwrap_or(s.start))
+        .max()
+        .expect("first run produced spans");
+    assert!(spans[after_first..]
+        .iter()
+        .all(|s| s.start >= first_max_end));
+}

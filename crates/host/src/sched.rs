@@ -7,7 +7,7 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use cg_machine::CoreId;
-use cg_sim::{SimDuration, TraceHandle, TraceKind};
+use cg_sim::{Profiler, SimDuration, SpanId, SpanKind, TraceHandle, TraceKind};
 
 use crate::thread::{SchedClass, Thread, ThreadId, ThreadKind, ThreadState};
 
@@ -53,6 +53,11 @@ pub struct Scheduler {
     enqueue_seq: u64,
     /// Structured trace sink (disabled by default).
     trace: TraceHandle,
+    /// Span profiler sink (disabled by default); each on-CPU slice —
+    /// pick to yield/block/exit — becomes one span.
+    profiler: Profiler,
+    /// Open slice span per core (only populated while profiling).
+    open_slices: BTreeMap<CoreId, SpanId>,
 }
 
 impl Scheduler {
@@ -65,6 +70,12 @@ impl Scheduler {
     /// through it from then on.
     pub fn set_trace(&mut self, trace: TraceHandle) {
         self.trace = trace;
+    }
+
+    /// Attaches a span profiler; every on-CPU slice is recorded through
+    /// it from then on.
+    pub fn set_profiler(&mut self, profiler: Profiler) {
+        self.profiler = profiler;
     }
 
     /// Spawns a new runnable thread and enqueues it.
@@ -153,6 +164,12 @@ impl Scheduler {
         self.trace.record(TraceKind::Sched, Some(core.0), || {
             format!("sched.pick {id}")
         });
+        if self.profiler.is_enabled() {
+            let span = self
+                .profiler
+                .begin(SpanKind::SchedSlice, Some(core.0), None, None);
+            self.open_slices.insert(core, span);
+        }
         Some(id)
     }
 
@@ -203,7 +220,13 @@ impl Scheduler {
     }
 
     fn take_current(&mut self, core: CoreId) -> Option<ThreadId> {
-        self.queues.entry(core).or_default().current.take()
+        let id = self.queues.entry(core).or_default().current.take();
+        if id.is_some() {
+            if let Some(span) = self.open_slices.remove(&core) {
+                self.profiler.end(span);
+            }
+        }
+        id
     }
 
     /// Wakes a blocked thread, enqueueing it. Returns the core it was
@@ -251,6 +274,9 @@ impl Scheduler {
     /// Panics if a thread's affinity becomes empty (hotplug of the last
     /// allowed core — the caller must re-affine such threads first).
     pub fn evacuate(&mut self, core: CoreId) -> Vec<ThreadId> {
+        if let Some(span) = self.open_slices.remove(&core) {
+            self.profiler.end(span);
+        }
         let q = self.queues.remove(&core).unwrap_or_default();
         let queued: Vec<ThreadId> = q
             .current
@@ -381,6 +407,21 @@ mod tests {
         let mut s = Scheduler::new();
         let t = s.spawn(ThreadKind::Housekeeping, SchedClass::Fair, [C0]);
         s.wake(t);
+    }
+
+    #[test]
+    fn profiler_records_slices() {
+        let mut s = Scheduler::new();
+        let p = Profiler::capture();
+        s.set_profiler(p.clone());
+        let t = s.spawn(ThreadKind::Housekeeping, SchedClass::Fair, [C0]);
+        assert_eq!(s.pick_next(C0), Some(t));
+        s.yield_current(C0);
+        assert_eq!(s.pick_next(C0), Some(t));
+        s.block_current(C0);
+        assert_eq!(p.closed_count(), 2);
+        assert_eq!(p.snapshot()[0].kind, SpanKind::SchedSlice);
+        assert_eq!(p.snapshot()[0].core, Some(0));
     }
 
     #[test]

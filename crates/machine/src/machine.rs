@@ -40,6 +40,9 @@ pub struct Machine {
     /// core gapping does not protect (out of scope per the threat model,
     /// §2.4; the paper recommends hardware cache partitioning).
     llc_taint: BTreeSet<TaintLabel>,
+    /// Span profiler sink (disabled by default); world switches record
+    /// their cost as complete spans.
+    profiler: cg_sim::Profiler,
 }
 
 impl Machine {
@@ -63,6 +66,7 @@ impl Machine {
             gic: Gic::new(n, params.num_list_regs),
             memory: GranuleMap::new(Machine::DEFAULT_MEMORY_BYTES),
             llc_taint: BTreeSet::new(),
+            profiler: cg_sim::Profiler::disabled(),
             params,
         }
     }
@@ -74,6 +78,12 @@ impl Machine {
         for (i, timer) in self.timers.iter_mut().enumerate() {
             timer.set_trace(trace.clone(), i as u16);
         }
+    }
+
+    /// Attaches a span profiler; world switches record spans through it
+    /// from then on.
+    pub fn set_profiler(&mut self, profiler: cg_sim::Profiler) {
+        self.profiler = profiler;
     }
 
     /// The hardware parameters this machine was built with.
@@ -198,12 +208,26 @@ impl Machine {
         // out of root world carry the mitigation flush applied on behalf
         // of the destination world.
         let base = self.params.smc_round_trip / 2;
-        if crosses_trust_boundary && matches!(to, World::Normal | World::Realm) {
+        let cost = if crosses_trust_boundary && matches!(to, World::Normal | World::Realm) {
             self.microarch[core.index()].mitigation_flush();
             base + self.params.mitigation_flush
         } else {
             base
-        }
+        };
+        self.profiler.record_dur(
+            cg_sim::SpanKind::WorldSwitch,
+            Some(core.0),
+            None,
+            None,
+            cost,
+        );
+        cost
+    }
+
+    /// Number of distinct taint labels resident in the shared LLC (a
+    /// cheap gauge for the telemetry sampler).
+    pub fn llc_taint_count(&self) -> usize {
+        self.llc_taint.len()
     }
 
     /// Probes the shared last-level cache from any core: returns the

@@ -260,6 +260,9 @@ pub struct Rmm {
     /// Structured trace sink, handed to each REC's virtual GIC
     /// (disabled by default).
     trace: cg_sim::TraceHandle,
+    /// Span profiler sink (disabled by default); delegated timer fires
+    /// record spans covering the in-realm handling cost.
+    profiler: cg_sim::Profiler,
 }
 
 impl Rmm {
@@ -277,7 +280,14 @@ impl Rmm {
             platform_measurement: image,
             counters: Counters::new(),
             trace: cg_sim::TraceHandle::disabled(),
+            profiler: cg_sim::Profiler::disabled(),
         }
+    }
+
+    /// Attaches a span profiler; delegated timer fires are recorded
+    /// through it from then on.
+    pub fn set_profiler(&mut self, profiler: cg_sim::Profiler) {
+        self.profiler = profiler;
     }
 
     /// Attaches a structured trace, propagating it to every existing
@@ -925,9 +935,15 @@ impl Rmm {
             rec.set_vtimer(None);
             rec.vgic_mut().inject_local(IntId::VTIMER);
             rec.vgic_mut().sync_to_lrs(core, machine.gic_mut());
-            return Disposition::Resume {
-                cost: params.realm_exit_trap + params.sysreg_trap_emulate + params.realm_enter,
-            };
+            let cost = params.realm_exit_trap + params.sysreg_trap_emulate + params.realm_enter;
+            self.profiler.record_dur(
+                cg_sim::SpanKind::TimerFire,
+                Some(core.0),
+                Some(rec_id.realm.0),
+                Some(rec_id.index),
+                cost,
+            );
+            return Disposition::Resume { cost };
         }
         if intid == REALM_DOORBELL_SGI && delegation.ipi {
             // Delegated IPI arrival: pending SGIs were placed in our vgic
@@ -1012,9 +1028,15 @@ impl Rmm {
             rec.set_vtimer(None);
             rec.vgic_mut().inject_local(IntId::VTIMER);
             rec.vgic_mut().sync_to_lrs(core, machine.gic_mut());
-            return Disposition::Resume {
-                cost: params.sysreg_trap_emulate + params.realm_enter,
-            };
+            let cost = params.sysreg_trap_emulate + params.realm_enter;
+            self.profiler.record_dur(
+                cg_sim::SpanKind::TimerFire,
+                Some(core.0),
+                Some(rec_id.realm.0),
+                Some(rec_id.index),
+                cost,
+            );
+            return Disposition::Resume { cost };
         }
         if intid == REALM_DOORBELL_SGI && delegation.ipi {
             self.counters.incr("rmm.delegated.ipi_deliver");

@@ -3,7 +3,7 @@
 use std::fmt;
 
 use cg_machine::HwParams;
-use cg_sim::{SimTime, TraceHandle, TraceKind};
+use cg_sim::{Profiler, SimTime, SpanKind, TraceHandle, TraceKind};
 
 /// Errors from channel misuse.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,6 +77,10 @@ pub struct SyncChannel<Req, Resp> {
     calls_completed: u64,
     /// Structured trace sink (disabled by default).
     trace: TraceHandle,
+    /// Span profiler sink (disabled by default): each async leg of a
+    /// call — request posted→taken, response posted→taken — is recorded
+    /// as its own span.
+    profiler: Profiler,
     /// Realm/vCPU owning this channel, for trace attribution.
     owner: (u32, u32),
 }
@@ -96,6 +100,7 @@ impl<Req, Resp> SyncChannel<Req, Resp> {
             response: None,
             calls_completed: 0,
             trace: TraceHandle::disabled(),
+            profiler: Profiler::disabled(),
             owner: (0, 0),
         }
     }
@@ -105,6 +110,13 @@ impl<Req, Resp> SyncChannel<Req, Resp> {
     /// then on.
     pub fn set_trace(&mut self, trace: TraceHandle, realm: u32, vcpu: u32) {
         self.trace = trace;
+        self.owner = (realm, vcpu);
+    }
+
+    /// Attaches a span profiler with the same attribution as
+    /// [`SyncChannel::set_trace`].
+    pub fn set_profiler(&mut self, profiler: Profiler, realm: u32, vcpu: u32) {
+        self.profiler = profiler;
         self.owner = (realm, vcpu);
     }
 
@@ -164,9 +176,17 @@ impl<Req, Resp> SyncChannel<Req, Resp> {
         if now < visible {
             return Err(ChannelError::NotVisible);
         }
-        let (req, _) = self.request.take().expect("state Requested");
+        let (req, posted) = self.request.take().expect("state Requested");
         self.state = ChannelState::Serving;
         self.trace_transition("take_request");
+        self.profiler.record_span(
+            SpanKind::RpcRequest,
+            None,
+            Some(self.owner.0),
+            Some(self.owner.1),
+            posted,
+            now,
+        );
         Ok(req)
     }
 
@@ -206,10 +226,18 @@ impl<Req, Resp> SyncChannel<Req, Resp> {
         if now < visible {
             return Err(ChannelError::NotVisible);
         }
-        let (resp, _) = self.response.take().expect("state Responded");
+        let (resp, posted) = self.response.take().expect("state Responded");
         self.state = ChannelState::Idle;
         self.calls_completed += 1;
         self.trace_transition("take_response");
+        self.profiler.record_span(
+            SpanKind::RpcResponse,
+            None,
+            Some(self.owner.0),
+            Some(self.owner.1),
+            posted,
+            now,
+        );
         Ok(resp)
     }
 
@@ -304,6 +332,26 @@ mod tests {
         ch.post_request(2, t(10)).unwrap();
         let vis = ch.request_visible_at(&p).unwrap();
         assert_eq!(ch.take_request(vis, &p).unwrap(), 2);
+    }
+
+    #[test]
+    fn profiler_records_both_legs() {
+        let p = params();
+        let profiler = Profiler::capture();
+        let mut ch: SyncChannel<u8, u8> = SyncChannel::new();
+        ch.set_profiler(profiler.clone(), 3, 1);
+        ch.post_request(1, t(0)).unwrap();
+        let vis = ch.request_visible_at(&p).unwrap();
+        ch.take_request(vis, &p).unwrap();
+        ch.post_response(2, vis).unwrap();
+        let rvis = ch.response_visible_at(&p).unwrap();
+        ch.take_response(rvis, &p).unwrap();
+        let spans = profiler.snapshot();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].kind, SpanKind::RpcRequest);
+        assert_eq!(spans[1].kind, SpanKind::RpcResponse);
+        assert_eq!(spans[0].realm, Some(3));
+        assert_eq!(spans[0].duration(), p.cache_line_transfer);
     }
 
     #[test]

@@ -1,0 +1,228 @@
+//! Deterministic, dependency-free JSON construction.
+//!
+//! The vendored `serde` is a no-op marker crate, so machine-readable
+//! exports are built by hand. [`Json`] is a tiny document model whose
+//! rendering is fully deterministic: object keys keep their insertion
+//! order (callers insert in a fixed order or use sorted maps), floats
+//! render through Rust's shortest-roundtrip `Display` (stable across
+//! platforms), and non-finite floats degrade to `null` so the output is
+//! always valid JSON.
+
+use std::fmt::Write as _;
+
+/// A JSON value that renders deterministically.
+///
+/// # Example
+///
+/// ```
+/// use cg_sim::Json;
+///
+/// let doc = Json::obj([
+///     ("bench", Json::from("table5")),
+///     ("p99", Json::from(1.25)),
+///     ("rows", Json::arr([Json::from(1u64), Json::from(2u64)])),
+/// ]);
+/// assert_eq!(doc.render(), r#"{"bench":"table5","p99":1.25,"rows":[1,2]}"#);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer (rendered without a fractional part).
+    Int(i64),
+    /// An unsigned integer (rendered without a fractional part).
+    UInt(u64),
+    /// A float; non-finite values render as `null`.
+    Num(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; keys render in the order given.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs, preserving order.
+    pub fn obj<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds an array from values.
+    pub fn arr(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Arr(items.into_iter().collect())
+    }
+
+    /// Appends a key/value pair; panics if `self` is not an object.
+    pub fn push_field(&mut self, key: impl Into<String>, value: Json) {
+        match self {
+            Json::Obj(pairs) => pairs.push((key.into(), value)),
+            _ => panic!("push_field on non-object Json"),
+        }
+    }
+
+    /// Renders to a compact JSON string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write_into(&mut out);
+        out
+    }
+
+    /// Renders into an existing buffer.
+    pub fn write_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::UInt(u) => {
+                let _ = write!(out, "{u}");
+            }
+            Json::Num(x) => write_f64(*x, out),
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Writes a float as JSON: non-finite becomes `null`, everything else
+/// uses Rust's deterministic shortest-roundtrip formatting.
+fn write_f64(x: f64, out: &mut String) {
+    if x.is_finite() {
+        let _ = write!(out, "{x}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Writes a string with JSON escaping for quotes, backslashes, and
+/// control characters.
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+
+impl From<i64> for Json {
+    fn from(i: i64) -> Json {
+        Json::Int(i)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(u: u64) -> Json {
+        Json::UInt(u)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(u: usize) -> Json {
+        Json::UInt(u as u64)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(x: f64) -> Json {
+        Json::Num(x)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::from(true).render(), "true");
+        assert_eq!(Json::from(-3i64).render(), "-3");
+        assert_eq!(Json::from(7u64).render(), "7");
+        assert_eq!(Json::from(1.5).render(), "1.5");
+        // Whole floats render without a trailing ".0" — still valid JSON.
+        assert_eq!(Json::from(2.0).render(), "2");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(Json::from(f64::NAN).render(), "null");
+        assert_eq!(Json::from(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(
+            Json::from("a\"b\\c\nd\u{1}").render(),
+            "\"a\\\"b\\\\c\\nd\\u0001\""
+        );
+    }
+
+    #[test]
+    fn nested_structure_renders_in_order() {
+        let doc = Json::obj([
+            ("b", Json::from(1u64)),
+            ("a", Json::arr([Json::Null, Json::from("x")])),
+        ]);
+        assert_eq!(doc.render(), r#"{"b":1,"a":[null,"x"]}"#);
+    }
+
+    #[test]
+    fn push_field_extends_objects() {
+        let mut doc = Json::obj::<&str>([]);
+        doc.push_field("k", Json::from(9u64));
+        assert_eq!(doc.render(), r#"{"k":9}"#);
+    }
+}

@@ -1,0 +1,393 @@
+//! Deterministic log-bucketed latency histogram.
+//!
+//! [`Histogram`] is the HDR-histogram idea stripped to what the
+//! experiment harness needs: values are binned into log-linear buckets
+//! (32 sub-buckets per power of two, derived directly from the f64 bit
+//! pattern), so percentile queries cost a bucket walk instead of a sort,
+//! memory stays constant regardless of sample count, and two histograms
+//! from different runs [`merge`](Histogram::merge) exactly.
+//!
+//! The reported percentile is the midpoint of the bucket containing the
+//! nearest-rank sample, clamped to the exact observed `[min, max]`; the
+//! relative error against the exact sample is bounded by
+//! [`Histogram::RELATIVE_ERROR`] (≈ 1.6 %). Everything is integer
+//! bucket arithmetic over deterministic f64 operations, so same-seed
+//! runs produce bit-identical histograms on every platform.
+
+use std::fmt;
+
+/// Mantissa bits used for sub-bucketing: 32 sub-buckets per octave.
+const SUB_BITS: u32 = 5;
+const SUBS: usize = 1 << SUB_BITS;
+/// Smallest binary exponent with its own octave; values below 2^-64
+/// land in the first bucket.
+const MIN_EXP: i32 = -64;
+/// Largest binary exponent with its own octave; values at or above
+/// 2^65 land in the last bucket.
+const MAX_EXP: i32 = 64;
+const OCTAVES: usize = (MAX_EXP - MIN_EXP + 1) as usize;
+const NUM_BUCKETS: usize = OCTAVES * SUBS;
+
+/// A mergeable log-bucketed histogram with bounded relative error.
+///
+/// Designed for non-negative latency-like quantities. Values ≤ 0 are
+/// counted in a dedicated zero bucket (reported as `0.0`); NaN records
+/// are ignored. Exact `min`, `max`, `sum`, and `count` are tracked on
+/// the side, so means are exact and percentile results are clamped into
+/// the observed range.
+///
+/// # Example
+///
+/// ```
+/// use cg_sim::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for x in 1..=1000 {
+///     h.record(x as f64);
+/// }
+/// assert_eq!(h.count(), 1000);
+/// let p95 = h.percentile(95.0);
+/// assert!((p95 - 950.0).abs() / 950.0 <= Histogram::RELATIVE_ERROR);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Dense bucket counts, allocated on the first positive record so an
+    /// untouched histogram costs no heap memory.
+    buckets: Vec<u64>,
+    /// Observations ≤ 0 (kept out of the log buckets).
+    zero_count: u64,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Bound on the relative error of [`percentile`](Histogram::percentile)
+    /// against the exact nearest-rank sample value (half a sub-bucket:
+    /// 1/64 ≈ 1.6 %).
+    pub const RELATIVE_ERROR: f64 = 1.0 / 64.0;
+
+    /// Creates an empty histogram (no heap allocation until the first
+    /// positive value is recorded).
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: Vec::new(),
+            zero_count: 0,
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The bucket index for a positive finite value.
+    fn index_of(v: f64) -> usize {
+        debug_assert!(v > 0.0);
+        let bits = v.to_bits();
+        let biased = ((bits >> 52) & 0x7ff) as i32;
+        if biased == 0 {
+            return 0; // subnormal: below the smallest octave
+        }
+        let exp = biased - 1023;
+        if exp < MIN_EXP {
+            return 0;
+        }
+        if exp > MAX_EXP {
+            return NUM_BUCKETS - 1;
+        }
+        let sub = ((bits >> (52 - SUB_BITS)) & (SUBS as u64 - 1)) as usize;
+        (exp - MIN_EXP) as usize * SUBS + sub
+    }
+
+    /// The midpoint of bucket `idx` (its representative value).
+    fn midpoint_of(idx: usize) -> f64 {
+        let exp = MIN_EXP + (idx / SUBS) as i32;
+        let sub = (idx % SUBS) as f64;
+        let base = 2.0f64.powi(exp);
+        let lo = base * (1.0 + sub / SUBS as f64);
+        let hi = base * (1.0 + (sub + 1.0) / SUBS as f64);
+        (lo + hi) / 2.0
+    }
+
+    /// Records one observation. NaN is ignored; values ≤ 0 go to the
+    /// zero bucket.
+    pub fn record(&mut self, x: f64) {
+        if x.is_nan() {
+            return;
+        }
+        self.count += 1;
+        self.sum += x;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+        if x <= 0.0 {
+            self.zero_count += 1;
+            return;
+        }
+        if self.buckets.is_empty() {
+            self.buckets = vec![0; NUM_BUCKETS];
+        }
+        self.buckets[Histogram::index_of(x)] += 1;
+    }
+
+    /// Number of observations recorded (excluding ignored NaNs).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Returns `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact sample mean; `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Exact smallest observation; `0.0` when empty.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact largest observation; `0.0` when empty.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Exact sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Observations that fell into the zero bucket (values ≤ 0).
+    pub fn zero_count(&self) -> u64 {
+        self.zero_count
+    }
+
+    /// The `p`-th percentile (0–100) by nearest rank over the buckets,
+    /// matching [`crate::Samples::percentile`] semantics to within
+    /// [`Histogram::RELATIVE_ERROR`]; `0.0` when empty.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let rank = (((p / 100.0) * self.count as f64).ceil() as u64)
+            .max(1)
+            .min(self.count);
+        // The first and last ranks are the exact tracked extremes.
+        if rank == self.count {
+            return self.max;
+        }
+        if rank == 1 {
+            return self.min;
+        }
+        let raw = if rank <= self.zero_count {
+            0.0
+        } else {
+            let mut remaining = rank - self.zero_count;
+            let mut value = self.max;
+            for (idx, &c) in self.buckets.iter().enumerate() {
+                if c >= remaining {
+                    value = Histogram::midpoint_of(idx);
+                    break;
+                }
+                remaining -= c;
+            }
+            value
+        };
+        raw.clamp(self.min, self.max)
+    }
+
+    /// Merges another histogram into this one; equivalent to having
+    /// recorded both sequences into a single histogram.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if !other.buckets.is_empty() {
+            if self.buckets.is_empty() {
+                self.buckets = vec![0; NUM_BUCKETS];
+            }
+            for (b, &o) in self.buckets.iter_mut().zip(&other.buckets) {
+                *b += o;
+            }
+        }
+        self.zero_count += other.zero_count;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Iterates over non-empty buckets as `(bucket index, count)`, in
+    /// bucket order — a stable serialisation of the full distribution
+    /// (used by fingerprinting).
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.2} p50={:.2} p95={:.2} p99={:.2} max={:.2}",
+            self.count(),
+            self.mean(),
+            self.percentile(50.0),
+            self.percentile(95.0),
+            self.percentile(99.0),
+            self.max()
+        )
+    }
+}
+
+impl FromIterator<f64> for Histogram {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Histogram {
+        let mut h = Histogram::new();
+        for v in iter {
+            h.record(v);
+        }
+        h
+    }
+}
+
+impl Extend<f64> for Histogram {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for v in iter {
+            self.record(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Samples;
+
+    #[test]
+    fn empty_is_zeroed() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        assert_eq!(h.percentile(50.0), 0.0);
+    }
+
+    #[test]
+    fn exact_extremes_and_mean() {
+        let h: Histogram = [3.0, 1.0, 4.0, 1.5, 9.25].into_iter().collect();
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 9.25);
+        assert!((h.mean() - 3.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_match_samples_within_bound() {
+        let values: Vec<f64> = (1..=10_000).map(|i| (i as f64).sqrt() * 13.7).collect();
+        let mut s: Samples = values.iter().copied().collect();
+        let h: Histogram = values.into_iter().collect();
+        for p in [0.0, 10.0, 50.0, 90.0, 95.0, 99.0, 99.9, 100.0] {
+            let exact = s.percentile(p);
+            let approx = h.percentile(p);
+            assert!(
+                (approx - exact).abs() <= Histogram::RELATIVE_ERROR * exact,
+                "p{p}: approx {approx} exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn p100_is_exact_max() {
+        let h: Histogram = [5.0, 123.456, 7.0].into_iter().collect();
+        assert_eq!(h.percentile(100.0), 123.456);
+    }
+
+    #[test]
+    fn zero_and_negative_land_in_zero_bucket() {
+        let mut h = Histogram::new();
+        h.record(0.0);
+        h.record(-3.0);
+        h.record(10.0);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.zero_count(), 2);
+        assert_eq!(h.min(), -3.0);
+        // The first two ranks sit in the zero bucket, clamped to min.
+        assert!(h.percentile(30.0) <= 0.0);
+    }
+
+    #[test]
+    fn nan_is_ignored() {
+        let mut h = Histogram::new();
+        h.record(f64::NAN);
+        h.record(2.0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), 2.0);
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let a_vals: Vec<f64> = (1..500).map(|i| i as f64 * 0.37).collect();
+        let b_vals: Vec<f64> = (1..800).map(|i| i as f64 * 1.91).collect();
+        let mut merged: Histogram = a_vals.iter().copied().collect();
+        let b: Histogram = b_vals.iter().copied().collect();
+        merged.merge(&b);
+        let combined: Histogram = a_vals.into_iter().chain(b_vals).collect();
+        assert_eq!(merged, combined);
+    }
+
+    #[test]
+    fn no_allocation_until_first_positive_record() {
+        let mut h = Histogram::new();
+        assert!(h.buckets.is_empty());
+        h.record(0.0);
+        assert!(h.buckets.is_empty(), "zero bucket must not allocate");
+        h.record(1.0);
+        assert_eq!(h.buckets.len(), NUM_BUCKETS);
+    }
+
+    #[test]
+    fn extreme_magnitudes_clamp_into_range() {
+        let mut h = Histogram::new();
+        h.record(1e-30);
+        h.record(1e30);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.percentile(100.0), 1e30);
+        assert_eq!(h.percentile(0.0), 1e-30);
+    }
+
+    #[test]
+    fn nonzero_buckets_serialise_distribution() {
+        let h: Histogram = [1.0, 1.0, 64.0].into_iter().collect();
+        let buckets: Vec<(usize, u64)> = h.nonzero_buckets().collect();
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[0].1, 2);
+        assert_eq!(buckets[1].1, 1);
+    }
+}

@@ -26,16 +26,24 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod export;
+mod histogram;
+mod profiler;
 mod queue;
 mod rng;
 mod stats;
 mod time;
+mod timeseries;
 mod trace;
 
+pub use export::Json;
+pub use histogram::Histogram;
+pub use profiler::{Profiler, Span, SpanGuard, SpanId, SpanKind};
 pub use queue::{EventQueue, EventToken};
 pub use rng::SimRng;
 pub use stats::{Counters, OnlineStats, Samples};
 pub use time::{SimDuration, SimTime};
+pub use timeseries::TimeSeries;
 pub use trace::{
     Divergence, StructuredTrace, Trace, TraceDiff, TraceDumpGuard, TraceEvent, TraceHandle,
     TraceKind, TraceLevel, TraceRecord, DEFAULT_DUMP_RECORDS,

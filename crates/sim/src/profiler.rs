@@ -1,0 +1,571 @@
+//! Simulated-time span profiler.
+//!
+//! [`Profiler`] records begin/end spans against the simulated clock,
+//! attributed to `(core, realm, rec)`, and exports them as Chrome
+//! trace-event JSON loadable in Perfetto (`ui.perfetto.dev`). It mirrors
+//! the [`crate::TraceHandle`] design: a cheap-clone `Rc<RefCell<…>>`
+//! handle, disabled by default, with every recording method an early
+//!-return no-op (no allocation, no formatting) when disabled.
+//!
+//! Span model: simulated time does not advance within one event handler,
+//! so spans that cross events use explicit [`Profiler::begin`] /
+//! [`Profiler::end`] with the [`SpanId`] stashed in runtime state; costs
+//! known up front record as complete spans via [`Profiler::record_dur`];
+//! phases scoped to a stack frame use the RAII [`SpanGuard`].
+//!
+//! Determinism contract: span content derives only from simulated events
+//! (ids are allocated in begin order, timestamps come from the event
+//! loop's [`Profiler::set_now`], and export formatting is integer
+//! arithmetic), so same-seed runs export byte-identical traces —
+//! the export doubles as a determinism tripwire.
+
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+use crate::stats::OnlineStats;
+use crate::time::{SimDuration, SimTime};
+
+/// What a span measures; determines its name in the exported trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SpanKind {
+    /// Full guest-exit round trip: exit posted by the RMM (or KVM) to
+    /// the next `REC enter` request issued by the host thread.
+    ExitRoundTrip,
+    /// Host-side exit handling: the VMM thread reads a posted exit and
+    /// works through its actions until it resumes, blocks, or finishes
+    /// the vCPU.
+    ExitHandle,
+    /// Async RPC request leg: run-call request posted until the serving
+    /// side observes it (cache-line transfer + polling).
+    RpcRequest,
+    /// Async RPC response leg: exit response posted until the client
+    /// thread observes it (cache-line transfer + wakeup).
+    RpcResponse,
+    /// A world switch on one core, including any mitigation flush.
+    WorldSwitch,
+    /// A host scheduler slice: thread picked until it yields, blocks,
+    /// or exits.
+    SchedSlice,
+    /// A delegated timer interrupt fired and handled entirely inside
+    /// the realm world (no host involvement).
+    TimerFire,
+    /// One wake-up thread scan over the run channels.
+    WakeupScan,
+    /// A free-form phase marker opened by [`SpanGuard`].
+    Phase,
+}
+
+impl SpanKind {
+    /// The stable name used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::ExitRoundTrip => "exit.roundtrip",
+            SpanKind::ExitHandle => "exit.handle",
+            SpanKind::RpcRequest => "rpc.request",
+            SpanKind::RpcResponse => "rpc.response",
+            SpanKind::WorldSwitch => "world.switch",
+            SpanKind::SchedSlice => "sched.slice",
+            SpanKind::TimerFire => "timer.delegated_fire",
+            SpanKind::WakeupScan => "wakeup.scan",
+            SpanKind::Phase => "phase",
+        }
+    }
+}
+
+/// Opaque handle to an open span; `NULL` when profiling is disabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct SpanId(u64);
+
+impl SpanId {
+    /// The null id: returned by a disabled profiler, ignored by
+    /// [`Profiler::end`].
+    pub const NULL: SpanId = SpanId(0);
+
+    /// Returns `true` for the null id.
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// One recorded span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// Sequential id (begin order, starting at 1).
+    pub id: u64,
+    /// What this span measures.
+    pub kind: SpanKind,
+    /// Display label; defaults to [`SpanKind::name`].
+    pub label: &'static str,
+    /// Physical core, when the span is core-attributed.
+    pub core: Option<u16>,
+    /// Realm id, when the span belongs to a confidential VM.
+    pub realm: Option<u32>,
+    /// REC (vCPU) index within the realm.
+    pub rec: Option<u32>,
+    /// Begin time (timeline time: includes any rebase offset).
+    pub start: SimTime,
+    /// End time; `None` while the span is still open.
+    pub end: Option<SimTime>,
+}
+
+impl Span {
+    /// Duration of a closed span; `ZERO` while open.
+    pub fn duration(&self) -> SimDuration {
+        match self.end {
+            Some(end) => end.saturating_duration_since(self.start),
+            None => SimDuration::ZERO,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ProfInner {
+    enabled: bool,
+    /// Timeline offset in ns: sequential experiment runs each restart
+    /// simulated time at zero; rebase pushes later runs to the right so
+    /// one export holds the whole bench timeline.
+    offset_ns: u64,
+    /// Current timeline time (offset applied).
+    now_ns: u64,
+    spans: Vec<Span>,
+}
+
+/// Cheap-clone handle to a span recorder (see module docs).
+///
+/// # Example
+///
+/// ```
+/// use cg_sim::{Profiler, SimTime, SpanKind};
+///
+/// let p = Profiler::capture();
+/// p.set_now(SimTime::from_nanos(100));
+/// let id = p.begin(SpanKind::ExitRoundTrip, Some(3), Some(1), Some(0));
+/// p.set_now(SimTime::from_nanos(2_600));
+/// p.end(id);
+/// assert_eq!(p.closed_count(), 1);
+/// assert!(p.chrome_trace().contains("exit.roundtrip"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Profiler(Rc<RefCell<ProfInner>>);
+
+impl Default for Profiler {
+    fn default() -> Self {
+        Profiler::disabled()
+    }
+}
+
+impl Profiler {
+    fn with(enabled: bool) -> Profiler {
+        Profiler(Rc::new(RefCell::new(ProfInner {
+            enabled,
+            offset_ns: 0,
+            now_ns: 0,
+            spans: Vec::new(),
+        })))
+    }
+
+    /// A disabled profiler: every method is a free no-op.
+    pub fn disabled() -> Profiler {
+        Profiler::with(false)
+    }
+
+    /// A capturing profiler that retains every span.
+    pub fn capture() -> Profiler {
+        Profiler::with(true)
+    }
+
+    /// Whether spans are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.0.borrow().enabled
+    }
+
+    /// Advances the profiler clock to simulated time `t` of the current
+    /// run (the event loop calls this when popping events). The rebase
+    /// offset is applied on top.
+    pub fn set_now(&self, t: SimTime) {
+        let mut inner = self.0.borrow_mut();
+        if !inner.enabled {
+            return;
+        }
+        inner.now_ns = inner.offset_ns + t.as_nanos();
+    }
+
+    /// Current timeline time.
+    pub fn now(&self) -> SimTime {
+        SimTime::from_nanos(self.0.borrow().now_ns)
+    }
+
+    /// Re-anchors the timeline at the current time: the next experiment
+    /// run's `t = 0` maps to "now", so sequential runs lay out
+    /// side by side in one exported trace instead of overlapping.
+    pub fn rebase(&self) {
+        let mut inner = self.0.borrow_mut();
+        inner.offset_ns = inner.now_ns;
+    }
+
+    /// Opens a span; returns [`SpanId::NULL`] when disabled.
+    pub fn begin(
+        &self,
+        kind: SpanKind,
+        core: Option<u16>,
+        realm: Option<u32>,
+        rec: Option<u32>,
+    ) -> SpanId {
+        self.begin_labeled(kind, kind.name(), core, realm, rec)
+    }
+
+    /// Opens a span with a custom display label.
+    pub fn begin_labeled(
+        &self,
+        kind: SpanKind,
+        label: &'static str,
+        core: Option<u16>,
+        realm: Option<u32>,
+        rec: Option<u32>,
+    ) -> SpanId {
+        let mut inner = self.0.borrow_mut();
+        if !inner.enabled {
+            return SpanId::NULL;
+        }
+        let id = inner.spans.len() as u64 + 1;
+        let start = SimTime::from_nanos(inner.now_ns);
+        inner.spans.push(Span {
+            id,
+            kind,
+            label,
+            core,
+            realm,
+            rec,
+            start,
+            end: None,
+        });
+        SpanId(id)
+    }
+
+    /// Closes an open span at the current time; no-op for
+    /// [`SpanId::NULL`] or an already-closed span.
+    pub fn end(&self, id: SpanId) {
+        if id.is_null() {
+            return;
+        }
+        let mut inner = self.0.borrow_mut();
+        if !inner.enabled {
+            return;
+        }
+        let now = SimTime::from_nanos(inner.now_ns);
+        let span = &mut inner.spans[(id.0 - 1) as usize];
+        if span.end.is_none() {
+            span.end = Some(now);
+        }
+    }
+
+    /// Records a complete span over raw simulated times of the current
+    /// run (the rebase offset is applied to both ends).
+    pub fn record_span(
+        &self,
+        kind: SpanKind,
+        core: Option<u16>,
+        realm: Option<u32>,
+        rec: Option<u32>,
+        start: SimTime,
+        end: SimTime,
+    ) {
+        let mut inner = self.0.borrow_mut();
+        if !inner.enabled {
+            return;
+        }
+        let id = inner.spans.len() as u64 + 1;
+        let off = inner.offset_ns;
+        inner.spans.push(Span {
+            id,
+            kind,
+            label: kind.name(),
+            core,
+            realm,
+            rec,
+            start: SimTime::from_nanos(off + start.as_nanos()),
+            end: Some(SimTime::from_nanos(off + end.as_nanos())),
+        });
+    }
+
+    /// Records a complete span of length `dur` starting at the current
+    /// time (for costs known up front, e.g. a world switch).
+    pub fn record_dur(
+        &self,
+        kind: SpanKind,
+        core: Option<u16>,
+        realm: Option<u32>,
+        rec: Option<u32>,
+        dur: SimDuration,
+    ) {
+        let mut inner = self.0.borrow_mut();
+        if !inner.enabled {
+            return;
+        }
+        let id = inner.spans.len() as u64 + 1;
+        let start = SimTime::from_nanos(inner.now_ns);
+        inner.spans.push(Span {
+            id,
+            kind,
+            label: kind.name(),
+            core,
+            realm,
+            rec,
+            start,
+            end: Some(start + dur),
+        });
+    }
+
+    /// Opens a labeled [`SpanKind::Phase`] span closed when the returned
+    /// guard drops (RAII scoping for code held across event-loop calls).
+    pub fn guard(&self, label: &'static str) -> SpanGuard {
+        SpanGuard {
+            id: self.begin_labeled(SpanKind::Phase, label, None, None, None),
+            profiler: self.clone(),
+        }
+    }
+
+    /// Total spans recorded (open and closed).
+    pub fn span_count(&self) -> usize {
+        self.0.borrow().spans.len()
+    }
+
+    /// Number of closed spans.
+    pub fn closed_count(&self) -> usize {
+        self.0
+            .borrow()
+            .spans
+            .iter()
+            .filter(|s| s.end.is_some())
+            .count()
+    }
+
+    /// A copy of all recorded spans, in begin order.
+    pub fn snapshot(&self) -> Vec<Span> {
+        self.0.borrow().spans.clone()
+    }
+
+    /// Per-label duration statistics (µs) over closed spans, in label
+    /// order.
+    pub fn label_stats(&self) -> std::collections::BTreeMap<&'static str, OnlineStats> {
+        let inner = self.0.borrow();
+        let mut out = std::collections::BTreeMap::new();
+        for span in &inner.spans {
+            if span.end.is_some() {
+                out.entry(span.label)
+                    .or_insert_with(OnlineStats::new)
+                    .record(span.duration().as_micros_f64());
+            }
+        }
+        out
+    }
+
+    /// Exports closed spans as Chrome trace-event JSON (complete `"X"`
+    /// events; `pid` = realm (0 = host/unattributed), `tid` = core).
+    /// Timestamps are µs with three deterministic decimal places
+    /// computed by integer arithmetic. Open spans are skipped.
+    pub fn chrome_trace(&self) -> String {
+        let inner = self.0.borrow();
+        let mut out = String::with_capacity(64 + inner.spans.len() * 128);
+        out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+        let mut first = true;
+        for span in &inner.spans {
+            let Some(end) = span.end else { continue };
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let start_ns = span.start.as_nanos();
+            let dur_ns = end.as_nanos().saturating_sub(start_ns);
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":",
+                span.label,
+                span.kind.name()
+            );
+            write_us(start_ns, &mut out);
+            out.push_str(",\"dur\":");
+            write_us(dur_ns, &mut out);
+            let _ = write!(
+                out,
+                ",\"pid\":{},\"tid\":{}",
+                span.realm.unwrap_or(0),
+                span.core.unwrap_or(0)
+            );
+            if let Some(rec) = span.rec {
+                let _ = write!(out, ",\"args\":{{\"rec\":{rec}}}");
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Writes `ns` as microseconds with exactly three decimals using integer
+/// math only (e.g. `2500` ns → `2.500`).
+fn write_us(ns: u64, out: &mut String) {
+    let _ = write!(out, "{}.{:03}", ns / 1000, ns % 1000);
+}
+
+/// RAII guard closing a [`SpanKind::Phase`] span on drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    profiler: Profiler,
+    id: SpanId,
+}
+
+impl SpanGuard {
+    /// The underlying span id (null when profiling is disabled).
+    pub fn id(&self) -> SpanId {
+        self.id
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.profiler.end(self.id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_profiler_records_nothing() {
+        let p = Profiler::disabled();
+        p.set_now(SimTime::from_nanos(10));
+        let id = p.begin(SpanKind::ExitRoundTrip, Some(0), None, None);
+        assert!(id.is_null());
+        p.end(id);
+        p.record_dur(
+            SpanKind::WorldSwitch,
+            Some(0),
+            None,
+            None,
+            SimDuration::micros(1),
+        );
+        {
+            let _g = p.guard("phase");
+        }
+        assert_eq!(p.span_count(), 0);
+        assert_eq!(
+            p.chrome_trace(),
+            "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[]}"
+        );
+    }
+
+    #[test]
+    fn begin_end_produces_closed_span() {
+        let p = Profiler::capture();
+        p.set_now(SimTime::from_nanos(1_000));
+        let id = p.begin(SpanKind::RpcRequest, Some(2), Some(7), Some(1));
+        p.set_now(SimTime::from_nanos(3_500));
+        p.end(id);
+        let spans = p.snapshot();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].duration(), SimDuration::nanos(2_500));
+        assert_eq!(spans[0].realm, Some(7));
+    }
+
+    #[test]
+    fn double_end_is_idempotent() {
+        let p = Profiler::capture();
+        let id = p.begin(SpanKind::SchedSlice, Some(0), None, None);
+        p.set_now(SimTime::from_nanos(100));
+        p.end(id);
+        p.set_now(SimTime::from_nanos(999));
+        p.end(id);
+        assert_eq!(p.snapshot()[0].end, Some(SimTime::from_nanos(100)));
+    }
+
+    #[test]
+    fn rebase_offsets_later_runs() {
+        let p = Profiler::capture();
+        p.set_now(SimTime::from_nanos(5_000));
+        p.rebase();
+        p.set_now(SimTime::from_nanos(100));
+        p.record_dur(
+            SpanKind::WorldSwitch,
+            Some(0),
+            None,
+            None,
+            SimDuration::nanos(50),
+        );
+        let s = &p.snapshot()[0];
+        assert_eq!(s.start, SimTime::from_nanos(5_100));
+    }
+
+    #[test]
+    fn chrome_trace_is_integer_formatted() {
+        let p = Profiler::capture();
+        p.set_now(SimTime::from_nanos(1_234));
+        p.record_dur(
+            SpanKind::WorldSwitch,
+            Some(3),
+            Some(1),
+            None,
+            SimDuration::nanos(2_001),
+        );
+        let json = p.chrome_trace();
+        assert!(json.contains("\"ts\":1.234"), "{json}");
+        assert!(json.contains("\"dur\":2.001"), "{json}");
+        assert!(json.contains("\"pid\":1"), "{json}");
+        assert!(json.contains("\"tid\":3"), "{json}");
+    }
+
+    #[test]
+    fn open_spans_are_skipped_in_export() {
+        let p = Profiler::capture();
+        let _open = p.begin(SpanKind::ExitHandle, Some(0), None, None);
+        p.record_dur(
+            SpanKind::TimerFire,
+            Some(1),
+            Some(0),
+            Some(0),
+            SimDuration::ZERO,
+        );
+        assert_eq!(p.closed_count(), 1);
+        let json = p.chrome_trace();
+        assert!(!json.contains("exit.handle"));
+        assert!(json.contains("timer.delegated_fire"));
+    }
+
+    #[test]
+    fn guard_closes_on_drop() {
+        let p = Profiler::capture();
+        p.set_now(SimTime::from_nanos(10));
+        {
+            let _g = p.guard("experiment");
+            p.set_now(SimTime::from_nanos(90));
+        }
+        let spans = p.snapshot();
+        assert_eq!(spans[0].end, Some(SimTime::from_nanos(90)));
+        assert_eq!(spans[0].label, "experiment");
+    }
+
+    #[test]
+    fn label_stats_aggregate_durations() {
+        let p = Profiler::capture();
+        p.record_dur(
+            SpanKind::WorldSwitch,
+            Some(0),
+            None,
+            None,
+            SimDuration::micros(2),
+        );
+        p.record_dur(
+            SpanKind::WorldSwitch,
+            Some(1),
+            None,
+            None,
+            SimDuration::micros(4),
+        );
+        let stats = p.label_stats();
+        let ws = &stats["world.switch"];
+        assert_eq!(ws.count(), 2);
+        assert!((ws.mean() - 3.0).abs() < 1e-12);
+    }
+}

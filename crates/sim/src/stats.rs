@@ -200,9 +200,32 @@ impl Samples {
         self.values[rank.saturating_sub(1).min(self.values.len() - 1)]
     }
 
-    /// Largest observation; `0.0` when empty.
+    /// Smallest observation; `0.0` when empty (mirrors
+    /// [`OnlineStats::min`]).
+    pub fn min(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Largest observation; `0.0` when empty (mirrors
+    /// [`OnlineStats::max`] — in particular, all-negative sample sets
+    /// report their true maximum, not `0.0`).
     pub fn max(&self) -> f64 {
-        self.values.iter().copied().fold(0.0, f64::max)
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// The recorded values, in insertion order (or sorted order if a
+    /// percentile query has run since the last record).
+    pub fn values(&self) -> &[f64] {
+        &self.values
     }
 
     /// Converts to an [`OnlineStats`] summary.
@@ -382,6 +405,16 @@ mod tests {
         assert_eq!(s.percentile(100.0), 30.0);
         s.record(20.0);
         assert_eq!(s.percentile(50.0), 20.0);
+    }
+
+    #[test]
+    fn samples_max_handles_all_negative_and_empty() {
+        let s = Samples::new();
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        let neg: Samples = [-5.0, -2.0, -9.0].into_iter().collect();
+        assert_eq!(neg.max(), -2.0);
+        assert_eq!(neg.min(), -9.0);
     }
 
     #[test]

@@ -1,0 +1,223 @@
+//! Periodic time-series capture for simulated-time telemetry.
+//!
+//! [`TimeSeries`] is a cheap-clone handle (same pattern as
+//! [`crate::TraceHandle`] and [`crate::Profiler`]) that a sampler —
+//! typically a self-rescheduling simulated-time event — pushes fixed
+//! columns of f64 samples into. Disabled by default; every method is a
+//! free no-op until [`TimeSeries::capture`] is used. Exports are
+//! deterministic CSV/JSON (column order fixed at registration, floats
+//! via Rust's shortest-roundtrip `Display`).
+
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+use crate::export::Json;
+use crate::time::SimTime;
+
+#[derive(Debug)]
+struct TsInner {
+    enabled: bool,
+    columns: Vec<String>,
+    /// `(timeline ns, one value per column)`.
+    rows: Vec<(u64, Vec<f64>)>,
+    /// Timeline offset (see [`crate::Profiler::rebase`]).
+    offset_ns: u64,
+    last_ns: u64,
+}
+
+/// Cheap-clone handle to a time-series buffer.
+///
+/// # Example
+///
+/// ```
+/// use cg_sim::{SimTime, TimeSeries};
+///
+/// let ts = TimeSeries::capture();
+/// ts.set_columns(&["host_util", "exits_total"]);
+/// ts.push(SimTime::from_nanos(1_000), &[0.5, 10.0]);
+/// assert_eq!(ts.len(), 1);
+/// assert!(ts.to_csv().starts_with("time_ns,host_util,exits_total\n"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TimeSeries(Rc<RefCell<TsInner>>);
+
+impl Default for TimeSeries {
+    fn default() -> Self {
+        TimeSeries::disabled()
+    }
+}
+
+impl TimeSeries {
+    fn with(enabled: bool) -> TimeSeries {
+        TimeSeries(Rc::new(RefCell::new(TsInner {
+            enabled,
+            columns: Vec::new(),
+            rows: Vec::new(),
+            offset_ns: 0,
+            last_ns: 0,
+        })))
+    }
+
+    /// A disabled buffer: every method is a free no-op.
+    pub fn disabled() -> TimeSeries {
+        TimeSeries::with(false)
+    }
+
+    /// A capturing buffer.
+    pub fn capture() -> TimeSeries {
+        TimeSeries::with(true)
+    }
+
+    /// Whether samples are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.0.borrow().enabled
+    }
+
+    /// Registers column names; only the first non-empty registration
+    /// takes effect (the sampler owns the schema).
+    pub fn set_columns(&self, columns: &[&str]) {
+        let mut inner = self.0.borrow_mut();
+        if !inner.enabled || !inner.columns.is_empty() {
+            return;
+        }
+        inner.columns = columns.iter().map(|c| (*c).to_owned()).collect();
+    }
+
+    /// The registered column names.
+    pub fn columns(&self) -> Vec<String> {
+        self.0.borrow().columns.clone()
+    }
+
+    /// Appends one row at raw simulated time `t` of the current run
+    /// (the rebase offset is applied). `values` must match the column
+    /// count.
+    pub fn push(&self, t: SimTime, values: &[f64]) {
+        let mut inner = self.0.borrow_mut();
+        if !inner.enabled {
+            return;
+        }
+        debug_assert_eq!(values.len(), inner.columns.len(), "column count mismatch");
+        let at = inner.offset_ns + t.as_nanos();
+        inner.rows.push((at, values.to_vec()));
+        inner.last_ns = at;
+    }
+
+    /// Re-anchors the timeline so the next run appends after the last
+    /// recorded row (mirrors [`crate::Profiler::rebase`]).
+    pub fn rebase(&self) {
+        let mut inner = self.0.borrow_mut();
+        inner.offset_ns = inner.last_ns;
+    }
+
+    /// Number of rows recorded.
+    pub fn len(&self) -> usize {
+        self.0.borrow().rows.len()
+    }
+
+    /// Returns `true` if no rows have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.0.borrow().rows.is_empty()
+    }
+
+    /// A copy of the recorded rows as `(timeline ns, values)`.
+    pub fn rows(&self) -> Vec<(u64, Vec<f64>)> {
+        self.0.borrow().rows.clone()
+    }
+
+    /// Renders as CSV with a `time_ns` column first.
+    pub fn to_csv(&self) -> String {
+        let inner = self.0.borrow();
+        let mut out = String::from("time_ns");
+        for c in &inner.columns {
+            out.push(',');
+            out.push_str(c);
+        }
+        out.push('\n');
+        for (t, vals) in &inner.rows {
+            let _ = write!(out, "{t}");
+            for v in vals {
+                if v.is_finite() {
+                    let _ = write!(out, ",{v}");
+                } else {
+                    out.push(',');
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as a JSON object: `{"columns": […], "rows": [[t, …], …]}`.
+    pub fn to_json(&self) -> Json {
+        let inner = self.0.borrow();
+        Json::obj([
+            (
+                "columns",
+                Json::arr(inner.columns.iter().map(|c| Json::from(c.clone()))),
+            ),
+            (
+                "rows",
+                Json::arr(inner.rows.iter().map(|(t, vals)| {
+                    Json::arr(
+                        std::iter::once(Json::from(*t)).chain(vals.iter().map(|&v| Json::from(v))),
+                    )
+                })),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing() {
+        let ts = TimeSeries::disabled();
+        ts.set_columns(&["a"]);
+        ts.push(SimTime::from_nanos(1), &[1.0]);
+        assert!(ts.is_empty());
+        assert!(ts.columns().is_empty());
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let ts = TimeSeries::capture();
+        ts.set_columns(&["util", "exits"]);
+        ts.push(SimTime::from_nanos(100), &[0.25, 3.0]);
+        ts.push(SimTime::from_nanos(200), &[0.5, 7.0]);
+        assert_eq!(ts.to_csv(), "time_ns,util,exits\n100,0.25,3\n200,0.5,7\n");
+    }
+
+    #[test]
+    fn columns_register_once() {
+        let ts = TimeSeries::capture();
+        ts.set_columns(&["a"]);
+        ts.set_columns(&["b", "c"]);
+        assert_eq!(ts.columns(), vec!["a".to_owned()]);
+    }
+
+    #[test]
+    fn rebase_appends_runs() {
+        let ts = TimeSeries::capture();
+        ts.set_columns(&["x"]);
+        ts.push(SimTime::from_nanos(500), &[1.0]);
+        ts.rebase();
+        ts.push(SimTime::from_nanos(10), &[2.0]);
+        let rows = ts.rows();
+        assert_eq!(rows[0].0, 500);
+        assert_eq!(rows[1].0, 510);
+    }
+
+    #[test]
+    fn json_shape() {
+        let ts = TimeSeries::capture();
+        ts.set_columns(&["u"]);
+        ts.push(SimTime::from_nanos(5), &[0.5]);
+        assert_eq!(
+            ts.to_json().render(),
+            r#"{"columns":["u"],"rows":[[5,0.5]]}"#
+        );
+    }
+}

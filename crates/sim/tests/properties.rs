@@ -1,6 +1,6 @@
 //! Property tests for the simulation primitives.
 
-use cg_sim::{OnlineStats, Samples, SimDuration, SimTime};
+use cg_sim::{Histogram, OnlineStats, Samples, SimDuration, SimTime};
 use proptest::prelude::*;
 
 proptest! {
@@ -54,5 +54,64 @@ proptest! {
         prop_assert!(d.scaled(lo) <= d.scaled(hi));
         let t = SimTime::from_nanos(ns);
         prop_assert_eq!((t + d) - d, t);
+    }
+}
+
+proptest! {
+    /// Log-bucketed histogram percentiles track the exact per-sample
+    /// nearest-rank percentile within the documented relative error.
+    #[test]
+    fn histogram_percentiles_track_exact_samples(
+        values in prop::collection::vec(1e-3f64..1e9, 1..300),
+        p in 0.0f64..100.0,
+    ) {
+        let hist: Histogram = values.iter().copied().collect();
+        let mut samples: Samples = values.iter().copied().collect();
+        let exact = samples.percentile(p);
+        let approx = hist.percentile(p);
+        prop_assert!(
+            (approx - exact).abs() <= Histogram::RELATIVE_ERROR * exact + 1e-12,
+            "p{}: approx {} exact {}", p, approx, exact
+        );
+    }
+
+    /// The extreme percentiles are exact, not bucketed.
+    #[test]
+    fn histogram_extremes_are_exact(
+        values in prop::collection::vec(1e-3f64..1e9, 1..300),
+    ) {
+        let hist: Histogram = values.iter().copied().collect();
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(hist.percentile(0.0), min);
+        prop_assert_eq!(hist.percentile(100.0), max);
+        prop_assert_eq!(hist.min(), min);
+        prop_assert_eq!(hist.max(), max);
+    }
+
+    /// Merging two histograms yields exactly the distribution of
+    /// recording both value sequences into one, at any split point.
+    /// (The side-tracked `sum` is float-accumulated, so it is equal
+    /// only up to non-associativity of addition.)
+    #[test]
+    fn histogram_merge_equals_combined_recording(
+        values in prop::collection::vec(0.0f64..1e9, 2..300),
+        split in 1usize..299,
+    ) {
+        let split = split.min(values.len() - 1);
+        let mut merged: Histogram = values[..split].iter().copied().collect();
+        let right: Histogram = values[split..].iter().copied().collect();
+        merged.merge(&right);
+        let combined: Histogram = values.iter().copied().collect();
+        prop_assert_eq!(merged.count(), combined.count());
+        prop_assert_eq!(merged.zero_count(), combined.zero_count());
+        prop_assert_eq!(merged.min(), combined.min());
+        prop_assert_eq!(merged.max(), combined.max());
+        let mb: Vec<(usize, u64)> = merged.nonzero_buckets().collect();
+        let cb: Vec<(usize, u64)> = combined.nonzero_buckets().collect();
+        prop_assert_eq!(mb, cb);
+        prop_assert!(
+            (merged.sum() - combined.sum()).abs() <= 1e-9 * combined.sum().abs().max(1.0)
+        );
     }
 }

@@ -33,4 +33,24 @@ else
   echo "== rustfmt not installed; skipping =="
 fi
 
+if [[ $fast -eq 0 ]]; then
+  echo "== telemetry export smoke (same-seed runs must be byte-identical) =="
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "$tmp"' EXIT
+  for run in a b; do
+    ./target/release/table3 \
+      --json "$tmp/$run.json" \
+      --trace-out "$tmp/$run.trace.json" \
+      --timeseries "$tmp/$run.csv" >/dev/null
+  done
+  cmp "$tmp/a.json" "$tmp/b.json"
+  cmp "$tmp/a.trace.json" "$tmp/b.trace.json"
+  cmp "$tmp/a.csv" "$tmp/b.csv"
+  if command -v python3 >/dev/null 2>&1; then
+    python3 -c 'import json,sys
+for p in sys.argv[1:]:
+    json.load(open(p))' "$tmp/a.json" "$tmp/a.trace.json"
+  fi
+fi
+
 echo "== all checks passed =="

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Regenerates every table and figure of the paper (plus the extensions)
-# into results/all_experiments.txt. Takes a few minutes; pass --quick to
+# into results/all_experiments.txt, with a machine-readable JSON report
+# per experiment under results/. Takes a few minutes; pass --quick to
 # each binary for a fast smoke sweep.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -10,6 +11,7 @@ mkdir -p results
   for b in fig3 table2 table3 table4 fig6 fig7 fig8 fig9 fig10 table5 \
            security_eval cvm_comparison tdx_ablation planner_ablation; do
     echo "=== $b ==="
-    ./target/release/$b "$@"
+    ./target/release/$b "$@" --json "results/$b.json"
   done
 } | tee results/all_experiments.txt
+echo "JSON reports: results/{fig,table,*}.json"
