@@ -16,6 +16,7 @@
 //! | `fig10` | parallel kernel build time |
 //! | `table5` | Redis throughput and latency percentiles |
 //! | `security_eval` | the leakage analysis backing the security claim |
+//! | `fault_sweep` | doorbell-loss fault injection vs retry/watchdog recovery (§1 threat model) |
 //!
 //! Shared output helpers live here, together with the [`Report`]
 //! accumulator every binary threads its results through. All binaries

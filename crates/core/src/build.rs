@@ -185,6 +185,10 @@ impl System {
                 pending_exit: None,
                 roundtrip_span: cg_sim::SpanId::NULL,
                 handle_span: cg_sim::SpanId::NULL,
+                call_seq: 0,
+                call_attempt: 0,
+                call_timeout_token: None,
+                call_issued_at: None,
             });
             run_channels.push(SyncChannel::new());
         }
@@ -208,6 +212,18 @@ impl System {
             );
             self.wakeup = Some(WakeupThread::new(tid));
             self.doorbell.set_target(host_cores[0]);
+            // Close the dropped-doorbell hole: a periodic watchdog rescan
+            // of the run channels, armed once alongside the thread whose
+            // wakeups it backstops.
+            let period = self.config.recovery.watchdog_period;
+            if self.config.recovery.enabled && !period.is_zero() {
+                self.queue.schedule_after(
+                    period,
+                    SystemEvent::WatchdogTick {
+                        period_ns: period.as_nanos(),
+                    },
+                );
+            }
         }
         if let Some(w) = &mut self.wakeup {
             for i in 0..spec.vcpus {
@@ -431,6 +447,14 @@ impl System {
         }
         let realm = self.vms[vm.0].kvm.realm();
         let mode = self.vms[vm.0].kvm.mode();
+        // Tear down the run channels through abort() so any call still
+        // mid-protocol is counted and traced rather than silently
+        // dropped with the channel storage.
+        for i in 0..self.vms[vm.0].run_channels.len() {
+            if self.vms[vm.0].run_channels[i].abort().is_some() {
+                self.metrics.counters.incr("chan.aborts");
+            }
+        }
         if mode.is_confidential() {
             for i in 0..self.vms[vm.0].kvm.num_vcpus() {
                 let rec = self.vms[vm.0].kvm.rec(i);

@@ -3,6 +3,7 @@
 use cg_host::{DeviceKind, HostParams, VmExecMode};
 use cg_machine::{CoreId, HwParams};
 use cg_rmm::RmmConfig;
+use cg_sim::{FaultPlan, SimDuration};
 
 /// How vCPU run calls travel between host and RMM under core gapping
 /// (paper §4.3).
@@ -15,6 +16,69 @@ pub enum RunTransport {
     /// Quarantine-style yield-polling: the vCPU thread stays runnable and
     /// polls the channel. The ablation whose contention fig. 6 shows.
     BusyWait,
+}
+
+/// Recovery knobs for the async run-call path: the client-side call
+/// timeout with bounded exponential-backoff retries, and the wake-up
+/// thread's watchdog rescan that closes the dropped-doorbell hole.
+///
+/// Recovery is enabled by default because it is free when no fault
+/// fires: timeouts on completed calls are recognised as stale and cost
+/// zero simulated time, and the watchdog only steals host-core cycles
+/// at its (long) period.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryConfig {
+    /// Master switch; `false` reproduces the pre-recovery behaviour
+    /// (lost doorbells wedge the channel forever).
+    pub enabled: bool,
+    /// Base client-side timeout for one async run call attempt.
+    pub call_timeout: SimDuration,
+    /// Retries before a call is abandoned as [`cg_rpc::CallAborted`].
+    pub max_retries: u32,
+    /// Backoff multiplier applied to the timeout per retry.
+    pub backoff: f64,
+    /// Period of the wake-up thread's watchdog rescan; `ZERO` disables
+    /// the watchdog while keeping call retries.
+    pub watchdog_period: SimDuration,
+}
+
+impl RecoveryConfig {
+    /// Defaults matched to the paper's calibrated machine: the base
+    /// timeout dwarfs the 2.8 µs null round trip, and the watchdog
+    /// period is long enough that its scan cost is negligible on the
+    /// single host core.
+    pub fn paper_default() -> RecoveryConfig {
+        RecoveryConfig {
+            enabled: true,
+            call_timeout: SimDuration::micros(200),
+            max_retries: 8,
+            backoff: 2.0,
+            watchdog_period: SimDuration::micros(500),
+        }
+    }
+
+    /// Recovery fully off (the pre-recovery model, for ablations).
+    pub fn disabled() -> RecoveryConfig {
+        RecoveryConfig {
+            enabled: false,
+            ..RecoveryConfig::paper_default()
+        }
+    }
+
+    /// The retry policy the client arms per call.
+    pub fn retry_policy(&self) -> cg_rpc::RetryPolicy {
+        cg_rpc::RetryPolicy {
+            timeout: self.call_timeout,
+            max_retries: self.max_retries,
+            backoff: self.backoff,
+        }
+    }
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> RecoveryConfig {
+        RecoveryConfig::paper_default()
+    }
 }
 
 /// Whole-system configuration.
@@ -41,6 +105,13 @@ pub struct SystemConfig {
     /// demonstrate that the structured trace plus [`cg_sim::TraceDiff`]
     /// pinpoints the first divergent event; never enable in experiments.
     pub inject_wakeup_nondeterminism: bool,
+    /// Hostile-host fault plan (dropped/delayed doorbells, host stalls,
+    /// delayed response visibility, wedged requests). `FaultPlan::none()`
+    /// — the default — injects nothing and draws no randomness.
+    pub fault: FaultPlan,
+    /// Recovery knobs for the async run-call path (timeouts, retries,
+    /// watchdog rescan).
+    pub recovery: RecoveryConfig,
 }
 
 impl SystemConfig {
@@ -55,6 +126,8 @@ impl SystemConfig {
             seed: 0xC0DE,
             napi: true,
             inject_wakeup_nondeterminism: false,
+            fault: FaultPlan::none(),
+            recovery: RecoveryConfig::paper_default(),
         }
     }
 

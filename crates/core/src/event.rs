@@ -89,6 +89,25 @@ pub enum SystemEvent {
         /// Sampling period in nanoseconds.
         period_ns: u64,
     },
+    /// The client-side timeout for an async run call fires. Stale (a
+    /// no-op) unless the vCPU is still blocked awaiting call `seq`.
+    CallTimeout {
+        /// The VM.
+        vm: VmId,
+        /// The vCPU whose call is timing out.
+        vcpu: u32,
+        /// The call sequence number the timeout was armed for; the vCPU
+        /// bumps its sequence when the call completes, invalidating
+        /// in-flight timeouts.
+        seq: u64,
+    },
+    /// The wake-up thread's periodic watchdog rescan: scan the run
+    /// channels for visible posted exits whose doorbell was lost, then
+    /// reschedule (closes the dropped-doorbell hole).
+    WatchdogTick {
+        /// Rescan period in nanoseconds.
+        period_ns: u64,
+    },
     /// A disk request completes in the backing store.
     DiskDone {
         /// The VM.

@@ -196,8 +196,14 @@ impl System {
                 ThreadCont::WakeupScan => {
                     let n = self.wakeup.as_ref().map(|w| w.watched().len()).unwrap_or(1);
                     let p = &self.config.machine;
-                    let cost = p.cache_line_transfer * 2
+                    let mut cost = p.cache_line_transfer * 2
                         + WakeupThread::scan_cost(n.saturating_sub(1), p.poll_iteration);
+                    // Hostile host: the scan can be stalled mid-flight
+                    // (host core preempted at hypervisor level).
+                    if let Some(stall) = self.fault.host_stall() {
+                        self.metrics.counters.incr("fault.host_stalls");
+                        cost += stall;
+                    }
                     self.threads.get_mut(&tid).expect("ctx").pending = cost;
                 }
                 ThreadCont::VmmDrain { .. } => {
@@ -577,9 +583,33 @@ impl System {
                     .request_visible_at(&self.config.machine)
                     .expect("just posted");
                 let notice = visible + self.config.machine.poll_iteration / 2;
-                self.queue
-                    .schedule_at(notice, SystemEvent::RunRequestVisible { vm, vcpu });
+                let async_ipi = self.vms[vm.0].transport == RunTransport::AsyncIpi;
+                // Hostile host: the dedicated core's poll notice can be
+                // wedged mid-protocol. Injected only on the async
+                // transport, where the client-side timeout exists to
+                // recover it (busy-wait polls the channel itself).
+                let wedged = async_ipi && self.fault.wedge_request();
+                if wedged {
+                    self.metrics.counters.incr("fault.request_wedged");
+                } else {
+                    self.queue
+                        .schedule_at(notice, SystemEvent::RunRequestVisible { vm, vcpu });
+                }
                 self.metrics.counters.incr("rpc.run_calls");
+                {
+                    let rt = &mut self.vms[vm.0].vcpus[vcpu as usize];
+                    rt.call_seq += 1;
+                    rt.call_attempt = 0;
+                    rt.call_issued_at = Some(now);
+                }
+                if async_ipi && self.config.recovery.enabled {
+                    let seq = self.vms[vm.0].vcpus[vcpu as usize].call_seq;
+                    let timeout = self.config.recovery.retry_policy().timeout_for(0);
+                    let tok = self
+                        .queue
+                        .schedule_after(timeout, SystemEvent::CallTimeout { vm, vcpu, seq });
+                    self.vms[vm.0].vcpus[vcpu as usize].call_timeout_token = Some(tok);
+                }
                 match self.vms[vm.0].transport {
                     RunTransport::AsyncIpi => {
                         self.set_cont(tid, ThreadCont::VcpuAwait { vm, vcpu });
@@ -653,9 +683,23 @@ impl System {
             VmExecMode::CoreGapped => {
                 let now = self.queue.now();
                 let machine = self.config.machine.clone();
-                self.vms[vm.0].run_channels[vcpu as usize]
+                let resp = self.vms[vm.0].run_channels[vcpu as usize]
                     .take_response(now, &machine)
-                    .expect("exit response must be visible when handled")
+                    .expect("exit response must be visible when handled");
+                // The call completed: bump the sequence so any in-flight
+                // timeout for it is recognised as stale, and cancel the
+                // armed one outright.
+                let tok = {
+                    let rt = &mut self.vms[vm.0].vcpus[vcpu as usize];
+                    rt.call_seq += 1;
+                    rt.call_attempt = 0;
+                    rt.call_issued_at = None;
+                    rt.call_timeout_token.take()
+                };
+                if let Some(tok) = tok {
+                    self.queue.cancel(tok);
+                }
+                resp
             }
             _ => self.vms[vm.0].vcpus[vcpu as usize]
                 .pending_exit
@@ -666,7 +710,7 @@ impl System {
 
     /// The vCPUs whose exit is posted, visible, and whose thread still
     /// awaits it — the set the wake-up thread's scan will wake.
-    fn wakeup_scan_candidates(&self, now: cg_sim::SimTime) -> Vec<(usize, u32)> {
+    pub(crate) fn wakeup_scan_candidates(&self, now: cg_sim::SimTime) -> Vec<(usize, u32)> {
         let machine = &self.config.machine;
         let mut candidates = Vec::new();
         for vm_idx in 0..self.vms.len() {
@@ -1508,8 +1552,16 @@ impl System {
         }
         match self.vms[vm.0].kvm.mode() {
             VmExecMode::CoreGapped => {
+                // Hostile host: the response cache line's visibility can
+                // be held back (interconnect interference), post-dating
+                // the response.
+                let mut post_at = now;
+                if let Some(d) = self.fault.response_delay() {
+                    self.metrics.counters.incr("fault.response_delayed");
+                    post_at = now + d;
+                }
                 self.vms[vm.0].run_channels[vcpu as usize]
-                    .post_response(exit, now)
+                    .post_response(exit, post_at)
                     .expect("run channel must be serving");
                 self.cores[core.index()].run = CoreRun::RmmPolling;
                 self.machine
@@ -1518,15 +1570,30 @@ impl System {
                 if self.vms[vm.0].transport == RunTransport::AsyncIpi {
                     self.metrics.counters.incr("rpc.doorbell_rings");
                     if self.doorbell.ring() {
-                        self.metrics.counters.incr("rpc.doorbell_ipis");
-                        let target = self.doorbell.target();
-                        self.queue.schedule_after(
-                            self.config.machine.mailbox_write + self.config.machine.ipi_deliver,
-                            SystemEvent::IpiArrive {
-                                core: target,
-                                intid: CVM_EXIT_SGI,
-                            },
-                        );
+                        if self.fault.drop_doorbell() {
+                            // The IPI is lost *after* the latch was set:
+                            // every later ring coalesces against a
+                            // pending bit nobody will acknowledge — the
+                            // permanent lost wakeup the call timeout and
+                            // the watchdog exist to recover.
+                            self.metrics.counters.incr("fault.doorbell_dropped");
+                        } else {
+                            self.metrics.counters.incr("rpc.doorbell_ipis");
+                            let target = self.doorbell.target();
+                            let mut delay =
+                                self.config.machine.mailbox_write + self.config.machine.ipi_deliver;
+                            if let Some(d) = self.fault.doorbell_delay() {
+                                self.metrics.counters.incr("fault.doorbell_delayed");
+                                delay += d;
+                            }
+                            self.queue.schedule_after(
+                                delay,
+                                SystemEvent::IpiArrive {
+                                    core: target,
+                                    intid: CVM_EXIT_SGI,
+                                },
+                            );
+                        }
                     }
                 }
             }

@@ -39,6 +39,8 @@ impl System {
                 vcpu,
                 period_ns,
             } => self.on_harass_tick(vm, vcpu, period_ns),
+            SystemEvent::CallTimeout { vm, vcpu, seq } => self.on_call_timeout(vm, vcpu, seq),
+            SystemEvent::WatchdogTick { period_ns } => self.on_watchdog_tick(period_ns),
         }
     }
 
@@ -252,6 +254,14 @@ impl System {
     }
 
     fn on_run_request(&mut self, vm: VmId, vcpu: u32) {
+        // Retries duplicate this notice: whichever fires first takes the
+        // request, and later copies find the channel already past
+        // `Requested`. Drop stale notices before asserting anything
+        // about the core's state.
+        if !self.vms[vm.0].run_channels[vcpu as usize].has_request() {
+            self.metrics.counters.incr("rpc.stale_run_notice");
+            return;
+        }
         let core = self.vms[vm.0].vcpus[vcpu as usize].core;
         assert_eq!(
             self.cores[core.index()].run,
@@ -375,6 +385,199 @@ impl System {
                 period_ns,
             },
         );
+    }
+
+    /// The client-side call timeout fired: decide whether the in-flight
+    /// async run call needs a re-kick (poll notice lost), a re-ring
+    /// (response doorbell lost), or nothing (stale / guest still
+    /// executing), re-arming with exponential backoff.
+    fn on_call_timeout(&mut self, vm: VmId, vcpu: u32, seq: u64) {
+        use cg_rpc::ChannelState;
+        let rt = &self.vms[vm.0].vcpus[vcpu as usize];
+        if rt.call_seq != seq {
+            self.metrics.counters.incr("rpc.timeout_stale");
+            return;
+        }
+        let vtid = rt.thread;
+        let awaiting = matches!(
+            self.threads.get(&vtid).map(|t| &t.cont),
+            Some(ThreadCont::VcpuAwait { .. })
+        );
+        if !awaiting {
+            // The response was already delivered (e.g. by the watchdog)
+            // and the thread moved on without bumping the sequence yet.
+            self.metrics.counters.incr("rpc.timeout_stale");
+            return;
+        }
+        let now = self.queue.now();
+        let policy = self.config.recovery.retry_policy();
+        let state = self.vms[vm.0].run_channels[vcpu as usize].state();
+        let attempt = self.vms[vm.0].vcpus[vcpu as usize].call_attempt;
+        match state {
+            ChannelState::Idle => {
+                self.metrics.counters.incr("rpc.timeout_stale");
+            }
+            ChannelState::Serving => {
+                // The guest is executing: not a fault, the call is just
+                // long-running. Keep watching at the same backoff step.
+                self.metrics.counters.incr("rpc.timeout_serving");
+                let tok = self.queue.schedule_after(
+                    policy.timeout_for(attempt),
+                    SystemEvent::CallTimeout { vm, vcpu, seq },
+                );
+                self.vms[vm.0].vcpus[vcpu as usize].call_timeout_token = Some(tok);
+            }
+            ChannelState::Requested => {
+                // The request is posted but the dedicated core never took
+                // it: its poll notice was wedged. Re-kick it. The final
+                // attempt bypasses injection (a real client's last resort
+                // escalates to a synchronous call the host cannot
+                // suppress), guaranteeing forward progress.
+                let attempt = attempt + 1;
+                let exhausted = attempt > policy.max_retries;
+                self.vms[vm.0].vcpus[vcpu as usize].call_attempt = attempt;
+                self.record_rpc_retry(vm, vcpu, attempt, "requested", now);
+                if exhausted {
+                    self.metrics.counters.incr("rpc.retries_exhausted");
+                }
+                if exhausted || !self.fault.wedge_request() {
+                    let notice = now + self.config.machine.poll_iteration / 2;
+                    self.queue
+                        .schedule_at(notice, SystemEvent::RunRequestVisible { vm, vcpu });
+                } else {
+                    self.metrics.counters.incr("fault.request_wedged");
+                }
+                let tok = self.queue.schedule_after(
+                    policy.timeout_for(attempt),
+                    SystemEvent::CallTimeout { vm, vcpu, seq },
+                );
+                self.vms[vm.0].vcpus[vcpu as usize].call_timeout_token = Some(tok);
+            }
+            ChannelState::Responded => {
+                // The exit is posted but the doorbell never arrived.
+                // Idempotently refresh the response's visibility and
+                // re-ring by scheduling the IPI directly: the doorbell
+                // latch may be stuck pending from the lost ring, and
+                // acknowledge() on arrival heals it for future rings.
+                let attempt = attempt + 1;
+                let exhausted = attempt > policy.max_retries;
+                self.vms[vm.0].vcpus[vcpu as usize].call_attempt = attempt;
+                self.record_rpc_retry(vm, vcpu, attempt, "responded", now);
+                if exhausted {
+                    self.metrics.counters.incr("rpc.retries_exhausted");
+                }
+                self.rmm.note_response_repost();
+                self.metrics.counters.incr("rmm.response_reposts");
+                let _ = self.vms[vm.0].run_channels[vcpu as usize].repost_response(now);
+                if exhausted || !self.fault.drop_doorbell() {
+                    let target = self.doorbell.target();
+                    self.queue.schedule_after(
+                        self.config.machine.ipi_deliver,
+                        SystemEvent::IpiArrive {
+                            core: target,
+                            intid: CVM_EXIT_SGI,
+                        },
+                    );
+                } else {
+                    self.metrics.counters.incr("fault.doorbell_dropped");
+                }
+                let tok = self.queue.schedule_after(
+                    policy.timeout_for(attempt),
+                    SystemEvent::CallTimeout { vm, vcpu, seq },
+                );
+                self.vms[vm.0].vcpus[vcpu as usize].call_timeout_token = Some(tok);
+            }
+        }
+    }
+
+    /// Counts, traces, and profiles one retry decision.
+    fn record_rpc_retry(
+        &mut self,
+        vm: VmId,
+        vcpu: u32,
+        attempt: u32,
+        why: &'static str,
+        now: SimTime,
+    ) {
+        self.metrics.counters.incr("rpc.retries");
+        let realm = self.vms[vm.0].kvm.realm().0;
+        self.strace.record_vm(
+            cg_sim::TraceKind::Rpc,
+            None,
+            Some(realm),
+            Some(vcpu),
+            || format!("rpc.retry attempt={attempt} stuck={why}"),
+        );
+        if self.profiler.is_enabled() {
+            self.profiler.record_span(
+                cg_sim::SpanKind::RpcRetry,
+                None,
+                Some(realm),
+                Some(vcpu),
+                now,
+                now,
+            );
+        }
+    }
+
+    /// The wake-up thread's periodic watchdog rescan: a cheap
+    /// timer-interrupt-context check on the host core that activates the
+    /// thread if a visible posted exit is stranded with no doorbell
+    /// coming — the hole a dropped IPI otherwise leaves open forever.
+    fn on_watchdog_tick(&mut self, period_ns: u64) {
+        let period = SimDuration::nanos(period_ns);
+        if self.config.recovery.enabled && !period.is_zero() {
+            self.queue
+                .schedule_after(period, SystemEvent::WatchdogTick { period_ns });
+        }
+        let Some(w) = &self.wakeup else { return };
+        let now = self.queue.now();
+        let host_core = self.doorbell.target();
+        self.metrics.counters.incr("wakeup.watchdog_scans");
+        let n = w.watched().len();
+        let cost = self.config.machine.irq_entry
+            + cg_host::WakeupThread::scan_cost(n, self.config.machine.poll_iteration);
+        self.host_irq_steal(host_core, cost);
+        // Zero-length marker: the scan's stolen time lands on the host
+        // core via `host_irq_steal`, but dating the span's end past the
+        // tick would break the profiler's rebase invariant (spans never
+        // extend beyond the last popped event).
+        if self.profiler.is_enabled() {
+            self.profiler.record_span(
+                cg_sim::SpanKind::WatchdogScan,
+                Some(host_core.0),
+                None,
+                None,
+                now,
+                now,
+            );
+        }
+        let suspended = !self.wakeup.as_ref().expect("checked above").is_active();
+        // Only treat an exit as stranded once it has been visible longer
+        // than any healthy doorbell delivery takes; probing at `now`
+        // would race the in-flight IPI and burn an activation that wakes
+        // nobody.
+        let p = &self.config.machine;
+        let grace = (p.mailbox_write + p.ipi_deliver + p.irq_entry) * 4;
+        let probe = SimTime::from_nanos(now.as_nanos().saturating_sub(grace.as_nanos()));
+        if suspended && !self.wakeup_scan_candidates(probe).is_empty() {
+            // A visible exit with nobody coming to wake its thread: the
+            // doorbell was dropped (or its latch wedged). Heal the latch
+            // and activate the wake-up thread directly.
+            self.metrics.counters.incr("wakeup.watchdog_recovered");
+            self.strace
+                .record(cg_sim::TraceKind::Sched, Some(host_core.0), || {
+                    "wakeup.watchdog found stranded exit".to_string()
+                });
+            self.doorbell.acknowledge();
+            let w = self.wakeup.as_mut().expect("checked above");
+            if w.on_watchdog() {
+                let tid = w.thread();
+                self.set_cont(tid, ThreadCont::WakeupScan);
+                let (wcore, preempts) = self.sched.wake(tid);
+                self.after_wake(wcore, preempts);
+            }
+        }
     }
 
     fn on_disk_done(&mut self, vm: VmId, device: u32, tag: u64) {

@@ -9,8 +9,8 @@ use cg_machine::{CoreId, IntId, Machine, RealmId};
 use cg_rmm::Rmm;
 use cg_rpc::{Doorbell, SyncChannel};
 use cg_sim::{
-    EventQueue, EventToken, Profiler, SimDuration, SimRng, SimTime, SpanId, TimeSeries, Trace,
-    TraceDumpGuard, TraceHandle, TraceKind, TraceRecord,
+    EventQueue, EventToken, FaultInjector, Profiler, SimDuration, SimRng, SimTime, SpanId,
+    TimeSeries, Trace, TraceDumpGuard, TraceHandle, TraceKind, TraceRecord,
 };
 use cg_workloads::{GuestOp, GuestProgram, NetPeer};
 
@@ -219,6 +219,17 @@ pub(crate) struct VcpuRt {
     /// Open profiler span covering KVM exit handling on the host
     /// ([`cg_sim::SpanKind::ExitHandle`]).
     pub handle_span: SpanId,
+    /// Monotonic async-call sequence number; bumped when a call is
+    /// issued and again when its response is consumed, so in-flight
+    /// [`crate::event::SystemEvent::CallTimeout`] events for finished
+    /// calls are recognised as stale.
+    pub call_seq: u64,
+    /// Attempts made for the in-flight call (0 = original issue).
+    pub call_attempt: u32,
+    /// Token of the armed call-timeout event, if any.
+    pub call_timeout_token: Option<EventToken>,
+    /// When the in-flight async call was first issued (wedge detection).
+    pub call_issued_at: Option<SimTime>,
 }
 
 /// One VM in the system.
@@ -271,6 +282,9 @@ pub struct System {
     /// everything currently in the tree is deterministic by design.
     #[allow(dead_code)]
     pub(crate) rng: SimRng,
+    /// Seeded hostile-host fault injector. Inert (draws no randomness)
+    /// when the configured [`cg_sim::FaultPlan`] is `none()`.
+    pub(crate) fault: FaultInjector,
     pub(crate) trace: Trace,
     /// Structured trace shared with every instrumented subsystem
     /// (disabled by default; see [`System::enable_structured_trace`]).
@@ -312,7 +326,9 @@ impl System {
         let num_cores = machine.num_cores();
         let planner = CorePlanner::new((config.num_host_cores..num_cores).map(CoreId));
         let rng = SimRng::seed(config.seed);
+        let fault = FaultInjector::new(config.seed, config.fault.clone());
         System {
+            fault,
             rmm: Rmm::new(config.rmm.clone()),
             sched: Scheduler::new(),
             planner,
@@ -430,6 +446,43 @@ impl System {
     /// Clones out the retained structured records, oldest first.
     pub fn structured_records(&self) -> Vec<TraceRecord> {
         self.strace.snapshot()
+    }
+
+    /// Per-class counters of injected faults (`fault.*`). These are also
+    /// mirrored into [`Metrics`] (and thus the fingerprint) at each
+    /// injection site.
+    pub fn fault_injected(&self) -> &cg_sim::Counters {
+        self.fault.injected()
+    }
+
+    /// Run channels that look permanently wedged: the owning vCPU thread
+    /// is still blocked awaiting a response, the channel is mid-protocol,
+    /// and the call was issued more than `grace` ago. With recovery
+    /// enabled this must be zero at the end of any fault-sweep
+    /// configuration the retry budget can absorb; with recovery disabled
+    /// a single dropped doorbell makes it non-zero forever.
+    pub fn wedged_channels(&self, grace: SimDuration) -> usize {
+        let now = self.now();
+        let mut wedged = 0;
+        for vm in &self.vms {
+            for (i, rt) in vm.vcpus.iter().enumerate() {
+                let awaiting = matches!(
+                    self.threads.get(&rt.thread).map(|t| &t.cont),
+                    Some(ThreadCont::VcpuAwait { .. })
+                );
+                if !awaiting {
+                    continue;
+                }
+                if vm.run_channels[i].state() == cg_rpc::ChannelState::Idle {
+                    continue;
+                }
+                match rt.call_issued_at {
+                    Some(at) if now >= at + grace => wedged += 1,
+                    _ => {}
+                }
+            }
+        }
+        wedged
     }
 
     /// Hands the structured trace to every subsystem that records through

@@ -142,11 +142,51 @@ impl WakeupThread {
         suspended
     }
 
-    /// The scan found nothing new: the thread suspends until the next
-    /// doorbell, discarding any rescan request.
+    /// Unconditionally suspends the thread until the next doorbell.
+    ///
+    /// Unlike [`try_suspend`](Self::try_suspend) this does not honour a
+    /// pending rescan request, so it is only legal when the caller knows
+    /// none can be pending (e.g. teardown before any channel is
+    /// watched). Suspending over a pending rescan silently discards a
+    /// doorbell — the exact fig. 4 lost-wakeup hazard `try_suspend`
+    /// exists to close — so that misuse is a debug-asserted bug.
     pub fn suspend(&mut self) {
+        debug_assert!(
+            !self.rescan_requested,
+            "suspend() would discard a pending rescan request (lost wakeup); \
+             use try_suspend() after a scan"
+        );
         self.rescan_requested = false;
         self.state = State::Suspended;
+    }
+
+    /// The periodic watchdog found a visible posted exit while the
+    /// thread was suspended: the doorbell IPI that should have activated
+    /// it was lost. Returns `true` if the thread was suspended and is
+    /// now activated (the caller must schedule it); `false` if it is
+    /// already active — the in-flight scan will pick the work up, so no
+    /// rescan is forced and the watchdog simply checks again next
+    /// period.
+    pub fn on_watchdog(&mut self) -> bool {
+        let must_wake = match self.state {
+            State::Suspended => {
+                self.state = State::Active;
+                self.activations += 1;
+                true
+            }
+            State::Active => false,
+        };
+        self.trace.record(TraceKind::Sched, None, || {
+            format!(
+                "wakeup.watchdog {}",
+                if must_wake {
+                    "recovers lost doorbell"
+                } else {
+                    "thread already active"
+                }
+            )
+        });
+        must_wake
     }
 
     /// Cost of scanning `n` channels (cache-line reads of shared state).
@@ -180,7 +220,43 @@ mod tests {
         assert!(w.on_doorbell());
         assert!(!w.on_doorbell());
         assert!(w.is_active());
+        // The coalesced ring forces one rescan before suspension sticks;
+        // suspend() would discard it (see the regression test below).
+        assert!(!w.try_suspend());
+        assert!(w.try_suspend());
+        assert!(w.on_doorbell());
+        assert_eq!(w.activations(), 2);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "pending rescan")]
+    fn suspend_with_pending_rescan_is_a_bug() {
+        let mut w = WakeupThread::new(ThreadId(1));
+        assert!(w.on_doorbell());
+        assert!(!w.on_doorbell()); // coalesced ring: rescan now pending
+        w.suspend(); // would lose the wakeup — must trip the debug assert
+    }
+
+    #[test]
+    fn suspend_without_pending_rescan_is_fine() {
+        let mut w = WakeupThread::new(ThreadId(1));
+        assert!(w.on_doorbell());
         w.suspend();
+        assert!(!w.is_active());
+        assert!(w.on_doorbell());
+        assert_eq!(w.activations(), 2);
+    }
+
+    #[test]
+    fn watchdog_activates_only_when_suspended() {
+        let mut w = WakeupThread::new(ThreadId(1));
+        assert!(w.on_watchdog(), "suspended thread is recovered");
+        assert!(w.is_active());
+        assert!(!w.on_watchdog(), "active thread needs no recovery");
+        // No stale rescan request is left behind by the watchdog path.
+        assert!(w.try_suspend());
+        assert_eq!(w.activations(), 1);
         assert!(w.on_doorbell());
         assert_eq!(w.activations(), 2);
     }

@@ -331,6 +331,15 @@ impl Rmm {
         &self.counters
     }
 
+    /// A run-channel response was re-posted because the client's call
+    /// timeout fired with the response already written (the doorbell was
+    /// lost or delayed). Re-posting is idempotent — the exit record is
+    /// unchanged, only its visibility is refreshed — so the RMM merely
+    /// counts the recovery for diagnostics.
+    pub fn note_response_repost(&mut self) {
+        self.counters.incr("rmm.response_reposts");
+    }
+
     /// Number of realm slots ever created — the id the next
     /// `RMI_REALM_CREATE` will assign.
     pub fn realm_count(&self) -> u32 {

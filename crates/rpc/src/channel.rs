@@ -75,6 +75,7 @@ pub struct SyncChannel<Req, Resp> {
     request: Option<(Req, SimTime)>,
     response: Option<(Resp, SimTime)>,
     calls_completed: u64,
+    calls_aborted: u64,
     /// Structured trace sink (disabled by default).
     trace: TraceHandle,
     /// Span profiler sink (disabled by default): each async leg of a
@@ -99,6 +100,7 @@ impl<Req, Resp> SyncChannel<Req, Resp> {
             request: None,
             response: None,
             calls_completed: 0,
+            calls_aborted: 0,
             trace: TraceHandle::disabled(),
             profiler: Profiler::disabled(),
             owner: (0, 0),
@@ -137,6 +139,12 @@ impl<Req, Resp> SyncChannel<Req, Resp> {
     /// Number of completed request/response round trips.
     pub fn calls_completed(&self) -> u64 {
         self.calls_completed
+    }
+
+    /// Number of calls abandoned mid-protocol by [`SyncChannel::abort`]
+    /// or [`SyncChannel::reset`].
+    pub fn calls_aborted(&self) -> u64 {
+        self.calls_aborted
     }
 
     /// Client: posts a request at time `now`.
@@ -252,11 +260,65 @@ impl<Req, Resp> SyncChannel<Req, Resp> {
         self.state == ChannelState::Requested
     }
 
+    /// Server: idempotently re-posts an already-posted response at time
+    /// `now` — the recovery half of a client retry. Re-writing the same
+    /// cache line can only *improve* visibility: the response becomes
+    /// visible at the earlier of its original transfer and a fresh
+    /// transfer starting now (repairing a delayed/lost first write).
+    ///
+    /// # Errors
+    ///
+    /// [`ChannelError::NoRequest`] unless a response is posted.
+    pub fn repost_response(&mut self, now: SimTime) -> Result<(), ChannelError> {
+        if self.state != ChannelState::Responded {
+            return Err(ChannelError::NoRequest);
+        }
+        let (_, posted) = self.response.as_mut().expect("state Responded");
+        *posted = (*posted).min(now);
+        self.trace_transition("repost_response");
+        Ok(())
+    }
+
+    /// Aborts an in-flight call, returning the phase it was abandoned in
+    /// (`None` if the channel was already idle). Unlike the bare
+    /// [`SyncChannel::reset`] this is the deliberate teardown path the
+    /// KVM layer uses: the abandoned call is counted and traced so the
+    /// divergence harness sees the protocol state die.
+    pub fn abort(&mut self) -> Option<ChannelState> {
+        if self.state == ChannelState::Idle {
+            return None;
+        }
+        let prior = self.state;
+        self.abandon("abort", prior);
+        Some(prior)
+    }
+
     /// Abandons any in-flight call (e.g. vCPU destroyed mid-exit).
+    ///
+    /// An abandoned in-flight call is counted in
+    /// [`SyncChannel::calls_aborted`] and emits a `chan.reset` trace
+    /// transition — resetting used to be silent, which left the
+    /// divergence harness blind to aborted protocol state.
     pub fn reset(&mut self) {
+        if self.state == ChannelState::Idle {
+            self.request = None;
+            self.response = None;
+            return;
+        }
+        let prior = self.state;
+        self.abandon("reset", prior);
+    }
+
+    fn abandon(&mut self, what: &'static str, prior: ChannelState) {
         self.state = ChannelState::Idle;
         self.request = None;
         self.response = None;
+        self.calls_aborted += 1;
+        let (realm, vcpu) = self.owner;
+        self.trace
+            .record_vm(TraceKind::Rpc, None, Some(realm), Some(vcpu), || {
+                format!("chan.{what} aborted {prior:?} -> Idle")
+            });
     }
 }
 
@@ -332,6 +394,71 @@ mod tests {
         ch.post_request(2, t(10)).unwrap();
         let vis = ch.request_visible_at(&p).unwrap();
         assert_eq!(ch.take_request(vis, &p).unwrap(), 2);
+    }
+
+    #[test]
+    fn reset_counts_and_traces_abandoned_calls() {
+        let trace = cg_sim::TraceHandle::capture();
+        let mut ch: SyncChannel<u8, u8> = SyncChannel::new();
+        ch.set_trace(trace.clone(), 3, 1);
+        // Idle reset: nothing abandoned, nothing counted.
+        ch.reset();
+        assert_eq!(ch.calls_aborted(), 0);
+        // In-flight reset: counted and traced.
+        ch.post_request(1, t(0)).unwrap();
+        ch.reset();
+        assert_eq!(ch.calls_aborted(), 1);
+        let records = trace.snapshot();
+        let reset_rec = records
+            .iter()
+            .find(|r| r.detail.contains("chan.reset"))
+            .expect("reset must leave a trace record");
+        assert!(
+            reset_rec.detail.contains("Requested"),
+            "record should name the abandoned phase: {}",
+            reset_rec.detail
+        );
+        assert_eq!(reset_rec.realm, Some(3));
+        assert_eq!(reset_rec.rec, Some(1));
+    }
+
+    #[test]
+    fn abort_reports_the_abandoned_phase() {
+        let p = params();
+        let mut ch: SyncChannel<u8, u8> = SyncChannel::new();
+        assert_eq!(ch.abort(), None);
+        ch.post_request(1, t(0)).unwrap();
+        assert_eq!(ch.abort(), Some(ChannelState::Requested));
+        assert_eq!(ch.state(), ChannelState::Idle);
+        ch.post_request(2, t(10)).unwrap();
+        let vis = ch.request_visible_at(&p).unwrap();
+        ch.take_request(vis, &p).unwrap();
+        ch.post_response(3, vis).unwrap();
+        assert_eq!(ch.abort(), Some(ChannelState::Responded));
+        assert_eq!(ch.calls_aborted(), 2);
+        assert_eq!(ch.calls_completed(), 0);
+    }
+
+    #[test]
+    fn repost_response_only_improves_visibility() {
+        let p = params();
+        let mut ch: SyncChannel<u8, u8> = SyncChannel::new();
+        assert_eq!(ch.repost_response(t(0)), Err(ChannelError::NoRequest));
+        ch.post_request(1, t(0)).unwrap();
+        let vis = ch.request_visible_at(&p).unwrap();
+        ch.take_request(vis, &p).unwrap();
+        // A (fault-delayed) future-stamped response...
+        ch.post_response(2, t(10_000)).unwrap();
+        let delayed = ch.response_visible_at(&p).unwrap();
+        // ...re-posted now becomes visible from now.
+        ch.repost_response(t(500)).unwrap();
+        let repaired = ch.response_visible_at(&p).unwrap();
+        assert!(repaired < delayed);
+        assert_eq!(repaired, t(500) + p.cache_line_transfer);
+        // Re-posting *later* than the original post is a no-op.
+        ch.repost_response(t(9_999)).unwrap();
+        assert_eq!(ch.response_visible_at(&p).unwrap(), repaired);
+        assert_eq!(ch.take_response(repaired, &p).unwrap(), 2);
     }
 
     #[test]

@@ -28,6 +28,8 @@
 pub mod channel;
 pub mod doorbell;
 pub mod latency;
+pub mod retry;
 
 pub use channel::{ChannelError, ChannelState, SyncChannel};
 pub use doorbell::Doorbell;
+pub use retry::{CallAborted, RetryPolicy};

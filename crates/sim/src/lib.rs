@@ -27,6 +27,7 @@
 #![warn(missing_debug_implementations)]
 
 mod export;
+mod fault;
 mod histogram;
 mod profiler;
 mod queue;
@@ -37,6 +38,7 @@ mod timeseries;
 mod trace;
 
 pub use export::Json;
+pub use fault::{FaultInjector, FaultPlan};
 pub use histogram::Histogram;
 pub use profiler::{Profiler, Span, SpanGuard, SpanId, SpanKind};
 pub use queue::{EventQueue, EventToken};

@@ -52,6 +52,12 @@ pub enum SpanKind {
     TimerFire,
     /// One wake-up thread scan over the run channels.
     WakeupScan,
+    /// One recovery retry of a timed-out async run call (client-side
+    /// timeout fired; the call was re-kicked).
+    RpcRetry,
+    /// One periodic watchdog rescan of the run channels — the backstop
+    /// that closes the dropped-doorbell lost-wakeup hole.
+    WatchdogScan,
     /// A free-form phase marker opened by [`SpanGuard`].
     Phase,
 }
@@ -68,6 +74,8 @@ impl SpanKind {
             SpanKind::SchedSlice => "sched.slice",
             SpanKind::TimerFire => "timer.delegated_fire",
             SpanKind::WakeupScan => "wakeup.scan",
+            SpanKind::RpcRetry => "rpc.retry",
+            SpanKind::WatchdogScan => "wakeup.watchdog_scan",
             SpanKind::Phase => "phase",
         }
     }

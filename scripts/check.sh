@@ -51,6 +51,12 @@ if [[ $fast -eq 0 ]]; then
 for p in sys.argv[1:]:
     json.load(open(p))' "$tmp/a.json" "$tmp/a.trace.json"
   fi
+
+  echo "== fault_sweep smoke (same seed + same plan must be byte-identical) =="
+  for run in fa fb; do
+    ./target/release/fault_sweep --quick --json "$tmp/$run.json" >/dev/null
+  done
+  cmp "$tmp/fa.json" "$tmp/fb.json"
 fi
 
 echo "== all checks passed =="

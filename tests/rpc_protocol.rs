@@ -10,8 +10,8 @@
 //! inconsistent phase.
 
 use cg_machine::HwParams;
-use cg_rpc::{ChannelError, ChannelState, SyncChannel};
-use cg_sim::{SimDuration, SimTime};
+use cg_rpc::{CallAborted, ChannelError, ChannelState, RetryPolicy, SyncChannel};
+use cg_sim::{FaultInjector, FaultPlan, SimDuration, SimTime};
 use proptest::prelude::*;
 
 /// One step of the interleaving.
@@ -166,5 +166,146 @@ proptest! {
                 _ => prop_assert_eq!(ch.response_visible_at(&params), None),
             }
         }
+    }
+}
+
+/// Drives one async call end to end under the fault injector: the
+/// server only notices the request if the poll notice isn't wedged, and
+/// the client only notices the response if the doorbell isn't dropped.
+/// Each client timeout re-kicks the stuck side; after `max_retries` the
+/// call is abandoned through [`SyncChannel::abort`] as a typed
+/// [`CallAborted`].
+fn drive_call(
+    ch: &mut SyncChannel<u64, u64>,
+    injector: &mut FaultInjector,
+    policy: &RetryPolicy,
+    params: &HwParams,
+    now: &mut SimTime,
+    payload: u64,
+) -> Result<u64, CallAborted> {
+    ch.post_request(payload, *now).expect("channel idle");
+    let mut served = !injector.wedge_request();
+    let mut delivered = false;
+    let mut attempt = 0u32;
+    loop {
+        if served && ch.has_request() {
+            *now = (*now).max(ch.request_visible_at(params).expect("posted"));
+            let req = ch.take_request(*now, params).expect("visible");
+            ch.post_response(req.wrapping_mul(2), *now)
+                .expect("serving");
+            delivered = !injector.drop_doorbell();
+        }
+        if delivered && ch.has_response() {
+            *now = (*now).max(ch.response_visible_at(params).expect("posted"));
+            return Ok(ch.take_response(*now, params).expect("visible"));
+        }
+        // The client's timeout fires with the call still in flight.
+        if attempt >= policy.max_retries {
+            let phase = ch.abort().expect("call in flight");
+            return Err(CallAborted {
+                attempts: attempt + 1,
+                phase,
+            });
+        }
+        attempt += 1;
+        *now += policy.timeout_for(attempt);
+        match ch.state() {
+            ChannelState::Requested => served = !injector.wedge_request(),
+            ChannelState::Responded => {
+                ch.repost_response(*now).expect("responded");
+                delivered = !injector.drop_doorbell();
+            }
+            other => unreachable!("timeout with channel {other:?}"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Satellite 3: under any seeded fault schedule, every call either
+    /// completes (possibly via retries) or surfaces a typed
+    /// [`CallAborted`] — the channel is never left stuck mid-protocol.
+    #[test]
+    fn fault_schedules_always_resolve(
+        seed in 0u64..u64::MAX,
+        wedge_pct in 0u32..=100,
+        drop_pct in 0u32..=100,
+        max_retries in 0u32..6,
+        calls in 1usize..25,
+    ) {
+        let plan = FaultPlan {
+            wedge_request_p: wedge_pct as f64 / 100.0,
+            drop_doorbell_p: drop_pct as f64 / 100.0,
+            ..FaultPlan::none()
+        };
+        let mut injector = FaultInjector::new(seed, plan);
+        let policy = RetryPolicy {
+            timeout: SimDuration::micros(50),
+            max_retries,
+            backoff: 2.0,
+        };
+        let params = HwParams::small();
+        let mut ch: SyncChannel<u64, u64> = SyncChannel::new();
+        let mut now = SimTime::ZERO;
+        let mut completed = 0u64;
+        let mut aborted = 0u64;
+
+        for i in 0..calls as u64 {
+            match drive_call(&mut ch, &mut injector, &policy, &params, &mut now, i) {
+                Ok(v) => {
+                    prop_assert_eq!(v, i.wrapping_mul(2));
+                    completed += 1;
+                }
+                Err(e) => {
+                    prop_assert_eq!(e.attempts, policy.max_retries + 1);
+                    prop_assert!(
+                        matches!(e.phase, ChannelState::Requested | ChannelState::Responded),
+                        "abandoned mid-protocol phase, got {:?}", e.phase
+                    );
+                    aborted += 1;
+                }
+            }
+            // Never stuck: whatever happened, the channel is reusable.
+            prop_assert_eq!(ch.state(), ChannelState::Idle);
+            now += SimDuration::micros(1);
+        }
+        prop_assert_eq!(ch.calls_completed(), completed);
+        prop_assert_eq!(ch.calls_aborted(), aborted);
+        prop_assert_eq!(completed + aborted, calls as u64);
+    }
+
+    /// The fault injector's decision stream is a pure function of
+    /// (seed, plan): replaying it yields the same call outcomes.
+    #[test]
+    fn fault_schedule_replay_is_identical(
+        seed in 0u64..u64::MAX,
+        drop_pct in 1u32..=50,
+        calls in 1usize..15,
+    ) {
+        let plan = FaultPlan {
+            drop_doorbell_p: drop_pct as f64 / 100.0,
+            ..FaultPlan::none()
+        };
+        let policy = RetryPolicy {
+            timeout: SimDuration::micros(50),
+            max_retries: 2,
+            backoff: 2.0,
+        };
+        let params = HwParams::small();
+        let run = || {
+            let mut injector = FaultInjector::new(seed, plan.clone());
+            let mut ch: SyncChannel<u64, u64> = SyncChannel::new();
+            let mut now = SimTime::ZERO;
+            let mut outcomes = Vec::new();
+            for i in 0..calls as u64 {
+                outcomes.push(
+                    drive_call(&mut ch, &mut injector, &policy, &params, &mut now, i).is_ok(),
+                );
+                now += SimDuration::micros(1);
+            }
+            (outcomes, injector.total_injected())
+        };
+        prop_assert_eq!(run(), run());
     }
 }
