@@ -104,21 +104,38 @@ impl System {
         // cores (§5.1); under core gapping they are the single extra core.
         let host_cores = self.host_cores();
         let vmm_affinity: Vec<CoreId> = host_cores.clone();
+        // The fast path needs a dedicated core to ring the I/O doorbell
+        // from, so it is core-gapped only; SR-IOV devices already bypass
+        // the VMM and keep their direct path.
+        let io_fastpath = spec.io_fastpath && spec.mode == VmExecMode::CoreGapped;
+        // Virtqueue rings live in unprotected shared memory, above the
+        // realm data granules (one region per VM, disjoint by VM index).
+        let mut vq_next = 0x8_0000_0000u64 + (vm_id.0 as u64) * 0x1000_0000;
         for (idx, &kind) in spec.devices.iter().enumerate() {
             let dev_id = vmm.add_device(kind);
             let spi = self.alloc_spi();
+            let fastpath_dev = io_fastpath && kind != DeviceKind::SriovNic;
             // Device SPIs normally route to the host core; with the
-            // direct-delivery extension they route to the CVM's first
-            // dedicated core, where the RMM injects them locally (§5.3).
-            let route =
-                if self.config.rmm.direct_device_delivery && spec.mode == VmExecMode::CoreGapped {
-                    cores[0]
-                } else {
-                    host_cores[0]
-                };
+            // direct-delivery extension — and always on the fast path,
+            // whose completion interrupts are delegated — they route to
+            // the CVM's first dedicated core, where the RMM injects them
+            // locally (§5.3).
+            let route = if (self.config.rmm.direct_device_delivery || fastpath_dev)
+                && spec.mode == VmExecMode::CoreGapped
+            {
+                cores[0]
+            } else {
+                host_cores[0]
+            };
             self.machine.gic_mut().route_spi(spi, route);
+            if fastpath_dev {
+                // Register the completion SPI for delegated injection:
+                // the RMM injects it at the dedicated core without a
+                // host round-trip.
+                self.rmm.delegate_spi(spi);
+            }
             kvm.devices_mut().route(idx as u32, dev_id);
-            let io_thread = if kind == DeviceKind::SriovNic {
+            let io_thread = if kind == DeviceKind::SriovNic || fastpath_dev {
                 None
             } else {
                 let tid = self.sched.spawn(
@@ -139,6 +156,21 @@ impl System {
                 );
                 Some(tid)
             };
+            // Multi-queue: one pair per vCPU, rings granule-aligned in
+            // the shared (NonSecure) region.
+            let queues = if fastpath_dev {
+                (0..spec.vcpus)
+                    .map(|_| {
+                        let base = GranuleAddr::new(vq_next).expect("granule aligned");
+                        let pair = cg_virtio::QueuePair::new(base, 256, spec.io_event_idx);
+                        vq_next += pair.granules() * 4096;
+                        self.metrics.counters.incr("setup.virtqueues");
+                        pair
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
             devices.push(DeviceInstance {
                 id: dev_id,
                 kind,
@@ -150,6 +182,8 @@ impl System {
                 rx_count: 0,
                 pending_notify: 0,
                 tag_owner: std::collections::HashMap::new(),
+                queues,
+                completion_posted_at: None,
             });
         }
 
@@ -231,6 +265,36 @@ impl System {
             }
         }
 
+        // ----- I/O completion plane (one per system, created lazily) -----
+        if io_fastpath && devices.iter().any(|d| d.fastpath()) && self.iothread.is_none() {
+            let tid = self.sched.spawn(
+                ThreadKind::IoPlane,
+                SchedClass::Fifo(3),
+                host_cores.iter().copied(),
+            );
+            self.threads.insert(
+                tid,
+                ThreadCtx {
+                    cont: ThreadCont::IoIdle,
+                    pending: cg_sim::SimDuration::ZERO,
+                },
+            );
+            self.iothread = Some(cg_host::IoThread::new(tid));
+            self.io_doorbell.set_target(host_cores[0]);
+            // The watchdog (armed with the wake-up thread above, or here
+            // if the fast-path VM somehow precedes it) also rescans the
+            // avail rings and stranded completions.
+            let period = self.config.recovery.watchdog_period;
+            if self.config.recovery.enabled && !period.is_zero() && self.wakeup.is_none() {
+                self.queue.schedule_after(
+                    period,
+                    SystemEvent::WatchdogTick {
+                        period_ns: period.as_nanos(),
+                    },
+                );
+            }
+        }
+
         // ----- peer bootstrap -----
         let mut peer = peer;
         if let Some(p) = &mut peer {
@@ -269,6 +333,7 @@ impl System {
             finished: None,
             cur_op: (0..spec.vcpus).map(|_| None).collect(),
             console_writes: 0,
+            io_fastpath,
         });
 
         // Start executing: host cores pick up the new runnable threads.

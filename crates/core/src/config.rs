@@ -173,6 +173,16 @@ pub struct VmSpec {
     /// Explicit vCPU→core placement; `None` lets the planner (core
     /// gapped) or the 1:1 pinning policy (shared) decide.
     pub vcpu_cores: Option<Vec<CoreId>>,
+    /// Route virtio devices through the shared-memory virtqueue fast
+    /// path: guests publish descriptors and ring the I/O doorbell
+    /// instead of exiting per kick, and a dedicated host I/O thread
+    /// drives the backends (core-gapped mode only; SR-IOV devices are
+    /// unaffected — they already bypass the VMM).
+    pub io_fastpath: bool,
+    /// Negotiate EVENT_IDX notification suppression on fast-path
+    /// queues. `false` is the suppression ablation: every descriptor
+    /// publish kicks and every completion interrupts.
+    pub io_event_idx: bool,
 }
 
 impl VmSpec {
@@ -184,6 +194,8 @@ impl VmSpec {
             transport: RunTransport::AsyncIpi,
             devices: Vec::new(),
             vcpu_cores: None,
+            io_fastpath: false,
+            io_event_idx: true,
         }
     }
 
@@ -195,6 +207,8 @@ impl VmSpec {
             transport: RunTransport::AsyncIpi,
             devices: Vec::new(),
             vcpu_cores: None,
+            io_fastpath: false,
+            io_event_idx: true,
         }
     }
 
@@ -206,6 +220,8 @@ impl VmSpec {
             transport: RunTransport::AsyncIpi,
             devices: Vec::new(),
             vcpu_cores: None,
+            io_fastpath: false,
+            io_event_idx: true,
         }
     }
 
@@ -224,6 +240,20 @@ impl VmSpec {
     /// Pins vCPUs to explicit cores.
     pub fn with_cores(mut self, cores: Vec<CoreId>) -> VmSpec {
         self.vcpu_cores = Some(cores);
+        self
+    }
+
+    /// Enables the shared-memory virtqueue fast path for this VM's
+    /// virtio devices (core-gapped mode only).
+    pub fn with_io_fastpath(mut self) -> VmSpec {
+        self.io_fastpath = true;
+        self
+    }
+
+    /// Disables EVENT_IDX notification suppression on fast-path queues
+    /// (the suppression ablation).
+    pub fn without_event_idx(mut self) -> VmSpec {
+        self.io_event_idx = false;
         self
     }
 }

@@ -2,7 +2,7 @@
 //! transports.
 
 use cg_cca::{RecExit, RecExitReason};
-use cg_host::{DeviceKind, HostAction, ThreadId, VmExecMode, WakeupThread};
+use cg_host::{DeviceKind, HostAction, IoThread, ThreadId, VmExecMode, WakeupThread};
 use cg_machine::{CoreId, Domain, IntId, World};
 use cg_rmm::{Disposition, GuestEvent, REALM_DOORBELL_SGI};
 use cg_sim::{SimDuration, SimTime};
@@ -11,7 +11,7 @@ use cg_workloads::{GuestIrq, GuestOp, PeerPacket};
 use crate::config::RunTransport;
 use crate::event::SystemEvent;
 use crate::system::{
-    CoreRun, RunMsg, System, ThreadCont, VmId, VmmEffect, CVM_EXIT_SGI, HOST_KICK_SGI,
+    CoreRun, RunMsg, System, ThreadCont, VmId, VmmEffect, CVM_EXIT_SGI, HOST_KICK_SGI, IO_KICK_SGI,
 };
 
 /// What happens when the current guest segment completes.
@@ -29,6 +29,9 @@ pub(crate) enum GuestCont {
     OpDoneActions(Vec<HostAction>),
     /// An SR-IOV transmit completes: put the packet on the wire.
     NetTxDirect { bytes: u64, flow: u64 },
+    /// A fast-path descriptor publish completes: ring the I/O doorbell
+    /// if EVENT_IDX asked for a notification, then continue the guest.
+    VirtioKick { device: u32, notify: bool },
     /// A delegated cross-core IPI completes: ring the target core.
     IpiSendDone { target_core: CoreId },
     /// The exit record is ready: hand it to the host.
@@ -212,6 +215,29 @@ impl System {
                     }
                     continue;
                 }
+                ThreadCont::IoPoll => {
+                    // One pass over every fast-path avail ring: the
+                    // doorbell cache line, then a bounded scan.
+                    let n: usize = self
+                        .vms
+                        .iter()
+                        .flat_map(|vm| vm.devices.iter())
+                        .map(|d| d.queues.len())
+                        .sum();
+                    let p = &self.config.machine;
+                    let mut cost =
+                        p.cache_line_transfer * 2 + IoThread::poll_cost(n, p.poll_iteration);
+                    // Hostile host: the poll can be stalled mid-flight
+                    // exactly like the wake-up thread's scan.
+                    if let Some(stall) = self.fault.host_stall() {
+                        self.metrics.counters.incr("fault.host_stalls");
+                        cost += stall;
+                    }
+                    self.threads.get_mut(&tid).expect("ctx").pending = cost;
+                }
+                ThreadCont::IoBackend { .. } => {
+                    unreachable!("IoBackend begins with its segment pre-staged")
+                }
                 ThreadCont::VcpuInGuest { .. } => {
                     unreachable!("VcpuInGuest begins only via run-call issue")
                 }
@@ -219,6 +245,7 @@ impl System {
                 | ThreadCont::VcpuBlocked { .. }
                 | ThreadCont::VcpuPaused { .. }
                 | ThreadCont::WakeupIdle
+                | ThreadCont::IoIdle
                 | ThreadCont::VmmIdle { .. } => {
                     // Nothing to do: block until an event wakes us.
                     self.sched.block_current(core);
@@ -302,6 +329,22 @@ impl System {
                 self.begin_thread(core, tid);
             }
             ThreadCont::WakeupScan => self.complete_wakeup_scan(core, tid),
+            ThreadCont::IoPoll => self.complete_io_poll(core, tid),
+            ThreadCont::IoBackend { staged } => {
+                self.profiler.record_span(
+                    cg_sim::SpanKind::VirtioBackend,
+                    Some(core.0),
+                    None,
+                    None,
+                    self.cores[core.index()].seg_started,
+                    self.queue.now(),
+                );
+                for (vm, device, vcpu, effect) in staged {
+                    self.apply_io_effect(vm, device, vcpu, effect);
+                }
+                self.set_cont(tid, ThreadCont::IoPoll);
+                self.begin_thread(core, tid);
+            }
             ThreadCont::VmmDrain { vm, device, staged } => {
                 if let Some(effect) = staged {
                     self.apply_vmm_effect(vm, device, effect);
@@ -554,6 +597,7 @@ impl System {
                     };
                 }
                 ThreadCont::WakeupIdle => *cont = ThreadCont::WakeupScan,
+                ThreadCont::IoIdle => *cont = ThreadCont::IoPoll,
                 _ => {}
             }
             let (core, preempts) = self.sched.wake(tid);
@@ -798,6 +842,255 @@ impl System {
         }
     }
 
+    // ================= I/O completion plane =================
+
+    /// Activates the I/O-plane thread (doorbell semantics: a ring while
+    /// the thread is active coalesces into one extra poll pass).
+    pub(crate) fn wake_io_plane(&mut self) {
+        let Some(io) = &mut self.iothread else { return };
+        if io.on_doorbell() {
+            let tid = io.thread();
+            self.set_cont(tid, ThreadCont::IoPoll);
+            let (wcore, preempts) = self.sched.wake(tid);
+            self.after_wake(wcore, preempts);
+        }
+    }
+
+    /// Rings the I/O-plane kick doorbell from a guest core: latch write
+    /// plus a cross-core IPI, coalescing against a pending ring. Subject
+    /// to the same dropped-doorbell fault as the exit doorbell — the
+    /// hole the I/O watchdog's pending-work rescan closes.
+    pub(crate) fn ring_io_doorbell(&mut self) {
+        self.metrics.counters.incr("virtio.doorbell_rings");
+        if self.io_doorbell.ring() {
+            if self.fault.drop_doorbell() {
+                self.metrics.counters.incr("fault.doorbell_dropped");
+            } else {
+                self.metrics.counters.incr("virtio.doorbell_ipis");
+                let target = self.io_doorbell.target();
+                self.queue.schedule_after(
+                    self.config.machine.mailbox_write + self.config.machine.ipi_deliver,
+                    SystemEvent::IpiArrive {
+                        core: target,
+                        intid: IO_KICK_SGI,
+                    },
+                );
+            }
+        }
+    }
+
+    /// One poll pass over every fast-path ring: drains published
+    /// descriptors into a staged backend batch (whose segment's
+    /// completion applies the effects), or re-arms notifications and
+    /// suspends when every ring is dry.
+    fn complete_io_poll(&mut self, core: CoreId, tid: ThreadId) {
+        let now = self.queue.now();
+        self.profiler.record_span(
+            cg_sim::SpanKind::IoPoll,
+            Some(core.0),
+            None,
+            None,
+            self.cores[core.index()].seg_started,
+            now,
+        );
+        self.metrics.counters.incr("io.polls");
+        let host = self.config.host.clone();
+        let mut staged: Vec<(VmId, u32, u32, VmmEffect)> = Vec::new();
+        let mut cost = SimDuration::ZERO;
+        for vm_idx in 0..self.vms.len() {
+            for di in 0..self.vms[vm_idx].devices.len() {
+                if !self.vms[vm_idx].devices[di].fastpath() {
+                    continue;
+                }
+                let kind = self.vms[vm_idx].devices[di].kind;
+                // Inbound first (mirrors the legacy drain priority):
+                // move waiting packets into guest-posted rx buffers.
+                loop {
+                    let d = &mut self.vms[vm_idx].devices[di];
+                    if d.rx_pending.is_empty() || d.queues[0].rx.pop_avail().is_none() {
+                        break;
+                    }
+                    let (bytes, flow) = d.rx_pending.pop_front().expect("checked non-empty");
+                    cost += host.virtio_net_packet_cost(bytes);
+                    staged.push((
+                        VmId(vm_idx),
+                        di as u32,
+                        0,
+                        VmmEffect::RxToGuest { bytes, flow },
+                    ));
+                }
+                // Submissions, per queue pair in vCPU order.
+                for q in 0..self.vms[vm_idx].devices[di].queues.len() {
+                    let batch = self.vms[vm_idx].devices[di].queues[q].tx.pop_avail_batch();
+                    for d in batch {
+                        let eff = match kind {
+                            DeviceKind::VirtioBlk => {
+                                cost += host.virtio_blk_request_cost(d.bytes);
+                                let service = host.disk_latency + host.disk_transfer(d.bytes);
+                                VmmEffect::DiskSubmit {
+                                    tag: d.cookie,
+                                    service_ns: service.as_nanos(),
+                                }
+                            }
+                            _ => {
+                                cost += host.virtio_net_packet_cost(d.bytes);
+                                VmmEffect::TxToWire {
+                                    bytes: d.bytes,
+                                    flow: d.cookie,
+                                }
+                            }
+                        };
+                        staged.push((VmId(vm_idx), di as u32, q as u32, eff));
+                    }
+                }
+            }
+        }
+        if staged.is_empty() {
+            // Every ring dry: re-arm notifications (exactly one kick per
+            // queue will wake us) and try to suspend.
+            self.metrics.counters.incr("io.poll_empty");
+            for vm in &mut self.vms {
+                for d in &mut vm.devices {
+                    for pair in &mut d.queues {
+                        pair.tx.enable_kicks();
+                        pair.rx.enable_kicks();
+                    }
+                }
+            }
+            let io = self.iothread.as_mut().expect("io thread exists");
+            if io.try_suspend() {
+                self.set_cont(tid, ThreadCont::IoIdle);
+                self.sched.block_current(core);
+                self.cores[core.index()].run = CoreRun::HostIdle;
+                self.dispatch(core);
+            } else {
+                self.set_cont(tid, ThreadCont::IoPoll);
+                self.begin_thread(core, tid);
+            }
+        } else {
+            let io = self.iothread.as_mut().expect("io thread exists");
+            io.record_serviced(staged.len() as u64);
+            let ctx = self.threads.get_mut(&tid).expect("ctx");
+            ctx.cont = ThreadCont::IoBackend { staged };
+            ctx.pending = cost;
+            self.begin_thread(core, tid);
+        }
+    }
+
+    /// Applies one staged I/O-plane effect: wire/disk scheduling plus
+    /// the used-ring completion and its (possibly suppressed) delegated
+    /// interrupt.
+    fn apply_io_effect(&mut self, vm: VmId, device: u32, vcpu: u32, effect: VmmEffect) {
+        let host = self.config.host.clone();
+        match effect {
+            VmmEffect::TxToWire { bytes, flow } => {
+                let delay = host.nic_serialize(bytes) + host.nic_wire_latency;
+                self.queue.schedule_after(
+                    delay,
+                    SystemEvent::WireToPeer {
+                        vm,
+                        pkt: PeerPacket { bytes, flow },
+                    },
+                );
+                // Recycle the descriptor: the guest frees the buffer at
+                // its next completion interrupt.
+                self.post_fastpath_completion(
+                    vm,
+                    device,
+                    vcpu,
+                    false,
+                    cg_virtio::Descriptor::net(bytes, flow),
+                );
+            }
+            VmmEffect::DiskSubmit { tag, service_ns } => {
+                self.queue.schedule_after(
+                    SimDuration::nanos(service_ns),
+                    SystemEvent::DiskDone { vm, device, tag },
+                );
+            }
+            VmmEffect::RxToGuest { bytes, flow } => {
+                self.post_fastpath_completion(
+                    vm,
+                    device,
+                    0,
+                    true,
+                    cg_virtio::Descriptor::net(bytes, flow),
+                );
+            }
+        }
+    }
+
+    /// Posts a used-ring entry on `vcpu`'s (tx or rx) queue and raises
+    /// the delegated completion interrupt at that vCPU's dedicated core
+    /// — unless EVENT_IDX suppresses it, or the fault plan eats it after
+    /// the used-ring post (the stranded completion the I/O watchdog's
+    /// rescan heals).
+    pub(crate) fn post_fastpath_completion(
+        &mut self,
+        vm: VmId,
+        device: u32,
+        vcpu: u32,
+        rx: bool,
+        d: cg_virtio::Descriptor,
+    ) {
+        let now = self.queue.now();
+        self.metrics.counters.incr("virtio.completions");
+        let irq = {
+            let dev = &mut self.vms[vm.0].devices[device as usize];
+            let pair = &mut dev.queues[vcpu as usize];
+            let q = if rx { &mut pair.rx } else { &mut pair.tx };
+            q.push_used(d);
+            let irq = q.should_interrupt();
+            if dev.completion_posted_at.is_none() {
+                dev.completion_posted_at = Some(now);
+            }
+            irq
+        };
+        // Zero-length marker: completion posting is event-edge work; its
+        // CPU cost is part of the backend segment already charged.
+        if self.profiler.is_enabled() {
+            let realm = self.vms[vm.0].kvm.realm().0;
+            self.profiler.record_span(
+                cg_sim::SpanKind::VirtioComplete,
+                None,
+                Some(realm),
+                Some(vcpu),
+                now,
+                now,
+            );
+        }
+        if !irq {
+            self.metrics.counters.incr("virtio.irqs_suppressed");
+            return;
+        }
+        if self.fault.drop_completion_irq() {
+            // Lost after the used-ring post: the completion is visible
+            // in shared memory but nobody announces it.
+            self.metrics.counters.incr("fault.completion_irq_dropped");
+            return;
+        }
+        self.metrics.counters.incr("virtio.irqs");
+        let target = self.vms[vm.0].vcpus[vcpu as usize].core;
+        self.queue.schedule_after(
+            self.config.machine.device_irq_deliver,
+            SystemEvent::DeviceIrqArrive {
+                core: target,
+                vm,
+                device,
+            },
+        );
+    }
+
+    /// Any fast-path device with published submissions, or deliverable
+    /// inbound packets with a posted rx buffer to land in?
+    pub(crate) fn fastpath_work_pending(&self) -> bool {
+        self.vms.iter().flat_map(|vm| vm.devices.iter()).any(|d| {
+            d.fastpath()
+                && (d.queues.iter().any(|p| p.tx.avail_len() > 0)
+                    || (!d.rx_pending.is_empty() && d.queues[0].rx.avail_len() > 0))
+        })
+    }
+
     // ================= VMM I/O =================
 
     /// Picks the next emulation item for the VMM thread. Returns `true`
@@ -1003,6 +1296,9 @@ impl System {
                 .position(|d| IntId::spi(d.spi) == vintid);
             if let Some(di) = dev_idx {
                 self.vms[vm.0].devices[di].pending_notify = 0;
+                if self.vms[vm.0].devices[di].fastpath() {
+                    self.drain_fastpath_used(vm, vcpu, di, now);
+                }
                 loop {
                     let item = self.vms[vm.0].devices[di].rx_inbox.pop_front();
                     match item {
@@ -1043,6 +1339,74 @@ impl System {
                     );
                 }
             }
+        }
+    }
+
+    /// Guest-side drain of `vcpu`'s used rings on a delegated completion
+    /// interrupt: disk completions and rx payloads become guest events,
+    /// net tx recycles free their buffers, and consumed rx buffers are
+    /// re-posted (with a replenish kick only if the device is actually
+    /// waiting for buffers).
+    fn drain_fastpath_used(&mut self, vm: VmId, vcpu: u32, di: usize, now: SimTime) {
+        let kind = self.vms[vm.0].devices[di].kind;
+        if (vcpu as usize) >= self.vms[vm.0].devices[di].queues.len() {
+            return;
+        }
+        let used_tx = self.vms[vm.0].devices[di].queues[vcpu as usize]
+            .tx
+            .consume_used();
+        for d in used_tx {
+            if kind == DeviceKind::VirtioBlk {
+                self.vms[vm.0].devices[di].tag_owner.remove(&d.cookie);
+                self.vms[vm.0].guest.on_irq(
+                    vcpu,
+                    GuestIrq::DiskDone {
+                        device: di as u32,
+                        tag: d.cookie,
+                    },
+                    now,
+                );
+            }
+            // Net tx recycle: the buffer is simply freed.
+        }
+        let used_rx = self.vms[vm.0].devices[di].queues[vcpu as usize]
+            .rx
+            .consume_used();
+        let n_rx = used_rx.len();
+        for d in used_rx {
+            self.vms[vm.0].guest.on_irq(
+                vcpu,
+                GuestIrq::NetRx {
+                    device: di as u32,
+                    bytes: d.bytes,
+                    flow: d.cookie,
+                },
+                now,
+            );
+        }
+        if n_rx > 0 {
+            // Replenish the consumed rx buffers, kicking only if packets
+            // are queued behind the buffer shortage.
+            let waiting = !self.vms[vm.0].devices[di].rx_pending.is_empty();
+            let pair = &mut self.vms[vm.0].devices[di].queues[vcpu as usize];
+            for _ in 0..n_rx {
+                let _ = pair.rx.push(cg_virtio::Descriptor {
+                    bytes: 0,
+                    cookie: 0,
+                    is_write: true,
+                });
+            }
+            if pair.rx.should_kick() && waiting {
+                self.ring_io_doorbell();
+            }
+        }
+        // Every completion picked up? Clear the watchdog stamp.
+        let drained = self.vms[vm.0].devices[di]
+            .queues
+            .iter()
+            .all(|p| p.tx.used_len() == 0 && p.rx.used_len() == 0);
+        if drained {
+            self.vms[vm.0].devices[di].completion_posted_at = None;
         }
     }
 
@@ -1210,7 +1574,19 @@ impl System {
                         );
                     }
                     _ => {
-                        // Virtio: queue + kick (exit).
+                        // Fast path: publish the descriptor on the shared
+                        // virtqueue, no exit.
+                        if self.try_fastpath_publish(
+                            core,
+                            vm,
+                            vcpu,
+                            device,
+                            cg_virtio::Descriptor::net(bytes, flow),
+                            "virtio.tx_fast",
+                        ) {
+                            return;
+                        }
+                        // Legacy virtio: queue + kick (exit).
                         let dev_id = self.vms[vm.0].devices[device as usize].id;
                         self.vms[vm.0]
                             .vmm
@@ -1226,6 +1602,16 @@ impl System {
                 self.vms[vm.0].devices[device as usize]
                     .tag_owner
                     .insert(tag, vcpu);
+                if self.try_fastpath_publish(
+                    core,
+                    vm,
+                    vcpu,
+                    device,
+                    cg_virtio::Descriptor::disk(bytes, tag, is_write),
+                    "virtio.disk_fast",
+                ) {
+                    return;
+                }
                 self.vms[vm.0].vmm.queue_disk(
                     dev_id,
                     cg_host::DiskRequest {
@@ -1379,6 +1765,40 @@ impl System {
         self.start_guest_segment(core, wall, remaining, GuestCont::ComputeDone);
     }
 
+    /// Tries to publish a descriptor on `vcpu`'s fast-path tx ring,
+    /// starting the (cheap) publish segment on success. Returns `false`
+    /// — ring full, or device not on the fast path — when the caller
+    /// must take the legacy exit-per-kick path instead.
+    fn try_fastpath_publish(
+        &mut self,
+        core: CoreId,
+        vm: VmId,
+        vcpu: u32,
+        device: u32,
+        d: cg_virtio::Descriptor,
+        counter: &'static str,
+    ) -> bool {
+        if !self.vms[vm.0].io_fastpath || !self.vms[vm.0].devices[device as usize].fastpath() {
+            return false;
+        }
+        let pair = &mut self.vms[vm.0].devices[device as usize].queues[vcpu as usize];
+        if pair.tx.push(d).is_err() {
+            // Backpressure: fall back to the exit path, whose host-side
+            // handling also lets the I/O plane catch up.
+            self.metrics.counters.incr("virtio.ring_full");
+            return false;
+        }
+        self.metrics.counters.incr(counter);
+        let notify = pair.tx.should_kick();
+        self.start_guest_segment(
+            core,
+            self.config.host.virtio_desc_publish,
+            SimDuration::ZERO,
+            GuestCont::VirtioKick { device, notify },
+        );
+        true
+    }
+
     fn guest_hostcall_exit(&mut self, core: CoreId, vm: VmId, vcpu: u32, device: u32) {
         let mode = self.vms[vm.0].kvm.mode();
         if mode.is_confidential() {
@@ -1510,6 +1930,29 @@ impl System {
                         pkt: PeerPacket { bytes, flow },
                     },
                 );
+                self.advance_guest(core);
+            }
+            GuestCont::VirtioKick { device, notify } => {
+                let now = self.queue.now();
+                let realm = self.vms[vm.0].kvm.realm().0;
+                self.profiler.record_span(
+                    cg_sim::SpanKind::VirtioKick,
+                    Some(core.0),
+                    Some(realm),
+                    Some(vcpu),
+                    self.cores[core.index()].seg_started,
+                    now,
+                );
+                self.strace
+                    .record(cg_sim::TraceKind::Irq, Some(core.0), || {
+                        format!("virtio.kick dev{device} notify={notify}")
+                    });
+                if notify {
+                    self.metrics.counters.incr("virtio.kicks");
+                    self.ring_io_doorbell();
+                } else {
+                    self.metrics.counters.incr("virtio.kicks_suppressed");
+                }
                 self.advance_guest(core);
             }
             GuestCont::IpiSendDone { target_core } => {

@@ -229,6 +229,184 @@ pub fn run_iozone_obs(
     out
 }
 
+// ================= shared-memory fast path =================
+
+/// Which virtio data path a fast-path experiment drives (all core
+/// gapped; SR-IOV is orthogonal and keeps its own direct path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoPathMode {
+    /// Legacy exit-per-kick virtio: every submission is a hostcall exit
+    /// serviced by the VMM I/O thread.
+    Legacy,
+    /// Shared-memory virtqueues with EVENT_IDX suppression: descriptors
+    /// publish without exiting, the I/O-plane thread drives backends,
+    /// completions inject through the RMM.
+    Fastpath,
+    /// Fast path with EVENT_IDX negotiated off (the suppression
+    /// ablation): every publish kicks, every completion interrupts.
+    FastpathNoSuppression,
+}
+
+impl IoPathMode {
+    /// All three io_fastpath sweep series.
+    pub const ALL: [IoPathMode; 3] = [
+        IoPathMode::Legacy,
+        IoPathMode::Fastpath,
+        IoPathMode::FastpathNoSuppression,
+    ];
+
+    /// Legend label.
+    pub fn label(self) -> &'static str {
+        match self {
+            IoPathMode::Legacy => "exit-per-kick",
+            IoPathMode::Fastpath => "fastpath",
+            IoPathMode::FastpathNoSuppression => "fastpath-no-evidx",
+        }
+    }
+
+    /// Applies this mode's fast-path switches to a VM spec.
+    pub fn apply_spec(self, spec: VmSpec) -> VmSpec {
+        match self {
+            IoPathMode::Legacy => spec,
+            IoPathMode::Fastpath => spec.with_io_fastpath(),
+            IoPathMode::FastpathNoSuppression => spec.with_io_fastpath().without_event_idx(),
+        }
+    }
+}
+
+/// One fast-path sweep point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FastpathPoint {
+    /// Median round-trip (NetPIPE) or request (IOzone) time, µs.
+    pub p50_us: f64,
+    /// Tail (99th percentile) time, µs.
+    pub p99_us: f64,
+    /// Throughput: Mbps for NetPIPE, MiB/s for IOzone.
+    pub throughput: f64,
+}
+
+/// The notification counters a fast-path run accumulates — what the
+/// suppression ablation compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FastpathStats {
+    /// Guest kicks that rang the I/O doorbell.
+    pub kicks: u64,
+    /// Guest kicks EVENT_IDX suppressed.
+    pub kicks_suppressed: u64,
+    /// Delegated completion interrupts raised.
+    pub irqs: u64,
+    /// Completion interrupts EVENT_IDX coalesced away.
+    pub irqs_suppressed: u64,
+    /// Total REC exits over the run (RMM-side count).
+    pub exits_total: u64,
+    /// Deterministic run fingerprint (system metrics fold).
+    pub fingerprint: u64,
+}
+
+/// A fast-path run: per-size points plus the notification counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FastpathRun {
+    /// size (or record) → point.
+    pub points: BTreeMap<u64, FastpathPoint>,
+    /// Run-wide notification counters.
+    pub stats: FastpathStats,
+}
+
+pub(crate) fn fastpath_stats(system: &System, exits_total: u64) -> FastpathStats {
+    let c = &system.metrics().counters;
+    FastpathStats {
+        kicks: c.get("virtio.kicks"),
+        kicks_suppressed: c.get("virtio.kicks_suppressed"),
+        irqs: c.get("virtio.irqs"),
+        irqs_suppressed: c.get("virtio.irqs_suppressed"),
+        exits_total,
+        fingerprint: system.metrics().fingerprint(),
+    }
+}
+
+/// Runs NetPIPE over a virtio NIC on the chosen data path, returning
+/// per-size p50/p99 round trips and throughput plus notification
+/// counters.
+pub fn run_netpipe_fastpath(mode: IoPathMode, sizes: &[u64], reps: u32, seed: u64) -> FastpathRun {
+    let sys_config = base_config(true, seed);
+    let mut system = System::new(sys_config.clone());
+    let app = Netpipe::new(sizes.to_vec(), reps, 0);
+    let guest = GuestKernel::new(1, sys_config.host.guest_hz, Box::new(app));
+    let spec = mode.apply_spec(VmSpec::core_gapped(1).with_device(DeviceKind::VirtioNet));
+    let peer = EchoPeer::new(SimDuration::micros(3));
+    let vm = system
+        .add_vm(spec, Box::new(guest), Some(Box::new(peer)))
+        .expect("netpipe VM");
+    assert!(
+        system.run_until_done(SimDuration::secs(120)),
+        "netpipe ({}) did not complete",
+        mode.label()
+    );
+    let report = system.vm_report(vm);
+    let mut points = BTreeMap::new();
+    for &size in sizes {
+        if let Some(samples) = report.stats.sample(&format!("rtt_us_{size}")) {
+            let mut s = samples.clone();
+            let p50 = s.percentile(50.0);
+            let p99 = s.percentile(99.0);
+            points.insert(
+                size,
+                FastpathPoint {
+                    p50_us: p50,
+                    p99_us: p99,
+                    throughput: 2.0 * size as f64 * 8.0 / p50,
+                },
+            );
+        }
+    }
+    FastpathRun {
+        points,
+        stats: fastpath_stats(&system, report.exits_total),
+    }
+}
+
+/// Runs IOzone sync reads on the chosen data path, returning per-record
+/// p50/p99 request times and MiB/s plus notification counters.
+pub fn run_iozone_fastpath(mode: IoPathMode, records: &[u64], reps: u32, seed: u64) -> FastpathRun {
+    let sys_config = base_config(true, seed);
+    let mut system = System::new(sys_config.clone());
+    let phases: Vec<(u64, bool, u32)> = records.iter().map(|&r| (r, false, reps)).collect();
+    let app = Iozone::new(phases, 0);
+    let guest = GuestKernel::new(1, sys_config.host.guest_hz, Box::new(app));
+    let spec = mode.apply_spec(VmSpec::core_gapped(1).with_device(DeviceKind::VirtioBlk));
+    let vm = system
+        .add_vm(spec, Box::new(guest), None)
+        .expect("iozone VM");
+    assert!(
+        system.run_until_done(SimDuration::secs(600)),
+        "iozone ({}) did not complete",
+        mode.label()
+    );
+    let report = system.vm_report(vm);
+    let mut points = BTreeMap::new();
+    for &r in records {
+        if let Some(samples) = report.stats.sample(&format!("io_us_read_{r}")) {
+            let mut s = samples.clone();
+            let p50 = s.percentile(50.0);
+            let p99 = s.percentile(99.0);
+            if p50 > 0.0 {
+                points.insert(
+                    r,
+                    FastpathPoint {
+                        p50_us: p50,
+                        p99_us: p99,
+                        throughput: r as f64 / (1 << 20) as f64 / (p50 / 1e6),
+                    },
+                );
+            }
+        }
+    }
+    FastpathRun {
+        points,
+        stats: fastpath_stats(&system, report.exits_total),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -327,6 +505,58 @@ mod tests {
             direct[&1500].rtt_us,
             shared[&1500].rtt_us
         );
+    }
+
+    #[test]
+    fn fastpath_beats_exit_per_kick_on_small_messages() {
+        let sizes = [64u64, 1024, 65536];
+        let legacy = run_netpipe_fastpath(IoPathMode::Legacy, &sizes, 5, 5);
+        let fast = run_netpipe_fastpath(IoPathMode::Fastpath, &sizes, 5, 5);
+        // Small messages are notification-dominated: the shared-memory
+        // path must win outright.
+        assert!(
+            fast.points[&64].p50_us < legacy.points[&64].p50_us,
+            "fast {} vs legacy {} at 64 B",
+            fast.points[&64].p50_us,
+            legacy.points[&64].p50_us
+        );
+        // Fig. 8 shape: the relative gap narrows as the wire time
+        // swamps the per-message overhead.
+        let gap_small = legacy.points[&64].p50_us / fast.points[&64].p50_us;
+        let gap_large = legacy.points[&65536].p50_us / fast.points[&65536].p50_us;
+        assert!(
+            gap_small > gap_large,
+            "gap should narrow with size: small {gap_small:.3} vs large {gap_large:.3}"
+        );
+    }
+
+    #[test]
+    fn fastpath_takes_fewer_exits_than_legacy() {
+        let legacy = run_netpipe_fastpath(IoPathMode::Legacy, &[1024], 20, 5);
+        let fast = run_netpipe_fastpath(IoPathMode::Fastpath, &[1024], 20, 5);
+        assert!(
+            fast.stats.exits_total < legacy.stats.exits_total / 2,
+            "fast {} exits vs legacy {}",
+            fast.stats.exits_total,
+            legacy.stats.exits_total
+        );
+        assert!(fast.stats.kicks > 0, "fast path rang no doorbells");
+    }
+
+    #[test]
+    fn iozone_fastpath_runs_on_blk() {
+        let fast = run_iozone_fastpath(IoPathMode::Fastpath, &[4096], 5, 5);
+        assert!(fast.points[&4096].p50_us > 0.0);
+        assert!(fast.stats.kicks > 0);
+        assert!(fast.stats.irqs > 0);
+    }
+
+    #[test]
+    fn fastpath_run_is_deterministic() {
+        let a = run_netpipe_fastpath(IoPathMode::Fastpath, &[1024], 5, 7);
+        let b = run_netpipe_fastpath(IoPathMode::Fastpath, &[1024], 5, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.stats.fingerprint, b.stats.fingerprint);
     }
 
     #[test]

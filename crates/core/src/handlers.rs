@@ -7,7 +7,7 @@ use cg_sim::{SimDuration, SimTime};
 
 use crate::event::SystemEvent;
 use crate::exec::GuestCont;
-use crate::system::{CoreRun, System, ThreadCont, VmId, CVM_EXIT_SGI};
+use crate::system::{CoreRun, System, ThreadCont, VmId, CVM_EXIT_SGI, IO_KICK_SGI};
 
 impl System {
     /// Dispatches one event.
@@ -152,6 +152,13 @@ impl System {
             }
             return;
         }
+        if intid == IO_KICK_SGI {
+            // The fast-path kick doorbell at the host core.
+            self.host_irq_steal(core, self.config.machine.irq_entry);
+            self.io_doorbell.acknowledge();
+            self.wake_io_plane();
+            return;
+        }
         match self.cores[core.index()].run {
             CoreRun::Guest { vm, vcpu } => {
                 self.interrupt_gapped_guest(core, vm, vcpu, intid);
@@ -172,7 +179,10 @@ impl System {
     fn on_device_irq(&mut self, core: CoreId, vm: VmId, device: u32) {
         // Direct delivery: the SPI was routed to the CVM's dedicated
         // core and the RMM injects it without host involvement.
-        if self.config.rmm.direct_device_delivery {
+        // Fast-path completion interrupts are always delegated this way.
+        if self.config.rmm.direct_device_delivery
+            || self.vms[vm.0].devices[device as usize].fastpath()
+        {
             let spi = self.vms[vm.0].devices[device as usize].spi;
             match self.cores[core.index()].run {
                 CoreRun::Guest { vm: gvm, vcpu } if gvm == vm => {
@@ -247,6 +257,12 @@ impl System {
             .collect();
         if !d.rx_inbox.is_empty() || d.pending_notify > 0 {
             targets.push(0);
+        }
+        // Fast path: every vCPU whose pair has unconsumed used entries.
+        for (q, pair) in d.queues.iter().enumerate() {
+            if pair.tx.used_len() > 0 || pair.rx.used_len() > 0 {
+                targets.push(q as u32);
+            }
         }
         targets.sort_unstable();
         targets.dedup();
@@ -355,11 +371,14 @@ impl System {
                 self.deliver_rx_to_guest(vm, device, bytes, flow);
             }
             _ => {
-                // Emulated NIC: the VMM must process the packet first.
+                // Emulated NIC: the VMM (or the I/O plane, on the fast
+                // path) must process the packet first.
                 self.vms[vm.0].devices[device as usize]
                     .rx_pending
                     .push_back((bytes, flow));
-                if let Some(tid) = self.vms[vm.0].devices[device as usize].io_thread {
+                if self.vms[vm.0].devices[device as usize].fastpath() {
+                    self.wake_io_plane();
+                } else if let Some(tid) = self.vms[vm.0].devices[device as usize].io_thread {
                     self.wake_thread_if_blocked(tid);
                 }
             }
@@ -530,8 +549,17 @@ impl System {
             self.queue
                 .schedule_after(period, SystemEvent::WatchdogTick { period_ns });
         }
-        let Some(w) = &self.wakeup else { return };
         let now = self.queue.now();
+        if self.wakeup.is_some() {
+            self.wakeup_watchdog_scan(now);
+        }
+        self.io_watchdog_scan(now);
+    }
+
+    /// The wake-up-thread half of the watchdog tick: rescans run
+    /// channels for stranded posted exits.
+    fn wakeup_watchdog_scan(&mut self, now: SimTime) {
+        let w = self.wakeup.as_ref().expect("caller checked");
         let host_core = self.doorbell.target();
         self.metrics.counters.incr("wakeup.watchdog_scans");
         let n = w.watched().len();
@@ -580,7 +608,91 @@ impl System {
         }
     }
 
+    /// The I/O-plane half of the watchdog tick: re-announces stranded
+    /// used-ring completions whose delegated interrupt was lost, and
+    /// re-activates a suspended I/O thread that has published work
+    /// waiting behind a dropped kick doorbell.
+    fn io_watchdog_scan(&mut self, now: SimTime) {
+        if self.iothread.is_none() {
+            return;
+        }
+        self.metrics.counters.incr("io.watchdog_scans");
+        let host_core = self.io_doorbell.target();
+        self.host_irq_steal(host_core, self.config.machine.irq_entry);
+        // Only treat a completion as stranded once it has sat in the
+        // used ring longer than any healthy delegated delivery takes.
+        let grace = {
+            let p = &self.config.machine;
+            (p.device_irq_deliver + p.irq_entry) * 4
+        };
+        let mut stranded: Vec<(VmId, u32, CoreId)> = Vec::new();
+        for vm_idx in 0..self.vms.len() {
+            for di in 0..self.vms[vm_idx].devices.len() {
+                let d = &self.vms[vm_idx].devices[di];
+                let Some(t) = d.completion_posted_at else {
+                    continue;
+                };
+                if now.duration_since(t) < grace {
+                    continue;
+                }
+                for (q, pair) in d.queues.iter().enumerate() {
+                    if pair.tx.used_len() > 0 || pair.rx.used_len() > 0 {
+                        let core = self.vms[vm_idx].vcpus[q].core;
+                        stranded.push((VmId(vm_idx), di as u32, core));
+                    }
+                }
+            }
+        }
+        for (vm, device, core) in stranded {
+            self.metrics.counters.incr("io.watchdog_recovered");
+            self.strace
+                .record(cg_sim::TraceKind::Irq, Some(core.0), || {
+                    format!("io.watchdog re-announce {vm} dev{device}")
+                });
+            // Refresh the stamp so the next tick doesn't re-fire while
+            // this re-announcement is still in flight.
+            self.vms[vm.0].devices[device as usize].completion_posted_at = Some(now);
+            self.queue.schedule_after(
+                self.config.machine.device_irq_deliver,
+                SystemEvent::DeviceIrqArrive { core, vm, device },
+            );
+        }
+        // Published-but-unserviced work with the I/O thread suspended:
+        // the kick doorbell was dropped (or its latch wedged). Heal the
+        // latch and activate the thread directly.
+        let suspended = !self.iothread.as_ref().expect("checked above").is_active();
+        if suspended && self.fastpath_work_pending() {
+            self.metrics.counters.incr("io.watchdog_kicks");
+            self.io_doorbell.acknowledge();
+            let io = self.iothread.as_mut().expect("checked above");
+            if io.on_watchdog() {
+                let tid = io.thread();
+                self.set_cont(tid, ThreadCont::IoPoll);
+                let (wcore, preempts) = self.sched.wake(tid);
+                self.after_wake(wcore, preempts);
+            }
+        }
+    }
+
     fn on_disk_done(&mut self, vm: VmId, device: u32, tag: u64) {
+        if self.vms[vm.0].devices[device as usize].fastpath() {
+            // Fast path: the completion goes straight onto the owner's
+            // used ring; the interrupt (if not suppressed) is delegated
+            // to that vCPU's dedicated core.
+            let owner = self.vms[vm.0].devices[device as usize]
+                .tag_owner
+                .get(&tag)
+                .copied()
+                .unwrap_or(0);
+            self.post_fastpath_completion(
+                vm,
+                device,
+                owner,
+                false,
+                cg_virtio::Descriptor::disk(0, tag, false),
+            );
+            return;
+        }
         self.vms[vm.0].devices[device as usize]
             .done_queue
             .push_back(tag);

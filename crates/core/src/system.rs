@@ -4,7 +4,9 @@ use std::collections::VecDeque;
 use std::fmt;
 
 use cg_cca::{RecEntry, RecExit};
-use cg_host::{CorePlanner, DeviceId, HostAction, KvmVm, Scheduler, ThreadId, Vmm, WakeupThread};
+use cg_host::{
+    CorePlanner, DeviceId, HostAction, IoThread, KvmVm, Scheduler, ThreadId, Vmm, WakeupThread,
+};
 use cg_machine::{CoreId, IntId, Machine, RealmId};
 use cg_rmm::Rmm;
 use cg_rpc::{Doorbell, SyncChannel};
@@ -25,6 +27,11 @@ pub const CVM_EXIT_SGI: IntId = IntId::sgi(8);
 /// The SGI number the host sends to a dedicated core to request a vCPU
 /// exit (the "kick").
 pub const HOST_KICK_SGI: IntId = IntId::sgi(9);
+
+/// The SGI number a fast-path guest rings to notify the host I/O plane
+/// of new virtqueue descriptors (the virtio kick as a cross-core
+/// doorbell instead of a VM exit).
+pub const IO_KICK_SGI: IntId = IntId::sgi(10);
 
 /// Identifies a VM within the system.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -152,6 +159,15 @@ pub(crate) enum ThreadCont {
     },
     /// VMM I/O thread: idle.
     VmmIdle { vm: VmId, device: u32 },
+    /// I/O-plane thread: polling the fast-path avail rings.
+    IoPoll,
+    /// I/O-plane thread: running backend emulation for a drained batch;
+    /// the staged effects fire when the segment completes.
+    IoBackend {
+        staged: Vec<(VmId, u32, u32, VmmEffect)>,
+    },
+    /// I/O-plane thread: suspended until the I/O doorbell.
+    IoIdle,
 }
 
 /// The effect a VMM emulation segment produces on completion.
@@ -195,6 +211,20 @@ pub(crate) struct DeviceInstance {
     pub pending_notify: u64,
     /// tag → submitting vCPU, for completion routing.
     pub tag_owner: std::collections::HashMap<u64, u32>,
+    /// Fast-path virtqueue pairs, one per vCPU (empty when this device
+    /// uses the legacy exit-per-kick path or is SR-IOV).
+    pub queues: Vec<cg_virtio::QueuePair>,
+    /// When the oldest unconsumed used-ring completion was posted, for
+    /// the I/O watchdog's stranded-completion rescan. `None` when the
+    /// guest has drained every completion.
+    pub completion_posted_at: Option<SimTime>,
+}
+
+impl DeviceInstance {
+    /// Is this device on the shared-memory virtqueue fast path?
+    pub fn fastpath(&self) -> bool {
+        !self.queues.is_empty()
+    }
 }
 
 /// Per-vCPU runtime state.
@@ -250,6 +280,9 @@ pub(crate) struct Vm {
     pub cur_op: Vec<Option<(GuestOp, SimDuration)>>,
     /// Console writes so far (drives completion-interrupt modelling).
     pub console_writes: u64,
+    /// Virtio devices ride the shared-memory fast path (virtqueues +
+    /// I/O-plane thread) instead of exiting per kick.
+    pub io_fastpath: bool,
 }
 
 impl fmt::Debug for Vm {
@@ -275,6 +308,12 @@ pub struct System {
     pub(crate) threads: std::collections::HashMap<ThreadId, ThreadCtx>,
     pub(crate) wakeup: Option<WakeupThread>,
     pub(crate) doorbell: Doorbell,
+    /// The I/O completion plane servicing fast-path virtqueues, created
+    /// lazily with the first fast-path VM.
+    pub(crate) iothread: Option<IoThread>,
+    /// The fast-path kick doorbell ([`IO_KICK_SGI`]); coalesces rings
+    /// exactly as the CVM-exit doorbell does.
+    pub(crate) io_doorbell: Doorbell,
     pub(crate) metrics: Metrics,
     /// Accumulated leak observations from attacker probes.
     pub(crate) attack_report: cg_attacks::LeakReport,
@@ -338,6 +377,8 @@ impl System {
             threads: std::collections::HashMap::new(),
             wakeup: None,
             doorbell: Doorbell::new(CoreId(0)),
+            iothread: None,
+            io_doorbell: Doorbell::new(CoreId(0)),
             metrics: Metrics::new(num_cores),
             attack_report: cg_attacks::LeakReport::new(),
             rng,
@@ -443,6 +484,15 @@ impl System {
             .map(|w| (w.activations(), w.vcpus_woken()))
     }
 
+    /// I/O-plane thread statistics `(doorbell activations, descriptors
+    /// serviced)`, if an I/O plane exists (i.e. a fast-path VM was
+    /// added).
+    pub fn io_stats(&self) -> Option<(u64, u64)> {
+        self.iothread
+            .as_ref()
+            .map(|t| (t.activations(), t.descriptors_serviced()))
+    }
+
     /// Clones out the retained structured records, oldest first.
     pub fn structured_records(&self) -> Vec<TraceRecord> {
         self.strace.snapshot()
@@ -498,6 +548,9 @@ impl System {
         self.rmm.set_trace(self.strace.clone());
         if let Some(w) = &mut self.wakeup {
             w.set_trace(self.strace.clone());
+        }
+        if let Some(io) = &mut self.iothread {
+            io.set_trace(self.strace.clone());
         }
         for vm in &mut self.vms {
             let realm = vm.kvm.realm().0;

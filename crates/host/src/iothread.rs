@@ -1,0 +1,246 @@
+//! The dedicated I/O completion plane.
+//!
+//! The fast-path analogue of the wake-up thread
+//! ([`crate::wakeup::WakeupThread`]): one FIFO-priority host thread
+//! services the shared-memory virtqueues of every fast-path device.
+//! A guest kick rings the I/O doorbell instead of exiting; the handler
+//! activates this thread, which polls every avail ring, drives the
+//! device backends, posts completions, and — finding nothing new after
+//! re-arming kick notifications — suspends until the next doorbell.
+//!
+//! It shares the wake-up thread's two correctness obligations and
+//! resolves them the same way:
+//!
+//! * **Lost-wakeup race** — a doorbell ringing mid-poll sets
+//!   `repoll_requested`, which [`IoThread::try_suspend`] consumes by
+//!   refusing to suspend, forcing one more poll.
+//! * **Lost-doorbell hole** — a dropped IPI (or dropped completion
+//!   interrupt) strands work forever; the same periodic watchdog that
+//!   rescans run channels also rescans the avail rings and stranded
+//!   used entries, re-activating this thread via
+//!   [`IoThread::on_watchdog`].
+
+use cg_sim::{SimDuration, TraceHandle, TraceKind};
+
+use crate::thread::ThreadId;
+
+/// I/O-plane thread state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    /// Suspended, kick notifications armed, waiting for the I/O
+    /// doorbell IPI.
+    Suspended,
+    /// Activated (IPI taken), waiting for CPU or polling.
+    Active,
+}
+
+/// Bookkeeping for the I/O completion-plane thread.
+///
+/// The thread itself is a scheduler entity; this struct tracks its
+/// activation state, mirroring [`crate::wakeup::WakeupThread`].
+#[derive(Debug)]
+pub struct IoThread {
+    thread: ThreadId,
+    state: State,
+    /// A doorbell rang while a poll was in progress: poll again before
+    /// suspending (closes the lost-wakeup race).
+    repoll_requested: bool,
+    activations: u64,
+    descriptors_serviced: u64,
+    /// Structured trace sink (disabled by default).
+    trace: TraceHandle,
+}
+
+impl IoThread {
+    /// Creates the bookkeeping for I/O-plane thread `thread`.
+    pub fn new(thread: ThreadId) -> IoThread {
+        IoThread {
+            thread,
+            state: State::Suspended,
+            repoll_requested: false,
+            activations: 0,
+            descriptors_serviced: 0,
+            trace: TraceHandle::disabled(),
+        }
+    }
+
+    /// Attaches a structured trace; activation/suspension decisions are
+    /// recorded through it from then on.
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
+    }
+
+    /// The scheduler thread id.
+    pub fn thread(&self) -> ThreadId {
+        self.thread
+    }
+
+    /// The I/O doorbell IPI arrived. Returns `true` if the thread was
+    /// suspended and must now be woken (scheduled); `false` if it is
+    /// already active (the notification coalesces into the in-flight
+    /// poll).
+    pub fn on_doorbell(&mut self) -> bool {
+        let must_wake = match self.state {
+            State::Suspended => {
+                self.state = State::Active;
+                self.activations += 1;
+                true
+            }
+            State::Active => {
+                self.repoll_requested = true;
+                false
+            }
+        };
+        self.trace.record(TraceKind::Sched, None, || {
+            format!(
+                "io.doorbell {}",
+                if must_wake {
+                    "activates"
+                } else {
+                    "coalesced -> repoll"
+                }
+            )
+        });
+        must_wake
+    }
+
+    /// Returns `true` while activated.
+    pub fn is_active(&self) -> bool {
+        self.state == State::Active
+    }
+
+    /// A poll pass serviced `count` descriptors.
+    pub fn record_serviced(&mut self, count: u64) {
+        self.descriptors_serviced += count;
+    }
+
+    /// Attempts to suspend after an empty poll. Returns `false`
+    /// (staying active) if a doorbell rang during the poll — the caller
+    /// must poll again; `true` if the thread is now suspended (the
+    /// caller must have re-armed kick notifications *before* the final
+    /// empty poll, or submissions landing in the gap neither kick nor
+    /// get polled).
+    pub fn try_suspend(&mut self) -> bool {
+        let suspended = if std::mem::replace(&mut self.repoll_requested, false) {
+            false
+        } else {
+            self.state = State::Suspended;
+            true
+        };
+        self.trace.record(TraceKind::Sched, None, || {
+            format!(
+                "io.try_suspend {}",
+                if suspended {
+                    "suspended"
+                } else {
+                    "repoll pending"
+                }
+            )
+        });
+        suspended
+    }
+
+    /// The periodic watchdog found published avail entries (or stranded
+    /// completions) while the thread was suspended: the doorbell IPI
+    /// that should have activated it was lost. Returns `true` if the
+    /// thread was suspended and is now activated (the caller must
+    /// schedule it); `false` if it is already active — the in-flight
+    /// poll will pick the work up.
+    pub fn on_watchdog(&mut self) -> bool {
+        let must_wake = match self.state {
+            State::Suspended => {
+                self.state = State::Active;
+                self.activations += 1;
+                true
+            }
+            State::Active => false,
+        };
+        self.trace.record(TraceKind::Sched, None, || {
+            format!(
+                "io.watchdog {}",
+                if must_wake {
+                    "recovers lost doorbell"
+                } else {
+                    "thread already active"
+                }
+            )
+        });
+        must_wake
+    }
+
+    /// Cost of one poll pass over `n` queues (cache-line reads of the
+    /// shared avail indices).
+    pub fn poll_cost(n: usize, per_queue: SimDuration) -> SimDuration {
+        per_queue * (n.max(1) as u64)
+    }
+
+    /// Total doorbell/watchdog activations.
+    pub fn activations(&self) -> u64 {
+        self.activations
+    }
+
+    /// Total descriptors serviced across all polls.
+    pub fn descriptors_serviced(&self) -> u64 {
+        self.descriptors_serviced
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doorbell_coalesces_while_active() {
+        let mut t = IoThread::new(ThreadId(7));
+        assert!(t.on_doorbell());
+        assert!(!t.on_doorbell());
+        assert!(t.is_active());
+        // The coalesced ring forces one repoll before suspension sticks.
+        assert!(!t.try_suspend());
+        assert!(t.try_suspend());
+        assert!(t.on_doorbell());
+        assert_eq!(t.activations(), 2);
+    }
+
+    #[test]
+    fn watchdog_activates_only_when_suspended() {
+        let mut t = IoThread::new(ThreadId(7));
+        assert!(t.on_watchdog(), "suspended thread is recovered");
+        assert!(t.is_active());
+        assert!(!t.on_watchdog(), "active thread needs no recovery");
+        // No stale repoll request is left behind by the watchdog path.
+        assert!(t.try_suspend());
+        assert_eq!(t.activations(), 1);
+    }
+
+    #[test]
+    fn multiple_coalesced_rings_cause_exactly_one_extra_poll() {
+        let mut t = IoThread::new(ThreadId(7));
+        assert!(t.on_doorbell());
+        assert!(!t.on_doorbell());
+        assert!(!t.on_doorbell());
+        let mut polls = 0;
+        while !t.try_suspend() {
+            polls += 1;
+            assert!(polls < 10, "repoll requests must not self-renew");
+        }
+        assert_eq!(polls, 1, "coalesced rings trigger exactly one repoll");
+        assert!(!t.is_active());
+        assert_eq!(t.activations(), 1);
+    }
+
+    #[test]
+    fn poll_cost_scales_with_queues() {
+        let per = SimDuration::nanos(80);
+        assert_eq!(IoThread::poll_cost(0, per), per); // floor of one line
+        assert_eq!(IoThread::poll_cost(6, per), per * 6);
+    }
+
+    #[test]
+    fn serviced_accounting() {
+        let mut t = IoThread::new(ThreadId(7));
+        t.record_serviced(5);
+        t.record_serviced(2);
+        assert_eq!(t.descriptors_serviced(), 7);
+    }
+}

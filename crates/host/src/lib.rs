@@ -26,6 +26,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod hotplug;
+pub mod iothread;
 pub mod kvm;
 pub mod params;
 pub mod planner;
@@ -34,6 +35,7 @@ pub mod thread;
 pub mod vmm;
 pub mod wakeup;
 
+pub use iothread::IoThread;
 pub use kvm::{HostAction, KvmVm, VmExecMode};
 pub use params::HostParams;
 pub use planner::{CorePlanner, PlannerError};

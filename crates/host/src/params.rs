@@ -63,6 +63,10 @@ pub struct HostParams {
     pub virtio_blk_request: SimDuration,
     /// Per-byte virtio-blk copy cost, in nanoseconds per byte.
     pub virtio_blk_per_byte_ns: f64,
+    /// Guest-side cost of publishing one descriptor onto a shared-memory
+    /// virtqueue (table write + avail-ring update + index store) on the
+    /// virtio fast path, replacing the exit per kick.
+    pub virtio_desc_publish: SimDuration,
 
     // ----- devices -----
     /// One-way wire latency between the guest NIC and the benchmark peer.
@@ -102,6 +106,7 @@ impl HostParams {
             virtio_net_per_byte_ns: 0.06,
             virtio_blk_request: SimDuration::nanos(4_500),
             virtio_blk_per_byte_ns: 0.05,
+            virtio_desc_publish: SimDuration::nanos(350),
 
             nic_wire_latency: SimDuration::micros(4),
             nic_bandwidth_gbps: 200.0,

@@ -51,6 +51,10 @@ pub enum ThreadKind {
     Wakeup,
     /// A VMM I/O emulation thread bound to one device.
     VmmIo(DeviceId),
+    /// The dedicated I/O completion plane: polls the shared-memory
+    /// virtqueue avail rings of every fast-path device and drives their
+    /// backends, so guest kicks are doorbells instead of exits.
+    IoPlane,
     /// Generic host housekeeping / benchmark driver work.
     Housekeeping,
 }

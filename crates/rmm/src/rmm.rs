@@ -256,6 +256,10 @@ pub struct Rmm {
     realms: Vec<Option<Realm>>,
     coregap: CoreGap,
     platform_measurement: Measurement,
+    /// SPIs registered for local injection (fast-path completion
+    /// interrupts): delegated like the timer and IPIs, independent of
+    /// the blanket `direct_device_delivery` extension.
+    delegated_spis: std::collections::BTreeSet<u32>,
     counters: Counters,
     /// Structured trace sink, handed to each REC's virtual GIC
     /// (disabled by default).
@@ -278,6 +282,7 @@ impl Rmm {
             realms: Vec::new(),
             coregap: CoreGap::new(),
             platform_measurement: image,
+            delegated_spis: std::collections::BTreeSet::new(),
             counters: Counters::new(),
             trace: cg_sim::TraceHandle::disabled(),
             profiler: cg_sim::Profiler::disabled(),
@@ -314,6 +319,22 @@ impl Rmm {
     /// The active configuration.
     pub fn config(&self) -> &RmmConfig {
         &self.config
+    }
+
+    /// Registers `spi` for delegated (local, exit-free) injection: the
+    /// host nominates a fast-path device's completion interrupt at
+    /// setup, and the RMM thereafter injects it into the bound realm's
+    /// vGIC without a host round-trip.
+    pub fn delegate_spi(&mut self, spi: u32) {
+        if self.delegated_spis.insert(IntId::spi(spi).0) {
+            self.counters.incr("rmm.delegated.spi_registered");
+        }
+    }
+
+    /// Is `intid` a locally injected (delegated or direct-delivery) SPI?
+    fn spi_delegated(&self, intid: IntId) -> bool {
+        intid.is_spi()
+            && (self.config.direct_device_delivery || self.delegated_spis.contains(&intid.0))
     }
 
     /// The measured RMM image (goes into attestation tokens).
@@ -964,7 +985,7 @@ impl Rmm {
                 cost: params.realm_exit_trap + params.sysreg_trap_emulate + params.realm_enter,
             };
         }
-        if intid.is_spi() && self.config.direct_device_delivery {
+        if self.spi_delegated(intid) {
             // Direct device-interrupt delivery: inject the SPI locally.
             self.counters.incr("rmm.direct.device_irq");
             let rec = self.rec_mut(rec_id).expect("checked running");
@@ -1055,7 +1076,7 @@ impl Rmm {
                 cost: params.sysreg_trap_emulate + params.realm_enter,
             };
         }
-        if intid.is_spi() && self.config.direct_device_delivery {
+        if self.spi_delegated(intid) {
             self.counters.incr("rmm.direct.device_irq");
             let rec = self.rec_mut(rec_id).expect("idle rec exists");
             rec.vgic_mut().inject_local(intid);

@@ -63,6 +63,11 @@ pub struct FaultPlan {
     /// serving side is never notified and the channel sticks in
     /// `Requested` until the client times out and retries.
     pub wedge_request_p: f64,
+    /// Probability that a delegated virtio completion interrupt is
+    /// silently lost after the used-ring entry is posted. The guest
+    /// never learns its I/O finished — the lost-completion hole the I/O
+    /// watchdog rescan exists to close.
+    pub drop_completion_irq_p: f64,
 }
 
 impl FaultPlan {
@@ -78,6 +83,7 @@ impl FaultPlan {
             delay_response_p: 0.0,
             delay_response: SimDuration::ZERO,
             wedge_request_p: 0.0,
+            drop_completion_irq_p: 0.0,
         }
     }
 
@@ -90,6 +96,15 @@ impl FaultPlan {
         }
     }
 
+    /// A plan that only drops delegated completion interrupts, with
+    /// probability `p` — the `DropCompletionIrq` fault class.
+    pub fn completion_irq_loss(p: f64) -> FaultPlan {
+        FaultPlan {
+            drop_completion_irq_p: p,
+            ..FaultPlan::none()
+        }
+    }
+
     /// Returns `true` if any fault class can fire under this plan.
     pub fn is_active(&self) -> bool {
         self.drop_doorbell_p > 0.0
@@ -97,6 +112,7 @@ impl FaultPlan {
             || self.stall_host_p > 0.0
             || self.delay_response_p > 0.0
             || self.wedge_request_p > 0.0
+            || self.drop_completion_irq_p > 0.0
     }
 
     /// A stable digest of the plan, folded into the injector's RNG seed
@@ -120,6 +136,7 @@ impl FaultPlan {
         eat(self.delay_response_p.to_bits());
         eat(self.delay_response.as_nanos());
         eat(self.wedge_request_p.to_bits());
+        eat(self.drop_completion_irq_p.to_bits());
         h
     }
 }
@@ -244,6 +261,18 @@ impl FaultInjector {
         }
         hit
     }
+
+    /// Should this delegated completion interrupt be silently dropped?
+    pub fn drop_completion_irq(&mut self) -> bool {
+        if self.plan.drop_completion_irq_p <= 0.0 {
+            return false;
+        }
+        let hit = self.rng.chance(self.plan.drop_completion_irq_p);
+        if hit {
+            self.injected.incr("fault.completion_irq_dropped");
+        }
+        hit
+    }
 }
 
 #[cfg(test)]
@@ -260,6 +289,7 @@ mod tests {
             delay_response_p: 0.2,
             delay_response: SimDuration::micros(2),
             wedge_request_p: 0.1,
+            drop_completion_irq_p: 0.2,
         }
     }
 
@@ -273,6 +303,7 @@ mod tests {
             assert!(inj.host_stall().is_none());
             assert!(inj.response_delay().is_none());
             assert!(!inj.wedge_request());
+            assert!(!inj.drop_completion_irq());
         }
         assert_eq!(inj.total_injected(), 0);
     }
@@ -287,6 +318,7 @@ mod tests {
             assert_eq!(a.host_stall(), b.host_stall());
             assert_eq!(a.response_delay(), b.response_delay());
             assert_eq!(a.wedge_request(), b.wedge_request());
+            assert_eq!(a.drop_completion_irq(), b.drop_completion_irq());
         }
         assert_eq!(a.total_injected(), b.total_injected());
         assert!(a.total_injected() > 0);
@@ -346,6 +378,7 @@ mod tests {
             inj.host_stall();
             inj.response_delay();
             inj.wedge_request();
+            inj.drop_completion_irq();
         }
         let c = inj.injected();
         assert!(c.get("fault.doorbell_dropped") > 0);
@@ -353,6 +386,7 @@ mod tests {
         assert!(c.get("fault.host_stalls") > 0);
         assert!(c.get("fault.response_delayed") > 0);
         assert!(c.get("fault.request_wedged") > 0);
+        assert!(c.get("fault.completion_irq_dropped") > 0);
         assert_eq!(
             inj.total_injected(),
             c.get("fault.doorbell_dropped")
@@ -360,6 +394,7 @@ mod tests {
                 + c.get("fault.host_stalls")
                 + c.get("fault.response_delayed")
                 + c.get("fault.request_wedged")
+                + c.get("fault.completion_irq_dropped")
         );
     }
 

@@ -58,6 +58,17 @@ pub enum SpanKind {
     /// One periodic watchdog rescan of the run channels — the backstop
     /// that closes the dropped-doorbell lost-wakeup hole.
     WatchdogScan,
+    /// Guest-side virtqueue submission: descriptor publish plus the
+    /// kick decision (and doorbell ring, when not suppressed).
+    VirtioKick,
+    /// The I/O plane driving a device backend for one drained batch.
+    VirtioBackend,
+    /// A completion posted to a used ring with its delegated interrupt
+    /// decision (zero-length: completion posting is event-edge work).
+    VirtioComplete,
+    /// One I/O-plane poll pass over every fast-path device's avail
+    /// rings.
+    IoPoll,
     /// A free-form phase marker opened by [`SpanGuard`].
     Phase,
 }
@@ -76,6 +87,10 @@ impl SpanKind {
             SpanKind::WakeupScan => "wakeup.scan",
             SpanKind::RpcRetry => "rpc.retry",
             SpanKind::WatchdogScan => "wakeup.watchdog_scan",
+            SpanKind::VirtioKick => "virtio.kick",
+            SpanKind::VirtioBackend => "virtio.backend",
+            SpanKind::VirtioComplete => "virtio.complete",
+            SpanKind::IoPoll => "io.poll",
             SpanKind::Phase => "phase",
         }
     }

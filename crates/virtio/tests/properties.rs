@@ -1,0 +1,196 @@
+//! Property tests for virtqueue index arithmetic: free-running u16
+//! wraparound at ring-size boundaries and EVENT_IDX suppression
+//! soundness under arbitrary producer/consumer interleavings.
+
+use cg_machine::GranuleAddr;
+use cg_virtio::{need_event, Descriptor, QueueLayout, VirtQueue};
+use proptest::prelude::*;
+
+/// One step of an arbitrary driver/device interleaving.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Driver submits a descriptor (and takes the kick decision).
+    Push,
+    /// Device drains the avail ring and completes every entry (taking
+    /// the interrupt decision per completion).
+    DeviceDrain,
+    /// Device goes idle: re-arms `avail_event`.
+    DeviceIdle,
+    /// Driver drains the used ring: recycles descriptors, re-arms
+    /// `used_event`.
+    DriverDrain,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => Just(Op::Push),
+        2 => Just(Op::DeviceDrain),
+        1 => Just(Op::DeviceIdle),
+        2 => Just(Op::DriverDrain),
+    ]
+}
+
+fn queue(size: u16, event_idx: bool, start: u16) -> VirtQueue {
+    let layout = QueueLayout::new(GranuleAddr::new(0x8000_0000).unwrap(), size);
+    VirtQueue::seeded_at(layout, size, event_idx, start)
+}
+
+/// Drives `ops` through a queue, modelling the out-of-band signals: a
+/// kick wakes the device (pending until it drains), an interrupt makes
+/// the driver drain at its next opportunity. Returns
+/// (submitted cookies, completed cookies, kick count, irq count).
+fn run_interleaving(q: &mut VirtQueue, ops: &[Op]) -> (Vec<u64>, Vec<u64>, u64, u64) {
+    let mut next_cookie = 0u64;
+    let mut submitted = Vec::new();
+    let mut completed = Vec::new();
+    let mut device_awake = true;
+    let mut irq_pending = false;
+
+    for &op in ops {
+        match op {
+            Op::Push => {
+                if q.push(Descriptor::net(64, next_cookie)).is_ok() {
+                    submitted.push(next_cookie);
+                    next_cookie += 1;
+                    if q.should_kick() {
+                        device_awake = true;
+                    }
+                }
+            }
+            Op::DeviceDrain => {
+                if device_awake {
+                    for d in q.pop_avail_batch() {
+                        q.push_used(d);
+                        if q.should_interrupt() {
+                            irq_pending = true;
+                        }
+                    }
+                }
+            }
+            Op::DeviceIdle => {
+                if device_awake && q.avail_len() == 0 {
+                    q.enable_kicks();
+                    device_awake = false;
+                }
+            }
+            Op::DriverDrain => {
+                if irq_pending {
+                    irq_pending = false;
+                    for d in q.consume_used() {
+                        completed.push(d.cookie);
+                    }
+                }
+            }
+        }
+    }
+    // Quiesce: let the pending signals play out so every in-flight
+    // descriptor finishes. Correctness requires the signals alone to
+    // drive this — no spontaneous polls.
+    for _ in 0..4 {
+        if device_awake {
+            for d in q.pop_avail_batch() {
+                q.push_used(d);
+                if q.should_interrupt() {
+                    irq_pending = true;
+                }
+            }
+            if q.avail_len() == 0 {
+                q.enable_kicks();
+                device_awake = false;
+            }
+        }
+        if irq_pending {
+            irq_pending = false;
+            for d in q.consume_used() {
+                completed.push(d.cookie);
+            }
+        }
+        if q.used_len() > 0 && !irq_pending && !device_awake {
+            // A completion whose interrupt was suppressed must leave an
+            // earlier interrupt pending — checked by the caller via the
+            // completed set; nothing to do here.
+            break;
+        }
+    }
+    let stats = q.stats();
+    (submitted, completed, stats.kicks, stats.irqs)
+}
+
+proptest! {
+    /// Under any interleaving, notification suppression never loses
+    /// work: every submitted descriptor completes, in FIFO order,
+    /// driven purely by kick/interrupt signals.
+    #[test]
+    fn suppression_never_loses_descriptors(
+        ops in prop::collection::vec(op_strategy(), 1..400),
+        start in 0u16..=u16::MAX,
+        size_log in 2u32..9,
+    ) {
+        let size = 1u16 << size_log;
+        let mut q = queue(size, true, start);
+        // Device starts idle with kicks armed, as after boot.
+        q.enable_kicks();
+        let (submitted, completed, _, _) = run_interleaving(&mut q, &ops);
+        prop_assert_eq!(&completed, &submitted,
+            "every submission must complete, in order");
+        prop_assert_eq!(q.in_flight(), 0);
+    }
+
+    /// EVENT_IDX on and off deliver the identical descriptor sequence;
+    /// suppression only ever removes notifications, never adds them.
+    #[test]
+    fn ablation_changes_notifications_not_payloads(
+        ops in prop::collection::vec(op_strategy(), 1..400),
+        start in 0u16..=u16::MAX,
+    ) {
+        let mut with = queue(64, true, start);
+        with.enable_kicks();
+        let mut without = queue(64, false, start);
+        without.enable_kicks();
+        let (sub_a, done_a, kicks_a, irqs_a) = run_interleaving(&mut with, &ops);
+        let (sub_b, done_b, kicks_b, irqs_b) = run_interleaving(&mut without, &ops);
+        prop_assert_eq!(sub_a, sub_b);
+        prop_assert_eq!(done_a, done_b);
+        prop_assert!(kicks_a <= kicks_b,
+            "suppression may only reduce kicks ({kicks_a} > {kicks_b})");
+        prop_assert!(irqs_a <= irqs_b,
+            "suppression may only reduce irqs ({irqs_a} > {irqs_b})");
+    }
+
+    /// In-flight accounting survives index wraparound: the queue
+    /// rejects pushes exactly when `size` descriptors are outstanding,
+    /// wherever the free-running indices sit.
+    #[test]
+    fn ring_full_exact_at_any_index(
+        start in 0u16..=u16::MAX,
+        size_log in 0u32..8,
+    ) {
+        let size = 1u16 << size_log;
+        let mut q = queue(size, true, start);
+        for i in 0..size {
+            prop_assert!(q.push(Descriptor::net(64, u64::from(i))).is_ok());
+        }
+        prop_assert!(q.push(Descriptor::net(64, 999)).is_err());
+        prop_assert_eq!(q.in_flight(), size);
+        // Recycle one descriptor end-to-end; capacity returns.
+        let d = q.pop_avail().unwrap();
+        q.push_used(d);
+        q.should_interrupt();
+        prop_assert_eq!(q.consume_used().len(), 1);
+        prop_assert!(q.push(Descriptor::net(64, 999)).is_ok());
+        prop_assert!(q.push(Descriptor::net(64, 1000)).is_err());
+    }
+
+    /// The spec predicate: notify iff `event` lies in the half-open
+    /// wrapping window `(old, new]`.
+    #[test]
+    fn need_event_is_window_membership(
+        event in 0u16..=u16::MAX,
+        old in 0u16..=u16::MAX,
+        advance in 0u16..1024,
+    ) {
+        let new = old.wrapping_add(advance);
+        let in_window = event.wrapping_sub(old).wrapping_sub(1) < advance;
+        prop_assert_eq!(need_event(event, new, old), in_window);
+    }
+}

@@ -57,6 +57,16 @@ for p in sys.argv[1:]:
     ./target/release/fault_sweep --quick --json "$tmp/$run.json" >/dev/null
   done
   cmp "$tmp/fa.json" "$tmp/fb.json"
+
+  echo "== io_fastpath smoke (I/O-plane runs must be byte-identical) =="
+  for run in ia ib; do
+    ./target/release/io_fastpath --quick --json "$tmp/$run.json" >/dev/null
+  done
+  cmp "$tmp/ia.json" "$tmp/ib.json"
+
+  echo "== cargo doc (deny warnings; vendored stand-ins excluded) =="
+  RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet \
+    --exclude rand --exclude proptest --exclude criterion --exclude serde
 fi
 
 echo "== all checks passed =="

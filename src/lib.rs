@@ -25,4 +25,5 @@ pub use cg_machine as machine;
 pub use cg_rmm as rmm;
 pub use cg_rpc as rpc;
 pub use cg_sim as sim;
+pub use cg_virtio as virtio;
 pub use cg_workloads as workloads;

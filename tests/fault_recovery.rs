@@ -102,6 +102,7 @@ fn combined_fault_plan_still_completes() {
         delay_response_p: 0.10,
         delay_response: SimDuration::micros(20),
         wedge_request_p: 0.02,
+        drop_completion_irq_p: 0.0,
     };
     let r = run_fault_sweep(
         plan,
