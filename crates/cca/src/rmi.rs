@@ -147,6 +147,29 @@ pub enum RmiCall {
         /// Granule holding the shared run area.
         run: GranuleAddr,
     },
+    /// Establishes an attested inter-CVM shared-memory channel between
+    /// two realms: the RMM validates the realm pair against its channel
+    /// policy, maps the window into both realms' unprotected halves, and
+    /// delegates the doorbell SPI for realm-core → realm-core
+    /// notification.
+    IvcChannelCreate {
+        /// Channel identifier chosen by the host (unique per machine).
+        channel: u32,
+        /// First endpoint realm.
+        realm_a: RealmId,
+        /// Second endpoint realm.
+        realm_b: RealmId,
+        /// Base of the non-secure window to share (granule-aligned).
+        window: GranuleAddr,
+        /// The doorbell SPI to delegate for this channel.
+        spi: u32,
+    },
+    /// Tears down an inter-CVM channel: unmaps the window from both
+    /// realms and undelegates the doorbell SPI.
+    IvcChannelDestroy {
+        /// The channel to destroy.
+        channel: u32,
+    },
 }
 
 impl RmiCall {
@@ -167,6 +190,8 @@ impl RmiCall {
             RmiCall::RttMapUnprotected { .. } => 0x0F,
             RmiCall::RttUnmapUnprotected { .. } => 0x11,
             RmiCall::RecEnter { .. } => 0x0C,
+            RmiCall::IvcChannelCreate { .. } => 0x20,
+            RmiCall::IvcChannelDestroy { .. } => 0x21,
         }
     }
 
@@ -240,6 +265,22 @@ impl RmiCall {
                 args[1] = rec.index as u64;
                 args[2] = run.as_u64();
             }
+            RmiCall::IvcChannelCreate {
+                channel,
+                realm_a,
+                realm_b,
+                window,
+                spi,
+            } => {
+                args[0] = channel as u64;
+                args[1] = realm_a.0 as u64;
+                args[2] = realm_b.0 as u64;
+                args[3] = window.as_u64();
+                args[4] = spi as u64;
+            }
+            RmiCall::IvcChannelDestroy { channel } => {
+                args[0] = channel as u64;
+            }
         }
         SmcCall {
             function: SmcFunction::Rmi(self.opcode()),
@@ -307,6 +348,16 @@ impl RmiCall {
                 rec: RecId::new(RealmId(a[0] as u32), a[1] as u32),
                 run: g(a[2])?,
             },
+            0x20 => RmiCall::IvcChannelCreate {
+                channel: a[0] as u32,
+                realm_a: RealmId(a[1] as u32),
+                realm_b: RealmId(a[2] as u32),
+                window: g(a[3])?,
+                spi: a[4] as u32,
+            },
+            0x21 => RmiCall::IvcChannelDestroy {
+                channel: a[0] as u32,
+            },
             _ => return None,
         })
     }
@@ -349,6 +400,20 @@ impl fmt::Display for RmiCall {
                 write!(f, "RMI_RTT_UNMAP_UNPROTECTED({realm}, ipa={ipa:#x})")
             }
             RmiCall::RecEnter { rec, .. } => write!(f, "RMI_REC_ENTER({rec})"),
+            RmiCall::IvcChannelCreate {
+                channel,
+                realm_a,
+                realm_b,
+                ..
+            } => {
+                write!(
+                    f,
+                    "RMI_IVC_CHANNEL_CREATE(ch{channel}, {realm_a}<->{realm_b})"
+                )
+            }
+            RmiCall::IvcChannelDestroy { channel } => {
+                write!(f, "RMI_IVC_CHANNEL_DESTROY(ch{channel})")
+            }
         }
     }
 }
@@ -503,6 +568,14 @@ mod tests {
                 rec: RecId::new(r, 0),
                 run: g,
             },
+            RmiCall::IvcChannelCreate {
+                channel: 0,
+                realm_a: r,
+                realm_b: RealmId(1),
+                window: g,
+                spi: 40,
+            },
+            RmiCall::IvcChannelDestroy { channel: 0 },
         ];
         let opcodes: HashSet<u16> = calls.iter().map(|c| c.opcode()).collect();
         assert_eq!(opcodes.len(), calls.len());
@@ -565,6 +638,14 @@ mod tests {
                 rec: RecId::new(r, 1),
                 run: g,
             },
+            RmiCall::IvcChannelCreate {
+                channel: 3,
+                realm_a: r,
+                realm_b: RealmId(6),
+                window: g,
+                spi: 41,
+            },
+            RmiCall::IvcChannelDestroy { channel: 3 },
         ];
         for call in calls {
             let smc = call.to_smc();

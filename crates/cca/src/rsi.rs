@@ -27,6 +27,13 @@ pub enum RsiCall {
         /// Hypercall immediate / function.
         imm: u32,
     },
+    /// Queries the realm's view of an inter-CVM channel: who the peer
+    /// is and which doorbell SPI the RMM delegated — the guest-side
+    /// half of the attested IVC handshake.
+    IvcInfo {
+        /// The channel to query.
+        channel: u32,
+    },
 }
 
 impl fmt::Display for RsiCall {
@@ -38,6 +45,7 @@ impl fmt::Display for RsiCall {
             }
             RsiCall::RealmConfig => write!(f, "RSI_REALM_CONFIG"),
             RsiCall::HostCall { imm } => write!(f, "RSI_HOST_CALL({imm})"),
+            RsiCall::IvcInfo { channel } => write!(f, "RSI_IVC_INFO(ch{channel})"),
         }
     }
 }
@@ -57,6 +65,15 @@ pub enum RsiResult {
     /// The host call completed (the host's reply travels through shared
     /// memory, not this result).
     HostCallDone,
+    /// Inter-CVM channel info: the peer realm's measurement (so the
+    /// guest can verify who it shares memory with) and the delegated
+    /// doorbell SPI.
+    IvcChannel {
+        /// Measurement of the realm on the other end of the channel.
+        peer_measurement: crate::measure::Measurement,
+        /// The doorbell SPI the RMM delegated for this channel.
+        spi: u32,
+    },
     /// The call failed.
     Error,
 }
@@ -86,5 +103,14 @@ mod tests {
         assert!(RsiResult::Version(1, 0).is_success());
         assert!(RsiResult::HostCallDone.is_success());
         assert!(!RsiResult::Error.is_success());
+        assert!(RsiResult::IvcChannel {
+            peer_measurement: crate::measure::Measurement::ZERO,
+            spi: 40,
+        }
+        .is_success());
+        assert_eq!(
+            RsiCall::IvcInfo { channel: 2 }.to_string(),
+            "RSI_IVC_INFO(ch2)"
+        );
     }
 }

@@ -336,6 +336,18 @@ impl System {
             io_fastpath,
         });
 
+        // Requested inter-CVM pairing: both realms are active by now (the
+        // peer was built by an earlier add_vm, this one just above), so
+        // the handshake binds to final measurements.
+        if let Some(p) = spec.ivc_peer {
+            let peer_vm = VmId(p.peer_vm as usize);
+            if peer_vm == vm_id || peer_vm.0 >= self.vms.len() {
+                return Err(format!("ivc_peer {} does not exist yet", p.peer_vm));
+            }
+            self.allow_ivc_pair(vm_id, peer_vm)?;
+            self.connect_ivc(vm_id, peer_vm, p.channel)?;
+        }
+
         // Start executing: host cores pick up the new runnable threads.
         for core in self.host_cores() {
             self.dispatch(core);
@@ -499,9 +511,148 @@ impl System {
         ))
     }
 
-    /// Tears down a finished VM: destroys its RECs and realm, reclaims
-    /// dedicated cores (hotplugging them back online), and returns them
-    /// to the planner pool.
+    /// Establishes the attestation-gated pairing policy entry for two
+    /// confidential VMs: the RMM will only honour `IVC_CHANNEL_CREATE`
+    /// for realm pairs whose *measurements* were explicitly allowed, so
+    /// a host swapping in a different image voids the pairing.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either VM is not confidential.
+    pub fn allow_ivc_pair(&mut self, a: VmId, b: VmId) -> Result<(), String> {
+        for &v in &[a, b] {
+            if !self.vms[v.0].kvm.mode().is_confidential() {
+                return Err(format!("{v} is not confidential: nothing to attest"));
+            }
+        }
+        let ma = self
+            .rmm
+            .realm(self.vms[a.0].kvm.realm())
+            .ok_or_else(|| "realm not found".to_owned())?
+            .measurement();
+        let mb = self
+            .rmm
+            .realm(self.vms[b.0].kvm.realm())
+            .ok_or_else(|| "realm not found".to_owned())?
+            .measurement();
+        self.rmm.allow_ivc_pair(ma, mb);
+        Ok(())
+    }
+
+    /// Establishes an attested inter-CVM shared-memory channel between
+    /// two core-gapped VMs: builds the RTT chain covering the shared
+    /// window in both realms' unprotected halves, then issues
+    /// `IVC_CHANNEL_CREATE` so the RMM validates the measurement pair,
+    /// maps the window into both realms, and delegates the doorbell SPI
+    /// for realm-core → realm-core notification.
+    ///
+    /// Both realms must already be active (measurements final) — call
+    /// after both `add_vm`s — and the pair must have been allowed via
+    /// [`System::allow_ivc_pair`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when either VM is not core-gapped, the channel
+    /// id is in use, or any RMI step fails (e.g. the measurement pair
+    /// was not allowed).
+    pub fn connect_ivc(&mut self, a: VmId, b: VmId, channel: u32) -> Result<(), String> {
+        if a == b {
+            return Err("a channel needs two distinct VMs".into());
+        }
+        for &v in &[a, b] {
+            if self.vms[v.0].kvm.mode() != VmExecMode::CoreGapped {
+                return Err(format!("{v} is not core-gapped"));
+            }
+        }
+        if self.ivc.iter().any(|c| c.channel == channel) {
+            return Err(format!("channel {channel} already connected"));
+        }
+        // One shared-window region per channel, disjoint from realm data
+        // (0x1_...) and virtqueue (0x8_...) regions. The ring window is
+        // the first IVC_WINDOW_GRANULES granules; the RTT table granules
+        // for both realms' unprotected chains follow it.
+        let window_pa = 0xC_0000_0000u64 + (channel as u64) * 0x1000_0000;
+        let window = GranuleAddr::new(window_pa).expect("granule aligned");
+        let window_ipa = cg_rmm::rtt::UNPROTECTED_BIT | window_pa;
+        let spi = self.alloc_spi();
+        let rmi = |sys: &mut System, call: RmiCall| -> Result<(), String> {
+            let out = sys.rmm.handle_rmi(CoreId(0), call, &mut sys.machine);
+            sys.metrics.counters.incr("setup.rmi_calls");
+            if out.status.is_success() {
+                Ok(())
+            } else {
+                Err(format!("{call} failed: {:?}", out.status))
+            }
+        };
+        let mut table = cg_ivc::IVC_WINDOW_GRANULES;
+        for &v in &[a, b] {
+            let realm = self.vms[v.0].kvm.realm();
+            // Only build the levels this realm's unprotected chain is
+            // actually missing: an earlier channel's window may already
+            // share the upper tables.
+            let missing = self
+                .rmm
+                .realm(realm)
+                .ok_or_else(|| "realm not found".to_owned())?
+                .rtt()
+                .missing_levels(window_ipa);
+            for lvl in missing {
+                let g = window.offset(table);
+                table += 1;
+                rmi(self, RmiCall::GranuleDelegate { addr: g })?;
+                rmi(
+                    self,
+                    RmiCall::RttCreate {
+                        realm,
+                        rtt: g,
+                        ipa: window_ipa,
+                        level: lvl,
+                    },
+                )?;
+            }
+        }
+        let realm_a = self.vms[a.0].kvm.realm();
+        let realm_b = self.vms[b.0].kvm.realm();
+        // The doorbell SPI's nominal GIC route: the exec layer signals
+        // the consumer's dedicated core directly per message, so the
+        // route only matters as a default.
+        let route = self.vms[b.0].vcpus[0].core;
+        self.machine.gic_mut().route_spi(spi, route);
+        rmi(
+            self,
+            RmiCall::IvcChannelCreate {
+                channel,
+                realm_a,
+                realm_b,
+                window,
+                spi,
+            },
+        )?;
+        let ring_cap = 256u16;
+        self.ivc.push(crate::system::IvcChannelRt {
+            channel,
+            spi,
+            a_to_b: crate::system::IvcDirRt {
+                from: (a, 0),
+                to: (b, 0),
+                ring: cg_ivc::MsgRing::new(ring_cap),
+                published_at: None,
+            },
+            b_to_a: crate::system::IvcDirRt {
+                from: (b, 0),
+                to: (a, 0),
+                ring: cg_ivc::MsgRing::new(ring_cap),
+                published_at: None,
+            },
+        });
+        self.metrics.counters.incr("setup.ivc_channels");
+        Ok(())
+    }
+
+    /// Tears down a finished VM: destroys its inter-CVM channels and
+    /// RECs and realm, undelegates its fast-path completion SPIs,
+    /// reclaims dedicated cores (hotplugging them back online), and
+    /// returns them to the planner pool.
     ///
     /// # Errors
     ///
@@ -519,6 +670,36 @@ impl System {
             if self.vms[vm.0].run_channels[i].abort().is_some() {
                 self.metrics.counters.incr("chan.aborts");
             }
+        }
+        // Inter-CVM channels die with either endpoint: the RMM unmaps
+        // the window from both realms and undelegates the doorbell SPI.
+        let dead: Vec<u32> = self
+            .ivc
+            .iter()
+            .filter(|c| c.a_to_b.from.0 == vm || c.a_to_b.to.0 == vm)
+            .map(|c| c.channel)
+            .collect();
+        for channel in dead {
+            let out = self.rmm.handle_rmi(
+                CoreId(0),
+                RmiCall::IvcChannelDestroy { channel },
+                &mut self.machine,
+            );
+            if !out.status.is_success() {
+                return Err(format!("IVC_CHANNEL_DESTROY failed: {:?}", out.status));
+            }
+            self.ivc.retain(|c| c.channel != channel);
+        }
+        // Undelegate fast-path completion SPIs: without this, a later
+        // VM reusing the SPI number would inherit delegated injection.
+        let fastpath_spis: Vec<u32> = self.vms[vm.0]
+            .devices
+            .iter()
+            .filter(|d| d.fastpath())
+            .map(|d| d.spi)
+            .collect();
+        for spi in fastpath_spis {
+            self.rmm.undelegate_spi(spi);
         }
         if mode.is_confidential() {
             for i in 0..self.vms[vm.0].kvm.num_vcpus() {

@@ -146,6 +146,18 @@ impl Default for SystemConfig {
     }
 }
 
+/// Requested inter-CVM channel pairing for a VM: connect this VM's
+/// vCPU 0 to `peer_vm`'s vCPU 0 over attested shared-memory channel
+/// `channel`. The builder issues the `IVC_CHANNEL_CREATE` handshake
+/// once both VMs are active (only one side needs to carry the spec).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IvcPeerSpec {
+    /// Index (creation order) of the peer VM to pair with.
+    pub peer_vm: u32,
+    /// Channel identifier; also selects the shared-window region.
+    pub channel: u32,
+}
+
 /// Per-VM configuration.
 ///
 /// # Example
@@ -183,6 +195,10 @@ pub struct VmSpec {
     /// queues. `false` is the suppression ablation: every descriptor
     /// publish kicks and every completion interrupts.
     pub io_event_idx: bool,
+    /// Optional inter-CVM channel pairing: connect this VM to a peer
+    /// realm over an attested shared-memory channel (core-gapped mode
+    /// only).
+    pub ivc_peer: Option<IvcPeerSpec>,
 }
 
 impl VmSpec {
@@ -196,6 +212,7 @@ impl VmSpec {
             vcpu_cores: None,
             io_fastpath: false,
             io_event_idx: true,
+            ivc_peer: None,
         }
     }
 
@@ -209,6 +226,7 @@ impl VmSpec {
             vcpu_cores: None,
             io_fastpath: false,
             io_event_idx: true,
+            ivc_peer: None,
         }
     }
 
@@ -222,6 +240,7 @@ impl VmSpec {
             vcpu_cores: None,
             io_fastpath: false,
             io_event_idx: true,
+            ivc_peer: None,
         }
     }
 
@@ -254,6 +273,13 @@ impl VmSpec {
     /// (the suppression ablation).
     pub fn without_event_idx(mut self) -> VmSpec {
         self.io_event_idx = false;
+        self
+    }
+
+    /// Pairs this VM with `peer_vm` over attested inter-CVM channel
+    /// `channel` (core-gapped mode only; one side carries the spec).
+    pub fn with_ivc_peer(mut self, peer_vm: u32, channel: u32) -> VmSpec {
+        self.ivc_peer = Some(IvcPeerSpec { peer_vm, channel });
         self
     }
 }

@@ -34,6 +34,15 @@ pub(crate) enum GuestCont {
     VirtioKick { device: u32, notify: bool },
     /// A delegated cross-core IPI completes: ring the target core.
     IpiSendDone { target_core: CoreId },
+    /// An inter-CVM channel publish completes: ring the channel's
+    /// doorbell SPI at the consumer's dedicated core (unless the
+    /// consumer suppressed notifications) — no host exit either way.
+    IvcPublish {
+        channel: u32,
+        spi: u32,
+        notify: bool,
+        target_core: CoreId,
+    },
     /// The exit record is ready: hand it to the host.
     ExitPost { exit: RecExit },
 }
@@ -863,6 +872,11 @@ impl System {
     pub(crate) fn ring_io_doorbell(&mut self) {
         self.metrics.counters.incr("virtio.doorbell_rings");
         if self.io_doorbell.ring() {
+            // Stamp the latch write: the watchdog uses the stamp's age
+            // to tell an IPI still in flight from a dropped one. The
+            // stamp is host-visible state (the latch line itself), so
+            // it is written whether or not the IPI survives.
+            self.io_kick_rung_at = Some(self.queue.now());
             if self.fault.drop_doorbell() {
                 self.metrics.counters.incr("fault.doorbell_dropped");
             } else {
@@ -959,10 +973,24 @@ impl System {
             }
             let io = self.iothread.as_mut().expect("io thread exists");
             if io.try_suspend() {
-                self.set_cont(tid, ThreadCont::IoIdle);
-                self.sched.block_current(core);
-                self.cores[core.index()].run = CoreRun::HostIdle;
-                self.dispatch(core);
+                // Re-check after arm: a kick published between the
+                // final poll's ring reads and the suspend commit would
+                // otherwise strand until the watchdog grace period.
+                // Notifications are armed above, so anything that
+                // slipped in is visible now — take one more pass
+                // instead of sleeping on it.
+                if self.fastpath_work_pending() {
+                    self.metrics.counters.incr("io.suspend_races");
+                    let io = self.iothread.as_mut().expect("io thread exists");
+                    io.on_doorbell(); // flip straight back to Active
+                    self.set_cont(tid, ThreadCont::IoPoll);
+                    self.begin_thread(core, tid);
+                } else {
+                    self.set_cont(tid, ThreadCont::IoIdle);
+                    self.sched.block_current(core);
+                    self.cores[core.index()].run = CoreRun::HostIdle;
+                    self.dispatch(core);
+                }
             } else {
                 self.set_cont(tid, ThreadCont::IoPoll);
                 self.begin_thread(core, tid);
@@ -1289,6 +1317,9 @@ impl System {
                 .guest
                 .on_irq(vcpu, GuestIrq::Ipi { sgi: vintid.0 }, now);
         } else if vintid.is_spi() {
+            if self.deliver_ivc_virq(vm, vcpu, vintid, now) {
+                return;
+            }
             // Find the device and drain its queues.
             let dev_idx = self.vms[vm.0]
                 .devices
@@ -1340,6 +1371,81 @@ impl System {
                 }
             }
         }
+    }
+
+    /// Guest-side drain of an inter-CVM channel ring when its doorbell
+    /// SPI reaches the consumer. Returns `true` if `vintid` belonged to
+    /// a channel this (vm, vcpu) is an endpoint of; every buffered
+    /// message becomes a [`GuestIrq::IvcRecv`] and the ring is re-armed
+    /// so the producer's next publish rings again.
+    fn deliver_ivc_virq(&mut self, vm: VmId, vcpu: u32, vintid: IntId, now: SimTime) -> bool {
+        let Some(slot) = self
+            .ivc
+            .iter()
+            .position(|c| IntId::spi(c.spi) == vintid)
+            .filter(|&i| self.ivc[i].dir_to_mut(vm, vcpu).is_some())
+        else {
+            return false;
+        };
+        let channel = self.ivc[slot].channel;
+        let msgs = {
+            let dir = self.ivc[slot].dir_to_mut(vm, vcpu).expect("checked above");
+            let msgs = dir.ring.drain();
+            dir.ring.arm();
+            dir.published_at = None;
+            msgs
+        };
+        if !msgs.is_empty() {
+            self.metrics
+                .counters
+                .add("ivc.messages_drained", msgs.len() as u64);
+            let realm = self.vms[vm.0].kvm.realm();
+            let core = self.vms[vm.0].vcpus[vcpu as usize].core;
+            self.profiler.record_span(
+                cg_sim::SpanKind::IvcDrain,
+                Some(core.0),
+                Some(realm.0),
+                Some(vcpu),
+                now,
+                now,
+            );
+        }
+        for m in msgs {
+            self.vms[vm.0].guest.on_irq(
+                vcpu,
+                GuestIrq::IvcRecv {
+                    channel,
+                    bytes: m.bytes,
+                    seq: m.seq,
+                },
+                now,
+            );
+        }
+        true
+    }
+
+    /// Pick where a host-forged (misrouted) IVC doorbell lands: the
+    /// first core running (or idling) a guest vCPU that is *not* an
+    /// endpoint of `channel` — the attack the RMM's per-channel
+    /// endpoint check must defeat. Falls back to the nominal target so
+    /// a forge with no third party degenerates to a plain delivery.
+    fn forged_doorbell_target(&self, channel: u32, nominal: CoreId) -> Option<CoreId> {
+        let ch = self.ivc.iter().find(|c| c.channel == channel)?;
+        let is_endpoint = |vm: VmId, vcpu: u32| {
+            let ep = (vm, vcpu);
+            ch.a_to_b.from == ep || ch.a_to_b.to == ep || ch.b_to_a.from == ep || ch.b_to_a.to == ep
+        };
+        for (i, c) in self.cores.iter().enumerate() {
+            match c.run {
+                CoreRun::Guest { vm, vcpu } | CoreRun::GuestWfi { vm, vcpu }
+                    if !is_endpoint(vm, vcpu) =>
+                {
+                    return Some(CoreId(i as u16));
+                }
+                _ => {}
+            }
+        }
+        Some(nominal)
     }
 
     /// Guest-side drain of `vcpu`'s used rings on a delegated completion
@@ -1709,6 +1815,71 @@ impl System {
                     .run_compute(core, domain, SimDuration::micros(5));
                 self.start_guest_segment(core, wall, SimDuration::ZERO, GuestCont::OpDone);
             }
+            GuestOp::IvcSend {
+                channel,
+                bytes,
+                seq,
+            } => {
+                // Publish into the channel's shared-window ring. The
+                // window is realm-shared memory the RMM mapped into both
+                // realms, so the write is an ordinary store plus a ring
+                // index update — the payload copy is the guest's own
+                // buffer work, already charged by the workload.
+                let Some(slot) = self
+                    .ivc
+                    .iter()
+                    .position(|c| c.channel == channel)
+                    .filter(|&i| self.ivc[i].dir_from_mut(vm, vcpu).is_some())
+                else {
+                    // Not an endpoint (or no such channel): the op is a
+                    // guest bug; drop it rather than wedge the vCPU.
+                    self.metrics.counters.incr("ivc.send_unconnected");
+                    self.start_guest_segment(
+                        core,
+                        SimDuration::nanos(50),
+                        SimDuration::ZERO,
+                        GuestCont::OpDone,
+                    );
+                    return;
+                };
+                let spi = self.ivc[slot].spi;
+                let now = self.queue.now();
+                let (notify, target) = {
+                    let dir = self.ivc[slot]
+                        .dir_from_mut(vm, vcpu)
+                        .expect("checked above");
+                    if dir.ring.publish(cg_ivc::IvcMsg { bytes, seq }).is_err() {
+                        // Backpressure: the consumer is far behind. Drop
+                        // and count; the producer's pacing (or the test)
+                        // must absorb this.
+                        self.metrics.counters.incr("ivc.ring_full");
+                        self.start_guest_segment(
+                            core,
+                            SimDuration::nanos(50),
+                            SimDuration::ZERO,
+                            GuestCont::OpDone,
+                        );
+                        return;
+                    }
+                    if dir.published_at.is_none() {
+                        dir.published_at = Some(now);
+                    }
+                    (dir.ring.should_ring(), dir.to)
+                };
+                self.metrics.counters.incr("ivc.messages_sent");
+                let target_core = self.vms[target.0 .0].vcpus[target.1 as usize].core;
+                self.start_guest_segment(
+                    core,
+                    hw.mailbox_write,
+                    SimDuration::ZERO,
+                    GuestCont::IvcPublish {
+                        channel,
+                        spi,
+                        notify,
+                        target_core,
+                    },
+                );
+            }
             GuestOp::Shutdown => {
                 if mode.is_confidential() {
                     match self.guest_event_disposition(core, vm, vcpu, GuestEvent::Shutdown) {
@@ -1964,6 +2135,68 @@ impl System {
                     },
                 );
                 self.metrics.counters.incr("rmm.delegated_ipi_sent");
+                self.advance_guest(core);
+            }
+            GuestCont::IvcPublish {
+                channel,
+                spi,
+                notify,
+                target_core,
+            } => {
+                let now = self.queue.now();
+                let realm = self.vms[vm.0].kvm.realm().0;
+                self.profiler.record_span(
+                    cg_sim::SpanKind::IvcPublish,
+                    Some(core.0),
+                    Some(realm),
+                    Some(vcpu),
+                    self.cores[core.index()].seg_started,
+                    now,
+                );
+                self.strace
+                    .record(cg_sim::TraceKind::Irq, Some(core.0), || {
+                        format!("ivc.publish ch{channel} notify={notify}")
+                    });
+                if notify {
+                    // Doorbell straight to the consumer realm's dedicated
+                    // core — the RMM validated this (channel, endpoint)
+                    // pairing at create time, so the SPI never transits
+                    // the host. The fault plan can drop, duplicate, or
+                    // forge (misroute) it here; the IVC watchdog heals
+                    // the first two and the RMM rejects the third.
+                    let dropped = self.fault.drop_ivc_doorbell();
+                    let forged = !dropped && self.fault.forge_ivc_doorbell();
+                    let target = if forged {
+                        self.metrics.counters.incr("fault.ivc_doorbell_forged");
+                        self.forged_doorbell_target(channel, target_core)
+                    } else {
+                        Some(target_core)
+                    };
+                    if dropped {
+                        self.metrics.counters.incr("fault.ivc_doorbell_dropped");
+                    } else if let Some(t) = target {
+                        self.queue.schedule_after(
+                            self.config.machine.ipi_deliver,
+                            SystemEvent::IpiArrive {
+                                core: t,
+                                intid: IntId::spi(spi),
+                            },
+                        );
+                        if self.fault.dup_ivc_doorbell() {
+                            self.metrics.counters.incr("fault.ivc_doorbell_duplicated");
+                            self.queue.schedule_after(
+                                self.config.machine.ipi_deliver * 2,
+                                SystemEvent::IpiArrive {
+                                    core: t,
+                                    intid: IntId::spi(spi),
+                                },
+                            );
+                        }
+                    }
+                    self.metrics.counters.incr("ivc.doorbells_sent");
+                } else {
+                    self.metrics.counters.incr("ivc.doorbells_suppressed");
+                }
                 self.advance_guest(core);
             }
             GuestCont::ExitPost { exit } => self.finish_guest_exit(core, vm, vcpu, exit),

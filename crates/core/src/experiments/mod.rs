@@ -4,6 +4,7 @@
 pub mod apps;
 pub mod faults;
 pub mod io;
+pub mod ivc;
 pub mod latency;
 pub mod scaling;
 pub mod security;

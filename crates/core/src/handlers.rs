@@ -129,6 +129,13 @@ impl System {
                     GuestCont::ExitPost { exit },
                 );
             }
+            Disposition::Idle { .. } => {
+                // The RMM refused to inject (e.g. a forged IVC doorbell
+                // for a channel this vCPU is no endpoint of): the guest
+                // stays in WFI — the victim must not even wake.
+                self.cores[core.index()].run = CoreRun::GuestWfi { vm, vcpu };
+                self.mirror_ivc_rejections();
+            }
             other => unreachable!("idle irq disposition {other:?}"),
         }
     }
@@ -156,6 +163,7 @@ impl System {
             // The fast-path kick doorbell at the host core.
             self.host_irq_steal(core, self.config.machine.irq_entry);
             self.io_doorbell.acknowledge();
+            self.io_kick_rung_at = None;
             self.wake_io_plane();
             return;
         }
@@ -173,6 +181,12 @@ impl System {
                 // Host-core IPI with no special meaning here.
                 self.host_irq_steal(core, self.config.machine.irq_entry);
             }
+        }
+        if intid.is_spi() {
+            // An IVC doorbell may just have been validated (and possibly
+            // rejected) by the RMM: fold any new rejections into the
+            // fingerprinted system counters.
+            self.mirror_ivc_rejections();
         }
     }
 
@@ -554,6 +568,64 @@ impl System {
             self.wakeup_watchdog_scan(now);
         }
         self.io_watchdog_scan(now);
+        self.ivc_watchdog_scan(now);
+        self.mirror_ivc_rejections();
+    }
+
+    /// The inter-CVM-channel half of the watchdog tick: rings the
+    /// channel doorbell again for any direction with published messages
+    /// that have sat unobserved longer than a healthy realm-to-realm
+    /// delivery takes — healing dropped (or misrouted) doorbells
+    /// without host involvement in the happy path.
+    fn ivc_watchdog_scan(&mut self, now: SimTime) {
+        if self.ivc.is_empty() {
+            return;
+        }
+        let grace = {
+            let p = &self.config.machine;
+            (p.mailbox_write + p.ipi_deliver + p.irq_entry) * 4
+        };
+        let mut stranded: Vec<(usize, bool)> = Vec::new();
+        for (i, ch) in self.ivc.iter().enumerate() {
+            for (a_to_b, dir) in [(true, &ch.a_to_b), (false, &ch.b_to_a)] {
+                if dir.ring.pending() == 0 {
+                    continue;
+                }
+                let Some(t) = dir.published_at else { continue };
+                if now.duration_since(t) >= grace {
+                    stranded.push((i, a_to_b));
+                }
+            }
+        }
+        for (i, a_to_b) in stranded {
+            let (channel, spi) = (self.ivc[i].channel, self.ivc[i].spi);
+            let to = if a_to_b {
+                self.ivc[i].a_to_b.to
+            } else {
+                self.ivc[i].b_to_a.to
+            };
+            let core = self.vms[to.0 .0].vcpus[to.1 as usize].core;
+            self.metrics.counters.incr("ivc.watchdog_recovered");
+            self.strace
+                .record(cg_sim::TraceKind::Irq, Some(core.0), || {
+                    format!("ivc.watchdog re-ring ch{channel}")
+                });
+            // Refresh the stamp so the next tick doesn't re-fire while
+            // this re-ring is still in flight.
+            let dir = if a_to_b {
+                &mut self.ivc[i].a_to_b
+            } else {
+                &mut self.ivc[i].b_to_a
+            };
+            dir.published_at = Some(now);
+            self.queue.schedule_after(
+                self.config.machine.ipi_deliver,
+                SystemEvent::IpiArrive {
+                    core,
+                    intid: IntId::spi(spi),
+                },
+            );
+        }
     }
 
     /// The wake-up-thread half of the watchdog tick: rescans run
@@ -659,9 +731,20 @@ impl System {
         }
         // Published-but-unserviced work with the I/O thread suspended:
         // the kick doorbell was dropped (or its latch wedged). Heal the
-        // latch and activate the thread directly.
+        // latch and activate the thread directly — but leave a freshly
+        // rung doorbell alone: if the latch stamp is younger than a
+        // healthy delivery, the IPI is still in flight and the normal
+        // path will service the work without watchdog help.
+        let kick_grace = {
+            let p = &self.config.machine;
+            (p.mailbox_write + p.ipi_deliver + p.irq_entry) * 4
+        };
+        let kick_in_flight = self.io_doorbell.is_pending()
+            && self
+                .io_kick_rung_at
+                .is_some_and(|t| now.duration_since(t) < kick_grace);
         let suspended = !self.iothread.as_ref().expect("checked above").is_active();
-        if suspended && self.fastpath_work_pending() {
+        if suspended && !kick_in_flight && self.fastpath_work_pending() {
             self.metrics.counters.incr("io.watchdog_kicks");
             self.io_doorbell.acknowledge();
             let io = self.iothread.as_mut().expect("checked above");

@@ -46,7 +46,7 @@ pub mod microbench;
 pub mod obs;
 pub mod system;
 
-pub use config::{RunTransport, SystemConfig, VmSpec};
+pub use config::{IvcPeerSpec, RunTransport, SystemConfig, VmSpec};
 pub use diag::{diff_same_seed_runs, DiffReport};
 pub use event::SystemEvent;
 pub use metrics::{Metrics, VmReport};

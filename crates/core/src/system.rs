@@ -227,6 +227,60 @@ impl DeviceInstance {
     }
 }
 
+/// One direction of an attested inter-CVM channel at the system layer:
+/// the producer and consumer endpoints and the shared-window message
+/// ring (the data plane the RMM mapped into both realms).
+#[derive(Debug)]
+pub(crate) struct IvcDirRt {
+    /// Producing endpoint.
+    pub from: (VmId, u32),
+    /// Consuming endpoint.
+    pub to: (VmId, u32),
+    /// The free-running-index message ring in the shared window.
+    pub ring: cg_ivc::MsgRing,
+    /// When the oldest still-undrained message was published, for the
+    /// watchdog's lost-doorbell rescan. `None` once drained.
+    pub published_at: Option<SimTime>,
+}
+
+/// System-layer runtime state of an attested inter-CVM channel: one
+/// ring per direction, both signalled by the same delegated SPI.
+#[derive(Debug)]
+pub(crate) struct IvcChannelRt {
+    /// Channel identifier (matches the RMM registry).
+    pub channel: u32,
+    /// The delegated doorbell SPI.
+    pub spi: u32,
+    /// Endpoint A → endpoint B direction.
+    pub a_to_b: IvcDirRt,
+    /// Endpoint B → endpoint A direction.
+    pub b_to_a: IvcDirRt,
+}
+
+impl IvcChannelRt {
+    /// The direction produced by `(vm, vcpu)`, if it is an endpoint.
+    pub fn dir_from_mut(&mut self, vm: VmId, vcpu: u32) -> Option<&mut IvcDirRt> {
+        if self.a_to_b.from == (vm, vcpu) {
+            Some(&mut self.a_to_b)
+        } else if self.b_to_a.from == (vm, vcpu) {
+            Some(&mut self.b_to_a)
+        } else {
+            None
+        }
+    }
+
+    /// The direction consumed by `(vm, vcpu)`, if it is an endpoint.
+    pub fn dir_to_mut(&mut self, vm: VmId, vcpu: u32) -> Option<&mut IvcDirRt> {
+        if self.a_to_b.to == (vm, vcpu) {
+            Some(&mut self.a_to_b)
+        } else if self.b_to_a.to == (vm, vcpu) {
+            Some(&mut self.b_to_a)
+        } else {
+            None
+        }
+    }
+}
+
 /// Per-vCPU runtime state.
 #[derive(Debug)]
 pub(crate) struct VcpuRt {
@@ -314,6 +368,17 @@ pub struct System {
     /// The fast-path kick doorbell ([`IO_KICK_SGI`]); coalesces rings
     /// exactly as the CVM-exit doorbell does.
     pub(crate) io_doorbell: Doorbell,
+    /// When the pending `io_doorbell` latch was last set — the host's
+    /// ring-timestamp, letting the watchdog tell a doorbell IPI still
+    /// in flight apart from one that was dropped.
+    pub(crate) io_kick_rung_at: Option<SimTime>,
+    /// Attested inter-CVM channels established by
+    /// [`System::connect_ivc`].
+    pub(crate) ivc: Vec<IvcChannelRt>,
+    /// RMM-side `rmm.ivc.doorbell_rejected` count already mirrored into
+    /// the system metrics (the fingerprint folds system counters, not
+    /// RMM counters).
+    pub(crate) ivc_rejected_seen: u64,
     pub(crate) metrics: Metrics,
     /// Accumulated leak observations from attacker probes.
     pub(crate) attack_report: cg_attacks::LeakReport,
@@ -379,6 +444,9 @@ impl System {
             doorbell: Doorbell::new(CoreId(0)),
             iothread: None,
             io_doorbell: Doorbell::new(CoreId(0)),
+            io_kick_rung_at: None,
+            ivc: Vec::new(),
+            ivc_rejected_seen: 0,
             metrics: Metrics::new(num_cores),
             attack_report: cg_attacks::LeakReport::new(),
             rng,
@@ -496,6 +564,33 @@ impl System {
     /// Clones out the retained structured records, oldest first.
     pub fn structured_records(&self) -> Vec<TraceRecord> {
         self.strace.snapshot()
+    }
+
+    /// Combined ring statistics of inter-CVM channel `channel` (both
+    /// directions merged), if the channel exists.
+    pub fn ivc_ring_stats(&self, channel: u32) -> Option<cg_ivc::RingStats> {
+        let rt = self.ivc.iter().find(|c| c.channel == channel)?;
+        let (a, b) = (rt.a_to_b.ring.stats(), rt.b_to_a.ring.stats());
+        Some(cg_ivc::RingStats {
+            published: a.published + b.published,
+            drained: a.drained + b.drained,
+            doorbells: a.doorbells + b.doorbells,
+            doorbells_suppressed: a.doorbells_suppressed + b.doorbells_suppressed,
+        })
+    }
+
+    /// Mirrors RMM-side IVC doorbell rejections into the system metrics
+    /// — and therefore the determinism fingerprint — as
+    /// `ivc.doorbells_rejected`. The RMM keeps its own counter; the
+    /// fingerprint only folds system counters, so the delta since the
+    /// last mirror is re-counted here.
+    pub(crate) fn mirror_ivc_rejections(&mut self) {
+        let total = self.rmm.counters().get("rmm.ivc.doorbell_rejected");
+        let delta = total.saturating_sub(self.ivc_rejected_seen);
+        if delta > 0 {
+            self.ivc_rejected_seen = total;
+            self.metrics.counters.add("ivc.doorbells_rejected", delta);
+        }
     }
 
     /// Per-class counters of injected faults (`fault.*`). These are also

@@ -1,0 +1,437 @@
+//! Attested inter-CVM shared-memory channels (IVC) for core-gapped
+//! realms.
+//!
+//! The paper's core-gapped CVMs eliminate host-shared cores, but
+//! realm-to-realm traffic that bounces through the host I/O plane
+//! re-introduces the host as a copy/latency bottleneck — and as a
+//! notification forger (Heckler). This crate models the CAEC-style
+//! alternative: a point-to-point shared-memory channel between two
+//! realms, brokered by the RMM.
+//!
+//! Three pieces live here, shared by the RMM (control plane) and the
+//! execution engine (data plane):
+//!
+//! - [`PairPolicy`] — the attestation gate. The channel owner registers
+//!   which *pairs of realm measurements* may share memory; the RMM
+//!   consults the policy during `IVC_CHANNEL_CREATE` and refuses to map
+//!   the window for any unapproved pair. Pairs are unordered: approving
+//!   (a, b) also approves (b, a).
+//! - [`MsgRing`] — the data plane. A single-producer single-consumer
+//!   message ring over the shared window using the same free-running
+//!   u16 index arithmetic as `cg-virtio`, including EVENT_IDX-style
+//!   doorbell suppression: the receiver arms a doorbell event when it
+//!   idles, and the sender rings only when its publish crosses the
+//!   armed index. A dropped doorbell therefore strands the ring exactly
+//!   the way a dropped virtio kick strands a queue — and is healed by
+//!   the same watchdog-rescan idiom.
+//! - [`Channel`] / [`Endpoint`] — the RMM-side registration used to
+//!   validate injected doorbells: a doorbell for channel `c` is
+//!   delivered only when it arrives at the (core, vCPU) registered as
+//!   one of `c`'s endpoints; anything else is a host forgery and is
+//!   dropped and counted.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use cg_cca::Measurement;
+use cg_machine::{CoreId, GranuleAddr, RealmId};
+use cg_virtio::need_event;
+
+/// Granules in one channel window: one for each direction's ring
+/// header/descriptors plus two payload granules. The simulation models
+/// occupancy, not bytes, so the constant only sizes the RTT mapping
+/// work during channel setup.
+pub const IVC_WINDOW_GRANULES: u64 = 4;
+
+/// One message in flight on a ring: the simulation-level stand-in for a
+/// payload in the shared window (bytes are modelled, contents are not).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IvcMsg {
+    /// Payload size in bytes (drives the modelled copy cost).
+    pub bytes: u64,
+    /// Sender-assigned sequence number, echoed to the receiver.
+    pub seq: u64,
+}
+
+/// The ring rejected a publish because every slot is occupied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RingFull;
+
+impl fmt::Display for RingFull {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ivc ring full")
+    }
+}
+
+impl std::error::Error for RingFull {}
+
+/// Doorbell/occupancy statistics for one ring direction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RingStats {
+    /// Messages published by the sender.
+    pub published: u64,
+    /// Messages drained by the receiver.
+    pub drained: u64,
+    /// Doorbells the sender actually rang.
+    pub doorbells: u64,
+    /// Publishes whose doorbell was suppressed (receiver still awake).
+    pub doorbells_suppressed: u64,
+}
+
+/// A single-producer single-consumer message ring over the shared
+/// window — one direction of a channel.
+///
+/// Index arithmetic is free-running modulo 2^16, exactly as in
+/// `cg-virtio`: `pub_idx` counts publishes, `drain_idx` counts drains,
+/// and the receiver arms `doorbell_event` at its current `drain_idx`
+/// when it goes idle. [`MsgRing::should_ring`] then applies the shared
+/// [`need_event`] predicate so consecutive publishes into an already
+/// woken receiver coalesce into zero doorbells.
+///
+/// # Example
+///
+/// ```
+/// use cg_ivc::{IvcMsg, MsgRing};
+///
+/// let mut ring = MsgRing::new(8);
+/// ring.arm(); // receiver idle: next publish must ring
+/// ring.publish(IvcMsg { bytes: 64, seq: 0 }).unwrap();
+/// assert!(ring.should_ring());
+/// ring.publish(IvcMsg { bytes: 64, seq: 1 }).unwrap();
+/// assert!(!ring.should_ring()); // receiver already woken: coalesced
+/// assert_eq!(ring.drain().len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MsgRing {
+    cap: u16,
+    queue: VecDeque<IvcMsg>,
+    pub_idx: u16,
+    drain_idx: u16,
+    doorbell_event: u16,
+    ring_cursor: u16,
+    armed: bool,
+    stats: RingStats,
+}
+
+impl MsgRing {
+    /// Creates an empty ring holding at most `cap` messages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero or not a power of two (mirroring the
+    /// virtqueue-size rule, since the window layout is ring-shaped).
+    pub fn new(cap: u16) -> MsgRing {
+        MsgRing::seeded_at(cap, 0)
+    }
+
+    /// As [`MsgRing::new`], but starts the free-running indices at
+    /// `start` — lets tests sit the indices right below the 2^16 wrap.
+    pub fn seeded_at(cap: u16, start: u16) -> MsgRing {
+        assert!(
+            cap != 0 && cap.is_power_of_two(),
+            "ivc ring capacity must be a non-zero power of two"
+        );
+        MsgRing {
+            cap,
+            queue: VecDeque::new(),
+            pub_idx: start,
+            drain_idx: start,
+            doorbell_event: start,
+            ring_cursor: start,
+            armed: true,
+            stats: RingStats::default(),
+        }
+    }
+
+    /// Messages published but not yet drained.
+    pub fn pending(&self) -> u16 {
+        self.pub_idx.wrapping_sub(self.drain_idx)
+    }
+
+    /// True when no message is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> u16 {
+        self.cap
+    }
+
+    /// Publishes one message into the shared window.
+    ///
+    /// # Errors
+    ///
+    /// [`RingFull`] when all `cap` slots hold undrained messages.
+    pub fn publish(&mut self, msg: IvcMsg) -> Result<(), RingFull> {
+        if self.pending() >= self.cap {
+            return Err(RingFull);
+        }
+        self.queue.push_back(msg);
+        self.pub_idx = self.pub_idx.wrapping_add(1);
+        self.stats.published += 1;
+        Ok(())
+    }
+
+    /// Decides (and records) whether the publishes since the last call
+    /// must ring the peer's doorbell. Call once after each publish
+    /// batch; like `VirtQueue::should_kick` the decision consumes the
+    /// window, so asking twice never double-rings.
+    pub fn should_ring(&mut self) -> bool {
+        let old = self.ring_cursor;
+        self.ring_cursor = self.pub_idx;
+        let ring = self.armed && need_event(self.doorbell_event, self.pub_idx, old);
+        if ring {
+            // The peer is now considered woken until it re-arms.
+            self.armed = false;
+            self.stats.doorbells += 1;
+        } else {
+            self.stats.doorbells_suppressed += 1;
+        }
+        ring
+    }
+
+    /// Drains every in-flight message, in publish order.
+    pub fn drain(&mut self) -> Vec<IvcMsg> {
+        let msgs: Vec<IvcMsg> = self.queue.drain(..).collect();
+        self.drain_idx = self.drain_idx.wrapping_add(msgs.len() as u16);
+        self.stats.drained += msgs.len() as u64;
+        msgs
+    }
+
+    /// Receiver went idle: arm the doorbell at the current drain index
+    /// so the next publish rings. Idempotent.
+    pub fn arm(&mut self) {
+        self.doorbell_event = self.drain_idx;
+        self.armed = true;
+    }
+
+    /// Doorbell/occupancy statistics.
+    pub fn stats(&self) -> RingStats {
+        self.stats
+    }
+}
+
+/// The RMM's attestation gate for channel creation: an explicit list of
+/// unordered realm-measurement pairs approved (out of band, by the
+/// realm owners) to share a window.
+#[derive(Debug, Clone, Default)]
+pub struct PairPolicy {
+    allowed: Vec<(Measurement, Measurement)>,
+}
+
+impl PairPolicy {
+    /// An empty policy: every pair is refused.
+    pub fn new() -> PairPolicy {
+        PairPolicy::default()
+    }
+
+    /// Approves the unordered pair `(a, b)`. Idempotent.
+    pub fn allow(&mut self, a: Measurement, b: Measurement) {
+        if !self.permits(a, b) {
+            // Canonicalize on the raw words so (a, b) and (b, a)
+            // occupy one entry.
+            if a.0 <= b.0 {
+                self.allowed.push((a, b));
+            } else {
+                self.allowed.push((b, a));
+            }
+        }
+    }
+
+    /// True when the unordered pair `(a, b)` has been approved.
+    pub fn permits(&self, a: Measurement, b: Measurement) -> bool {
+        self.allowed
+            .iter()
+            .any(|&(x, y)| (x == a && y == b) || (x == b && y == a))
+    }
+
+    /// Number of approved pairs.
+    pub fn len(&self) -> usize {
+        self.allowed.len()
+    }
+
+    /// True when no pair has been approved.
+    pub fn is_empty(&self) -> bool {
+        self.allowed.is_empty()
+    }
+}
+
+/// Static parameters of one channel, fixed at `IVC_CHANNEL_CREATE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelConfig {
+    /// Channel identifier, unique within the machine.
+    pub channel: u32,
+    /// The delegated doorbell SPI notifying both endpoints.
+    pub spi: u32,
+    /// Base of the granule-aligned shared window (physical).
+    pub window: GranuleAddr,
+}
+
+/// One registered endpoint of a channel: the realm, the vCPU that owns
+/// the doorbell, and the dedicated core that vCPU is bound to. Doorbell
+/// validation matches on the *(core, vCPU)* pair — the host controls
+/// interrupt routing, so the arrival core is the one thing it can
+/// falsify and the one thing the RMM must check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Endpoint {
+    /// The realm on this side of the channel.
+    pub realm: RealmId,
+    /// The vCPU index owning the doorbell within that realm.
+    pub vcpu: u32,
+    /// The dedicated core the owner vCPU runs on.
+    pub core: CoreId,
+}
+
+/// The RMM-side registration of one established channel: config plus
+/// both validated endpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Channel {
+    /// Static channel parameters.
+    pub cfg: ChannelConfig,
+    /// First endpoint (creation-order; no semantic priority).
+    pub a: Endpoint,
+    /// Second endpoint.
+    pub b: Endpoint,
+}
+
+impl Channel {
+    /// The endpoint registered on `core`, if any — the Heckler check: a
+    /// doorbell with this channel's SPI arriving anywhere else is a
+    /// host forgery.
+    pub fn endpoint_at(&self, core: CoreId) -> Option<Endpoint> {
+        if self.a.core == core {
+            Some(self.a)
+        } else if self.b.core == core {
+            Some(self.b)
+        } else {
+            None
+        }
+    }
+
+    /// True when `core` hosts one of the two endpoints.
+    pub fn is_endpoint_core(&self, core: CoreId) -> bool {
+        self.endpoint_at(core).is_some()
+    }
+
+    /// The peer realm of `realm`, if `realm` is an endpoint.
+    pub fn peer_of(&self, realm: RealmId) -> Option<RealmId> {
+        if self.a.realm == realm {
+            Some(self.b.realm)
+        } else if self.b.realm == realm {
+            Some(self.a.realm)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(seq: u64) -> IvcMsg {
+        IvcMsg { bytes: 64, seq }
+    }
+
+    #[test]
+    fn ring_is_fifo_and_bounded() {
+        let mut r = MsgRing::new(4);
+        for i in 0..4 {
+            r.publish(msg(i)).unwrap();
+        }
+        assert_eq!(r.publish(msg(9)), Err(RingFull));
+        assert_eq!(r.pending(), 4);
+        let drained = r.drain();
+        assert_eq!(
+            drained.iter().map(|m| m.seq).collect::<Vec<_>>(),
+            [0, 1, 2, 3]
+        );
+        assert_eq!(r.pending(), 0);
+        r.publish(msg(9)).unwrap();
+    }
+
+    #[test]
+    fn doorbells_coalesce_until_rearm() {
+        let mut r = MsgRing::new(8);
+        r.publish(msg(0)).unwrap();
+        assert!(r.should_ring(), "first publish after arm rings");
+        for i in 1..5 {
+            r.publish(msg(i)).unwrap();
+            assert!(!r.should_ring(), "publish {i} coalesces");
+        }
+        assert_eq!(r.drain().len(), 5);
+        r.arm();
+        r.publish(msg(5)).unwrap();
+        assert!(r.should_ring(), "re-armed: next publish rings again");
+        assert_eq!(r.stats().doorbells, 2);
+        assert_eq!(r.stats().doorbells_suppressed, 4);
+    }
+
+    #[test]
+    fn doorbell_fires_across_u16_wrap() {
+        let mut r = MsgRing::seeded_at(8, u16::MAX);
+        r.publish(msg(0)).unwrap(); // pub_idx wraps MAX -> 0
+        assert!(r.should_ring(), "wrap boundary must still ring");
+        assert_eq!(r.pending(), 1);
+        assert_eq!(r.drain().len(), 1);
+        assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn should_ring_never_double_rings() {
+        let mut r = MsgRing::new(8);
+        r.publish(msg(0)).unwrap();
+        assert!(r.should_ring());
+        assert!(!r.should_ring(), "decision window consumed");
+    }
+
+    #[test]
+    fn pair_policy_is_unordered_and_idempotent() {
+        let a = Measurement::of(b"realm a");
+        let b = Measurement::of(b"realm b");
+        let c = Measurement::of(b"realm c");
+        let mut p = PairPolicy::new();
+        assert!(p.is_empty());
+        assert!(!p.permits(a, b));
+        p.allow(a, b);
+        p.allow(b, a); // same unordered pair
+        assert_eq!(p.len(), 1);
+        assert!(p.permits(a, b));
+        assert!(p.permits(b, a));
+        assert!(!p.permits(a, c), "unapproved pair stays refused");
+        assert!(!p.permits(a, a), "self-pair not implied");
+    }
+
+    #[test]
+    fn channel_validates_endpoint_cores() {
+        let ch = Channel {
+            cfg: ChannelConfig {
+                channel: 1,
+                spi: 40,
+                window: GranuleAddr::new(0xC_0000_0000).unwrap(),
+            },
+            a: Endpoint {
+                realm: RealmId(0),
+                vcpu: 0,
+                core: CoreId(1),
+            },
+            b: Endpoint {
+                realm: RealmId(1),
+                vcpu: 0,
+                core: CoreId(2),
+            },
+        };
+        assert_eq!(ch.endpoint_at(CoreId(1)).unwrap().realm, RealmId(0));
+        assert_eq!(ch.endpoint_at(CoreId(2)).unwrap().realm, RealmId(1));
+        assert!(
+            ch.endpoint_at(CoreId(3)).is_none(),
+            "forged target rejected"
+        );
+        assert_eq!(ch.peer_of(RealmId(0)), Some(RealmId(1)));
+        assert_eq!(ch.peer_of(RealmId(2)), None);
+    }
+}

@@ -1,6 +1,7 @@
 //! The RMM proper: RMI command handling and guest-event dispositions.
 
 use cg_cca::{Measurement, RecExit, RecExitReason, RecId, RmiCall, RmiStatus};
+use cg_ivc::{ChannelConfig, PairPolicy, IVC_WINDOW_GRANULES};
 use cg_machine::{CoreId, Domain, GranuleAddr, GranuleState, IntId, Machine, RealmId};
 use cg_sim::{Counters, SimDuration, SimTime};
 
@@ -231,6 +232,24 @@ pub enum Disposition {
     },
 }
 
+/// A registered inter-CVM channel: the host-provided configuration plus
+/// the two endpoint vCPUs (vCPU 0 of each paired realm). Doorbell SPIs
+/// arriving anywhere else are forged or misrouted and are rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct IvcChannelReg {
+    cfg: ChannelConfig,
+    a: RecId,
+    b: RecId,
+}
+
+impl IvcChannelReg {
+    /// The IPA both realms see granule `i` of the shared window at: the
+    /// window's physical address aliased into the unprotected half.
+    fn window_ipa(&self, i: u64) -> u64 {
+        crate::rtt::UNPROTECTED_BIT | self.cfg.window.offset(i).as_u64()
+    }
+}
+
 /// The realm management monitor.
 ///
 /// # Example
@@ -260,6 +279,13 @@ pub struct Rmm {
     /// interrupts): delegated like the timer and IPIs, independent of
     /// the blanket `direct_device_delivery` extension.
     delegated_spis: std::collections::BTreeSet<u32>,
+    /// Which measurement pairs the realm owners have authorised to share
+    /// an inter-CVM channel; `IVC_CHANNEL_CREATE` is refused for any
+    /// pair not on this list.
+    ivc_policy: PairPolicy,
+    /// Registered inter-CVM channels: config plus the two owner vCPUs
+    /// whose cores may legitimately receive the channel's doorbell SPI.
+    ivc_channels: Vec<IvcChannelReg>,
     counters: Counters,
     /// Structured trace sink, handed to each REC's virtual GIC
     /// (disabled by default).
@@ -283,6 +309,8 @@ impl Rmm {
             coregap: CoreGap::new(),
             platform_measurement: image,
             delegated_spis: std::collections::BTreeSet::new(),
+            ivc_policy: PairPolicy::new(),
+            ivc_channels: Vec::new(),
             counters: Counters::new(),
             trace: cg_sim::TraceHandle::disabled(),
             profiler: cg_sim::Profiler::disabled(),
@@ -331,10 +359,57 @@ impl Rmm {
         }
     }
 
+    /// Removes `spi` from the delegated set — the teardown mirror of
+    /// [`Rmm::delegate_spi`], called when the device or channel that
+    /// owned the interrupt is destroyed so a later tenant of the same
+    /// SPI number starts from a clean slate.
+    pub fn undelegate_spi(&mut self, spi: u32) {
+        if self.delegated_spis.remove(&IntId::spi(spi).0) {
+            self.counters.incr("rmm.delegated.spi_unregistered");
+        }
+    }
+
     /// Is `intid` a locally injected (delegated or direct-delivery) SPI?
     fn spi_delegated(&self, intid: IntId) -> bool {
         intid.is_spi()
             && (self.config.direct_device_delivery || self.delegated_spis.contains(&intid.0))
+    }
+
+    // ----- inter-CVM channels (IVC) -----
+
+    /// Authorises the measurement pair `(a, b)` for inter-CVM channel
+    /// creation. In a real deployment this policy arrives signed by the
+    /// realm owners; the model takes it directly.
+    pub fn allow_ivc_pair(&mut self, a: Measurement, b: Measurement) {
+        self.ivc_policy.allow(a, b);
+        self.counters.incr("rmm.ivc.pairs_allowed");
+    }
+
+    /// The configuration of a registered IVC channel, if any.
+    pub fn ivc_channel(&self, channel: u32) -> Option<ChannelConfig> {
+        self.ivc_channels
+            .iter()
+            .find(|c| c.cfg.channel == channel)
+            .map(|c| c.cfg)
+    }
+
+    /// The endpoint vCPUs of a registered IVC channel, if any.
+    pub fn ivc_channel_endpoints(&self, channel: u32) -> Option<(RecId, RecId)> {
+        self.ivc_channels
+            .iter()
+            .find(|c| c.cfg.channel == channel)
+            .map(|c| (c.a, c.b))
+    }
+
+    /// The registered IVC channel owning doorbell SPI `intid`, if any.
+    fn ivc_channel_for_spi(&self, intid: IntId) -> Option<IvcChannelReg> {
+        if !intid.is_spi() {
+            return None;
+        }
+        self.ivc_channels
+            .iter()
+            .find(|c| IntId::spi(c.cfg.spi) == intid)
+            .copied()
     }
 
     /// The measured RMM image (goes into attestation tokens).
@@ -476,7 +551,123 @@ impl Rmm {
                 None => RmiOutcome::fail(RmiStatus::ErrorRealm, costs.rtt_op),
             },
             RmiCall::RecEnter { rec, .. } => self.rec_enter(core, rec, machine, costs),
+            RmiCall::IvcChannelCreate {
+                channel,
+                realm_a,
+                realm_b,
+                window,
+                spi,
+            } => self.ivc_channel_create(channel, realm_a, realm_b, window, spi, machine, costs),
+            RmiCall::IvcChannelDestroy { channel } => self.ivc_channel_destroy(channel, costs),
         }
+    }
+
+    /// `RMI_IVC_CHANNEL_CREATE`: the attested inter-CVM channel
+    /// handshake. The host nominates two realms, a granule-aligned
+    /// non-secure window, and a doorbell SPI; the RMM admits the channel
+    /// only if the realms' measurement pair is on the owner-authorised
+    /// policy list, then maps the window into both realms' unprotected
+    /// halves and delegates the SPI so doorbells travel realm-core to
+    /// realm-core with no host exit.
+    #[allow(clippy::too_many_arguments)]
+    fn ivc_channel_create(
+        &mut self,
+        channel: u32,
+        realm_a: RealmId,
+        realm_b: RealmId,
+        window: GranuleAddr,
+        spi: u32,
+        machine: &mut Machine,
+        costs: RmmCosts,
+    ) -> RmiOutcome {
+        if realm_a == realm_b {
+            return RmiOutcome::fail(RmiStatus::ErrorInput, costs.object);
+        }
+        if self
+            .ivc_channels
+            .iter()
+            .any(|c| c.cfg.channel == channel || c.cfg.spi == spi)
+        {
+            return RmiOutcome::fail(RmiStatus::ErrorInUse, costs.object);
+        }
+        let (Some(ra), Some(rb)) = (self.realm(realm_a), self.realm(realm_b)) else {
+            return RmiOutcome::fail(RmiStatus::ErrorRealm, costs.object);
+        };
+        // Both realms must be activated: their measurements are final,
+        // so the policy check below binds the channel to the code the
+        // realms will actually run — not to an image the host could
+        // still swap out underneath the pairing.
+        if ra.state() != RealmState::Active || rb.state() != RealmState::Active {
+            return RmiOutcome::fail(RmiStatus::ErrorRealm, costs.object);
+        }
+        let (ma, mb) = (ra.measurement(), rb.measurement());
+        if !self.ivc_policy.permits(ma, mb) {
+            self.counters.incr("rmm.ivc.pair_rejected");
+            return RmiOutcome::fail(RmiStatus::ErrorInput, costs.object);
+        }
+        // The window must be ordinary host memory: shared pages are
+        // never delegated, matching RTT_MAP_UNPROTECTED semantics.
+        for i in 0..IVC_WINDOW_GRANULES {
+            match machine.memory().state(window.offset(i)) {
+                Ok(GranuleState::NonSecure) => {}
+                _ => return RmiOutcome::fail(RmiStatus::ErrorGranule, costs.object),
+            }
+        }
+        let reg = IvcChannelReg {
+            cfg: ChannelConfig {
+                channel,
+                spi,
+                window,
+            },
+            a: RecId::new(realm_a, 0),
+            b: RecId::new(realm_b, 0),
+        };
+        // Map the window into both realms at the same unprotected IPA
+        // alias, unwinding completely if any leaf is already occupied.
+        let mut mapped: Vec<(RealmId, u64)> = Vec::new();
+        for rid in [realm_a, realm_b] {
+            for i in 0..IVC_WINDOW_GRANULES {
+                let ipa = reg.window_ipa(i);
+                let r = self.realm_mut(rid).expect("checked above");
+                if r.rtt_mut().map(ipa, window.offset(i), false).is_err() {
+                    for (urid, uipa) in mapped {
+                        let u = self.realm_mut(urid).expect("mapped moments ago");
+                        u.rtt_mut().unmap(uipa).expect("unwinding own mapping");
+                    }
+                    return RmiOutcome::fail(RmiStatus::ErrorRtt, costs.rtt_op);
+                }
+                mapped.push((rid, ipa));
+            }
+        }
+        self.delegate_spi(spi);
+        self.ivc_channels.push(reg);
+        self.counters.incr("rmm.ivc.channels_created");
+        RmiOutcome::ok(costs.object + costs.rtt_op * (2 * IVC_WINDOW_GRANULES))
+    }
+
+    /// `RMI_IVC_CHANNEL_DESTROY`: unmaps the shared window from both
+    /// realms, undelegates the doorbell SPI, and forgets the channel.
+    fn ivc_channel_destroy(&mut self, channel: u32, costs: RmmCosts) -> RmiOutcome {
+        let Some(pos) = self
+            .ivc_channels
+            .iter()
+            .position(|c| c.cfg.channel == channel)
+        else {
+            return RmiOutcome::fail(RmiStatus::ErrorInput, costs.object);
+        };
+        let reg = self.ivc_channels.remove(pos);
+        for rid in [reg.a.realm, reg.b.realm] {
+            // A realm destroyed before its channel has no RTT left to
+            // clean; skip it rather than fail the teardown.
+            if let Some(r) = self.realm_mut(rid) {
+                for i in 0..IVC_WINDOW_GRANULES {
+                    let _ = r.rtt_mut().unmap(reg.window_ipa(i));
+                }
+            }
+        }
+        self.undelegate_spi(reg.cfg.spi);
+        self.counters.incr("rmm.ivc.channels_destroyed");
+        RmiOutcome::ok(costs.object + costs.rtt_op * (2 * IVC_WINDOW_GRANULES))
     }
 
     fn realm_create(
@@ -985,6 +1176,28 @@ impl Rmm {
                 cost: params.realm_exit_trap + params.sysreg_trap_emulate + params.realm_enter,
             };
         }
+        if let Some(reg) = self.ivc_channel_for_spi(intid) {
+            // Inter-CVM doorbell. Only the two registered endpoint vCPUs
+            // may receive this SPI: the host controls physical SPI
+            // routing, so a malicious host can replay the interrupt onto
+            // any core (Heckler-style). Validate the arriving vCPU
+            // against the channel registration and silently drop
+            // anything forged or misrouted — never surface it to the
+            // victim guest.
+            if rec_id == reg.a || rec_id == reg.b {
+                self.counters.incr("rmm.ivc.doorbell_delivered");
+                let rec = self.rec_mut(rec_id).expect("checked running");
+                rec.vgic_mut().inject_local(intid);
+                rec.vgic_mut().sync_to_lrs(core, machine.gic_mut());
+                return Disposition::Resume {
+                    cost: params.realm_exit_trap + params.sysreg_trap_emulate + params.realm_enter,
+                };
+            }
+            self.counters.incr("rmm.ivc.doorbell_rejected");
+            return Disposition::Resume {
+                cost: params.realm_exit_trap + params.realm_enter,
+            };
+        }
         if self.spi_delegated(intid) {
             // Direct device-interrupt delivery: inject the SPI locally.
             self.counters.incr("rmm.direct.device_irq");
@@ -1076,6 +1289,24 @@ impl Rmm {
                 cost: params.sysreg_trap_emulate + params.realm_enter,
             };
         }
+        if let Some(reg) = self.ivc_channel_for_spi(intid) {
+            // Inter-CVM doorbell while idle: same endpoint validation as
+            // the running-guest path. A forged or misrouted doorbell
+            // must not even wake the victim — stay idle.
+            if rec_id == reg.a || rec_id == reg.b {
+                self.counters.incr("rmm.ivc.doorbell_delivered");
+                let rec = self.rec_mut(rec_id).expect("idle rec exists");
+                rec.vgic_mut().inject_local(intid);
+                rec.vgic_mut().sync_to_lrs(core, machine.gic_mut());
+                return Disposition::Resume {
+                    cost: params.sysreg_trap_emulate + params.realm_enter,
+                };
+            }
+            self.counters.incr("rmm.ivc.doorbell_rejected");
+            return Disposition::Idle {
+                cost: params.sysreg_trap_emulate,
+            };
+        }
         if self.spi_delegated(intid) {
             self.counters.incr("rmm.direct.device_irq");
             let rec = self.rec_mut(rec_id).expect("idle rec exists");
@@ -1112,6 +1343,35 @@ impl Rmm {
                 None => RsiResult::Error,
             },
             RsiCall::HostCall { .. } => RsiResult::HostCallDone,
+            RsiCall::IvcInfo { channel } => {
+                // The guest-side half of the attested handshake: the
+                // caller learns who it shares the window with (the
+                // peer's measurement, checkable against an expected
+                // value) and which SPI the doorbell arrives on. Only an
+                // endpoint realm may query the channel.
+                let Some(reg) = self
+                    .ivc_channels
+                    .iter()
+                    .find(|c| c.cfg.channel == channel)
+                    .copied()
+                else {
+                    return RsiResult::Error;
+                };
+                let peer = if reg.a.realm == realm_id {
+                    reg.b.realm
+                } else if reg.b.realm == realm_id {
+                    reg.a.realm
+                } else {
+                    return RsiResult::Error;
+                };
+                match self.realm(peer) {
+                    Some(p) => RsiResult::IvcChannel {
+                        peer_measurement: p.measurement(),
+                        spi: reg.cfg.spi,
+                    },
+                    None => RsiResult::Error,
+                }
+            }
         }
     }
 

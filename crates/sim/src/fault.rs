@@ -68,6 +68,19 @@ pub struct FaultPlan {
     /// never learns its I/O finished — the lost-completion hole the I/O
     /// watchdog rescan exists to close.
     pub drop_completion_irq_p: f64,
+    /// Probability that an inter-realm IVC doorbell is silently lost in
+    /// flight — the receiver never drains the ring until the IVC
+    /// watchdog rescan re-announces it.
+    pub drop_ivc_doorbell_p: f64,
+    /// Probability that an inter-realm IVC doorbell is delivered twice
+    /// (the host replays the SPI). Harmless if validation and the
+    /// drain path are idempotent — which the tests assert.
+    pub dup_ivc_doorbell_p: f64,
+    /// Probability that, alongside a legitimate IVC doorbell, the host
+    /// forges a copy of the channel's SPI onto a realm core that is
+    /// *not* a registered endpoint (Heckler-style interrupt injection).
+    /// The RMM must reject and count it.
+    pub forge_ivc_doorbell_p: f64,
 }
 
 impl FaultPlan {
@@ -84,6 +97,9 @@ impl FaultPlan {
             delay_response: SimDuration::ZERO,
             wedge_request_p: 0.0,
             drop_completion_irq_p: 0.0,
+            drop_ivc_doorbell_p: 0.0,
+            dup_ivc_doorbell_p: 0.0,
+            forge_ivc_doorbell_p: 0.0,
         }
     }
 
@@ -105,6 +121,25 @@ impl FaultPlan {
         }
     }
 
+    /// A plan that only drops inter-realm IVC doorbells, with
+    /// probability `p` — healed by the IVC watchdog rescan.
+    pub fn ivc_doorbell_loss(p: f64) -> FaultPlan {
+        FaultPlan {
+            drop_ivc_doorbell_p: p,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// A plan where the host forges/misroutes IVC doorbell SPIs with
+    /// probability `p` — the Heckler-style notification attack the
+    /// RMM's endpoint validation must reject.
+    pub fn ivc_forgery(p: f64) -> FaultPlan {
+        FaultPlan {
+            forge_ivc_doorbell_p: p,
+            ..FaultPlan::none()
+        }
+    }
+
     /// Returns `true` if any fault class can fire under this plan.
     pub fn is_active(&self) -> bool {
         self.drop_doorbell_p > 0.0
@@ -113,6 +148,9 @@ impl FaultPlan {
             || self.delay_response_p > 0.0
             || self.wedge_request_p > 0.0
             || self.drop_completion_irq_p > 0.0
+            || self.drop_ivc_doorbell_p > 0.0
+            || self.dup_ivc_doorbell_p > 0.0
+            || self.forge_ivc_doorbell_p > 0.0
     }
 
     /// A stable digest of the plan, folded into the injector's RNG seed
@@ -137,6 +175,9 @@ impl FaultPlan {
         eat(self.delay_response.as_nanos());
         eat(self.wedge_request_p.to_bits());
         eat(self.drop_completion_irq_p.to_bits());
+        eat(self.drop_ivc_doorbell_p.to_bits());
+        eat(self.dup_ivc_doorbell_p.to_bits());
+        eat(self.forge_ivc_doorbell_p.to_bits());
         h
     }
 }
@@ -273,6 +314,43 @@ impl FaultInjector {
         }
         hit
     }
+
+    /// Should this inter-realm IVC doorbell be silently dropped?
+    pub fn drop_ivc_doorbell(&mut self) -> bool {
+        if self.plan.drop_ivc_doorbell_p <= 0.0 {
+            return false;
+        }
+        let hit = self.rng.chance(self.plan.drop_ivc_doorbell_p);
+        if hit {
+            self.injected.incr("fault.ivc_doorbell_dropped");
+        }
+        hit
+    }
+
+    /// Should this inter-realm IVC doorbell be delivered twice?
+    pub fn dup_ivc_doorbell(&mut self) -> bool {
+        if self.plan.dup_ivc_doorbell_p <= 0.0 {
+            return false;
+        }
+        let hit = self.rng.chance(self.plan.dup_ivc_doorbell_p);
+        if hit {
+            self.injected.incr("fault.ivc_doorbell_duplicated");
+        }
+        hit
+    }
+
+    /// Should the host forge a copy of this IVC doorbell onto a
+    /// non-endpoint realm core?
+    pub fn forge_ivc_doorbell(&mut self) -> bool {
+        if self.plan.forge_ivc_doorbell_p <= 0.0 {
+            return false;
+        }
+        let hit = self.rng.chance(self.plan.forge_ivc_doorbell_p);
+        if hit {
+            self.injected.incr("fault.ivc_doorbell_forged");
+        }
+        hit
+    }
 }
 
 #[cfg(test)]
@@ -290,6 +368,9 @@ mod tests {
             delay_response: SimDuration::micros(2),
             wedge_request_p: 0.1,
             drop_completion_irq_p: 0.2,
+            drop_ivc_doorbell_p: 0.2,
+            dup_ivc_doorbell_p: 0.1,
+            forge_ivc_doorbell_p: 0.1,
         }
     }
 
@@ -304,6 +385,9 @@ mod tests {
             assert!(inj.response_delay().is_none());
             assert!(!inj.wedge_request());
             assert!(!inj.drop_completion_irq());
+            assert!(!inj.drop_ivc_doorbell());
+            assert!(!inj.dup_ivc_doorbell());
+            assert!(!inj.forge_ivc_doorbell());
         }
         assert_eq!(inj.total_injected(), 0);
     }
@@ -319,6 +403,9 @@ mod tests {
             assert_eq!(a.response_delay(), b.response_delay());
             assert_eq!(a.wedge_request(), b.wedge_request());
             assert_eq!(a.drop_completion_irq(), b.drop_completion_irq());
+            assert_eq!(a.drop_ivc_doorbell(), b.drop_ivc_doorbell());
+            assert_eq!(a.dup_ivc_doorbell(), b.dup_ivc_doorbell());
+            assert_eq!(a.forge_ivc_doorbell(), b.forge_ivc_doorbell());
         }
         assert_eq!(a.total_injected(), b.total_injected());
         assert!(a.total_injected() > 0);
@@ -379,6 +466,9 @@ mod tests {
             inj.response_delay();
             inj.wedge_request();
             inj.drop_completion_irq();
+            inj.drop_ivc_doorbell();
+            inj.dup_ivc_doorbell();
+            inj.forge_ivc_doorbell();
         }
         let c = inj.injected();
         assert!(c.get("fault.doorbell_dropped") > 0);
@@ -387,6 +477,9 @@ mod tests {
         assert!(c.get("fault.response_delayed") > 0);
         assert!(c.get("fault.request_wedged") > 0);
         assert!(c.get("fault.completion_irq_dropped") > 0);
+        assert!(c.get("fault.ivc_doorbell_dropped") > 0);
+        assert!(c.get("fault.ivc_doorbell_duplicated") > 0);
+        assert!(c.get("fault.ivc_doorbell_forged") > 0);
         assert_eq!(
             inj.total_injected(),
             c.get("fault.doorbell_dropped")
@@ -395,6 +488,9 @@ mod tests {
                 + c.get("fault.response_delayed")
                 + c.get("fault.request_wedged")
                 + c.get("fault.completion_irq_dropped")
+                + c.get("fault.ivc_doorbell_dropped")
+                + c.get("fault.ivc_doorbell_duplicated")
+                + c.get("fault.ivc_doorbell_forged")
         );
     }
 

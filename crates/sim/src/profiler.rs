@@ -69,6 +69,15 @@ pub enum SpanKind {
     /// One I/O-plane poll pass over every fast-path device's avail
     /// rings.
     IoPoll,
+    /// Guest-side IVC message publish into a shared inter-realm ring,
+    /// including the doorbell-suppression decision.
+    IvcPublish,
+    /// An inter-realm IVC doorbell in flight: SGI sent by the producer
+    /// core until the consumer core takes the interrupt.
+    IvcDoorbell,
+    /// The consumer draining its IVC ring after a doorbell (or a
+    /// watchdog rescan) — message delivery into the guest.
+    IvcDrain,
     /// A free-form phase marker opened by [`SpanGuard`].
     Phase,
 }
@@ -91,6 +100,9 @@ impl SpanKind {
             SpanKind::VirtioBackend => "virtio.backend",
             SpanKind::VirtioComplete => "virtio.complete",
             SpanKind::IoPoll => "io.poll",
+            SpanKind::IvcPublish => "ivc.publish",
+            SpanKind::IvcDoorbell => "ivc.doorbell",
+            SpanKind::IvcDrain => "ivc.drain",
             SpanKind::Phase => "phase",
         }
     }

@@ -547,4 +547,44 @@ mod tests {
         assert!(need_event(u16::MAX, 1, u16::MAX - 1));
         assert!(!need_event(3, 1, u16::MAX - 1));
     }
+
+    #[test]
+    fn need_event_wrap_boundary_exactly_one_past_event() {
+        // The audited boundary: new_idx advanced exactly once past the
+        // armed event index, with the increment crossing the u16
+        // wraparound. Arming at event = old = 0xFFFF and publishing one
+        // entry (new = 0x0000) must notify:
+        assert!(need_event(u16::MAX, 0, u16::MAX));
+        // An event index one before the window must not — it was
+        // already passed before `old`:
+        assert!(!need_event(u16::MAX - 1, 0, u16::MAX));
+        // The mirror boundary away from the wrap behaves identically.
+        assert!(need_event(7, 8, 7));
+        assert!(!need_event(6, 8, 7));
+        // new == old (no progress since the last decision): never
+        // notify, on either side of the wrap.
+        assert!(!need_event(u16::MAX, u16::MAX, u16::MAX));
+        assert!(!need_event(0, 0, 0));
+        // Window spanning the wrap, probing every edge: the notify
+        // window is [old, new) mod 2^16 — old included, new excluded.
+        assert!(need_event(u16::MAX - 3, 2, u16::MAX - 3)); // old: included
+        assert!(need_event(u16::MAX, 2, u16::MAX - 3)); // inside, pre-wrap
+        assert!(need_event(1, 2, u16::MAX - 3)); // inside, post-wrap
+        assert!(!need_event(2, 2, u16::MAX - 3)); // new itself: excluded
+        assert!(!need_event(3, 2, u16::MAX - 3)); // past new: excluded
+    }
+
+    #[test]
+    fn wrap_boundary_kick_fires_on_first_post_wrap_submission() {
+        // End-to-end pin of the same boundary through VirtQueue: arm at
+        // 0xFFFF, publish one descriptor (index wraps to 0x0000) — the
+        // kick must fire, and a second publish must coalesce.
+        let l = QueueLayout::new(GranuleAddr::new(0x8000_0000).unwrap(), 8);
+        let mut v = VirtQueue::seeded_at(l, 8, true, u16::MAX);
+        v.enable_kicks();
+        v.push(Descriptor::net(64, 0)).unwrap();
+        assert!(v.should_kick(), "first submission across the wrap kicks");
+        v.push(Descriptor::net(64, 1)).unwrap();
+        assert!(!v.should_kick(), "second submission coalesces");
+    }
 }

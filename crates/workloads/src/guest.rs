@@ -82,6 +82,17 @@ pub enum GuestOp {
         /// The faulting guest-physical address.
         ipa: u64,
     },
+    /// Publish a message into an attested inter-CVM channel's ring and
+    /// (unless the peer suppressed notifications) ring the channel
+    /// doorbell SGI straight to the peer realm's core — no host exit.
+    IvcSend {
+        /// Channel identifier (as paired at build time).
+        channel: u32,
+        /// Payload size.
+        bytes: u64,
+        /// Producer-assigned sequence number.
+        seq: u64,
+    },
     /// Power off this vCPU.
     Shutdown,
 }
@@ -111,6 +122,16 @@ pub enum GuestIrq {
         device: u32,
         /// The request's tag.
         tag: u64,
+    },
+    /// A message drained from an attested inter-CVM channel's ring
+    /// (after the channel doorbell or a watchdog rescan).
+    IvcRecv {
+        /// Channel identifier.
+        channel: u32,
+        /// Payload size.
+        bytes: u64,
+        /// Producer-assigned sequence number.
+        seq: u64,
     },
 }
 

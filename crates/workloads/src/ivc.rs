@@ -1,0 +1,537 @@
+//! Inter-CVM channel workloads: the ping-pong latency sweep and a
+//! streaming producer/consumer pair, both running over an attested
+//! cg-ivc shared-memory channel between two core-gapped realms.
+//!
+//! Unlike the network benchmarks, both ends live *inside* the simulated
+//! machine: each side is an [`AppLogic`] hosted in its own realm, and
+//! messages travel realm-core → realm-core through the channel ring and
+//! its delegated doorbell SGI — the host never runs on the data path.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use cg_sim::{Samples, SimDuration, SimTime};
+
+use crate::guest::{GuestIrq, GuestOp, WorkloadStats};
+use crate::kernel::AppLogic;
+
+/// State of the current ping-pong round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Touch the outgoing buffer (copy/checksum work).
+    Prep,
+    /// Ready to publish the next message.
+    Send,
+    /// Waiting for the echo.
+    Wait,
+    /// Touch the received buffer.
+    Consume,
+    /// All sizes done.
+    Done,
+}
+
+/// The initiating side of the IVC ping-pong (vCPU 0 only): sweeps
+/// message sizes, publishing each into the channel and timing the round
+/// trip until the peer's echo drains back. The IVC analogue of
+/// [`crate::netpipe::Netpipe`].
+#[derive(Debug)]
+pub struct IvcPing {
+    channel: u32,
+    /// Message sizes to sweep.
+    sizes: Vec<u64>,
+    /// Repetitions per size.
+    reps: u32,
+    size_idx: usize,
+    rep: u32,
+    phase: Phase,
+    sent_at: SimTime,
+    seq: u64,
+    /// Guest-side per-byte buffer work in nanoseconds (the copy into and
+    /// out of the shared window).
+    touch_ns_per_byte: f64,
+    /// RTT samples (µs) per size.
+    rtts: BTreeMap<u64, Samples>,
+}
+
+impl IvcPing {
+    /// Creates the benchmark sweeping `sizes` with `reps` round trips
+    /// each over channel `channel`.
+    pub fn new(channel: u32, sizes: Vec<u64>, reps: u32) -> IvcPing {
+        assert!(!sizes.is_empty() && reps > 0, "empty IVC ping-pong sweep");
+        IvcPing {
+            channel,
+            sizes,
+            reps,
+            size_idx: 0,
+            rep: 0,
+            phase: Phase::Prep,
+            sent_at: SimTime::ZERO,
+            seq: 0,
+            touch_ns_per_byte: 0.15,
+            rtts: BTreeMap::new(),
+        }
+    }
+
+    /// The default sweep: 64 B to 1 MiB, powers of four.
+    pub fn standard(channel: u32, reps: u32) -> IvcPing {
+        IvcPing::new(
+            channel,
+            vec![64, 256, 1024, 4096, 16384, 65536, 262144, 1 << 20],
+            reps,
+        )
+    }
+
+    /// Sets the guest-side per-byte buffer cost (ns/byte).
+    pub fn with_touch_cost(mut self, ns_per_byte: f64) -> IvcPing {
+        self.touch_ns_per_byte = ns_per_byte;
+        self
+    }
+
+    /// Returns `true` once all sizes completed.
+    pub fn is_done(&self) -> bool {
+        self.phase == Phase::Done
+    }
+
+    /// RTT samples per message size (µs).
+    pub fn rtts(&self) -> &BTreeMap<u64, Samples> {
+        &self.rtts
+    }
+
+    fn current_size(&self) -> u64 {
+        self.sizes[self.size_idx]
+    }
+}
+
+impl AppLogic for IvcPing {
+    fn next_op(&mut self, vcpu: u32, now: SimTime) -> GuestOp {
+        if vcpu != 0 {
+            return GuestOp::Wfi; // helper vCPUs idle
+        }
+        match self.phase {
+            Phase::Prep => {
+                self.phase = Phase::Send;
+                // RTT measurement starts before buffer preparation, as
+                // in NetPIPE.
+                self.sent_at = now;
+                GuestOp::Compute {
+                    work: SimDuration::from_nanos_f64(
+                        self.current_size() as f64 * self.touch_ns_per_byte,
+                    ),
+                }
+            }
+            Phase::Send => {
+                self.phase = Phase::Wait;
+                self.seq += 1;
+                GuestOp::IvcSend {
+                    channel: self.channel,
+                    bytes: self.current_size(),
+                    seq: self.seq,
+                }
+            }
+            Phase::Wait => GuestOp::Wfi,
+            Phase::Consume => {
+                self.phase = Phase::Prep;
+                GuestOp::Compute {
+                    work: SimDuration::from_nanos_f64(
+                        self.current_size() as f64 * self.touch_ns_per_byte,
+                    ),
+                }
+            }
+            Phase::Done => GuestOp::Shutdown,
+        }
+    }
+
+    fn on_irq(&mut self, vcpu: u32, irq: GuestIrq, now: SimTime) {
+        if vcpu != 0 {
+            return;
+        }
+        if let GuestIrq::IvcRecv { channel, seq, .. } = irq {
+            if channel == self.channel && self.phase == Phase::Wait && seq == self.seq {
+                let rtt = now.duration_since(self.sent_at).as_micros_f64();
+                let size = self.current_size();
+                self.rtts.entry(size).or_default().record(rtt);
+                self.rep += 1;
+                if self.rep >= self.reps {
+                    self.rep = 0;
+                    self.size_idx += 1;
+                }
+                self.phase = if self.size_idx >= self.sizes.len() {
+                    Phase::Done
+                } else {
+                    Phase::Consume
+                };
+            }
+        }
+    }
+
+    fn stats(&self) -> WorkloadStats {
+        let mut stats = WorkloadStats::new();
+        for (size, samples) in &self.rtts {
+            stats
+                .samples
+                .insert(format!("ivc_rtt_us_{size}"), samples.clone());
+        }
+        stats.counters.add("ivc.round_trips", self.seq);
+        stats
+    }
+}
+
+/// The echo side of the IVC ping-pong: idles in WFI and bounces every
+/// drained message straight back on the same channel (the IVC analogue
+/// of [`crate::peer::EchoPeer`], but running inside a realm).
+#[derive(Debug)]
+pub struct IvcEcho {
+    channel: u32,
+    /// Messages drained but not yet echoed: `(bytes, seq)`.
+    pending: VecDeque<(u64, u64)>,
+    echoed: u64,
+    /// Shut down after this many echoes (`None` = echo forever).
+    limit: Option<u64>,
+}
+
+impl IvcEcho {
+    /// Creates an echo guest for channel `channel`.
+    pub fn new(channel: u32) -> IvcEcho {
+        IvcEcho {
+            channel,
+            pending: VecDeque::new(),
+            echoed: 0,
+            limit: None,
+        }
+    }
+
+    /// Shuts the guest down after `n` echoes (so a benchmark run with a
+    /// known round count can terminate cleanly).
+    pub fn with_limit(mut self, n: u64) -> IvcEcho {
+        self.limit = Some(n);
+        self
+    }
+
+    /// Messages echoed so far.
+    pub fn echoed(&self) -> u64 {
+        self.echoed
+    }
+}
+
+impl AppLogic for IvcEcho {
+    fn next_op(&mut self, vcpu: u32, _now: SimTime) -> GuestOp {
+        if vcpu != 0 {
+            return GuestOp::Wfi;
+        }
+        match self.pending.pop_front() {
+            Some((bytes, seq)) => {
+                self.echoed += 1;
+                GuestOp::IvcSend {
+                    channel: self.channel,
+                    bytes,
+                    seq,
+                }
+            }
+            None if self.limit.is_some_and(|n| self.echoed >= n) => GuestOp::Shutdown,
+            None => GuestOp::Wfi,
+        }
+    }
+
+    fn on_irq(&mut self, vcpu: u32, irq: GuestIrq, _now: SimTime) {
+        if vcpu != 0 {
+            return;
+        }
+        if let GuestIrq::IvcRecv {
+            channel,
+            bytes,
+            seq,
+        } = irq
+        {
+            if channel == self.channel {
+                self.pending.push_back((bytes, seq));
+            }
+        }
+    }
+
+    fn stats(&self) -> WorkloadStats {
+        let mut stats = WorkloadStats::new();
+        stats.counters.add("ivc.echoed", self.echoed);
+        stats
+    }
+}
+
+/// The producing side of the streaming pair: publishes `count` messages
+/// of `bytes` each, pacing with per-message compute, then shuts down.
+#[derive(Debug)]
+pub struct IvcProducer {
+    channel: u32,
+    bytes: u64,
+    count: u64,
+    /// Per-message pacing compute (models generating the payload).
+    pace: SimDuration,
+    sent: u64,
+    /// `true` when the next op is the pacing compute (alternates with
+    /// the publish).
+    pacing: bool,
+}
+
+impl IvcProducer {
+    /// Creates a producer publishing `count` messages of `bytes` on
+    /// channel `channel`, with `pace` compute before each.
+    pub fn new(channel: u32, bytes: u64, count: u64, pace: SimDuration) -> IvcProducer {
+        assert!(count > 0, "empty IVC stream");
+        IvcProducer {
+            channel,
+            bytes,
+            count,
+            pace,
+            sent: 0,
+            pacing: true,
+        }
+    }
+
+    /// Messages published so far.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+}
+
+impl AppLogic for IvcProducer {
+    fn next_op(&mut self, vcpu: u32, _now: SimTime) -> GuestOp {
+        if vcpu != 0 {
+            return GuestOp::Wfi;
+        }
+        if self.sent >= self.count {
+            return GuestOp::Shutdown;
+        }
+        if self.pacing {
+            self.pacing = false;
+            GuestOp::Compute { work: self.pace }
+        } else {
+            self.pacing = true;
+            self.sent += 1;
+            GuestOp::IvcSend {
+                channel: self.channel,
+                bytes: self.bytes,
+                seq: self.sent,
+            }
+        }
+    }
+
+    fn on_irq(&mut self, _vcpu: u32, _irq: GuestIrq, _now: SimTime) {}
+
+    fn stats(&self) -> WorkloadStats {
+        let mut stats = WorkloadStats::new();
+        stats.counters.add("ivc.produced", self.sent);
+        stats
+    }
+}
+
+/// The consuming side of the streaming pair: idles in WFI, counts
+/// drained messages, verifies the producer's sequence numbers arrive in
+/// order, and records inter-arrival gaps.
+#[derive(Debug)]
+pub struct IvcConsumer {
+    channel: u32,
+    expected: u64,
+    received: u64,
+    /// Highest sequence number seen (producer counts from 1).
+    last_seq: u64,
+    out_of_order: u64,
+    last_arrival: Option<SimTime>,
+    /// Inter-arrival gaps (µs).
+    gaps: Samples,
+}
+
+impl IvcConsumer {
+    /// Creates a consumer expecting `expected` messages on `channel`.
+    pub fn new(channel: u32, expected: u64) -> IvcConsumer {
+        IvcConsumer {
+            channel,
+            expected,
+            received: 0,
+            last_seq: 0,
+            out_of_order: 0,
+            last_arrival: None,
+            gaps: Samples::new(),
+        }
+    }
+
+    /// Messages drained so far.
+    pub fn received(&self) -> u64 {
+        self.received
+    }
+
+    /// Returns `true` once all expected messages arrived.
+    pub fn is_done(&self) -> bool {
+        self.received >= self.expected
+    }
+
+    /// Messages that arrived with a non-monotonic sequence number.
+    pub fn out_of_order(&self) -> u64 {
+        self.out_of_order
+    }
+}
+
+impl AppLogic for IvcConsumer {
+    fn next_op(&mut self, vcpu: u32, _now: SimTime) -> GuestOp {
+        if vcpu != 0 {
+            return GuestOp::Wfi;
+        }
+        if self.is_done() {
+            GuestOp::Shutdown
+        } else {
+            GuestOp::Wfi
+        }
+    }
+
+    fn on_irq(&mut self, vcpu: u32, irq: GuestIrq, now: SimTime) {
+        if vcpu != 0 {
+            return;
+        }
+        if let GuestIrq::IvcRecv { channel, seq, .. } = irq {
+            if channel != self.channel {
+                return;
+            }
+            self.received += 1;
+            if seq <= self.last_seq {
+                self.out_of_order += 1;
+            } else {
+                self.last_seq = seq;
+            }
+            if let Some(prev) = self.last_arrival {
+                self.gaps.record(now.duration_since(prev).as_micros_f64());
+            }
+            self.last_arrival = Some(now);
+        }
+    }
+
+    fn stats(&self) -> WorkloadStats {
+        let mut stats = WorkloadStats::new();
+        stats.counters.add("ivc.consumed", self.received);
+        stats.counters.add("ivc.out_of_order", self.out_of_order);
+        stats
+            .samples
+            .insert("ivc_gap_us".to_owned(), self.gaps.clone());
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn recv(channel: u32, bytes: u64, seq: u64) -> GuestIrq {
+        GuestIrq::IvcRecv {
+            channel,
+            bytes,
+            seq,
+        }
+    }
+
+    /// Advances through the Prep compute and returns the publish op.
+    fn prep_then_send(p: &mut IvcPing, t: SimTime) -> GuestOp {
+        assert!(matches!(p.next_op(0, t), GuestOp::Compute { .. }));
+        p.next_op(0, t)
+    }
+
+    #[test]
+    fn ping_pong_sequence() {
+        let mut p = IvcPing::new(3, vec![64, 256], 1);
+        let t0 = SimTime::ZERO;
+        match prep_then_send(&mut p, t0) {
+            GuestOp::IvcSend {
+                channel,
+                bytes,
+                seq,
+            } => {
+                assert_eq!(channel, 3);
+                assert_eq!(bytes, 64);
+                assert_eq!(seq, 1);
+            }
+            other => panic!("expected IvcSend, got {other:?}"),
+        }
+        assert!(matches!(p.next_op(0, t0), GuestOp::Wfi));
+        p.on_irq(0, recv(3, 64, 1), t0 + SimDuration::micros(10));
+        assert!(!p.is_done());
+        assert!(matches!(p.next_op(0, t0), GuestOp::Compute { .. })); // consume
+        assert!(matches!(
+            prep_then_send(&mut p, t0),
+            GuestOp::IvcSend { bytes: 256, .. }
+        ));
+        p.on_irq(0, recv(3, 256, 2), t0 + SimDuration::micros(30));
+        assert!(p.is_done());
+        assert!(matches!(p.next_op(0, t0), GuestOp::Shutdown));
+        assert_eq!(p.rtts()[&64].len(), 1);
+        assert!((p.stats().sample("ivc_rtt_us_64").unwrap().mean() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wrong_channel_or_stale_seq_ignored() {
+        let mut p = IvcPing::new(3, vec![64], 1);
+        prep_then_send(&mut p, SimTime::ZERO);
+        p.on_irq(0, recv(9, 64, 1), SimTime::ZERO); // wrong channel
+        p.on_irq(0, recv(3, 64, 7), SimTime::ZERO); // wrong seq
+        assert!(!p.is_done());
+        assert!(p.rtts().is_empty());
+    }
+
+    #[test]
+    fn echo_bounces_in_order() {
+        let mut e = IvcEcho::new(3);
+        assert!(matches!(e.next_op(0, SimTime::ZERO), GuestOp::Wfi));
+        e.on_irq(0, recv(3, 64, 1), SimTime::ZERO);
+        e.on_irq(0, recv(3, 128, 2), SimTime::ZERO);
+        e.on_irq(0, recv(9, 256, 3), SimTime::ZERO); // other channel: ignored
+        match e.next_op(0, SimTime::ZERO) {
+            GuestOp::IvcSend { bytes, seq, .. } => {
+                assert_eq!((bytes, seq), (64, 1));
+            }
+            other => panic!("expected IvcSend, got {other:?}"),
+        }
+        assert!(matches!(
+            e.next_op(0, SimTime::ZERO),
+            GuestOp::IvcSend {
+                bytes: 128,
+                seq: 2,
+                ..
+            }
+        ));
+        assert!(matches!(e.next_op(0, SimTime::ZERO), GuestOp::Wfi));
+        assert_eq!(e.echoed(), 2);
+    }
+
+    #[test]
+    fn producer_paces_then_publishes() {
+        let mut p = IvcProducer::new(5, 4096, 2, SimDuration::micros(3));
+        assert!(matches!(
+            p.next_op(0, SimTime::ZERO),
+            GuestOp::Compute { .. }
+        ));
+        assert!(matches!(
+            p.next_op(0, SimTime::ZERO),
+            GuestOp::IvcSend { seq: 1, .. }
+        ));
+        assert!(matches!(
+            p.next_op(0, SimTime::ZERO),
+            GuestOp::Compute { .. }
+        ));
+        assert!(matches!(
+            p.next_op(0, SimTime::ZERO),
+            GuestOp::IvcSend { seq: 2, .. }
+        ));
+        assert!(matches!(p.next_op(0, SimTime::ZERO), GuestOp::Shutdown));
+        assert_eq!(p.sent(), 2);
+    }
+
+    #[test]
+    fn consumer_counts_and_orders() {
+        let mut c = IvcConsumer::new(5, 3);
+        let t0 = SimTime::ZERO;
+        assert!(matches!(c.next_op(0, t0), GuestOp::Wfi));
+        c.on_irq(0, recv(5, 64, 1), t0);
+        c.on_irq(0, recv(5, 64, 2), t0 + SimDuration::micros(4));
+        c.on_irq(0, recv(5, 64, 2), t0 + SimDuration::micros(8)); // duplicate
+        assert!(c.is_done());
+        assert_eq!(c.received(), 3);
+        assert_eq!(c.out_of_order(), 1);
+        assert!(matches!(c.next_op(0, t0), GuestOp::Shutdown));
+        let stats = c.stats();
+        assert_eq!(stats.counters.get("ivc.consumed"), 3);
+        assert_eq!(stats.sample("ivc_gap_us").unwrap().len(), 2);
+    }
+}

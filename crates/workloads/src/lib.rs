@@ -32,6 +32,7 @@ pub mod faultstorm;
 pub mod guest;
 pub mod iozone;
 pub mod ipibench;
+pub mod ivc;
 pub mod kbuild;
 pub mod kernel;
 pub mod netpipe;

@@ -64,6 +64,12 @@ for p in sys.argv[1:]:
   done
   cmp "$tmp/ia.json" "$tmp/ib.json"
 
+  echo "== ivc_pingpong smoke (channel + fault runs must be byte-identical) =="
+  for run in va vb; do
+    ./target/release/ivc_pingpong --quick --json "$tmp/$run.json" >/dev/null
+  done
+  cmp "$tmp/va.json" "$tmp/vb.json"
+
   echo "== cargo doc (deny warnings; vendored stand-ins excluded) =="
   RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet \
     --exclude rand --exclude proptest --exclude criterion --exclude serde

@@ -102,6 +102,90 @@ proptest! {
         prop_assert_eq!(planner.free_cores(), pool_size);
     }
 
+    /// EVENT_IDX notification predicate: `need_event(e, n, o)` must
+    /// equal membership of `e` in the half-open window [o, n) mod 2^16
+    /// for every combination of indices — in particular at the u16
+    /// wraparound, where `new_idx` has advanced exactly once past the
+    /// armed event index.
+    #[test]
+    fn need_event_equals_window_membership(
+        event in 0u16..=u16::MAX,
+        old in 0u16..=u16::MAX,
+        advance in 0u16..1024,
+    ) {
+        let new = old.wrapping_add(advance);
+        let in_window = event.wrapping_sub(old) < new.wrapping_sub(old);
+        prop_assert_eq!(
+            cg_virtio::need_event(event, new, old),
+            in_window,
+            "event={:#06x} old={:#06x} new={:#06x}", event, old, new
+        );
+    }
+
+    /// The wrap boundary itself, pinned exhaustively: for every `old`,
+    /// arming at `event = old` and advancing exactly one entry must
+    /// notify; arming one behind must not.
+    #[test]
+    fn need_event_one_past_event_always_notifies(old in 0u16..=u16::MAX) {
+        let new = old.wrapping_add(1);
+        prop_assert!(cg_virtio::need_event(old, new, old));
+        prop_assert!(!cg_virtio::need_event(old.wrapping_sub(1), new, old));
+        prop_assert!(!cg_virtio::need_event(new, new, old));
+    }
+
+    /// State machine over admit/release/replan: no core is ever
+    /// allocated to two realms, the pool is conserved
+    /// (free + allocated == pool), fragmentation stays total and in
+    /// [0, 1], and a cloned planner replaying the same operations stays
+    /// byte-identical.
+    #[test]
+    fn planner_state_machine_invariants(
+        ops in prop::collection::vec((0u8..4, 0u32..8, 1u16..6), 1..60)
+    ) {
+        let pool_size = 12u16;
+        let mut planner = CorePlanner::new((0..pool_size).map(CoreId));
+        let mut twin = planner.clone();
+        for (op, realm, n) in ops {
+            let realm = RealmId(realm);
+            match op {
+                0 | 1 => {
+                    let a = planner.admit(realm, n);
+                    let b = twin.admit(realm, n);
+                    prop_assert_eq!(&a, &b, "clone diverged on admit");
+                    if let Ok(cores) = a {
+                        prop_assert_eq!(cores.len(), n as usize);
+                    }
+                }
+                2 => {
+                    prop_assert_eq!(planner.release(realm), twin.release(realm));
+                }
+                _ => {
+                    prop_assert_eq!(
+                        planner.replan_compact(),
+                        twin.replan_compact()
+                    );
+                }
+            }
+            // Invariant 1: no double allocation across realms.
+            let mut seen = std::collections::BTreeSet::new();
+            let mut allocated = 0u16;
+            for r in (0..8).map(RealmId) {
+                if let Some(cores) = planner.allocation(r) {
+                    allocated += cores.len() as u16;
+                    for c in cores {
+                        prop_assert!(seen.insert(*c), "core {c} double-allocated");
+                    }
+                }
+            }
+            // Invariant 2: pool conservation.
+            prop_assert_eq!(planner.free_cores() + allocated, pool_size);
+            // Invariant 3: fragmentation is total and bounded.
+            let f = planner.fragmentation();
+            prop_assert!(f.is_finite(), "fragmentation produced NaN/inf");
+            prop_assert!((0.0..=1.0).contains(&f), "fragmentation {f} out of range");
+        }
+    }
+
     /// The binding state machine never lets two realms own one core and
     /// never lets one vCPU bind two cores.
     #[test]

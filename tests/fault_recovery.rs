@@ -103,6 +103,9 @@ fn combined_fault_plan_still_completes() {
         delay_response: SimDuration::micros(20),
         wedge_request_p: 0.02,
         drop_completion_irq_p: 0.0,
+        drop_ivc_doorbell_p: 0.0,
+        dup_ivc_doorbell_p: 0.0,
+        forge_ivc_doorbell_p: 0.0,
     };
     let r = run_fault_sweep(
         plan,

@@ -90,17 +90,27 @@ fn io_watchdog_heals_dropped_completion_irqs() {
         (
             c.get("fault.completion_irq_dropped"),
             c.get("io.watchdog_recovered"),
+            c.get("io.watchdog_kicks"),
             system.vm_report(vm).exits_total,
         )
     };
-    let (dropped, recovered, exits) = run();
+    let (dropped, recovered, kicks, exits) = run();
     assert!(dropped > 0, "injector must bite");
     assert!(
         recovered > 0,
         "the I/O watchdog rescan must re-announce stranded completions"
     );
+    // Regression for the poll/suspend race: a kick raised while the
+    // I/O thread is tearing down must be caught by the re-check after
+    // re-arming notifications, never left for the watchdog's grace
+    // period. Only the *completion* side may need the watchdog here.
     assert_eq!(
-        (dropped, recovered, exits),
+        kicks, 0,
+        "suspend must re-check for freshly published work; the watchdog \
+         grace period is not an acceptable kick-delivery latency"
+    );
+    assert_eq!(
+        (dropped, recovered, kicks, exits),
         run(),
         "same seed + same plan must replay identically"
     );
