@@ -1,0 +1,137 @@
+//! Cross-bench histogram aggregation.
+//!
+//! Reads the `--json` reports written by the other bench binaries,
+//! rebuilds every histogram row from its exported raw parts
+//! ([`Histogram::from_parts`]), merges same-named histograms across
+//! reports ([`Histogram::merge`]), and prints the merged percentiles.
+//! Merged percentiles come from merged buckets — never from averaging
+//! per-run percentile values, which is statistically meaningless.
+//!
+//! Usage: `aggregate <report.json>...`
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use cg_sim::{Histogram, Json};
+
+/// A histogram row rebuilt from a report, plus its presentation
+/// metadata (unit and sample scale).
+struct Rebuilt {
+    hist: Histogram,
+    scale: f64,
+    unit: String,
+    /// How many reports contributed to the merge.
+    sources: u64,
+}
+
+fn rebuild(row: &Json) -> Option<(String, Rebuilt)> {
+    if row.get("kind").and_then(Json::as_str) != Some("histogram") {
+        return None;
+    }
+    let name = row.get("name")?.as_str()?.to_owned();
+    let buckets = row
+        .get("buckets")?
+        .as_arr()?
+        .iter()
+        .filter_map(|pair| {
+            let pair = pair.as_arr()?;
+            Some((pair.first()?.as_u64()? as usize, pair.get(1)?.as_u64()?))
+        })
+        .collect::<Vec<_>>();
+    let hist = Histogram::from_parts(
+        row.get("count")?.as_u64()?,
+        row.get("sum_raw")?.as_f64()?,
+        row.get("min_raw")?.as_f64()?,
+        row.get("max_raw")?.as_f64()?,
+        row.get("zero_count")?.as_u64()?,
+        buckets,
+    );
+    Some((
+        name,
+        Rebuilt {
+            hist,
+            scale: row.get("scale").and_then(Json::as_f64).unwrap_or(1.0),
+            unit: row
+                .get("unit")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_owned(),
+            sources: 1,
+        },
+    ))
+}
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: aggregate <report.json>...");
+        return ExitCode::FAILURE;
+    }
+    // name → merged histogram, in first-seen-per-name deterministic
+    // order via BTreeMap (reports themselves arrive in argv order).
+    let mut merged: BTreeMap<String, Rebuilt> = BTreeMap::new();
+    let mut reports = 0u64;
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("aggregate: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let doc = match Json::parse(&text) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("aggregate: {path}: bad JSON: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        reports += 1;
+        let rows = doc.get("rows").and_then(Json::as_arr).unwrap_or(&[]);
+        for row in rows {
+            let Some((name, rb)) = rebuild(row) else {
+                continue;
+            };
+            match merged.get_mut(&name) {
+                Some(existing) => {
+                    if existing.scale != rb.scale {
+                        eprintln!(
+                            "aggregate: {path}: `{name}` scale {} clashes with {}",
+                            rb.scale, existing.scale
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                    existing.hist.merge(&rb.hist);
+                    existing.sources += 1;
+                }
+                None => {
+                    merged.insert(name, rb);
+                }
+            }
+        }
+    }
+    if merged.is_empty() {
+        println!("aggregate: {reports} report(s), no histogram rows");
+        return ExitCode::SUCCESS;
+    }
+    println!("==== merged percentiles across {reports} report(s) ====");
+    println!(
+        "{:<52} {:>4} {:>9} {:>9} {:>9} {:>9} {:>9} unit",
+        "histogram", "runs", "n", "p50", "p95", "p99", "p99.9"
+    );
+    for (name, rb) in &merged {
+        let p = |q: f64| rb.hist.percentile(q) / rb.scale;
+        println!(
+            "{:<52} {:>4} {:>9} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {}",
+            name,
+            rb.sources,
+            rb.hist.count(),
+            p(50.0),
+            p(95.0),
+            p(99.0),
+            p(99.9),
+            rb.unit
+        );
+    }
+    ExitCode::SUCCESS
+}

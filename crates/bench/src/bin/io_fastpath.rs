@@ -6,7 +6,7 @@
 use cg_bench::{header, Report};
 use cg_core::experiments::apps::run_redis_virtio;
 use cg_core::experiments::io::{
-    run_iozone_fastpath, run_netpipe_fastpath, FastpathRun, IoPathMode,
+    run_iozone_fastpath_obs, run_netpipe_fastpath_obs, FastpathRun, IoPathMode,
 };
 use cg_workloads::redis::RedisCommand;
 
@@ -27,7 +27,7 @@ fn main() {
 
     let net: Vec<FastpathRun> = IoPathMode::ALL
         .iter()
-        .map(|&m| run_netpipe_fastpath(m, sizes, reps, 42))
+        .map(|&m| run_netpipe_fastpath_obs(m, sizes, reps, 42, report.obs()))
         .collect();
 
     header("io_fastpath: NetPIPE round-trip p50 / p99 (us) per message size");
@@ -69,7 +69,7 @@ fn main() {
 
     let disk: Vec<FastpathRun> = IoPathMode::ALL
         .iter()
-        .map(|&m| run_iozone_fastpath(m, records, reps, 42))
+        .map(|&m| run_iozone_fastpath_obs(m, records, reps, 42, report.obs()))
         .collect();
 
     header("io_fastpath: IOzone sync read p50 / p99 (us) per record size");
@@ -153,5 +153,12 @@ fn main() {
     println!("where notification cost dominates; the gap narrows as wire/copy time");
     println!("swamps the per-message overhead. Suppression removes kicks and");
     println!("completion interrupts without adding latency.");
+
+    let mut totals = cg_sim::Counters::default();
+    for r in net.iter().chain(&disk) {
+        totals.merge(&r.counters);
+    }
+    report.counters_by_plane(&totals);
+    report.attribution();
     report.finish();
 }

@@ -5,7 +5,7 @@
 //! resilience (dropped doorbells healed, forged doorbells rejected).
 
 use cg_bench::{header, Report};
-use cg_core::experiments::ivc::{run_ivc_pingpong, run_ivc_stream, IvcMode, IvcRun};
+use cg_core::experiments::ivc::{run_ivc_pingpong_obs, run_ivc_stream, IvcMode, IvcRun};
 use cg_sim::{FaultPlan, SimDuration};
 
 fn main() {
@@ -20,7 +20,7 @@ fn main() {
 
     let runs: Vec<IvcRun> = IvcMode::ALL
         .iter()
-        .map(|&m| run_ivc_pingpong(m, sizes, reps, 42))
+        .map(|&m| run_ivc_pingpong_obs(m, sizes, reps, 42, report.obs()))
         .collect();
 
     header("ivc_pingpong: round-trip p50 / p99 (us) per message size");
@@ -123,5 +123,12 @@ fn main() {
     println!("realm-core, so the steady-state data path takes zero REC exits.");
     println!("Dropped doorbells heal via the watchdog rescan; forged doorbells are");
     println!("rejected at the RMM without waking the victim.");
+
+    let mut totals = cg_sim::Counters::default();
+    for r in &runs {
+        totals.merge(&r.counters);
+    }
+    report.counters_by_plane(&totals);
+    report.attribution();
     report.finish();
 }

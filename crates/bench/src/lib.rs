@@ -28,6 +28,7 @@
 //! | `--json <path>` | machine-readable report of every printed row |
 //! | `--trace-out <path>` | Chrome-trace span profile (load in Perfetto) |
 //! | `--timeseries <path>` | periodic gauge samples as CSV |
+//! | `--attrib` | per-plane latency attribution (queueing / backend / delivery / drain) |
 //!
 //! Everything is off by default; the simulation itself is byte-for-byte
 //! identical whether or not the sinks are enabled.
@@ -86,6 +87,7 @@ pub struct Report {
     json_out: Option<PathBuf>,
     trace_out: Option<PathBuf>,
     timeseries_out: Option<PathBuf>,
+    attrib: bool,
     obs: Obs,
     rows: Vec<Json>,
     notes: Vec<(String, Json)>,
@@ -104,6 +106,7 @@ impl Report {
         let mut json_out = None;
         let mut trace_out = None;
         let mut timeseries_out = None;
+        let mut attrib = false;
         let mut it = args.into_iter();
         while let Some(a) = it.next() {
             match a.as_str() {
@@ -111,10 +114,14 @@ impl Report {
                 "--json" => json_out = it.next().map(PathBuf::from),
                 "--trace-out" => trace_out = it.next().map(PathBuf::from),
                 "--timeseries" => timeseries_out = it.next().map(PathBuf::from),
+                "--attrib" => attrib = true,
                 _ => {}
             }
         }
-        let obs = match (trace_out.is_some(), timeseries_out.is_some()) {
+        // Attribution consumes causally-traced spans, so `--attrib`
+        // turns the profiler on even without a trace file.
+        let spans = trace_out.is_some() || attrib;
+        let obs = match (spans, timeseries_out.is_some()) {
             (true, true) => Obs::full(DEFAULT_SAMPLE_PERIOD),
             (true, false) => Obs::spans(),
             (false, true) => Obs::sampled(DEFAULT_SAMPLE_PERIOD),
@@ -126,6 +133,7 @@ impl Report {
             json_out,
             trace_out,
             timeseries_out,
+            attrib,
             obs,
             rows: Vec::new(),
             notes: Vec::new(),
@@ -195,6 +203,14 @@ impl Report {
             p(99.0),
             p(99.9)
         );
+        // The raw (unscaled) distribution parts ride along so an
+        // aggregator can rebuild the histogram with
+        // [`Histogram::from_parts`] and merge it across runs — merged
+        // percentiles come from merged buckets, not averaged p-values.
+        let buckets = Json::arr(
+            hist.nonzero_buckets()
+                .map(|(idx, count)| Json::arr([Json::from(idx as u64), Json::from(count)])),
+        );
         self.rows.push(Json::obj([
             ("name", Json::from(name)),
             ("kind", Json::from("histogram")),
@@ -207,6 +223,12 @@ impl Report {
             ("p95", Json::from(p(95.0))),
             ("p99", Json::from(p(99.0))),
             ("p999", Json::from(p(99.9))),
+            ("scale", Json::from(scale)),
+            ("sum_raw", Json::from(hist.sum())),
+            ("min_raw", Json::from(hist.min())),
+            ("max_raw", Json::from(hist.max())),
+            ("zero_count", Json::from(hist.zero_count())),
+            ("buckets", buckets),
         ]));
     }
 
@@ -215,9 +237,94 @@ impl Report {
         self.notes.push((key.to_owned(), value));
     }
 
+    /// Whether `--attrib` was passed.
+    pub fn attrib(&self) -> bool {
+        self.attrib
+    }
+
+    /// Records a run's counters grouped by execution plane (the
+    /// [`cg_core::counters`] registry) into the JSON report.
+    pub fn counters_by_plane(&mut self, counters: &cg_sim::Counters) {
+        let groups = cg_core::counters::group_by_plane(counters);
+        let obj = Json::obj(groups.into_iter().map(|(plane, entries)| {
+            (
+                plane.name(),
+                Json::obj(
+                    entries
+                        .into_iter()
+                        .map(|(name, value)| (name.to_owned(), Json::from(value))),
+                ),
+            )
+        }));
+        self.notes.push(("counters".to_owned(), obj));
+    }
+
+    /// Prints and records the per-plane latency attribution over every
+    /// request traced so far (no-op unless `--attrib` was passed).
+    /// Call after the runs of interest, before [`Report::finish`].
+    pub fn attribution(&mut self) {
+        if !self.attrib {
+            return;
+        }
+        let attrib = cg_sim::attribute(&self.obs.profiler.snapshot());
+        if attrib.planes.is_empty() {
+            println!("attribution: no traced requests");
+            return;
+        }
+        header("latency attribution (p50 µs per component)");
+        println!(
+            "{:<10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>12} {:>10}",
+            "plane", "requests", "queueing", "backend", "delivery", "drain", "component-sum", "e2e"
+        );
+        let mut rows = Vec::new();
+        for p in &attrib.planes {
+            let q = p.queueing_us.percentile(50.0);
+            let b = p.backend_us.percentile(50.0);
+            let d = p.delivery_us.percentile(50.0);
+            let dr = p.drain_us.percentile(50.0);
+            let e2e = p.e2e_us.percentile(50.0);
+            println!(
+                "{:<10} {:>10} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>12.3} {:>10.3}",
+                p.plane,
+                p.requests,
+                q,
+                b,
+                d,
+                dr,
+                p.component_p50_sum(),
+                e2e
+            );
+            rows.push(Json::obj([
+                ("plane", Json::from(p.plane)),
+                ("requests", Json::from(p.requests)),
+                ("queueing_p50_us", Json::from(q)),
+                ("backend_p50_us", Json::from(b)),
+                ("delivery_p50_us", Json::from(d)),
+                ("drain_p50_us", Json::from(dr)),
+                ("component_p50_sum_us", Json::from(p.component_p50_sum())),
+                ("e2e_p50_us", Json::from(e2e)),
+                ("e2e_p99_us", Json::from(p.e2e_us.percentile(99.0))),
+            ]));
+        }
+        self.notes.push(("attrib".to_owned(), Json::arr(rows)));
+    }
+
     /// Writes every sink requested on the command line. Consumes the
     /// report; call it last.
-    pub fn finish(self) {
+    pub fn finish(mut self) {
+        // Unbalanced-span tripwire: every begin() must have met its
+        // end() by the time the runs are over. A non-zero count means a
+        // code path minted a root span and dropped it — the trace would
+        // silently lose its flow arrows there.
+        if self.obs.profiler.is_enabled() {
+            let open = self.obs.profiler.open_count();
+            self.notes
+                .push(("open_spans".to_owned(), Json::from(open as u64)));
+            if open > 0 {
+                println!("WARNING: {open} span(s) still open at end of run");
+            }
+            debug_assert_eq!(open, 0, "unbalanced spans at end of run");
+        }
         if let Some(path) = &self.json_out {
             let mut root = Json::obj([
                 ("bench", Json::from(self.bench.as_str())),

@@ -219,6 +219,7 @@ impl System {
                 pending_exit: None,
                 roundtrip_span: cg_sim::SpanId::NULL,
                 handle_span: cg_sim::SpanId::NULL,
+                handle_ctx: cg_sim::TraceCtx::NULL,
                 call_seq: 0,
                 call_attempt: 0,
                 call_timeout_token: None,

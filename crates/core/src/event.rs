@@ -1,6 +1,7 @@
 //! The system event type driving the simulation.
 
 use cg_machine::{CoreId, IntId};
+use cg_sim::TraceCtx;
 use cg_workloads::PeerPacket;
 
 use crate::system::VmId;
@@ -38,6 +39,9 @@ pub enum SystemEvent {
         vm: VmId,
         /// Guest device index.
         device: u32,
+        /// Causal context of the completion that raised the interrupt
+        /// (observational only; `NULL` when tracing is off).
+        ctx: TraceCtx,
     },
     /// A posted run call becomes visible to the polling dedicated core.
     RunRequestVisible {
@@ -116,5 +120,8 @@ pub enum SystemEvent {
         device: u32,
         /// Completion tag.
         tag: u64,
+        /// Causal context of the submitting request (observational
+        /// only; `NULL` when tracing is off).
+        ctx: TraceCtx,
     },
 }

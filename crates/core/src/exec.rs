@@ -5,13 +5,14 @@ use cg_cca::{RecExit, RecExitReason};
 use cg_host::{DeviceKind, HostAction, IoThread, ThreadId, VmExecMode, WakeupThread};
 use cg_machine::{CoreId, Domain, IntId, World};
 use cg_rmm::{Disposition, GuestEvent, REALM_DOORBELL_SGI};
-use cg_sim::{SimDuration, SimTime};
+use cg_sim::{SimDuration, SimTime, TraceCtx};
 use cg_workloads::{GuestIrq, GuestOp, PeerPacket};
 
 use crate::config::RunTransport;
 use crate::event::SystemEvent;
 use crate::system::{
-    CoreRun, RunMsg, System, ThreadCont, VmId, VmmEffect, CVM_EXIT_SGI, HOST_KICK_SGI, IO_KICK_SGI,
+    CoreRun, RunMsg, StagedIo, System, ThreadCont, VmId, VmmEffect, CVM_EXIT_SGI, HOST_KICK_SGI,
+    IO_KICK_SGI,
 };
 
 /// What happens when the current guest segment completes.
@@ -31,7 +32,13 @@ pub(crate) enum GuestCont {
     NetTxDirect { bytes: u64, flow: u64 },
     /// A fast-path descriptor publish completes: ring the I/O doorbell
     /// if EVENT_IDX asked for a notification, then continue the guest.
-    VirtioKick { device: u32, notify: bool },
+    VirtioKick {
+        device: u32,
+        notify: bool,
+        /// Causal trace context of the published descriptor; its
+        /// `parent` is the open root span the kick arm closes.
+        ctx: TraceCtx,
+    },
     /// A delegated cross-core IPI completes: ring the target core.
     IpiSendDone { target_core: CoreId },
     /// An inter-CVM channel publish completes: ring the channel's
@@ -42,6 +49,9 @@ pub(crate) enum GuestCont {
         spi: u32,
         notify: bool,
         target_core: CoreId,
+        /// Causal trace context of the published message; its `parent`
+        /// is the open root span the publish arm closes.
+        ctx: TraceCtx,
     },
     /// The exit record is ready: hand it to the host.
     ExitPost { exit: RecExit },
@@ -303,15 +313,27 @@ impl System {
                 }
             }
             ThreadCont::VcpuHandleExit { vm, vcpu } => {
+                let resp_ctx = self.vms[vm.0].run_channels[vcpu as usize].response_ctx();
                 if self.profiler.is_enabled() {
                     let realm = self.vms[vm.0].kvm.realm().0;
-                    self.vms[vm.0].vcpus[vcpu as usize].handle_span = self.profiler.begin(
+                    let (span, hctx) = self.profiler.begin_child(
                         cg_sim::SpanKind::ExitHandle,
                         Some(core.0),
                         Some(realm),
                         Some(vcpu),
+                        resp_ctx,
                     );
+                    let rt = &mut self.vms[vm.0].vcpus[vcpu as usize];
+                    rt.handle_span = span;
+                    rt.handle_ctx = hctx;
                 }
+                self.flight.record(
+                    self.queue.now(),
+                    resp_ctx.trace,
+                    "rpc.handle",
+                    Some(core.0),
+                    None,
+                );
                 let exit = self.take_posted_exit(vm, vcpu);
                 let actions = {
                     let host = self.config.host.clone();
@@ -340,16 +362,41 @@ impl System {
             ThreadCont::WakeupScan => self.complete_wakeup_scan(core, tid),
             ThreadCont::IoPoll => self.complete_io_poll(core, tid),
             ThreadCont::IoBackend { staged } => {
+                let seg_started = self.cores[core.index()].seg_started;
+                let now = self.queue.now();
                 self.profiler.record_span(
                     cg_sim::SpanKind::VirtioBackend,
                     Some(core.0),
                     None,
                     None,
-                    self.cores[core.index()].seg_started,
-                    self.queue.now(),
+                    seg_started,
+                    now,
                 );
-                for (vm, device, vcpu, effect) in staged {
-                    self.apply_io_effect(vm, device, vcpu, effect);
+                for item in staged {
+                    // Each traced item gets its own backend child span
+                    // (same interval as the aggregate segment above)
+                    // so the request's trace crosses onto this thread.
+                    let ctx = if item.ctx.is_null() {
+                        item.ctx
+                    } else {
+                        self.flight.record(
+                            now,
+                            item.ctx.trace,
+                            "virtio.backend",
+                            Some(core.0),
+                            None,
+                        );
+                        self.profiler.record_span_child(
+                            cg_sim::SpanKind::VirtioBackend,
+                            Some(core.0),
+                            None,
+                            None,
+                            seg_started,
+                            now,
+                            item.ctx,
+                        )
+                    };
+                    self.apply_io_effect(item.vm, item.device, item.vcpu, item.effect, ctx);
                 }
                 self.set_cont(tid, ThreadCont::IoPoll);
                 self.begin_thread(core, tid);
@@ -456,6 +503,12 @@ impl System {
                 HostAction::VcpuFinished { vcpu: v } => {
                     debug_assert_eq!(v, vcpu);
                     self.end_handle_span(vm, vcpu);
+                    // The final shutdown exit never issues another run
+                    // call, so close its round trip here (the tripwire
+                    // would otherwise count it as leaked).
+                    let span =
+                        std::mem::take(&mut self.vms[vm.0].vcpus[vcpu as usize].roundtrip_span);
+                    self.profiler.end(span);
                     if self.vms[vm.0].kvm.all_finished() && self.vms[vm.0].finished.is_none() {
                         self.vms[vm.0].finished = Some(self.queue.now());
                     }
@@ -629,9 +682,15 @@ impl System {
         self.vms[vm.0].kvm.mark_entered(vcpu);
         match self.vms[vm.0].kvm.mode() {
             VmExecMode::CoreGapped => {
+                // The next call's request leg links under the exit
+                // handling that produced it.
+                let hctx = std::mem::take(&mut self.vms[vm.0].vcpus[vcpu as usize].handle_ctx);
                 self.vms[vm.0].run_channels[vcpu as usize]
                     .post_request(RunMsg { entry }, now)
                     .expect("run channel busy on issue");
+                self.vms[vm.0].run_channels[vcpu as usize].set_request_ctx(hctx);
+                self.flight
+                    .record(now, hctx.trace, "rpc.issue", Some(core.0), None);
                 let visible = self.vms[vm.0].run_channels[vcpu as usize]
                     .request_visible_at(&self.config.machine)
                     .expect("just posted");
@@ -792,16 +851,25 @@ impl System {
 
     fn complete_wakeup_scan(&mut self, core: CoreId, tid: ThreadId) {
         let now = self.queue.now();
-        self.profiler.record_span(
+        // Find all posted-and-visible exits whose threads still await.
+        let mut candidates = self.wakeup_scan_candidates(now);
+        // The scan span links into the first woken request's trace (one
+        // scan can wake several; the rest stay linked through their own
+        // response legs). With no candidates it degrades to the plain
+        // untraced span.
+        let scan_ctx = candidates
+            .first()
+            .map(|&(vm_idx, vcpu)| self.vms[vm_idx].run_channels[vcpu as usize].response_ctx())
+            .unwrap_or(TraceCtx::NULL);
+        self.profiler.record_span_child(
             cg_sim::SpanKind::WakeupScan,
             Some(core.0),
             None,
             None,
             self.cores[core.index()].seg_started,
             now,
+            scan_ctx,
         );
-        // Find all posted-and-visible exits whose threads still await.
-        let mut candidates = self.wakeup_scan_candidates(now);
         if self.config.inject_wakeup_nondeterminism {
             // Test-only fault injection: launder the candidate list
             // through a HashMap, whose iteration order depends on the
@@ -909,7 +977,7 @@ impl System {
         );
         self.metrics.counters.incr("io.polls");
         let host = self.config.host.clone();
-        let mut staged: Vec<(VmId, u32, u32, VmmEffect)> = Vec::new();
+        let mut staged: Vec<StagedIo> = Vec::new();
         let mut cost = SimDuration::ZERO;
         for vm_idx in 0..self.vms.len() {
             for di in 0..self.vms[vm_idx].devices.len() {
@@ -926,12 +994,13 @@ impl System {
                     }
                     let (bytes, flow) = d.rx_pending.pop_front().expect("checked non-empty");
                     cost += host.virtio_net_packet_cost(bytes);
-                    staged.push((
-                        VmId(vm_idx),
-                        di as u32,
-                        0,
-                        VmmEffect::RxToGuest { bytes, flow },
-                    ));
+                    staged.push(StagedIo {
+                        vm: VmId(vm_idx),
+                        device: di as u32,
+                        vcpu: 0,
+                        effect: VmmEffect::RxToGuest { bytes, flow },
+                        ctx: TraceCtx::NULL,
+                    });
                 }
                 // Submissions, per queue pair in vCPU order.
                 for q in 0..self.vms[vm_idx].devices[di].queues.len() {
@@ -954,7 +1023,13 @@ impl System {
                                 }
                             }
                         };
-                        staged.push((VmId(vm_idx), di as u32, q as u32, eff));
+                        staged.push(StagedIo {
+                            vm: VmId(vm_idx),
+                            device: di as u32,
+                            vcpu: q as u32,
+                            effect: eff,
+                            ctx: d.ctx,
+                        });
                     }
                 }
             }
@@ -1008,7 +1083,14 @@ impl System {
     /// Applies one staged I/O-plane effect: wire/disk scheduling plus
     /// the used-ring completion and its (possibly suppressed) delegated
     /// interrupt.
-    fn apply_io_effect(&mut self, vm: VmId, device: u32, vcpu: u32, effect: VmmEffect) {
+    fn apply_io_effect(
+        &mut self,
+        vm: VmId,
+        device: u32,
+        vcpu: u32,
+        effect: VmmEffect,
+        ctx: TraceCtx,
+    ) {
         let host = self.config.host.clone();
         match effect {
             VmmEffect::TxToWire { bytes, flow } => {
@@ -1027,13 +1109,18 @@ impl System {
                     device,
                     vcpu,
                     false,
-                    cg_virtio::Descriptor::net(bytes, flow),
+                    cg_virtio::Descriptor::net(bytes, flow).with_ctx(ctx),
                 );
             }
             VmmEffect::DiskSubmit { tag, service_ns } => {
                 self.queue.schedule_after(
                     SimDuration::nanos(service_ns),
-                    SystemEvent::DiskDone { vm, device, tag },
+                    SystemEvent::DiskDone {
+                        vm,
+                        device,
+                        tag,
+                        ctx,
+                    },
                 );
             }
             VmmEffect::RxToGuest { bytes, flow } => {
@@ -1042,7 +1129,7 @@ impl System {
                     device,
                     0,
                     true,
-                    cg_virtio::Descriptor::net(bytes, flow),
+                    cg_virtio::Descriptor::net(bytes, flow).with_ctx(ctx),
                 );
             }
         }
@@ -1063,30 +1150,33 @@ impl System {
     ) {
         let now = self.queue.now();
         self.metrics.counters.incr("virtio.completions");
+        // Zero-length marker: completion posting is event-edge work; its
+        // CPU cost is part of the backend segment already charged. The
+        // returned ctx re-parents the rest of this completion's causal
+        // chain (used-ring drain + interrupt delivery) under this span.
+        let realm = self.vms[vm.0].kvm.realm().0;
+        let ctx = self.profiler.record_span_child(
+            cg_sim::SpanKind::VirtioComplete,
+            None,
+            Some(realm),
+            Some(vcpu),
+            now,
+            now,
+            d.ctx,
+        );
+        self.flight
+            .record(now, ctx.trace, "virtio.complete", None, Some(realm));
         let irq = {
             let dev = &mut self.vms[vm.0].devices[device as usize];
             let pair = &mut dev.queues[vcpu as usize];
             let q = if rx { &mut pair.rx } else { &mut pair.tx };
-            q.push_used(d);
+            q.push_used(d.with_ctx(ctx));
             let irq = q.should_interrupt();
             if dev.completion_posted_at.is_none() {
                 dev.completion_posted_at = Some(now);
             }
             irq
         };
-        // Zero-length marker: completion posting is event-edge work; its
-        // CPU cost is part of the backend segment already charged.
-        if self.profiler.is_enabled() {
-            let realm = self.vms[vm.0].kvm.realm().0;
-            self.profiler.record_span(
-                cg_sim::SpanKind::VirtioComplete,
-                None,
-                Some(realm),
-                Some(vcpu),
-                now,
-                now,
-            );
-        }
         if !irq {
             self.metrics.counters.incr("virtio.irqs_suppressed");
             return;
@@ -1105,6 +1195,7 @@ impl System {
                 core: target,
                 vm,
                 device,
+                ctx,
             },
         );
     }
@@ -1203,7 +1294,12 @@ impl System {
             VmmEffect::DiskSubmit { tag, service_ns } => {
                 self.queue.schedule_after(
                     SimDuration::nanos(service_ns),
-                    SystemEvent::DiskDone { vm, device, tag },
+                    SystemEvent::DiskDone {
+                        vm,
+                        device,
+                        tag,
+                        ctx: TraceCtx::NULL,
+                    },
                 );
             }
             VmmEffect::RxToGuest { bytes, flow } => {
@@ -1258,6 +1354,7 @@ impl System {
                     core: route,
                     vm,
                     device,
+                    ctx: TraceCtx::NULL,
                 },
             );
         }
@@ -1401,13 +1498,24 @@ impl System {
                 .add("ivc.messages_drained", msgs.len() as u64);
             let realm = self.vms[vm.0].kvm.realm();
             let core = self.vms[vm.0].vcpus[vcpu as usize].core;
-            self.profiler.record_span(
+            // One drain marker per doorbell, linked to the oldest
+            // message's trace (the request the doorbell was rung for).
+            let drain_ctx = msgs.first().map(|m| m.ctx).unwrap_or(TraceCtx::NULL);
+            self.profiler.record_span_child(
                 cg_sim::SpanKind::IvcDrain,
                 Some(core.0),
                 Some(realm.0),
                 Some(vcpu),
                 now,
                 now,
+                drain_ctx,
+            );
+            self.flight.record(
+                now,
+                drain_ctx.trace,
+                "ivc.drain",
+                Some(core.0),
+                Some(realm.0),
             );
         }
         for m in msgs {
@@ -1448,6 +1556,34 @@ impl System {
         Some(nominal)
     }
 
+    /// Records the guest-side drain hop for one traced used-ring entry:
+    /// a zero-length [`cg_sim::SpanKind::VirtioDrain`] child closing the
+    /// request's causal chain, plus its flight-recorder hop. Untraced
+    /// entries record nothing (the drain is part of the exit segment).
+    fn record_fastpath_drain(
+        &mut self,
+        ctx: TraceCtx,
+        core: CoreId,
+        realm: u32,
+        vcpu: u32,
+        now: SimTime,
+    ) {
+        if ctx.is_null() {
+            return;
+        }
+        self.profiler.record_span_child(
+            cg_sim::SpanKind::VirtioDrain,
+            Some(core.0),
+            Some(realm),
+            Some(vcpu),
+            now,
+            now,
+            ctx,
+        );
+        self.flight
+            .record(now, ctx.trace, "virtio.drain", Some(core.0), Some(realm));
+    }
+
     /// Guest-side drain of `vcpu`'s used rings on a delegated completion
     /// interrupt: disk completions and rx payloads become guest events,
     /// net tx recycles free their buffers, and consumed rx buffers are
@@ -1458,10 +1594,13 @@ impl System {
         if (vcpu as usize) >= self.vms[vm.0].devices[di].queues.len() {
             return;
         }
+        let guest_core = self.vms[vm.0].vcpus[vcpu as usize].core;
+        let realm = self.vms[vm.0].kvm.realm().0;
         let used_tx = self.vms[vm.0].devices[di].queues[vcpu as usize]
             .tx
             .consume_used();
         for d in used_tx {
+            self.record_fastpath_drain(d.ctx, guest_core, realm, vcpu, now);
             if kind == DeviceKind::VirtioBlk {
                 self.vms[vm.0].devices[di].tag_owner.remove(&d.cookie);
                 self.vms[vm.0].guest.on_irq(
@@ -1480,6 +1619,7 @@ impl System {
             .consume_used();
         let n_rx = used_rx.len();
         for d in used_rx {
+            self.record_fastpath_drain(d.ctx, guest_core, realm, vcpu, now);
             self.vms[vm.0].guest.on_irq(
                 vcpu,
                 GuestIrq::NetRx {
@@ -1500,6 +1640,7 @@ impl System {
                     bytes: 0,
                     cookie: 0,
                     is_write: true,
+                    ctx: TraceCtx::NULL,
                 });
             }
             if pair.rx.should_kick() && waiting {
@@ -1743,6 +1884,7 @@ impl System {
                             core: route,
                             vm,
                             device: 0,
+                            ctx: TraceCtx::NULL,
                         },
                     );
                 }
@@ -1844,29 +1986,52 @@ impl System {
                 };
                 let spi = self.ivc[slot].spi;
                 let now = self.queue.now();
+                // Check fullness before minting the trace root: a
+                // backpressure drop must not leave an open span behind.
+                let full = {
+                    let dir = self.ivc[slot]
+                        .dir_from_mut(vm, vcpu)
+                        .expect("checked above");
+                    dir.ring.pending() >= dir.ring.capacity()
+                };
+                if full {
+                    // Backpressure: the consumer is far behind. Drop
+                    // and count; the producer's pacing (or the test)
+                    // must absorb this.
+                    self.metrics.counters.incr("ivc.ring_full");
+                    self.start_guest_segment(
+                        core,
+                        SimDuration::nanos(50),
+                        SimDuration::ZERO,
+                        GuestCont::OpDone,
+                    );
+                    return;
+                }
+                // Trace root for the IVC plane: the publish segment is
+                // the root span; everything downstream (doorbell SPI,
+                // consumer drain) hangs off it.
+                let realm = self.vms[vm.0].kvm.realm().0;
+                let (_root, ctx) = self.profiler.begin_traced(
+                    cg_sim::SpanKind::IvcPublish,
+                    Some(core.0),
+                    Some(realm),
+                    Some(vcpu),
+                );
                 let (notify, target) = {
                     let dir = self.ivc[slot]
                         .dir_from_mut(vm, vcpu)
                         .expect("checked above");
-                    if dir.ring.publish(cg_ivc::IvcMsg { bytes, seq }).is_err() {
-                        // Backpressure: the consumer is far behind. Drop
-                        // and count; the producer's pacing (or the test)
-                        // must absorb this.
-                        self.metrics.counters.incr("ivc.ring_full");
-                        self.start_guest_segment(
-                            core,
-                            SimDuration::nanos(50),
-                            SimDuration::ZERO,
-                            GuestCont::OpDone,
-                        );
-                        return;
-                    }
+                    dir.ring
+                        .publish(cg_ivc::IvcMsg::new(bytes, seq).with_ctx(ctx))
+                        .expect("fullness checked above");
                     if dir.published_at.is_none() {
                         dir.published_at = Some(now);
                     }
                     (dir.ring.should_ring(), dir.to)
                 };
                 self.metrics.counters.incr("ivc.messages_sent");
+                self.flight
+                    .record(now, ctx.trace, "ivc.publish", Some(core.0), Some(realm));
                 let target_core = self.vms[target.0 .0].vcpus[target.1 as usize].core;
                 self.start_guest_segment(
                     core,
@@ -1877,6 +2042,7 @@ impl System {
                         spi,
                         notify,
                         target_core,
+                        ctx,
                     },
                 );
             }
@@ -1952,20 +2118,48 @@ impl System {
         if !self.vms[vm.0].io_fastpath || !self.vms[vm.0].devices[device as usize].fastpath() {
             return false;
         }
-        let pair = &mut self.vms[vm.0].devices[device as usize].queues[vcpu as usize];
-        if pair.tx.push(d).is_err() {
-            // Backpressure: fall back to the exit path, whose host-side
-            // handling also lets the I/O plane catch up.
-            self.metrics.counters.incr("virtio.ring_full");
-            return false;
+        // Check fullness before minting the trace root: a backpressure
+        // fallback must not leave an open span behind.
+        {
+            let pair = &self.vms[vm.0].devices[device as usize].queues[vcpu as usize];
+            if pair.tx.in_flight() >= pair.tx.size() {
+                // Backpressure: fall back to the exit path, whose
+                // host-side handling also lets the I/O plane catch up.
+                self.metrics.counters.incr("virtio.ring_full");
+                return false;
+            }
         }
-        self.metrics.counters.incr(counter);
+        // Trace root for the virtio plane: the publish segment is the
+        // root span; the backend, completion and drain hops hang off it.
+        let realm = self.vms[vm.0].kvm.realm().0;
+        let (_root, ctx) = self.profiler.begin_traced(
+            cg_sim::SpanKind::VirtioKick,
+            Some(core.0),
+            Some(realm),
+            Some(vcpu),
+        );
+        let pair = &mut self.vms[vm.0].devices[device as usize].queues[vcpu as usize];
+        pair.tx
+            .push(d.with_ctx(ctx))
+            .expect("fullness checked above");
         let notify = pair.tx.should_kick();
+        self.metrics.counters.incr(counter);
+        self.flight.record(
+            self.queue.now(),
+            ctx.trace,
+            "virtio.publish",
+            Some(core.0),
+            Some(realm),
+        );
         self.start_guest_segment(
             core,
             self.config.host.virtio_desc_publish,
             SimDuration::ZERO,
-            GuestCont::VirtioKick { device, notify },
+            GuestCont::VirtioKick {
+                device,
+                notify,
+                ctx,
+            },
         );
         true
     }
@@ -2103,17 +2297,29 @@ impl System {
                 );
                 self.advance_guest(core);
             }
-            GuestCont::VirtioKick { device, notify } => {
+            GuestCont::VirtioKick {
+                device,
+                notify,
+                ctx,
+            } => {
                 let now = self.queue.now();
                 let realm = self.vms[vm.0].kvm.realm().0;
-                self.profiler.record_span(
-                    cg_sim::SpanKind::VirtioKick,
-                    Some(core.0),
-                    Some(realm),
-                    Some(vcpu),
-                    self.cores[core.index()].seg_started,
-                    now,
-                );
+                if ctx.is_null() {
+                    self.profiler.record_span(
+                        cg_sim::SpanKind::VirtioKick,
+                        Some(core.0),
+                        Some(realm),
+                        Some(vcpu),
+                        self.cores[core.index()].seg_started,
+                        now,
+                    );
+                } else {
+                    // Close the root span opened at publish time; its
+                    // interval is exactly the publish segment.
+                    self.profiler.end(ctx.parent);
+                }
+                self.flight
+                    .record(now, ctx.trace, "virtio.kick", Some(core.0), Some(realm));
                 self.strace
                     .record(cg_sim::TraceKind::Irq, Some(core.0), || {
                         format!("virtio.kick dev{device} notify={notify}")
@@ -2142,17 +2348,38 @@ impl System {
                 spi,
                 notify,
                 target_core,
+                ctx,
             } => {
                 let now = self.queue.now();
                 let realm = self.vms[vm.0].kvm.realm().0;
-                self.profiler.record_span(
-                    cg_sim::SpanKind::IvcPublish,
-                    Some(core.0),
-                    Some(realm),
-                    Some(vcpu),
-                    self.cores[core.index()].seg_started,
-                    now,
-                );
+                if ctx.is_null() {
+                    self.profiler.record_span(
+                        cg_sim::SpanKind::IvcPublish,
+                        Some(core.0),
+                        Some(realm),
+                        Some(vcpu),
+                        self.cores[core.index()].seg_started,
+                        now,
+                    );
+                } else {
+                    // Close the root span opened at publish time.
+                    self.profiler.end(ctx.parent);
+                }
+                if notify {
+                    // Zero-length doorbell marker: the SPI send itself is
+                    // event-edge work inside the publish segment.
+                    self.profiler.record_span_child(
+                        cg_sim::SpanKind::IvcDoorbell,
+                        Some(core.0),
+                        Some(realm),
+                        Some(vcpu),
+                        now,
+                        now,
+                        ctx,
+                    );
+                    self.flight
+                        .record(now, ctx.trace, "ivc.doorbell", Some(core.0), Some(realm));
+                }
                 self.strace
                     .record(cg_sim::TraceKind::Irq, Some(core.0), || {
                         format!("ivc.publish ch{channel} notify={notify}")
@@ -2217,15 +2444,18 @@ impl System {
                 format!("run.exit {vm}.vcpu{vcpu} {}", exit.reason)
             });
         self.vms[vm.0].vcpus[vcpu as usize].exit_posted_at = Some(now);
-        if self.profiler.is_enabled() {
-            let realm = self.vms[vm.0].kvm.realm().0;
-            self.vms[vm.0].vcpus[vcpu as usize].roundtrip_span = self.profiler.begin(
-                cg_sim::SpanKind::ExitRoundTrip,
-                Some(core.0),
-                Some(realm),
-                Some(vcpu),
-            );
-        }
+        // Trace root for the RPC plane: the exit round trip is the root
+        // span; the channel legs, host handling and re-entry hang off it.
+        let realm = self.vms[vm.0].kvm.realm().0;
+        let (root, exit_ctx) = self.profiler.begin_traced(
+            cg_sim::SpanKind::ExitRoundTrip,
+            Some(core.0),
+            Some(realm),
+            Some(vcpu),
+        );
+        self.vms[vm.0].vcpus[vcpu as usize].roundtrip_span = root;
+        self.flight
+            .record(now, exit_ctx.trace, "rpc.exit", Some(core.0), Some(realm));
         match self.vms[vm.0].kvm.mode() {
             VmExecMode::CoreGapped => {
                 // Hostile host: the response cache line's visibility can
@@ -2239,6 +2469,7 @@ impl System {
                 self.vms[vm.0].run_channels[vcpu as usize]
                     .post_response(exit, post_at)
                     .expect("run channel must be serving");
+                self.vms[vm.0].run_channels[vcpu as usize].set_response_ctx(exit_ctx);
                 self.cores[core.index()].run = CoreRun::RmmPolling;
                 self.machine
                     .cpu_mut(core)

@@ -310,6 +310,8 @@ pub struct FastpathRun {
     pub points: BTreeMap<u64, FastpathPoint>,
     /// Run-wide notification counters.
     pub stats: FastpathStats,
+    /// Full counter snapshot (for plane-grouped report export).
+    pub counters: cg_sim::Counters,
 }
 
 pub(crate) fn fastpath_stats(system: &System, exits_total: u64) -> FastpathStats {
@@ -328,8 +330,21 @@ pub(crate) fn fastpath_stats(system: &System, exits_total: u64) -> FastpathStats
 /// per-size p50/p99 round trips and throughput plus notification
 /// counters.
 pub fn run_netpipe_fastpath(mode: IoPathMode, sizes: &[u64], reps: u32, seed: u64) -> FastpathRun {
+    run_netpipe_fastpath_obs(mode, sizes, reps, seed, &crate::obs::Obs::disabled())
+}
+
+/// As [`run_netpipe_fastpath`], but records through the observability
+/// bundle.
+pub fn run_netpipe_fastpath_obs(
+    mode: IoPathMode,
+    sizes: &[u64],
+    reps: u32,
+    seed: u64,
+    obs: &crate::obs::Obs,
+) -> FastpathRun {
     let sys_config = base_config(true, seed);
     let mut system = System::new(sys_config.clone());
+    system.attach_obs(obs);
     let app = Netpipe::new(sizes.to_vec(), reps, 0);
     let guest = GuestKernel::new(1, sys_config.host.guest_hz, Box::new(app));
     let spec = mode.apply_spec(VmSpec::core_gapped(1).with_device(DeviceKind::VirtioNet));
@@ -362,14 +377,28 @@ pub fn run_netpipe_fastpath(mode: IoPathMode, sizes: &[u64], reps: u32, seed: u6
     FastpathRun {
         points,
         stats: fastpath_stats(&system, report.exits_total),
+        counters: system.metrics().counters.clone(),
     }
 }
 
 /// Runs IOzone sync reads on the chosen data path, returning per-record
 /// p50/p99 request times and MiB/s plus notification counters.
 pub fn run_iozone_fastpath(mode: IoPathMode, records: &[u64], reps: u32, seed: u64) -> FastpathRun {
+    run_iozone_fastpath_obs(mode, records, reps, seed, &crate::obs::Obs::disabled())
+}
+
+/// As [`run_iozone_fastpath`], but records through the observability
+/// bundle.
+pub fn run_iozone_fastpath_obs(
+    mode: IoPathMode,
+    records: &[u64],
+    reps: u32,
+    seed: u64,
+    obs: &crate::obs::Obs,
+) -> FastpathRun {
     let sys_config = base_config(true, seed);
     let mut system = System::new(sys_config.clone());
+    system.attach_obs(obs);
     let phases: Vec<(u64, bool, u32)> = records.iter().map(|&r| (r, false, reps)).collect();
     let app = Iozone::new(phases, 0);
     let guest = GuestKernel::new(1, sys_config.host.guest_hz, Box::new(app));
@@ -404,6 +433,7 @@ pub fn run_iozone_fastpath(mode: IoPathMode, records: &[u64], reps: u32, seed: u
     FastpathRun {
         points,
         stats: fastpath_stats(&system, report.exits_total),
+        counters: system.metrics().counters.clone(),
     }
 }
 

@@ -85,6 +85,8 @@ pub struct IvcRun {
     pub points: BTreeMap<u64, IvcPoint>,
     /// Run-wide channel counters.
     pub stats: IvcStats,
+    /// Full counter snapshot (for plane-grouped report export).
+    pub counters: cg_sim::Counters,
 }
 
 fn base_config(seed: u64) -> SystemConfig {
@@ -124,9 +126,23 @@ pub fn run_ivc_pingpong_faults(
     seed: u64,
     fault: FaultPlan,
 ) -> IvcRun {
+    run_ivc_pingpong_faults_obs(mode, sizes, reps, seed, fault, &crate::obs::Obs::disabled())
+}
+
+/// As [`run_ivc_pingpong_faults`], but records through the
+/// observability bundle.
+pub fn run_ivc_pingpong_faults_obs(
+    mode: IvcMode,
+    sizes: &[u64],
+    reps: u32,
+    seed: u64,
+    fault: FaultPlan,
+    obs: &crate::obs::Obs,
+) -> IvcRun {
     let mut sys_config = base_config(seed);
     sys_config.fault = fault;
     let mut system = System::new(sys_config.clone());
+    system.attach_obs(obs);
     match mode {
         IvcMode::HostRelay => {
             // Stand-in for realm-to-realm messaging through the host:
@@ -153,6 +169,7 @@ pub fn run_ivc_pingpong_faults(
             IvcRun {
                 points,
                 stats: ivc_stats(&system, total_exits(&system, &[vm])),
+                counters: system.metrics().counters.clone(),
             }
         }
         IvcMode::Ivc => {
@@ -185,6 +202,7 @@ pub fn run_ivc_pingpong_faults(
             IvcRun {
                 points,
                 stats: ivc_stats(&system, total_exits(&system, &[vma, vmb])),
+                counters: system.metrics().counters.clone(),
             }
         }
     }
@@ -193,6 +211,18 @@ pub fn run_ivc_pingpong_faults(
 /// As [`run_ivc_pingpong_faults`] with no fault injection.
 pub fn run_ivc_pingpong(mode: IvcMode, sizes: &[u64], reps: u32, seed: u64) -> IvcRun {
     run_ivc_pingpong_faults(mode, sizes, reps, seed, FaultPlan::none())
+}
+
+/// As [`run_ivc_pingpong`], but records through the observability
+/// bundle.
+pub fn run_ivc_pingpong_obs(
+    mode: IvcMode,
+    sizes: &[u64],
+    reps: u32,
+    seed: u64,
+    obs: &crate::obs::Obs,
+) -> IvcRun {
+    run_ivc_pingpong_faults_obs(mode, sizes, reps, seed, FaultPlan::none(), obs)
 }
 
 fn point(mut samples: cg_sim::Samples, size: u64) -> IvcPoint {
@@ -228,9 +258,29 @@ pub fn run_ivc_stream(
     seed: u64,
     fault: FaultPlan,
 ) -> IvcStreamRun {
+    run_ivc_stream_obs(
+        bytes,
+        count,
+        pace,
+        seed,
+        fault,
+        &crate::obs::Obs::disabled(),
+    )
+}
+
+/// As [`run_ivc_stream`], but records through the observability bundle.
+pub fn run_ivc_stream_obs(
+    bytes: u64,
+    count: u64,
+    pace: SimDuration,
+    seed: u64,
+    fault: FaultPlan,
+    obs: &crate::obs::Obs,
+) -> IvcStreamRun {
     let mut sys_config = base_config(seed);
     sys_config.fault = fault;
     let mut system = System::new(sys_config.clone());
+    system.attach_obs(obs);
     let producer = IvcProducer::new(IVC_CHANNEL, bytes, count, pace);
     let consumer = IvcConsumer::new(IVC_CHANNEL, count);
     let ga = GuestKernel::new(1, sys_config.host.guest_hz, Box::new(producer));

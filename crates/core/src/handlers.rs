@@ -16,9 +16,12 @@ impl System {
             SystemEvent::SegmentEnd { core, epoch } => self.on_segment_end(core, epoch),
             SystemEvent::PhysTimerFire { core, generation } => self.on_phys_timer(core, generation),
             SystemEvent::IpiArrive { core, intid } => self.on_ipi(core, intid),
-            SystemEvent::DeviceIrqArrive { core, vm, device } => {
-                self.on_device_irq(core, vm, device)
-            }
+            SystemEvent::DeviceIrqArrive {
+                core,
+                vm,
+                device,
+                ctx,
+            } => self.on_device_irq(core, vm, device, ctx),
             SystemEvent::RunRequestVisible { vm, vcpu } => self.on_run_request(vm, vcpu),
             SystemEvent::EmulTimerFire {
                 vm,
@@ -33,7 +36,12 @@ impl System {
                 flow,
             } => self.on_wire_to_guest(vm, device, bytes, flow),
             SystemEvent::ObsSample { period_ns } => self.on_obs_sample(period_ns),
-            SystemEvent::DiskDone { vm, device, tag } => self.on_disk_done(vm, device, tag),
+            SystemEvent::DiskDone {
+                vm,
+                device,
+                tag,
+                ctx,
+            } => self.on_disk_done(vm, device, tag, ctx),
             SystemEvent::HarassTick {
                 vm,
                 vcpu,
@@ -132,9 +140,11 @@ impl System {
             Disposition::Idle { .. } => {
                 // The RMM refused to inject (e.g. a forged IVC doorbell
                 // for a channel this vCPU is no endpoint of): the guest
-                // stays in WFI — the victim must not even wake.
+                // stays in WFI — the victim must not even wake. Preserve
+                // the recent hop history around the rejection.
                 self.cores[core.index()].run = CoreRun::GuestWfi { vm, vcpu };
                 self.mirror_ivc_rejections();
+                self.flight.dump(self.queue.now(), "rmm.doorbell_rejected");
             }
             other => unreachable!("idle irq disposition {other:?}"),
         }
@@ -190,7 +200,7 @@ impl System {
         }
     }
 
-    fn on_device_irq(&mut self, core: CoreId, vm: VmId, device: u32) {
+    fn on_device_irq(&mut self, core: CoreId, vm: VmId, device: u32, ctx: cg_sim::TraceCtx) {
         // Direct delivery: the SPI was routed to the CVM's dedicated
         // core and the RMM injects it without host involvement.
         // Fast-path completion interrupts are always delegated this way.
@@ -200,10 +210,12 @@ impl System {
             let spi = self.vms[vm.0].devices[device as usize].spi;
             match self.cores[core.index()].run {
                 CoreRun::Guest { vm: gvm, vcpu } if gvm == vm => {
+                    self.record_rmm_inject(gvm, vcpu, core, ctx);
                     self.interrupt_gapped_guest(core, gvm, vcpu, IntId::spi(spi));
                     return;
                 }
                 CoreRun::GuestWfi { vm: gvm, vcpu } if gvm == vm => {
+                    self.record_rmm_inject(gvm, vcpu, core, ctx);
                     self.wake_idle_guest(core, gvm, vcpu, IntId::spi(spi));
                     return;
                 }
@@ -234,6 +246,30 @@ impl System {
                 self.deliver_device_irq_actions(vm, device);
             }
         }
+    }
+
+    /// Records the RMM's direct-injection hop for a traced delegated
+    /// interrupt: a zero-length [`cg_sim::SpanKind::RmmInject`] child
+    /// (the injection is event-edge work inside delivery costs already
+    /// charged) plus its flight-recorder hop. Untraced deliveries record
+    /// nothing.
+    fn record_rmm_inject(&mut self, vm: VmId, vcpu: u32, core: CoreId, ctx: cg_sim::TraceCtx) {
+        if ctx.is_null() {
+            return;
+        }
+        let now = self.queue.now();
+        let realm = self.vms[vm.0].kvm.realm().0;
+        self.profiler.record_span_child(
+            cg_sim::SpanKind::RmmInject,
+            Some(core.0),
+            Some(realm),
+            Some(vcpu),
+            now,
+            now,
+            ctx,
+        );
+        self.flight
+            .record(now, ctx.trace, "rmm.inject", Some(core.0), Some(realm));
     }
 
     fn deliver_device_irq_actions(&mut self, vm: VmId, device: u32) {
@@ -303,6 +339,23 @@ impl System {
         let msg = self.vms[vm.0].run_channels[vcpu as usize]
             .take_request(now, &machine_params)
             .expect("run request visible when scheduled");
+        // The dedicated core's RMM re-enters the realm on behalf of the
+        // host's request: a zero-length injection marker links the entry
+        // into the request's trace (the REC_ENTER cost is the following
+        // guest segment).
+        let req_ctx = self.vms[vm.0].run_channels[vcpu as usize].request_ctx();
+        let realm = self.vms[vm.0].kvm.realm().0;
+        self.profiler.record_span_child(
+            cg_sim::SpanKind::RmmInject,
+            Some(core.0),
+            Some(realm),
+            Some(vcpu),
+            now,
+            now,
+            req_ctx,
+        );
+        self.flight
+            .record(now, req_ctx.trace, "rmm.enter", Some(core.0), Some(realm));
         let rec = self.vms[vm.0].kvm.rec(vcpu);
         let out = self.rmm.rec_enter_with_list(
             core,
@@ -472,6 +525,7 @@ impl System {
                 self.record_rpc_retry(vm, vcpu, attempt, "requested", now);
                 if exhausted {
                     self.metrics.counters.incr("rpc.retries_exhausted");
+                    self.flight.dump(now, "rpc.retries_exhausted");
                 }
                 if exhausted || !self.fault.wedge_request() {
                     let notice = now + self.config.machine.poll_iteration / 2;
@@ -498,6 +552,7 @@ impl System {
                 self.record_rpc_retry(vm, vcpu, attempt, "responded", now);
                 if exhausted {
                     self.metrics.counters.incr("rpc.retries_exhausted");
+                    self.flight.dump(now, "rpc.retries_exhausted");
                 }
                 self.rmm.note_response_repost();
                 self.metrics.counters.incr("rmm.response_reposts");
@@ -606,6 +661,7 @@ impl System {
             };
             let core = self.vms[to.0 .0].vcpus[to.1 as usize].core;
             self.metrics.counters.incr("ivc.watchdog_recovered");
+            self.flight.dump(now, "ivc.watchdog_recovered");
             self.strace
                 .record(cg_sim::TraceKind::Irq, Some(core.0), || {
                     format!("ivc.watchdog re-ring ch{channel}")
@@ -665,6 +721,7 @@ impl System {
             // doorbell was dropped (or its latch wedged). Heal the latch
             // and activate the wake-up thread directly.
             self.metrics.counters.incr("wakeup.watchdog_recovered");
+            self.flight.dump(now, "wakeup.watchdog_recovered");
             self.strace
                 .record(cg_sim::TraceKind::Sched, Some(host_core.0), || {
                     "wakeup.watchdog found stranded exit".to_string()
@@ -717,6 +774,7 @@ impl System {
         }
         for (vm, device, core) in stranded {
             self.metrics.counters.incr("io.watchdog_recovered");
+            self.flight.dump(now, "io.watchdog_recovered");
             self.strace
                 .record(cg_sim::TraceKind::Irq, Some(core.0), || {
                     format!("io.watchdog re-announce {vm} dev{device}")
@@ -726,7 +784,12 @@ impl System {
             self.vms[vm.0].devices[device as usize].completion_posted_at = Some(now);
             self.queue.schedule_after(
                 self.config.machine.device_irq_deliver,
-                SystemEvent::DeviceIrqArrive { core, vm, device },
+                SystemEvent::DeviceIrqArrive {
+                    core,
+                    vm,
+                    device,
+                    ctx: cg_sim::TraceCtx::NULL,
+                },
             );
         }
         // Published-but-unserviced work with the I/O thread suspended:
@@ -757,7 +820,7 @@ impl System {
         }
     }
 
-    fn on_disk_done(&mut self, vm: VmId, device: u32, tag: u64) {
+    fn on_disk_done(&mut self, vm: VmId, device: u32, tag: u64, ctx: cg_sim::TraceCtx) {
         if self.vms[vm.0].devices[device as usize].fastpath() {
             // Fast path: the completion goes straight onto the owner's
             // used ring; the interrupt (if not suppressed) is delegated
@@ -772,7 +835,7 @@ impl System {
                 device,
                 owner,
                 false,
-                cg_virtio::Descriptor::disk(0, tag, false),
+                cg_virtio::Descriptor::disk(0, tag, false).with_ctx(ctx),
             );
             return;
         }
@@ -790,6 +853,7 @@ impl System {
                 core: spi_core,
                 vm,
                 device,
+                ctx: cg_sim::TraceCtx::NULL,
             },
         );
     }

@@ -38,6 +38,7 @@ mod exec;
 mod handlers;
 
 pub mod config;
+pub mod counters;
 pub mod diag;
 pub mod event;
 pub mod experiments;

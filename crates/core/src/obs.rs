@@ -7,13 +7,13 @@
 //! timeline. Everything is off by default and free when disabled.
 
 use cg_machine::CoreId;
-use cg_sim::{Profiler, SimDuration, TimeSeries};
+use cg_sim::{FlightRecorder, Profiler, SimDuration, TimeSeries};
 
 use crate::event::SystemEvent;
 use crate::system::System;
 
 /// Column names pushed by the periodic sampler, in order.
-const COLUMNS: [&str; 7] = [
+pub(crate) const COLUMNS: [&str; 7] = [
     "host_util",
     "chan_requests",
     "chan_responses",
@@ -34,17 +34,23 @@ pub struct Obs {
     pub profiler: Profiler,
     /// Time-series sampler sink.
     pub timeseries: TimeSeries,
+    /// Always-on bounded flight recorder shared by every system this
+    /// bundle attaches to (a ring, so "always on" stays cheap).
+    pub flight: FlightRecorder,
     /// Period of the self-rescheduling sampling event (ignored when
     /// `timeseries` is disabled).
     pub sample_period: SimDuration,
 }
 
 impl Obs {
-    /// A fully disabled bundle: attaching it costs nothing.
+    /// A fully disabled bundle: attaching it costs nothing. The flight
+    /// recorder stays live even here — it is a bounded ring, and fault
+    /// recovery must be able to dump context unconditionally.
     pub fn disabled() -> Obs {
         Obs {
             profiler: Profiler::disabled(),
             timeseries: TimeSeries::disabled(),
+            flight: FlightRecorder::new(),
             sample_period: SimDuration::ZERO,
         }
     }
@@ -72,6 +78,7 @@ impl Obs {
             profiler: Profiler::capture(),
             timeseries: TimeSeries::capture(),
             sample_period: period,
+            ..Obs::disabled()
         }
     }
 
@@ -159,5 +166,86 @@ impl System {
                 SystemEvent::ObsSample { period_ns },
             );
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{SystemConfig, VmSpec};
+    use cg_workloads::iozone::Iozone;
+    use cg_workloads::kernel::GuestKernel;
+
+    /// Pins the sampler schema: the names in [`COLUMNS`] must line up,
+    /// position by position, with the values [`System::on_obs_sample`]
+    /// pushes. Reordering either side without the other trips the
+    /// per-column semantic checks below (fractions stay in `[0, 1]`,
+    /// counters stay integral and monotone).
+    #[test]
+    fn sampler_columns_match_pushed_values() {
+        let obs = Obs::sampled(SimDuration::micros(200));
+        let mut config = SystemConfig::small();
+        config.rmm = cg_rmm::RmmConfig::shared_core();
+        config.num_host_cores = 2;
+        let mut system = System::new(config);
+        system.attach_obs(&obs);
+        // Shared-core virtio-blk I/O: every submission kicks through a
+        // KVM exit, so `exits_total` is guaranteed non-zero (a
+        // core-gapped CPU-bound guest would delegate its way to zero).
+        let guest = GuestKernel::new(1, 250, Box::new(Iozone::new(vec![(4096, false, 50)], 0)));
+        system
+            .add_vm(
+                VmSpec::shared_core(1).with_device(cg_host::DeviceKind::VirtioBlk),
+                Box::new(guest),
+                None,
+            )
+            .expect("iozone VM");
+        system.run_for(SimDuration::millis(20));
+
+        assert_eq!(obs.timeseries.columns(), COLUMNS);
+        let rows = obs.timeseries.rows();
+        assert!(rows.len() >= 5, "sampler fired only {} times", rows.len());
+        let col = |name: &str| {
+            COLUMNS
+                .iter()
+                .position(|c| *c == name)
+                .unwrap_or_else(|| panic!("column `{name}` missing"))
+        };
+        let fractions = ["host_util", "l1_warm", "bp_warm"].map(col);
+        let counters = [
+            "chan_requests",
+            "chan_responses",
+            "exits_total",
+            "llc_taints",
+        ]
+        .map(col);
+        let exits = col("exits_total");
+        let mut prev_exits = 0.0;
+        for (t, values) in &rows {
+            assert_eq!(values.len(), COLUMNS.len(), "row width at {t} ns");
+            for &i in &fractions {
+                assert!(
+                    (0.0..=1.0).contains(&values[i]),
+                    "fractional column `{}` = {} at {t} ns",
+                    COLUMNS[i],
+                    values[i]
+                );
+            }
+            for &i in &counters {
+                assert_eq!(
+                    values[i].fract(),
+                    0.0,
+                    "count column `{}` = {} at {t} ns",
+                    COLUMNS[i],
+                    values[i]
+                );
+            }
+            assert!(
+                values[exits] >= prev_exits,
+                "exits_total regressed at {t} ns"
+            );
+            prev_exits = values[exits];
+        }
+        assert!(prev_exits > 0.0, "a 20 ms run must record REC exits");
     }
 }

@@ -11,8 +11,8 @@ use cg_machine::{CoreId, IntId, Machine, RealmId};
 use cg_rmm::Rmm;
 use cg_rpc::{Doorbell, SyncChannel};
 use cg_sim::{
-    EventQueue, EventToken, FaultInjector, Profiler, SimDuration, SimRng, SimTime, SpanId,
-    TimeSeries, Trace, TraceDumpGuard, TraceHandle, TraceKind, TraceRecord,
+    EventQueue, EventToken, FaultInjector, FlightRecorder, Profiler, SimDuration, SimRng, SimTime,
+    SpanId, TimeSeries, Trace, TraceCtx, TraceDumpGuard, TraceHandle, TraceKind, TraceRecord,
 };
 use cg_workloads::{GuestOp, GuestProgram, NetPeer};
 
@@ -163,11 +163,21 @@ pub(crate) enum ThreadCont {
     IoPoll,
     /// I/O-plane thread: running backend emulation for a drained batch;
     /// the staged effects fire when the segment completes.
-    IoBackend {
-        staged: Vec<(VmId, u32, u32, VmmEffect)>,
-    },
+    IoBackend { staged: Vec<StagedIo> },
     /// I/O-plane thread: suspended until the I/O doorbell.
     IoIdle,
+}
+
+/// One staged fast-path backend effect: the owning VM/device/vCPU, the
+/// effect itself, and the causal context of the descriptor that
+/// produced it (so the backend span links into the request's trace).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct StagedIo {
+    pub vm: VmId,
+    pub device: u32,
+    pub vcpu: u32,
+    pub effect: VmmEffect,
+    pub ctx: TraceCtx,
 }
 
 /// The effect a VMM emulation segment produces on completion.
@@ -303,6 +313,9 @@ pub(crate) struct VcpuRt {
     /// Open profiler span covering KVM exit handling on the host
     /// ([`cg_sim::SpanKind::ExitHandle`]).
     pub handle_span: SpanId,
+    /// Causal context of the exit currently being handled on the host
+    /// (advanced from the response ctx; `NULL` when tracing is off).
+    pub handle_ctx: TraceCtx,
     /// Monotonic async-call sequence number; bumped when a call is
     /// issued and again when its response is consumed, so in-flight
     /// [`crate::event::SystemEvent::CallTimeout`] events for finished
@@ -396,6 +409,9 @@ pub struct System {
     /// Simulated-time span profiler shared with every instrumented
     /// subsystem (disabled by default; see [`System::attach_obs`]).
     pub(crate) profiler: Profiler,
+    /// Always-on bounded flight recorder: every traced hop appends an
+    /// event, and fault-recovery paths snapshot the ring into a dump.
+    pub(crate) flight: FlightRecorder,
     /// Periodic time-series sampler sink (disabled by default).
     pub(crate) timeseries: TimeSeries,
     /// Sampling period for [`crate::event::SystemEvent::ObsSample`].
@@ -453,6 +469,7 @@ impl System {
             trace: Trace::disabled(),
             strace: TraceHandle::disabled(),
             profiler: Profiler::disabled(),
+            flight: FlightRecorder::new(),
             timeseries: TimeSeries::disabled(),
             ts_period: SimDuration::ZERO,
             ts_prev_busy: 0,
@@ -668,6 +685,7 @@ impl System {
         obs.timeseries.rebase();
         self.profiler = obs.profiler.clone();
         self.timeseries = obs.timeseries.clone();
+        self.flight = obs.flight.clone();
         self.ts_period = obs.sample_period;
         self.propagate_profiler();
         if self.timeseries.is_enabled() && !self.ts_period.is_zero() {
@@ -848,6 +866,28 @@ impl System {
             self.handle(ev);
         }
         self.vms[vm.0].peer.as_ref().is_some_and(|p| p.is_done())
+    }
+}
+
+impl Drop for System {
+    /// Closes the tracked in-flight spans a truncated run leaves open —
+    /// scheduler slices, exit round trips, exit handling. A run that
+    /// stops at a time limit (or the instant the last vCPU shuts down)
+    /// legitimately strands these mid-flight; closing them from their
+    /// tracked state means the unbalanced-span tripwire
+    /// ([`cg_sim::Profiler::open_count`]) only counts genuinely leaked
+    /// spans.
+    fn drop(&mut self) {
+        if !self.profiler.is_enabled() {
+            return;
+        }
+        self.sched.finish_open_slices();
+        for vm in &mut self.vms {
+            for rt in &mut vm.vcpus {
+                self.profiler.end(std::mem::take(&mut rt.roundtrip_span));
+                self.profiler.end(std::mem::take(&mut rt.handle_span));
+            }
+        }
     }
 }
 

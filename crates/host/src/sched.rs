@@ -265,6 +265,15 @@ impl Scheduler {
         self.thread(id).state() == ThreadState::Blocked
     }
 
+    /// Closes every open per-core slice span. Called when a run ends
+    /// with threads still on CPU (a truncated run), so the
+    /// unbalanced-span tripwire only counts genuinely leaked spans.
+    pub fn finish_open_slices(&mut self) {
+        for (_, span) in std::mem::take(&mut self.open_slices) {
+            self.profiler.end(span);
+        }
+    }
+
     /// Removes `core` from scheduling: the running thread (if any) and
     /// all queued threads are re-homed to their remaining affinity.
     /// Returns the migrated thread ids. Used by CPU hotplug.

@@ -38,6 +38,7 @@ use std::fmt;
 
 use cg_cca::Measurement;
 use cg_machine::{CoreId, GranuleAddr, RealmId};
+use cg_sim::TraceCtx;
 use cg_virtio::need_event;
 
 /// Granules in one channel window: one for each direction's ring
@@ -54,6 +55,27 @@ pub struct IvcMsg {
     pub bytes: u64,
     /// Sender-assigned sequence number, echoed to the receiver.
     pub seq: u64,
+    /// Causal trace context riding the message from publish to drain.
+    /// Purely observational: never read by ring logic, `NULL` when
+    /// tracing is off.
+    pub ctx: TraceCtx,
+}
+
+impl IvcMsg {
+    /// An untraced message of `bytes` bytes with sequence number `seq`.
+    pub fn new(bytes: u64, seq: u64) -> IvcMsg {
+        IvcMsg {
+            bytes,
+            seq,
+            ctx: TraceCtx::NULL,
+        }
+    }
+
+    /// The same message carrying causal context `ctx`.
+    pub fn with_ctx(mut self, ctx: TraceCtx) -> IvcMsg {
+        self.ctx = ctx;
+        self
+    }
 }
 
 /// The ring rejected a publish because every slot is occupied.
@@ -98,9 +120,9 @@ pub struct RingStats {
 ///
 /// let mut ring = MsgRing::new(8);
 /// ring.arm(); // receiver idle: next publish must ring
-/// ring.publish(IvcMsg { bytes: 64, seq: 0 }).unwrap();
+/// ring.publish(IvcMsg::new(64, 0)).unwrap();
 /// assert!(ring.should_ring());
-/// ring.publish(IvcMsg { bytes: 64, seq: 1 }).unwrap();
+/// ring.publish(IvcMsg::new(64, 1)).unwrap();
 /// assert!(!ring.should_ring()); // receiver already woken: coalesced
 /// assert_eq!(ring.drain().len(), 2);
 /// ```
@@ -334,7 +356,7 @@ mod tests {
     use super::*;
 
     fn msg(seq: u64) -> IvcMsg {
-        IvcMsg { bytes: 64, seq }
+        IvcMsg::new(64, seq)
     }
 
     #[test]

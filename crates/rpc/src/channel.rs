@@ -3,7 +3,7 @@
 use std::fmt;
 
 use cg_machine::HwParams;
-use cg_sim::{Profiler, SimTime, SpanKind, TraceHandle, TraceKind};
+use cg_sim::{Profiler, SimTime, SpanKind, TraceCtx, TraceHandle, TraceKind};
 
 /// Errors from channel misuse.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,6 +84,13 @@ pub struct SyncChannel<Req, Resp> {
     profiler: Profiler,
     /// Realm/vCPU owning this channel, for trace attribution.
     owner: (u32, u32),
+    /// Causal context riding the posted request slot: set by the client
+    /// after posting, linking the server-side pickup into the request's
+    /// trace. Purely observational — never read by protocol logic.
+    req_ctx: TraceCtx,
+    /// Causal context riding the posted response slot (set by the
+    /// server after posting).
+    resp_ctx: TraceCtx,
 }
 
 impl<Req, Resp> Default for SyncChannel<Req, Resp> {
@@ -104,7 +111,31 @@ impl<Req, Resp> SyncChannel<Req, Resp> {
             trace: TraceHandle::disabled(),
             profiler: Profiler::disabled(),
             owner: (0, 0),
+            req_ctx: TraceCtx::NULL,
+            resp_ctx: TraceCtx::NULL,
         }
+    }
+
+    /// Attaches the causal context of the posted request (client side,
+    /// immediately after [`SyncChannel::post_request`]).
+    pub fn set_request_ctx(&mut self, ctx: TraceCtx) {
+        self.req_ctx = ctx;
+    }
+
+    /// The causal context riding the posted request.
+    pub fn request_ctx(&self) -> TraceCtx {
+        self.req_ctx
+    }
+
+    /// Attaches the causal context of the posted response (server side,
+    /// immediately after [`SyncChannel::post_response`]).
+    pub fn set_response_ctx(&mut self, ctx: TraceCtx) {
+        self.resp_ctx = ctx;
+    }
+
+    /// The causal context riding the posted response.
+    pub fn response_ctx(&self) -> TraceCtx {
+        self.resp_ctx
     }
 
     /// Attaches a structured trace, attributing records to realm `realm`
@@ -187,13 +218,14 @@ impl<Req, Resp> SyncChannel<Req, Resp> {
         let (req, posted) = self.request.take().expect("state Requested");
         self.state = ChannelState::Serving;
         self.trace_transition("take_request");
-        self.profiler.record_span(
+        self.profiler.record_span_child(
             SpanKind::RpcRequest,
             None,
             Some(self.owner.0),
             Some(self.owner.1),
             posted,
             now,
+            self.req_ctx,
         );
         Ok(req)
     }
@@ -238,13 +270,14 @@ impl<Req, Resp> SyncChannel<Req, Resp> {
         self.state = ChannelState::Idle;
         self.calls_completed += 1;
         self.trace_transition("take_response");
-        self.profiler.record_span(
+        self.profiler.record_span_child(
             SpanKind::RpcResponse,
             None,
             Some(self.owner.0),
             Some(self.owner.1),
             posted,
             now,
+            self.resp_ctx,
         );
         Ok(resp)
     }
@@ -313,6 +346,8 @@ impl<Req, Resp> SyncChannel<Req, Resp> {
         self.state = ChannelState::Idle;
         self.request = None;
         self.response = None;
+        self.req_ctx = TraceCtx::NULL;
+        self.resp_ctx = TraceCtx::NULL;
         self.calls_aborted += 1;
         let (realm, vcpu) = self.owner;
         self.trace
@@ -479,6 +514,34 @@ mod tests {
         assert_eq!(spans[1].kind, SpanKind::RpcResponse);
         assert_eq!(spans[0].realm, Some(3));
         assert_eq!(spans[0].duration(), p.cache_line_transfer);
+    }
+
+    #[test]
+    fn ctx_links_channel_legs_into_the_trace() {
+        let p = params();
+        let profiler = Profiler::capture();
+        let mut ch: SyncChannel<u8, u8> = SyncChannel::new();
+        ch.set_profiler(profiler.clone(), 1, 0);
+        let (root, ctx) = profiler.begin_traced(SpanKind::ExitRoundTrip, Some(1), Some(1), Some(0));
+        ch.post_request(1, t(0)).unwrap();
+        ch.set_request_ctx(ctx);
+        assert_eq!(ch.request_ctx(), ctx);
+        let vis = ch.request_visible_at(&p).unwrap();
+        ch.take_request(vis, &p).unwrap();
+        profiler.end(root);
+        let spans = profiler.snapshot();
+        let req = spans
+            .iter()
+            .find(|s| s.kind == SpanKind::RpcRequest)
+            .unwrap();
+        assert_eq!(req.trace, ctx.trace);
+        assert_eq!(req.parent, 1, "request leg parents under the root span");
+        // Abandoning the call clears the carried contexts.
+        ch.post_response(2, vis).unwrap();
+        ch.set_response_ctx(ctx);
+        ch.abort();
+        assert!(ch.response_ctx().is_null());
+        assert!(ch.request_ctx().is_null());
     }
 
     #[test]

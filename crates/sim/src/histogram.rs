@@ -239,6 +239,39 @@ impl Histogram {
         self.max = self.max.max(other.max);
     }
 
+    /// Reconstructs a histogram from its serialised parts — the inverse
+    /// of exporting `count`/`sum`/`min`/`max`/`zero_count` plus
+    /// [`nonzero_buckets`](Histogram::nonzero_buckets) — so cross-run
+    /// aggregation can [`merge`](Histogram::merge) histograms read back
+    /// from JSON reports. Out-of-range bucket indices are ignored.
+    pub fn from_parts(
+        count: u64,
+        sum: f64,
+        min: f64,
+        max: f64,
+        zero_count: u64,
+        buckets: impl IntoIterator<Item = (usize, u64)>,
+    ) -> Histogram {
+        let mut h = Histogram::new();
+        if count == 0 {
+            return h;
+        }
+        h.count = count;
+        h.sum = sum;
+        h.min = min;
+        h.max = max;
+        h.zero_count = zero_count;
+        for (idx, c) in buckets {
+            if idx < NUM_BUCKETS && c > 0 {
+                if h.buckets.is_empty() {
+                    h.buckets = vec![0; NUM_BUCKETS];
+                }
+                h.buckets[idx] += c;
+            }
+        }
+        h
+    }
+
     /// Iterates over non-empty buckets as `(bucket index, count)`, in
     /// bucket order — a stable serialisation of the full distribution
     /// (used by fingerprinting).
@@ -380,6 +413,34 @@ mod tests {
         assert_eq!(h.count(), 2);
         assert_eq!(h.percentile(100.0), 1e30);
         assert_eq!(h.percentile(0.0), 1e-30);
+    }
+
+    #[test]
+    fn from_parts_round_trips() {
+        let mut h = Histogram::new();
+        for i in 0..1000 {
+            h.record(i as f64 * 0.73);
+        }
+        let rebuilt = Histogram::from_parts(
+            h.count(),
+            h.sum(),
+            h.min(),
+            h.max(),
+            h.zero_count(),
+            h.nonzero_buckets(),
+        );
+        assert_eq!(rebuilt, h);
+        for p in [0.0, 50.0, 99.0, 100.0] {
+            assert_eq!(rebuilt.percentile(p), h.percentile(p));
+        }
+    }
+
+    #[test]
+    fn from_parts_empty_is_new() {
+        assert_eq!(
+            Histogram::from_parts(0, 0.0, f64::INFINITY, f64::NEG_INFINITY, 0, []),
+            Histogram::new()
+        );
     }
 
     #[test]

@@ -26,6 +26,8 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod attrib;
+mod causal;
 mod export;
 mod fault;
 mod histogram;
@@ -37,6 +39,8 @@ mod time;
 mod timeseries;
 mod trace;
 
+pub use attrib::{attribute, AttribReport, PlaneAttrib};
+pub use causal::{FlightDump, FlightEvent, FlightRecorder, TraceCtx};
 pub use export::Json;
 pub use fault::{FaultInjector, FaultPlan};
 pub use histogram::Histogram;

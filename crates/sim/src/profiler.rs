@@ -23,6 +23,7 @@ use std::cell::RefCell;
 use std::fmt::Write as _;
 use std::rc::Rc;
 
+use crate::causal::TraceCtx;
 use crate::stats::OnlineStats;
 use crate::time::{SimDuration, SimTime};
 
@@ -78,6 +79,12 @@ pub enum SpanKind {
     /// The consumer draining its IVC ring after a doorbell (or a
     /// watchdog rescan) — message delivery into the guest.
     IvcDrain,
+    /// The guest draining a fast-path used ring after a delegated
+    /// completion interrupt (zero-length: drain is event-edge work).
+    VirtioDrain,
+    /// The RMM's delegated interrupt injection decision at the guest
+    /// core — the monitor-context hop of a traced request.
+    RmmInject,
     /// A free-form phase marker opened by [`SpanGuard`].
     Phase,
 }
@@ -103,6 +110,8 @@ impl SpanKind {
             SpanKind::IvcPublish => "ivc.publish",
             SpanKind::IvcDoorbell => "ivc.doorbell",
             SpanKind::IvcDrain => "ivc.drain",
+            SpanKind::VirtioDrain => "virtio.drain",
+            SpanKind::RmmInject => "rmm.inject",
             SpanKind::Phase => "phase",
         }
     }
@@ -142,6 +151,12 @@ pub struct Span {
     pub start: SimTime,
     /// End time; `None` while the span is still open.
     pub end: Option<SimTime>,
+    /// Causal trace id; `0` when the span is not part of a traced
+    /// request.
+    pub trace: u64,
+    /// Parent span id within the trace; `0` for a root (or untraced)
+    /// span.
+    pub parent: u64,
 }
 
 impl Span {
@@ -163,6 +178,9 @@ struct ProfInner {
     offset_ns: u64,
     /// Current timeline time (offset applied).
     now_ns: u64,
+    /// Last allocated causal trace id; ticks only while enabled, so a
+    /// disabled run mints no ids.
+    next_trace: u64,
     spans: Vec<Span>,
 }
 
@@ -196,6 +214,7 @@ impl Profiler {
             enabled,
             offset_ns: 0,
             now_ns: 0,
+            next_trace: 0,
             spans: Vec::new(),
         })))
     }
@@ -274,8 +293,134 @@ impl Profiler {
             rec,
             start,
             end: None,
+            trace: 0,
+            parent: 0,
         });
         SpanId(id)
+    }
+
+    /// Opens a **root** span of a new causal trace: mints a fresh trace
+    /// id and returns it alongside a context whose parent is the new
+    /// span, ready to carry into the next hop. `(NULL, NULL)` when
+    /// disabled.
+    pub fn begin_traced(
+        &self,
+        kind: SpanKind,
+        core: Option<u16>,
+        realm: Option<u32>,
+        rec: Option<u32>,
+    ) -> (SpanId, TraceCtx) {
+        let mut inner = self.0.borrow_mut();
+        if !inner.enabled {
+            return (SpanId::NULL, TraceCtx::NULL);
+        }
+        inner.next_trace += 1;
+        let trace = inner.next_trace;
+        let id = inner.spans.len() as u64 + 1;
+        let start = SimTime::from_nanos(inner.now_ns);
+        inner.spans.push(Span {
+            id,
+            kind,
+            label: kind.name(),
+            core,
+            realm,
+            rec,
+            start,
+            end: None,
+            trace,
+            parent: 0,
+        });
+        (
+            SpanId(id),
+            TraceCtx {
+                trace,
+                parent: SpanId(id),
+            },
+        )
+    }
+
+    /// Opens a **child** span linked under `ctx` and returns the context
+    /// advanced to the new span, so the next hop parents under this one.
+    /// With a null context (or disabled profiler) this degrades to an
+    /// untraced [`Profiler::begin`].
+    pub fn begin_child(
+        &self,
+        kind: SpanKind,
+        core: Option<u16>,
+        realm: Option<u32>,
+        rec: Option<u32>,
+        ctx: TraceCtx,
+    ) -> (SpanId, TraceCtx) {
+        let mut inner = self.0.borrow_mut();
+        if !inner.enabled {
+            return (SpanId::NULL, TraceCtx::NULL);
+        }
+        let id = inner.spans.len() as u64 + 1;
+        let start = SimTime::from_nanos(inner.now_ns);
+        inner.spans.push(Span {
+            id,
+            kind,
+            label: kind.name(),
+            core,
+            realm,
+            rec,
+            start,
+            end: None,
+            trace: ctx.trace,
+            parent: if ctx.is_null() { 0 } else { ctx.parent.0 },
+        });
+        let next = if ctx.is_null() {
+            TraceCtx::NULL
+        } else {
+            TraceCtx {
+                trace: ctx.trace,
+                parent: SpanId(id),
+            }
+        };
+        (SpanId(id), next)
+    }
+
+    /// Records a complete **child** span over raw simulated times of the
+    /// current run (rebase offset applied to both ends), linked under
+    /// `ctx`; returns the context advanced to the new span. With a null
+    /// context this records an untraced span and returns `NULL`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_span_child(
+        &self,
+        kind: SpanKind,
+        core: Option<u16>,
+        realm: Option<u32>,
+        rec: Option<u32>,
+        start: SimTime,
+        end: SimTime,
+        ctx: TraceCtx,
+    ) -> TraceCtx {
+        let mut inner = self.0.borrow_mut();
+        if !inner.enabled {
+            return TraceCtx::NULL;
+        }
+        let id = inner.spans.len() as u64 + 1;
+        let off = inner.offset_ns;
+        inner.spans.push(Span {
+            id,
+            kind,
+            label: kind.name(),
+            core,
+            realm,
+            rec,
+            start: SimTime::from_nanos(off + start.as_nanos()),
+            end: Some(SimTime::from_nanos(off + end.as_nanos())),
+            trace: ctx.trace,
+            parent: if ctx.is_null() { 0 } else { ctx.parent.0 },
+        });
+        if ctx.is_null() {
+            TraceCtx::NULL
+        } else {
+            TraceCtx {
+                trace: ctx.trace,
+                parent: SpanId(id),
+            }
+        }
     }
 
     /// Closes an open span at the current time; no-op for
@@ -321,6 +466,8 @@ impl Profiler {
             rec,
             start: SimTime::from_nanos(off + start.as_nanos()),
             end: Some(SimTime::from_nanos(off + end.as_nanos())),
+            trace: 0,
+            parent: 0,
         });
     }
 
@@ -349,6 +496,8 @@ impl Profiler {
             rec,
             start,
             end: Some(start + dur),
+            trace: 0,
+            parent: 0,
         });
     }
 
@@ -376,6 +525,17 @@ impl Profiler {
             .count()
     }
 
+    /// Number of spans still open — the unbalanced-span tripwire: a
+    /// clean run ends with zero.
+    pub fn open_count(&self) -> usize {
+        self.0
+            .borrow()
+            .spans
+            .iter()
+            .filter(|s| s.end.is_none())
+            .count()
+    }
+
     /// A copy of all recorded spans, in begin order.
     pub fn snapshot(&self) -> Vec<Span> {
         self.0.borrow().spans.clone()
@@ -397,9 +557,18 @@ impl Profiler {
     }
 
     /// Exports closed spans as Chrome trace-event JSON (complete `"X"`
-    /// events; `pid` = realm (0 = host/unattributed), `tid` = core).
+    /// events; `pid` = realm + 1 (0 = host/unattributed, so realm 0
+    /// gets its own lane), `tid` = core).
     /// Timestamps are µs with three deterministic decimal places
     /// computed by integer arithmetic. Open spans are skipped.
+    ///
+    /// Causally-linked spans additionally emit **flow events**: for each
+    /// closed child span whose parent is also closed, an `s` (flow
+    /// start) event anchored in the parent's context and a matching `f`
+    /// (flow finish, `bp:"e"`) anchored at the child's begin, with the
+    /// child's span id as the flow id — so every flow id appears exactly
+    /// twice and Perfetto draws the arrow stitching the request across
+    /// contexts.
     pub fn chrome_trace(&self) -> String {
         let inner = self.0.borrow();
         let mut out = String::with_capacity(64 + inner.spans.len() * 128);
@@ -425,13 +594,63 @@ impl Profiler {
             let _ = write!(
                 out,
                 ",\"pid\":{},\"tid\":{}",
-                span.realm.unwrap_or(0),
+                span.realm.map_or(0, |r| r + 1),
                 span.core.unwrap_or(0)
             );
-            if let Some(rec) = span.rec {
-                let _ = write!(out, ",\"args\":{{\"rec\":{rec}}}");
+            match (span.rec, span.trace) {
+                (Some(rec), 0) => {
+                    let _ = write!(out, ",\"args\":{{\"rec\":{rec}}}");
+                }
+                (Some(rec), t) => {
+                    let _ = write!(out, ",\"args\":{{\"rec\":{rec},\"trace\":{t}}}");
+                }
+                (None, t) if t != 0 => {
+                    let _ = write!(out, ",\"args\":{{\"trace\":{t}}}");
+                }
+                (None, _) => {}
             }
             out.push('}');
+        }
+        // Flow arrows: child spans linked under a closed parent.
+        for span in &inner.spans {
+            if span.parent == 0 || span.end.is_none() {
+                continue;
+            }
+            let parent = &inner.spans[(span.parent - 1) as usize];
+            let Some(parent_end) = parent.end else {
+                continue;
+            };
+            // The flow-start timestamp must sit inside the parent span
+            // for renderers to bind it; the child usually begins there
+            // already, but clamp against rebased cross-run edges.
+            let s_ts = span
+                .start
+                .as_nanos()
+                .clamp(parent.start.as_nanos(), parent_end.as_nanos());
+            let _ = write!(
+                out,
+                ",{{\"name\":\"req\",\"cat\":\"flow\",\"ph\":\"s\",\"id\":{},\"ts\":",
+                span.id
+            );
+            write_us(s_ts, &mut out);
+            let _ = write!(
+                out,
+                ",\"pid\":{},\"tid\":{}}}",
+                parent.realm.map_or(0, |r| r + 1),
+                parent.core.unwrap_or(0)
+            );
+            let _ = write!(
+                out,
+                ",{{\"name\":\"req\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\",\"id\":{},\"ts\":",
+                span.id
+            );
+            write_us(span.start.as_nanos(), &mut out);
+            let _ = write!(
+                out,
+                ",\"pid\":{},\"tid\":{}}}",
+                span.realm.map_or(0, |r| r + 1),
+                span.core.unwrap_or(0)
+            );
         }
         out.push_str("]}");
         out
@@ -547,7 +766,8 @@ mod tests {
         let json = p.chrome_trace();
         assert!(json.contains("\"ts\":1.234"), "{json}");
         assert!(json.contains("\"dur\":2.001"), "{json}");
-        assert!(json.contains("\"pid\":1"), "{json}");
+        // pid = realm + 1 so realm 0 keeps its own lane next to the host.
+        assert!(json.contains("\"pid\":2"), "{json}");
         assert!(json.contains("\"tid\":3"), "{json}");
     }
 
@@ -579,6 +799,124 @@ mod tests {
         let spans = p.snapshot();
         assert_eq!(spans[0].end, Some(SimTime::from_nanos(90)));
         assert_eq!(spans[0].label, "experiment");
+    }
+
+    #[test]
+    fn traced_spans_link_parent_to_child() {
+        let p = Profiler::capture();
+        p.set_now(SimTime::from_nanos(100));
+        let (root, ctx) = p.begin_traced(SpanKind::VirtioKick, Some(1), Some(1), Some(0));
+        assert!(!root.is_null());
+        assert_eq!(ctx.parent, root);
+        p.set_now(SimTime::from_nanos(200));
+        p.end(root);
+        let ctx2 = p.record_span_child(
+            SpanKind::VirtioBackend,
+            Some(0),
+            None,
+            None,
+            SimTime::from_nanos(250),
+            SimTime::from_nanos(400),
+            ctx,
+        );
+        let (child, ctx3) = p.begin_child(SpanKind::VirtioComplete, None, Some(1), Some(0), ctx2);
+        p.end(child);
+        assert_eq!(ctx3.trace, ctx.trace);
+        let spans = p.snapshot();
+        assert_eq!(spans[0].trace, spans[1].trace);
+        assert_eq!(spans[1].parent, spans[0].id);
+        assert_eq!(spans[2].parent, spans[1].id);
+        assert_eq!(spans[0].parent, 0);
+    }
+
+    #[test]
+    fn disabled_profiler_mints_no_trace_ids() {
+        let p = Profiler::disabled();
+        let (id, ctx) = p.begin_traced(SpanKind::IvcPublish, Some(0), Some(1), None);
+        assert!(id.is_null());
+        assert!(ctx.is_null());
+        let (id2, ctx2) = p.begin_child(SpanKind::IvcDrain, Some(1), Some(2), None, ctx);
+        assert!(id2.is_null() && ctx2.is_null());
+    }
+
+    #[test]
+    fn null_ctx_child_records_untraced_span() {
+        let p = Profiler::capture();
+        let ctx = p.record_span_child(
+            SpanKind::VirtioBackend,
+            Some(0),
+            None,
+            None,
+            SimTime::ZERO,
+            SimTime::from_nanos(10),
+            TraceCtx::NULL,
+        );
+        assert!(ctx.is_null());
+        let s = &p.snapshot()[0];
+        assert_eq!((s.trace, s.parent), (0, 0));
+    }
+
+    #[test]
+    fn chrome_trace_emits_matched_flow_events() {
+        let p = Profiler::capture();
+        p.set_now(SimTime::from_nanos(1_000));
+        let (root, ctx) = p.begin_traced(SpanKind::ExitRoundTrip, Some(1), Some(1), Some(0));
+        p.set_now(SimTime::from_nanos(5_000));
+        p.end(root);
+        p.record_span_child(
+            SpanKind::ExitHandle,
+            Some(0),
+            None,
+            None,
+            SimTime::from_nanos(2_000),
+            SimTime::from_nanos(3_000),
+            ctx,
+        );
+        let json = p.chrome_trace();
+        let s_count = json.matches("\"ph\":\"s\"").count();
+        let f_count = json.matches("\"ph\":\"f\"").count();
+        assert_eq!(s_count, 1, "{json}");
+        assert_eq!(f_count, 1, "{json}");
+        // Flow start binds inside the parent (realm 1 → pid 2, tid 1),
+        // finish at the child (host → pid 0, tid 0).
+        assert!(
+            json.contains("\"ph\":\"s\",\"id\":2,\"ts\":2.000,\"pid\":2,\"tid\":1"),
+            "{json}"
+        );
+        assert!(
+            json.contains("\"ph\":\"f\",\"bp\":\"e\",\"id\":2,\"ts\":2.000,\"pid\":0,\"tid\":0"),
+            "{json}"
+        );
+        assert!(json.contains("\"trace\":1"), "{json}");
+    }
+
+    #[test]
+    fn flow_events_skip_open_parents() {
+        let p = Profiler::capture();
+        let (_open_root, ctx) = p.begin_traced(SpanKind::ExitRoundTrip, Some(0), Some(1), None);
+        p.record_span_child(
+            SpanKind::ExitHandle,
+            Some(1),
+            None,
+            None,
+            SimTime::ZERO,
+            SimTime::from_nanos(5),
+            ctx,
+        );
+        let json = p.chrome_trace();
+        assert!(!json.contains("\"ph\":\"s\""), "{json}");
+        assert_eq!(p.open_count(), 1);
+    }
+
+    #[test]
+    fn open_count_tracks_unbalanced_spans() {
+        let p = Profiler::capture();
+        assert_eq!(p.open_count(), 0);
+        let a = p.begin(SpanKind::SchedSlice, Some(0), None, None);
+        let _b = p.begin(SpanKind::ExitHandle, Some(1), None, None);
+        assert_eq!(p.open_count(), 2);
+        p.end(a);
+        assert_eq!(p.open_count(), 1);
     }
 
     #[test]

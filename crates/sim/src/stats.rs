@@ -269,7 +269,7 @@ impl Extend<f64> for Samples {
 /// assert_eq!(c.get("exit.timer"), 2);
 /// assert_eq!(c.total_with_prefix("exit."), 3);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Counters {
     map: BTreeMap<String, u64>,
 }

@@ -114,4 +114,29 @@ proptest! {
             (merged.sum() - combined.sum()).abs() <= 1e-9 * combined.sum().abs().max(1.0)
         );
     }
+
+    /// Export/rebuild round-trip: a histogram reconstructed from its
+    /// exported raw parts (the `--json` report fields the cross-bench
+    /// aggregator consumes) is indistinguishable from the original.
+    #[test]
+    fn histogram_from_parts_round_trips(
+        values in prop::collection::vec(0.0f64..1e9, 1..300),
+        p in 0.0f64..100.0,
+    ) {
+        let h: Histogram = values.iter().copied().collect();
+        let rebuilt = Histogram::from_parts(
+            h.count(),
+            h.sum(),
+            h.min(),
+            h.max(),
+            h.zero_count(),
+            h.nonzero_buckets(),
+        );
+        prop_assert_eq!(rebuilt.count(), h.count());
+        prop_assert_eq!(rebuilt.zero_count(), h.zero_count());
+        prop_assert_eq!(rebuilt.min(), h.min());
+        prop_assert_eq!(rebuilt.max(), h.max());
+        prop_assert_eq!(rebuilt.sum(), h.sum());
+        prop_assert_eq!(rebuilt.percentile(p), h.percentile(p));
+    }
 }

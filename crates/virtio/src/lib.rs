@@ -40,6 +40,7 @@ use std::collections::VecDeque;
 
 use cg_machine::memory::GRANULE_SIZE;
 use cg_machine::GranuleAddr;
+use cg_sim::TraceCtx;
 
 /// The virtio 1.x split-ring suppression predicate (`vring_need_event`):
 /// should the producer notify, given the consumer-published `event`
@@ -61,6 +62,10 @@ pub struct Descriptor {
     pub cookie: u64,
     /// Device-writable chain (disk write / inbound buffer).
     pub is_write: bool,
+    /// Causal trace context riding the descriptor across the publish →
+    /// backend → completion → drain hops. Purely observational: never
+    /// read by queue logic, `NULL` when tracing is off.
+    pub ctx: TraceCtx,
 }
 
 impl Descriptor {
@@ -70,6 +75,7 @@ impl Descriptor {
             bytes,
             cookie: flow,
             is_write: false,
+            ctx: TraceCtx::NULL,
         }
     }
 
@@ -79,7 +85,14 @@ impl Descriptor {
             bytes,
             cookie: tag,
             is_write,
+            ctx: TraceCtx::NULL,
         }
+    }
+
+    /// The same descriptor carrying causal context `ctx`.
+    pub fn with_ctx(mut self, ctx: TraceCtx) -> Descriptor {
+        self.ctx = ctx;
+        self
     }
 }
 
@@ -379,6 +392,7 @@ impl QueuePair {
                 bytes: 0,
                 cookie: 0,
                 is_write: true,
+                ctx: TraceCtx::NULL,
             })
             .expect("empty rx ring accepts its own size");
         }

@@ -60,9 +60,42 @@ for p in sys.argv[1:]:
 
   echo "== io_fastpath smoke (I/O-plane runs must be byte-identical) =="
   for run in ia ib; do
-    ./target/release/io_fastpath --quick --json "$tmp/$run.json" >/dev/null
+    ./target/release/io_fastpath --quick --json "$tmp/$run.json" \
+      --attrib --trace-out "$tmp/$run.trace.json" >/dev/null
   done
   cmp "$tmp/ia.json" "$tmp/ib.json"
+  cmp "$tmp/ia.trace.json" "$tmp/ib.trace.json"
+
+  echo "== causal trace smoke (parseable, balanced spans, matched flows) =="
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "$tmp/ia.trace.json" <<'PY'
+import collections, json, sys
+
+doc = json.load(open(sys.argv[1]))
+events = doc["traceEvents"]
+phases = collections.Counter(e["ph"] for e in events)
+# Spans export as complete "X" events: every begin carries its end, so
+# stray "B"/"E" pairs mean an open span leaked into the export.
+assert phases.get("B", 0) == phases.get("E", 0) == 0, phases
+assert phases.get("X", 0) > 0, phases
+# Flow arrows come in (s, f) pairs sharing one id.
+starts = collections.Counter(e["id"] for e in events if e["ph"] == "s")
+finishes = collections.Counter(e["id"] for e in events if e["ph"] == "f")
+assert starts and starts == finishes, (starts, finishes)
+assert all(c == 1 for c in starts.values()), starts
+# At least one request must stitch across >= 3 execution contexts.
+lanes = collections.defaultdict(set)
+for e in events:
+    if e["ph"] == "X" and "args" in e and "trace" in e["args"]:
+        lanes[e["args"]["trace"]].add((e["pid"], e["tid"]))
+best = max((len(v) for v in lanes.values()), default=0)
+assert best >= 3, f"best request spans {best} contexts"
+print(f"trace OK: {phases['X']} spans, {sum(starts.values())} flows, "
+      f"best request crosses {best} contexts")
+PY
+  else
+    echo "python3 not installed; skipping trace validation"
+  fi
 
   echo "== ivc_pingpong smoke (channel + fault runs must be byte-identical) =="
   for run in va vb; do

@@ -15,4 +15,7 @@ mkdir -p results
     ./target/release/$b "$@" --json "results/$b.json"
   done
 } | tee results/all_experiments.txt
+# Cross-bench percentile aggregation: rebuild every exported histogram
+# from its raw buckets and merge same-named distributions across runs.
+./target/release/aggregate results/*.json | tee results/aggregate.txt
 echo "JSON reports: results/{fig,table,*}.json"
