@@ -17,6 +17,7 @@
 //! | `table5` | Redis throughput and latency percentiles |
 //! | `security_eval` | the leakage analysis backing the security claim |
 //! | `fault_sweep` | doorbell-loss fault injection vs retry/watchdog recovery (§1 threat model) |
+//! | `churn` | elastic multi-tenant churn: time-to-admit with defrag on vs off (§3 planner) |
 //!
 //! Shared output helpers live here, together with the [`Report`]
 //! accumulator every binary threads its results through. All binaries

@@ -59,6 +59,10 @@ impl System {
                         }
                         c.clone()
                     }
+                    None if spec.contiguous => self
+                        .planner
+                        .admit_contiguous(realm, spec.vcpus as u16)
+                        .map_err(|e| e.to_string())?,
                     None => self
                         .planner
                         .admit(realm, spec.vcpus as u16)
@@ -335,6 +339,8 @@ impl System {
             cur_op: (0..spec.vcpus).map(|_| None).collect(),
             console_writes: 0,
             io_fastpath,
+            pending_elastic: (0..spec.vcpus).map(|_| None).collect(),
+            retired: vec![false; spec.vcpus as usize],
         });
 
         // Requested inter-CVM pairing: both realms are active by now (the
@@ -722,7 +728,16 @@ impl System {
             }
         }
         if mode == VmExecMode::CoreGapped {
-            let cores: Vec<CoreId> = self.vms[vm.0].vcpus.iter().map(|v| v.core).collect();
+            // Retired vCPUs already released their cores at scale-down;
+            // their `core` field is a stale id that may belong to
+            // another VM by now.
+            let cores: Vec<CoreId> = self.vms[vm.0]
+                .vcpus
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !self.vms[vm.0].retired[*i])
+                .map(|(_, v)| v.core)
+                .collect();
             for core in cores {
                 self.rmm
                     .reclaim_core(core, &mut self.machine)

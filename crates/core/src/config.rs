@@ -199,6 +199,10 @@ pub struct VmSpec {
     /// realm over an attested shared-memory channel (core-gapped mode
     /// only).
     pub ivc_peer: Option<IvcPeerSpec>,
+    /// Require a contiguous run of dedicated cores at admission (the
+    /// churn workload's placement constraint — what makes
+    /// fragmentation, and hence defragmentation, matter).
+    pub contiguous: bool,
 }
 
 impl VmSpec {
@@ -213,6 +217,7 @@ impl VmSpec {
             io_fastpath: false,
             io_event_idx: true,
             ivc_peer: None,
+            contiguous: false,
         }
     }
 
@@ -227,6 +232,7 @@ impl VmSpec {
             io_fastpath: false,
             io_event_idx: true,
             ivc_peer: None,
+            contiguous: false,
         }
     }
 
@@ -241,6 +247,7 @@ impl VmSpec {
             io_fastpath: false,
             io_event_idx: true,
             ivc_peer: None,
+            contiguous: false,
         }
     }
 
@@ -273,6 +280,13 @@ impl VmSpec {
     /// (the suppression ablation).
     pub fn without_event_idx(mut self) -> VmSpec {
         self.io_event_idx = false;
+        self
+    }
+
+    /// Requires a contiguous run of dedicated cores at admission
+    /// (rejected with `NoContiguousRun` when fragmentation forbids it).
+    pub fn with_contiguous(mut self) -> VmSpec {
+        self.contiguous = true;
         self
     }
 

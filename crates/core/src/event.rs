@@ -112,6 +112,13 @@ pub enum SystemEvent {
         /// Rescan period in nanoseconds.
         period_ns: u64,
     },
+    /// The periodic defragmentation pass is due: if no elastic
+    /// operation is in flight, plan a compaction and enqueue its moves
+    /// as live rebinds, then reschedule.
+    DefragTick {
+        /// Defragmentation period in nanoseconds.
+        period_ns: u64,
+    },
     /// A disk request completes in the backing store.
     DiskDone {
         /// The VM.

@@ -191,6 +191,16 @@ impl System {
             match cont {
                 ThreadCont::VcpuIssue { vm, vcpu } => {
                     let (vm, vcpu) = (*vm, *vcpu);
+                    // A pending elastic op (rebind/retire/kill) is
+                    // consumed here, the one point where the REC is
+                    // guaranteed exited.
+                    let mut elastic_cost = SimDuration::ZERO;
+                    if self.vms[vm.0].pending_elastic[vcpu as usize].is_some() {
+                        match self.elastic_intercept(core, tid, vm, vcpu) {
+                            Some(extra) => elastic_cost = extra,
+                            None => return, // parked or exited; core redispatched
+                        }
+                    }
                     if self.vms[vm.0].paused {
                         self.set_cont(tid, ThreadCont::VcpuPaused { vm, vcpu });
                         self.sched.block_current(core);
@@ -198,7 +208,7 @@ impl System {
                         self.dispatch(core);
                         return;
                     }
-                    let cost = self.config.host.run_call_issue;
+                    let cost = self.config.host.run_call_issue + elastic_cost;
                     self.threads.get_mut(&tid).expect("ctx").pending = cost;
                 }
                 ThreadCont::VcpuPoll { .. } => {
@@ -263,6 +273,7 @@ impl System {
                 ThreadCont::VcpuAwait { .. }
                 | ThreadCont::VcpuBlocked { .. }
                 | ThreadCont::VcpuPaused { .. }
+                | ThreadCont::VcpuRetired { .. }
                 | ThreadCont::WakeupIdle
                 | ThreadCont::IoIdle
                 | ThreadCont::VmmIdle { .. } => {
@@ -274,6 +285,9 @@ impl System {
                 }
                 ThreadCont::VcpuDone => {
                     self.sched.exit_current(core);
+                    // Reap the thread context: churn must not accumulate
+                    // dead vCPU threads.
+                    self.threads.remove(&tid);
                     self.cores[core.index()].run = CoreRun::HostIdle;
                     self.dispatch(core);
                     return;
@@ -512,9 +526,13 @@ impl System {
                     if self.vms[vm.0].kvm.all_finished() && self.vms[vm.0].finished.is_none() {
                         self.vms[vm.0].finished = Some(self.queue.now());
                     }
-                    self.set_cont(tid, ThreadCont::VcpuDone);
                     self.sched.exit_current(core);
+                    // Reap the thread context (churn keeps the live-thread
+                    // set bounded) and let the elastic machinery abandon
+                    // any operation targeting this vanished vCPU.
+                    self.threads.remove(&tid);
                     self.cores[core.index()].run = CoreRun::HostIdle;
+                    self.on_vcpu_gone(vm, vcpu);
                     self.dispatch(core);
                     return true;
                 }

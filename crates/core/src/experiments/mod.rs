@@ -2,6 +2,7 @@
 //! paper's evaluation (populated as the harness grows).
 
 pub mod apps;
+pub mod churn;
 pub mod faults;
 pub mod io;
 pub mod ivc;

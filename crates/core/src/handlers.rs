@@ -49,6 +49,7 @@ impl System {
             } => self.on_harass_tick(vm, vcpu, period_ns),
             SystemEvent::CallTimeout { vm, vcpu, seq } => self.on_call_timeout(vm, vcpu, seq),
             SystemEvent::WatchdogTick { period_ns } => self.on_watchdog_tick(period_ns),
+            SystemEvent::DefragTick { period_ns } => self.on_defrag_tick(period_ns),
         }
     }
 
@@ -624,6 +625,7 @@ impl System {
         }
         self.io_watchdog_scan(now);
         self.ivc_watchdog_scan(now);
+        self.elastic_watchdog_scan(now);
         self.mirror_ivc_rejections();
     }
 

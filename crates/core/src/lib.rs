@@ -34,6 +34,7 @@
 #![warn(missing_debug_implementations)]
 
 mod build;
+mod elastic;
 mod exec;
 mod handlers;
 

@@ -20,6 +20,12 @@ pub struct Metrics {
     pub vipi_latency_us: Samples,
     /// Log-bucketed view of [`Metrics::vipi_latency_us`].
     pub vipi_latency_hist: Histogram,
+    /// Live-rebind latency samples in microseconds: from an elastic
+    /// relocation being issued (kick sent) to the vCPU re-entering on
+    /// its new dedicated core's binding.
+    pub rebind_us: Samples,
+    /// Log-bucketed view of [`Metrics::rebind_us`].
+    pub rebind_hist: Histogram,
     /// Per-host-core busy time (ns), indexed by core id.
     pub host_busy_ns: Vec<u64>,
 }
@@ -45,6 +51,13 @@ impl Metrics {
     pub fn record_vipi_latency(&mut self, us: f64) {
         self.vipi_latency_us.record(us);
         self.vipi_latency_hist.record(us);
+    }
+
+    /// Records one live-rebind latency sample (µs) into both the exact
+    /// sample set and its histogram.
+    pub fn record_rebind(&mut self, us: f64) {
+        self.rebind_us.record(us);
+        self.rebind_hist.record(us);
     }
 
     /// Records host CPU busy time on `core`.
@@ -89,6 +102,7 @@ impl Metrics {
         for (samples, hist) in [
             (&self.run_to_run_us, &self.run_to_run_hist),
             (&self.vipi_latency_us, &self.vipi_latency_hist),
+            (&self.rebind_us, &self.rebind_hist),
         ] {
             eat(&(samples.len() as u64).to_le_bytes());
             eat(&samples.mean().to_bits().to_le_bytes());

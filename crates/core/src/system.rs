@@ -133,6 +133,17 @@ pub(crate) enum ThreadCont {
         #[allow(dead_code)]
         vcpu: u32,
     },
+    /// vCPU thread: parked indefinitely by an elastic scale-down. The
+    /// vCPU's core has been released; only a later scale-up
+    /// ([`crate::System::resize_vm`]) revives the thread. Distinct from
+    /// [`ThreadCont::VcpuPaused`] so `resume_vm` cannot wake it.
+    /// (Fields are carried for trace/debug output.)
+    VcpuRetired {
+        #[allow(dead_code)]
+        vm: VmId,
+        #[allow(dead_code)]
+        vcpu: u32,
+    },
     /// vCPU thread: blocked on guest WFI (shared-core mode).
     /// (Fields are carried for trace/debug output.)
     VcpuBlocked {
@@ -350,6 +361,14 @@ pub(crate) struct Vm {
     /// Virtio devices ride the shared-memory fast path (virtqueues +
     /// I/O-plane thread) instead of exiting per kick.
     pub io_fastpath: bool,
+    /// Per-vCPU pending elastic operation, consumed by the vCPU thread
+    /// at its next run-call issue point (where the REC is guaranteed
+    /// exited and rebinding is architecturally legal).
+    pub pending_elastic: Vec<Option<crate::elastic::ElasticKind>>,
+    /// Per-vCPU retired flag: `true` after an elastic scale-down until
+    /// a scale-up revives the vCPU. Retired vCPUs' cores are already
+    /// back in the planner's free pool.
+    pub retired: Vec<bool>,
 }
 
 impl fmt::Debug for Vm {
@@ -427,6 +446,12 @@ pub struct System {
     pub(crate) next_fake_realm: u32,
     /// core index → (vm, vcpu) for cores hosting guest vCPUs.
     pub(crate) core_vcpu: Vec<Option<(VmId, u32)>>,
+    /// Queued elastic operations (rebind/retire/kill), executed
+    /// strictly one at a time to preserve the planner's collision-free
+    /// move ordering.
+    pub(crate) elastic: VecDeque<crate::elastic::ElasticOp>,
+    /// The elastic operation currently in flight, if any.
+    pub(crate) elastic_inflight: Option<crate::elastic::ElasticOp>,
 }
 
 impl System {
@@ -476,9 +501,18 @@ impl System {
             strace_sink: None,
             next_fake_realm: 10_000,
             core_vcpu: vec![None; num_cores as usize],
+            elastic: VecDeque::new(),
+            elastic_inflight: None,
             machine,
             config,
         }
+    }
+
+    /// Number of host threads currently tracked by the system. Exited
+    /// vCPU threads are reaped, so a churn of spawning and finishing
+    /// VMs keeps this bounded by the live set.
+    pub fn live_threads(&self) -> usize {
+        self.threads.len()
     }
 
     /// The current simulated time.
@@ -505,6 +539,11 @@ impl System {
     /// Immutable access to the RMM.
     pub fn rmm(&self) -> &Rmm {
         &self.rmm
+    }
+
+    /// Immutable access to the core planner (placement, fragmentation).
+    pub fn planner(&self) -> &cg_host::CorePlanner {
+        &self.planner
     }
 
     /// The host cores (reserved, never dedicated).

@@ -262,6 +262,33 @@ impl KvmVm {
         std::mem::take(&mut self.vcpus[vcpu as usize].entry)
     }
 
+    /// Forcibly marks `vcpu` finished without a guest `Shutdown` exit:
+    /// the host is tearing the vCPU down (VM departure or scale-down
+    /// under churn). Accumulated entry state and queued interrupts are
+    /// dropped.
+    pub fn force_finish(&mut self, vcpu: u32) {
+        let v = &mut self.vcpus[vcpu as usize];
+        v.finished = true;
+        v.in_guest = false;
+        v.wfi_blocked = false;
+        v.kick_inflight = false;
+        v.entry = RecEntry::default();
+        self.counters.incr("kvm.force_finished");
+    }
+
+    /// Revives a vCPU previously retired via
+    /// [`KvmVm::force_finish`] for a scale-up: clears the finished
+    /// flag so run calls may be issued again. The caller re-dedicates
+    /// a core and wakes the vCPU thread.
+    pub fn revive(&mut self, vcpu: u32) {
+        let v = &mut self.vcpus[vcpu as usize];
+        v.finished = false;
+        v.in_guest = false;
+        v.wfi_blocked = false;
+        v.kick_inflight = false;
+        self.counters.incr("kvm.revived");
+    }
+
     /// Queues a virtual interrupt for `vcpu`'s next entry; returns the
     /// action needed to get it delivered *now* (kick if in guest, unblock
     /// if WFI-blocked, nothing if the vCPU is between runs).

@@ -4,10 +4,12 @@
 //! orchestrates dedication/reclamation. It complements cluster-level VM
 //! schedulers by making explicit, long-lived placement decisions inside a
 //! node. The planner prefers contiguous core ranges to limit long-term
-//! fragmentation, and (as the paper's future-work extension) supports
-//! coarse-grained replanning.
+//! fragmentation, and supports coarse-grained replanning: the periodic
+//! defragmentation pass reserves each move's target, performs the live
+//! RMM rebind, and commits via [`CorePlanner::apply_move`] — so planner
+//! state tracks reality move by move while VMs keep running.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use cg_machine::{CoreId, RealmId};
@@ -22,10 +24,24 @@ pub enum PlannerError {
         /// Cores available.
         available: u16,
     },
+    /// Enough free cores exist, but no contiguous run is long enough
+    /// for a locality-strict admission. Defragmentation can fix this.
+    NoContiguousRun {
+        /// Cores requested (contiguously).
+        requested: u16,
+    },
     /// The realm already has an allocation.
     AlreadyAdmitted,
     /// The realm has no allocation.
     NotAdmitted,
+    /// A relocation was invalid: the source core is not allocated to
+    /// the realm, or the target core is not currently free.
+    InvalidMove {
+        /// Core the realm was supposed to vacate.
+        from: CoreId,
+        /// Core the realm was supposed to occupy.
+        to: CoreId,
+    },
 }
 
 impl fmt::Display for PlannerError {
@@ -38,8 +54,14 @@ impl fmt::Display for PlannerError {
                 f,
                 "insufficient cores: requested {requested}, available {available}"
             ),
+            PlannerError::NoContiguousRun { requested } => {
+                write!(f, "no contiguous run of {requested} free cores")
+            }
             PlannerError::AlreadyAdmitted => write!(f, "realm already admitted"),
             PlannerError::NotAdmitted => write!(f, "realm not admitted"),
+            PlannerError::InvalidMove { from, to } => {
+                write!(f, "invalid move: {from:?} -> {to:?}")
+            }
         }
     }
 }
@@ -67,6 +89,10 @@ pub struct CorePlanner {
     allocations: BTreeMap<RealmId, Vec<CoreId>>,
     /// Cores currently free, kept sorted.
     free: Vec<CoreId>,
+    /// Free cores set aside as in-flight relocation targets: nothing
+    /// runs there yet, but admissions must not claim them — a pending
+    /// defragmentation move is about to. Always a subset of `free`.
+    reserved: BTreeSet<CoreId>,
 }
 
 impl CorePlanner {
@@ -79,6 +105,7 @@ impl CorePlanner {
             free: pool.clone(),
             pool,
             allocations: BTreeMap::new(),
+            reserved: BTreeSet::new(),
         }
     }
 
@@ -97,11 +124,56 @@ impl CorePlanner {
         self.allocations.get(&realm).map(|v| v.as_slice())
     }
 
+    /// All admitted realms, in realm-id order.
+    pub fn admitted_realms(&self) -> Vec<RealmId> {
+        self.allocations.keys().copied().collect()
+    }
+
+    /// The currently free cores, sorted ascending. Includes reserved
+    /// cores (they are free — nothing runs there — just invisible to
+    /// admissions).
+    pub fn free_list(&self) -> &[CoreId] {
+        &self.free
+    }
+
+    /// The free cores an admission may actually claim: free minus
+    /// reserved, sorted ascending.
+    fn available(&self) -> Vec<CoreId> {
+        self.free
+            .iter()
+            .copied()
+            .filter(|c| !self.reserved.contains(c))
+            .collect()
+    }
+
+    /// Reserves a free core as the target of an in-flight relocation:
+    /// admissions will not claim it until [`CorePlanner::apply_move`]
+    /// lands there (which clears the reservation) or
+    /// [`CorePlanner::unreserve`] abandons it. Returns `false` (and
+    /// reserves nothing) if the core is not currently free.
+    pub fn reserve(&mut self, core: CoreId) -> bool {
+        if self.free.binary_search(&core).is_err() {
+            return false;
+        }
+        self.reserved.insert(core);
+        true
+    }
+
+    /// Drops a reservation (an abandoned relocation). Idempotent.
+    pub fn unreserve(&mut self, core: CoreId) {
+        self.reserved.remove(&core);
+    }
+
+    /// The currently reserved relocation targets, sorted ascending.
+    pub fn reserved_list(&self) -> Vec<CoreId> {
+        self.reserved.iter().copied().collect()
+    }
+
     /// Admits a CVM needing `num_cores` dedicated cores.
     ///
     /// Prefers the longest run of contiguous free cores (first-fit on
     /// contiguous runs, falling back to scattered cores) to keep future
-    /// allocations compact.
+    /// allocations compact. Reserved relocation targets are skipped.
     ///
     /// # Errors
     ///
@@ -111,35 +183,36 @@ impl CorePlanner {
         if self.allocations.contains_key(&realm) {
             return Err(PlannerError::AlreadyAdmitted);
         }
-        if num_cores > self.free.len() as u16 {
+        let avail = self.available();
+        if num_cores > avail.len() as u16 {
             return Err(PlannerError::InsufficientCores {
                 requested: num_cores,
-                available: self.free.len() as u16,
+                available: avail.len() as u16,
             });
         }
-        let chosen = self.choose(num_cores as usize);
+        let chosen = Self::choose(&avail, num_cores as usize);
         self.free.retain(|c| !chosen.contains(c));
         self.allocations.insert(realm, chosen.clone());
         Ok(chosen)
     }
 
-    /// Picks `n` cores: the first contiguous run of length ≥ n, else the
-    /// first `n` free cores.
-    fn choose(&self, n: usize) -> Vec<CoreId> {
+    /// Picks `n` cores from the sorted availability list: the first
+    /// contiguous run of length ≥ n, else the first `n` cores.
+    fn choose(avail: &[CoreId], n: usize) -> Vec<CoreId> {
         if n == 0 {
             return Vec::new();
         }
         let mut run_start = 0;
-        for i in 1..=self.free.len() {
-            let contiguous = i < self.free.len() && self.free[i].0 == self.free[i - 1].0 + 1;
+        for i in 1..=avail.len() {
+            let contiguous = i < avail.len() && avail[i].0 == avail[i - 1].0 + 1;
             if !contiguous {
                 if i - run_start >= n {
-                    return self.free[run_start..run_start + n].to_vec();
+                    return avail[run_start..run_start + n].to_vec();
                 }
                 run_start = i;
             }
         }
-        self.free[..n].to_vec()
+        avail[..n].to_vec()
     }
 
     /// Releases `realm`'s cores back to the pool.
@@ -177,30 +250,222 @@ impl CorePlanner {
         1.0 - longest as f64 / self.free.len() as f64
     }
 
-    /// The future-work extension (paper §3): recompute a compact
-    /// placement for every admitted realm, returning the moves
-    /// `(realm, from, to)` needed. Intended to run at coarse (tens of
-    /// seconds) intervals; the caller performs the actual (expensive)
-    /// rebind via RMM teardown/re-entry.
-    pub fn replan_compact(&mut self) -> Vec<(RealmId, CoreId, CoreId)> {
-        let mut moves = Vec::new();
+    /// Grows `realm`'s allocation by `additional` cores (same placement
+    /// policy as [`CorePlanner::admit`]). The new cores are appended to
+    /// the existing allocation so established vCPU→core positions are
+    /// undisturbed.
+    ///
+    /// # Errors
+    ///
+    /// [`PlannerError::NotAdmitted`] or
+    /// [`PlannerError::InsufficientCores`].
+    pub fn grow(&mut self, realm: RealmId, additional: u16) -> Result<Vec<CoreId>, PlannerError> {
+        if !self.allocations.contains_key(&realm) {
+            return Err(PlannerError::NotAdmitted);
+        }
+        let avail = self.available();
+        if additional > avail.len() as u16 {
+            return Err(PlannerError::InsufficientCores {
+                requested: additional,
+                available: avail.len() as u16,
+            });
+        }
+        let chosen = Self::choose(&avail, additional as usize);
+        self.free.retain(|c| !chosen.contains(c));
+        self.allocations
+            .get_mut(&realm)
+            .expect("checked above")
+            .extend(chosen.iter().copied());
+        Ok(chosen)
+    }
+
+    /// Shrinks `realm`'s allocation by `remove` cores, releasing the
+    /// tail of the allocation (the most recently granted / highest
+    /// vCPU-index cores) back to the free pool. Returns the released
+    /// cores. Shrinking to zero cores keeps the realm admitted.
+    ///
+    /// # Errors
+    ///
+    /// [`PlannerError::NotAdmitted`], or
+    /// [`PlannerError::InsufficientCores`] when the allocation holds
+    /// fewer than `remove` cores.
+    pub fn shrink(&mut self, realm: RealmId, remove: u16) -> Result<Vec<CoreId>, PlannerError> {
+        let cores = self
+            .allocations
+            .get_mut(&realm)
+            .ok_or(PlannerError::NotAdmitted)?;
+        if remove as usize > cores.len() {
+            return Err(PlannerError::InsufficientCores {
+                requested: remove,
+                available: cores.len() as u16,
+            });
+        }
+        let released = cores.split_off(cores.len() - remove as usize);
+        self.free.extend(released.iter().copied());
+        self.free.sort();
+        Ok(released)
+    }
+
+    /// Admits a locality-strict CVM that only accepts a contiguous core
+    /// range (NUMA/cluster-local tenants). Unlike [`CorePlanner::admit`]
+    /// there is no scattered fallback: when the free cores suffice only
+    /// in fragments the admission fails with
+    /// [`PlannerError::NoContiguousRun`] — the caller may retry after a
+    /// defragmentation pass.
+    ///
+    /// # Errors
+    ///
+    /// [`PlannerError::AlreadyAdmitted`],
+    /// [`PlannerError::InsufficientCores`], or
+    /// [`PlannerError::NoContiguousRun`].
+    pub fn admit_contiguous(
+        &mut self,
+        realm: RealmId,
+        num_cores: u16,
+    ) -> Result<Vec<CoreId>, PlannerError> {
+        if self.allocations.contains_key(&realm) {
+            return Err(PlannerError::AlreadyAdmitted);
+        }
+        let avail = self.available();
+        if num_cores > avail.len() as u16 {
+            return Err(PlannerError::InsufficientCores {
+                requested: num_cores,
+                available: avail.len() as u16,
+            });
+        }
+        if num_cores == 0 {
+            self.allocations.insert(realm, Vec::new());
+            return Ok(Vec::new());
+        }
+        let n = num_cores as usize;
+        let mut run_start = 0usize;
+        let mut found = None;
+        for i in 1..=avail.len() {
+            let contiguous = i < avail.len() && avail[i].0 == avail[i - 1].0 + 1;
+            if !contiguous {
+                if i - run_start >= n {
+                    found = Some(avail[run_start..run_start + n].to_vec());
+                    break;
+                }
+                run_start = i;
+            }
+        }
+        let chosen = found.ok_or(PlannerError::NoContiguousRun {
+            requested: num_cores,
+        })?;
+        self.free.retain(|c| !chosen.contains(c));
+        self.allocations.insert(realm, chosen.clone());
+        Ok(chosen)
+    }
+
+    /// Plans a compact placement without changing any state: every
+    /// admitted realm is packed into the pool prefix (realm order), and
+    /// the needed relocations are returned as `(realm, from, to)` moves
+    /// **ordered so that each move's target core is free at the moment
+    /// the move is applied**. Cycles (realm A's target is held by realm
+    /// B and vice versa) are broken two-phase through a scratch core
+    /// that is neither occupied nor anyone's final target; a pure
+    /// rotation on a fully allocated pool has no scratch space — and no
+    /// fragmentation to win back — so those moves are dropped.
+    ///
+    /// Applying the returned moves in order via
+    /// [`CorePlanner::apply_move`] therefore never co-locates two
+    /// realms, even transiently — the property live migration of
+    /// dedicated cores depends on.
+    pub fn plan_compact(&self) -> Vec<(RealmId, CoreId, CoreId)> {
         let mut next = 0usize;
-        let realms: Vec<RealmId> = self.allocations.keys().copied().collect();
-        let mut new_free: Vec<CoreId> = self.pool.clone();
-        for realm in realms {
-            let cores = self.allocations.get_mut(&realm).expect("key just listed");
-            for c in cores.iter_mut() {
+        let mut pending: Vec<(RealmId, CoreId, CoreId)> = Vec::new();
+        for (&realm, cores) in &self.allocations {
+            for &c in cores {
                 let target = self.pool[next];
                 next += 1;
-                if *c != target {
-                    moves.push((realm, *c, target));
-                    *c = target;
+                if c != target {
+                    pending.push((realm, c, target));
                 }
             }
         }
-        let used: Vec<CoreId> = self.pool[..next].to_vec();
-        new_free.retain(|c| !used.contains(c));
-        self.free = new_free;
+        let mut occupied: BTreeSet<CoreId> = self.allocations.values().flatten().copied().collect();
+        let final_targets: BTreeSet<CoreId> = pending.iter().map(|&(_, _, to)| to).collect();
+        let mut ordered = Vec::with_capacity(pending.len());
+        while !pending.is_empty() {
+            if let Some(i) = pending
+                .iter()
+                .position(|&(_, _, to)| !occupied.contains(&to))
+            {
+                let (realm, from, to) = pending.remove(i);
+                occupied.remove(&from);
+                occupied.insert(to);
+                ordered.push((realm, from, to));
+                continue;
+            }
+            // Every remaining target is occupied: a cycle. Park the
+            // first pending core on a scratch core, which frees its
+            // source and unblocks the rest of the cycle; the parked
+            // core finishes its journey once its real target clears.
+            let scratch = self.pool.iter().copied().find(|c| {
+                !occupied.contains(c) && !final_targets.contains(c) && !self.reserved.contains(c)
+            });
+            let Some(scratch) = scratch else {
+                break; // pure rotation, nothing to gain: drop the cycle
+            };
+            let (realm, from, to) = pending.remove(0);
+            occupied.remove(&from);
+            occupied.insert(scratch);
+            ordered.push((realm, from, scratch));
+            pending.insert(0, (realm, scratch, to));
+        }
+        ordered
+    }
+
+    /// Commits one relocation: `realm` vacates `from` and occupies `to`.
+    /// The target must be free *right now* — this is the collision
+    /// contract [`CorePlanner::plan_compact`] orders its moves to
+    /// satisfy, and it is what lets the caller interleave slow per-move
+    /// rebinds (RMM teardown / re-entry) with new admissions without
+    /// the planner's view drifting from reality.
+    ///
+    /// # Errors
+    ///
+    /// [`PlannerError::NotAdmitted`] or [`PlannerError::InvalidMove`].
+    pub fn apply_move(
+        &mut self,
+        realm: RealmId,
+        from: CoreId,
+        to: CoreId,
+    ) -> Result<(), PlannerError> {
+        let free_idx = self
+            .free
+            .binary_search(&to)
+            .map_err(|_| PlannerError::InvalidMove { from, to })?;
+        let cores = self
+            .allocations
+            .get_mut(&realm)
+            .ok_or(PlannerError::NotAdmitted)?;
+        let slot = cores
+            .iter()
+            .position(|&c| c == from)
+            .ok_or(PlannerError::InvalidMove { from, to })?;
+        cores[slot] = to;
+        self.free.remove(free_idx);
+        self.reserved.remove(&to);
+        let pos = self.free.binary_search(&from).unwrap_err();
+        self.free.insert(pos, from);
+        Ok(())
+    }
+
+    /// The paper's §3 replanning extension: computes a compact placement
+    /// ([`CorePlanner::plan_compact`]) and commits every move, returning
+    /// the collision-free-ordered move list. Intended to run at coarse
+    /// (tens of seconds) intervals; callers that perform the actual
+    /// (expensive) rebind via RMM teardown/re-entry should instead plan
+    /// once and [`CorePlanner::apply_move`] each relocation as its
+    /// rebind completes, so the planner tracks reality move by move.
+    pub fn replan_compact(&mut self) -> Vec<(RealmId, CoreId, CoreId)> {
+        let moves = self.plan_compact();
+        for &(realm, from, to) in &moves {
+            self.apply_move(realm, from, to)
+                .expect("plan_compact moves are collision-free by construction");
+        }
         moves
     }
 }
@@ -319,6 +584,202 @@ mod tests {
         // Replanning a fully allocated pool is a no-op and stays total.
         assert!(full.replan_compact().is_empty());
         assert_eq!(full.fragmentation(), 0.0);
+    }
+
+    /// Regression: `replan_compact` used to emit moves in realm order,
+    /// so an early move could target a core still occupied by a
+    /// later-moving realm — transiently co-locating two realms on one
+    /// dedicated core. The move list must be ordered so every target is
+    /// free at apply time.
+    #[test]
+    fn replan_moves_are_ordered_collision_free() {
+        let mut p = planner();
+        // A *later* realm id sits on the pool prefix (the compact
+        // target of the earlier id): realm-order emission would move
+        // realm 1 onto cores realm 5 still occupies.
+        p.admit(RealmId(5), 2).unwrap(); // 1,2
+        p.admit(RealmId(1), 2).unwrap(); // 3,4
+        let moves = p.plan_compact();
+        assert!(!moves.is_empty());
+        // Simulate sequential application: no move may ever target an
+        // occupied core.
+        let mut occupied: std::collections::BTreeSet<CoreId> = (1..5).map(CoreId).collect();
+        for &(_, from, to) in &moves {
+            assert!(!occupied.contains(&to), "move into occupied {to:?}");
+            assert!(occupied.remove(&from));
+            occupied.insert(to);
+        }
+        // And the real application agrees move by move.
+        for &(realm, from, to) in &moves {
+            p.apply_move(realm, from, to).unwrap();
+        }
+        assert_eq!(p.allocation(RealmId(1)).unwrap(), &[CoreId(1), CoreId(2)]);
+        assert_eq!(p.allocation(RealmId(5)).unwrap(), &[CoreId(3), CoreId(4)]);
+        assert_eq!(p.fragmentation(), 0.0);
+    }
+
+    /// A 2-cycle with scratch space is broken two-phase: park one core
+    /// on a free scratch core, drain the cycle, then finish the parked
+    /// core's journey.
+    #[test]
+    fn cycle_broken_two_phase_via_scratch_core() {
+        let mut p = CorePlanner::new((1..4).map(CoreId)); // 1,2,3
+        p.admit(RealmId(7), 1).unwrap(); // core 1
+        p.admit(RealmId(2), 1).unwrap(); // core 2
+
+        // Targets: realm 2 → core 1 (held by realm 7), realm 7 → core 2
+        // (held by realm 2). Core 3 is the scratch.
+        let moves = p.replan_compact();
+        assert_eq!(moves.len(), 3, "park + two finishing moves");
+        assert_eq!(p.allocation(RealmId(2)).unwrap(), &[CoreId(1)]);
+        assert_eq!(p.allocation(RealmId(7)).unwrap(), &[CoreId(2)]);
+        assert_eq!(p.free_cores(), 1);
+        // Idempotent: a second replan has nothing left to do.
+        assert!(p.replan_compact().is_empty());
+    }
+
+    /// A pure rotation on a fully allocated pool has no scratch core —
+    /// and no fragmentation to win back — so the cycle is dropped
+    /// rather than applied collision-unsafely.
+    #[test]
+    fn full_pool_rotation_is_dropped_not_collided() {
+        let mut p = CorePlanner::new([CoreId(1), CoreId(2)]);
+        p.admit(RealmId(9), 1).unwrap(); // core 1
+        p.admit(RealmId(0), 1).unwrap(); // core 2
+        assert!(p.plan_compact().is_empty());
+        assert!(p.replan_compact().is_empty());
+        assert_eq!(p.allocation(RealmId(9)).unwrap(), &[CoreId(1)]);
+        assert_eq!(p.allocation(RealmId(0)).unwrap(), &[CoreId(2)]);
+    }
+
+    #[test]
+    fn apply_move_rejects_occupied_target_and_foreign_source() {
+        let mut p = planner();
+        p.admit(RealmId(0), 2).unwrap(); // 1,2
+        p.admit(RealmId(1), 2).unwrap(); // 3,4
+
+        // Target occupied by realm 1.
+        assert_eq!(
+            p.apply_move(RealmId(0), CoreId(1), CoreId(3)),
+            Err(PlannerError::InvalidMove {
+                from: CoreId(1),
+                to: CoreId(3)
+            })
+        );
+        // Source not allocated to realm 0.
+        assert_eq!(
+            p.apply_move(RealmId(0), CoreId(3), CoreId(5)),
+            Err(PlannerError::InvalidMove {
+                from: CoreId(3),
+                to: CoreId(5)
+            })
+        );
+        assert_eq!(
+            p.apply_move(RealmId(2), CoreId(1), CoreId(5)),
+            Err(PlannerError::NotAdmitted)
+        );
+        // A valid move commits and keeps the free list sorted.
+        p.apply_move(RealmId(0), CoreId(2), CoreId(6)).unwrap();
+        assert_eq!(p.allocation(RealmId(0)).unwrap(), &[CoreId(1), CoreId(6)]);
+        let next = p.admit(RealmId(3), 1).unwrap();
+        assert_eq!(next, vec![CoreId(2)], "freed core re-admitted in order");
+    }
+
+    #[test]
+    fn grow_appends_and_shrink_releases_tail() {
+        let mut p = planner();
+        p.admit(RealmId(0), 2).unwrap(); // 1,2
+        assert_eq!(p.grow(RealmId(0), 2).unwrap(), vec![CoreId(3), CoreId(4)]);
+        assert_eq!(
+            p.allocation(RealmId(0)).unwrap(),
+            &[CoreId(1), CoreId(2), CoreId(3), CoreId(4)]
+        );
+        assert_eq!(p.free_cores(), 4);
+        // Shrink releases the tail (highest vCPU indices) back, sorted.
+        assert_eq!(
+            p.shrink(RealmId(0), 3).unwrap(),
+            vec![CoreId(2), CoreId(3), CoreId(4)]
+        );
+        assert_eq!(p.allocation(RealmId(0)).unwrap(), &[CoreId(1)]);
+        assert_eq!(p.free_cores(), 7);
+        // Errors are typed and non-destructive.
+        assert_eq!(p.grow(RealmId(1), 1), Err(PlannerError::NotAdmitted));
+        assert_eq!(
+            p.shrink(RealmId(0), 2),
+            Err(PlannerError::InsufficientCores {
+                requested: 2,
+                available: 1
+            })
+        );
+        assert_eq!(
+            p.grow(RealmId(0), 9),
+            Err(PlannerError::InsufficientCores {
+                requested: 9,
+                available: 7
+            })
+        );
+    }
+
+    #[test]
+    fn contiguous_admission_fails_on_fragments_until_defrag() {
+        let mut p = planner();
+        p.admit(RealmId(0), 2).unwrap(); // 1,2
+        p.admit(RealmId(1), 2).unwrap(); // 3,4
+        p.admit(RealmId(2), 2).unwrap(); // 5,6
+        p.release(RealmId(1)).unwrap(); // free: 3,4,7,8 — fragmented
+        assert_eq!(
+            p.admit_contiguous(RealmId(3), 4),
+            Err(PlannerError::NoContiguousRun { requested: 4 })
+        );
+        // Plain admit would have scattered; contiguous waits for defrag.
+        p.replan_compact(); // realm 2 → 3,4; free: 5..8
+        assert_eq!(
+            p.admit_contiguous(RealmId(3), 4).unwrap(),
+            (5..9).map(CoreId).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            p.admit_contiguous(RealmId(4), 1),
+            Err(PlannerError::InsufficientCores {
+                requested: 1,
+                available: 0
+            })
+        );
+    }
+
+    /// Reserved relocation targets are invisible to admissions (plain,
+    /// contiguous, and grow) until the move lands or is abandoned.
+    #[test]
+    fn reservations_shield_inflight_move_targets() {
+        let mut p = planner();
+        p.admit(RealmId(0), 2).unwrap(); // 1,2
+        p.admit(RealmId(1), 2).unwrap(); // 3,4
+        p.release(RealmId(0)).unwrap(); // free: 1,2,5..8
+        assert!(p.reserve(CoreId(1)));
+        assert!(p.reserve(CoreId(2)));
+        assert!(!p.reserve(CoreId(3)), "allocated core cannot be reserved");
+        assert_eq!(p.reserved_list(), vec![CoreId(1), CoreId(2)]);
+        // Admissions skip the reserved pair even though it is free.
+        assert_eq!(p.admit(RealmId(2), 2).unwrap(), vec![CoreId(5), CoreId(6)]);
+        assert_eq!(
+            p.admit_contiguous(RealmId(3), 4),
+            Err(PlannerError::InsufficientCores {
+                requested: 4,
+                available: 2
+            })
+        );
+        assert_eq!(
+            p.grow(RealmId(2), 3),
+            Err(PlannerError::InsufficientCores {
+                requested: 3,
+                available: 2
+            })
+        );
+        // Landing the move clears its reservation; the other target is
+        // abandoned explicitly. Both become admissible again.
+        p.apply_move(RealmId(1), CoreId(3), CoreId(1)).unwrap();
+        p.unreserve(CoreId(2));
+        assert!(p.reserved_list().is_empty());
+        assert_eq!(p.admit(RealmId(4), 2).unwrap(), vec![CoreId(2), CoreId(3)]);
     }
 
     /// Regression: `release` after `replan_compact` must leave the free

@@ -208,15 +208,38 @@ impl Scheduler {
         id
     }
 
-    /// The running thread on `core` exits.
+    /// The running thread on `core` exits and is reaped immediately:
+    /// its `Thread` record and wake-placement hint are removed, so the
+    /// scheduler's maps stay bounded by the number of *live* threads no
+    /// matter how many threads churn through over the node's lifetime.
+    /// The returned id is dangling from this point on.
     ///
     /// # Panics
     ///
     /// Panics if nothing is running on `core`.
     pub fn exit_current(&mut self, core: CoreId) -> ThreadId {
         let id = self.take_current(core).expect("no running thread to exit");
-        self.thread_mut(id).set_state(ThreadState::Exited);
+        self.trace.record(TraceKind::Sched, Some(core.0), || {
+            format!("sched.exit {id}")
+        });
+        self.threads.remove(&id);
+        self.last_core.remove(&id);
         id
+    }
+
+    /// Number of live (un-reaped) threads the scheduler tracks.
+    pub fn thread_count(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Number of wake-placement hints retained (≤ live threads).
+    pub fn placement_hints(&self) -> usize {
+        self.last_core.len()
+    }
+
+    /// Returns `true` if `id` refers to a live (un-reaped) thread.
+    pub fn contains(&self, id: ThreadId) -> bool {
+        self.threads.contains_key(&id)
     }
 
     fn take_current(&mut self, core: CoreId) -> Option<ThreadId> {
@@ -260,9 +283,14 @@ impl Scheduler {
         (core, preempts)
     }
 
-    /// Returns `true` if the thread is blocked.
+    /// Returns `true` if the thread is blocked. Total over arbitrary
+    /// ids: an exited (reaped) thread is simply not blocked, so stale
+    /// wake sources (late doorbells, watchdog rescans) stay harmless.
     pub fn is_blocked(&self, id: ThreadId) -> bool {
-        self.thread(id).state() == ThreadState::Blocked
+        self.threads
+            .get(&id)
+            .map(|t| t.state() == ThreadState::Blocked)
+            .unwrap_or(false)
     }
 
     /// Closes every open per-core slice span. Called when a run ends
@@ -317,10 +345,41 @@ impl Scheduler {
     }
 
     /// Narrows a thread's affinity, removing `core`; if the thread sits
-    /// queued on `core` it is migrated immediately.
+    /// queued on `core` it is migrated immediately: pulled out of that
+    /// core's run queue and re-enqueued through normal placement over
+    /// the narrowed mask, so it can never be picked to run on `core`
+    /// again. The wake-placement hint is also dropped if it pointed at
+    /// `core`, so a later wake does not steer the thread back.
+    ///
+    /// The thread must not be *running* on `core` — use
+    /// [`Scheduler::evacuate`] to clear a whole core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the affinity would become empty.
     pub fn remove_core_affinity(&mut self, id: ThreadId, core: CoreId) {
         let new_affinity: Vec<CoreId> = self.thread(id).affinity().filter(|&c| c != core).collect();
         self.thread_mut(id).set_affinity(new_affinity);
+        if self.last_core.get(&id) == Some(&core) {
+            self.last_core.remove(&id);
+        }
+        let queued_here = self.queues.get_mut(&core).is_some_and(|q| {
+            debug_assert_ne!(
+                q.current,
+                Some(id),
+                "remove_core_affinity on the thread running there"
+            );
+            let before = q.runnable_len();
+            q.fifo.retain(|&(_, _, t)| t != id);
+            q.fair.retain(|&t| t != id);
+            before != q.runnable_len()
+        });
+        if queued_here {
+            self.trace.record(TraceKind::Sched, Some(core.0), || {
+                format!("sched.migrate {id} off core{}", core.0)
+            });
+            self.enqueue(id);
+        }
     }
 }
 
@@ -406,8 +465,75 @@ mod tests {
         s.wake(t);
         assert_eq!(s.pick_next(C0), Some(t));
         assert_eq!(s.exit_current(C0), t);
-        assert_eq!(s.thread(t).state(), ThreadState::Exited);
+        // Exit reaps: the record is gone, stale queries stay harmless.
+        assert!(!s.contains(t));
+        assert!(!s.is_blocked(t));
+        assert_eq!(s.thread_count(), 0);
         assert_eq!(s.pick_next(C0), None);
+    }
+
+    /// Regression: exited threads used to linger in `threads` and
+    /// `last_core` forever — unbounded growth under VM churn. A node
+    /// cycling through thousands of short-lived threads must keep both
+    /// maps bounded by the number of *live* threads.
+    #[test]
+    fn spawn_exit_churn_keeps_maps_bounded() {
+        let mut s = Scheduler::new();
+        // One long-lived resident thread, parked blocked.
+        let resident = s.spawn(ThreadKind::Housekeeping, SchedClass::Fair, [C0]);
+        assert_eq!(s.pick_next(C0), Some(resident));
+        s.block_current(C0);
+        for _ in 0..1_000 {
+            let t = s.spawn(ThreadKind::Housekeeping, SchedClass::Fair, [C0]);
+            assert_eq!(s.pick_next(C0), Some(t));
+            assert_eq!(s.exit_current(C0), t);
+            assert!(s.thread_count() <= 2, "threads map grew: churn leaked");
+            assert!(s.placement_hints() <= 2, "last_core map grew");
+        }
+        assert_eq!(s.thread_count(), 1);
+        // The resident thread is unaffected by 1k reaps around it.
+        s.wake(resident);
+        assert_eq!(s.pick_next(C0), Some(resident));
+    }
+
+    /// Regression: `remove_core_affinity` only narrowed the mask, so a
+    /// thread already queued on the removed core was later picked to
+    /// run outside its affinity. It must be migrated out of the queue
+    /// immediately.
+    #[test]
+    fn remove_core_affinity_migrates_queued_thread() {
+        let mut s = Scheduler::new();
+        // Occupy C1 so placement puts `t` on the (empty) core C0.
+        s.spawn(ThreadKind::Housekeeping, SchedClass::Fair, [C1]);
+        let t = s.spawn(ThreadKind::Housekeeping, SchedClass::Fair, [C0, C1]);
+        assert_eq!(s.runnable_on(C0), 1);
+        s.remove_core_affinity(t, C0);
+        assert!(!s.thread(t).can_run_on(C0));
+        // The queued thread moved to C1 *now*, not lazily.
+        assert_eq!(s.runnable_on(C0), 0);
+        assert_eq!(s.runnable_on(C1), 2);
+        // C0 never picks it; C1 does.
+        assert_eq!(s.pick_next(C0), None);
+        let picked = [s.pick_next(C1).unwrap(), {
+            s.block_current(C1);
+            s.pick_next(C1).unwrap()
+        }];
+        assert!(picked.contains(&t));
+    }
+
+    /// `remove_core_affinity` also drops a stale wake-placement hint,
+    /// so a blocked thread whose favourite core was removed wakes onto
+    /// an allowed core.
+    #[test]
+    fn remove_core_affinity_clears_stale_placement_hint() {
+        let mut s = Scheduler::new();
+        let t = s.spawn(ThreadKind::Housekeeping, SchedClass::Fair, [C0, C1]);
+        assert_eq!(s.pick_next(C0), Some(t));
+        s.block_current(C0); // last ran on C0
+        s.remove_core_affinity(t, C0);
+        let (core, _) = s.wake(t);
+        assert_eq!(core, C1);
+        assert_eq!(s.pick_next(C1), Some(t));
     }
 
     #[test]

@@ -1,8 +1,10 @@
-//! Property tests for the host scheduler's invariants.
+//! Property tests for the host scheduler's and core planner's
+//! invariants.
 
-use cg_host::{SchedClass, Scheduler, ThreadKind};
-use cg_machine::CoreId;
+use cg_host::{CorePlanner, SchedClass, Scheduler, ThreadKind};
+use cg_machine::{CoreId, RealmId};
 use proptest::prelude::*;
+use std::collections::BTreeSet;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -97,5 +99,130 @@ proptest! {
             picked += 1;
         }
         prop_assert_eq!(picked, n_threads);
+    }
+}
+
+// ===================== core planner state machine =====================
+
+#[derive(Debug, Clone)]
+enum PlanOp {
+    Admit(u8, u16),
+    AdmitContiguous(u8, u16),
+    Release(u8),
+    Grow(u8, u16),
+    Shrink(u8, u16),
+    Reserve(u8),
+    Unreserve(u8),
+    Replan,
+}
+
+fn plan_op_strategy() -> impl Strategy<Value = PlanOp> {
+    prop_oneof![
+        (0u8..12, 0u16..6).prop_map(|(r, n)| PlanOp::Admit(r, n)),
+        (0u8..12, 0u16..6).prop_map(|(r, n)| PlanOp::AdmitContiguous(r, n)),
+        (0u8..12).prop_map(PlanOp::Release),
+        (0u8..12, 1u16..4).prop_map(|(r, n)| PlanOp::Grow(r, n)),
+        (0u8..12, 1u16..4).prop_map(|(r, n)| PlanOp::Shrink(r, n)),
+        (0u8..24).prop_map(PlanOp::Reserve),
+        (0u8..24).prop_map(PlanOp::Unreserve),
+        Just(PlanOp::Replan),
+    ]
+}
+
+/// Planner state invariants that must hold after *every* operation.
+fn check_planner_invariants(p: &CorePlanner, pool: &BTreeSet<CoreId>) -> Result<(), TestCaseError> {
+    // Allocations pairwise disjoint, and no core allocated twice.
+    let mut allocated = BTreeSet::new();
+    for realm in p.admitted_realms() {
+        for &c in p.allocation(realm).unwrap() {
+            prop_assert!(allocated.insert(c), "core {c:?} allocated twice");
+        }
+    }
+    // allocated ∪ free == pool, disjointly.
+    let free: BTreeSet<CoreId> = p.free_list().iter().copied().collect();
+    prop_assert_eq!(free.len(), p.free_list().len(), "free list has duplicates");
+    prop_assert!(allocated.is_disjoint(&free), "core both allocated and free");
+    let union: BTreeSet<CoreId> = allocated.union(&free).copied().collect();
+    prop_assert_eq!(&union, pool, "allocated ∪ free != pool");
+    // Free list sorted (deterministic admissions depend on it).
+    prop_assert!(p.free_list().windows(2).all(|w| w[0] < w[1]));
+    // Reserved relocation targets are always a subset of the free list:
+    // nothing may run on a core an in-flight move is about to occupy.
+    for c in p.reserved_list() {
+        prop_assert!(free.contains(&c), "reserved core {c:?} is not free");
+    }
+    // Fragmentation is total and in [0, 1].
+    let frag = p.fragmentation();
+    prop_assert!(frag.is_finite() && (0.0..=1.0).contains(&frag));
+    Ok(())
+}
+
+proptest! {
+    /// State machine over random admit/release/resize/replan sequences:
+    /// allocations stay pairwise disjoint, allocated ∪ free == pool,
+    /// fragmentation stays in [0, 1], replanning is idempotent once
+    /// compact, and the replan move list is collision-free when applied
+    /// strictly sequentially — no transient co-location of two realms
+    /// on one dedicated core, the property live rebinding relies on.
+    #[test]
+    fn planner_churn_preserves_invariants(
+        pool_size in 4u16..24,
+        ops in prop::collection::vec(plan_op_strategy(), 1..80),
+    ) {
+        let pool: BTreeSet<CoreId> = (1..=pool_size).map(CoreId).collect();
+        let mut p = CorePlanner::new(pool.iter().copied());
+        for op in ops {
+            match op {
+                PlanOp::Admit(r, n) => {
+                    let _ = p.admit(RealmId(r as u32), n);
+                }
+                PlanOp::AdmitContiguous(r, n) => {
+                    let _ = p.admit_contiguous(RealmId(r as u32), n);
+                }
+                PlanOp::Release(r) => {
+                    let _ = p.release(RealmId(r as u32));
+                }
+                PlanOp::Grow(r, n) => {
+                    let _ = p.grow(RealmId(r as u32), n);
+                }
+                PlanOp::Shrink(r, n) => {
+                    let _ = p.shrink(RealmId(r as u32), n);
+                }
+                PlanOp::Reserve(i) => {
+                    if let Some(&c) = p.free_list().get(i as usize) {
+                        p.reserve(c);
+                    }
+                }
+                PlanOp::Unreserve(i) => {
+                    if let Some(c) = p.reserved_list().get(i as usize).copied() {
+                        p.unreserve(c);
+                    }
+                }
+                PlanOp::Replan => {
+                    // The planned moves must be applicable strictly in
+                    // order with every target free at apply time.
+                    let moves = p.plan_compact();
+                    let mut occupied: BTreeSet<CoreId> = p
+                        .admitted_realms()
+                        .iter()
+                        .flat_map(|&r| p.allocation(r).unwrap().iter().copied())
+                        .collect();
+                    for &(_, from, to) in &moves {
+                        prop_assert!(
+                            !occupied.contains(&to),
+                            "move targets occupied core {to:?}"
+                        );
+                        prop_assert!(occupied.remove(&from));
+                        occupied.insert(to);
+                    }
+                    for &(realm, from, to) in &moves {
+                        prop_assert!(p.apply_move(realm, from, to).is_ok());
+                    }
+                    // Idempotent once compact: nothing left to move.
+                    prop_assert!(p.plan_compact().is_empty(), "replan not idempotent");
+                }
+            }
+            check_planner_invariants(&p, &pool)?;
+        }
     }
 }

@@ -37,6 +37,8 @@ pub enum CoreGapError {
         /// The realm bound to the core.
         owner: RealmId,
     },
+    /// The vCPU is mid-run; it must exit before its binding can change.
+    RecRunning,
 }
 
 impl fmt::Display for CoreGapError {
@@ -52,6 +54,9 @@ impl fmt::Display for CoreGapError {
             }
             CoreGapError::StillBound { owner } => {
                 write!(f, "core still bound to {owner}")
+            }
+            CoreGapError::RecRunning => {
+                write!(f, "vCPU is mid-run; it must exit before rebinding")
             }
         }
     }

@@ -497,6 +497,66 @@ impl Rmm {
         Ok(())
     }
 
+    /// Moves `rec`'s vCPU→core binding to `to` (`REC_REBIND`): the
+    /// live-rebind primitive behind elastic reallocation. The target
+    /// must already be dedicated and either unbound or owned by the
+    /// same realm; the vCPU must not be mid-run (it exits first — the
+    /// host kicks it out). Equivalent to a REC binding teardown plus a
+    /// fresh first-entry bind, so the monitor cost is two object
+    /// operations; the architectural transition costs ride the next
+    /// `REC_ENTER` as usual.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreGapError::RecRunning`] while a run call is outstanding;
+    /// [`CoreGapError::NotDedicated`] / [`CoreGapError::CoreBusy`] when
+    /// the target core is not rebind-eligible.
+    pub fn rebind_rec(
+        &mut self,
+        rec: RecId,
+        to: CoreId,
+        machine: &mut Machine,
+    ) -> Result<SimDuration, CoreGapError> {
+        if self.rec(rec).map(|r| r.state()) == Some(RecState::Running) {
+            return Err(CoreGapError::RecRunning);
+        }
+        if !self.coregap.is_dedicated(to) {
+            return Err(CoreGapError::NotDedicated);
+        }
+        if let Some(owner) = self.coregap.core_owner(to) {
+            if owner != rec.realm {
+                return Err(CoreGapError::CoreBusy { owner });
+            }
+        }
+        let old = self.coregap.binding(rec);
+        self.coregap.unbind(rec);
+        if let Some(core) = old {
+            if self.coregap.core_owner(core).is_none() {
+                machine.cpu_mut(core).unbind_realm();
+            }
+        }
+        self.coregap
+            .check_and_bind(rec, to)
+            .expect("target validated rebind-eligible above");
+        machine.cpu_mut(to).bind_realm(rec.realm);
+        self.counters.incr("rmm.rec_rebound");
+        Ok(self.config.costs.object * 2)
+    }
+
+    /// Drops `rec`'s vCPU→core binding without destroying the REC
+    /// (scale-down: the core is reclaimed, the REC lies dormant until a
+    /// scale-up re-enters it on a fresh core). Returns the core the
+    /// vCPU was bound to, or `None` if it was never bound.
+    pub fn unbind_rec(&mut self, rec: RecId, machine: &mut Machine) -> Option<CoreId> {
+        let core = self.coregap.binding(rec)?;
+        self.coregap.unbind(rec);
+        if self.coregap.core_owner(core).is_none() {
+            machine.cpu_mut(core).unbind_realm();
+        }
+        self.counters.incr("rmm.rec_unbound");
+        Some(core)
+    }
+
     // ----- RMI handling -----
 
     /// Handles an RMI call arriving on `core` (via SMC in shared-core
@@ -1401,6 +1461,23 @@ mod tests {
         GranuleAddr::new(n * 4096).unwrap()
     }
 
+    /// Drives `rec` (running on `core`) out to the host via an MMIO
+    /// exit, leaving it Ready for rebind/unbind operations.
+    fn exit_via_mmio(rmm: &mut Rmm, machine: &mut Machine, core: CoreId, rec: RecId) {
+        let disp = rmm.on_guest_event(
+            core,
+            rec,
+            GuestEvent::MmioWrite {
+                ipa: 0x9000_0000,
+                size: 4,
+                value: 0,
+            },
+            machine,
+        );
+        assert!(matches!(disp, Disposition::ExitToHost { .. }), "{disp:?}");
+        assert_eq!(rmm.rec(rec).unwrap().state(), RecState::Ready);
+    }
+
     /// Builds an active 2-vCPU realm with granules 10.. delegated, and
     /// dedicates cores 4 and 5.
     fn build_realm(rmm: &mut Rmm, machine: &mut Machine) -> RealmId {
@@ -1696,6 +1773,58 @@ mod tests {
         rmm.handle_rmi(CoreId(0), RmiCall::RecDestroy { rec }, &mut machine);
         rmm.reclaim_core(CoreId(4), &mut machine).unwrap();
         assert!(machine.cpu(CoreId(4)).is_host_schedulable());
+    }
+
+    #[test]
+    fn rebind_moves_exited_rec_between_dedicated_cores() {
+        let (mut rmm, mut machine) = setup();
+        let realm = build_realm(&mut rmm, &mut machine);
+        let rec = RecId::new(realm, 0);
+        rmm.rec_enter_with_list(CoreId(4), rec, &[], &mut machine);
+        // Mid-run the binding is immovable.
+        assert_eq!(
+            rmm.rebind_rec(rec, CoreId(5), &mut machine),
+            Err(CoreGapError::RecRunning)
+        );
+        exit_via_mmio(&mut rmm, &mut machine, CoreId(4), rec);
+        // Target must be dedicated.
+        assert_eq!(
+            rmm.rebind_rec(rec, CoreId(1), &mut machine),
+            Err(CoreGapError::NotDedicated)
+        );
+        let cost = rmm.rebind_rec(rec, CoreId(5), &mut machine).unwrap();
+        assert!(cost > SimDuration::ZERO);
+        assert_eq!(rmm.coregap().binding(rec), Some(CoreId(5)));
+        assert_eq!(rmm.coregap().core_owner(CoreId(4)), None);
+        // The vacated core is reclaimable; the new one re-enters fine.
+        rmm.reclaim_core(CoreId(4), &mut machine).unwrap();
+        let out = rmm.rec_enter_with_list(CoreId(5), rec, &[], &mut machine);
+        assert!(out.status.is_success(), "{out:?}");
+        // Entering anywhere else keeps failing: the binding moved, it
+        // did not loosen.
+        exit_via_mmio(&mut rmm, &mut machine, CoreId(5), rec);
+        machine.cpu_mut(CoreId(6)).offline();
+        rmm.dedicate_core(CoreId(6), &mut machine).unwrap();
+        let out = rmm.rec_enter_with_list(CoreId(6), rec, &[], &mut machine);
+        assert_eq!(out.status, RmiStatus::ErrorCoreBinding);
+    }
+
+    #[test]
+    fn unbind_rec_frees_core_without_destroying_rec() {
+        let (mut rmm, mut machine) = setup();
+        let realm = build_realm(&mut rmm, &mut machine);
+        let rec = RecId::new(realm, 0);
+        assert_eq!(rmm.unbind_rec(rec, &mut machine), None);
+        rmm.rec_enter_with_list(CoreId(4), rec, &[], &mut machine);
+        exit_via_mmio(&mut rmm, &mut machine, CoreId(4), rec);
+        assert_eq!(rmm.unbind_rec(rec, &mut machine), Some(CoreId(4)));
+        rmm.reclaim_core(CoreId(4), &mut machine).unwrap();
+        // The REC lies dormant: a later entry on a fresh dedicated core
+        // establishes a new first-entry binding (scale-up revival).
+        machine.cpu_mut(CoreId(6)).offline();
+        rmm.dedicate_core(CoreId(6), &mut machine).unwrap();
+        let out = rmm.rec_enter_with_list(CoreId(6), rec, &[], &mut machine);
+        assert!(out.status.is_success(), "{out:?}");
     }
 
     #[test]

@@ -81,6 +81,11 @@ pub struct FaultPlan {
     /// *not* a registered endpoint (Heckler-style interrupt injection).
     /// The RMM must reject and count it.
     pub forge_ivc_doorbell_p: f64,
+    /// Probability that the kick IPI meant to pull a vCPU out of its
+    /// guest for an elastic rebind/retire is silently lost — the vCPU
+    /// keeps running on its old core and the elastic operation stalls
+    /// until the watchdog re-kicks it (`RebindInterrupted`).
+    pub rebind_interrupt_p: f64,
 }
 
 impl FaultPlan {
@@ -100,6 +105,7 @@ impl FaultPlan {
             drop_ivc_doorbell_p: 0.0,
             dup_ivc_doorbell_p: 0.0,
             forge_ivc_doorbell_p: 0.0,
+            rebind_interrupt_p: 0.0,
         }
     }
 
@@ -140,6 +146,16 @@ impl FaultPlan {
         }
     }
 
+    /// A plan where the elastic kick IPI is lost with probability `p` —
+    /// the `RebindInterrupted` fault class, healed by the elastic
+    /// watchdog scan re-kicking the stalled vCPU.
+    pub fn rebind_interruption(p: f64) -> FaultPlan {
+        FaultPlan {
+            rebind_interrupt_p: p,
+            ..FaultPlan::none()
+        }
+    }
+
     /// Returns `true` if any fault class can fire under this plan.
     pub fn is_active(&self) -> bool {
         self.drop_doorbell_p > 0.0
@@ -151,6 +167,7 @@ impl FaultPlan {
             || self.drop_ivc_doorbell_p > 0.0
             || self.dup_ivc_doorbell_p > 0.0
             || self.forge_ivc_doorbell_p > 0.0
+            || self.rebind_interrupt_p > 0.0
     }
 
     /// A stable digest of the plan, folded into the injector's RNG seed
@@ -178,6 +195,12 @@ impl FaultPlan {
         eat(self.drop_ivc_doorbell_p.to_bits());
         eat(self.dup_ivc_doorbell_p.to_bits());
         eat(self.forge_ivc_doorbell_p.to_bits());
+        // Later-added fields fold in only when set, so every plan that
+        // predates them keeps its exact historical digest — and hence
+        // replays its exact historical fault schedule.
+        if self.rebind_interrupt_p > 0.0 {
+            eat(self.rebind_interrupt_p.to_bits());
+        }
         h
     }
 }
@@ -351,6 +374,19 @@ impl FaultInjector {
         }
         hit
     }
+
+    /// Should this elastic kick IPI be silently lost, stalling the
+    /// in-flight rebind/retire until the watchdog re-kicks?
+    pub fn interrupt_rebind(&mut self) -> bool {
+        if self.plan.rebind_interrupt_p <= 0.0 {
+            return false;
+        }
+        let hit = self.rng.chance(self.plan.rebind_interrupt_p);
+        if hit {
+            self.injected.incr("fault.rebind_interrupted");
+        }
+        hit
+    }
 }
 
 #[cfg(test)]
@@ -371,6 +407,7 @@ mod tests {
             drop_ivc_doorbell_p: 0.2,
             dup_ivc_doorbell_p: 0.1,
             forge_ivc_doorbell_p: 0.1,
+            rebind_interrupt_p: 0.2,
         }
     }
 
@@ -388,6 +425,7 @@ mod tests {
             assert!(!inj.drop_ivc_doorbell());
             assert!(!inj.dup_ivc_doorbell());
             assert!(!inj.forge_ivc_doorbell());
+            assert!(!inj.interrupt_rebind());
         }
         assert_eq!(inj.total_injected(), 0);
     }
@@ -406,6 +444,7 @@ mod tests {
             assert_eq!(a.drop_ivc_doorbell(), b.drop_ivc_doorbell());
             assert_eq!(a.dup_ivc_doorbell(), b.dup_ivc_doorbell());
             assert_eq!(a.forge_ivc_doorbell(), b.forge_ivc_doorbell());
+            assert_eq!(a.interrupt_rebind(), b.interrupt_rebind());
         }
         assert_eq!(a.total_injected(), b.total_injected());
         assert!(a.total_injected() > 0);
@@ -469,6 +508,7 @@ mod tests {
             inj.drop_ivc_doorbell();
             inj.dup_ivc_doorbell();
             inj.forge_ivc_doorbell();
+            inj.interrupt_rebind();
         }
         let c = inj.injected();
         assert!(c.get("fault.doorbell_dropped") > 0);
@@ -480,6 +520,7 @@ mod tests {
         assert!(c.get("fault.ivc_doorbell_dropped") > 0);
         assert!(c.get("fault.ivc_doorbell_duplicated") > 0);
         assert!(c.get("fault.ivc_doorbell_forged") > 0);
+        assert!(c.get("fault.rebind_interrupted") > 0);
         assert_eq!(
             inj.total_injected(),
             c.get("fault.doorbell_dropped")
@@ -491,6 +532,7 @@ mod tests {
                 + c.get("fault.ivc_doorbell_dropped")
                 + c.get("fault.ivc_doorbell_duplicated")
                 + c.get("fault.ivc_doorbell_forged")
+                + c.get("fault.rebind_interrupted")
         );
     }
 

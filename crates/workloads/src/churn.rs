@@ -1,0 +1,189 @@
+//! Deterministic multi-tenant churn schedules: seeded arrivals,
+//! departures, and resizes over a population of elastic tenants.
+//!
+//! A core-gapped node lives or dies by how it reallocates dedicated
+//! cores as tenants come and go; this module generates the *demand*
+//! side of that story. A [`ChurnSchedule`] is a time-sorted list of
+//! [`ChurnEvent`]s drawn entirely from one seeded RNG stream, so two
+//! runs with the same seed replay the identical tenant behaviour —
+//! making the system side's fingerprint comparison meaningful.
+
+use cg_sim::{SimDuration, SimRng};
+
+/// What one tenant asks of the node at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnAction {
+    /// The tenant requests admission with `vcpus` dedicated cores.
+    Arrive {
+        /// Requested vCPU (= dedicated core) count.
+        vcpus: u32,
+    },
+    /// The tenant asks to be resized to `vcpus` active cores.
+    Resize {
+        /// New target vCPU count.
+        vcpus: u32,
+    },
+    /// The tenant departs (shutdown + teardown).
+    Depart,
+}
+
+/// One scheduled tenant action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChurnEvent {
+    /// Offset from the start of the run.
+    pub at: SimDuration,
+    /// Tenant index (stable across the tenant's whole lifetime).
+    pub tenant: u32,
+    /// The requested action.
+    pub action: ChurnAction,
+}
+
+/// A seeded arrival/departure/resize schedule over `tenants` tenants.
+#[derive(Debug, Clone)]
+pub struct ChurnSchedule {
+    /// Events sorted by time (ties broken by tenant index, arrivals
+    /// before resizes before departures).
+    pub events: Vec<ChurnEvent>,
+    /// The horizon the schedule was generated for.
+    pub horizon: SimDuration,
+}
+
+impl ChurnSchedule {
+    /// Generates a schedule: each tenant arrives at a uniform point in
+    /// the first 60% of `horizon` asking for 1–4 vCPUs, performs 0–3
+    /// resizes (never beyond its admitted maximum, to match the live
+    /// system's REC ceiling), and with 70% probability departs before
+    /// the horizon. `tenants` is clamped to the paper range [16, 64].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` is zero.
+    pub fn generate(seed: u64, tenants: u32, horizon: SimDuration) -> ChurnSchedule {
+        assert!(!horizon.is_zero(), "churn horizon must be non-zero");
+        let tenants = tenants.clamp(16, 64);
+        let mut rng = SimRng::seed(seed ^ 0xC4u64.rotate_left(56));
+        let mut events = Vec::new();
+        let h = horizon.as_nanos();
+        for tenant in 0..tenants {
+            let arrive_ns: u64 = rng.range(0..h * 3 / 5);
+            let max_vcpus: u32 = rng.range(1..=4);
+            events.push(ChurnEvent {
+                at: SimDuration::nanos(arrive_ns),
+                tenant,
+                action: ChurnAction::Arrive { vcpus: max_vcpus },
+            });
+            let departs = rng.chance(0.7);
+            let depart_ns = if departs {
+                rng.range(arrive_ns + h / 20..=h)
+            } else {
+                h
+            };
+            let resizes: u32 = rng.range(0..=3);
+            let mut size = max_vcpus;
+            for _ in 0..resizes {
+                if depart_ns <= arrive_ns + 2 {
+                    break;
+                }
+                let at_ns: u64 = rng.range(arrive_ns + 1..depart_ns);
+                // Pick a different size within [1, max]; admission
+                // fixed the REC count, so growth past it is invalid.
+                let mut to: u32 = rng.range(1..=max_vcpus);
+                if to == size {
+                    to = if size == max_vcpus {
+                        1.max(size - 1)
+                    } else {
+                        size + 1
+                    };
+                }
+                if to == size {
+                    continue; // max_vcpus == 1: nothing to resize
+                }
+                size = to;
+                events.push(ChurnEvent {
+                    at: SimDuration::nanos(at_ns),
+                    tenant,
+                    action: ChurnAction::Resize { vcpus: to },
+                });
+            }
+            if departs && depart_ns < h {
+                events.push(ChurnEvent {
+                    at: SimDuration::nanos(depart_ns),
+                    tenant,
+                    action: ChurnAction::Depart,
+                });
+            }
+        }
+        events.sort_by_key(|e| (e.at, e.tenant, action_rank(e.action)));
+        ChurnSchedule { events, horizon }
+    }
+
+    /// Number of arrival events in the schedule.
+    pub fn arrivals(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.action, ChurnAction::Arrive { .. }))
+            .count()
+    }
+}
+
+fn action_rank(a: ChurnAction) -> u8 {
+    match a {
+        ChurnAction::Arrive { .. } => 0,
+        ChurnAction::Resize { .. } => 1,
+        ChurnAction::Depart => 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let a = ChurnSchedule::generate(7, 32, SimDuration::millis(100));
+        let b = ChurnSchedule::generate(7, 32, SimDuration::millis(100));
+        assert_eq!(a.events, b.events);
+        assert_ne!(
+            a.events,
+            ChurnSchedule::generate(8, 32, SimDuration::millis(100)).events
+        );
+    }
+
+    #[test]
+    fn schedule_is_well_formed() {
+        let s = ChurnSchedule::generate(11, 48, SimDuration::millis(50));
+        assert_eq!(s.arrivals(), 48);
+        // Sorted by time.
+        assert!(s.events.windows(2).all(|w| w[0].at <= w[1].at));
+        for t in 0..48u32 {
+            let evs: Vec<_> = s.events.iter().filter(|e| e.tenant == t).collect();
+            // Lifecycle order: arrive first, depart (if any) last.
+            assert!(matches!(evs[0].action, ChurnAction::Arrive { .. }));
+            let max = match evs[0].action {
+                ChurnAction::Arrive { vcpus } => vcpus,
+                _ => unreachable!(),
+            };
+            assert!((1..=4).contains(&max));
+            for e in &evs[1..] {
+                match e.action {
+                    ChurnAction::Arrive { .. } => panic!("double arrival"),
+                    ChurnAction::Resize { vcpus } => {
+                        assert!((1..=max).contains(&vcpus), "resize within admitted max")
+                    }
+                    ChurnAction::Depart => assert!(
+                        std::ptr::eq(*e, *evs.last().unwrap()),
+                        "depart must be the tenant's last event"
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tenant_count_is_clamped_to_paper_range() {
+        let lo = ChurnSchedule::generate(3, 2, SimDuration::millis(10));
+        let hi = ChurnSchedule::generate(3, 1000, SimDuration::millis(10));
+        assert_eq!(lo.arrivals(), 16);
+        assert_eq!(hi.arrivals(), 64);
+    }
+}

@@ -27,6 +27,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod attacker;
+pub mod churn;
 pub mod coremark;
 pub mod faultstorm;
 pub mod guest;

@@ -103,6 +103,12 @@ PY
   done
   cmp "$tmp/va.json" "$tmp/vb.json"
 
+  echo "== churn smoke (elastic churn runs must be byte-identical) =="
+  for run in ca cb; do
+    ./target/release/churn --quick --json "$tmp/$run.json" >/dev/null
+  done
+  cmp "$tmp/ca.json" "$tmp/cb.json"
+
   echo "== cargo doc (deny warnings; vendored stand-ins excluded) =="
   RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet \
     --exclude rand --exclude proptest --exclude criterion --exclude serde

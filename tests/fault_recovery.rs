@@ -106,6 +106,7 @@ fn combined_fault_plan_still_completes() {
         drop_ivc_doorbell_p: 0.0,
         dup_ivc_doorbell_p: 0.0,
         forge_ivc_doorbell_p: 0.0,
+        rebind_interrupt_p: 0.0,
     };
     let r = run_fault_sweep(
         plan,
