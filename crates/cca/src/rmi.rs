@@ -170,6 +170,30 @@ pub enum RmiCall {
         /// The channel to destroy.
         channel: u32,
     },
+    /// Exports a quiesced realm's protected granules and REC state as a
+    /// measurement-sealed migration blob. Every REC must have exited
+    /// (stop-and-copy phase); the blob is retrieved out of band by the
+    /// host and its integrity is bound to the realm measurement so the
+    /// transport cannot splice state.
+    MigrationExport {
+        /// The realm to export.
+        realm: RealmId,
+    },
+    /// Imports a staged migration blob on the destination node, creating
+    /// a new realm from it. The RMM verifies the blob's seal and checks
+    /// the sealed realm measurement against the expected source
+    /// measurement the owner supplied; a mismatch is rejected (and
+    /// audited) with [`RmiStatus::ErrorMeasurement`].
+    MigrationImport {
+        /// Delegated granule run for the new realm: `rd` and `rd+1` hold
+        /// the realm descriptor and RTT root; data, RTT-table, and REC
+        /// granules are claimed from the following addresses.
+        rd: GranuleAddr,
+        /// Low word of the expected source realm measurement.
+        src_lo: u64,
+        /// High word of the expected source realm measurement.
+        src_hi: u64,
+    },
 }
 
 impl RmiCall {
@@ -192,6 +216,8 @@ impl RmiCall {
             RmiCall::RecEnter { .. } => 0x0C,
             RmiCall::IvcChannelCreate { .. } => 0x20,
             RmiCall::IvcChannelDestroy { .. } => 0x21,
+            RmiCall::MigrationExport { .. } => 0x22,
+            RmiCall::MigrationImport { .. } => 0x23,
         }
     }
 
@@ -281,6 +307,14 @@ impl RmiCall {
             RmiCall::IvcChannelDestroy { channel } => {
                 args[0] = channel as u64;
             }
+            RmiCall::MigrationExport { realm } => {
+                args[0] = realm.0 as u64;
+            }
+            RmiCall::MigrationImport { rd, src_lo, src_hi } => {
+                args[0] = rd.as_u64();
+                args[1] = src_lo;
+                args[2] = src_hi;
+            }
         }
         SmcCall {
             function: SmcFunction::Rmi(self.opcode()),
@@ -358,6 +392,14 @@ impl RmiCall {
             0x21 => RmiCall::IvcChannelDestroy {
                 channel: a[0] as u32,
             },
+            0x22 => RmiCall::MigrationExport {
+                realm: RealmId(a[0] as u32),
+            },
+            0x23 => RmiCall::MigrationImport {
+                rd: g(a[0])?,
+                src_lo: a[1],
+                src_hi: a[2],
+            },
             _ => return None,
         })
     }
@@ -414,6 +456,15 @@ impl fmt::Display for RmiCall {
             RmiCall::IvcChannelDestroy { channel } => {
                 write!(f, "RMI_IVC_CHANNEL_DESTROY(ch{channel})")
             }
+            RmiCall::MigrationExport { realm } => {
+                write!(f, "RMI_MIGRATION_EXPORT({realm})")
+            }
+            RmiCall::MigrationImport { rd, src_lo, src_hi } => {
+                write!(
+                    f,
+                    "RMI_MIGRATION_IMPORT(rd={rd}, src={src_lo:016x}{src_hi:016x})"
+                )
+            }
         }
     }
 }
@@ -440,6 +491,11 @@ pub enum RmiStatus {
     /// (paper §4.2: "any attempts by the hypervisor to dispatch a vCPU on
     /// the wrong core fail").
     ErrorCoreBinding,
+    /// A measurement check failed: a migration blob's seal did not
+    /// verify, or its sealed realm measurement did not match the
+    /// expected source measurement. The host learns nothing beyond the
+    /// rejection; the RMM audits the event.
+    ErrorMeasurement,
 }
 
 impl RmiStatus {
@@ -459,6 +515,7 @@ impl RmiStatus {
             RmiStatus::ErrorGranule => 5,
             RmiStatus::ErrorInUse => 6,
             RmiStatus::ErrorCoreBinding => 7,
+            RmiStatus::ErrorMeasurement => 8,
         }
     }
 
@@ -473,6 +530,7 @@ impl RmiStatus {
             5 => RmiStatus::ErrorGranule,
             6 => RmiStatus::ErrorInUse,
             7 => RmiStatus::ErrorCoreBinding,
+            8 => RmiStatus::ErrorMeasurement,
             _ => return None,
         })
     }
@@ -509,6 +567,7 @@ mod tests {
             RmiStatus::ErrorGranule,
             RmiStatus::ErrorInUse,
             RmiStatus::ErrorCoreBinding,
+            RmiStatus::ErrorMeasurement,
         ] {
             assert_eq!(RmiStatus::from_code(s.to_code()), Some(s));
         }
@@ -576,6 +635,12 @@ mod tests {
                 spi: 40,
             },
             RmiCall::IvcChannelDestroy { channel: 0 },
+            RmiCall::MigrationExport { realm: r },
+            RmiCall::MigrationImport {
+                rd: g,
+                src_lo: 1,
+                src_hi: 2,
+            },
         ];
         let opcodes: HashSet<u16> = calls.iter().map(|c| c.opcode()).collect();
         assert_eq!(opcodes.len(), calls.len());
@@ -646,6 +711,12 @@ mod tests {
                 spi: 41,
             },
             RmiCall::IvcChannelDestroy { channel: 3 },
+            RmiCall::MigrationExport { realm: r },
+            RmiCall::MigrationImport {
+                rd: g,
+                src_lo: 0xdead_beef_0000_0001,
+                src_hi: 0xcafe_f00d_0000_0002,
+            },
         ];
         for call in calls {
             let smc = call.to_smc();

@@ -34,6 +34,11 @@ pub enum RsiCall {
         /// The channel to query.
         channel: u32,
     },
+    /// Queries the realm's migration generation: how many times this
+    /// realm has been imported onto a new node. Lets a guest detect a
+    /// live migration happened (e.g. to refresh entropy or re-derive
+    /// node-local secrets) without the host being in the loop.
+    MigrationInfo,
 }
 
 impl fmt::Display for RsiCall {
@@ -46,6 +51,7 @@ impl fmt::Display for RsiCall {
             RsiCall::RealmConfig => write!(f, "RSI_REALM_CONFIG"),
             RsiCall::HostCall { imm } => write!(f, "RSI_HOST_CALL({imm})"),
             RsiCall::IvcInfo { channel } => write!(f, "RSI_IVC_INFO(ch{channel})"),
+            RsiCall::MigrationInfo => write!(f, "RSI_MIGRATION_INFO"),
         }
     }
 }
@@ -73,6 +79,12 @@ pub enum RsiResult {
         peer_measurement: crate::measure::Measurement,
         /// The doorbell SPI the RMM delegated for this channel.
         spi: u32,
+    },
+    /// Migration info reply: the number of times the realm has been
+    /// imported onto a new node (0 for a realm still on its birth node).
+    MigrationInfo {
+        /// Import count; bumped by every successful `MigrationImport`.
+        generation: u32,
     },
     /// The call failed.
     Error,
@@ -112,5 +124,7 @@ mod tests {
             RsiCall::IvcInfo { channel: 2 }.to_string(),
             "RSI_IVC_INFO(ch2)"
         );
+        assert!(RsiResult::MigrationInfo { generation: 1 }.is_success());
+        assert_eq!(RsiCall::MigrationInfo.to_string(), "RSI_MIGRATION_INFO");
     }
 }

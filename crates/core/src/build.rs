@@ -46,7 +46,6 @@ impl System {
             VmExecMode::SharedCore => {}
         }
         let vm_id = VmId(self.vms.len());
-        let now = self.now();
 
         // ----- placement -----
         let (realm, cores) = match spec.mode {
@@ -96,8 +95,66 @@ impl System {
 
         // ----- realm construction (confidential modes) -----
         if spec.mode.is_confidential() {
-            self.build_realm(realm, spec.vcpus, vm_id)?;
+            if let Err(e) = self.build_realm(realm, spec.vcpus, vm_id, spec.data_pages) {
+                self.rollback_placement(realm, &cores, spec.mode);
+                return Err(e);
+            }
         }
+
+        self.finish_vm_setup(vm_id, &spec, realm, cores, guest, peer);
+
+        // Requested inter-CVM pairing: both realms are active by now (the
+        // peer was built by an earlier add_vm, this one just above), so
+        // the handshake binds to final measurements.
+        if let Some(p) = spec.ivc_peer {
+            let peer_vm = VmId(p.peer_vm as usize);
+            if peer_vm == vm_id || peer_vm.0 >= self.vms.len() {
+                return Err(format!("ivc_peer {} does not exist yet", p.peer_vm));
+            }
+            self.allow_ivc_pair(vm_id, peer_vm)?;
+            self.connect_ivc(vm_id, peer_vm, p.channel)?;
+        }
+        Ok(vm_id)
+    }
+
+    /// Unwinds the placement of a core-gapped VM whose realm
+    /// construction (build or migration import) failed: the dedicated
+    /// cores come back online under the host and the planner allocation
+    /// is released, so a failed add leaves the free-core count
+    /// unchanged.
+    pub(crate) fn rollback_placement(
+        &mut self,
+        realm: RealmId,
+        cores: &[CoreId],
+        mode: VmExecMode,
+    ) {
+        if mode != VmExecMode::CoreGapped {
+            return;
+        }
+        for &core in cores {
+            let _ = self.rmm.reclaim_core(core, &mut self.machine);
+            self.cores[core.index()].run = crate::system::CoreRun::HostIdle;
+            self.core_vcpu[core.index()] = None;
+        }
+        // Explicitly placed VMs were never admitted by the planner.
+        let _ = self.planner.release(realm);
+    }
+
+    /// Everything after the realm exists: KVM VM, devices, vCPU
+    /// threads, the lazy wake-up/I/O-plane threads, peer bootstrap, and
+    /// the first dispatch. Shared between [`System::add_vm`] (realm
+    /// built through the standard RMI sequence) and the migration
+    /// import path (realm rebuilt from a sealed blob).
+    pub(crate) fn finish_vm_setup(
+        &mut self,
+        vm_id: VmId,
+        spec: &VmSpec,
+        realm: RealmId,
+        cores: Vec<CoreId>,
+        guest: Box<dyn GuestProgram>,
+        peer: Option<Box<dyn NetPeer>>,
+    ) {
+        let now = self.now();
 
         // ----- KVM VM + devices -----
         let mut kvm = KvmVm::new(realm, spec.mode, spec.vcpus);
@@ -343,23 +400,10 @@ impl System {
             retired: vec![false; spec.vcpus as usize],
         });
 
-        // Requested inter-CVM pairing: both realms are active by now (the
-        // peer was built by an earlier add_vm, this one just above), so
-        // the handshake binds to final measurements.
-        if let Some(p) = spec.ivc_peer {
-            let peer_vm = VmId(p.peer_vm as usize);
-            if peer_vm == vm_id || peer_vm.0 >= self.vms.len() {
-                return Err(format!("ivc_peer {} does not exist yet", p.peer_vm));
-            }
-            self.allow_ivc_pair(vm_id, peer_vm)?;
-            self.connect_ivc(vm_id, peer_vm, p.channel)?;
-        }
-
         // Start executing: host cores pick up the new runnable threads.
         for core in self.host_cores() {
             self.dispatch(core);
         }
-        Ok(vm_id)
     }
 
     fn shared_placement(&self, spec: &VmSpec) -> Result<Vec<CoreId>, String> {
@@ -385,7 +429,13 @@ impl System {
     /// delegation, realm/REC creation, RTT chain, initial data pages,
     /// activation. Setup is not on any measured path, so the calls apply
     /// instantly (their costs are recorded as counters).
-    fn build_realm(&mut self, realm: RealmId, vcpus: u32, vm: VmId) -> Result<(), String> {
+    fn build_realm(
+        &mut self,
+        realm: RealmId,
+        vcpus: u32,
+        vm: VmId,
+        num_data_pages: u32,
+    ) -> Result<(), String> {
         let base = 0x1_0000_0000u64 + (vm.0 as u64) * 0x1000_0000;
         let mut next = base;
         let mut alloc = || {
@@ -405,13 +455,13 @@ impl System {
         };
 
         // Delegate a pool of granules: rd, rtt root, RTT tables (3),
-        // data pages (4), one per REC.
+        // the initial data pages, one per REC.
         let rd = alloc();
         let _rtt_root = alloc();
         let rtt_tables: Vec<GranuleAddr> = (0..3).map(|_| alloc()).collect();
-        let data_pages: Vec<GranuleAddr> = (0..4).map(|_| alloc()).collect();
+        let data_pages: Vec<GranuleAddr> = (0..num_data_pages).map(|_| alloc()).collect();
         let rec_granules: Vec<GranuleAddr> = (0..vcpus).map(|_| alloc()).collect();
-        let total = 2 + 3 + 4 + vcpus as u64;
+        let total = 2 + 3 + num_data_pages as u64 + vcpus as u64;
         for i in 0..total {
             rmi(self, RmiCall::GranuleDelegate { addr: rd.offset(i) })?;
         }

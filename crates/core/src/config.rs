@@ -203,6 +203,10 @@ pub struct VmSpec {
     /// churn workload's placement constraint — what makes
     /// fragmentation, and hence defragmentation, matter).
     pub contiguous: bool,
+    /// Protected data pages populated at build (the realm's initial
+    /// image, `DATA_CREATE`d at 4 KiB-aligned IPAs). This is the image
+    /// size a migration must move, so dirtying workloads scale it up.
+    pub data_pages: u32,
 }
 
 impl VmSpec {
@@ -218,6 +222,7 @@ impl VmSpec {
             io_event_idx: true,
             ivc_peer: None,
             contiguous: false,
+            data_pages: 4,
         }
     }
 
@@ -233,6 +238,7 @@ impl VmSpec {
             io_event_idx: true,
             ivc_peer: None,
             contiguous: false,
+            data_pages: 4,
         }
     }
 
@@ -248,6 +254,7 @@ impl VmSpec {
             io_event_idx: true,
             ivc_peer: None,
             contiguous: false,
+            data_pages: 4,
         }
     }
 
@@ -294,6 +301,13 @@ impl VmSpec {
     /// `channel` (core-gapped mode only; one side carries the spec).
     pub fn with_ivc_peer(mut self, peer_vm: u32, channel: u32) -> VmSpec {
         self.ivc_peer = Some(IvcPeerSpec { peer_vm, channel });
+        self
+    }
+
+    /// Sets the number of protected data pages populated at build —
+    /// the realm image a migration must move.
+    pub fn with_data_pages(mut self, pages: u32) -> VmSpec {
+        self.data_pages = pages;
         self
     }
 }

@@ -179,6 +179,57 @@ impl System {
         Ok(())
     }
 
+    /// Quiesces a running core-gapped VM to **zero** active vCPUs — the
+    /// stop-and-copy phase of a live migration. Every active vCPU is
+    /// queued for a retire (highest index first, matching the planner's
+    /// tail release), which kicks it out of its guest, parks its thread
+    /// and returns its dedicated core; the realm itself stays admitted,
+    /// active and intact, so the VM can either be exported to another
+    /// node or revived in place via [`System::resize_vm`] if the
+    /// migration aborts.
+    ///
+    /// # Errors
+    ///
+    /// Same preconditions as [`System::resize_vm`]: a planner-placed
+    /// core-gapped VM with no elastic operation already in flight.
+    pub fn evacuate_vm(&mut self, vm: VmId) -> Result<(), String> {
+        let v = &self.vms[vm.0];
+        if v.kvm.mode() != VmExecMode::CoreGapped {
+            return Err("only core-gapped VMs evacuate".into());
+        }
+        let realm = v.kvm.realm();
+        if self.planner.allocation(realm).is_none() {
+            return Err("explicitly placed VMs bypass the planner and cannot evacuate".into());
+        }
+        let busy = self.elastic_inflight.iter().any(|op| op.vm == vm)
+            || self.elastic.iter().any(|op| op.vm == vm)
+            || v.pending_elastic.iter().any(|p| p.is_some());
+        if busy {
+            return Err("an elastic operation is already in flight for this VM".into());
+        }
+        let max = v.kvm.num_vcpus();
+        let now = self.now();
+        let mut queued = false;
+        for vcpu in (0..max).rev() {
+            if self.vms[vm.0].retired[vcpu as usize] {
+                continue;
+            }
+            self.elastic.push_back(ElasticOp {
+                vm,
+                vcpu,
+                kind: ElasticKind::Retire,
+                started_at: now,
+                kicked_at: None,
+            });
+            queued = true;
+        }
+        if queued {
+            self.metrics.counters.incr("elastic.evacuations");
+            self.maybe_start_elastic();
+        }
+        Ok(())
+    }
+
     /// Initiates VM departure: every live vCPU is queued for a kill
     /// (kick → force-finish → thread reap), and retired vCPUs' parked
     /// threads are woken straight into the kill path so they are reaped

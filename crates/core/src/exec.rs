@@ -1964,6 +1964,23 @@ impl System {
                     self.start_guest_exit(core, vm, vcpu, exit, hw.realm_exit_trap);
                 }
             }
+            GuestOp::DirtyWrite { ipa } => {
+                // An in-place store to a protected data page: no exit,
+                // no fault — but migration dirty tracking must see it,
+                // so a write during a pre-copy round lands in the next
+                // round's set.
+                if self.vms[vm.0].kvm.mode().is_confidential() {
+                    let realm = self.vms[vm.0].kvm.realm();
+                    self.rmm.note_guest_write(realm, ipa);
+                }
+                self.metrics.counters.incr("guest.dirty_writes");
+                self.start_guest_segment(
+                    core,
+                    SimDuration::nanos(100),
+                    SimDuration::ZERO,
+                    GuestCont::OpDone,
+                );
+            }
             GuestOp::Probe => {
                 // Observe first (the measurement reads pre-existing
                 // state), then charge the probe's own compute.

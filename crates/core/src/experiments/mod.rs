@@ -7,6 +7,7 @@ pub mod faults;
 pub mod io;
 pub mod ivc;
 pub mod latency;
+pub mod migrate;
 pub mod scaling;
 pub mod security;
 pub mod tdx;

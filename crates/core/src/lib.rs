@@ -38,6 +38,7 @@ mod elastic;
 mod exec;
 mod handlers;
 
+pub mod cluster;
 pub mod config;
 pub mod counters;
 pub mod diag;
@@ -48,6 +49,7 @@ pub mod microbench;
 pub mod obs;
 pub mod system;
 
+pub use cluster::Cluster;
 pub use config::{IvcPeerSpec, RunTransport, SystemConfig, VmSpec};
 pub use diag::{diff_same_seed_runs, DiffReport};
 pub use event::SystemEvent;

@@ -26,6 +26,12 @@ pub struct Metrics {
     pub rebind_us: Samples,
     /// Log-bucketed view of [`Metrics::rebind_us`].
     pub rebind_hist: Histogram,
+    /// Live-migration downtime samples in microseconds: from the
+    /// stop-and-copy quiesce being initiated on the source to the VM
+    /// resuming on the destination node.
+    pub migrate_downtime_us: Samples,
+    /// Log-bucketed view of [`Metrics::migrate_downtime_us`].
+    pub migrate_downtime_hist: Histogram,
     /// Per-host-core busy time (ns), indexed by core id.
     pub host_busy_ns: Vec<u64>,
 }
@@ -58,6 +64,13 @@ impl Metrics {
     pub fn record_rebind(&mut self, us: f64) {
         self.rebind_us.record(us);
         self.rebind_hist.record(us);
+    }
+
+    /// Records one migration-downtime sample (µs) into both the exact
+    /// sample set and its histogram.
+    pub fn record_migrate_downtime(&mut self, us: f64) {
+        self.migrate_downtime_us.record(us);
+        self.migrate_downtime_hist.record(us);
     }
 
     /// Records host CPU busy time on `core`.
@@ -103,6 +116,7 @@ impl Metrics {
             (&self.run_to_run_us, &self.run_to_run_hist),
             (&self.vipi_latency_us, &self.vipi_latency_hist),
             (&self.rebind_us, &self.rebind_hist),
+            (&self.migrate_downtime_us, &self.migrate_downtime_hist),
         ] {
             eat(&(samples.len() as u64).to_le_bytes());
             eat(&samples.mean().to_bits().to_le_bytes());

@@ -280,6 +280,12 @@ impl PairPolicy {
     pub fn is_empty(&self) -> bool {
         self.allowed.is_empty()
     }
+
+    /// The approved pairs, each in canonical (low, high) order — for
+    /// mirroring the policy onto another node ahead of a migration.
+    pub fn pairs(&self) -> impl Iterator<Item = (Measurement, Measurement)> + '_ {
+        self.allowed.iter().copied()
+    }
 }
 
 /// Static parameters of one channel, fixed at `IVC_CHANNEL_CREATE`.

@@ -1,0 +1,105 @@
+//! Dirty-granule tracking for live migration.
+//!
+//! During a pre-copy migration the RMM tracks which protected granules
+//! the guest writes while earlier rounds are in flight. Each round the
+//! host (via the migration driver) snapshots the dirty set and resets
+//! it; writes landing *during* a copy round accumulate in the live set
+//! and are returned by the **next** snapshot, which is what makes the
+//! iterative rounds converge (or provably not, forcing stop-and-copy).
+//!
+//! The set is backed by a `BTreeSet` so every enumeration is sorted by
+//! IPA — a requirement for the deterministic, fingerprint-stable
+//! simulation (the realm's stage-2 leaf map iterates in hash order and
+//! must never drive migration traffic directly).
+
+use std::collections::BTreeSet;
+
+/// A set of dirty protected-granule IPAs, snapshot-and-reset style.
+#[derive(Debug, Clone, Default)]
+pub struct DirtyBitmap {
+    live: BTreeSet<u64>,
+}
+
+impl DirtyBitmap {
+    /// Creates an empty bitmap.
+    pub fn new() -> DirtyBitmap {
+        DirtyBitmap::default()
+    }
+
+    /// Marks `ipa` dirty. Returns `true` if it was newly set.
+    pub fn set(&mut self, ipa: u64) -> bool {
+        self.live.insert(ipa)
+    }
+
+    /// Clears `ipa`. Returns `true` if it was set.
+    pub fn clear(&mut self, ipa: u64) -> bool {
+        self.live.remove(&ipa)
+    }
+
+    /// Is `ipa` currently dirty?
+    pub fn is_set(&self, ipa: u64) -> bool {
+        self.live.contains(&ipa)
+    }
+
+    /// Number of dirty granules.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// Takes the current dirty set (sorted ascending by IPA), leaving
+    /// the bitmap empty. Writes recorded after this call land in the
+    /// fresh set and surface in the *next* snapshot.
+    pub fn snapshot_and_reset(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.live).into_iter().collect()
+    }
+
+    /// Drops all dirty bits (migration cancelled or completed).
+    pub fn clear_all(&mut self) {
+        self.live.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_clear_query() {
+        let mut b = DirtyBitmap::new();
+        assert!(b.is_empty());
+        assert!(b.set(0x1000));
+        assert!(!b.set(0x1000), "second set is a no-op");
+        assert!(b.is_set(0x1000));
+        assert_eq!(b.len(), 1);
+        assert!(b.clear(0x1000));
+        assert!(!b.clear(0x1000));
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_resets() {
+        let mut b = DirtyBitmap::new();
+        for ipa in [0x5000u64, 0x1000, 0x3000] {
+            b.set(ipa);
+        }
+        assert_eq!(b.snapshot_and_reset(), vec![0x1000, 0x3000, 0x5000]);
+        assert!(b.is_empty());
+        assert_eq!(b.snapshot_and_reset(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn write_during_round_lands_in_next_snapshot() {
+        let mut b = DirtyBitmap::new();
+        b.set(0x1000);
+        let round1 = b.snapshot_and_reset();
+        // The guest dirties a page while round 1 is being copied.
+        b.set(0x2000);
+        assert_eq!(round1, vec![0x1000]);
+        assert_eq!(b.snapshot_and_reset(), vec![0x2000]);
+    }
+}

@@ -21,6 +21,10 @@
 //!   the prototype), eliminating the dominant source of VM exits
 //!   (table 4: 28× fewer exits) while staying transparent to KVM through
 //!   a *filtered* virtual-interrupt list (fig. 5).
+//! * **Attested live migration** ([`dirty`], [`migrate`]): dirty-granule
+//!   tracking for pre-copy rounds, plus `RMI_MIGRATION_EXPORT` /
+//!   `RMI_MIGRATION_IMPORT` moving a quiesced realm between nodes as a
+//!   measurement-sealed blob the untrusted transport cannot splice.
 //!
 //! The RMM is a passive state machine: methods take the current time and
 //! the [`cg_machine::Machine`], mutate state, and return dispositions +
@@ -31,14 +35,18 @@
 #![warn(missing_debug_implementations)]
 
 pub mod coregap;
+pub mod dirty;
 pub mod interrupts;
+pub mod migrate;
 pub mod realm;
 pub mod rec;
 pub mod rmm;
 pub mod rtt;
 
 pub use coregap::{CoreGap, CoreGapError};
+pub use dirty::DirtyBitmap;
 pub use interrupts::{InterruptPlan, VirtualGic};
+pub use migrate::{GranuleFrame, MigrationBlob, RecFrame};
 pub use realm::{Realm, RealmState};
 pub use rec::{Rec, RecState};
 pub use rmm::{Disposition, GuestEvent, RmiOutcome, Rmm, RmmConfig, REALM_DOORBELL_SGI};

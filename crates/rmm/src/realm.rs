@@ -6,6 +6,8 @@ use std::fmt;
 use cg_cca::Measurement;
 use cg_machine::{GranuleAddr, RealmId};
 
+use crate::dirty::DirtyBitmap;
+use crate::migrate::{GranuleFrame, MigrationBlob};
 use crate::rec::Rec;
 use crate::rtt::Rtt;
 
@@ -42,6 +44,16 @@ pub struct Realm {
     num_recs: u32,
     rim: Measurement,
     data_pages: u64,
+    /// Per-protected-page content versions, keyed by IPA. The sorted
+    /// map doubles as the deterministic enumeration of protected data
+    /// pages (the RTT's leaf map iterates in hash order).
+    page_versions: BTreeMap<u64, u64>,
+    /// Dirty bits accumulated while `tracking` is on.
+    dirty: DirtyBitmap,
+    /// Is dirty tracking (an in-progress migration) active?
+    tracking: bool,
+    /// How many times this realm has been imported onto a new node.
+    generation: u32,
 }
 
 impl Realm {
@@ -56,6 +68,38 @@ impl Realm {
             num_recs,
             rim: Measurement::ZERO,
             data_pages: 0,
+            page_versions: BTreeMap::new(),
+            dirty: DirtyBitmap::new(),
+            tracking: false,
+            generation: 0,
+        }
+    }
+
+    /// Rebuilds a realm from a verified migration blob (the destination
+    /// side of `RMI_MIGRATION_IMPORT`): born `Active` with the sealed
+    /// measurement adopted as-is, page versions and vCPU contexts
+    /// restored, and the migration generation bumped. The stage-2
+    /// tables start empty — the importing RMM re-creates them from the
+    /// granule run the host delegated.
+    pub fn import(
+        id: RealmId,
+        rd: GranuleAddr,
+        rtt_root: GranuleAddr,
+        blob: &MigrationBlob,
+    ) -> Realm {
+        Realm {
+            id,
+            state: RealmState::Active,
+            rd,
+            rtt: Rtt::new(rtt_root),
+            recs: blob.recs.iter().map(|f| (f.index, f.rec.clone())).collect(),
+            num_recs: blob.num_recs,
+            rim: blob.realm_measurement,
+            data_pages: blob.frames.len() as u64,
+            page_versions: blob.frames.iter().map(|f| (f.ipa, f.version)).collect(),
+            dirty: DirtyBitmap::new(),
+            tracking: false,
+            generation: blob.generation + 1,
         }
     }
 
@@ -113,6 +157,92 @@ impl Realm {
     /// Records removal of a protected data page.
     pub fn remove_data_page(&mut self) {
         self.data_pages = self.data_pages.saturating_sub(1);
+    }
+
+    // ----- migration: page versions and dirty tracking -----
+
+    /// Registers a protected data page at `ipa` (version 0). Called on
+    /// `DATA_CREATE` alongside the RTT mapping.
+    pub fn note_data_page(&mut self, ipa: u64) {
+        self.page_versions.insert(ipa, 0);
+        if self.tracking {
+            self.dirty.set(ipa);
+        }
+    }
+
+    /// Forgets the protected data page at `ipa` (`DATA_DESTROY`).
+    pub fn forget_data_page(&mut self, ipa: u64) {
+        self.page_versions.remove(&ipa);
+        self.dirty.clear(ipa);
+    }
+
+    /// Records a guest write to the protected page at `ipa`: bumps its
+    /// content version and, under dirty tracking, marks it dirty.
+    /// Returns `false` if `ipa` is not a registered protected page.
+    pub fn note_write(&mut self, ipa: u64) -> bool {
+        match self.page_versions.get_mut(&ipa) {
+            Some(v) => {
+                *v += 1;
+                if self.tracking {
+                    self.dirty.set(ipa);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Starts dirty tracking with every protected page marked dirty
+    /// (round 1 of a pre-copy migration transfers the whole image).
+    pub fn start_dirty_tracking(&mut self) {
+        self.tracking = true;
+        for &ipa in self.page_versions.keys() {
+            self.dirty.set(ipa);
+        }
+    }
+
+    /// Stops dirty tracking and drops all dirty bits (migration
+    /// completed or cancelled).
+    pub fn stop_dirty_tracking(&mut self) {
+        self.tracking = false;
+        self.dirty.clear_all();
+    }
+
+    /// Is dirty tracking active?
+    pub fn dirty_tracking(&self) -> bool {
+        self.tracking
+    }
+
+    /// Number of currently dirty pages.
+    pub fn dirty_count(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Takes the current dirty set as copy frames (sorted by IPA),
+    /// resetting it so writes during the copy land in the next round.
+    pub fn take_dirty_frames(&mut self) -> Vec<GranuleFrame> {
+        self.dirty
+            .snapshot_and_reset()
+            .into_iter()
+            .map(|ipa| GranuleFrame {
+                ipa,
+                version: self.page_versions.get(&ipa).copied().unwrap_or(0),
+            })
+            .collect()
+    }
+
+    /// Every protected data page as a frame (sorted by IPA) — the full
+    /// image an export blob carries.
+    pub fn all_frames(&self) -> Vec<GranuleFrame> {
+        self.page_versions
+            .iter()
+            .map(|(&ipa, &version)| GranuleFrame { ipa, version })
+            .collect()
+    }
+
+    /// How many times this realm has been imported onto a new node.
+    pub fn generation(&self) -> u32 {
+        self.generation
     }
 
     /// Activates the realm.
@@ -221,6 +351,68 @@ mod tests {
         let before = r.measurement();
         r.extend_measurement(Measurement::of(b"kernel page"));
         assert_ne!(r.measurement(), before);
+    }
+
+    #[test]
+    fn dirty_tracking_rounds() {
+        let mut r = realm();
+        r.note_data_page(0x1000);
+        r.note_data_page(0x2000);
+        assert!(!r.dirty_tracking());
+        assert!(r.note_write(0x1000), "untracked write still bumps version");
+        assert_eq!(r.dirty_count(), 0);
+        r.start_dirty_tracking();
+        // Round 1: everything dirty.
+        let round1 = r.take_dirty_frames();
+        assert_eq!(
+            round1.iter().map(|f| f.ipa).collect::<Vec<_>>(),
+            vec![0x1000, 0x2000]
+        );
+        assert_eq!(round1[0].version, 1);
+        // A write during the copy lands in the next round, with the
+        // bumped version.
+        assert!(r.note_write(0x2000));
+        let round2 = r.take_dirty_frames();
+        assert_eq!(round2.len(), 1);
+        assert_eq!((round2[0].ipa, round2[0].version), (0x2000, 1));
+        assert!(!r.note_write(0x9000), "unregistered page");
+        r.note_write(0x1000);
+        r.stop_dirty_tracking();
+        assert_eq!(r.dirty_count(), 0);
+        assert!(!r.dirty_tracking());
+    }
+
+    #[test]
+    fn import_rebuilds_active_realm() {
+        use crate::migrate::{GranuleFrame, MigrationBlob, RecFrame};
+        let blob = MigrationBlob::sealed(
+            Measurement::of(b"src realm"),
+            Measurement::of(b"platform"),
+            2,
+            0,
+            vec![GranuleFrame {
+                ipa: 0x1000,
+                version: 7,
+            }],
+            1,
+            vec![
+                RecFrame {
+                    index: 0,
+                    rec: Rec::new(),
+                },
+                RecFrame {
+                    index: 1,
+                    rec: Rec::new(),
+                },
+            ],
+        );
+        let r = Realm::import(RealmId(3), g(10), g(11), &blob);
+        assert_eq!(r.state(), RealmState::Active);
+        assert_eq!(r.measurement(), Measurement::of(b"src realm"));
+        assert_eq!(r.generation(), 1);
+        assert_eq!(r.rec_count(), 2);
+        assert_eq!(r.data_pages(), 1);
+        assert_eq!(r.all_frames(), blob.frames);
     }
 
     #[test]

@@ -7,9 +7,10 @@ use cg_sim::{Counters, SimDuration, SimTime};
 
 use crate::coregap::{CoreGap, CoreGapError};
 use crate::interrupts::DelegationConfig;
+use crate::migrate::{GranuleFrame, MigrationBlob, RecFrame};
 use crate::realm::{Realm, RealmState};
 use crate::rec::{Rec, RecState};
-use crate::rtt::{ipa_is_unprotected, RttError};
+use crate::rtt::{ipa_is_unprotected, Rtt, RttError};
 
 /// The SGI number the RMM uses as its realm-to-realm doorbell on
 /// dedicated cores (delegated IPI transport). Distinct from the host's
@@ -286,6 +287,11 @@ pub struct Rmm {
     /// Registered inter-CVM channels: config plus the two owner vCPUs
     /// whose cores may legitimately receive the channel's doorbell SPI.
     ivc_channels: Vec<IvcChannelReg>,
+    /// A sealed blob produced by `MIGRATION_EXPORT`, awaiting pickup by
+    /// the host's migration driver (the out-of-band bulk transport).
+    migration_outbox: Option<MigrationBlob>,
+    /// A blob the host staged for the next `MIGRATION_IMPORT`.
+    staged_import: Option<MigrationBlob>,
     counters: Counters,
     /// Structured trace sink, handed to each REC's virtual GIC
     /// (disabled by default).
@@ -311,6 +317,8 @@ impl Rmm {
             delegated_spis: std::collections::BTreeSet::new(),
             ivc_policy: PairPolicy::new(),
             ivc_channels: Vec::new(),
+            migration_outbox: None,
+            staged_import: None,
             counters: Counters::new(),
             trace: cg_sim::TraceHandle::disabled(),
             profiler: cg_sim::Profiler::disabled(),
@@ -383,6 +391,13 @@ impl Rmm {
     pub fn allow_ivc_pair(&mut self, a: Measurement, b: Measurement) {
         self.ivc_policy.allow(a, b);
         self.counters.incr("rmm.ivc.pairs_allowed");
+    }
+
+    /// The approved IVC measurement pairs, canonical order. A migration
+    /// driver mirrors these onto the destination node so a migrated
+    /// CVM's channels pass the same pair policy after the move.
+    pub fn ivc_pairs(&self) -> Vec<(Measurement, Measurement)> {
+        self.ivc_policy.pairs().collect()
     }
 
     /// The configuration of a registered IVC channel, if any.
@@ -619,7 +634,207 @@ impl Rmm {
                 spi,
             } => self.ivc_channel_create(channel, realm_a, realm_b, window, spi, machine, costs),
             RmiCall::IvcChannelDestroy { channel } => self.ivc_channel_destroy(channel, costs),
+            RmiCall::MigrationExport { realm } => self.migration_export(realm, costs),
+            RmiCall::MigrationImport { rd, src_lo, src_hi } => {
+                self.migration_import(rd, Measurement([src_lo, src_hi]), machine, costs)
+            }
         }
+    }
+
+    // ----- live migration (cg-migrate) -----
+
+    /// Starts dirty tracking on `realm` for a pre-copy migration: every
+    /// protected page is marked dirty (round 1 transfers the full
+    /// image), and subsequent tracked guest writes re-dirty pages.
+    /// Returns `false` if the realm doesn't exist or isn't active.
+    pub fn migration_begin(&mut self, realm: RealmId) -> bool {
+        match self.realm_mut(realm) {
+            Some(r) if r.state() == RealmState::Active => {
+                r.start_dirty_tracking();
+                self.counters.incr("rmm.migrate.begin");
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Cuts one pre-copy round: takes the realm's dirty set (sorted by
+    /// IPA) and resets it, so writes during the copy land in the next
+    /// round. Returns `None` if the realm isn't under dirty tracking.
+    pub fn migration_round(&mut self, realm: RealmId) -> Option<Vec<GranuleFrame>> {
+        let r = self.realm_mut(realm)?;
+        if !r.dirty_tracking() {
+            return None;
+        }
+        let frames = r.take_dirty_frames();
+        self.counters.incr("rmm.migrate.rounds");
+        Some(frames)
+    }
+
+    /// Number of pages currently dirty on `realm` (0 if unknown).
+    pub fn migration_dirty_count(&self, realm: RealmId) -> usize {
+        self.realm(realm).map_or(0, |r| r.dirty_count())
+    }
+
+    /// Abandons an in-progress migration: stops dirty tracking and
+    /// discards any exported blob, leaving the realm to keep running on
+    /// this node as if the migration never started.
+    pub fn migration_cancel(&mut self, realm: RealmId) {
+        if let Some(r) = self.realm_mut(realm) {
+            r.stop_dirty_tracking();
+        }
+        self.migration_outbox = None;
+        self.counters.incr("rmm.migrate.cancelled");
+    }
+
+    /// Records a guest write to protected page `ipa` of `realm` (the
+    /// execution layer calls this for write-classified guest work so
+    /// dirty tracking sees it).
+    pub fn note_guest_write(&mut self, realm: RealmId, ipa: u64) {
+        if let Some(r) = self.realm_mut(realm) {
+            r.note_write(ipa);
+        }
+    }
+
+    /// Hands the host the blob a `MIGRATION_EXPORT` sealed — the bulk
+    /// payload travelling the inter-node link out of band.
+    pub fn take_migration_blob(&mut self) -> Option<MigrationBlob> {
+        self.migration_outbox.take()
+    }
+
+    /// Stages an inbound blob for the next `MIGRATION_IMPORT` (the
+    /// destination host has finished receiving it from the link).
+    pub fn stage_migration_blob(&mut self, blob: MigrationBlob) {
+        self.staged_import = Some(blob);
+    }
+
+    /// `RMI_MIGRATION_EXPORT`: seals a quiesced, dirty-tracked realm
+    /// into a migration blob. Every REC must have exited (the host's
+    /// stop-and-copy quiesce) and `migration_begin` must have run; the
+    /// realm itself is left intact so the host can abort and resume it
+    /// locally if the destination rejects the import.
+    fn migration_export(&mut self, realm_id: RealmId, costs: RmmCosts) -> RmiOutcome {
+        let Some(r) = self.realm(realm_id) else {
+            return RmiOutcome::fail(RmiStatus::ErrorRealm, costs.object);
+        };
+        if r.state() != RealmState::Active || !r.dirty_tracking() {
+            return RmiOutcome::fail(RmiStatus::ErrorRealm, costs.object);
+        }
+        if r.recs().any(|(_, rec)| rec.state() == RecState::Running) {
+            return RmiOutcome::fail(RmiStatus::ErrorInUse, costs.object);
+        }
+        let platform = self.platform_measurement;
+        let r = self.realm_mut(realm_id).expect("checked above");
+        let delta = r.dirty_count() as u64;
+        let frames = r.all_frames();
+        let recs: Vec<RecFrame> = r
+            .recs()
+            .map(|(index, rec)| RecFrame {
+                index,
+                rec: rec.clone(),
+            })
+            .collect();
+        let blob = MigrationBlob::sealed(
+            r.measurement(),
+            platform,
+            r.num_recs(),
+            r.generation(),
+            frames,
+            delta,
+            recs,
+        );
+        r.stop_dirty_tracking();
+        self.migration_outbox = Some(blob);
+        self.counters.incr("rmm.migrate.exports");
+        RmiOutcome::ok(costs.object * 2)
+    }
+
+    /// `RMI_MIGRATION_IMPORT`: rebuilds a realm from the staged blob.
+    /// The seal must verify and the sealed realm measurement must equal
+    /// `expected` (the owner-supplied source measurement) — a mismatch
+    /// is audited and rejected with [`RmiStatus::ErrorMeasurement`],
+    /// leaving no realm state behind. On success the realm comes up
+    /// `Active` under a fresh id, claiming a contiguous delegated
+    /// granule run starting at `rd` (rd, RTT root, then RTT tables,
+    /// data pages, and REC granules in walk order).
+    fn migration_import(
+        &mut self,
+        rd: GranuleAddr,
+        expected: Measurement,
+        machine: &mut Machine,
+        costs: RmmCosts,
+    ) -> RmiOutcome {
+        let Some(blob) = self.staged_import.take() else {
+            return RmiOutcome::fail(RmiStatus::ErrorInput, costs.object);
+        };
+        if !blob.verify_seal() || blob.realm_measurement != expected {
+            self.counters.incr("rmm.migrate.import_rejected");
+            return RmiOutcome::fail(RmiStatus::ErrorMeasurement, costs.object);
+        }
+        // Size the granule run: rd + RTT root, the RTT tables the frame
+        // walk needs, one granule per data page, one per REC.
+        let rtt_root = rd.offset(1);
+        let mut probe = Rtt::new(rtt_root);
+        let mut tables_needed = 0u64;
+        for f in &blob.frames {
+            for level in probe.missing_levels(f.ipa) {
+                probe
+                    .create_table(level, f.ipa, rtt_root)
+                    .expect("probe walk in level order");
+                tables_needed += 1;
+            }
+        }
+        let total = 2 + tables_needed + blob.frames.len() as u64 + blob.recs.len() as u64;
+        for i in 0..total {
+            match machine.memory().state(rd.offset(i)) {
+                Ok(GranuleState::Delegated) => {}
+                _ => {
+                    // The run is short or dirty: not a measurement
+                    // failure — re-stage the blob so the host can fix
+                    // the delegation and retry.
+                    self.staged_import = Some(blob);
+                    return RmiOutcome::fail(RmiStatus::ErrorGranule, costs.object);
+                }
+            }
+        }
+        let id = RealmId(self.realms.len() as u32);
+        let claim = |machine: &mut Machine, next: &mut u64, state: GranuleState| {
+            let g = rd.offset(*next);
+            *next += 1;
+            machine
+                .memory_mut()
+                .assign(g, state)
+                .expect("pre-checked delegated run");
+            g
+        };
+        let mut next = 0u64;
+        claim(machine, &mut next, GranuleState::RealmRd(id));
+        claim(machine, &mut next, GranuleState::RealmRtt(id));
+        let mut realm = Realm::import(id, rd, rtt_root, &blob);
+        for f in &blob.frames {
+            for level in realm.rtt().missing_levels(f.ipa) {
+                let g = claim(machine, &mut next, GranuleState::RealmRtt(id));
+                realm
+                    .rtt_mut()
+                    .create_table(level, f.ipa, g)
+                    .expect("probe walk validated the chain");
+            }
+            let g = claim(machine, &mut next, GranuleState::RealmData(id));
+            realm
+                .rtt_mut()
+                .map(f.ipa, g, true)
+                .expect("frames are distinct protected IPAs");
+        }
+        for rf in &blob.recs {
+            claim(machine, &mut next, GranuleState::RealmRec(id));
+            let trace = self.trace.clone();
+            if let Some(rec) = realm.rec_mut(rf.index) {
+                rec.vgic_mut().set_trace(trace, id.0, rf.index);
+            }
+        }
+        self.realms.push(Some(realm));
+        self.counters.incr("rmm.migrate.imported");
+        RmiOutcome::ok(costs.object * 2 + costs.rtt_op * (tables_needed + blob.frames.len() as u64))
     }
 
     /// `RMI_IVC_CHANNEL_CREATE`: the attested inter-CVM channel
@@ -883,6 +1098,7 @@ impl Rmm {
         match r.rtt_mut().map(ipa, data, true) {
             Ok(()) => {
                 r.add_data_page();
+                r.note_data_page(ipa);
                 r.extend_measurement(Measurement::of(&ipa.to_le_bytes()));
                 RmiOutcome::ok(costs.rtt_op)
             }
@@ -906,6 +1122,7 @@ impl Rmm {
         match r.rtt_mut().unmap(ipa) {
             Ok(m) if m.protected => {
                 r.remove_data_page();
+                r.forget_data_page(ipa);
                 machine
                     .memory_mut()
                     .unassign(m.pa)
@@ -1432,6 +1649,12 @@ impl Rmm {
                     None => RsiResult::Error,
                 }
             }
+            RsiCall::MigrationInfo => match self.realm(realm_id) {
+                Some(r) => RsiResult::MigrationInfo {
+                    generation: r.generation(),
+                },
+                None => RsiResult::Error,
+            },
         }
     }
 
@@ -1851,6 +2074,233 @@ mod tests {
             rmm.handle_rsi(RealmId(99), RsiCall::AttestationToken { challenge: 1 }),
             RsiResult::Error
         );
+    }
+
+    /// Builds an active 1-vCPU realm at rd `g(10)` with an RTT chain and
+    /// two protected data pages (ipa 0x1000, 0x2000), and dedicates
+    /// core 4. Granules 10..60 are delegated.
+    fn build_realm_with_data(rmm: &mut Rmm, machine: &mut Machine) -> RealmId {
+        for n in 10..60 {
+            machine.memory_mut().delegate(g(n)).unwrap();
+        }
+        let c = CoreId(0);
+        let out = rmm.handle_rmi(
+            c,
+            RmiCall::RealmCreate {
+                rd: g(10),
+                num_recs: 1,
+            },
+            machine,
+        );
+        assert!(out.status.is_success(), "{out:?}");
+        let realm = RealmId(0);
+        for (lvl, n) in [(1u8, 20u64), (2, 21), (3, 22)] {
+            let out = rmm.handle_rmi(
+                c,
+                RmiCall::RttCreate {
+                    realm,
+                    rtt: g(n),
+                    ipa: 0,
+                    level: cg_cca::RttLevel(lvl),
+                },
+                machine,
+            );
+            assert!(out.status.is_success(), "{out:?}");
+        }
+        for (ipa, n) in [(0x1000u64, 23u64), (0x2000, 24)] {
+            let out = rmm.handle_rmi(
+                c,
+                RmiCall::DataCreate {
+                    realm,
+                    data: g(n),
+                    ipa,
+                },
+                machine,
+            );
+            assert!(out.status.is_success(), "{out:?}");
+        }
+        let out = rmm.handle_rmi(
+            c,
+            RmiCall::RecCreate {
+                realm,
+                index: 0,
+                rec: g(12),
+            },
+            machine,
+        );
+        assert!(out.status.is_success(), "{out:?}");
+        assert!(rmm
+            .handle_rmi(c, RmiCall::RealmActivate { realm }, machine)
+            .status
+            .is_success());
+        machine.cpu_mut(CoreId(4)).offline();
+        rmm.dedicate_core(CoreId(4), machine).unwrap();
+        realm
+    }
+
+    /// Runs the source half of a migration: pre-copy rounds then an
+    /// export, returning the sealed blob and the source measurement.
+    fn export_blob(
+        rmm: &mut Rmm,
+        machine: &mut Machine,
+    ) -> (crate::migrate::MigrationBlob, Measurement) {
+        let realm = build_realm_with_data(rmm, machine);
+        assert!(rmm.migration_begin(realm));
+        // Round 1 carries the whole image.
+        let round1 = rmm.migration_round(realm).unwrap();
+        assert_eq!(round1.len(), 2);
+        // The guest dirties one page during the copy; it shows up in
+        // round 2 with a bumped version.
+        rmm.note_guest_write(realm, 0x1000);
+        let round2 = rmm.migration_round(realm).unwrap();
+        assert_eq!((round2[0].ipa, round2[0].version), (0x1000, 1));
+        // One more write before stop-and-copy: the export's delta.
+        rmm.note_guest_write(realm, 0x2000);
+        let out = rmm.handle_rmi(CoreId(0), RmiCall::MigrationExport { realm }, machine);
+        assert!(out.status.is_success(), "{out:?}");
+        let blob = rmm.take_migration_blob().unwrap();
+        let src = rmm.realm(realm).unwrap().measurement();
+        (blob, src)
+    }
+
+    #[test]
+    fn migration_export_import_round_trip() {
+        let (mut rmm, mut machine) = setup();
+        let (blob, src) = export_blob(&mut rmm, &mut machine);
+        assert!(blob.verify_seal());
+        assert_eq!(blob.delta, 1, "one page dirty at stop-and-copy");
+        assert_eq!(blob.frames.len(), 2);
+        // Source realm is intact (abort-and-resume stays possible).
+        assert_eq!(rmm.realm(RealmId(0)).unwrap().state(), RealmState::Active);
+        assert!(!rmm.realm(RealmId(0)).unwrap().dirty_tracking());
+
+        // Destination node: delegate a run and import.
+        let (mut dst, mut dmachine) = setup();
+        for n in 10..40 {
+            dmachine.memory_mut().delegate(g(n)).unwrap();
+        }
+        dst.stage_migration_blob(blob);
+        let out = dst.handle_rmi(
+            CoreId(0),
+            RmiCall::MigrationImport {
+                rd: g(10),
+                src_lo: src.0[0],
+                src_hi: src.0[1],
+            },
+            &mut dmachine,
+        );
+        assert!(out.status.is_success(), "{out:?}");
+        let imported = dst.realm(RealmId(0)).unwrap();
+        assert_eq!(imported.state(), RealmState::Active);
+        assert_eq!(imported.measurement(), src);
+        assert_eq!(imported.generation(), 1);
+        assert_eq!(imported.data_pages(), 2);
+        assert_eq!(imported.rec_count(), 1);
+        // The rebuilt RTT resolves the migrated pages.
+        assert!(imported.rtt().translate(0x1000).is_ok());
+        assert!(imported.rtt().translate(0x2000).is_ok());
+        // The guest can see it moved.
+        match dst.handle_rsi(RealmId(0), cg_cca::RsiCall::MigrationInfo) {
+            cg_cca::RsiResult::MigrationInfo { generation } => assert_eq!(generation, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        // And it can run: dedicate a core and enter the migrated vCPU.
+        dmachine.cpu_mut(CoreId(4)).offline();
+        dst.dedicate_core(CoreId(4), &mut dmachine).unwrap();
+        let out = dst.rec_enter_with_list(CoreId(4), RecId::new(RealmId(0), 0), &[], &mut dmachine);
+        assert!(out.status.is_success(), "{out:?}");
+    }
+
+    #[test]
+    fn tampered_import_rejected_and_audited() {
+        let (mut rmm, mut machine) = setup();
+        let (mut blob, src) = export_blob(&mut rmm, &mut machine);
+        blob.tamper();
+        let (mut dst, mut dmachine) = setup();
+        for n in 10..40 {
+            dmachine.memory_mut().delegate(g(n)).unwrap();
+        }
+        dst.stage_migration_blob(blob);
+        let out = dst.handle_rmi(
+            CoreId(0),
+            RmiCall::MigrationImport {
+                rd: g(10),
+                src_lo: src.0[0],
+                src_hi: src.0[1],
+            },
+            &mut dmachine,
+        );
+        assert_eq!(out.status, RmiStatus::ErrorMeasurement);
+        assert_eq!(dst.counters().get("rmm.migrate.import_rejected"), 1);
+        assert_eq!(dst.realm_count(), 0, "no realm state left behind");
+    }
+
+    #[test]
+    fn import_with_wrong_expected_measurement_rejected() {
+        let (mut rmm, mut machine) = setup();
+        let (blob, _) = export_blob(&mut rmm, &mut machine);
+        let (mut dst, mut dmachine) = setup();
+        for n in 10..40 {
+            dmachine.memory_mut().delegate(g(n)).unwrap();
+        }
+        dst.stage_migration_blob(blob);
+        let wrong = Measurement::of(b"not the source realm");
+        let out = dst.handle_rmi(
+            CoreId(0),
+            RmiCall::MigrationImport {
+                rd: g(10),
+                src_lo: wrong.0[0],
+                src_hi: wrong.0[1],
+            },
+            &mut dmachine,
+        );
+        assert_eq!(out.status, RmiStatus::ErrorMeasurement);
+        assert_eq!(dst.counters().get("rmm.migrate.import_rejected"), 1);
+    }
+
+    #[test]
+    fn import_with_short_granule_run_restages_blob() {
+        let (mut rmm, mut machine) = setup();
+        let (blob, src) = export_blob(&mut rmm, &mut machine);
+        let (mut dst, mut dmachine) = setup();
+        // No granules delegated yet: the import must fail on the run
+        // check without consuming the blob.
+        dst.stage_migration_blob(blob);
+        let call = RmiCall::MigrationImport {
+            rd: g(10),
+            src_lo: src.0[0],
+            src_hi: src.0[1],
+        };
+        let out = dst.handle_rmi(CoreId(0), call, &mut dmachine);
+        assert_eq!(out.status, RmiStatus::ErrorGranule);
+        // Fix the delegation and retry — the staged blob survived.
+        for n in 10..40 {
+            dmachine.memory_mut().delegate(g(n)).unwrap();
+        }
+        let out = dst.handle_rmi(CoreId(0), call, &mut dmachine);
+        assert!(out.status.is_success(), "{out:?}");
+    }
+
+    #[test]
+    fn export_requires_quiesce_and_tracking() {
+        let (mut rmm, mut machine) = setup();
+        let realm = build_realm_with_data(&mut rmm, &mut machine);
+        // No migration_begin: refused.
+        let out = rmm.handle_rmi(CoreId(0), RmiCall::MigrationExport { realm }, &mut machine);
+        assert_eq!(out.status, RmiStatus::ErrorRealm);
+        assert!(rmm.migration_begin(realm));
+        // A running vCPU blocks the export until the host quiesces it.
+        let rec = RecId::new(realm, 0);
+        rmm.rec_enter_with_list(CoreId(4), rec, &[], &mut machine);
+        let out = rmm.handle_rmi(CoreId(0), RmiCall::MigrationExport { realm }, &mut machine);
+        assert_eq!(out.status, RmiStatus::ErrorInUse);
+        exit_via_mmio(&mut rmm, &mut machine, CoreId(4), rec);
+        let out = rmm.handle_rmi(CoreId(0), RmiCall::MigrationExport { realm }, &mut machine);
+        assert!(out.status.is_success(), "{out:?}");
+        // Cancelling after an abort discards the blob and tracking.
+        rmm.migration_cancel(realm);
+        assert!(rmm.take_migration_blob().is_none());
+        assert!(!rmm.realm(realm).unwrap().dirty_tracking());
     }
 
     #[test]

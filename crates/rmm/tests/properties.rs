@@ -1,9 +1,11 @@
 //! Property tests for the RMM's RMI state machine: arbitrary host-issued
 //! command sequences never corrupt granule accounting or core bindings.
 
+use std::collections::BTreeSet;
+
 use cg_cca::{RecId, RmiCall, RmiStatus};
 use cg_machine::{CoreId, GranuleAddr, HwParams, Machine, RealmId};
-use cg_rmm::{Rmm, RmmConfig};
+use cg_rmm::{DirtyBitmap, Rmm, RmmConfig};
 use proptest::prelude::*;
 
 fn g(n: u64) -> GranuleAddr {
@@ -88,5 +90,61 @@ proptest! {
                 prop_assert_eq!(rmm.coregap().core_owner(c), Some(r.realm));
             }
         }
+    }
+
+    /// The dirty bitmap agrees with a reference set model under any
+    /// interleaving of set / clear / snapshot-and-reset: membership,
+    /// counts, and the return values of every mutation round-trip.
+    #[test]
+    fn dirty_bitmap_matches_set_model(ops in prop::collection::vec((0u8..3, 0u64..64), 1..300)) {
+        let mut bitmap = DirtyBitmap::new();
+        let mut model: BTreeSet<u64> = BTreeSet::new();
+        for (kind, page) in ops {
+            let ipa = page * 4096;
+            match kind {
+                0 => prop_assert_eq!(bitmap.set(ipa), model.insert(ipa)),
+                1 => prop_assert_eq!(bitmap.clear(ipa), model.remove(&ipa)),
+                _ => {
+                    // A snapshot drains the live set sorted by IPA and
+                    // leaves it empty — exactly what the model drains.
+                    let snap = bitmap.snapshot_and_reset();
+                    let expect: Vec<u64> = std::mem::take(&mut model).into_iter().collect();
+                    prop_assert_eq!(snap, expect);
+                    prop_assert!(bitmap.is_empty());
+                }
+            }
+            prop_assert_eq!(bitmap.len(), model.len());
+            prop_assert_eq!(bitmap.is_set(ipa), model.contains(&ipa));
+        }
+    }
+
+    /// Pre-copy's convergence contract: writes landing *during* a copy
+    /// round never appear in that round's transfer set, always in the
+    /// next one — and every write appears in exactly one round (or the
+    /// final residual) no matter how writes interleave with rounds.
+    #[test]
+    fn write_during_round_lands_in_next_round(
+        rounds in prop::collection::vec(prop::collection::vec(0u64..32, 0..20), 1..10)
+    ) {
+        let mut bitmap = DirtyBitmap::new();
+        let mut pending: BTreeSet<u64> = BTreeSet::new();
+        for writes in rounds {
+            // The round snapshot must be exactly the writes that landed
+            // before it — none of the writes issued during it.
+            let snap = bitmap.snapshot_and_reset();
+            let expect: Vec<u64> = std::mem::take(&mut pending).into_iter().collect();
+            prop_assert_eq!(snap, expect);
+            for page in writes {
+                let ipa = page * 4096;
+                bitmap.set(ipa);
+                pending.insert(ipa);
+            }
+        }
+        // Whatever is still dirty is the stop-and-copy residual: the
+        // writes of the last window, nothing more, nothing less.
+        let residual = bitmap.snapshot_and_reset();
+        let expect: Vec<u64> = pending.into_iter().collect();
+        prop_assert_eq!(residual, expect);
+        prop_assert!(bitmap.is_empty());
     }
 }

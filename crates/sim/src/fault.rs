@@ -86,6 +86,19 @@ pub struct FaultPlan {
     /// keeps running on its old core and the elastic operation stalls
     /// until the watchdog re-kicks it (`RebindInterrupted`).
     pub rebind_interrupt_p: f64,
+    /// Probability, per granule frame on the inter-node link, that a
+    /// pre-copy transfer frame is dropped in flight. The migration
+    /// driver re-sends dropped frames, stretching the round.
+    pub migrate_frame_drop_p: f64,
+    /// Probability, per pre-copy round, that the inter-node link stalls
+    /// for `migrate_stall` (congestion / a hostile middlebox).
+    pub migrate_stall_p: f64,
+    /// Length of one injected inter-node link stall.
+    pub migrate_stall: SimDuration,
+    /// Probability, per migration, that the blob is tampered with in
+    /// transit — the destination RMM must reject the import (broken
+    /// seal) and the source must resume the VM.
+    pub migrate_tamper_p: f64,
 }
 
 impl FaultPlan {
@@ -106,6 +119,10 @@ impl FaultPlan {
             dup_ivc_doorbell_p: 0.0,
             forge_ivc_doorbell_p: 0.0,
             rebind_interrupt_p: 0.0,
+            migrate_frame_drop_p: 0.0,
+            migrate_stall_p: 0.0,
+            migrate_stall: SimDuration::ZERO,
+            migrate_tamper_p: 0.0,
         }
     }
 
@@ -156,6 +173,35 @@ impl FaultPlan {
         }
     }
 
+    /// A plan that only drops inter-node migration transfer frames,
+    /// with per-frame probability `p` — the driver retransmits.
+    pub fn migrate_frame_loss(p: f64) -> FaultPlan {
+        FaultPlan {
+            migrate_frame_drop_p: p,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// A plan that only stalls pre-copy rounds: each round stalls for
+    /// `stall` with probability `p`.
+    pub fn migrate_stalls(p: f64, stall: SimDuration) -> FaultPlan {
+        FaultPlan {
+            migrate_stall_p: p,
+            migrate_stall: stall,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// A plan where the migration blob is tampered with in transit with
+    /// probability `p` — the destination must reject the import and the
+    /// source must resume the VM.
+    pub fn migrate_tampering(p: f64) -> FaultPlan {
+        FaultPlan {
+            migrate_tamper_p: p,
+            ..FaultPlan::none()
+        }
+    }
+
     /// Returns `true` if any fault class can fire under this plan.
     pub fn is_active(&self) -> bool {
         self.drop_doorbell_p > 0.0
@@ -168,6 +214,9 @@ impl FaultPlan {
             || self.dup_ivc_doorbell_p > 0.0
             || self.forge_ivc_doorbell_p > 0.0
             || self.rebind_interrupt_p > 0.0
+            || self.migrate_frame_drop_p > 0.0
+            || self.migrate_stall_p > 0.0
+            || self.migrate_tamper_p > 0.0
     }
 
     /// A stable digest of the plan, folded into the injector's RNG seed
@@ -200,6 +249,16 @@ impl FaultPlan {
         // replays its exact historical fault schedule.
         if self.rebind_interrupt_p > 0.0 {
             eat(self.rebind_interrupt_p.to_bits());
+        }
+        if self.migrate_frame_drop_p > 0.0 {
+            eat(self.migrate_frame_drop_p.to_bits());
+        }
+        if self.migrate_stall_p > 0.0 {
+            eat(self.migrate_stall_p.to_bits());
+            eat(self.migrate_stall.as_nanos());
+        }
+        if self.migrate_tamper_p > 0.0 {
+            eat(self.migrate_tamper_p.to_bits());
         }
         h
     }
@@ -387,6 +446,49 @@ impl FaultInjector {
         }
         hit
     }
+
+    /// How many of `frames` migration transfer frames the link drops
+    /// (each is re-sent by the driver, stretching the round).
+    pub fn migrate_frame_drops(&mut self, frames: u64) -> u64 {
+        if self.plan.migrate_frame_drop_p <= 0.0 {
+            return 0;
+        }
+        let mut dropped = 0u64;
+        for _ in 0..frames {
+            if self.rng.chance(self.plan.migrate_frame_drop_p) {
+                dropped += 1;
+            }
+        }
+        if dropped > 0 {
+            self.injected.add("fault.migrate_frames_dropped", dropped);
+        }
+        dropped
+    }
+
+    /// Inter-node link stall to charge on this pre-copy round, if any.
+    pub fn stall_migration_round(&mut self) -> Option<SimDuration> {
+        if self.plan.migrate_stall_p <= 0.0 {
+            return None;
+        }
+        if self.rng.chance(self.plan.migrate_stall_p) {
+            self.injected.incr("fault.migrate_rounds_stalled");
+            Some(self.plan.migrate_stall)
+        } else {
+            None
+        }
+    }
+
+    /// Should this migration blob be tampered with in transit?
+    pub fn tamper_migration_blob(&mut self) -> bool {
+        if self.plan.migrate_tamper_p <= 0.0 {
+            return false;
+        }
+        let hit = self.rng.chance(self.plan.migrate_tamper_p);
+        if hit {
+            self.injected.incr("fault.migrate_blob_tampered");
+        }
+        hit
+    }
 }
 
 #[cfg(test)]
@@ -408,6 +510,10 @@ mod tests {
             dup_ivc_doorbell_p: 0.1,
             forge_ivc_doorbell_p: 0.1,
             rebind_interrupt_p: 0.2,
+            migrate_frame_drop_p: 0.2,
+            migrate_stall_p: 0.2,
+            migrate_stall: SimDuration::micros(100),
+            migrate_tamper_p: 0.1,
         }
     }
 
@@ -426,6 +532,9 @@ mod tests {
             assert!(!inj.dup_ivc_doorbell());
             assert!(!inj.forge_ivc_doorbell());
             assert!(!inj.interrupt_rebind());
+            assert_eq!(inj.migrate_frame_drops(8), 0);
+            assert!(inj.stall_migration_round().is_none());
+            assert!(!inj.tamper_migration_blob());
         }
         assert_eq!(inj.total_injected(), 0);
     }
@@ -445,6 +554,9 @@ mod tests {
             assert_eq!(a.dup_ivc_doorbell(), b.dup_ivc_doorbell());
             assert_eq!(a.forge_ivc_doorbell(), b.forge_ivc_doorbell());
             assert_eq!(a.interrupt_rebind(), b.interrupt_rebind());
+            assert_eq!(a.migrate_frame_drops(4), b.migrate_frame_drops(4));
+            assert_eq!(a.stall_migration_round(), b.stall_migration_round());
+            assert_eq!(a.tamper_migration_blob(), b.tamper_migration_blob());
         }
         assert_eq!(a.total_injected(), b.total_injected());
         assert!(a.total_injected() > 0);
@@ -509,6 +621,9 @@ mod tests {
             inj.dup_ivc_doorbell();
             inj.forge_ivc_doorbell();
             inj.interrupt_rebind();
+            inj.migrate_frame_drops(4);
+            inj.stall_migration_round();
+            inj.tamper_migration_blob();
         }
         let c = inj.injected();
         assert!(c.get("fault.doorbell_dropped") > 0);
@@ -521,6 +636,9 @@ mod tests {
         assert!(c.get("fault.ivc_doorbell_duplicated") > 0);
         assert!(c.get("fault.ivc_doorbell_forged") > 0);
         assert!(c.get("fault.rebind_interrupted") > 0);
+        assert!(c.get("fault.migrate_frames_dropped") > 0);
+        assert!(c.get("fault.migrate_rounds_stalled") > 0);
+        assert!(c.get("fault.migrate_blob_tampered") > 0);
         assert_eq!(
             inj.total_injected(),
             c.get("fault.doorbell_dropped")
@@ -533,6 +651,9 @@ mod tests {
                 + c.get("fault.ivc_doorbell_duplicated")
                 + c.get("fault.ivc_doorbell_forged")
                 + c.get("fault.rebind_interrupted")
+                + c.get("fault.migrate_frames_dropped")
+                + c.get("fault.migrate_rounds_stalled")
+                + c.get("fault.migrate_blob_tampered")
         );
     }
 

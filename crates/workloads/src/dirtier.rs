@@ -1,0 +1,123 @@
+//! A write-heavy working-set workload for live-migration experiments.
+//!
+//! Each vCPU loops over a fixed working set of protected data pages,
+//! alternating an in-place [`GuestOp::DirtyWrite`] with a slice of
+//! compute. The writes never exit — only the RMM's dirty tracking sees
+//! them — so the workload stresses exactly what pre-copy migration must
+//! chase: pages re-dirtied *during* a copy round land in the next
+//! round's transfer set, and a working set written faster than the
+//! inter-node link drains it never converges (forcing the round bound).
+
+use cg_sim::{SimDuration, SimTime};
+
+use crate::guest::{GuestIrq, GuestOp, GuestProgram, WorkloadStats};
+
+/// The migration-dirtying guest: round-robin writes over the first
+/// `working_set` data pages, `think` of compute between writes.
+///
+/// Data pages are the ones the realm build populated: page `i` lives at
+/// IPA `(i + 1) * 4096`, so the working set must not exceed the VM
+/// spec's `data_pages`.
+#[derive(Debug)]
+pub struct Dirtier {
+    working_set: u32,
+    think: SimDuration,
+    /// Per-vCPU next page index (free-running; wrapped at use).
+    cursor: Vec<u32>,
+    /// Per-vCPU phase flag: `false` → write next, `true` → think next.
+    thinking: Vec<bool>,
+    writes: u64,
+}
+
+impl Dirtier {
+    /// A dirtier over `working_set` pages with `think` compute between
+    /// writes, for `vcpus` vCPUs. Each vCPU starts at a different page
+    /// so concurrent vCPUs spread over the set instead of marching in
+    /// lockstep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `working_set` is zero.
+    pub fn new(vcpus: u32, working_set: u32, think: SimDuration) -> Dirtier {
+        assert!(working_set > 0, "a dirtier needs at least one page");
+        Dirtier {
+            working_set,
+            think,
+            cursor: (0..vcpus)
+                .map(|v| v.wrapping_mul(working_set / vcpus.max(1)))
+                .collect(),
+            thinking: vec![false; vcpus as usize],
+            writes: 0,
+        }
+    }
+
+    /// Total dirty writes issued so far (all vCPUs).
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+}
+
+impl GuestProgram for Dirtier {
+    fn next_op(&mut self, vcpu: u32, _now: SimTime) -> GuestOp {
+        let i = vcpu as usize;
+        let thinking = self.thinking[i];
+        self.thinking[i] = !thinking;
+        if thinking {
+            GuestOp::Compute { work: self.think }
+        } else {
+            let page = self.cursor[i] % self.working_set;
+            self.cursor[i] = self.cursor[i].wrapping_add(1);
+            self.writes += 1;
+            GuestOp::DirtyWrite {
+                ipa: u64::from(page + 1) * 4096,
+            }
+        }
+    }
+
+    fn on_irq(&mut self, _vcpu: u32, _irq: GuestIrq, _now: SimTime) {}
+
+    fn stats(&self) -> WorkloadStats {
+        let mut s = WorkloadStats::new();
+        s.counters.add("dirtier.writes", self.writes);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alternates_write_and_think() {
+        let mut d = Dirtier::new(1, 4, SimDuration::micros(5));
+        let first = d.next_op(0, SimTime::ZERO);
+        assert!(matches!(first, GuestOp::DirtyWrite { ipa: 4096 }));
+        let second = d.next_op(0, SimTime::ZERO);
+        assert!(matches!(second, GuestOp::Compute { .. }));
+        let third = d.next_op(0, SimTime::ZERO);
+        assert!(matches!(third, GuestOp::DirtyWrite { ipa: 8192 }));
+        assert_eq!(d.writes(), 2);
+    }
+
+    #[test]
+    fn wraps_the_working_set() {
+        let mut d = Dirtier::new(1, 2, SimDuration::micros(1));
+        let mut ipas = Vec::new();
+        for _ in 0..4 {
+            if let GuestOp::DirtyWrite { ipa } = d.next_op(0, SimTime::ZERO) {
+                ipas.push(ipa);
+            }
+            d.next_op(0, SimTime::ZERO); // think
+        }
+        assert_eq!(ipas, vec![4096, 8192, 4096, 8192]);
+    }
+
+    #[test]
+    fn vcpus_start_spread_out() {
+        let mut d = Dirtier::new(2, 8, SimDuration::micros(1));
+        let a = d.next_op(0, SimTime::ZERO);
+        let b = d.next_op(1, SimTime::ZERO);
+        assert!(matches!(a, GuestOp::DirtyWrite { ipa: 4096 }));
+        assert!(matches!(b, GuestOp::DirtyWrite { ipa: 20480 }), "{b:?}");
+    }
+}

@@ -82,6 +82,13 @@ pub enum GuestOp {
         /// The faulting guest-physical address.
         ipa: u64,
     },
+    /// Write a protected data page in place (no exit, no fault): the
+    /// op dirty-tracking sees. Workloads use it to model a write-heavy
+    /// working set during live migration.
+    DirtyWrite {
+        /// The guest-physical address written.
+        ipa: u64,
+    },
     /// Publish a message into an attested inter-CVM channel's ring and
     /// (unless the peer suppressed notifications) ring the channel
     /// doorbell SGI straight to the peer realm's core — no host exit.

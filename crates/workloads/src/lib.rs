@@ -19,6 +19,8 @@
 //! * [`redis::RedisServer`] — the request/response server of table 5
 //!   (with [`peer::RedisClientPool`] as the 50-client load generator).
 //! * [`kbuild::KernelBuild`] — the parallel compile of fig. 10.
+//! * [`dirtier::Dirtier`] — the write-heavy working set live migration
+//!   must chase (the `migrate` bench's guest).
 //!
 //! Network benchmarks talk to a [`peer::NetPeer`] — a model of the remote
 //! host on the other end of the wire.
@@ -29,6 +31,7 @@
 pub mod attacker;
 pub mod churn;
 pub mod coremark;
+pub mod dirtier;
 pub mod faultstorm;
 pub mod guest;
 pub mod iozone;

@@ -109,6 +109,12 @@ PY
   done
   cmp "$tmp/ca.json" "$tmp/cb.json"
 
+  echo "== migrate smoke (live-migration runs must be byte-identical) =="
+  for run in ma mb; do
+    ./target/release/migrate --quick --json "$tmp/$run.json" >/dev/null
+  done
+  cmp "$tmp/ma.json" "$tmp/mb.json"
+
   echo "== cargo doc (deny warnings; vendored stand-ins excluded) =="
   RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet \
     --exclude rand --exclude proptest --exclude criterion --exclude serde

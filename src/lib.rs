@@ -22,6 +22,7 @@ pub use cg_cca as cca;
 pub use cg_core as system;
 pub use cg_host as host;
 pub use cg_machine as machine;
+pub use cg_migrate as migrate;
 pub use cg_rmm as rmm;
 pub use cg_rpc as rpc;
 pub use cg_sim as sim;

@@ -107,6 +107,10 @@ fn combined_fault_plan_still_completes() {
         dup_ivc_doorbell_p: 0.0,
         forge_ivc_doorbell_p: 0.0,
         rebind_interrupt_p: 0.0,
+        migrate_frame_drop_p: 0.0,
+        migrate_stall_p: 0.0,
+        migrate_stall: SimDuration::ZERO,
+        migrate_tamper_p: 0.0,
     };
     let r = run_fault_sweep(
         plan,
