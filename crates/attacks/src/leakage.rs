@@ -150,7 +150,7 @@ impl LeakReport {
 /// use cg_machine::{CoreId, Domain, HwParams, Machine, RealmId, SecretId};
 /// use cg_sim::SimDuration;
 ///
-/// let mut machine = Machine::new(HwParams::small());
+/// let mut machine = Machine::new(HwParams::small()).unwrap();
 /// let victim = Domain::Realm(RealmId(1));
 /// machine.run_secret_compute(CoreId(0), victim, SecretId(7), SimDuration::micros(5));
 /// // An attacker later scheduled on the same core sees the footprints…
@@ -186,7 +186,7 @@ mod tests {
 
     #[test]
     fn shared_core_execution_leaks() {
-        let mut m = Machine::new(HwParams::small());
+        let mut m = Machine::new(HwParams::small()).unwrap();
         let c = CoreId(0);
         m.run_secret_compute(c, VICTIM, SecretId(7), SimDuration::micros(10));
         // Attacker later scheduled on the same core probes it.
@@ -198,7 +198,7 @@ mod tests {
 
     #[test]
     fn distinct_cores_leak_only_through_the_llc() {
-        let mut m = Machine::new(HwParams::small());
+        let mut m = Machine::new(HwParams::small()).unwrap();
         m.run_secret_compute(CoreId(1), VICTIM, SecretId(7), SimDuration::micros(10));
         // Attacker on a different core.
         let report = probe_core(&m, CoreId(2), ATTACKER);
@@ -209,7 +209,7 @@ mod tests {
 
     #[test]
     fn mitigation_flush_removes_some_but_not_all_channels() {
-        let mut m = Machine::new(HwParams::small());
+        let mut m = Machine::new(HwParams::small()).unwrap();
         let c = CoreId(0);
         m.run_secret_compute(c, VICTIM, SecretId(7), SimDuration::micros(10));
         m.microarch_mut(c).mitigation_flush();
@@ -226,7 +226,7 @@ mod tests {
 
     #[test]
     fn observer_never_leaks_to_itself_and_monitor_is_trusted() {
-        let mut m = Machine::new(HwParams::small());
+        let mut m = Machine::new(HwParams::small()).unwrap();
         let c = CoreId(0);
         m.run_compute(c, VICTIM, SimDuration::micros(1));
         m.run_compute(c, Domain::Monitor, SimDuration::micros(1));
@@ -243,7 +243,7 @@ mod tests {
 
     #[test]
     fn report_merge_accumulates() {
-        let mut m = Machine::new(HwParams::small());
+        let mut m = Machine::new(HwParams::small()).unwrap();
         m.run_compute(CoreId(0), VICTIM, SimDuration::micros(1));
         let mut a = probe_core(&m, CoreId(0), ATTACKER);
         let b = probe_core(&m, CoreId(0), ATTACKER);

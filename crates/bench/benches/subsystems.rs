@@ -26,12 +26,12 @@ fn bench_event_queue(c: &mut Criterion) {
 
 fn bench_microarch(c: &mut Criterion) {
     c.bench_function("machine_run_compute", |b| {
-        let mut m = Machine::new(HwParams::small());
+        let mut m = Machine::new(HwParams::small()).unwrap();
         let d = Domain::Realm(RealmId(0));
         b.iter(|| black_box(m.run_compute(CoreId(0), d, SimDuration::micros(100))))
     });
     c.bench_function("machine_world_switch_pair", |b| {
-        let mut m = Machine::new(HwParams::small());
+        let mut m = Machine::new(HwParams::small()).unwrap();
         b.iter(|| black_box(m.same_core_rmm_call_cost(CoreId(0))))
     });
 }
@@ -57,7 +57,7 @@ fn bench_rpc_channel(c: &mut Criterion) {
 fn bench_rmi(c: &mut Criterion) {
     c.bench_function("rmi_granule_delegate_undelegate", |b| {
         let mut rmm = Rmm::new(RmmConfig::core_gapped());
-        let mut machine = Machine::new(HwParams::small());
+        let mut machine = Machine::new(HwParams::small()).unwrap();
         let g = GranuleAddr::new(0x10_0000).unwrap();
         b.iter(|| {
             black_box(rmm.handle_rmi(

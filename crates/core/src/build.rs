@@ -10,6 +10,7 @@ use cg_rpc::SyncChannel;
 use cg_workloads::{GuestProgram, NetPeer};
 
 use crate::config::{RunTransport, VmSpec};
+use crate::error::SystemError;
 use crate::event::SystemEvent;
 use crate::system::{DeviceInstance, System, ThreadCont, ThreadCtx, VcpuRt, Vm, VmId};
 
@@ -21,26 +22,30 @@ impl System {
     ///
     /// # Errors
     ///
-    /// Returns a description when admission fails (not enough cores) or
-    /// the spec is inconsistent with the system configuration.
+    /// Returns a typed [`SystemError`] when admission fails (not enough
+    /// cores) or the spec is inconsistent with the system configuration.
     pub fn add_vm(
         &mut self,
         spec: VmSpec,
         guest: Box<dyn GuestProgram>,
         peer: Option<Box<dyn NetPeer>>,
-    ) -> Result<VmId, String> {
+    ) -> Result<VmId, SystemError> {
         if spec.vcpus == 0 {
-            return Err("a VM needs at least one vCPU".into());
+            return Err(SystemError::ZeroVcpus);
         }
         match spec.mode {
             VmExecMode::CoreGapped => {
                 if !self.config.rmm.core_gapping {
-                    return Err("core-gapped VM on a non-core-gapping RMM".into());
+                    return Err(SystemError::RmmModeMismatch(
+                        "core-gapped VM on a non-core-gapping RMM",
+                    ));
                 }
             }
             VmExecMode::SharedCoreConfidential => {
                 if self.config.rmm.core_gapping {
-                    return Err("shared-core CVM requires RmmConfig::shared_core()".into());
+                    return Err(SystemError::RmmModeMismatch(
+                        "shared-core CVM requires RmmConfig::shared_core()",
+                    ));
                 }
             }
             VmExecMode::SharedCore => {}
@@ -54,18 +59,14 @@ impl System {
                 let cores = match &spec.vcpu_cores {
                     Some(c) => {
                         if c.len() != spec.vcpus as usize {
-                            return Err("vcpu_cores length must equal vcpus".into());
+                            return Err(SystemError::PlacementMismatch);
                         }
                         c.clone()
                     }
-                    None if spec.contiguous => self
-                        .planner
-                        .admit_contiguous(realm, spec.vcpus as u16)
-                        .map_err(|e| e.to_string())?,
-                    None => self
-                        .planner
-                        .admit(realm, spec.vcpus as u16)
-                        .map_err(|e| e.to_string())?,
+                    None if spec.contiguous => {
+                        self.planner.admit_contiguous(realm, spec.vcpus as u16)?
+                    }
+                    None => self.planner.admit(realm, spec.vcpus as u16)?,
                 };
                 // Hotplug each core offline and hand it to the RMM.
                 for &core in &cores {
@@ -77,7 +78,7 @@ impl System {
                     );
                     self.rmm
                         .dedicate_core(core, &mut self.machine)
-                        .map_err(|e| e.to_string())?;
+                        .map_err(|e| SystemError::Setup(e.to_string()))?;
                     self.cores[core.index()].run = crate::system::CoreRun::RmmPolling;
                 }
                 (realm, cores)
@@ -97,7 +98,7 @@ impl System {
         if spec.mode.is_confidential() {
             if let Err(e) = self.build_realm(realm, spec.vcpus, vm_id, spec.data_pages) {
                 self.rollback_placement(realm, &cores, spec.mode);
-                return Err(e);
+                return Err(SystemError::Setup(e));
             }
         }
 
@@ -109,9 +110,10 @@ impl System {
         if let Some(p) = spec.ivc_peer {
             let peer_vm = VmId(p.peer_vm as usize);
             if peer_vm == vm_id || peer_vm.0 >= self.vms.len() {
-                return Err(format!("ivc_peer {} does not exist yet", p.peer_vm));
+                return Err(SystemError::IvcPeerMissing(p.peer_vm));
             }
-            self.allow_ivc_pair(vm_id, peer_vm)?;
+            self.allow_ivc_pair(vm_id, peer_vm)
+                .map_err(SystemError::Setup)?;
             self.connect_ivc(vm_id, peer_vm, p.channel)?;
         }
         Ok(vm_id)
@@ -406,21 +408,21 @@ impl System {
         }
     }
 
-    fn shared_placement(&self, spec: &VmSpec) -> Result<Vec<CoreId>, String> {
+    fn shared_placement(&self, spec: &VmSpec) -> Result<Vec<CoreId>, SystemError> {
         if let Some(c) = &spec.vcpu_cores {
             if c.len() != spec.vcpus as usize {
-                return Err("vcpu_cores length must equal vcpus".into());
+                return Err(SystemError::PlacementMismatch);
             }
             return Ok(c.clone());
         }
         let hosts = self.host_cores();
         if (spec.vcpus as usize) > hosts.len() {
-            return Err(format!(
+            return Err(SystemError::Setup(format!(
                 "shared-core VM with {} vCPUs needs that many host cores (have {}); \
                  set SystemConfig::num_host_cores accordingly",
                 spec.vcpus,
                 hosts.len()
-            ));
+            )));
         }
         Ok(hosts[..spec.vcpus as usize].to_vec())
     }
@@ -609,20 +611,20 @@ impl System {
     ///
     /// # Errors
     ///
-    /// Returns an error when either VM is not core-gapped, the channel
-    /// id is in use, or any RMI step fails (e.g. the measurement pair
-    /// was not allowed).
-    pub fn connect_ivc(&mut self, a: VmId, b: VmId, channel: u32) -> Result<(), String> {
+    /// Returns a typed [`SystemError`] when either VM is not
+    /// core-gapped, the channel id is in use, or any RMI step fails
+    /// (e.g. the measurement pair was not allowed).
+    pub fn connect_ivc(&mut self, a: VmId, b: VmId, channel: u32) -> Result<(), SystemError> {
         if a == b {
-            return Err("a channel needs two distinct VMs".into());
+            return Err(SystemError::IvcSelfChannel);
         }
         for &v in &[a, b] {
             if self.vms[v.0].kvm.mode() != VmExecMode::CoreGapped {
-                return Err(format!("{v} is not core-gapped"));
+                return Err(SystemError::NotCoreGapped(v));
             }
         }
         if self.ivc.iter().any(|c| c.channel == channel) {
-            return Err(format!("channel {channel} already connected"));
+            return Err(SystemError::IvcChannelBusy(channel));
         }
         // One shared-window region per channel, disjoint from realm data
         // (0x1_...) and virtqueue (0x8_...) regions. The ring window is
@@ -632,13 +634,16 @@ impl System {
         let window = GranuleAddr::new(window_pa).expect("granule aligned");
         let window_ipa = cg_rmm::rtt::UNPROTECTED_BIT | window_pa;
         let spi = self.alloc_spi();
-        let rmi = |sys: &mut System, call: RmiCall| -> Result<(), String> {
+        let rmi = |sys: &mut System, call: RmiCall| -> Result<(), SystemError> {
             let out = sys.rmm.handle_rmi(CoreId(0), call, &mut sys.machine);
             sys.metrics.counters.incr("setup.rmi_calls");
             if out.status.is_success() {
                 Ok(())
             } else {
-                Err(format!("{call} failed: {:?}", out.status))
+                Err(SystemError::Setup(format!(
+                    "{call} failed: {:?}",
+                    out.status
+                )))
             }
         };
         let mut table = cg_ivc::IVC_WINDOW_GRANULES;
@@ -650,7 +655,7 @@ impl System {
             let missing = self
                 .rmm
                 .realm(realm)
-                .ok_or_else(|| "realm not found".to_owned())?
+                .ok_or_else(|| SystemError::Setup("realm not found".to_owned()))?
                 .rtt()
                 .missing_levels(window_ipa);
             for lvl in missing {

@@ -49,6 +49,7 @@ use cg_sim::{SimDuration, SimTime};
 use cg_workloads::{GuestIrq, GuestOp, GuestProgram, NetPeer, WorkloadStats};
 
 use crate::config::{SystemConfig, VmSpec};
+use crate::error::ClusterError;
 use crate::system::{System, VmId};
 
 /// Granularity of the bounded waits for quiesce and source reaping.
@@ -366,44 +367,43 @@ impl Cluster {
     /// # Errors
     ///
     /// Misuse (bad node/VM ids, a non-core-gapped or busy VM) and
-    /// internal protocol failures return `Err`.
+    /// internal protocol failures return a typed [`ClusterError`].
     pub fn migrate_vm(
         &mut self,
         vm: VmId,
         src: usize,
         dst: usize,
         cfg: &MigrateConfig,
-    ) -> Result<MigrationOutcome, String> {
+    ) -> Result<MigrationOutcome, ClusterError> {
         if src == dst {
-            return Err("source and destination node coincide".into());
+            return Err(ClusterError::SameNode);
         }
         if src >= self.nodes.len() || dst >= self.nodes.len() {
-            return Err(format!(
-                "node out of range (cluster has {})",
-                self.nodes.len()
-            ));
+            return Err(ClusterError::NodeOutOfRange {
+                nodes: self.nodes.len(),
+            });
         }
         let t0 = self.sync();
 
         let (realm, prev_active) = {
             let s = &self.nodes[src];
             if vm.0 >= s.vms.len() {
-                return Err(format!("{vm} does not exist on node {src}"));
+                return Err(ClusterError::NoSuchVm { vm, node: src });
             }
             let v = &s.vms[vm.0];
             if v.kvm.mode() != VmExecMode::CoreGapped {
-                return Err("only core-gapped VMs migrate".into());
+                return Err(ClusterError::NotCoreGapped(vm));
             }
             let active = (0..v.kvm.num_vcpus())
                 .filter(|&i| !v.retired[i as usize])
                 .count() as u32;
             if active == 0 {
-                return Err("the VM has no active vCPUs".into());
+                return Err(ClusterError::NoActiveVcpus(vm));
             }
             (v.kvm.realm(), active)
         };
         if !self.nodes[src].rmm.migration_begin(realm) {
-            return Err("realm is not active; migration cannot begin".into());
+            return Err(ClusterError::RealmNotActive);
         }
 
         let mut outcome = MigrationOutcome::default();
@@ -414,10 +414,9 @@ impl Cluster {
             if cfg.should_stop(outcome.rounds, dirty) {
                 break;
             }
-            let frames = self.nodes[src]
-                .rmm
-                .migration_round(realm)
-                .ok_or_else(|| "dirty tracking vanished mid-migration".to_owned())?;
+            let frames = self.nodes[src].rmm.migration_round(realm).ok_or_else(|| {
+                ClusterError::Protocol("dirty tracking vanished mid-migration".to_owned())
+            })?;
             outcome.rounds += 1;
             let n = frames.len() as u64;
             outcome.granules_precopy += n;
@@ -440,7 +439,7 @@ impl Cluster {
         let t_quiesce = self.now();
         if let Err(e) = self.nodes[src].evacuate_vm(vm) {
             self.nodes[src].rmm.migration_cancel(realm);
-            return Err(format!("quiesce failed: {e}"));
+            return Err(ClusterError::QuiesceFailed(e));
         }
         while !self.nodes[src].vm_quiesced(vm) && self.nodes[src].now() < t_quiesce + QUIESCE_BUDGET
         {
@@ -448,7 +447,7 @@ impl Cluster {
         }
         if !self.nodes[src].vm_quiesced(vm) {
             self.nodes[src].rmm.migration_cancel(realm);
-            return Err("vCPUs did not quiesce within the stop-and-copy budget".into());
+            return Err(ClusterError::QuiesceTimeout);
         }
 
         // ---- seal the realm + REC state into the migration blob
@@ -465,12 +464,15 @@ impl Cluster {
         if !out.status.is_success() {
             self.nodes[src].rmm.migration_cancel(realm);
             let _ = self.nodes[src].resize_vm(vm, prev_active);
-            return Err(format!("MIGRATION_EXPORT failed: {:?}", out.status));
+            return Err(ClusterError::ExportFailed(format!(
+                "MIGRATION_EXPORT failed: {:?}",
+                out.status
+            )));
         }
         let mut blob = self.nodes[src]
             .rmm
             .take_migration_blob()
-            .ok_or_else(|| "export produced no blob".to_owned())?;
+            .ok_or_else(|| ClusterError::Protocol("export produced no blob".to_owned()))?;
 
         // ---- downtime transfer: residual dirty pages + RECs + metadata
         let stopcopy = blob.delta + blob.recs.len() as u64 + 2;
@@ -549,8 +551,9 @@ impl Cluster {
                 s.vms[vm.0].peer = peer;
                 s.rmm.migration_cancel(realm);
                 s.metrics.counters.incr("migrate.aborted");
-                s.resize_vm(vm, prev_active)
-                    .map_err(|e| format!("abort-resume on source failed: {e}"))?;
+                s.resize_vm(vm, prev_active).map_err(|e| {
+                    ClusterError::Protocol(format!("abort-resume on source failed: {e}"))
+                })?;
                 outcome.aborted = true;
                 outcome.resumed_on_source = true;
                 let now = self.now();

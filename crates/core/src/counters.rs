@@ -110,6 +110,11 @@ pub static REGISTRY: &[CounterDef] = &[
         "exit doorbell IPIs lost after the latch was set",
     ),
     def(
+        "fault.frontend_stalls",
+        CounterPlane::Fault,
+        "serving front-end stall windows injected",
+    ),
+    def(
         "fault.host_stalls",
         CounterPlane::Fault,
         "host-side scheduling stalls injected",
@@ -130,6 +135,11 @@ pub static REGISTRY: &[CounterDef] = &[
         "inter-CVM doorbell SPIs misrouted to a non-endpoint",
     ),
     def(
+        "fault.request_bursts",
+        CounterPlane::Fault,
+        "request-burst arrivals injected at the front-end",
+    ),
+    def(
         "fault.request_wedged",
         CounterPlane::Fault,
         "run-request poll notices suppressed",
@@ -138,6 +148,91 @@ pub static REGISTRY: &[CounterDef] = &[
         "fault.response_delayed",
         CounterPlane::Fault,
         "response cache-line visibility held back",
+    ),
+    def(
+        "fleet.admitted",
+        CounterPlane::Host,
+        "requests admitted by the serving front-end",
+    ),
+    def(
+        "fleet.completed",
+        CounterPlane::Host,
+        "admitted requests whose response reached the sink",
+    ),
+    def(
+        "fleet.latency_total_us",
+        CounterPlane::Host,
+        "sum of completed-request latencies (µs)",
+    ),
+    def(
+        "fleet.migrations",
+        CounterPlane::Host,
+        "tenants live-migrated by the rebalancer",
+    ),
+    def(
+        "fleet.migrations_aborted",
+        CounterPlane::Host,
+        "rebalancing migrations aborted and resumed on source",
+    ),
+    def(
+        "fleet.migrations_failed",
+        CounterPlane::Host,
+        "rebalancing migrations refused outright",
+    ),
+    def(
+        "fleet.offered",
+        CounterPlane::Host,
+        "requests offered to the serving front-end",
+    ),
+    def(
+        "fleet.resize_down",
+        CounterPlane::Host,
+        "elastic scale-downs applied by the SLO tracker",
+    ),
+    def(
+        "fleet.resize_up",
+        CounterPlane::Host,
+        "elastic scale-ups applied by the SLO tracker",
+    ),
+    def(
+        "fleet.shed",
+        CounterPlane::Host,
+        "requests shed by the front-end (all reasons)",
+    ),
+    def(
+        "fleet.shed.backpressure",
+        CounterPlane::Host,
+        "requests shed to node-wide ring backpressure",
+    ),
+    def(
+        "fleet.shed.frontend_stalled",
+        CounterPlane::Host,
+        "requests dropped during an injected front-end stall",
+    ),
+    def(
+        "fleet.shed.queue_full",
+        CounterPlane::Host,
+        "requests shed at the tenant queue-depth cap",
+    ),
+    def(
+        "fleet.shed.rate_limited",
+        CounterPlane::Host,
+        "requests shed by the tenant token bucket",
+    ),
+    def(
+        "fleet.shed.tenant_unavailable",
+        CounterPlane::Host,
+        "requests shed during a tenant migration blackout",
+    ),
+    def(
+        "fleet.slo_met",
+        CounterPlane::Host,
+        "completions within the tenant's latency SLO",
+    ),
+    def(
+        "fleet.slo_missed",
+        CounterPlane::Host,
+        "completions past the tenant's latency SLO",
     ),
     def(
         "host.harass_kicks",
@@ -372,6 +467,7 @@ pub fn plane_of(name: &str) -> CounterPlane {
         ("net.", CounterPlane::Host),
         ("fault.", CounterPlane::Fault),
         ("faultstorm.", CounterPlane::Fault),
+        ("fleet.", CounterPlane::Host),
         ("attack.", CounterPlane::Attack),
         ("attacker.", CounterPlane::Attack),
         ("victim.", CounterPlane::Attack),

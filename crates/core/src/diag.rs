@@ -67,7 +67,7 @@ where
     F: Fn() -> System,
 {
     let run = |mut system: System| {
-        system.enable_structured_capture();
+        system.configure_trace(crate::TraceOptions::new().structured_capture());
         system.run_for(duration);
         let records = system.structured_records();
         let fingerprint = system.metrics().fingerprint();

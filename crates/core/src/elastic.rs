@@ -39,6 +39,7 @@ use cg_host::{HostAction, VmExecMode};
 use cg_machine::CoreId;
 use cg_sim::{SimDuration, SimTime};
 
+use crate::error::SystemError;
 use crate::event::SystemEvent;
 use crate::system::{CoreRun, System, ThreadCont, VmId, HOST_KICK_SGI};
 
@@ -104,28 +105,28 @@ impl System {
     ///
     /// # Errors
     ///
-    /// Returns a description when the VM is not core-gapped (or was
-    /// explicitly placed, bypassing the planner), `n` is out of range,
-    /// another elastic operation already targets this VM, or the
+    /// Returns a typed [`SystemError`] when the VM is not core-gapped
+    /// (or was explicitly placed, bypassing the planner), `n` is out of
+    /// range, another elastic operation already targets this VM, or the
     /// planner lacks free cores for a grow.
-    pub fn resize_vm(&mut self, vm: VmId, n: u32) -> Result<(), String> {
+    pub fn resize_vm(&mut self, vm: VmId, n: u32) -> Result<(), SystemError> {
         let v = &self.vms[vm.0];
         if v.kvm.mode() != VmExecMode::CoreGapped {
-            return Err("only core-gapped VMs resize".into());
+            return Err(SystemError::NotCoreGapped(vm));
         }
         let realm = v.kvm.realm();
         let max = v.kvm.num_vcpus();
         if n == 0 || n > max {
-            return Err(format!("target size {n} outside [1, {max}]"));
+            return Err(SystemError::SizeOutOfRange { requested: n, max });
         }
         if self.planner.allocation(realm).is_none() {
-            return Err("explicitly placed VMs bypass the planner and cannot resize".into());
+            return Err(SystemError::ExplicitlyPlaced);
         }
         let busy = self.elastic_inflight.iter().any(|op| op.vm == vm)
             || self.elastic.iter().any(|op| op.vm == vm)
             || v.pending_elastic.iter().any(|p| p.is_some());
         if busy {
-            return Err("an elastic operation is already in flight for this VM".into());
+            return Err(SystemError::ElasticBusy(vm));
         }
         let active = (0..max).filter(|&i| !v.retired[i as usize]).count() as u32;
         if n == active {
@@ -147,10 +148,7 @@ impl System {
             return Ok(());
         }
         // Scale-up: all-or-nothing through the planner.
-        let grown = self
-            .planner
-            .grow(realm, (n - active) as u16)
-            .map_err(|e| e.to_string())?;
+        let grown = self.planner.grow(realm, (n - active) as u16)?;
         for (j, vcpu) in (active..n).enumerate() {
             let core = grown[j];
             cg_host::hotplug::offline_for_dedication(

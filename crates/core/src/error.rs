@@ -1,0 +1,238 @@
+//! Typed errors of the public `System`/`Cluster` API.
+//!
+//! Fallible entry points (`System::try_new`, [`crate::System::add_vm`],
+//! [`crate::System::resize_vm`], [`crate::System::connect_ivc`],
+//! [`crate::Cluster::migrate_vm`]) return these enums instead of bare
+//! strings, so embedders — the fleet admission plane first among them —
+//! can branch on the failure class. Panics are reserved for internal
+//! invariant violations. `Display` keeps the historical message wording
+//! so log output and string-matching diagnostics are unchanged.
+
+use std::fmt;
+
+use cg_host::PlannerError;
+use cg_machine::ParamError;
+
+use crate::system::VmId;
+
+/// Why a [`crate::System`] operation was refused.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SystemError {
+    /// The configuration reserves zero host cores.
+    NoHostCores,
+    /// Every core is a host core: nothing is left to dedicate.
+    NoDedicableCores,
+    /// The hardware parameter set failed validation.
+    InvalidHardware(ParamError),
+    /// A VM spec requested zero vCPUs.
+    ZeroVcpus,
+    /// The VM's execution mode does not match the configured RMM
+    /// (e.g. a core-gapped VM on a shared-core RMM).
+    RmmModeMismatch(&'static str),
+    /// An explicit `vcpu_cores` placement has the wrong length.
+    PlacementMismatch,
+    /// The core planner refused admission or growth.
+    Planner(PlannerError),
+    /// The requested IVC peer VM does not exist (yet).
+    IvcPeerMissing(u32),
+    /// The operation needs a core-gapped VM and this one is not.
+    NotCoreGapped(VmId),
+    /// A resize target outside `[1, vcpus-at-creation]`.
+    SizeOutOfRange {
+        /// The requested active-vCPU count.
+        requested: u32,
+        /// The VM's vCPU count at creation (the resize ceiling).
+        max: u32,
+    },
+    /// The VM was explicitly placed, bypassing the planner, so elastic
+    /// operations cannot move it.
+    ExplicitlyPlaced,
+    /// Another elastic operation already targets the VM.
+    ElasticBusy(VmId),
+    /// An IVC channel needs two distinct endpoint VMs.
+    IvcSelfChannel,
+    /// The IVC channel id is already connected.
+    IvcChannelBusy(u32),
+    /// The VM is not confidential, so it has nothing to attest.
+    NotConfidential(VmId),
+    /// A realm build / RMI / attestation / host-configuration step
+    /// failed; the message carries the failing call and status.
+    Setup(String),
+}
+
+impl fmt::Display for SystemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SystemError::NoHostCores => write!(f, "need at least one host core"),
+            SystemError::NoDedicableCores => write!(f, "need at least one dedicable core"),
+            SystemError::InvalidHardware(e) => write!(f, "invalid hardware parameters: {e}"),
+            SystemError::ZeroVcpus => write!(f, "a VM needs at least one vCPU"),
+            SystemError::RmmModeMismatch(msg) => write!(f, "{msg}"),
+            SystemError::PlacementMismatch => write!(f, "vcpu_cores length must equal vcpus"),
+            SystemError::Planner(e) => write!(f, "{e}"),
+            SystemError::IvcPeerMissing(peer) => write!(f, "ivc_peer {peer} does not exist yet"),
+            SystemError::NotCoreGapped(vm) => write!(f, "{vm} is not core-gapped"),
+            SystemError::SizeOutOfRange { requested, max } => {
+                write!(f, "target size {requested} outside [1, {max}]")
+            }
+            SystemError::ExplicitlyPlaced => {
+                write!(
+                    f,
+                    "explicitly placed VMs bypass the planner and cannot resize"
+                )
+            }
+            SystemError::ElasticBusy(vm) => {
+                write!(f, "an elastic operation is already in flight for {vm}")
+            }
+            SystemError::IvcSelfChannel => write!(f, "a channel needs two distinct VMs"),
+            SystemError::IvcChannelBusy(channel) => {
+                write!(f, "channel {channel} already connected")
+            }
+            SystemError::NotConfidential(vm) => {
+                write!(f, "{vm} is not confidential: nothing to attest")
+            }
+            SystemError::Setup(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SystemError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SystemError::InvalidHardware(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParamError> for SystemError {
+    fn from(e: ParamError) -> SystemError {
+        SystemError::InvalidHardware(e)
+    }
+}
+
+impl From<PlannerError> for SystemError {
+    fn from(e: PlannerError) -> SystemError {
+        SystemError::Planner(e)
+    }
+}
+
+/// Why a [`crate::Cluster`] operation was refused.
+///
+/// Note the asymmetry [`crate::Cluster::migrate_vm`] documents: a
+/// *handled* abort (e.g. a tampered blob the destination rejects, with
+/// the VM resumed on the source) is an `Ok` outcome, not an error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterError {
+    /// Source and destination node are the same.
+    SameNode,
+    /// A node index is outside the cluster.
+    NodeOutOfRange {
+        /// Number of nodes in the cluster.
+        nodes: usize,
+    },
+    /// The VM does not exist on the named source node.
+    NoSuchVm {
+        /// The missing VM.
+        vm: VmId,
+        /// The node searched.
+        node: usize,
+    },
+    /// Only core-gapped VMs migrate.
+    NotCoreGapped(VmId),
+    /// The VM has no active vCPUs to migrate.
+    NoActiveVcpus(VmId),
+    /// The source realm is not in a migratable state.
+    RealmNotActive,
+    /// The stop-and-copy quiesce could not start.
+    QuiesceFailed(String),
+    /// The vCPUs did not quiesce within the stop-and-copy budget.
+    QuiesceTimeout,
+    /// The sealed export failed on the source.
+    ExportFailed(String),
+    /// An internal protocol step failed (dirty tracking, blob
+    /// bookkeeping, abort-resume).
+    Protocol(String),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::SameNode => write!(f, "source and destination node coincide"),
+            ClusterError::NodeOutOfRange { nodes } => {
+                write!(f, "node out of range (cluster has {nodes})")
+            }
+            ClusterError::NoSuchVm { vm, node } => {
+                write!(f, "{vm} does not exist on node {node}")
+            }
+            ClusterError::NotCoreGapped(_) => write!(f, "only core-gapped VMs migrate"),
+            ClusterError::NoActiveVcpus(_) => write!(f, "the VM has no active vCPUs"),
+            ClusterError::RealmNotActive => {
+                write!(f, "realm is not active; migration cannot begin")
+            }
+            ClusterError::QuiesceFailed(e) => write!(f, "quiesce failed: {e}"),
+            ClusterError::QuiesceTimeout => {
+                write!(f, "vCPUs did not quiesce within the stop-and-copy budget")
+            }
+            ClusterError::ExportFailed(e) => write!(f, "{e}"),
+            ClusterError::Protocol(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+impl From<String> for ClusterError {
+    fn from(e: String) -> ClusterError {
+        ClusterError::Protocol(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_error_display_keeps_historical_wording() {
+        assert_eq!(
+            SystemError::ZeroVcpus.to_string(),
+            "a VM needs at least one vCPU"
+        );
+        assert_eq!(
+            SystemError::NoHostCores.to_string(),
+            "need at least one host core"
+        );
+        let e = SystemError::SizeOutOfRange {
+            requested: 9,
+            max: 4,
+        };
+        assert_eq!(e.to_string(), "target size 9 outside [1, 4]");
+        let planner = SystemError::Planner(PlannerError::InsufficientCores {
+            requested: 8,
+            available: 2,
+        });
+        assert!(planner.to_string().contains("insufficient"), "{planner}");
+    }
+
+    #[test]
+    fn param_error_threads_through_with_source() {
+        let e = SystemError::from(ParamError::ZeroCores);
+        assert!(e.to_string().contains("invalid hardware parameters"));
+        let dyn_err: &dyn std::error::Error = &e;
+        assert!(dyn_err.source().is_some());
+    }
+
+    #[test]
+    fn cluster_error_display_matches_migrate_contract() {
+        assert_eq!(
+            ClusterError::SameNode.to_string(),
+            "source and destination node coincide"
+        );
+        assert_eq!(
+            ClusterError::NodeOutOfRange { nodes: 2 }.to_string(),
+            "node out of range (cluster has 2)"
+        );
+        let e: ClusterError = String::from("export produced no blob").into();
+        assert_eq!(e.to_string(), "export produced no blob");
+    }
+}

@@ -4,6 +4,7 @@
 pub mod apps;
 pub mod churn;
 pub mod faults;
+pub mod fleet;
 pub mod io;
 pub mod ivc;
 pub mod latency;

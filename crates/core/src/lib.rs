@@ -42,8 +42,10 @@ pub mod cluster;
 pub mod config;
 pub mod counters;
 pub mod diag;
+pub mod error;
 pub mod event;
 pub mod experiments;
+pub mod fleet;
 pub mod metrics;
 pub mod microbench;
 pub mod obs;
@@ -52,7 +54,8 @@ pub mod system;
 pub use cluster::Cluster;
 pub use config::{IvcPeerSpec, RunTransport, SystemConfig, VmSpec};
 pub use diag::{diff_same_seed_runs, DiffReport};
+pub use error::{ClusterError, SystemError};
 pub use event::SystemEvent;
 pub use metrics::{Metrics, VmReport};
 pub use obs::Obs;
-pub use system::{System, VmId};
+pub use system::{System, TraceOptions, VmId};

@@ -22,7 +22,7 @@ pub struct NullCallLatencies {
 /// integration tests); the same-core path runs the actual world-switch
 /// state machine on a scratch machine.
 pub fn null_call_latencies(params: &HwParams) -> NullCallLatencies {
-    let mut machine = Machine::new(params.clone());
+    let mut machine = Machine::new(params.clone()).unwrap();
     let same_core = machine.same_core_rmm_call_cost(CoreId(0));
     NullCallLatencies {
         async_ns: cg_rpc::latency::async_null_call_round_trip(params).as_nanos() as f64,

@@ -17,6 +17,7 @@ use cg_sim::{
 use cg_workloads::{GuestOp, GuestProgram, NetPeer};
 
 use crate::config::{RunTransport, SystemConfig};
+use crate::error::SystemError;
 use crate::event::SystemEvent;
 use crate::metrics::{Metrics, VmReport};
 
@@ -47,6 +48,71 @@ impl fmt::Display for VmId {
 #[derive(Debug, Clone)]
 pub(crate) struct RunMsg {
     pub entry: RecEntry,
+}
+
+/// Which structured-trace sink [`TraceOptions`] selects.
+#[derive(Debug, Clone, Default)]
+enum StructuredMode {
+    /// Leave the structured trace as it is (disabled by default).
+    #[default]
+    Off,
+    /// Bounded ring of the last N records.
+    Ring(usize),
+    /// Retain every record (divergence diagnosis).
+    Capture,
+}
+
+/// Builder bundling every tracing knob behind one call,
+/// [`System::configure_trace`]. Replaces the former
+/// `enable_trace`/`enable_structured_trace`/`enable_structured_capture`/
+/// `set_structured_dump_sink` quartet; unset options leave the
+/// corresponding sink untouched, so bundles compose.
+///
+/// ```
+/// use cg_core::TraceOptions;
+///
+/// let opts = TraceOptions::new().text(256).structured_capture();
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TraceOptions {
+    text: Option<usize>,
+    structured: StructuredMode,
+    dump_sink: Option<std::rc::Rc<std::cell::RefCell<String>>>,
+}
+
+impl TraceOptions {
+    /// An empty bundle: applying it changes nothing.
+    pub fn new() -> TraceOptions {
+        TraceOptions::default()
+    }
+
+    /// Enables the human-readable text trace retaining the last
+    /// `capacity` lines (dumped via [`System::dump_trace`]).
+    pub fn text(mut self, capacity: usize) -> TraceOptions {
+        self.text = Some(capacity);
+        self
+    }
+
+    /// Enables the structured trace as a bounded ring of `capacity`
+    /// records — panic-dump context on long runs.
+    pub fn structured_ring(mut self, capacity: usize) -> TraceOptions {
+        self.structured = StructuredMode::Ring(capacity);
+        self
+    }
+
+    /// Enables the structured trace retaining *every* record, for
+    /// divergence diagnosis with [`cg_sim::TraceDiff`].
+    pub fn structured_capture(mut self) -> TraceOptions {
+        self.structured = StructuredMode::Capture;
+        self
+    }
+
+    /// Redirects the panic-time trace dump (normally stderr) into
+    /// `sink`, so tests can assert on the dump-on-failure path.
+    pub fn dump_sink(mut self, sink: std::rc::Rc<std::cell::RefCell<String>>) -> TraceOptions {
+        self.dump_sink = Some(sink);
+        self
+    }
 }
 
 /// What a core is doing right now.
@@ -460,19 +526,27 @@ impl System {
     /// # Panics
     ///
     /// Panics on invalid hardware parameters or if fewer than one host
-    /// core is reserved.
+    /// core is reserved. Use [`System::try_new`] for a non-panicking
+    /// variant.
     pub fn new(config: SystemConfig) -> System {
-        assert!(config.num_host_cores >= 1, "need at least one host core");
-        assert!(
-            config.num_host_cores < config.machine.num_cores,
-            "need at least one dedicable core"
-        );
-        let machine = Machine::new(config.machine.clone());
+        System::try_new(config).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds a system from the configuration, reporting configuration
+    /// mistakes as a typed [`SystemError`] instead of panicking.
+    pub fn try_new(config: SystemConfig) -> Result<System, SystemError> {
+        if config.num_host_cores < 1 {
+            return Err(SystemError::NoHostCores);
+        }
+        if config.num_host_cores >= config.machine.num_cores {
+            return Err(SystemError::NoDedicableCores);
+        }
+        let machine = Machine::new(config.machine.clone())?;
         let num_cores = machine.num_cores();
         let planner = CorePlanner::new((config.num_host_cores..num_cores).map(CoreId));
         let rng = SimRng::seed(config.seed);
         let fault = FaultInjector::new(config.seed, config.fault.clone());
-        System {
+        Ok(System {
             fault,
             rmm: Rmm::new(config.rmm.clone()),
             sched: Scheduler::new(),
@@ -505,7 +579,7 @@ impl System {
             elastic_inflight: None,
             machine,
             config,
-        }
+        })
     }
 
     /// Number of host threads currently tracked by the system. Exited
@@ -551,9 +625,40 @@ impl System {
         (0..self.config.num_host_cores).map(CoreId).collect()
     }
 
+    /// Applies a [`TraceOptions`] bundle: the one entry point for
+    /// enabling the text trace, the structured trace (ring or full
+    /// capture), and the panic-dump sink.
+    ///
+    /// ```
+    /// use cg_core::{System, SystemConfig, TraceOptions};
+    ///
+    /// let mut system = System::new(SystemConfig::small());
+    /// system.configure_trace(TraceOptions::new().text(256).structured_ring(1024));
+    /// ```
+    pub fn configure_trace(&mut self, options: TraceOptions) {
+        if let Some(capacity) = options.text {
+            self.trace = Trace::with_capacity(capacity);
+        }
+        match options.structured {
+            StructuredMode::Off => {}
+            StructuredMode::Ring(capacity) => {
+                self.strace = TraceHandle::ring(capacity);
+                self.propagate_strace();
+            }
+            StructuredMode::Capture => {
+                self.strace = TraceHandle::capture();
+                self.propagate_strace();
+            }
+        }
+        if let Some(sink) = options.dump_sink {
+            self.strace_sink = Some(sink);
+        }
+    }
+
     /// Enables tracing with the given capacity.
+    #[deprecated(note = "use `configure_trace(TraceOptions::new().text(capacity))`")]
     pub fn enable_trace(&mut self, capacity: usize) {
-        self.trace = Trace::with_capacity(capacity);
+        self.configure_trace(TraceOptions::new().text(capacity));
     }
 
     /// Dumps the retained trace tail.
@@ -564,20 +669,20 @@ impl System {
     /// Enables the structured trace as a bounded ring of `capacity`
     /// records and propagates the handle to every instrumented
     /// subsystem. Use for panic-dump context on long runs.
+    #[deprecated(note = "use `configure_trace(TraceOptions::new().structured_ring(capacity))`")]
     pub fn enable_structured_trace(&mut self, capacity: usize) {
-        self.strace = TraceHandle::ring(capacity);
-        self.propagate_strace();
+        self.configure_trace(TraceOptions::new().structured_ring(capacity));
     }
 
     /// Enables the structured trace retaining *every* record, for
     /// divergence diagnosis with [`cg_sim::TraceDiff`].
+    #[deprecated(note = "use `configure_trace(TraceOptions::new().structured_capture())`")]
     pub fn enable_structured_capture(&mut self) {
-        self.strace = TraceHandle::capture();
-        self.propagate_strace();
+        self.configure_trace(TraceOptions::new().structured_capture());
     }
 
-    /// The structured trace handle (cheap clone; disabled unless one of
-    /// the `enable_structured_*` methods ran).
+    /// The structured trace handle (cheap clone; disabled unless a
+    /// structured mode was configured).
     pub fn structured_trace(&self) -> TraceHandle {
         self.strace.clone()
     }
@@ -585,8 +690,9 @@ impl System {
     /// Redirects the panic-time trace dump (normally written to stderr
     /// when a run method unwinds) into `sink`, so tests can assert on the
     /// dump-on-failure path.
+    #[deprecated(note = "use `configure_trace(TraceOptions::new().dump_sink(sink))`")]
     pub fn set_structured_dump_sink(&mut self, sink: std::rc::Rc<std::cell::RefCell<String>>) {
-        self.strace_sink = Some(sink);
+        self.configure_trace(TraceOptions::new().dump_sink(sink));
     }
 
     /// Builds the panic-dump guard active for the duration of a run
@@ -991,7 +1097,7 @@ mod tests {
     #[test]
     fn trace_records_exits_and_entries() {
         let mut system = System::new(SystemConfig::small());
-        system.enable_trace(256);
+        system.configure_trace(TraceOptions::new().text(256));
         let guest = Box::new(
             GuestKernel::new(
                 1,
@@ -1014,7 +1120,8 @@ mod tests {
         let err = system
             .add_vm(VmSpec::core_gapped(0), cpu_guest(1), None)
             .unwrap_err();
-        assert!(err.contains("at least one vCPU"));
+        assert_eq!(err, crate::error::SystemError::ZeroVcpus);
+        assert!(err.to_string().contains("at least one vCPU"));
     }
 
     #[test]

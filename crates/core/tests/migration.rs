@@ -272,7 +272,7 @@ fn failed_grow_leaves_free_core_count_unchanged() {
     assert_eq!(s.planner().free_cores(), 0);
 
     let err = s.resize_vm(vm, 4).unwrap_err();
-    assert!(err.contains("insufficient cores"), "{err}");
+    assert!(err.to_string().contains("insufficient cores"), "{err}");
     assert_eq!(
         s.planner().free_cores(),
         0,

@@ -85,7 +85,7 @@ mod tests {
 
     #[test]
     fn offline_migrates_and_retargets() {
-        let mut machine = Machine::new(HwParams::small());
+        let mut machine = Machine::new(HwParams::small()).unwrap();
         let mut sched = Scheduler::new();
         let t = sched.spawn(
             ThreadKind::Housekeeping,
@@ -109,14 +109,14 @@ mod tests {
     fn cannot_offline_last_core() {
         let mut p = HwParams::small();
         p.num_cores = 1;
-        let mut machine = Machine::new(p);
+        let mut machine = Machine::new(p).unwrap();
         let mut sched = Scheduler::new();
         offline_for_dedication(CoreId(0), &mut sched, &mut machine, SimDuration::ZERO);
     }
 
     #[test]
     fn full_dedicate_reclaim_cycle() {
-        let mut machine = Machine::new(HwParams::small());
+        let mut machine = Machine::new(HwParams::small()).unwrap();
         let mut sched = Scheduler::new();
         let mut rmm = cg_rmm::Rmm::new(cg_rmm::RmmConfig::core_gapped());
         offline_for_dedication(CoreId(4), &mut sched, &mut machine, SimDuration::millis(2));

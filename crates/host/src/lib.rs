@@ -17,6 +17,9 @@
 //!   doorbell IPI and unblocks vCPU threads ([`wakeup`]).
 //! * The user-mode **core planner** performing admission control and
 //!   dedicated-core assignment for CVMs (§3, [`planner`]).
+//! * The serving **front-end** gating tenant request traffic with
+//!   token buckets, queue-depth caps, and backpressure, shedding the
+//!   overload with typed reasons ([`frontend`]).
 //!
 //! Everything is a passive state machine driven by the system event loop
 //! in `cg-core`; methods return actions and costs instead of scheduling
@@ -25,6 +28,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod frontend;
 pub mod hotplug;
 pub mod iothread;
 pub mod kvm;
@@ -35,6 +39,7 @@ pub mod thread;
 pub mod vmm;
 pub mod wakeup;
 
+pub use frontend::{AdmissionPolicy, FrontEnd, ShedReason, TenantGate, TokenBucket};
 pub use iothread::IoThread;
 pub use kvm::{HostAction, KvmVm, VmExecMode};
 pub use params::HostParams;

@@ -44,5 +44,5 @@ pub use ids::{CoreId, Domain, RealmId, SecretId};
 pub use machine::Machine;
 pub use memory::{GranuleAddr, GranuleMap, GranuleState, MemoryError};
 pub use microarch::{MicroArch, Structure, TaintLabel};
-pub use params::HwParams;
+pub use params::{HwParams, ParamError};
 pub use timer::GenericTimer;

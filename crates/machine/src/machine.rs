@@ -10,7 +10,7 @@ use crate::gic::Gic;
 use crate::ids::{CoreId, Domain, SecretId};
 use crate::memory::GranuleMap;
 use crate::microarch::{MicroArch, TaintLabel};
-use crate::params::HwParams;
+use crate::params::{HwParams, ParamError};
 use crate::timer::GenericTimer;
 
 /// The simulated server platform.
@@ -24,7 +24,7 @@ use crate::timer::GenericTimer;
 /// use cg_machine::{CoreId, Domain, HwParams, Machine};
 /// use cg_sim::SimDuration;
 ///
-/// let mut m = Machine::new(HwParams::small());
+/// let mut m = Machine::new(HwParams::small()).unwrap();
 /// let wall = m.run_compute(CoreId(0), Domain::Host, SimDuration::micros(10));
 /// assert!(wall >= SimDuration::micros(10));
 /// ```
@@ -51,15 +51,14 @@ impl Machine {
 
     /// Builds a machine from hardware parameters.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `params` fails [`HwParams::validate`].
-    pub fn new(params: HwParams) -> Machine {
-        if let Err(e) = params.validate() {
-            panic!("invalid hardware parameters: {e}");
-        }
+    /// Returns the [`ParamError`] if `params` fails
+    /// [`HwParams::validate`]; nothing is constructed in that case.
+    pub fn new(params: HwParams) -> Result<Machine, ParamError> {
+        params.validate()?;
         let n = params.num_cores;
-        Machine {
+        Ok(Machine {
             cpus: (0..n).map(|i| Cpu::new(CoreId(i))).collect(),
             microarch: (0..n).map(|_| MicroArch::new()).collect(),
             timers: (0..n).map(|_| GenericTimer::new()).collect(),
@@ -68,7 +67,7 @@ impl Machine {
             llc_taint: BTreeSet::new(),
             profiler: cg_sim::Profiler::disabled(),
             params,
-        }
+        })
     }
 
     /// Attaches a structured trace to the machine's interrupt controller
@@ -261,7 +260,7 @@ mod tests {
     use crate::microarch::Structure;
 
     fn machine() -> Machine {
-        Machine::new(HwParams::small())
+        Machine::new(HwParams::small()).unwrap()
     }
 
     #[test]
@@ -273,11 +272,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "invalid hardware parameters")]
     fn invalid_params_rejected() {
         let mut p = HwParams::small();
         p.num_cores = 0;
-        Machine::new(p);
+        assert_eq!(Machine::new(p).unwrap_err(), ParamError::ZeroCores);
     }
 
     #[test]

@@ -6,7 +6,44 @@
 //! measurements on the AmpereOne evaluation platform (§5.1); see
 //! `EXPERIMENTS.md` for the calibration results.
 
+use std::fmt;
+
 use cg_sim::SimDuration;
+
+/// A rejected hardware-parameter set: which constraint a [`HwParams`]
+/// value violated.
+///
+/// Returned by [`HwParams::validate`] and [`crate::Machine::new`] so
+/// embedders can handle bad configurations without a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParamError {
+    /// `num_cores` was zero.
+    ZeroCores,
+    /// `freq_ghz` was zero or negative.
+    NonPositiveFreq,
+    /// `num_list_regs` was zero.
+    ZeroListRegs,
+    /// One of the warmth penalty factors was negative.
+    NegativePenalty,
+    /// `gpc_check_factor` was negative.
+    NegativeGpcFactor,
+}
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamError::ZeroCores => write!(f, "num_cores must be at least 1"),
+            ParamError::NonPositiveFreq => write!(f, "freq_ghz must be positive"),
+            ParamError::ZeroListRegs => write!(f, "num_list_regs must be at least 1"),
+            ParamError::NegativePenalty => {
+                write!(f, "microarch penalty factors must be non-negative")
+            }
+            ParamError::NegativeGpcFactor => write!(f, "gpc_check_factor must be non-negative"),
+        }
+    }
+}
+
+impl std::error::Error for ParamError {}
 
 /// Timing and sizing parameters of the simulated machine.
 ///
@@ -172,24 +209,23 @@ impl HwParams {
     ///
     /// # Errors
     ///
-    /// Returns a human-readable description of the first violated
-    /// constraint (non-positive core count, zero frequency, no list
-    /// registers, or negative penalty factors).
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns the first violated constraint (non-positive core count,
+    /// zero frequency, no list registers, or negative penalty factors).
+    pub fn validate(&self) -> Result<(), ParamError> {
         if self.num_cores == 0 {
-            return Err("num_cores must be at least 1".into());
+            return Err(ParamError::ZeroCores);
         }
         if self.freq_ghz <= 0.0 {
-            return Err("freq_ghz must be positive".into());
+            return Err(ParamError::NonPositiveFreq);
         }
         if self.num_list_regs == 0 {
-            return Err("num_list_regs must be at least 1".into());
+            return Err(ParamError::ZeroListRegs);
         }
         if self.l1_penalty < 0.0 || self.tlb_penalty < 0.0 || self.bp_penalty < 0.0 {
-            return Err("microarch penalty factors must be non-negative".into());
+            return Err(ParamError::NegativePenalty);
         }
         if self.gpc_check_factor < 0.0 {
-            return Err("gpc_check_factor must be non-negative".into());
+            return Err(ParamError::NegativeGpcFactor);
         }
         Ok(())
     }
@@ -222,19 +258,31 @@ mod tests {
     fn validation_rejects_bad_configs() {
         let mut p = HwParams::small();
         p.num_cores = 0;
-        assert!(p.validate().is_err());
+        assert_eq!(p.validate(), Err(ParamError::ZeroCores));
 
         let mut p = HwParams::small();
         p.freq_ghz = 0.0;
-        assert!(p.validate().is_err());
+        assert_eq!(p.validate(), Err(ParamError::NonPositiveFreq));
 
         let mut p = HwParams::small();
         p.num_list_regs = 0;
-        assert!(p.validate().is_err());
+        assert_eq!(p.validate(), Err(ParamError::ZeroListRegs));
 
         let mut p = HwParams::small();
         p.l1_penalty = -0.1;
-        assert!(p.validate().is_err());
+        assert_eq!(p.validate(), Err(ParamError::NegativePenalty));
+
+        let mut p = HwParams::small();
+        p.gpc_check_factor = -0.5;
+        assert_eq!(p.validate(), Err(ParamError::NegativeGpcFactor));
+    }
+
+    #[test]
+    fn param_error_displays_constraint() {
+        let msg = ParamError::ZeroCores.to_string();
+        assert!(msg.contains("num_cores"), "{msg}");
+        let err: Box<dyn std::error::Error> = Box::new(ParamError::NonPositiveFreq);
+        assert!(err.to_string().contains("freq_ghz"));
     }
 
     #[test]

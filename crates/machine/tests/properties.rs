@@ -20,7 +20,7 @@ proptest! {
         ops in prop::collection::vec((0u8..3, 1u64..2_000), 1..80)
     ) {
         let params = HwParams::small();
-        let mut m = Machine::new(params.clone());
+        let mut m = Machine::new(params.clone()).unwrap();
         for (who, work_us) in ops {
             let work = SimDuration::micros(work_us);
             let wall = m.run_compute(CoreId(0), domain(who), work);
@@ -35,7 +35,7 @@ proptest! {
     fn residency_stays_in_unit_interval(
         ops in prop::collection::vec((0u8..3, 1u64..500), 1..100)
     ) {
-        let mut m = Machine::new(HwParams::small());
+        let mut m = Machine::new(HwParams::small()).unwrap();
         for (who, work_us) in ops {
             let d = domain(who);
             let before = m.microarch(CoreId(0)).l1_residency(d);
@@ -51,7 +51,7 @@ proptest! {
     /// claims to.
     #[test]
     fn taint_is_causal(cores in prop::collection::vec(0u16..4, 1..40)) {
-        let mut m = Machine::new(HwParams::small());
+        let mut m = Machine::new(HwParams::small()).unwrap();
         let victim = Domain::Realm(RealmId(7));
         let mut touched = std::collections::BTreeSet::new();
         for c in cores {
@@ -80,7 +80,7 @@ proptest! {
     fn granule_accounting_is_exact(
         ops in prop::collection::vec((0u64..32, prop::bool::ANY), 1..200)
     ) {
-        let mut m = Machine::new(HwParams::small());
+        let mut m = Machine::new(HwParams::small()).unwrap();
         let mut live = std::collections::BTreeSet::new();
         for (idx, delegate) in ops {
             let g = cg_machine::GranuleAddr::new(0x10_0000 + idx * 4096).unwrap();

@@ -261,7 +261,7 @@ impl IvcChannelReg {
 /// use cg_rmm::{Rmm, RmmConfig};
 ///
 /// let mut rmm = Rmm::new(RmmConfig::core_gapped());
-/// let mut machine = Machine::new(HwParams::small());
+/// let mut machine = Machine::new(HwParams::small()).unwrap();
 /// let out = rmm.handle_rmi(CoreId(0), RmiCall::Version, &mut machine);
 /// assert_eq!(out.status, RmiStatus::Success);
 /// // Delegating a granule makes it inaccessible to the host.
@@ -1676,7 +1676,7 @@ mod tests {
     fn setup() -> (Rmm, Machine) {
         (
             Rmm::new(RmmConfig::core_gapped()),
-            Machine::new(HwParams::small()),
+            Machine::new(HwParams::small()).unwrap(),
         )
     }
 
@@ -1841,7 +1841,7 @@ mod tests {
     #[test]
     fn timer_without_delegation_exits_to_host() {
         let mut rmm = Rmm::new(RmmConfig::core_gapped_no_delegation());
-        let mut machine = Machine::new(HwParams::small());
+        let mut machine = Machine::new(HwParams::small()).unwrap();
         let realm = build_realm(&mut rmm, &mut machine);
         let rec = RecId::new(realm, 0);
         rmm.rec_enter_with_list(CoreId(4), rec, &[], &mut machine);

@@ -20,7 +20,7 @@ proptest! {
     #[test]
     fn rmi_granule_fuzz(ops in prop::collection::vec((0u8..3, 0u64..24), 1..200)) {
         let mut rmm = Rmm::new(RmmConfig::core_gapped());
-        let mut machine = Machine::new(HwParams::small());
+        let mut machine = Machine::new(HwParams::small()).unwrap();
         let core = CoreId(0);
         for (kind, idx) in ops {
             let call = match kind {
@@ -44,7 +44,7 @@ proptest! {
         attempts in prop::collection::vec((0u32..3, 0u32..2, 0u16..4), 1..60)
     ) {
         let mut rmm = Rmm::new(RmmConfig::core_gapped());
-        let mut machine = Machine::new(HwParams::small());
+        let mut machine = Machine::new(HwParams::small()).unwrap();
         // Three single-vCPU realms, two RECs each at most.
         for n in 0..40 {
             machine.memory_mut().delegate(g(n)).unwrap();

@@ -99,6 +99,19 @@ pub struct FaultPlan {
     /// transit — the destination RMM must reject the import (broken
     /// seal) and the source must resume the VM.
     pub migrate_tamper_p: f64,
+    /// Probability, per generated serving request, that it arrives as a
+    /// burst storm: `request_burst` extra copies land at the same
+    /// instant (a thundering herd / retry storm the admission control
+    /// must absorb or shed).
+    pub request_burst_p: f64,
+    /// Extra requests injected when a burst storm strikes.
+    pub request_burst: u32,
+    /// Probability, per front-end dispatch opportunity, that the
+    /// serving front-end stalls for `frontend_stall` before forwarding
+    /// (the host hogging the admission core).
+    pub frontend_stall_p: f64,
+    /// Length of one injected front-end stall.
+    pub frontend_stall: SimDuration,
 }
 
 impl FaultPlan {
@@ -123,6 +136,10 @@ impl FaultPlan {
             migrate_stall_p: 0.0,
             migrate_stall: SimDuration::ZERO,
             migrate_tamper_p: 0.0,
+            request_burst_p: 0.0,
+            request_burst: 0,
+            frontend_stall_p: 0.0,
+            frontend_stall: SimDuration::ZERO,
         }
     }
 
@@ -202,6 +219,27 @@ impl FaultPlan {
         }
     }
 
+    /// A plan where each serving request explodes into a burst of
+    /// `extra` additional copies with probability `p` — the
+    /// request-burst storm the fleet's admission control must shed.
+    pub fn request_bursts(p: f64, extra: u32) -> FaultPlan {
+        FaultPlan {
+            request_burst_p: p,
+            request_burst: extra,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// A plan where the serving front-end stalls for `stall` with
+    /// probability `p` per dispatch opportunity.
+    pub fn frontend_stalls(p: f64, stall: SimDuration) -> FaultPlan {
+        FaultPlan {
+            frontend_stall_p: p,
+            frontend_stall: stall,
+            ..FaultPlan::none()
+        }
+    }
+
     /// Returns `true` if any fault class can fire under this plan.
     pub fn is_active(&self) -> bool {
         self.drop_doorbell_p > 0.0
@@ -217,6 +255,8 @@ impl FaultPlan {
             || self.migrate_frame_drop_p > 0.0
             || self.migrate_stall_p > 0.0
             || self.migrate_tamper_p > 0.0
+            || self.request_burst_p > 0.0
+            || self.frontend_stall_p > 0.0
     }
 
     /// A stable digest of the plan, folded into the injector's RNG seed
@@ -259,6 +299,14 @@ impl FaultPlan {
         }
         if self.migrate_tamper_p > 0.0 {
             eat(self.migrate_tamper_p.to_bits());
+        }
+        if self.request_burst_p > 0.0 {
+            eat(self.request_burst_p.to_bits());
+            eat(u64::from(self.request_burst));
+        }
+        if self.frontend_stall_p > 0.0 {
+            eat(self.frontend_stall_p.to_bits());
+            eat(self.frontend_stall.as_nanos());
         }
         h
     }
@@ -489,6 +537,34 @@ impl FaultInjector {
         }
         hit
     }
+
+    /// Extra request copies a burst storm injects alongside this
+    /// serving request (0 = no burst).
+    pub fn request_burst(&mut self) -> u32 {
+        if self.plan.request_burst_p <= 0.0 {
+            return 0;
+        }
+        if self.rng.chance(self.plan.request_burst_p) {
+            self.injected.incr("fault.request_bursts");
+            self.plan.request_burst
+        } else {
+            0
+        }
+    }
+
+    /// Front-end stall to charge before this dispatch opportunity, if
+    /// any.
+    pub fn frontend_stall(&mut self) -> Option<SimDuration> {
+        if self.plan.frontend_stall_p <= 0.0 {
+            return None;
+        }
+        if self.rng.chance(self.plan.frontend_stall_p) {
+            self.injected.incr("fault.frontend_stalls");
+            Some(self.plan.frontend_stall)
+        } else {
+            None
+        }
+    }
 }
 
 #[cfg(test)]
@@ -514,6 +590,10 @@ mod tests {
             migrate_stall_p: 0.2,
             migrate_stall: SimDuration::micros(100),
             migrate_tamper_p: 0.1,
+            request_burst_p: 0.2,
+            request_burst: 3,
+            frontend_stall_p: 0.1,
+            frontend_stall: SimDuration::micros(20),
         }
     }
 
@@ -535,6 +615,8 @@ mod tests {
             assert_eq!(inj.migrate_frame_drops(8), 0);
             assert!(inj.stall_migration_round().is_none());
             assert!(!inj.tamper_migration_blob());
+            assert_eq!(inj.request_burst(), 0);
+            assert!(inj.frontend_stall().is_none());
         }
         assert_eq!(inj.total_injected(), 0);
     }
@@ -557,6 +639,8 @@ mod tests {
             assert_eq!(a.migrate_frame_drops(4), b.migrate_frame_drops(4));
             assert_eq!(a.stall_migration_round(), b.stall_migration_round());
             assert_eq!(a.tamper_migration_blob(), b.tamper_migration_blob());
+            assert_eq!(a.request_burst(), b.request_burst());
+            assert_eq!(a.frontend_stall(), b.frontend_stall());
         }
         assert_eq!(a.total_injected(), b.total_injected());
         assert!(a.total_injected() > 0);
@@ -624,6 +708,8 @@ mod tests {
             inj.migrate_frame_drops(4);
             inj.stall_migration_round();
             inj.tamper_migration_blob();
+            inj.request_burst();
+            inj.frontend_stall();
         }
         let c = inj.injected();
         assert!(c.get("fault.doorbell_dropped") > 0);
@@ -639,6 +725,8 @@ mod tests {
         assert!(c.get("fault.migrate_frames_dropped") > 0);
         assert!(c.get("fault.migrate_rounds_stalled") > 0);
         assert!(c.get("fault.migrate_blob_tampered") > 0);
+        assert!(c.get("fault.request_bursts") > 0);
+        assert!(c.get("fault.frontend_stalls") > 0);
         assert_eq!(
             inj.total_injected(),
             c.get("fault.doorbell_dropped")
@@ -654,6 +742,8 @@ mod tests {
                 + c.get("fault.migrate_frames_dropped")
                 + c.get("fault.migrate_rounds_stalled")
                 + c.get("fault.migrate_blob_tampered")
+                + c.get("fault.request_bursts")
+                + c.get("fault.frontend_stalls")
         );
     }
 

@@ -42,7 +42,9 @@ pub mod kernel;
 pub mod netpipe;
 pub mod peer;
 pub mod redis;
+pub mod service;
 
 pub use guest::{GuestIrq, GuestOp, GuestProgram, WorkloadStats};
 pub use kernel::{AppLogic, GuestKernel};
 pub use peer::{EchoPeer, NetPeer, PeerPacket, RedisClientPool};
+pub use service::{ServiceGuest, ServiceProfile};

@@ -1,0 +1,266 @@
+//! The fleet serving tenant: a generic request/response service.
+//!
+//! Where [`crate::redis::RedisServer`] models one specific benchmark,
+//! `ServiceGuest` models the tenant a serving fleet hosts: requests
+//! arrive over the NIC, cost CPU proportional to their size, and
+//! produce a response. Unlike Redis it is multi-threaded — every vCPU
+//! runs the serving loop over a shared accept queue — so an elastic
+//! scale-up (`resize_vm`) genuinely adds serving capacity, which is
+//! what the fleet's SLO→elastic feedback loop exercises.
+
+use std::collections::VecDeque;
+
+use cg_sim::{SimDuration, SimTime};
+
+use crate::guest::{GuestIrq, GuestOp, WorkloadStats};
+use crate::kernel::AppLogic;
+
+/// What a request costs the tenant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ServiceProfile {
+    /// Echo: bounce the payload back after fixed per-request stack
+    /// work (a cache/proxy-like tenant; network-bound).
+    Echo,
+    /// Compute: charge `base` plus `per_kb` per 1024 request bytes,
+    /// then respond with a fixed-size result (an inference/query-like
+    /// tenant; CPU-bound).
+    Compute {
+        /// Base service time per request.
+        base: SimDuration,
+        /// Additional service time per KiB of request payload.
+        per_kb: SimDuration,
+        /// Response payload size.
+        response_bytes: u64,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    flow: u64,
+    bytes: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VcpuState {
+    /// No request in hand.
+    Idle,
+    /// Executing the request's service work.
+    Executing,
+    /// Response send queued next.
+    Respond,
+}
+
+/// The serving-fleet tenant application.
+#[derive(Debug)]
+pub struct ServiceGuest {
+    profile: ServiceProfile,
+    device: u32,
+    /// Per-request guest network-stack work (driver + TCP/IP in + out).
+    stack_work: SimDuration,
+    /// Shared accept queue all vCPUs pull from.
+    queue: VecDeque<Pending>,
+    /// Per-vCPU serving loop state, grown on first use.
+    vcpus: Vec<(VcpuState, Pending)>,
+    served: u64,
+}
+
+impl ServiceGuest {
+    /// An echo tenant on guest device `device`.
+    pub fn echo(device: u32) -> ServiceGuest {
+        ServiceGuest::new(ServiceProfile::Echo, device)
+    }
+
+    /// A compute tenant on guest device `device` costing `base` plus
+    /// `per_kb` per request KiB, responding with `response_bytes`.
+    pub fn compute(
+        device: u32,
+        base: SimDuration,
+        per_kb: SimDuration,
+        response_bytes: u64,
+    ) -> ServiceGuest {
+        ServiceGuest::new(
+            ServiceProfile::Compute {
+                base,
+                per_kb,
+                response_bytes,
+            },
+            device,
+        )
+    }
+
+    /// A tenant with an explicit [`ServiceProfile`].
+    pub fn new(profile: ServiceProfile, device: u32) -> ServiceGuest {
+        ServiceGuest {
+            profile,
+            device,
+            stack_work: SimDuration::nanos(6_200),
+            queue: VecDeque::new(),
+            vcpus: Vec::new(),
+            served: 0,
+        }
+    }
+
+    /// Requests fully served.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Requests accepted but not yet picked up by a vCPU.
+    pub fn backlog(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The cost profile.
+    pub fn profile(&self) -> ServiceProfile {
+        self.profile
+    }
+
+    fn service_time(&self, bytes: u64) -> SimDuration {
+        match self.profile {
+            ServiceProfile::Echo => SimDuration::ZERO,
+            ServiceProfile::Compute { base, per_kb, .. } => {
+                base + per_kb.scaled(bytes as f64 / 1024.0)
+            }
+        }
+    }
+
+    fn response_bytes(&self, request_bytes: u64) -> u64 {
+        match self.profile {
+            ServiceProfile::Echo => request_bytes,
+            ServiceProfile::Compute { response_bytes, .. } => response_bytes,
+        }
+    }
+
+    fn state(&mut self, vcpu: u32) -> &mut (VcpuState, Pending) {
+        let idx = vcpu as usize;
+        while self.vcpus.len() <= idx {
+            self.vcpus
+                .push((VcpuState::Idle, Pending { flow: 0, bytes: 0 }));
+        }
+        &mut self.vcpus[idx]
+    }
+}
+
+impl AppLogic for ServiceGuest {
+    fn next_op(&mut self, vcpu: u32, _now: SimTime) -> GuestOp {
+        let mut state = self.state(vcpu).0;
+        if state == VcpuState::Respond {
+            // Response sent: back to the accept queue this same op.
+            self.state(vcpu).0 = VcpuState::Idle;
+            state = VcpuState::Idle;
+        }
+        match state {
+            VcpuState::Idle => match self.queue.pop_front() {
+                None => GuestOp::Wfi,
+                Some(req) => {
+                    let work = self.stack_work + self.service_time(req.bytes);
+                    *self.state(vcpu) = (VcpuState::Executing, req);
+                    GuestOp::Compute { work }
+                }
+            },
+            VcpuState::Executing => {
+                // Service work done: send the response.
+                let req = self.state(vcpu).1;
+                self.state(vcpu).0 = VcpuState::Respond;
+                self.served += 1;
+                GuestOp::NetSend {
+                    device: self.device,
+                    bytes: self.response_bytes(req.bytes),
+                    flow: req.flow,
+                }
+            }
+            VcpuState::Respond => unreachable!("cleared to Idle above"),
+        }
+    }
+
+    fn on_irq(&mut self, _vcpu: u32, irq: GuestIrq, _now: SimTime) {
+        // Any vCPU may take the RX interrupt; the queue is shared.
+        if let GuestIrq::NetRx { flow, bytes, .. } = irq {
+            self.queue.push_back(Pending { flow, bytes });
+        }
+    }
+
+    fn stats(&self) -> WorkloadStats {
+        let mut stats = WorkloadStats::new();
+        stats.counters.add("service.served", self.served);
+        stats
+            .counters
+            .add("service.backlog", self.queue.len() as u64);
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rx(flow: u64, bytes: u64) -> GuestIrq {
+        GuestIrq::NetRx {
+            device: 0,
+            bytes,
+            flow,
+        }
+    }
+
+    #[test]
+    fn echo_bounces_request_bytes() {
+        let mut srv = ServiceGuest::echo(0);
+        assert!(matches!(srv.next_op(0, SimTime::ZERO), GuestOp::Wfi));
+        srv.on_irq(0, rx(9, 700), SimTime::ZERO);
+        assert!(matches!(
+            srv.next_op(0, SimTime::ZERO),
+            GuestOp::Compute { work } if work == SimDuration::nanos(6_200)
+        ));
+        match srv.next_op(0, SimTime::ZERO) {
+            GuestOp::NetSend { flow, bytes, .. } => {
+                assert_eq!(flow, 9);
+                assert_eq!(bytes, 700);
+            }
+            other => panic!("expected NetSend, got {other:?}"),
+        }
+        assert_eq!(srv.served(), 1);
+    }
+
+    #[test]
+    fn compute_cost_scales_with_request_size() {
+        let srv = ServiceGuest::compute(0, SimDuration::micros(20), SimDuration::micros(4), 256);
+        assert_eq!(srv.service_time(1024), SimDuration::micros(24));
+        assert!(srv.service_time(4096) > srv.service_time(1024));
+        assert_eq!(srv.response_bytes(4096), 256);
+    }
+
+    #[test]
+    fn vcpus_share_the_accept_queue() {
+        let mut srv = ServiceGuest::echo(0);
+        srv.on_irq(0, rx(1, 100), SimTime::ZERO);
+        srv.on_irq(0, rx(2, 100), SimTime::ZERO);
+        // Two different vCPUs each pick up one request.
+        assert!(matches!(
+            srv.next_op(0, SimTime::ZERO),
+            GuestOp::Compute { .. }
+        ));
+        assert!(matches!(
+            srv.next_op(3, SimTime::ZERO),
+            GuestOp::Compute { .. }
+        ));
+        assert_eq!(srv.backlog(), 0);
+        match srv.next_op(3, SimTime::ZERO) {
+            GuestOp::NetSend { flow, .. } => assert_eq!(flow, 2),
+            other => panic!("expected NetSend, got {other:?}"),
+        }
+        match srv.next_op(0, SimTime::ZERO) {
+            GuestOp::NetSend { flow, .. } => assert_eq!(flow, 1),
+            other => panic!("expected NetSend, got {other:?}"),
+        }
+        assert_eq!(srv.served(), 2);
+    }
+
+    #[test]
+    fn stats_report_served_and_backlog() {
+        let mut srv = ServiceGuest::echo(0);
+        srv.on_irq(0, rx(1, 64), SimTime::ZERO);
+        let s = srv.stats();
+        assert_eq!(s.counters.get("service.backlog"), 1);
+        assert_eq!(s.counters.get("service.served"), 0);
+    }
+}

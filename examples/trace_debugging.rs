@@ -8,7 +8,7 @@
 //! ```
 
 use coregap::sim::SimDuration;
-use coregap::system::{diff_same_seed_runs, System, SystemConfig, VmSpec};
+use coregap::system::{diff_same_seed_runs, System, SystemConfig, TraceOptions, VmSpec};
 use coregap::workloads::coremark::CoremarkPro;
 use coregap::workloads::kernel::GuestKernel;
 
@@ -34,7 +34,7 @@ fn build(inject: bool) -> System {
 fn main() {
     // 1. Record a run into a bounded ring and look at the tail.
     let mut system = build(false);
-    system.enable_structured_trace(4096);
+    system.configure_trace(TraceOptions::new().structured_ring(4096));
     system.run_for(SimDuration::millis(2));
     println!("=== last 15 trace records of a 2 ms run ===");
     print!("{}", system.structured_trace().render_tail(15));

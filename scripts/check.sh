@@ -115,6 +115,12 @@ PY
   done
   cmp "$tmp/ma.json" "$tmp/mb.json"
 
+  echo "== fleet smoke (serving-plane runs must be byte-identical) =="
+  for run in fa fb; do
+    ./target/release/fleet --quick --json "$tmp/$run.json" >/dev/null
+  done
+  cmp "$tmp/fa.json" "$tmp/fb.json"
+
   echo "== cargo doc (deny warnings; vendored stand-ins excluded) =="
   RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet \
     --exclude rand --exclude proptest --exclude criterion --exclude serde

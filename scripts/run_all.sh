@@ -10,7 +10,7 @@ mkdir -p results
 {
   for b in fig3 table2 table3 table4 fig6 fig7 fig8 fig9 fig10 table5 \
            security_eval cvm_comparison tdx_ablation planner_ablation \
-           fault_sweep io_fastpath ivc_pingpong churn migrate; do
+           fault_sweep io_fastpath ivc_pingpong churn migrate fleet; do
     echo "=== $b ==="
     ./target/release/$b "$@" --json "results/$b.json"
   done

@@ -2,7 +2,7 @@
 
 use cg_core::experiments::latency::{run_vipi, IpiConfig};
 use cg_core::experiments::scaling::{run_coremark, ScalingConfig};
-use cg_core::{System, SystemConfig, VmSpec};
+use cg_core::{System, SystemConfig, TraceOptions, VmSpec};
 use cg_sim::SimDuration;
 use cg_workloads::coremark::CoremarkPro;
 use cg_workloads::kernel::GuestKernel;
@@ -67,7 +67,7 @@ fn structured_traces_are_bit_identical_across_same_seed_runs() {
                 .add_vm(VmSpec::core_gapped(n), Box::new(guest), None)
                 .unwrap();
         }
-        system.enable_structured_capture();
+        system.configure_trace(TraceOptions::new().structured_capture());
         system.run_for(SimDuration::millis(50));
         system.structured_records()
     };

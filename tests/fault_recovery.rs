@@ -111,6 +111,10 @@ fn combined_fault_plan_still_completes() {
         migrate_stall_p: 0.0,
         migrate_stall: SimDuration::ZERO,
         migrate_tamper_p: 0.0,
+        request_burst_p: 0.0,
+        request_burst: 0,
+        frontend_stall_p: 0.0,
+        frontend_stall: SimDuration::ZERO,
     };
     let r = run_fault_sweep(
         plan,

@@ -97,7 +97,7 @@ fn admission_control_rejects_oversubscription() {
     let err = system
         .add_vm(VmSpec::core_gapped(1), cpu_guest(1), None)
         .unwrap_err();
-    assert!(err.contains("insufficient"), "{err}");
+    assert!(err.to_string().contains("insufficient"), "{err}");
 }
 
 #[test]

@@ -38,7 +38,7 @@ proptest! {
     fn machine_level_distinct_cores_never_leak(
         ops in prop::collection::vec((0u8..2, 1u64..500), 1..60)
     ) {
-        let mut m = Machine::new(HwParams::small());
+        let mut m = Machine::new(HwParams::small()).unwrap();
         let victim = Domain::Realm(cg_machine::RealmId(1));
         let attacker = Domain::Realm(cg_machine::RealmId(2));
         for (who, work) in ops {
@@ -58,7 +58,7 @@ proptest! {
     fn machine_level_shared_core_leaks_after_victim_ran(
         before in 1u64..300, after in 1u64..300
     ) {
-        let mut m = Machine::new(HwParams::small());
+        let mut m = Machine::new(HwParams::small()).unwrap();
         let victim = Domain::Realm(cg_machine::RealmId(1));
         let attacker = Domain::Realm(cg_machine::RealmId(2));
         m.run_compute(CoreId(0), attacker, SimDuration::micros(before));

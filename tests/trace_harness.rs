@@ -13,7 +13,7 @@ use std::cell::RefCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::rc::Rc;
 
-use cg_core::{diff_same_seed_runs, System, SystemConfig, VmId, VmSpec};
+use cg_core::{diff_same_seed_runs, System, SystemConfig, TraceOptions, VmId, VmSpec};
 use cg_sim::{SimDuration, TraceDumpGuard, TraceKind, DEFAULT_DUMP_RECORDS};
 use cg_workloads::coremark::CoremarkPro;
 use cg_workloads::kernel::GuestKernel;
@@ -98,9 +98,12 @@ fn same_workload_is_deterministic_without_injection() {
 #[test]
 fn panic_inside_run_dumps_last_100_records() {
     let mut system = build_scan_heavy_system(false);
-    system.enable_structured_trace(DEFAULT_DUMP_RECORDS);
     let sink = Rc::new(RefCell::new(String::new()));
-    system.set_structured_dump_sink(sink.clone());
+    system.configure_trace(
+        TraceOptions::new()
+            .structured_ring(DEFAULT_DUMP_RECORDS)
+            .dump_sink(sink.clone()),
+    );
 
     // A healthy run does not dump.
     system.run_for(SimDuration::millis(10));
@@ -127,7 +130,7 @@ fn panic_inside_run_dumps_last_100_records() {
 #[test]
 fn failed_assertion_under_dump_guard_prints_trace_tail() {
     let mut system = build_scan_heavy_system(false);
-    system.enable_structured_trace(4096);
+    system.configure_trace(TraceOptions::new().structured_ring(4096));
     system.run_for(SimDuration::millis(10));
 
     let sink = Rc::new(RefCell::new(String::new()));
@@ -195,7 +198,7 @@ fn coalesced_doorbell_storm_never_loses_a_wakeup() {
                 .unwrap(),
         );
     }
-    system.enable_structured_trace(1024);
+    system.configure_trace(TraceOptions::new().structured_ring(1024));
     assert!(
         system.run_until_done(SimDuration::secs(10)),
         "a lost wakeup would leave a vCPU suspended with a visible exit"
